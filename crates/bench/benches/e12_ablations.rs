@@ -1,0 +1,154 @@
+//! E12 — ablations over the design choices DESIGN.md calls out, plus the
+//! embeddings-vs-dynamics separation.
+//!
+//! 1. **Queue discipline**: farthest-first vs FIFO in the routing engine.
+//! 2. **Embedding choice**: block vs random vs locality tiles for a mesh
+//!    guest (dilation/congestion and the resulting slowdown).
+//! 3. **Path selection**: greedy vs Valiant on the butterfly inside the full
+//!    simulation (not just raw routing).
+//! 4. **Protocol pruning**: how much of each simulator's work is essential.
+//! 5. **Embeddings vs dynamics**: the [13]/[14] size separation as a table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unet_bench::{rng, standard_guest};
+use unet_core::prelude::*;
+use unet_lowerbound::embedding_bound::embedding_vs_dynamic;
+use unet_pebble::optimize::prune;
+use unet_routing::packet::{make_packets, route, Discipline, ShortestPath};
+use unet_routing::problem::random_h_h;
+use unet_topology::generators::{butterfly, torus};
+
+fn discipline_ablation() {
+    println!("\n--- E12a: queue discipline (torus 8×8, random h–h) ---");
+    let g = torus(8, 8);
+    let mut r = rng();
+    println!("{:>3} {:>16} {:>10}", "h", "farthest-first", "fifo");
+    for h in [1usize, 4, 8] {
+        let prob = random_h_h(64, h, &mut r);
+        let pk = make_packets(&g, &prob.pairs, &ShortestPath, &mut r);
+        let lim: u32 = pk.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
+        let ff = route(&g, &pk, Discipline::FarthestFirst, lim).unwrap().steps;
+        let ffo = route(&g, &pk, Discipline::Fifo, lim).unwrap().steps;
+        println!("{h:>3} {ff:>16} {ffo:>10}");
+    }
+}
+
+fn embedding_ablation() {
+    println!("\n--- E12b: embedding choice (torus(16,16) guest on torus(4,4) host) ---");
+    let guest = torus(16, 16);
+    let host = torus(4, 4);
+    let comp = GuestComputation::random(guest.clone(), 0xE12);
+    let router = presets::torus_xy(4, 4);
+    println!(
+        "{:>8} {:>9} {:>11} {:>10}",
+        "embed", "dilation", "congestion", "slowdown"
+    );
+    let cases: Vec<(&str, Embedding)> = vec![
+        ("tiles", Embedding::grid_tiles(16, 4)),
+        ("block", Embedding::block(256, 16)),
+        ("random", Embedding::random(256, 16, &mut rng())),
+    ];
+    for (name, e) in cases {
+        let dil = e.dilation(&guest, &host);
+        let cong = e.edge_congestion(&guest, &host);
+        let sim = EmbeddingSimulator { embedding: e, router: &router };
+        let run = sim.simulate(&comp, &host, 2, &mut rng());
+        verify_run(&comp, &host, &run, 2).expect("certifies");
+        println!("{name:>8} {dil:>9} {cong:>11} {:>10.1}", run.slowdown());
+    }
+    println!("locality (dilation 1) is the whole game for mesh-like guests.");
+}
+
+fn router_ablation() {
+    println!("\n--- E12c: greedy vs Valiant inside the full simulation (butterfly dim 4) ---");
+    let (_guest, comp) = standard_guest(512, 0xE12C);
+    let host = butterfly(4);
+    for (name, s) in [
+        ("greedy", {
+            let router = presets::butterfly_greedy(4);
+            let sim = EmbeddingSimulator { embedding: Embedding::block(512, 80), router: &router };
+            let run = sim.simulate(&comp, &host, 2, &mut rng());
+            verify_run(&comp, &host, &run, 2).expect("certifies");
+            run.slowdown()
+        }),
+        ("valiant", {
+            let router = presets::butterfly_valiant(4);
+            let sim = EmbeddingSimulator { embedding: Embedding::block(512, 80), router: &router };
+            let run = sim.simulate(&comp, &host, 2, &mut rng());
+            verify_run(&comp, &host, &run, 2).expect("certifies");
+            run.slowdown()
+        }),
+    ] {
+        println!("{name:>8}: slowdown {s:.1}");
+    }
+    println!("greedy wins on random traffic (half the stretch); Valiant's insurance");
+    println!("only pays on adversarial patterns (see E6's bit-reversal test).");
+}
+
+fn prune_ablation() {
+    println!("\n--- E12d: essential work after dead-op pruning ---");
+    let (guest, comp) = standard_guest(128, 0xE12D);
+    let host = torus(3, 3);
+    let router = presets::torus_xy(3, 3);
+    let sim = EmbeddingSimulator { embedding: Embedding::block(128, 9), router: &router };
+    let run = sim.simulate(&comp, &host, 2, &mut rng());
+    let (_, st) = prune(&guest, &run.protocol);
+    println!(
+        "embedding simulator: {} → {} busy ops ({:.0}% essential), {} → {} steps",
+        st.busy_before,
+        st.busy_after,
+        100.0 * st.busy_after as f64 / st.busy_before as f64,
+        st.steps_before,
+        st.steps_after
+    );
+    let flood = unet_core::flooding::flooding_protocol(&comp, 9, 2);
+    let (_, stf) = prune(&guest, &flood);
+    println!(
+        "flooding simulator:  {} → {} busy ops ({:.0}% essential)",
+        stf.busy_before,
+        stf.busy_after,
+        100.0 * stf.busy_after as f64 / stf.busy_before as f64,
+    );
+}
+
+fn separation_table() {
+    println!("\n--- E12e: embedding-universal vs dynamic-universal size ([13] vs [14]) ---");
+    println!(
+        "{:>10} {:>16} {:>15} {:>8}",
+        "n", "log2 m (embed)", "log2 m (dyn)", "ratio"
+    );
+    for row in embedding_vs_dynamic(&[1 << 10, 1 << 16, 1 << 24, 1 << 32], 4, 4) {
+        println!(
+            "{:>10} {:>16.1} {:>15.1} {:>8.2}",
+            row.n, row.log2_m_embedding, row.log2_m_dynamic, row.exponent_ratio
+        );
+    }
+    println!("constant-slowdown universality by embeddings needs n^Ω(c) processors;");
+    println!("dynamic simulation needs n^(1+ε) — the separation the paper highlights.");
+}
+
+fn bench(c: &mut Criterion) {
+    discipline_ablation();
+    embedding_ablation();
+    router_ablation();
+    prune_ablation();
+    separation_table();
+    let mut group = c.benchmark_group("e12_ablations");
+    group.sample_size(10);
+    let (guest, comp) = standard_guest(128, 1);
+    let host = torus(3, 3);
+    let router = presets::torus_xy(3, 3);
+    let sim = EmbeddingSimulator { embedding: Embedding::block(128, 9), router: &router };
+    let run = sim.simulate(&comp, &host, 2, &mut rng());
+    group.bench_function("prune", |b| b.iter(|| prune(&guest, &run.protocol).1));
+    group.bench_function("dilation", |b| {
+        let g = torus(16, 16);
+        let h = torus(4, 4);
+        let e = Embedding::grid_tiles(16, 4);
+        b.iter(|| e.dilation(&g, &h))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E14 — spreading functions and communication demand ([15], quoted in
+//! Section 1: guests with *polynomial spreading* admit `O(n·polylog n)`-size
+//! universal hosts with constant slowdown).
+//!
+//! The mechanism is measurable here: the spreading function `S(t)` (max
+//! `t`-neighbourhood size) controls how much information a guest step moves.
+//! Under a locality-preserving placement, a polynomially-spreading guest
+//! (torus: `S(t) = Θ(t²)`) induces only boundary traffic, while an expander
+//! (`S(t) = 2^{Θ(t)}`) forces global traffic — the reason general universal
+//! hosts need the full Theorem 3.1 price but mesh-like guests do not.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unet_bench::rng;
+use unet_core::prelude::*;
+use unet_routing::problem::guest_induced;
+use unet_topology::analysis::spreading_function;
+use unet_topology::generators::{random_hamiltonian_union, random_regular, torus};
+
+fn regenerate_table() {
+    let n = 256;
+    let mut r = rng();
+    println!("\n=== E14: spreading vs communication demand (n = {n}, host torus 4×4) ===");
+    println!(
+        "{:>10} {:>6} {:>6} {:>7} {:>10} {:>10} {:>10}",
+        "guest", "S(2)", "S(4)", "S(8)", "packets", "h", "slowdown"
+    );
+    let host = torus(4, 4);
+    let router = presets::torus_xy(4, 4);
+    let cases: Vec<(&str, unet_topology::Graph, Embedding)> = vec![
+        ("torus16x16", torus(16, 16), Embedding::grid_tiles(16, 4)),
+        ("rand-4reg", random_regular(n, 4, &mut r), Embedding::block(n, 16)),
+        ("expander", random_hamiltonian_union(n, 2, &mut r), Embedding::block(n, 16)),
+    ];
+    for (name, guest, e) in cases {
+        let s2 = spreading_function(&guest, 2, 64);
+        let s4 = spreading_function(&guest, 4, 64);
+        let s8 = spreading_function(&guest, 8, 64);
+        let prob = guest_induced(&guest, &e.f, 16);
+        let comp = GuestComputation::random(guest.clone(), 0xE14);
+        let sim = EmbeddingSimulator { embedding: e, router: &router };
+        let run = sim.simulate(&comp, &host, 2, &mut r);
+        verify_run(&comp, &host, &run, 2).expect("certifies");
+        println!(
+            "{name:>10} {s2:>6} {s4:>6} {s8:>7} {:>10} {:>10} {:>10.1}",
+            prob.pairs.len(),
+            prob.h(),
+            run.slowdown()
+        );
+    }
+    println!("polynomial spreading + locality ⇒ boundary-only traffic and small h;");
+    println!("exponential spreading forces Θ(n) packets per guest step regardless of");
+    println!("placement — the dichotomy behind [15]'s restricted-class result.");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("e14_spreading");
+    let g = torus(32, 32);
+    group.bench_function("spreading_function_t8", |b| {
+        b.iter(|| spreading_function(&g, 8, 128))
+    });
+    let e = Embedding::grid_tiles(32, 8);
+    group.bench_function("guest_induced_problem", |b| {
+        b.iter(|| guest_induced(&g, &e.f, 64).pairs.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E1 — Theorem 2.1 + butterfly corollary (upper bound).
+//!
+//! Regenerates the size/slowdown series: fixed guest size `n`, butterfly
+//! hosts of growing size `m ≤ n`; reports measured slowdown against the load
+//! bound `n/m` and the `(n/m)·log m` shape. The paper's claim: the measured
+//! inefficiency `k = s·m/n` grows `Θ(log m)` (affine in `log m`), neither
+//! beating the Theorem 3.1 lower bound nor losing the Theorem 2.1 upper
+//! shape. Then times one simulation step as the kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unet_bench::{butterfly_slowdown, rng, standard_guest};
+use unet_core::prelude::bounds;
+
+fn regenerate_table() {
+    let n = 1024;
+    let steps = 3;
+    let (guest, comp) = standard_guest(n, 0xE1);
+    let mut r = rng();
+    println!("\n=== E1: upper-bound trade-off (guest n = {n}, T = {steps}) ===");
+    println!(
+        "{:>5} {:>8} {:>10} {:>8} {:>10}",
+        "m", "load", "measured", "k=s*m/n", "upper"
+    );
+    let mut prev_k: Option<f64> = None;
+    for dim in 2..=5usize {
+        let m = (dim + 1) << dim;
+        let s = butterfly_slowdown(&guest, &comp, dim, steps, &mut r);
+        let k = s * m as f64 / n as f64;
+        let delta = prev_k.map(|p| k - p);
+        println!(
+            "{m:>5} {:>8.1} {s:>10.1} {k:>8.1} {:>10.1}   Δk = {}",
+            bounds::load_bound(n, m),
+            bounds::upper_bound_butterfly(n, m),
+            delta.map_or("-".into(), |d| format!("{d:.1}")),
+        );
+        prev_k = Some(k);
+    }
+    println!("shape check: Δk per butterfly dimension ≈ constant ⇒ k = Θ(log m).");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("e1_upper_bound");
+    group.sample_size(10);
+    for dim in [2usize, 3, 4] {
+        let (guest, comp) = standard_guest(512, 0xE1);
+        group.bench_with_input(BenchmarkId::new("simulate", dim), &dim, |b, &dim| {
+            let mut r = rng();
+            b.iter(|| butterfly_slowdown(&guest, &comp, dim, 2, &mut r));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E2 — Theorem 3.1: the lower-bound trade-off table.
+//!
+//! Regenerates the `m·s = Ω(n·log m)` curve from the counting chain, with
+//! both shape constants and the paper's literal constants, next to the
+//! Theorem 2.1 upper shape; then times the numeric solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unet_lowerbound::counting::{crossover_k, log2_d_k, log2_u_g0};
+use unet_lowerbound::{k_min, tradeoff_table, CountingParams};
+
+const GAMMA: f64 = 0.125; // typical certified γ of a random 4-regular expander
+
+fn regenerate_table() {
+    let n = 1u64 << 14;
+    let ms: Vec<u64> = (3..=14).map(|e| 1u64 << e).collect();
+    println!("\n=== E2: lower-bound trade-off (n = {n}, γ = {GAMMA}) ===");
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "m", "k_ideal", "k_shape", "k_paper", "s_shape", "s_upper", "m*s(shape)"
+    );
+    for row in tradeoff_table(n, &ms, GAMMA, 4) {
+        println!(
+            "{:>7} {:>9.2} {:>9.2} {:>9.2} {:>9.1} {:>9.1} {:>12.0}",
+            row.m, row.k_ideal, row.k_shape, row.k_paper, row.s_shape, row.s_upper, row.ms_product
+        );
+    }
+    println!("k_ideal ≈ log₂ m (the theorem, unit constants); k_paper shows the unoptimized");
+    println!("proof constants (the bound only bites at astronomical m — honestly reported).");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let shape = CountingParams::shape(GAMMA);
+    let mut group = c.benchmark_group("e2_tradeoff");
+    group.bench_function("k_min", |b| b.iter(|| k_min(std::hint::black_box(1u64 << 20), &shape)));
+    group.bench_function("crossover_k", |b| {
+        b.iter(|| crossover_k(1 << 12, 1 << 10, &shape))
+    });
+    group.bench_function("log2_d_k", |b| {
+        b.iter(|| log2_d_k(1 << 12, 1 << 10, 3.0, &shape))
+    });
+    group.bench_function("log2_u_g0", |b| b.iter(|| log2_u_g0(1 << 12, 16)));
+    group.bench_function("tradeoff_table_12_rows", |b| {
+        let ms: Vec<u64> = (3..=14).map(|e| 1u64 << e).collect();
+        b.iter(|| tradeoff_table(1 << 14, &ms, GAMMA, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

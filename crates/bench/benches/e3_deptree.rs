@@ -1,0 +1,60 @@
+//! E3 — Figure 1 / Lemma 3.10: dependency trees.
+//!
+//! Regenerates the dependency-tree statistics across block sides (size vs
+//! the paper's `48a²` bound, depth, leaf coverage — all machine-verified),
+//! then times tree construction and verification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unet_pebble::deptree::{dependency_tree, tree_depth, verify_tree, BlockTorus};
+use unet_topology::generators::multitorus;
+use unet_topology::Node;
+
+fn regenerate_table() {
+    println!("\n=== E3: dependency trees (Lemma 3.10 / Figure 1) ===");
+    println!(
+        "{:>6} {:>7} {:>7} {:>9} {:>9} {:>8}",
+        "a", "side", "depth", "max size", "48a²", "leaves"
+    );
+    for a in [1usize, 2, 3, 4, 8] {
+        let side = 2 * a;
+        let reference = BlockTorus::new(side, (0..(side * side) as Node).collect());
+        let g0 = multitorus(side, side * side); // one block = whole torus here
+        let depth = tree_depth(side);
+        let mut max_size = 0;
+        for p in 0..(side * side) as Node {
+            let tree = dependency_tree(&reference, p, depth);
+            verify_tree(&tree, &g0, &reference).expect("Lemma 3.10 invariants");
+            max_size = max_size.max(tree.size());
+        }
+        println!(
+            "{a:>6} {side:>7} {depth:>7} {max_size:>9} {:>9} {:>8}",
+            48 * a * a,
+            side * side
+        );
+    }
+    println!("every tree verified: binary, rooted at t−depth, leaves = block × {{t}}, size ≤ 48a².");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("e3_deptree");
+    for side in [4usize, 8, 16] {
+        let block = BlockTorus::new(side, (0..(side * side) as Node).collect());
+        let depth = tree_depth(side);
+        group.bench_with_input(BenchmarkId::new("construct", side), &side, |b, _| {
+            b.iter(|| dependency_tree(&block, 0, depth))
+        });
+        let g0 = multitorus(side, side * side);
+        let tree = dependency_tree(&block, 0, depth);
+        group.bench_with_input(BenchmarkId::new("verify", side), &side, |b, _| {
+            b.iter(|| verify_tree(&tree, &g0, &block).unwrap())
+        });
+    }
+    group.bench_function("canonical_trees_side8", |b| {
+        b.iter(|| unet_lowerbound::averaging::canonical_trees(8))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E4 — Lemma 3.12: averaging on real protocols.
+//!
+//! Regenerates the Z_S / representative-root certificate table for a
+//! certified simulation of a `U[G₀]` guest, then times the analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unet_bench::lowerbound_fixture;
+use unet_lowerbound::averaging::analyze;
+
+fn regenerate_table() {
+    let f = lowerbound_fixture();
+    let a = analyze(&f.trace, &f.g0);
+    println!("\n=== E4: Lemma 3.12 averaging (n = 144, m = 16, T = 8) ===");
+    println!(
+        "tree depth D = {}, Z_S = {:?} (|Z_S| large enough: {})",
+        a.depth, a.z_s, a.z_s_large_enough
+    );
+    println!(
+        "{:>4} {:>10} {:>12} {:>10} {:>12}",
+        "t0", "Σq(roots)", "bound(4/s²)", "Σw(roots)", "bound(4/s²)"
+    );
+    for c in &a.certificates {
+        println!(
+            "{:>4} {:>10} {:>12.1} {:>10} {:>12.1}",
+            c.t0, c.sum_root_q, c.bound_root_q, c.sum_root_w, c.bound_root_w
+        );
+    }
+    println!(
+        "work bound: Σq = {} ≤ m·T' = {}  (all bounds hold: {})",
+        a.total_weight,
+        a.work_bound,
+        a.all_bounds_hold()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let f = lowerbound_fixture();
+    let mut group = c.benchmark_group("e4_averaging");
+    group.sample_size(20);
+    group.bench_function("analyze_full", |b| b.iter(|| analyze(&f.trace, &f.g0)));
+    let canon = unet_lowerbound::averaging::canonical_trees(f.g0.block_side);
+    group.bench_function("canonical_weight", |b| {
+        b.iter(|| canon.weight(&f.trace, &f.g0.blocks[0], 0, 6))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

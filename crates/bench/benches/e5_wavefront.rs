@@ -1,0 +1,79 @@
+//! E5 — Proposition 3.17: the generating-pebble wavefront.
+//!
+//! The synchronous Theorem 2.1 engine produces step-function wavefronts
+//! (whole levels complete at once), so this experiment uses the
+//! **asynchronous** simulator (the generality the paper's model explicitly
+//! allows): depth-first scheduling pushes single guests as deep as their
+//! influence cones permit, and `e_t(τ)` becomes a gradual curve whose
+//! per-level thresholds `τ_j` are separated by the expansion-driven gaps of
+//! Lemma 3.15. Both schedules are printed side by side.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unet_bench::lowerbound_fixture;
+use unet_core::async_sim::{AsyncSimulator, SchedulePolicy};
+use unet_core::prelude::*;
+use unet_lowerbound::wavefront::{audit, e_curve, existence_times, tau_threshold};
+use unet_topology::generators::{complete, random_supergraph};
+use unet_topology::util::seeded_rng;
+
+fn async_trace(policy: SchedulePolicy) -> (unet_topology::Graph, unet_pebble::Trace, f64, f64) {
+    let mut r = seeded_rng(55);
+    let g0 = unet_lowerbound::build_g0(144, 1, &mut r);
+    let guest = random_supergraph(&g0.graph, 12, &mut r);
+    let comp = GuestComputation::random(guest.clone(), 56);
+    let host = complete(8);
+    let sim = AsyncSimulator { embedding: Embedding::block(144, 8), policy };
+    let run = sim.simulate(&comp, &host, 8, &mut r);
+    let trace = unet_pebble::check(&guest, &host, &run.protocol).expect("certifies");
+    (guest, trace, g0.alpha, g0.beta)
+}
+
+fn regenerate_table() {
+    println!("\n=== E5: wavefront e_t(τ) — asynchronous simulation (n = 144, T = 8) ===");
+    for (name, policy) in [
+        ("random", SchedulePolicy::Random),
+        ("deepest-first", SchedulePolicy::DeepestFirst),
+    ] {
+        let (guest, trace, alpha, beta) = async_trace(policy);
+        let ex = existence_times(&trace);
+        let n = trace.guest_n;
+        let threshold = (alpha * n as f64).ceil() as usize;
+        print!("{name:>14}: τ_j @ α·n = {threshold}:");
+        let mut prev = 0;
+        for t in 1..=trace.guest_t {
+            let tau = tau_threshold(&ex, t, threshold).expect("reached");
+            print!(" {tau}(+{})", tau - prev);
+            prev = tau;
+        }
+        println!();
+        // Sampled curve for level 3.
+        let tp = trace.host_steps as u32;
+        let curve = e_curve(&ex, 3, tp);
+        let samples: Vec<usize> = (0..=12).map(|i| curve[i * (tp as usize) / 12]).collect();
+        println!("{:>14}  e_3(τ) sampled: {samples:?}", "");
+        let w = audit(&guest, &trace, alpha, beta);
+        println!(
+            "{:>14}  monotone: {}, expansion holds: {}, min τ-gap: {:?}",
+            "", w.monotone, w.expansion_ok, w.min_gap
+        );
+    }
+    println!("gradual curves + ordered thresholds = the Prop 3.17 mechanics on live protocols.");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let f = lowerbound_fixture();
+    let mut group = c.benchmark_group("e5_wavefront");
+    group.sample_size(20);
+    group.bench_function("existence_times", |b| b.iter(|| existence_times(&f.trace)));
+    group.bench_function("full_audit", |b| {
+        b.iter(|| audit(&f.guest, &f.trace, f.g0.alpha, f.g0.beta))
+    });
+    group.bench_function("async_simulate_n144", |b| {
+        b.iter(|| async_trace(SchedulePolicy::Random).1.host_steps)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E6 — Section 2's routing engine: `route_M(h)` across strategies.
+//!
+//! Regenerates the routing-time table (butterfly greedy vs Valiant vs torus
+//! dimension-order vs offline Beneš/Waksman) and times the routers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::seq::SliceRandom;
+use unet_bench::rng;
+use unet_routing::benes::{benes_h_h_schedule, waksman_paths};
+use unet_routing::butterfly::{GreedyButterfly, ValiantButterfly};
+use unet_routing::greedy::DimensionOrder;
+use unet_routing::metrics::measure_route_time;
+use unet_routing::packet::{make_packets, route, Discipline};
+use unet_routing::problem::random_h_h;
+use unet_topology::generators::{butterfly, torus};
+
+fn regenerate_table() {
+    let mut r = rng();
+    let dim = 5;
+    let bf = butterfly(dim);
+    let tor = torus(14, 14);
+    println!(
+        "\n=== E6: route_M(h) (butterfly m = {}, torus m = {}, benes rows = 32) ===",
+        bf.n(),
+        tor.n()
+    );
+    println!(
+        "{:>3} {:>12} {:>12} {:>10} {:>16}",
+        "h", "bf-greedy", "bf-valiant", "torus-xy", "benes-offline"
+    );
+    for h in [1usize, 2, 4, 8] {
+        let g = measure_route_time(&bf, h, &GreedyButterfly { dim }, 2, &mut r);
+        let v = measure_route_time(&bf, h, &ValiantButterfly { dim }, 2, &mut r);
+        let t = measure_route_time(&tor, h, &DimensionOrder::torus(14, 14), 2, &mut r);
+        let mut pairs = Vec::new();
+        for _ in 0..h {
+            let mut p: Vec<u32> = (0..32).collect();
+            p.shuffle(&mut r);
+            for (s, &d) in p.iter().enumerate() {
+                pairs.push((s as u32, d));
+            }
+        }
+        let (mk, _, _) = benes_h_h_schedule(5, &pairs);
+        println!(
+            "{h:>3} {:>12} {:>12} {:>10} {:>16}",
+            g.max_steps, v.max_steps, t.max_steps, mk
+        );
+    }
+    println!("offline = 2(h−1) + 2(2d−1) exactly; torus pays Θ(√m); butterfly Θ(h·log m).");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("e6_routing");
+    group.sample_size(20);
+    let dim = 5;
+    let bf = butterfly(dim);
+    for h in [1usize, 4] {
+        group.bench_with_input(BenchmarkId::new("butterfly_valiant", h), &h, |b, &h| {
+            let mut r = rng();
+            b.iter(|| {
+                let prob = random_h_h(bf.n(), h, &mut r);
+                let pk = make_packets(&bf, &prob.pairs, &ValiantButterfly { dim }, &mut r);
+                let lim: u32 = pk.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
+                route(&bf, &pk, Discipline::FarthestFirst, lim).unwrap().steps
+            });
+        });
+    }
+    group.bench_function("waksman_d6", |b| {
+        let mut r = rng();
+        let mut perm: Vec<u32> = (0..64).collect();
+        perm.shuffle(&mut r);
+        b.iter(|| waksman_paths(&perm));
+    });
+    group.bench_function("benes_schedule_h4_d5", |b| {
+        let mut r = rng();
+        let mut pairs = Vec::new();
+        for _ in 0..4 {
+            let mut p: Vec<u32> = (0..32).collect();
+            p.shuffle(&mut r);
+            for (s, &d) in p.iter().enumerate() {
+                pairs.push((s as u32, d));
+            }
+        }
+        b.iter(|| benes_h_h_schedule(5, &pairs));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

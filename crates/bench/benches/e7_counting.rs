@@ -1,0 +1,71 @@
+//! E7 — the counting argument's internals.
+//!
+//! Regenerates the `log₂|U[G₀]|` vs `log₂ D(k)` curves and the crossover
+//! `k`, plus the measured fragment description length of a real protocol
+//! against the `r·n·k` budget, then times the counting kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use unet_bench::lowerbound_fixture;
+use unet_lowerbound::averaging::analyze;
+use unet_lowerbound::counting::{crossover_k, log2_d_k, log2_u_g0};
+use unet_lowerbound::fragments::fragment_costs;
+use unet_lowerbound::CountingParams;
+use unet_topology::enumeration::{count_regular_exact, log2_num_regular};
+
+fn regenerate_table() {
+    let n = 1u64 << 12;
+    let m = 1u64 << 10;
+    let p = CountingParams::shape(0.125);
+    println!("\n=== E7: counting internals (n = {n}, m = {m}) ===");
+    let bc = log2_u_g0(n, 16);
+    let target = 2.0 * n as f64 * (n as f64).log2() - p.delta * n as f64;
+    println!("log2 |U[G0]|: Bender–Canfield {bc:.0} bits, paper form (shared δ) {target:.0} bits");
+    println!("{:>6} {:>14} {:>10}", "k", "log2 D(k)", "≥ |U[G0]|?");
+    for k in [0.5, 1.0, 2.0, 4.0, 8.0] {
+        let d = log2_d_k(n, m, k, &p);
+        println!("{k:>6.1} {d:>14.0} {:>10}", d >= target);
+    }
+    println!("crossover k = {:.3}", crossover_k(n, m, &p));
+
+    // Formula validation against exact enumeration.
+    println!("\nexact vs Bender–Canfield (labelled d-regular counts):");
+    for (nn, d) in [(6usize, 2usize), (6, 3), (8, 3)] {
+        let exact = count_regular_exact(nn, d);
+        let bc = log2_num_regular(nn as u64, d as u64);
+        println!(
+            "  n = {nn}, d = {d}: exact = {exact} (log2 {:.2}), BC = {bc:.2}",
+            (exact as f64).log2()
+        );
+    }
+
+    // Measured fragment description length on a live protocol.
+    let f = lowerbound_fixture();
+    let a = analyze(&f.trace, &f.g0);
+    let costs = fragment_costs(&f.trace, &f.g0, &a, f.host.max_degree());
+    if let Some(c0) = costs.first() {
+        println!(
+            "\nmeasured fragment encoding at t0 = {}: {:.0} bits (budget r·n·k = {:.0})",
+            c0.t0,
+            c0.total(),
+            c0.budget_bits
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let mut group = c.benchmark_group("e7_counting");
+    let p = CountingParams::shape(0.125);
+    group.bench_function("crossover_k", |b| b.iter(|| crossover_k(1 << 12, 1 << 10, &p)));
+    group.bench_function("exact_count_8_3", |b| b.iter(|| count_regular_exact(8, 3)));
+    let f = lowerbound_fixture();
+    let a = analyze(&f.trace, &f.g0);
+    group.sample_size(20);
+    group.bench_function("fragment_costs", |b| {
+        b.iter(|| fragment_costs(&f.trace, &f.g0, &a, 4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

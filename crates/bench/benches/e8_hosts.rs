@@ -1,0 +1,99 @@
+//! E8 — good vs bad universal hosts at equal size.
+//!
+//! Regenerates the host-comparison table (Section 2's thesis: networks with
+//! good `h–h` routing make good universal hosts; meshes pay their `√m`
+//! diameter), then times the per-host simulation kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unet_core::prelude::*;
+use unet_core::routers::Router;
+use unet_bench::{rng, standard_guest};
+use unet_topology::generators::{
+    butterfly, kautz, mesh, mesh_of_trees, multibutterfly, random_hamiltonian_union, ring, torus,
+};
+use unet_topology::Graph;
+
+fn measure(
+    guest: &Graph,
+    comp: &GuestComputation,
+    host: &Graph,
+    router: &dyn Router,
+    steps: u32,
+) -> (f64, f64) {
+    let mut r = rng();
+    let sim = EmbeddingSimulator {
+        embedding: Embedding::block(guest.n(), host.n()),
+        router,
+    };
+    let run = sim.simulate(comp, host, steps, &mut r);
+    let v = verify_run(comp, host, &run, steps).expect("certifies");
+    (v.metrics.slowdown, v.metrics.inefficiency)
+}
+
+fn regenerate_table() {
+    let n = 512;
+    let steps = 2;
+    let (guest, comp) = standard_guest(n, 0xE8);
+    println!("\n=== E8: host zoo (guest n = {n}, m ≈ 80) ===");
+    println!("{:>22} {:>5} {:>10} {:>8}", "host", "m", "slowdown", "k");
+    let bf = butterfly(4);
+    let r1 = presets::butterfly_valiant(4);
+    let (s, k) = measure(&guest, &comp, &bf, &r1, steps);
+    println!("{:>22} {:>5} {s:>10.1} {k:>8.1}", "butterfly+valiant", bf.n());
+    let t = torus(9, 9);
+    let r2 = presets::torus_xy(9, 9);
+    let (s, k) = measure(&guest, &comp, &t, &r2, steps);
+    println!("{:>22} {:>5} {s:>10.1} {k:>8.1}", "torus+xy", t.n());
+    let me = mesh(9, 9);
+    let r3 = presets::mesh_xy(9, 9);
+    let (s, k) = measure(&guest, &comp, &me, &r3, steps);
+    println!("{:>22} {:>5} {s:>10.1} {k:>8.1}", "mesh+xy", me.n());
+    let rg = ring(80);
+    let r4 = presets::bfs();
+    let (s, k) = measure(&guest, &comp, &rg, &r4, steps);
+    println!("{:>22} {:>5} {s:>10.1} {k:>8.1}", "ring+bfs", rg.n());
+    let mut rr = rng();
+    let ex = random_hamiltonian_union(80, 2, &mut rr);
+    let (s, k) = measure(&guest, &comp, &ex, &r4, steps);
+    println!("{:>22} {:>5} {s:>10.1} {k:>8.1}", "expander+bfs", ex.n());
+    // Reference-list exotics ([1], [17], Kautz).
+    let mot = mesh_of_trees(8); // 176 nodes
+    let (s, k) = measure(&guest, &comp, &mot, &r4, steps);
+    println!("{:>22} {:>5} {s:>10.1} {k:>8.1}", "mesh-of-trees+bfs", mot.n());
+    let mb = multibutterfly(4, &mut rr); // 80 nodes
+    let (s, k) = measure(&guest, &comp, &mb, &r4, steps);
+    println!("{:>22} {:>5} {s:>10.1} {k:>8.1}", "multibutterfly+bfs", mb.n());
+    let kz = kautz(3, 3); // 36 nodes — smaller, for reference
+    let (s, k) = measure(&guest, &comp, &kz, &r4, steps);
+    println!("{:>22} {:>5} {s:>10.1} {k:>8.1}", "kautz+bfs", kz.n());
+    println!("expected order: expander/multibutterfly ≲ torus < mesh ≪ ring (diameter effect).");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let (guest, comp) = standard_guest(256, 0xE8);
+    let mut group = c.benchmark_group("e8_hosts");
+    group.sample_size(10);
+    let hosts: Vec<(&str, Graph)> = vec![
+        ("butterfly", butterfly(3)),
+        ("torus", torus(6, 6)),
+        ("mesh", mesh(6, 6)),
+    ];
+    for (name, host) in hosts {
+        let m = host.n();
+        group.bench_with_input(BenchmarkId::new("simulate", name), &m, |b, _| {
+            let router = presets::bfs();
+            let mut r = rng();
+            let sim = EmbeddingSimulator {
+                embedding: Embedding::block(256, m),
+                router: &router,
+            };
+            b.iter(|| sim.simulate(&comp, &host, 2, &mut r).protocol.host_steps());
+        });
+    }
+    let _ = &guest;
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E9 — dynamic redundancy vs static embedding for `m ≤ n`.
+//!
+//! Regenerates the flooding-vs-embedding comparison across host sizes: the
+//! fully redundant simulator has inefficiency exactly `k = m`, the static
+//! embedding `k ≈ Θ(log m)`-with-constants; the crossover and the widening
+//! gap above it reproduce the paper's conclusion that dynamics cannot beat
+//! the embedding for `m ≤ n`. Then times the protocol generation + checking.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unet_bench::{rng, standard_guest};
+use unet_core::flooding::flooding_protocol;
+use unet_core::prelude::*;
+use unet_pebble::check;
+use unet_topology::generators::torus;
+
+fn regenerate_table() {
+    let n = 512;
+    let steps = 2;
+    let (guest, comp) = standard_guest(n, 0xE9);
+    println!("\n=== E9: redundancy vs embedding (guest n = {n}) ===");
+    println!(
+        "{:>5} {:>12} {:>12} {:>14} {:>12}",
+        "m", "k_embed", "k_flood(=m)", "s_embed", "s_flood(=n)"
+    );
+    for side in [2usize, 4, 8, 16] {
+        let m = side * side;
+        let host = torus(side, side);
+        let router = presets::torus_xy(side, side);
+        let sim = EmbeddingSimulator {
+            embedding: Embedding::block(n, m),
+            router: &router,
+        };
+        let mut r = rng();
+        let run = sim.simulate(&comp, &host, steps, &mut r);
+        verify_run(&comp, &host, &run, steps).expect("certifies");
+        let flood = flooding_protocol(&comp, m, steps);
+        check(&guest, &host, &flood).expect("flooding certifies");
+        println!(
+            "{m:>5} {:>12.1} {:>12.1} {:>14.1} {:>12.1}",
+            run.inefficiency(),
+            flood.inefficiency(),
+            run.slowdown(),
+            flood.slowdown()
+        );
+    }
+    println!("k_embed is ~flat-ish in m (log-ish), k_flood = m: redundancy loses for all but tiny m.");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_table();
+    let (guest, comp) = standard_guest(256, 0xE9);
+    let mut group = c.benchmark_group("e9_dynamic");
+    group.sample_size(10);
+    for side in [4usize, 8] {
+        let m = side * side;
+        let host = torus(side, side);
+        group.bench_with_input(BenchmarkId::new("flooding+check", m), &m, |b, &m| {
+            b.iter(|| {
+                let proto = flooding_protocol(&comp, m, 2);
+                check(&guest, &host, &proto).unwrap().host_steps
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

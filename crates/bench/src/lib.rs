@@ -1,0 +1,97 @@
+//! Shared setup helpers for the experiment benches (E1–E10).
+//!
+//! Every bench regenerates its experiment's table/series on stdout once
+//! (the paper-reproduction artifact) and then times the computational
+//! kernel with Criterion. Parameters here are chosen so the full
+//! `cargo bench` run finishes in a few minutes on a laptop.
+
+use rand::rngs::StdRng;
+use unet_core::prelude::*;
+use unet_core::routers::SelectorRouter;
+use unet_pebble::check::Trace;
+use unet_routing::butterfly::ValiantButterfly;
+use unet_topology::generators::{butterfly, random_regular, random_supergraph, torus};
+use unet_topology::util::seeded_rng;
+use unet_topology::Graph;
+
+/// Standard RNG for all benches (reproducible tables).
+pub fn rng() -> StdRng {
+    seeded_rng(0x5EED)
+}
+
+/// A random 4-regular guest of size `n` with its computation.
+pub fn standard_guest(n: usize, seed: u64) -> (Graph, GuestComputation) {
+    let mut r = seeded_rng(seed);
+    let g = random_regular(n, 4, &mut r);
+    let c = GuestComputation::random(g.clone(), seed ^ 0xff);
+    (g, c)
+}
+
+/// Simulate guest on a butterfly of dimension `dim` with Valiant routing;
+/// returns the measured slowdown.
+pub fn butterfly_slowdown(
+    guest: &Graph,
+    comp: &GuestComputation,
+    dim: usize,
+    steps: u32,
+    rng: &mut StdRng,
+) -> f64 {
+    let host = butterfly(dim);
+    let router: SelectorRouter<ValiantButterfly> = presets::butterfly_valiant(dim);
+    let sim = EmbeddingSimulator {
+        embedding: Embedding::block(guest.n(), host.n()),
+        router: &router,
+    };
+    let run = sim.simulate(comp, &host, steps, rng);
+    let v = verify_run(comp, &host, &run, steps).expect("certifies");
+    v.metrics.slowdown
+}
+
+/// A verified trace of a `U[G₀]` guest on a torus host — the shared input
+/// for the lower-bound analysis benches (E4, E5, E7).
+pub struct LowerBoundFixture {
+    /// The fixed subgraph.
+    pub g0: unet_lowerbound::G0,
+    /// The sampled guest ⊇ G₀.
+    pub guest: Graph,
+    /// The host.
+    pub host: Graph,
+    /// The certified trace.
+    pub trace: Trace,
+}
+
+/// Build the standard lower-bound fixture: `n = 144`, `m = 16`, `T = 8`.
+pub fn lowerbound_fixture() -> LowerBoundFixture {
+    let mut r = seeded_rng(77);
+    let g0 = unet_lowerbound::build_g0(144, 1, &mut r);
+    let guest = random_supergraph(&g0.graph, 12, &mut r);
+    let comp = GuestComputation::random(guest.clone(), 78);
+    let host = torus(4, 4);
+    let router = presets::torus_xy(4, 4);
+    let sim = EmbeddingSimulator {
+        embedding: Embedding::block(144, 16),
+        router: &router,
+    };
+    let run = sim.simulate(&comp, &host, 8, &mut r);
+    let trace = unet_pebble::check(&guest, &host, &run.protocol).expect("certifies");
+    LowerBoundFixture { g0, guest, host, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_builds() {
+        let f = lowerbound_fixture();
+        assert_eq!(f.trace.guest_n, 144);
+        assert_eq!(f.trace.host_m, 16);
+    }
+
+    #[test]
+    fn butterfly_slowdown_sane() {
+        let (g, c) = standard_guest(128, 1);
+        let s = butterfly_slowdown(&g, &c, 3, 2, &mut rng());
+        assert!(s >= 4.0);
+    }
+}

@@ -1,0 +1,343 @@
+//! Asynchronous universal simulation.
+//!
+//! The paper's simulation model explicitly generalizes earlier work by
+//! allowing guest steps to be simulated **asynchronously** (Section 1, item
+//! 1 of the improvements): nothing forces the host to finish all of guest
+//! level `t` before starting level `t+1`. This simulator exploits that: each
+//! host advances whichever of its guests is ready (all predecessor pebbles
+//! held), pulling missing predecessor pebbles from neighbouring hosts one
+//! transfer per step.
+//!
+//! Asynchrony is what makes the wavefront analysis (Definition 3.16 /
+//! Proposition 3.17) bite: with a synchronous engine `e_t(τ)` is a step
+//! function, while here the scheduling policy shapes a gradual wavefront
+//! whose spread is *limited by the guest's expansion* — a pebble `(P_i, t)`
+//! cannot exist before the whole ball of radius `t − t'` around `P_i` has
+//! reached level `t'`.
+//!
+//! Requirement: every cross-host guest edge must map to a host edge
+//! (`f(u) ≁ f(v)` with `{u,v} ∈ E_G` is rejected), so use complete hosts or
+//! locality-preserving embeddings.
+
+use crate::embedding::Embedding;
+use crate::guest::{transition, GuestComputation};
+use crate::simulate::SimulationRun;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use unet_pebble::protocol::{Op, Pebble, ProtocolBuilder};
+use unet_topology::util::FxHashSet;
+use unet_topology::{Graph, Node};
+
+/// Which ready guest a host advances when several are available.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// Uniformly random ready guest — a neutral asynchronous schedule.
+    #[default]
+    Random,
+    /// The ready guest with the lowest pending level (breadth-first —
+    /// approximates the synchronous schedule).
+    LowestLevel,
+    /// The ready guest with the highest pending level (depth-first — the
+    /// most aggressive asynchrony; its progress is exactly what the
+    /// influence-cone/expansion constraints cap).
+    DeepestFirst,
+}
+
+/// The asynchronous embedding simulator.
+pub struct AsyncSimulator {
+    /// Guest → host placement.
+    pub embedding: Embedding,
+    /// Scheduling policy.
+    pub policy: SchedulePolicy,
+}
+
+impl AsyncSimulator {
+    /// Simulate `steps` guest steps of `comp` on `host`.
+    ///
+    /// # Panics
+    /// Panics if some cross-host guest edge does not map to a host edge, or
+    /// on internal deadlock (impossible for valid inputs: some host can
+    /// always generate or transfer).
+    pub fn simulate<R: Rng>(
+        &self,
+        comp: &GuestComputation,
+        host: &Graph,
+        steps: u32,
+        rng: &mut R,
+    ) -> SimulationRun {
+        let n = comp.n();
+        let m = host.n();
+        assert_eq!(self.embedding.n(), n);
+        assert_eq!(self.embedding.m, m);
+        assert!(steps >= 1);
+        let f = &self.embedding.f;
+        for u in 0..n as Node {
+            for &v in comp.graph.neighbors(u) {
+                let (fu, fv) = (f[u as usize], f[v as usize]);
+                assert!(
+                    fu == fv || host.has_edge(fu, fv),
+                    "guest edge ({u}, {v}) maps to non-adjacent hosts ({fu}, {fv}); \
+                     use a complete host or a locality-preserving embedding"
+                );
+            }
+        }
+
+        let guests_by_host = self.embedding.guests_by_host();
+        // held[q]: pebble keys at host q (t ≥ 1; initials implicit).
+        let mut held: Vec<FxHashSet<u64>> = vec![FxHashSet::default(); m];
+        // next_level[v]: next guest level to generate for v (at host f(v)).
+        let mut next_level: Vec<u32> = vec![1; n];
+        let mut remaining = n; // guests not yet at their final level
+
+        let mut builder = ProtocolBuilder::new(n, steps, m);
+        let mut comm_steps = 0usize;
+        let mut compute_steps = 0usize;
+
+        let has = |held: &Vec<FxHashSet<u64>>, q: Node, p: Pebble| -> bool {
+            p.t == 0 || held[q as usize].contains(&p.key())
+        };
+        // Predecessor pebbles of (v, t): closed neighbourhood at t−1.
+        let preds = |v: Node, t: u32| -> Vec<Pebble> {
+            let mut out = vec![Pebble::new(v, t - 1)];
+            out.extend(comp.graph.neighbors(v).iter().map(|&u| Pebble::new(u, t - 1)));
+            out
+        };
+
+        let mut host_order: Vec<Node> = (0..m as Node).collect();
+        let mut guard = 0usize;
+        let budget = 64 * (n as usize) * (steps as usize + 1) * (m.max(2));
+        while remaining > 0 {
+            guard += 1;
+            assert!(guard < budget, "async scheduler exceeded its step budget");
+            host_order.shuffle(rng);
+            let mut busy = vec![false; m];
+            let mut did_comm = false;
+            let mut did_comp = false;
+
+            // Phase 1: transfers — each free host pulls one missing
+            // predecessor pebble for one of its ready-ish guests.
+            for &q in &host_order {
+                if busy[q as usize] {
+                    continue;
+                }
+                'pull: for &v in &guests_by_host[q as usize] {
+                    let t = next_level[v as usize];
+                    if t > steps {
+                        continue;
+                    }
+                    for p in preds(v, t) {
+                        let holder = f[p.node as usize];
+                        if holder != q
+                            && !has(&held, q, p)
+                            && has(&held, holder, p)
+                            && !busy[holder as usize]
+                        {
+                            builder.transfer(holder, q, p);
+                            busy[q as usize] = true;
+                            busy[holder as usize] = true;
+                            did_comm = true;
+                            // Effect applies after the step; record now is
+                            // fine because nothing else reads it this step
+                            // (generates check `busy`).
+                            held[q as usize].insert(p.key());
+                            break 'pull;
+                        }
+                    }
+                }
+            }
+
+            // Phase 2: generates — each still-free host advances one ready
+            // guest according to the policy.
+            for &q in &host_order {
+                if busy[q as usize] {
+                    continue;
+                }
+                let mut ready: Vec<Node> = guests_by_host[q as usize]
+                    .iter()
+                    .copied()
+                    .filter(|&v| {
+                        let t = next_level[v as usize];
+                        t <= steps && preds(v, t).iter().all(|&p| has(&held, q, p))
+                    })
+                    .collect();
+                if ready.is_empty() {
+                    continue;
+                }
+                let pick = match self.policy {
+                    SchedulePolicy::Random => *ready.choose(rng).unwrap(),
+                    SchedulePolicy::LowestLevel => {
+                        ready.sort_by_key(|&v| (next_level[v as usize], v));
+                        ready[0]
+                    }
+                    SchedulePolicy::DeepestFirst => {
+                        ready.sort_by_key(|&v| (std::cmp::Reverse(next_level[v as usize]), v));
+                        ready[0]
+                    }
+                };
+                let t = next_level[pick as usize];
+                builder.set_op(q, Op::Generate(Pebble::new(pick, t)));
+                busy[q as usize] = true;
+                held[q as usize].insert(Pebble::new(pick, t).key());
+                next_level[pick as usize] = t + 1;
+                if t == steps {
+                    remaining -= 1;
+                }
+                did_comp = true;
+            }
+
+            assert!(did_comm || did_comp, "async scheduler deadlocked");
+            builder.end_step();
+            if did_comm {
+                comm_steps += 1;
+            } else {
+                compute_steps += 1;
+            }
+        }
+
+        // Host-side states (checker certifies availability separately).
+        let mut states = comp.init.clone();
+        let mut nb_buf = Vec::new();
+        for _ in 0..steps {
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n as Node {
+                nb_buf.clear();
+                nb_buf.extend(comp.graph.neighbors(i).iter().map(|&j| states[j as usize]));
+                next.push(transition(states[i as usize], &nb_buf));
+            }
+            states = next;
+        }
+
+        SimulationRun {
+            protocol: builder.finish(),
+            final_states: states,
+            comm_steps,
+            compute_steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_pebble::check;
+    use unet_topology::generators::{complete, random_regular, ring, torus};
+    use unet_topology::util::seeded_rng;
+
+    fn run_policy(policy: SchedulePolicy, seed: u64) -> (Graph, unet_pebble::Trace) {
+        let guest = random_regular(32, 4, &mut seeded_rng(seed));
+        let comp = GuestComputation::random(guest.clone(), seed + 1);
+        let host = complete(4);
+        let sim = AsyncSimulator { embedding: Embedding::block(32, 4), policy };
+        let run = sim.simulate(&comp, &host, 4, &mut seeded_rng(seed + 2));
+        let trace = check(&guest, &host, &run.protocol).expect("certifies");
+        assert_eq!(run.final_states, comp.run_final(4));
+        (guest, trace)
+    }
+
+    #[test]
+    fn all_policies_certify() {
+        for (i, policy) in [
+            SchedulePolicy::Random,
+            SchedulePolicy::LowestLevel,
+            SchedulePolicy::DeepestFirst,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let _ = run_policy(policy, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn async_wavefront_is_gradual() {
+        // Unlike the synchronous engine, existence times within one guest
+        // level must spread over many host steps.
+        let (_, trace) = run_policy(SchedulePolicy::Random, 7);
+        let mut level1: Vec<u32> = (0..32)
+            .map(|i| {
+                trace
+                    .generated_by(i, 1)
+                    .iter()
+                    .filter_map(|&q| trace.acquisition_step(q, Pebble::new(i, 1)))
+                    .min()
+                    .unwrap()
+            })
+            .collect();
+        level1.sort_unstable();
+        assert!(
+            level1.last().unwrap() - level1.first().unwrap() >= 4,
+            "level-1 generations too synchronized: {level1:?}"
+        );
+    }
+
+    #[test]
+    fn deepest_first_interleaves_levels() {
+        // Depth-first scheduling must generate some level-2 pebble before
+        // the last level-1 pebble (true asynchrony).
+        let (_, trace) = run_policy(SchedulePolicy::DeepestFirst, 9);
+        let first_l2 = (0..32u32)
+            .filter_map(|i| trace.earliest_generating_hold(i, 1))
+            .min()
+            .unwrap();
+        let last_l1 = (0..32u32)
+            .map(|i| {
+                trace
+                    .generated_by(i, 1)
+                    .iter()
+                    .filter_map(|&q| trace.acquisition_step(q, Pebble::new(i, 1)))
+                    .min()
+                    .unwrap()
+            })
+            .max()
+            .unwrap();
+        assert!(
+            first_l2 < last_l1,
+            "no interleaving: first level-2 at {first_l2}, last level-1 at {last_l1}"
+        );
+    }
+
+    #[test]
+    fn works_on_single_host() {
+        let guest = ring(12);
+        let comp = GuestComputation::random(guest.clone(), 3);
+        let host = unet_topology::GraphBuilder::new(1).build();
+        let sim = AsyncSimulator {
+            embedding: Embedding::block(12, 1),
+            policy: SchedulePolicy::Random,
+        };
+        let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(4));
+        check(&guest, &host, &run.protocol).expect("certifies");
+        // One op per step on a single host: T' = n·T exactly.
+        assert_eq!(run.protocol.host_steps(), 36);
+    }
+
+    #[test]
+    fn locality_embedding_on_torus_host() {
+        // Torus guest tiled onto torus host: all cross edges adjacent.
+        let guest = torus(8, 8);
+        let comp = GuestComputation::random(guest.clone(), 5);
+        let host = torus(4, 4);
+        let sim = AsyncSimulator {
+            embedding: Embedding::grid_tiles(8, 4),
+            policy: SchedulePolicy::Random,
+        };
+        let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(6));
+        check(&guest, &host, &run.protocol).expect("certifies");
+        assert_eq!(run.final_states, comp.run_final(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-adjacent hosts")]
+    fn non_adjacent_mapping_rejected() {
+        // Ring guest block-embedded on a path host: the guest's wrap edge
+        // (7, 0) maps to hosts (3, 0), which are not path-adjacent.
+        let guest = ring(8);
+        let comp = GuestComputation::random(guest.clone(), 7);
+        let host = unet_topology::generators::path(4);
+        let sim = AsyncSimulator {
+            embedding: Embedding::block(8, 4),
+            policy: SchedulePolicy::Random,
+        };
+        sim.simulate(&comp, &host, 2, &mut seeded_rng(8));
+    }
+}

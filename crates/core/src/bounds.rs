@@ -1,0 +1,116 @@
+//! Closed-form bound predictions for the size/slowdown trade-off.
+//!
+//! * **Load bound** — any simulation of `n` guests on `m < n` hosts has
+//!   slowdown `≥ n/m` (each host step advances at most one guest
+//!   configuration per processor).
+//! * **Upper bound** (Theorem 2.1 + butterfly corollary) — slowdown
+//!   `O((n/m)·log m)` for `m ≤ n`.
+//! * **Lower bound** (Theorem 3.1) — `m·s = Ω(n·log m)`, i.e.
+//!   `s = Ω((n/m)·log m)`; equivalently inefficiency `k = Ω(log m)`.
+//! * **Upper trade-off for `m ≥ n`** ([14], quoted in Section 1) — a host of
+//!   size `n·ℓ` achieves `s·log ℓ = O(log n)`.
+
+/// The trivial load-induced slowdown `max(1, n/m)`.
+pub fn load_bound(n: usize, m: usize) -> f64 {
+    (n as f64 / m as f64).max(1.0)
+}
+
+/// Theorem 2.1 upper bound shape for a butterfly host: `(n/m)·log₂ m`
+/// (asymptotic, constant 1 — compare shapes, not absolutes).
+pub fn upper_bound_butterfly(n: usize, m: usize) -> f64 {
+    load_bound(n, m) * (m as f64).log2().max(1.0)
+}
+
+/// Theorem 3.1 lower bound shape: `s ≥ α·(n/m)·log₂ m` with the constant
+/// left symbolic (`alpha`); `lower_bound_shape(n, m, 1.0)` is the shape used
+/// in plots. For `m ≥ n` the same formula reads `s ≥ α·n·log₂ m / m`.
+pub fn lower_bound_shape(n: usize, m: usize, alpha: f64) -> f64 {
+    alpha * n as f64 * (m as f64).log2() / m as f64
+}
+
+/// The inefficiency form of Theorem 3.1: `k = s·m/n = Ω(log m)`.
+pub fn lower_bound_inefficiency(m: usize, alpha: f64) -> f64 {
+    alpha * (m as f64).log2()
+}
+
+/// The `m ≥ n` upper trade-off of [14]: with host size `m = n·ℓ`,
+/// `s = O(log n / log ℓ)`. Returns the predicted slowdown shape.
+pub fn upper_tradeoff_large_host(n: usize, m: usize) -> f64 {
+    assert!(m >= n && n >= 2);
+    let ell = (m as f64 / n as f64).max(2.0);
+    (n as f64).log2() / ell.log2()
+}
+
+/// Size needed for constant slowdown by the lower bound: `m = Ω(n·log n)`.
+pub fn min_size_for_constant_slowdown(n: usize, alpha: f64) -> f64 {
+    alpha * n as f64 * (n as f64).log2()
+}
+
+/// Whether a measured `(m, s)` point is consistent with the lower-bound
+/// trade-off `m·s ≥ alpha·n·log m` (measured points must satisfy this for
+/// any correct simulation — a violation would falsify the implementation,
+/// not the theorem).
+pub fn consistent_with_lower_bound(n: usize, m: usize, s: f64, alpha: f64) -> bool {
+    m as f64 * s >= alpha * n as f64 * (m as f64).log2()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_bound_basics() {
+        assert_eq!(load_bound(100, 10), 10.0);
+        assert_eq!(load_bound(10, 100), 1.0);
+    }
+
+    #[test]
+    fn upper_bound_exceeds_load() {
+        for m in [4usize, 16, 64, 256] {
+            assert!(upper_bound_butterfly(1024, m) >= load_bound(1024, m));
+        }
+    }
+
+    #[test]
+    fn bounds_sandwich() {
+        // With α ≤ 1, the lower-bound shape never exceeds the upper shape.
+        for m in [8usize, 64, 512] {
+            let lo = lower_bound_shape(4096, m, 0.5);
+            let hi = upper_bound_butterfly(4096, m);
+            assert!(lo <= hi, "m = {m}: {lo} > {hi}");
+        }
+    }
+
+    #[test]
+    fn inefficiency_is_log_m() {
+        assert_eq!(lower_bound_inefficiency(1024, 1.0), 10.0);
+    }
+
+    #[test]
+    fn tradeoff_large_host_shrinks_with_ell() {
+        let n = 1024;
+        let s1 = upper_tradeoff_large_host(n, 2 * n);
+        let s2 = upper_tradeoff_large_host(n, 32 * n);
+        assert!(s2 < s1);
+        // ℓ = n ⇒ constant slowdown 1.
+        assert_eq!(upper_tradeoff_large_host(n, n * n), 1.0);
+    }
+
+    #[test]
+    fn consistency_check() {
+        // A slowdown equal to the upper bound is consistent with the lower
+        // bound at α = 1.
+        let n = 4096;
+        let m = 64;
+        let s = upper_bound_butterfly(n, m);
+        assert!(consistent_with_lower_bound(n, m, s, 1.0));
+        // An impossible slowdown (below load) is not.
+        assert!(!consistent_with_lower_bound(n, m, 1.0, 1.0));
+    }
+
+    #[test]
+    fn constant_slowdown_needs_nlogn() {
+        let need = min_size_for_constant_slowdown(1 << 16, 1.0);
+        assert_eq!(need, 65536.0 * 16.0);
+    }
+}

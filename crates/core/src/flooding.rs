@@ -1,0 +1,77 @@
+//! The fully redundant baseline simulator.
+//!
+//! Every host generates every pebble: no communication ever happens (all
+//! predecessors are always local), at the price of slowdown `≈ n` regardless
+//! of `m` — inefficiency `k ≈ m`. This is the degenerate extreme of dynamic
+//! simulation (*maximal* redundancy) and the natural baseline for
+//! experiment E9: the paper's conclusion is that for `m ≤ n` no amount of
+//! dynamic redundancy beats the plain embedding by more than a constant.
+
+use crate::guest::GuestComputation;
+use unet_pebble::protocol::{Op, Pebble, Protocol, ProtocolBuilder};
+
+/// Simulate `steps` guest steps with full redundancy on `m` hosts:
+/// per guest step, `n` host steps in which **all** hosts generate pebble
+/// `(P_1, t), …, (P_n, t)` in lockstep.
+pub fn flooding_protocol(comp: &GuestComputation, m: usize, steps: u32) -> Protocol {
+    let n = comp.n();
+    let mut b = ProtocolBuilder::new(n, steps, m);
+    for t in 1..=steps {
+        for i in 0..n as u32 {
+            for q in 0..m as u32 {
+                b.set_op(q, Op::Generate(Pebble::new(i, t)));
+            }
+            b.end_step();
+        }
+    }
+    b.finish()
+}
+
+/// The flooding slowdown is exactly `n` per guest step.
+pub fn flooding_slowdown(n: usize) -> f64 {
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_pebble::check;
+    use unet_topology::generators::{complete, ring};
+
+    #[test]
+    fn flooding_verifies_and_has_slowdown_n() {
+        let guest = ring(6);
+        let host = complete(3);
+        let comp = GuestComputation::random(guest.clone(), 4);
+        let proto = flooding_protocol(&comp, 3, 2);
+        let trace = check(&guest, &host, &proto).expect("flooding is always valid");
+        assert_eq!(proto.slowdown(), 6.0);
+        assert_eq!(proto.inefficiency(), 3.0); // = m
+        // Every host holds every pebble.
+        for i in 0..6u32 {
+            for t in 1..=2u32 {
+                assert_eq!(trace.weight(i, t), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn flooding_on_single_host() {
+        let guest = ring(4);
+        let host = unet_topology::GraphBuilder::new(1).build();
+        let comp = GuestComputation::random(guest.clone(), 1);
+        let proto = flooding_protocol(&comp, 1, 3);
+        check(&guest, &host, &proto).expect("single host floods fine");
+        assert_eq!(proto.inefficiency(), 1.0);
+    }
+
+    #[test]
+    fn flooding_never_communicates() {
+        let comp = GuestComputation::random(ring(5), 2);
+        let proto = flooding_protocol(&comp, 4, 2);
+        let (generates, sends, recvs, _) = proto.op_histogram();
+        assert_eq!(sends, 0);
+        assert_eq!(recvs, 0);
+        assert_eq!(generates, 5 * 2 * 4);
+    }
+}

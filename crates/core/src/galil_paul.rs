@@ -1,0 +1,278 @@
+//! Sorting-based universal simulation (Galil & Paul [6]).
+//!
+//! Galil and Paul showed that any network that can sort `n` keys in
+//! `sort(n, m)` parallel steps is `n`-universal with slowdown
+//! `O(sort(n, m))`. The routing mechanism is *sorting packets by
+//! destination*: every comparator exchange moves packets one hop. We realize
+//! it with Batcher's bitonic network (documented AKS substitute, depth
+//! `O(log² n)`), whose comparators are exactly hypercube edges — so the host
+//! is the hypercube (the canonical comparison topology; constant-degree
+//! realizations like the shuffle-exchange emulate each stage with `O(1)`
+//! overhead, which we account for as a constant).
+
+use crate::routers::Router;
+use rand::rngs::StdRng;
+use unet_routing::decompose::decompose_into_permutations;
+use unet_routing::packet::{route, Discipline, Outcome, Packet};
+use unet_routing::problem::RoutingProblem;
+use unet_routing::sortnet::{bitonic_stages, odd_even_merge_stages, Comparator};
+use unet_topology::{Graph, Node};
+
+/// Which comparator network drives the sort-based routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortNetwork {
+    /// Batcher's bitonic sorter (the default; uniform stages).
+    #[default]
+    Bitonic,
+    /// Batcher's odd–even mergesort (fewer comparators, same depth class).
+    OddEvenMerge,
+}
+
+impl SortNetwork {
+    fn stages(self, k: u32) -> Vec<Vec<Comparator>> {
+        match self {
+            SortNetwork::Bitonic => bitonic_stages(k),
+            SortNetwork::OddEvenMerge => odd_even_merge_stages(k),
+        }
+    }
+}
+
+/// The *comparator graph* of a sorting network on `2^k` positions: one edge
+/// per comparator pair. This is the natural host for sort-based routing —
+/// for the bitonic network it is exactly the hypercube; odd–even mergesort
+/// additionally uses stride edges `(i, i+2^j)` that are not hypercube edges,
+/// so its host is a hypercube superset (degree `O(log² n)`, a comparison
+/// topology like the hypercube itself).
+pub fn comparator_host(k: u32, net: SortNetwork) -> Graph {
+    let n = 1usize << k;
+    let mut b = unet_topology::GraphBuilder::new(n);
+    for stage in net.stages(k) {
+        for c in &stage {
+            b.add_edge(c.lo, c.hi);
+        }
+    }
+    b.build()
+}
+
+/// Per-packet hypercube walks induced by bitonic-sorting a permutation by
+/// destination: packet starting at position `p` with destination `perm[p]`
+/// ends at position `perm[p]`; every move is a hypercube edge.
+///
+/// Returns `paths[p]` with consecutive duplicates removed.
+pub fn sorting_paths(k: u32, perm: &[Node]) -> Vec<Vec<Node>> {
+    sorting_paths_with(k, perm, SortNetwork::Bitonic)
+}
+
+/// [`sorting_paths`] parameterized by the comparator network (ablation
+/// hook: bitonic vs odd–even mergesort).
+pub fn sorting_paths_with(k: u32, perm: &[Node], net: SortNetwork) -> Vec<Vec<Node>> {
+    let n = 1usize << k;
+    assert_eq!(perm.len(), n);
+    // items[pos] = (key = destination, original position)
+    let mut items: Vec<(Node, usize)> = perm.iter().enumerate().map(|(p, &d)| (d, p)).collect();
+    let mut paths: Vec<Vec<Node>> = (0..n).map(|p| vec![p as Node]).collect();
+    for stage in net.stages(k) {
+        for c in &stage {
+            let (lo, hi) = (c.lo as usize, c.hi as usize);
+            if items[lo].0 > items[hi].0 {
+                items.swap(lo, hi);
+                paths[items[lo].1].push(lo as Node);
+                paths[items[hi].1].push(hi as Node);
+            }
+        }
+    }
+    // Sorted by destination ⇒ position == destination for a permutation.
+    for (pos, &(key, orig)) in items.iter().enumerate() {
+        debug_assert_eq!(key as usize, pos);
+        debug_assert_eq!(*paths[orig].last().unwrap(), key);
+    }
+    paths
+}
+
+/// Router that solves `h–h` problems on the hypercube by decomposing into
+/// permutations and bitonic-sorting each by destination.
+pub struct GalilPaulRouter {
+    /// Hypercube dimension (`2^k` nodes).
+    pub k: u32,
+}
+
+/// Galil–Paul router with an explicit comparator-network choice.
+pub struct GalilPaulRouterWith {
+    /// Hypercube dimension.
+    pub k: u32,
+    /// Comparator network.
+    pub net: SortNetwork,
+}
+
+impl Router for GalilPaulRouter {
+    fn route(&self, host: &Graph, prob: &RoutingProblem, rng: &mut StdRng) -> Outcome {
+        GalilPaulRouterWith { k: self.k, net: SortNetwork::Bitonic }.route(host, prob, rng)
+    }
+
+    fn name(&self) -> &'static str {
+        "galil-paul-bitonic-sort"
+    }
+}
+
+impl Router for GalilPaulRouterWith {
+    fn route(&self, host: &Graph, prob: &RoutingProblem, _rng: &mut StdRng) -> Outcome {
+        let n = 1usize << self.k;
+        assert_eq!(
+            host.n(),
+            n,
+            "host must be the comparator graph on 2^{} positions",
+            self.k
+        );
+        if prob.pairs.is_empty() {
+            return Outcome { steps: 0, delivered_at: vec![], transfers: vec![], max_queue: 0 };
+        }
+        let perms = decompose_into_permutations(prob);
+        let net = self.net;
+        // Match original pairs to (perm, src) slots as in the Beneš router.
+        use unet_topology::util::FxHashMap;
+        let mut unmatched: FxHashMap<(Node, Node), Vec<usize>> = FxHashMap::default();
+        for (i, &p) in prob.pairs.iter().enumerate() {
+            unmatched.entry(p).or_default().push(i);
+        }
+        let mut packets: Vec<Packet> = Vec::new();
+        let mut owner: Vec<usize> = Vec::new(); // packet → original pair index
+        for perm in &perms {
+            let paths = sorting_paths_with(self.k, perm, net);
+            for (src, path) in paths.into_iter().enumerate() {
+                let dst = perm[src];
+                if let Some(list) = unmatched.get_mut(&(src as Node, dst)) {
+                    if let Some(pair_idx) = list.pop() {
+                        packets.push(Packet {
+                            id: packets.len() as u32,
+                            src: src as Node,
+                            dst,
+                            path,
+                        });
+                        owner.push(pair_idx);
+                        continue;
+                    }
+                }
+                // Padding slot: no physical packet.
+            }
+        }
+        let limit: u32 = packets.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
+        let out = route(host, &packets, Discipline::FarthestFirst, limit)
+            .expect("engine progress under generous limit");
+        // Re-index delivered_at and transfers to original pair ids.
+        let mut delivered = vec![0u32; prob.pairs.len()];
+        for (pkt_idx, &pair_idx) in owner.iter().enumerate() {
+            delivered[pair_idx] = out.delivered_at[pkt_idx];
+        }
+        let transfers = out
+            .transfers
+            .into_iter()
+            .map(|mut t| {
+                t.packet_id = owner[t.packet_id as usize] as u32;
+                t
+            })
+            .collect();
+        Outcome { steps: out.steps, delivered_at: delivered, transfers, max_queue: out.max_queue }
+    }
+
+    fn name(&self) -> &'static str {
+        match self.net {
+            SortNetwork::Bitonic => "galil-paul-bitonic-sort",
+            SortNetwork::OddEvenMerge => "galil-paul-odd-even-merge",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::Embedding;
+    use crate::guest::GuestComputation;
+    use crate::simulate::EmbeddingSimulator;
+    use unet_topology::generators::{hypercube, ring};
+    use unet_topology::util::seeded_rng;
+
+    #[test]
+    fn sorting_paths_are_hypercube_walks() {
+        let k = 3;
+        let g = hypercube(k as usize);
+        let perm: Vec<Node> = vec![7, 6, 5, 4, 3, 2, 1, 0];
+        let paths = sorting_paths(k, &perm);
+        for (src, path) in paths.iter().enumerate() {
+            assert_eq!(path[0], src as Node);
+            assert_eq!(*path.last().unwrap(), perm[src]);
+            for w in path.windows(2) {
+                assert!(g.has_edge(w[0], w[1]), "hop {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_paths_random_permutations() {
+        use rand::seq::SliceRandom;
+        let mut rng = seeded_rng(41);
+        for _ in 0..10 {
+            let mut perm: Vec<Node> = (0..16).collect();
+            perm.shuffle(&mut rng);
+            let paths = sorting_paths(4, &perm);
+            for (src, path) in paths.iter().enumerate() {
+                assert_eq!(*path.last().unwrap(), perm[src]);
+                // Path length bounded by network depth + 1.
+                assert!(path.len() <= unet_routing::sortnet::bitonic_depth(4) + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn galil_paul_router_solves_h_h() {
+        let k = 3u32;
+        let host = hypercube(3);
+        let prob = RoutingProblem::new(8, vec![(0, 7), (0, 3), (5, 5), (7, 0)]);
+        let out = GalilPaulRouter { k }.route(&host, &prob, &mut seeded_rng(2));
+        assert_eq!(out.delivered_at.len(), 4);
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn bitonic_comparator_host_is_hypercube() {
+        let ch = comparator_host(4, SortNetwork::Bitonic);
+        assert_eq!(ch, hypercube(4));
+    }
+
+    #[test]
+    fn odd_even_merge_routes_on_its_comparator_host() {
+        let host = comparator_host(4, SortNetwork::OddEvenMerge);
+        // Superset of the hypercube, still a comparison topology.
+        assert!(host.contains_subgraph(&hypercube(4)) || host.num_edges() >= hypercube(4).num_edges());
+        let prob = RoutingProblem::new(16, vec![(0, 15), (3, 9), (9, 3)]);
+        let out = GalilPaulRouterWith { k: 4, net: SortNetwork::OddEvenMerge }
+            .route(&host, &prob, &mut seeded_rng(6));
+        assert_eq!(out.delivered_at.len(), 3);
+        use rand::seq::SliceRandom;
+        let mut perm: Vec<Node> = (0..16).collect();
+        perm.shuffle(&mut seeded_rng(7));
+        for (src, path) in sorting_paths_with(4, &perm, SortNetwork::OddEvenMerge)
+            .iter()
+            .enumerate()
+        {
+            assert_eq!(path[0], src as Node);
+            assert_eq!(*path.last().unwrap(), perm[src]);
+            for w in path.windows(2) {
+                assert!(host.has_edge(w[0], w[1]), "hop {w:?} not a comparator edge");
+            }
+        }
+    }
+
+    #[test]
+    fn galil_paul_universal_simulation_end_to_end() {
+        // Guest ring(16) on hypercube(8) host via sorting-based routing —
+        // the Galil–Paul universal machine in miniature.
+        let guest = ring(16);
+        let host = hypercube(3);
+        let comp = GuestComputation::random(guest.clone(), 77);
+        let router = GalilPaulRouter { k: 3 };
+        let sim = EmbeddingSimulator { embedding: Embedding::block(16, 8), router: &router };
+        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(3));
+        unet_pebble::check(&guest, &host, &run.protocol).expect("verify");
+        assert_eq!(run.final_states, comp.run_final(2));
+    }
+}

@@ -1,0 +1,154 @@
+//! Guest computations: what the universal host actually simulates.
+//!
+//! The paper's model is agnostic about what a "configuration" is — a pebble
+//! `(P_i, t)` is the configuration of guest processor `P_i` after `t` steps,
+//! and one guest step updates every configuration from its own and its
+//! neighbours' previous configurations. We instantiate configurations as
+//! 64-bit states with a deterministic mixing transition, which makes
+//! simulation correctness *checkable bit-for-bit*: a host simulation is
+//! correct iff it reproduces the reference run's final states.
+
+use unet_topology::{Graph, Node};
+
+/// A concrete guest computation: a topology plus initial per-node states.
+#[derive(Debug, Clone)]
+pub struct GuestComputation {
+    /// The guest network `G ∈ U`.
+    pub graph: Graph,
+    /// Initial configuration of every node (guest time 0).
+    pub init: Vec<u64>,
+}
+
+/// The deterministic transition: the next configuration of a node from its
+/// own state and its neighbours' states **in adjacency order** (fixed order
+/// makes the computation well-defined and non-oblivious-looking enough to be
+/// a fair test: every input bit influences the output).
+pub fn transition(own: u64, neighbors: &[u64]) -> u64 {
+    // SplitMix64-style mixing, folding each neighbour in sequence.
+    let mut h = own ^ 0x9e37_79b9_7f4a_7c15;
+    h = mix(h);
+    for (idx, &nb) in neighbors.iter().enumerate() {
+        h = mix(h ^ nb.rotate_left((idx as u32 % 63) + 1));
+    }
+    h
+}
+
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl GuestComputation {
+    /// A computation on `graph` with pseudo-random initial states drawn from
+    /// `seed` (deterministic).
+    pub fn random(graph: Graph, seed: u64) -> Self {
+        let init = (0..graph.n() as u64)
+            .map(|i| mix(seed ^ mix(i.wrapping_add(0xabcd_ef01))))
+            .collect();
+        GuestComputation { graph, init }
+    }
+
+    /// Number of guest processors.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// Reference (direct) execution: returns `states[t][i]` for
+    /// `t ∈ [0, steps]`.
+    pub fn run(&self, steps: u32) -> Vec<Vec<u64>> {
+        let n = self.n();
+        let mut all = Vec::with_capacity(steps as usize + 1);
+        all.push(self.init.clone());
+        let mut nb_buf = Vec::new();
+        for _ in 0..steps {
+            let prev = all.last().unwrap();
+            let mut next = Vec::with_capacity(n);
+            for i in 0..n as Node {
+                nb_buf.clear();
+                nb_buf.extend(self.graph.neighbors(i).iter().map(|&j| prev[j as usize]));
+                next.push(transition(prev[i as usize], &nb_buf));
+            }
+            all.push(next);
+        }
+        all
+    }
+
+    /// Final states only (convenience).
+    pub fn run_final(&self, steps: u32) -> Vec<u64> {
+        self.run(steps).pop().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_topology::generators::{complete, ring};
+
+    #[test]
+    fn transition_sensitive_to_all_inputs() {
+        let base = transition(1, &[2, 3, 4]);
+        assert_ne!(base, transition(5, &[2, 3, 4]));
+        assert_ne!(base, transition(1, &[9, 3, 4]));
+        assert_ne!(base, transition(1, &[2, 3, 9]));
+        // Order matters (adjacency order is part of the semantics).
+        assert_ne!(transition(1, &[2, 3]), transition(1, &[3, 2]));
+    }
+
+    #[test]
+    fn run_shapes_and_determinism() {
+        let comp = GuestComputation::random(ring(5), 42);
+        let a = comp.run(4);
+        assert_eq!(a.len(), 5);
+        assert_eq!(a[0], comp.init);
+        let b = comp.run(4);
+        assert_eq!(a, b);
+        assert_eq!(comp.run_final(4), a[4]);
+    }
+
+    #[test]
+    fn different_seeds_different_runs() {
+        let g = ring(5);
+        let a = GuestComputation::random(g.clone(), 1).run_final(3);
+        let b = GuestComputation::random(g, 2).run_final(3);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_steps_is_initial() {
+        let comp = GuestComputation::random(complete(4), 7);
+        assert_eq!(comp.run_final(0), comp.init);
+    }
+
+    #[test]
+    fn avalanche_effect_of_transition() {
+        // Flipping one input bit should flip ~half the output bits — the
+        // property that makes bit-for-bit verification a strong check.
+        let base = transition(0x1234_5678_9abc_def0, &[1, 2, 3]);
+        let flipped = transition(0x1234_5678_9abc_def1, &[1, 2, 3]);
+        let diff = (base ^ flipped).count_ones();
+        assert!((16..=48).contains(&diff), "avalanche too weak: {diff} bits");
+    }
+
+    #[test]
+    fn isolated_node_still_evolves() {
+        // A degree-0 node's state must still change each step (the self
+        // term), so host simulations cannot skip idle guests.
+        let g = unet_topology::GraphBuilder::new(1).build();
+        let comp = GuestComputation { graph: g, init: vec![7] };
+        let s = comp.run(3);
+        assert_ne!(s[1][0], s[0][0]);
+        assert_ne!(s[2][0], s[1][0]);
+    }
+
+    #[test]
+    fn states_evolve_via_neighbors() {
+        // On K2, each node's next state depends on the other's.
+        let g = complete(2);
+        let comp = GuestComputation { graph: g, init: vec![10, 20] };
+        let s = comp.run(1);
+        assert_eq!(s[1][0], transition(10, &[20]));
+        assert_eq!(s[1][1], transition(20, &[10]));
+    }
+}

@@ -1,0 +1,65 @@
+//! # unet-core — universal network simulations
+//!
+//! The paper's subject as a usable system: simulate any constant-degree
+//! guest network on any host network, with a machine-checked pebble-game
+//! protocol and measured slowdown, for every simulation strategy the paper
+//! discusses:
+//!
+//! * [`simulate`] — the **Theorem 2.1 engine**: static embedding +
+//!   pluggable `h–h` routing; slowdown `O(route_M(n/m))`;
+//! * [`galil_paul`] — the sorting-based universal machine of Galil & Paul;
+//! * [`flooding`] — the fully redundant baseline (slowdown `n`);
+//! * [`treesim`] — constant slowdown for short computations on
+//!   `2^{O(T)}·n`-size tree hosts (the Section 1 remark);
+//! * [`guest`] / [`embedding`] / [`routers`] — the moving parts;
+//! * [`bounds`] — closed-form upper/lower bound shapes of the trade-off;
+//! * [`verify`] — end-to-end certification (protocol validity + bit-exact
+//!   states).
+//!
+//! ```
+//! use unet_core::prelude::*;
+//! use unet_topology::generators::{ring, torus};
+//! use unet_topology::util::seeded_rng;
+//!
+//! // Simulate a 16-node ring guest on a 4-node torus host (m ≤ n).
+//! let guest = ring(16);
+//! let host = torus(2, 2);
+//! let comp = GuestComputation::random(guest, 7);
+//! let router = presets::bfs();
+//! let sim = EmbeddingSimulator {
+//!     embedding: Embedding::block(16, 4),
+//!     router: &router,
+//! };
+//! let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(1));
+//! let verified = verify_run(&comp, &host, &run, 3).expect("certified");
+//! assert!(verified.metrics.slowdown >= 4.0); // ≥ load n/m
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod async_sim;
+pub mod bounds;
+pub mod embedding;
+pub mod flooding;
+pub mod galil_paul;
+pub mod guest;
+pub mod routers;
+pub mod simulate;
+pub mod treesim;
+pub mod verify;
+
+pub use embedding::Embedding;
+pub use guest::GuestComputation;
+pub use routers::Router;
+pub use simulate::{EmbeddingSimulator, SimulationRun};
+pub use verify::{verify_run, VerifiedRun, VerifyError};
+
+/// Glob-import surface.
+pub mod prelude {
+    pub use crate::bounds;
+    pub use crate::embedding::Embedding;
+    pub use crate::guest::GuestComputation;
+    pub use crate::routers::{presets, Router};
+    pub use crate::simulate::{EmbeddingSimulator, SimulationRun};
+    pub use crate::verify::{verify_run, VerifiedRun};
+}

@@ -1,0 +1,185 @@
+//! The router abstraction used by the simulation engine.
+//!
+//! Theorem 2.1 is parametric in the host's routing capability: the slowdown
+//! is `O(route_M(n/m))`. A [`Router`] takes an `h–h` problem on the host and
+//! returns a synchronous transfer schedule; the simulator converts it into
+//! pebble-protocol sends/receives. Implementations cover the paper's whole
+//! spectrum: online greedy, online randomized (Valiant), and offline
+//! (Beneš/Waksman).
+
+use rand::rngs::StdRng;
+use unet_routing::packet::{make_packets, route, Discipline, Outcome, PathSelector};
+use unet_routing::problem::RoutingProblem;
+use unet_topology::{Graph, Node};
+
+/// A routing strategy on a fixed host.
+pub trait Router {
+    /// Produce a transfer schedule solving `prob` on `host`.
+    fn route(&self, host: &Graph, prob: &RoutingProblem, rng: &mut StdRng) -> Outcome;
+
+    /// Human-readable strategy name (for experiment tables).
+    fn name(&self) -> &'static str;
+}
+
+/// Wrap any [`PathSelector`] (BFS, dimension-order, butterfly greedy,
+/// Valiant, …) into a router via the store-and-forward engine.
+pub struct SelectorRouter<S: PathSelector> {
+    /// The path selector.
+    pub selector: S,
+    /// Strategy name.
+    pub label: &'static str,
+}
+
+impl<S: PathSelector> SelectorRouter<S> {
+    /// Construct with a label.
+    pub fn new(selector: S, label: &'static str) -> Self {
+        SelectorRouter { selector, label }
+    }
+}
+
+impl<S: PathSelector> Router for SelectorRouter<S> {
+    fn route(&self, host: &Graph, prob: &RoutingProblem, rng: &mut StdRng) -> Outcome {
+        let packets = make_packets(host, &prob.pairs, &self.selector, rng);
+        let limit: u32 = packets.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
+        route(host, &packets, Discipline::FarthestFirst, limit)
+            .expect("engine progress guarantee under generous limit")
+    }
+
+    fn name(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// Offline router for the Beneš-network host: sources/destinations must be
+/// column-0 nodes; uses Waksman's algorithm with wave pipelining
+/// (`route(h) = O(h + log m)` — the Section 2 offline bound).
+pub struct OfflineBenesRouter {
+    /// Beneš dimension (`2^dim` rows, `2·dim` columns).
+    pub dim: usize,
+}
+
+impl Router for OfflineBenesRouter {
+    fn route(&self, host: &Graph, prob: &RoutingProblem, _rng: &mut StdRng) -> Outcome {
+        let rows = 1usize << self.dim;
+        assert_eq!(host.n(), 2 * self.dim * rows, "host must be benes_network(dim)");
+        // Map column-0 node ids to rows.
+        let pairs: Vec<(u32, u32)> = prob
+            .pairs
+            .iter()
+            .map(|&(s, t)| {
+                assert!(
+                    (s as usize) < rows && (t as usize) < rows,
+                    "offline Beneš routing expects column-0 endpoints"
+                );
+                (s, t)
+            })
+            .collect();
+        if pairs.is_empty() {
+            return Outcome { steps: 0, delivered_at: vec![], transfers: vec![], max_queue: 0 };
+        }
+        let (makespan, transfers, delivered_at) =
+            unet_routing::benes::benes_h_h_schedule(self.dim, &pairs);
+        Outcome { steps: makespan, delivered_at, transfers, max_queue: 1 }
+    }
+
+    fn name(&self) -> &'static str {
+        "offline-benes-waksman"
+    }
+}
+
+/// Convenience constructors for the standard router/host pairings used in
+/// the experiments.
+pub mod presets {
+    use super::*;
+    use unet_routing::butterfly::{GreedyButterfly, GreedyWrappedButterfly, ValiantButterfly};
+    use unet_routing::greedy::DimensionOrder;
+    use unet_routing::packet::ShortestPath;
+
+    /// BFS shortest-path router (any connected host).
+    pub fn bfs() -> SelectorRouter<ShortestPath> {
+        SelectorRouter::new(ShortestPath, "bfs-shortest-path")
+    }
+
+    /// Greedy bit-fixing router for a `dim`-dimensional butterfly host.
+    pub fn butterfly_greedy(dim: usize) -> SelectorRouter<GreedyButterfly> {
+        SelectorRouter::new(GreedyButterfly { dim }, "butterfly-greedy")
+    }
+
+    /// Valiant randomized router for a `dim`-dimensional butterfly host.
+    pub fn butterfly_valiant(dim: usize) -> SelectorRouter<ValiantButterfly> {
+        SelectorRouter::new(ValiantButterfly { dim }, "butterfly-valiant")
+    }
+
+    /// Cyclic bit-fixing router for a wrapped `dim`-dimensional butterfly.
+    pub fn wrapped_butterfly_greedy(dim: usize) -> SelectorRouter<GreedyWrappedButterfly> {
+        SelectorRouter::new(GreedyWrappedButterfly { dim }, "wrapped-butterfly-greedy")
+    }
+
+    /// Dimension-order router for a `rows × cols` mesh host.
+    pub fn mesh_xy(rows: usize, cols: usize) -> SelectorRouter<DimensionOrder> {
+        SelectorRouter::new(DimensionOrder::mesh(rows, cols), "mesh-xy")
+    }
+
+    /// Dimension-order router for a `rows × cols` torus host.
+    pub fn torus_xy(rows: usize, cols: usize) -> SelectorRouter<DimensionOrder> {
+        SelectorRouter::new(DimensionOrder::torus(rows, cols), "torus-xy")
+    }
+}
+
+/// The column-0 node ids of a Beneš host — the natural embedding targets for
+/// [`OfflineBenesRouter`].
+pub fn benes_column0(dim: usize) -> Vec<Node> {
+    (0..(1u32 << dim)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_routing::benes::benes_network;
+    use unet_topology::generators::torus;
+    use unet_topology::util::seeded_rng;
+
+    #[test]
+    fn selector_router_delivers() {
+        let host = torus(4, 4);
+        let prob = RoutingProblem::new(16, vec![(0, 15), (15, 0), (3, 3)]);
+        let r = presets::bfs();
+        let out = r.route(&host, &prob, &mut seeded_rng(1));
+        assert!(out.delivered_at.iter().all(|&d| d != u32::MAX));
+        assert_eq!(r.name(), "bfs-shortest-path");
+    }
+
+    #[test]
+    fn benes_router_round_trip() {
+        let dim = 3;
+        let host = benes_network(dim);
+        let prob = RoutingProblem::new(host.n(), vec![(0, 5), (5, 0), (2, 2)]);
+        let r = OfflineBenesRouter { dim };
+        let out = r.route(&host, &prob, &mut seeded_rng(2));
+        assert_eq!(out.delivered_at.len(), 3);
+        assert!(out.steps >= 2 * (2 * dim as u32 - 1));
+    }
+
+    #[test]
+    fn benes_router_empty_problem() {
+        let dim = 2;
+        let host = benes_network(dim);
+        let prob = RoutingProblem::new(host.n(), vec![]);
+        let out = OfflineBenesRouter { dim }.route(&host, &prob, &mut seeded_rng(3));
+        assert_eq!(out.steps, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "column-0")]
+    fn benes_router_rejects_off_column_endpoints() {
+        let dim = 2;
+        let host = benes_network(dim);
+        let prob = RoutingProblem::new(host.n(), vec![(9, 0)]);
+        OfflineBenesRouter { dim }.route(&host, &prob, &mut seeded_rng(4));
+    }
+
+    #[test]
+    fn column0_ids() {
+        assert_eq!(benes_column0(2), vec![0, 1, 2, 3]);
+    }
+}

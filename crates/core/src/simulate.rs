@@ -1,0 +1,298 @@
+//! The Theorem 2.1 universal simulation engine.
+//!
+//! Simulates `T` steps of an arbitrary guest on an arbitrary host: guests are
+//! statically embedded (`f : [n] → [m]`, load `≤ ⌈n/m⌉`); each guest step is
+//! (a) a **communication phase** — the guest's cross-host edges induce an
+//! `O(n/m)–O(n/m)` routing problem, solved by a pluggable [`Router`] — and
+//! (b) a **computation phase** — each host generates its guests' next
+//! configurations sequentially.
+//!
+//! The engine emits a full pebble-game [`Protocol`] (so the Section 3.1
+//! checker can certify the run) plus the host-computed final states (so the
+//! simulation can be verified bit-for-bit against direct execution).
+
+use crate::embedding::Embedding;
+use crate::guest::{transition, GuestComputation};
+use crate::routers::Router;
+use rand::rngs::StdRng;
+use unet_pebble::protocol::{Op, Pebble, Protocol, ProtocolBuilder};
+use unet_routing::packet::Transfer;
+use unet_routing::problem::RoutingProblem;
+use unet_topology::util::FxHashSet;
+use unet_topology::{Graph, Node};
+
+/// Result of a universal simulation run.
+#[derive(Debug, Clone)]
+pub struct SimulationRun {
+    /// The emitted pebble protocol (feed to [`unet_pebble::check`]).
+    pub protocol: Protocol,
+    /// Host-computed final guest states (compare against
+    /// [`GuestComputation::run_final`]).
+    pub final_states: Vec<u64>,
+    /// Host steps spent in communication phases.
+    pub comm_steps: usize,
+    /// Host steps spent in computation phases.
+    pub compute_steps: usize,
+}
+
+impl SimulationRun {
+    /// Measured slowdown `T'/T`.
+    pub fn slowdown(&self) -> f64 {
+        self.protocol.slowdown()
+    }
+
+    /// Measured inefficiency `k = s·m/n`.
+    pub fn inefficiency(&self) -> f64 {
+        self.protocol.inefficiency()
+    }
+}
+
+/// The static-embedding universal simulator of Theorem 2.1.
+pub struct EmbeddingSimulator<'r> {
+    /// The guest→host placement.
+    pub embedding: Embedding,
+    /// The host's routing strategy.
+    pub router: &'r dyn Router,
+}
+
+impl EmbeddingSimulator<'_> {
+    /// Simulate `steps` guest steps of `comp` on `host`.
+    ///
+    /// # Panics
+    /// Panics if sizes disagree (`embedding.n() == comp.n()`,
+    /// `embedding.m == host.n()`).
+    pub fn simulate(
+        &self,
+        comp: &GuestComputation,
+        host: &Graph,
+        steps: u32,
+        rng: &mut StdRng,
+    ) -> SimulationRun {
+        let n = comp.n();
+        let m = host.n();
+        assert_eq!(self.embedding.n(), n, "embedding covers every guest");
+        assert_eq!(self.embedding.m, m, "embedding targets this host");
+        assert!(steps >= 1, "simulate at least one guest step");
+
+        let f = &self.embedding.f;
+        let guests_by_host = self.embedding.guests_by_host();
+        let load = self.embedding.load();
+
+        let mut builder = ProtocolBuilder::new(n, steps, m);
+        let mut comm_steps = 0usize;
+        let mut compute_steps = 0usize;
+
+        let mut prev_states: Vec<u64> = comp.init.clone();
+        let mut nb_buf: Vec<u64> = Vec::new();
+
+        for gt in 1..=steps {
+            // ---- Communication phase -------------------------------------
+            // One packet per (guest u, remote host of a neighbour of u).
+            // Level-0 pebbles are initial and held by every host, so the
+            // first guest step needs no communication at all.
+            let mut seen: FxHashSet<(Node, Node)> = FxHashSet::default();
+            let mut pairs: Vec<(Node, Node)> = Vec::new();
+            let mut payloads: Vec<Pebble> = Vec::new();
+            if gt > 1 {
+                for u in 0..n as Node {
+                    let fu = f[u as usize];
+                    for &v in comp.graph.neighbors(u) {
+                        let fv = f[v as usize];
+                        if fu != fv && seen.insert((u, fv)) {
+                            pairs.push((fu, fv));
+                            payloads.push(Pebble::new(u, gt - 1));
+                        }
+                    }
+                }
+            }
+            if !pairs.is_empty() {
+                let prob = RoutingProblem::new(m, pairs);
+                let out = self.router.route(host, &prob, rng);
+                comm_steps += emit_transfers(&mut builder, &out.transfers, &payloads);
+            }
+            // ---- Computation phase ---------------------------------------
+            for round in 0..load {
+                for (q, guests) in guests_by_host.iter().enumerate() {
+                    if let Some(&v) = guests.get(round) {
+                        builder.set_op(q as Node, Op::Generate(Pebble::new(v, gt)));
+                    }
+                }
+                builder.end_step();
+                compute_steps += 1;
+            }
+            // ---- Host-side state computation -----------------------------
+            // (data availability is certified separately by the pebble
+            // checker; values are copies, so computing from the global table
+            // is equivalent to computing from the delivered copies)
+            let mut next_states = Vec::with_capacity(n);
+            for i in 0..n as Node {
+                nb_buf.clear();
+                nb_buf.extend(comp.graph.neighbors(i).iter().map(|&j| prev_states[j as usize]));
+                next_states.push(transition(prev_states[i as usize], &nb_buf));
+            }
+            prev_states = next_states;
+        }
+
+        SimulationRun {
+            protocol: builder.finish(),
+            final_states: prev_states,
+            comm_steps,
+            compute_steps,
+        }
+    }
+}
+
+/// Convert an engine transfer schedule into pebble send/receive steps.
+///
+/// The engine's port model allows a node to send *and* receive in the same
+/// synchronous step; the pebble game allows only one operation per processor
+/// per step. Each engine step's transfers form a multigraph of maximum
+/// degree 2 (≤ 1 out, ≤ 1 in per node), so a greedy matching decomposition
+/// needs at most 3 pebble steps per engine step (Vizing/Shannon bound for
+/// Δ = 2). Self-transfers (lazy path segments) are dropped — custody already
+/// covers them.
+///
+/// Returns the number of pebble steps emitted.
+fn emit_transfers(builder: &mut ProtocolBuilder, transfers: &[Transfer], payloads: &[Pebble]) -> usize {
+    let mut emitted = 0usize;
+    let mut idx = 0usize;
+    while idx < transfers.len() {
+        // Slice out one engine step.
+        let step = transfers[idx].step;
+        let mut hi = idx;
+        while hi < transfers.len() && transfers[hi].step == step {
+            hi += 1;
+        }
+        let mut remaining: Vec<&Transfer> = transfers[idx..hi]
+            .iter()
+            .filter(|t| t.from != t.to)
+            .collect();
+        while !remaining.is_empty() {
+            let mut used: FxHashSet<Node> = FxHashSet::default();
+            let mut next_round = Vec::new();
+            for t in remaining {
+                if used.contains(&t.from) || used.contains(&t.to) {
+                    next_round.push(t);
+                    continue;
+                }
+                used.insert(t.from);
+                used.insert(t.to);
+                builder.transfer(t.from, t.to, payloads[t.packet_id as usize]);
+            }
+            builder.end_step();
+            emitted += 1;
+            remaining = next_round;
+        }
+        idx = hi;
+    }
+    emitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routers::presets;
+    use unet_pebble::check;
+    use unet_topology::generators::{mesh, random_regular, ring, torus};
+    use unet_topology::util::seeded_rng;
+
+    /// End-to-end: guest ring(12) on torus(2,2) host via BFS routing;
+    /// protocol must check and states must match direct execution.
+    #[test]
+    fn ring_on_tiny_torus_end_to_end() {
+        let guest = ring(12);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest.clone(), 99);
+        let router = presets::bfs();
+        let sim = EmbeddingSimulator {
+            embedding: Embedding::block(12, 4),
+            router: &router,
+        };
+        let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(1));
+        // Pebble-game certification.
+        let trace = check(&guest, &host, &run.protocol).expect("protocol must verify");
+        assert_eq!(trace.host_steps, run.protocol.host_steps());
+        // Bit-for-bit correctness.
+        assert_eq!(run.final_states, comp.run_final(3));
+        // Slowdown ≥ load.
+        assert!(run.slowdown() >= 3.0);
+        assert_eq!(run.comm_steps + run.compute_steps, run.protocol.host_steps());
+    }
+
+    #[test]
+    fn random_regular_guest_on_mesh() {
+        let guest = random_regular(24, 4, &mut seeded_rng(7));
+        let host = mesh(3, 3);
+        let comp = GuestComputation::random(guest.clone(), 5);
+        let router = presets::mesh_xy(3, 3);
+        let sim = EmbeddingSimulator {
+            embedding: Embedding::block(24, 9),
+            router: &router,
+        };
+        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(2));
+        check(&guest, &host, &run.protocol).expect("verify");
+        assert_eq!(run.final_states, comp.run_final(2));
+    }
+
+    #[test]
+    fn injective_embedding_when_m_exceeds_n() {
+        // m > n: every guest on its own host; slowdown dominated by routing.
+        let guest = ring(8);
+        let host = torus(4, 4);
+        let comp = GuestComputation::random(guest.clone(), 1);
+        let router = presets::torus_xy(4, 4);
+        let sim = EmbeddingSimulator {
+            embedding: Embedding::block(8, 16),
+            router: &router,
+        };
+        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(3));
+        check(&guest, &host, &run.protocol).expect("verify");
+        assert_eq!(run.final_states, comp.run_final(2));
+    }
+
+    #[test]
+    fn guest_equal_host_identity_embedding() {
+        // Simulating a torus on itself: communication only with neighbours'
+        // hosts; still must verify.
+        let guest = torus(3, 3);
+        let host = torus(3, 3);
+        let comp = GuestComputation::random(guest.clone(), 2);
+        let router = presets::bfs();
+        let sim = EmbeddingSimulator {
+            embedding: Embedding::block(9, 9),
+            router: &router,
+        };
+        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(4));
+        check(&guest, &host, &run.protocol).expect("verify");
+        assert_eq!(run.final_states, comp.run_final(2));
+    }
+
+    #[test]
+    fn random_embedding_still_correct() {
+        let guest = ring(16);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest.clone(), 3);
+        let router = presets::bfs();
+        let sim = EmbeddingSimulator {
+            embedding: Embedding::random(16, 4, &mut seeded_rng(5)),
+            router: &router,
+        };
+        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(6));
+        check(&guest, &host, &run.protocol).expect("verify");
+        assert_eq!(run.final_states, comp.run_final(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_steps_rejected() {
+        let guest = ring(4);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest, 1);
+        let router = presets::bfs();
+        let sim = EmbeddingSimulator {
+            embedding: Embedding::block(4, 4),
+            router: &router,
+        };
+        sim.simulate(&comp, &host, 0, &mut seeded_rng(0));
+    }
+}

@@ -1,0 +1,308 @@
+//! The averaging argument of Lemma 3.12, executable.
+//!
+//! Given a verified simulation trace of a guest containing `G₀`, the lemma
+//! picks a large set `Z_S` of guest steps and, per `t₀ ∈ Z_S`, one
+//! representative root `r_j` per block such that the dependency-tree weights
+//! rooted at the `r_j` are small on average:
+//!
+//! 1. `Σ_j q_{r_j, t₀−D} ≤ (4/side²) · Σ_i q_{i, t₀−D}` — roots are light;
+//! 2. `Σ_j w_{r_j, t₀} ≤ (4/side²) · Σ_{j,i} w_{i, t₀}` — trees are light;
+//! 3. both per-`t₀` totals are within `4·T/(T−D)` of their time-averages, so
+//!    `|Z_S| ≥ (T−D)/2`.
+//!
+//! (`D` = the exact tree depth of our constructive Lemma 3.10 trees, the
+//! analogue of the paper's `a`; `side = 2a` is the block side, `side²` its
+//! size — the paper's `4a²`.)
+
+use crate::g0::G0;
+use unet_pebble::check::Trace;
+use unet_pebble::deptree::{dependency_tree, tree_depth, BlockTorus};
+use unet_topology::Node;
+
+/// Precomputed canonical dependency-tree shapes: for each root position `p`
+/// in a `side × side` block, the multiset of `(cell, dt)` the tree touches
+/// (`dt` = `t_end − time`). Shared across blocks and across `t_end` — this
+/// turns the `O(n·T)` tree constructions of a full audit into `side²` of
+/// them.
+#[derive(Debug, Clone)]
+pub struct CanonicalTrees {
+    /// Block side.
+    pub side: usize,
+    /// Tree depth `D` (root sits at `t_end − D`).
+    pub depth: u32,
+    /// `shapes[p]` = `(cell, dt)` pairs of the tree rooted at local cell `p`.
+    pub shapes: Vec<Vec<(u32, u32)>>,
+    /// Max tree size (the paper's `48a²` bound, verified ≤ `12·side²`).
+    pub max_size: usize,
+    /// Max number of trees (over all roots of one block, one `t_end`) that
+    /// contain a fixed `Γ`-node — the paper's "at most `48a²`" containment
+    /// count from the proof of Lemma 3.12.
+    pub max_containment: usize,
+}
+
+/// Build the canonical tree shapes for blocks of the given side.
+pub fn canonical_trees(side: usize) -> CanonicalTrees {
+    let reference = BlockTorus::new(side, (0..(side * side) as Node).collect());
+    let depth = tree_depth(side);
+    let mut shapes = Vec::with_capacity(side * side);
+    let mut max_size = 0usize;
+    // containment[cell][dt] counts how many (root, shift) place a tree node
+    // at a fixed Γ-node; aggregated below.
+    let mut containment = vec![0usize; side * side];
+    for p in 0..(side * side) as Node {
+        let tree = dependency_tree(&reference, p, depth);
+        max_size = max_size.max(tree.size());
+        let shape: Vec<(u32, u32)> = tree
+            .gamma_nodes()
+            .map(|(v, t)| (v, depth - t))
+            .collect();
+        for &(cell, _) in &shape {
+            containment[cell as usize] += 1;
+        }
+        shapes.push(shape);
+    }
+    let max_containment = containment.into_iter().max().unwrap_or(0);
+    CanonicalTrees { side, depth, shapes, max_size, max_containment }
+}
+
+impl CanonicalTrees {
+    /// Weight `w_{root, t_end}` of the tree rooted (at local position
+    /// `root_local`) in `block`, with leaves at `t_end`.
+    pub fn weight(&self, trace: &Trace, block: &BlockTorus, root_local: usize, t_end: u32) -> usize {
+        debug_assert!(t_end >= self.depth);
+        let (side, shape) = (self.side, &self.shapes[root_local]);
+        shape
+            .iter()
+            .map(|&(cell, dt)| {
+                let (x, y) = ((cell as usize) / side, (cell as usize) % side);
+                trace.weight(block.at(x, y), t_end - dt)
+            })
+            .sum()
+    }
+}
+
+/// Per-`t₀` certificate: the chosen representatives and the measured sums
+/// against their Markov bounds.
+#[derive(Debug, Clone)]
+pub struct StepCertificate {
+    /// The critical step `t₀`.
+    pub t0: u32,
+    /// Representative root per block (global guest node).
+    pub reps: Vec<Node>,
+    /// `Σ_j q_{r_j, t₀−D}` (inequality (1) of Lemma 3.12).
+    pub sum_root_q: usize,
+    /// Its bound `(4/side²)·Σ_i q_{i, t₀−D}`.
+    pub bound_root_q: f64,
+    /// `Σ_j w_{r_j, t₀}` (inequality (2)).
+    pub sum_root_w: usize,
+    /// Its bound `(4/side²)·Σ_{j,i} w_{i, t₀}`.
+    pub bound_root_w: f64,
+}
+
+/// The Lemma 3.12 analysis of one trace.
+#[derive(Debug, Clone)]
+pub struct AveragingAnalysis {
+    /// Tree depth `D` (analogue of the paper's `a`).
+    pub depth: u32,
+    /// Valid critical steps `Z_S ⊆ {D, …, T}`.
+    pub z_s: Vec<u32>,
+    /// `|Z_S| ≥ (T − D)/2` — the lemma's size guarantee (paper: `T/4`).
+    pub z_s_large_enough: bool,
+    /// Certificates, one per `t₀ ∈ Z_S`.
+    pub certificates: Vec<StepCertificate>,
+    /// Measured total weight `Σ_{i,t} q_{i,t}` vs the work bound `m·T'`.
+    pub total_weight: usize,
+    /// `m·T' = n·k·T`.
+    pub work_bound: usize,
+}
+
+/// Run the Lemma 3.12 analysis on a verified trace of a guest containing
+/// `g0`. `T` must exceed the tree depth `D` (the lemma's `T ≥ 2a` — in our
+/// constants, `T ≥ D + 1`).
+pub fn analyze(trace: &Trace, g0: &G0) -> AveragingAnalysis {
+    let canon = canonical_trees(g0.block_side);
+    let depth = canon.depth;
+    let t_max = trace.guest_t;
+    assert!(
+        t_max > depth,
+        "need T > tree depth D = {depth} (got T = {t_max}); the paper requires T ≥ 2√(log m)"
+    );
+    let side2 = (g0.block_side * g0.block_side) as f64;
+
+    // Per-t totals, computed in parallel over guest steps (the dominant
+    // cost of an audit: |blocks|·side² tree-weight sums per step).
+    let ts: Vec<u32> = (depth..=t_max).collect();
+    let per_t: Vec<(u64, u64, Vec<(usize, usize, Node)>)> = unet_topology::par::par_map(
+        &ts,
+        unet_topology::par::default_threads(),
+        |&t| {
+        let mut w_sum = 0u64;
+        let mut reps_t = Vec::with_capacity(g0.blocks.len());
+        for block in &g0.blocks {
+            // Rank nodes by w and q inside the block; pick a node in the
+            // bottom 3/4 of both rankings (nonempty since 3/4 + 3/4 > 1).
+            let side = g0.block_side;
+            let mut stats: Vec<(usize, usize, Node)> = Vec::with_capacity(side * side);
+            for p in 0..side * side {
+                let v = block.at(p / side, p % side);
+                let w = canon.weight(trace, block, p, t);
+                let q = trace.weight(v, t - depth);
+                w_sum += w as u64;
+                stats.push((w, q, v));
+            }
+            let quota = (side * side) / 4; // top quarter excluded
+            let mut by_w: Vec<usize> = (0..stats.len()).collect();
+            by_w.sort_by_key(|&i| stats[i].0);
+            let mut by_q_rank = vec![0usize; stats.len()];
+            {
+                let mut by_q: Vec<usize> = (0..stats.len()).collect();
+                by_q.sort_by_key(|&i| stats[i].1);
+                for (rank, &i) in by_q.iter().enumerate() {
+                    by_q_rank[i] = rank;
+                }
+            }
+            let cutoff = stats.len() - quota;
+            let pick = by_w
+                .iter()
+                .take(cutoff.max(1))
+                .find(|&&i| by_q_rank[i] < cutoff.max(1))
+                .copied()
+                .unwrap_or(by_w[0]);
+            reps_t.push(stats[pick]);
+        }
+        (w_sum, trace.level_weight(t - depth) as u64, reps_t)
+    });
+    let total_w: Vec<u64> = per_t.iter().map(|x| x.0).collect();
+    let level_q: Vec<u64> = per_t.iter().map(|x| x.1).collect();
+    let best: Vec<Vec<(usize, usize, Node)>> = per_t.into_iter().map(|x| x.2).collect();
+
+    // Markov thresholds: 4× the time-average.
+    let span = ts.len() as f64;
+    let avg_w: f64 = total_w.iter().sum::<u64>() as f64 / span;
+    let avg_q: f64 = level_q.iter().sum::<u64>() as f64 / span;
+    let thr_w = 4.0 * avg_w;
+    let thr_q = 4.0 * avg_q;
+
+    let mut z_s = Vec::new();
+    let mut certificates = Vec::new();
+    for (idx, &t) in ts.iter().enumerate() {
+        if (total_w[idx] as f64) <= thr_w && (level_q[idx] as f64) <= thr_q {
+            z_s.push(t);
+            let reps_t = &best[idx];
+            certificates.push(StepCertificate {
+                t0: t,
+                reps: reps_t.iter().map(|&(_, _, v)| v).collect(),
+                sum_root_q: reps_t.iter().map(|&(_, q, _)| q).sum(),
+                bound_root_q: 4.0 * level_q[idx] as f64 / side2,
+                sum_root_w: reps_t.iter().map(|&(w, _, _)| w).sum(),
+                bound_root_w: 4.0 * total_w[idx] as f64 / side2,
+            });
+        }
+    }
+    let z_s_large_enough = z_s.len() * 2 >= ts.len();
+    AveragingAnalysis {
+        depth,
+        z_s,
+        z_s_large_enough,
+        certificates,
+        total_weight: trace.total_weight(),
+        work_bound: trace.host_m * trace.host_steps,
+    }
+}
+
+impl AveragingAnalysis {
+    /// Do all certificates satisfy their bounds? (They must, by Markov — a
+    /// failure indicates an implementation bug, which is the point of the
+    /// audit.)
+    pub fn all_bounds_hold(&self) -> bool {
+        self.certificates.iter().all(|c| {
+            (c.sum_root_q as f64) <= c.bound_root_q + 1e-9
+                && (c.sum_root_w as f64) <= c.bound_root_w + 1e-9
+        }) && self.total_weight <= self.work_bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::g0::build_g0;
+    use unet_core::{Embedding, EmbeddingSimulator, GuestComputation};
+    use unet_pebble::analysis::tree_weight;
+    use unet_pebble::check;
+    use unet_topology::generators::{random_supergraph, torus};
+    use unet_topology::util::seeded_rng;
+
+    #[test]
+    fn canonical_trees_match_paper_bounds() {
+        for side in [2usize, 4, 6, 8] {
+            let c = canonical_trees(side);
+            assert_eq!(c.shapes.len(), side * side);
+            assert!(c.max_size <= 12 * side * side, "side {side}");
+            // Containment: each Γ-node in at most max_containment trees of
+            // one (block, t) family; the paper's proof uses ≤ 48a².
+            assert!(c.max_containment <= 12 * side * side, "side {side}");
+        }
+    }
+
+    #[test]
+    fn canonical_weight_agrees_with_direct() {
+        // Cross-check the canonical-weight fast path against direct tree
+        // construction on a real trace.
+        let mut rng = seeded_rng(3);
+        let g0 = build_g0(36, 1, &mut rng); // side-2 blocks on 4×4 grid
+        let guest = random_supergraph(&g0.graph, 12, &mut rng);
+        let comp = GuestComputation::random(guest.clone(), 1);
+        let host = torus(2, 2);
+        let router = unet_core::routers::presets::bfs();
+        let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
+        let t = 4u32;
+        let run = sim.simulate(&comp, &host, t, &mut seeded_rng(4));
+        let trace = check(&guest, &host, &run.protocol).unwrap();
+        let canon = canonical_trees(g0.block_side);
+        for block in &g0.blocks {
+            for p in 0..(g0.block_side * g0.block_side) {
+                let root = block.at(p / g0.block_side, p % g0.block_side);
+                let tree = dependency_tree(block, root, t);
+                assert_eq!(
+                    canon.weight(&trace, block, p, t),
+                    tree_weight(&trace, &tree)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn averaging_analysis_on_real_simulation() {
+        let mut rng = seeded_rng(5);
+        let g0 = build_g0(36, 1, &mut rng);
+        let guest = random_supergraph(&g0.graph, 12, &mut rng);
+        let comp = GuestComputation::random(guest.clone(), 2);
+        let host = torus(2, 2);
+        let router = unet_core::routers::presets::bfs();
+        let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
+        let t = 6u32;
+        let run = sim.simulate(&comp, &host, t, &mut seeded_rng(6));
+        let trace = check(&guest, &host, &run.protocol).unwrap();
+        let analysis = analyze(&trace, &g0);
+        assert!(analysis.z_s_large_enough, "Z_S too small: {:?}", analysis.z_s);
+        assert!(analysis.all_bounds_hold());
+        assert!(!analysis.certificates.is_empty());
+        // Depth of side-2 trees is 2.
+        assert_eq!(analysis.depth, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "need T > tree depth")]
+    fn too_short_computation_rejected() {
+        let mut rng = seeded_rng(7);
+        let g0 = build_g0(36, 1, &mut rng);
+        let guest = random_supergraph(&g0.graph, 12, &mut rng);
+        let comp = GuestComputation::random(guest.clone(), 2);
+        let host = torus(2, 2);
+        let router = unet_core::routers::presets::bfs();
+        let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
+        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(8));
+        let trace = check(&guest, &host, &run.protocol).unwrap();
+        analyze(&trace, &g0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Bandwidth-based lower bounds on embedding simulations (Kruskal &
+//! Rappoport [10], cited in the paper's related work as one of the
+//! techniques that can exceed the load-induced bound — though not strong
+//! enough for universal networks, which is why Theorem 3.1 needs counting).
+//!
+//! For a **static-embedding** simulation (no redundancy; each guest lives at
+//! one host): per guest step, every guest edge crossing a host cut must move
+//! one configuration across it, and the cut can carry at most one pebble per
+//! crossing host edge per direction per step. Hence
+//!
+//! ```text
+//! slowdown ≥ (guest edges crossing) / (2 · host edges crossing)
+//! ```
+//!
+//! over every host bipartition. The bound is *falsifiable against our
+//! engine*: every measured run of `EmbeddingSimulator` must satisfy it
+//! (tested). It does **not** apply to redundant/dynamic simulations —
+//! flooding crosses no cut at all — which is precisely the paper's point
+//! about why bandwidth arguments cannot prove Theorem 3.1.
+
+use unet_core::Embedding;
+use unet_topology::partition::{edge_cut, kl_bisection};
+use unet_topology::{Graph, Node};
+
+/// Guest edges whose endpoints are mapped to opposite sides of the host
+/// bipartition `host_side`.
+pub fn guest_crossing(guest: &Graph, embedding: &Embedding, host_side: &[bool]) -> usize {
+    guest
+        .edges()
+        .filter(|&(u, v)| {
+            host_side[embedding.f[u as usize] as usize]
+                != host_side[embedding.f[v as usize] as usize]
+        })
+        .count()
+}
+
+/// The bandwidth lower bound on the slowdown of a static-embedding
+/// simulation, for one host bipartition.
+pub fn bandwidth_bound_for_cut(
+    guest: &Graph,
+    host: &Graph,
+    embedding: &Embedding,
+    host_side: &[bool],
+) -> f64 {
+    let demand = guest_crossing(guest, embedding, host_side) as f64;
+    let capacity = edge_cut(host, host_side) as f64;
+    if capacity == 0.0 {
+        return if demand > 0.0 { f64::INFINITY } else { 1.0 };
+    }
+    (demand / (2.0 * capacity)).max(1.0)
+}
+
+/// Search for a strong cut: KL bisection of the host plus a few random
+/// restarts, maximizing the demand/capacity ratio. Returns the best bound
+/// and the bipartition achieving it.
+pub fn best_bandwidth_bound<R: rand::Rng>(
+    guest: &Graph,
+    host: &Graph,
+    embedding: &Embedding,
+    restarts: usize,
+    rng: &mut R,
+) -> (f64, Vec<bool>) {
+    let mut best = (1.0f64, vec![false; host.n()]);
+    for _ in 0..restarts.max(1) {
+        let side = kl_bisection(host, 2, rng);
+        let b = bandwidth_bound_for_cut(guest, host, embedding, &side);
+        if b > best.0 {
+            best = (b, side);
+        }
+    }
+    best
+}
+
+/// The classic instantiation: expander guest on a mesh/torus host. The
+/// guest's expansion guarantees `Ω(n)` crossing edges under any balanced
+/// placement, while the host cut is `O(√m)` — bound `Ω(n/√m)`, exceeding
+/// the load `n/m` by `√m` (the "meshes are not able to simulate … with the
+/// load-induced slowdown only" result quoted from [9]/[10]).
+pub fn expander_on_grid_bound(n: usize, m: usize, expansion_edges_per_node: f64) -> f64 {
+    let crossing = expansion_edges_per_node * n as f64 / 2.0;
+    let side = unet_topology::util::isqrt(m) as f64;
+    (crossing / (2.0 * 2.0 * side)).max(1.0)
+}
+
+/// Check a measured slowdown against the bound (must hold for any valid
+/// static-embedding run).
+pub fn consistent(measured_slowdown: f64, bound: f64) -> bool {
+    measured_slowdown + 1e-9 >= bound
+}
+
+/// A balanced host bipartition induced by splitting hosts into two halves
+/// by index (useful when the embedding is block-structured).
+pub fn index_half_split(m: usize) -> Vec<bool> {
+    (0..m).map(|q| q < m / 2).collect()
+}
+
+#[allow(unused)]
+fn _assert_node_type(v: Node) -> Node {
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_core::prelude::*;
+    use unet_topology::generators::{random_hamiltonian_union, random_regular, ring, torus};
+    use unet_topology::util::seeded_rng;
+
+    #[test]
+    fn crossing_counts() {
+        let guest = ring(8);
+        let e = Embedding::block(8, 4);
+        // Hosts {0,1} vs {2,3}: guest edges crossing = edges between guests
+        // {0..3} and {4..7}: (3,4) and (7,0) ⇒ 2.
+        let side = index_half_split(4);
+        assert_eq!(guest_crossing(&guest, &e, &side), 2);
+    }
+
+    #[test]
+    fn bound_holds_on_real_runs() {
+        // Expander guest, torus host: the bound must never exceed the
+        // measured slowdown of a real certified run.
+        let mut rng = seeded_rng(11);
+        let guest = random_hamiltonian_union(64, 2, &mut rng);
+        let host = torus(4, 4);
+        let comp = GuestComputation::random(guest.clone(), 12);
+        let router = presets::torus_xy(4, 4);
+        let e = Embedding::block(64, 16);
+        let sim = EmbeddingSimulator { embedding: e.clone(), router: &router };
+        let run = sim.simulate(&comp, &host, 3, &mut rng);
+        verify_run(&comp, &host, &run, 3).unwrap();
+        let (bound, side) = best_bandwidth_bound(&guest, &host, &e, 4, &mut rng);
+        assert!(bound > 1.0, "expander on torus must beat the trivial bound");
+        assert!(
+            consistent(run.slowdown(), bound),
+            "measured {} < bound {bound} (cut {:?})",
+            run.slowdown(),
+            side.iter().filter(|&&s| s).count()
+        );
+    }
+
+    #[test]
+    fn expander_beats_load_on_grid() {
+        // n = 4096, m = 64 grid: load = 64, bandwidth bound ≈ 4·4096/2 /
+        // (4·8) = 256 — 4× the load. The √m excess of [9]/[10].
+        let b = expander_on_grid_bound(4096, 64, 4.0);
+        assert!(b > 4096.0 / 64.0, "bound {b} below load");
+    }
+
+    #[test]
+    fn flooding_breaks_the_premise_not_the_theorem() {
+        // The bound assumes static embedding; the flooding simulator crosses
+        // no cut and has slowdown n — below the embedding bound whenever the
+        // bound exceeds n. This documents the scope restriction.
+        let mut rng = seeded_rng(13);
+        let guest = random_regular(32, 4, &mut rng);
+        let host = torus(2, 2);
+        let _ = &host;
+        let e = Embedding::block(32, 4);
+        let (bound, _) = best_bandwidth_bound(&guest, &host, &e, 2, &mut rng);
+        let flooding_slowdown = 32.0;
+        // Nothing to assert about flooding vs bound in general; just record
+        // that both quantities are computable and the embedding bound is
+        // meaningful (> 1) here.
+        assert!(bound > 1.0);
+        assert!(flooding_slowdown > 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Static embeddings cannot be universal cheaply — the counting contrast
+//! the paper draws with [13] ("if only embeddings are allowed, universal
+//! networks with constant slowdown have exponential size") made executable.
+//!
+//! An *embedding-based* simulation maps each guest processor to one host
+//! processor once and for all, and realizes each guest edge as a host path
+//! of length ≤ `s` (otherwise a single guest step cannot complete in `s`
+//! host steps). A fixed host `M` of size `m`, degree `d`, can therefore
+//! "serve" at most
+//!
+//! ```text
+//! #guests(M, s)  ≤  m^n · (paths of length ≤ s per endpoint)^{c·n/2}
+//!                ≤  m^n · (s·d^s)^{c·n/2}
+//! ```
+//!
+//! guests, while there are `≥ n^{(c/2)·n}·2^{−O(n)}` labelled `c`-regular
+//! guests. Solving gives the minimum size of an embedding-universal host:
+//!
+//! ```text
+//! log₂ m  ≥  (c/2)·(log₂ n − s·log₂ d − log₂ s) − O(1)
+//! ```
+//!
+//! — for constant slowdown `s`, `m = n^{Ω(c)}`, versus `m = O(n^{1+ε})`
+//! with *dynamic* simulation [14]: the quantitative content of "dynamic
+//! simulations are strictly stronger than embeddings" for universal hosts.
+//! (This simple counting bound is weaker than [13]'s exponential bound but
+//! already separates the two regimes by an arbitrary polynomial degree.)
+
+/// `log₂` of the maximum number of distinct `c`-regular guests a fixed host
+/// of size `2^log2_m` and degree `d` can serve by embeddings with dilation
+/// ≤ `s`. (`log2_m` as a float because the interesting hosts are too large
+/// for `u64`.)
+pub fn log2_embeddable_guests(n: u64, c: u32, log2_m: f64, d: u32, s: u32) -> f64 {
+    let nf = n as f64;
+    let placements = nf * log2_m;
+    // Each of the c·n/2 guest edges is realized by a path of length ≤ s from
+    // a fixed endpoint: at most Σ_{ℓ≤s} d^ℓ ≤ s·d^s choices.
+    let per_edge = (s as f64).log2() + s as f64 * (d as f64).log2();
+    placements + (c as f64 / 2.0) * nf * per_edge
+}
+
+/// `log₂` of the number of labelled `c`-regular guests (leading term
+/// `(c/2)·n·log₂ n`, matching the counting used in Theorem 3.1).
+pub fn log2_guests(n: u64, c: u32) -> f64 {
+    (c as f64 / 2.0) * n as f64 * (n as f64).log2()
+}
+
+/// Minimum host size for an *embedding*-universal network with slowdown `s`:
+/// the smallest `m` with `log2_embeddable_guests ≥ log2_guests`, i.e.
+/// `log₂ m ≥ (c/2)·(log₂ n − s·log₂ d − log₂ s)`. Returns `log₂ m` (may be
+/// astronomically large — that is the point).
+pub fn log2_min_embedding_universal_size(n: u64, c: u32, d: u32, s: u32) -> f64 {
+    let per_edge = (s as f64).log2() + s as f64 * (d as f64).log2();
+    ((c as f64 / 2.0) * ((n as f64).log2() - per_edge)).max(0.0)
+}
+
+/// The dynamic-simulation comparison point from [14]: size `n^{1+ε}` hosts
+/// achieve constant slowdown. Returns `log₂ m = (1+ε)·log₂ n`.
+pub fn log2_dynamic_universal_size(n: u64, epsilon: f64) -> f64 {
+    (1.0 + epsilon) * (n as f64).log2()
+}
+
+/// One row of the embeddings-vs-dynamics comparison (experiment E12).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmbeddingVsDynamicRow {
+    /// Guest size.
+    pub n: u64,
+    /// `log₂ m` needed by embedding-universal hosts at slowdown `s`.
+    pub log2_m_embedding: f64,
+    /// `log₂ m` needed by dynamic-universal hosts (`ε = 0.5`).
+    pub log2_m_dynamic: f64,
+    /// The separation factor in the exponent.
+    pub exponent_ratio: f64,
+}
+
+/// Tabulate the separation across guest sizes at fixed slowdown `s`,
+/// degree `d`, guest degree `c = 16` (the paper's).
+pub fn embedding_vs_dynamic(ns: &[u64], d: u32, s: u32) -> Vec<EmbeddingVsDynamicRow> {
+    ns.iter()
+        .map(|&n| {
+            let e = log2_min_embedding_universal_size(n, 16, d, s);
+            let dy = log2_dynamic_universal_size(n, 0.5);
+            EmbeddingVsDynamicRow {
+                n,
+                log2_m_embedding: e,
+                log2_m_dynamic: dy,
+                exponent_ratio: if dy > 0.0 { e / dy } else { f64::INFINITY },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedding_bound_dwarfs_dynamic() {
+        // At n = 2^20, constant slowdown s = 4, host degree 4:
+        // embeddings need log2 m ≈ 8·(20 − 8 − 2) = 80 bits ⇒ m ≈ 2^80,
+        // dynamics need ≈ 2^30.
+        let e = log2_min_embedding_universal_size(1 << 20, 16, 4, 4);
+        let d = log2_dynamic_universal_size(1 << 20, 0.5);
+        assert!(e > 2.0 * d, "embedding {e} vs dynamic {d}");
+        assert!((d - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_slowdown_relaxes_embedding_bound() {
+        let tight = log2_min_embedding_universal_size(1 << 20, 16, 4, 2);
+        let loose = log2_min_embedding_universal_size(1 << 20, 16, 4, 8);
+        assert!(tight > loose);
+        // Once s·log d exceeds log n the bound degenerates to 0 (embeddings
+        // with log-scale dilation are unconstrained by this counting).
+        assert_eq!(log2_min_embedding_universal_size(1 << 10, 16, 4, 64), 0.0);
+    }
+
+    #[test]
+    fn served_guests_fewer_than_existing_below_bound() {
+        let (n, c, d, s) = (1u64 << 16, 16u32, 4u32, 3u32);
+        let need = log2_min_embedding_universal_size(n, c, d, s);
+        // A host half the required exponent serves too few guests…
+        let served = log2_embeddable_guests(n, c, need / 2.0, d, s);
+        assert!(served < log2_guests(n, c));
+        // …while one right at the bound suffices by this counting.
+        let big_served = log2_embeddable_guests(n, c, need + 1.0, d, s);
+        assert!(big_served >= log2_guests(n, c));
+    }
+
+    #[test]
+    fn table_monotone_in_n() {
+        let rows = embedding_vs_dynamic(&[1 << 10, 1 << 16, 1 << 24], 4, 4);
+        assert!(rows.windows(2).all(|w| {
+            w[1].log2_m_embedding >= w[0].log2_m_embedding
+                && w[1].exponent_ratio >= w[0].exponent_ratio * 0.9
+        }));
+        // c/2 = 8: the exponent ratio approaches 8/(1.5) as n grows.
+        let last = rows.last().unwrap();
+        assert!(last.exponent_ratio > 2.5, "{last:?}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # unet-lowerbound — Theorem 3.1, executable
+//!
+//! The paper's main result — every `n`-universal network of size `m` with
+//! slowdown `s` satisfies `m·s = Ω(n·log m)` — is a counting argument over
+//! simulation protocols. This crate turns each ingredient into code that
+//! runs against *real, certified protocols*:
+//!
+//! * [`g0`] — the fixed subgraph `G₀` (Definition 3.9): multitorus ∪
+//!   certified expander, degree ≤ 12, with its block partition;
+//! * [`averaging`] — Lemma 3.12: the large set `Z_S` of critical steps and
+//!   light representative roots, verified on traces;
+//! * [`wavefront`] — Definition 3.16 / Proposition 3.17: the `e_t(τ)`
+//!   wavefront and the expander step inequality;
+//! * [`fragments`] — Lemma 3.13 / Proposition 3.14: measured fragment
+//!   description lengths against the `r·n·k` budget;
+//! * [`counting`] — the numeric Theorem 3.1 chain: `|U[G₀]|` vs `D(k)`,
+//!   the solved `k_min(m) = Ω(log m)`, and the full trade-off table;
+//! * [`embedding_bound`] — the embeddings-vs-dynamics separation the paper
+//!   draws with [13]/[14], as a counting bound;
+//! * [`audit`] — one-call pipeline: simulate a `U[G₀]` guest, certify,
+//!   check every lemma on the run.
+//!
+//! ```
+//! use unet_lowerbound::{k_min, CountingParams};
+//!
+//! // The Theorem 3.1 floor with idealized constants: k + log₂k = log₂ m,
+//! // i.e. the inefficiency of any universal host grows like log m.
+//! let p = CountingParams::idealized();
+//! let k20 = k_min(1 << 20, &p);
+//! let k40 = k_min(1 << 40, &p);
+//! assert!(k20 > 14.0 && k20 < 20.0);
+//! assert!(k40 > k20 + 15.0); // doubling log m nearly doubles k
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod bandwidth;
+pub mod averaging;
+pub mod counting;
+pub mod embedding_bound;
+pub mod fragments;
+pub mod g0;
+pub mod wavefront;
+
+pub use audit::{run_audit, AuditReport};
+pub use counting::{k_min, s_min, tradeoff_table, CountingParams, TradeoffRow};
+pub use g0::{build_g0, build_g0_for_host, G0};

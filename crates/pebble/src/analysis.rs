@@ -1,0 +1,199 @@
+//! Aggregate analysis of verified traces: the weights and averages that
+//! drive Lemma 3.12, plus heavy-processor accounting for Lemma 3.15.
+
+use crate::check::Trace;
+use crate::deptree::DepTree;
+use unet_topology::Node;
+
+/// Weight `w_{i,t}` of a dependency tree (Definition 3.11): the sum of
+/// pebble weights `q_{P,t'}` over all `Γ`-nodes of the tree.
+pub fn tree_weight(trace: &Trace, tree: &DepTree) -> usize {
+    tree.gamma_nodes().map(|(v, t)| trace.weight(v, t)).sum()
+}
+
+/// Summary metrics of a verified simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulationMetrics {
+    /// Guest size `n`.
+    pub guest_n: usize,
+    /// Host size `m`.
+    pub host_m: usize,
+    /// Guest steps `T`.
+    pub guest_t: u32,
+    /// Host steps `T'`.
+    pub host_steps: usize,
+    /// Slowdown `s = T'/T`.
+    pub slowdown: f64,
+    /// Inefficiency `k = s·m/n`.
+    pub inefficiency: f64,
+    /// Total pebble copies `Σ q_{i,t}` over `t ≥ 1`.
+    pub total_weight: usize,
+    /// Average pebble copies per type, `Σ q_{i,t} / (n·T)` — the paper's
+    /// "only k pebbles on average of any type come up".
+    pub avg_weight: f64,
+}
+
+/// Compute [`SimulationMetrics`] from a trace.
+pub fn metrics(trace: &Trace) -> SimulationMetrics {
+    let slowdown = trace.host_steps as f64 / trace.guest_t as f64;
+    let inefficiency = slowdown * trace.host_m as f64 / trace.guest_n as f64;
+    let total = trace.total_weight();
+    SimulationMetrics {
+        guest_n: trace.guest_n,
+        host_m: trace.host_m,
+        guest_t: trace.guest_t,
+        host_steps: trace.host_steps,
+        slowdown,
+        inefficiency,
+        total_weight: total,
+        avg_weight: total as f64 / (trace.guest_n as f64 * trace.guest_t as f64),
+    }
+}
+
+/// Sanity invariant behind Lemma 3.12's averaging: the number of pebble
+/// copies ever created is at most the number of host operations,
+/// `Σ_{t≥1} Σ_i q_{i,t} ≤ m·T'`.
+pub fn weight_bounded_by_work(trace: &Trace) -> bool {
+    trace.total_weight() <= trace.host_m * trace.host_steps
+}
+
+/// Hosts `j` that are *`t`-heavy*: `|P(j, t)| > threshold` (Lemma 3.15 uses
+/// `threshold = n/√m`). Returns the sorted host list.
+pub fn heavy_hosts(trace: &Trace, t: u32, threshold: usize) -> Vec<Node> {
+    let mut occupancy = vec![0usize; trace.host_m];
+    if t == 0 {
+        for o in occupancy.iter_mut() {
+            *o = trace.guest_n;
+        }
+    } else {
+        for i in 0..trace.guest_n as Node {
+            if let crate::check::RepresentativeSet::Listed(hs) = trace.representatives(i, t) {
+                for &q in hs {
+                    occupancy[q as usize] += 1;
+                }
+            }
+        }
+    }
+    occupancy
+        .iter()
+        .enumerate()
+        .filter(|&(_, &o)| o > threshold)
+        .map(|(j, _)| j as Node)
+        .collect()
+}
+
+/// Averaging bound on the number of heavy hosts (the step inside
+/// Lemma 3.15): since `Σ_j |P(j, t)| = Σ_i q_{i,t}`, at most
+/// `Σ_i q_{i,t} / threshold` hosts can exceed `threshold`.
+pub fn heavy_host_bound(trace: &Trace, t: u32, threshold: usize) -> usize {
+    trace.level_weight(t) / threshold.max(1)
+}
+
+/// ASCII heatmap of the redundancy profile `q_{i,t}`: one row per guest
+/// level `t = 1..=T` (top to bottom), one column per guest (downsampled to
+/// `max_width`), digits `0–9` log-scaled (`.` = 1 copy, digits = more).
+/// A diagnostic for *where* a simulation spends its redundancy — the
+/// quantity the Theorem 3.1 counting charges for.
+pub fn weight_heatmap(trace: &Trace, max_width: usize) -> String {
+    let n = trace.guest_n;
+    let width = max_width.clamp(1, n);
+    let mut out = String::new();
+    for t in 1..=trace.guest_t {
+        out.push_str(&format!("t={t:>3} "));
+        for col in 0..width {
+            // Max weight over the guests bucketed into this column.
+            let lo = col * n / width;
+            let hi = ((col + 1) * n / width).max(lo + 1);
+            let q = (lo..hi)
+                .map(|i| trace.weight(i as Node, t))
+                .max()
+                .unwrap_or(0);
+            out.push(match q {
+                0 => ' ',
+                1 => '.',
+                q => {
+                    let mag = (q as f64).log2().ceil() as u32;
+                    char::from_digit(mag.min(9), 10).unwrap()
+                }
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::check;
+    use crate::protocol::{Op, Pebble, ProtocolBuilder};
+    use unet_topology::generators::{complete, ring};
+
+    fn simple_trace() -> Trace {
+        let guest = ring(4);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(4, 1, 2);
+        // Both hosts generate two finals each, in parallel.
+        b.set_op(0, Op::Generate(Pebble::new(0, 1)));
+        b.set_op(1, Op::Generate(Pebble::new(1, 1)));
+        b.end_step();
+        b.set_op(0, Op::Generate(Pebble::new(2, 1)));
+        b.set_op(1, Op::Generate(Pebble::new(3, 1)));
+        b.end_step();
+        check(&guest, &host, &b.finish()).expect("valid")
+    }
+
+    #[test]
+    fn metrics_of_parallel_protocol() {
+        let m = metrics(&simple_trace());
+        assert_eq!(m.host_steps, 2);
+        assert_eq!(m.slowdown, 2.0);
+        assert_eq!(m.inefficiency, 1.0);
+        assert_eq!(m.total_weight, 4);
+        assert_eq!(m.avg_weight, 1.0);
+    }
+
+    #[test]
+    fn work_bound_holds() {
+        assert!(weight_bounded_by_work(&simple_trace()));
+    }
+
+    #[test]
+    fn heavy_hosts_detection() {
+        let trace = simple_trace();
+        // At t=1 each host holds 2 pebbles.
+        assert_eq!(heavy_hosts(&trace, 1, 1), vec![0, 1]);
+        assert!(heavy_hosts(&trace, 1, 2).is_empty());
+        // At t=0 everyone holds all 4.
+        assert_eq!(heavy_hosts(&trace, 0, 3), vec![0, 1]);
+        // Averaging bound: level weight 4, threshold 1 ⇒ ≤ 4 heavy hosts.
+        assert_eq!(heavy_host_bound(&trace, 1, 1), 4);
+        assert!(heavy_hosts(&trace, 1, 1).len() <= heavy_host_bound(&trace, 1, 1));
+    }
+
+    #[test]
+    fn heatmap_shape_and_scale() {
+        let trace = simple_trace();
+        let map = weight_heatmap(&trace, 4);
+        // One row for the single guest level, prefix + 4 cells.
+        let lines: Vec<&str> = map.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("t=  1 "));
+        // Every pebble has exactly one holder: dots.
+        assert_eq!(&lines[0][6..], "....");
+        // Downsampling never exceeds n columns.
+        let wide = weight_heatmap(&trace, 100);
+        assert_eq!(wide.lines().next().unwrap().len(), 6 + 4);
+    }
+
+    #[test]
+    fn tree_weight_on_singleton_block() {
+        use crate::deptree::{dependency_tree, BlockTorus};
+        let trace = simple_trace();
+        let bt = BlockTorus::new(1, vec![0]);
+        // A 1×1 block has depth 0: the tree is just the leaf (0, 1), so the
+        // weight is q_{0,1} = 1 (only host 0 holds it).
+        let tree = dependency_tree(&bt, 0, 1);
+        assert_eq!(tree_weight(&trace, &tree), 1);
+    }
+}

@@ -1,0 +1,594 @@
+//! Protocol validity checking and trace extraction.
+//!
+//! [`check`] replays a [`Protocol`] against the guest and host graphs and
+//! either rejects it with a precise [`CheckError`] or returns a [`Trace`]:
+//! the complete record of who held which pebble from when — i.e. the sets
+//! `Q_S(i, t)` of *representatives* and `Q'_S(i, t)` of *generators* that the
+//! paper's entire lower-bound analysis (Section 3.2–3.3) is phrased in.
+
+use crate::protocol::{Op, Pebble, Protocol};
+use unet_topology::util::FxHashMap;
+use unet_topology::{Graph, Node};
+
+/// Why a protocol is invalid, with enough context to pinpoint the violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// A step row does not have exactly `m` entries.
+    BadRowLength {
+        /// Host step index.
+        step: usize,
+        /// Observed row length.
+        got: usize,
+    },
+    /// `Send` targets a processor that is not a host neighbour.
+    SendToNonNeighbor {
+        /// Host step index.
+        step: usize,
+        /// Sending processor.
+        host: Node,
+        /// Intended destination.
+        to: Node,
+    },
+    /// `Send` of a pebble the sender does not hold at the start of the step.
+    SendWithoutHolding {
+        /// Host step index.
+        step: usize,
+        /// Sending processor.
+        host: Node,
+        /// The pebble it claimed to send.
+        pebble: Pebble,
+    },
+    /// `Send` whose destination is not simultaneously receiving from the
+    /// sender.
+    UnmatchedSend {
+        /// Host step index.
+        step: usize,
+        /// Sending processor.
+        host: Node,
+        /// Destination whose op is not `Recv { from: host }`.
+        to: Node,
+    },
+    /// `Recv` whose source is not simultaneously sending to the receiver.
+    UnmatchedRecv {
+        /// Host step index.
+        step: usize,
+        /// Receiving processor.
+        host: Node,
+        /// Source whose op is not `Send { to: host, .. }`.
+        from: Node,
+    },
+    /// `Recv` from a processor that is not a host neighbour.
+    RecvFromNonNeighbor {
+        /// Host step index.
+        step: usize,
+        /// Receiving processor.
+        host: Node,
+        /// Claimed source.
+        from: Node,
+    },
+    /// `Generate((P_i, t))` with `t = 0` or `t > T`, or `P_i ≥ n`.
+    GenerateOutOfRange {
+        /// Host step index.
+        step: usize,
+        /// Generating processor.
+        host: Node,
+        /// The offending pebble.
+        pebble: Pebble,
+    },
+    /// `Generate((P_i, t))` while missing a predecessor pebble
+    /// `(P_j, t−1)` for `P_j = P_i` or a guest neighbour of `P_i`.
+    GenerateMissingPredecessor {
+        /// Host step index.
+        step: usize,
+        /// Generating processor.
+        host: Node,
+        /// The pebble being generated.
+        pebble: Pebble,
+        /// The missing predecessor.
+        missing: Pebble,
+    },
+    /// After `T'` steps some final pebble `(P_i, T)` was never generated.
+    MissingFinalPebble {
+        /// Guest node whose final configuration is missing.
+        node: Node,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// The verified outcome of replaying a protocol: pebble custody records.
+///
+/// Terminology maps to the paper as:
+/// * [`Trace::representatives`]`(i, t)` = `Q_S(i, t)`,
+/// * [`Trace::generators`]`(i, t)` = `Q'_S(i, t)`
+///   (hosts in `Q_S(i,t)` that generate `(P_i, t+1)`),
+/// * [`Trace::weight`]`(i, t)` = `q_{i,t} = |Q_S(i, t)|` (Definition 3.11).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Guest size `n`.
+    pub guest_n: usize,
+    /// Guest steps `T`.
+    pub guest_t: u32,
+    /// Host size `m`.
+    pub host_m: usize,
+    /// Host steps `T'`.
+    pub host_steps: usize,
+    /// `holders[idx(i, t)]` for `t ≥ 1`: hosts holding `(P_i, t)` at the end,
+    /// in order of first acquisition.
+    holders: Vec<Vec<Node>>,
+    /// `generated_by[idx(i, t)]` for `t ≥ 1`: hosts that executed
+    /// `Generate((P_i, t))`, in execution order.
+    generated_by: Vec<Vec<Node>>,
+    /// Per-host: pebble key → host step of *first* acquisition (1-based:
+    /// a pebble acquired in step τ is usable from step τ+1; initial pebbles
+    /// are step 0).
+    acquired: Vec<FxHashMap<u64, u32>>,
+}
+
+impl Trace {
+    #[inline]
+    fn idx(&self, i: Node, t: u32) -> usize {
+        debug_assert!(t >= 1 && t <= self.guest_t && (i as usize) < self.guest_n);
+        (i as usize) * self.guest_t as usize + (t as usize - 1)
+    }
+
+    /// The representatives `Q_S(i, t)`: hosts holding `(P_i, t)` at the end
+    /// of the simulation. For `t = 0` every host qualifies (initial pebbles).
+    pub fn representatives(&self, i: Node, t: u32) -> RepresentativeSet<'_> {
+        if t == 0 {
+            RepresentativeSet::All(self.host_m)
+        } else {
+            RepresentativeSet::Listed(&self.holders[self.idx(i, t)])
+        }
+    }
+
+    /// Weight `q_{i,t} = |Q_S(i, t)|` (Definition 3.11).
+    pub fn weight(&self, i: Node, t: u32) -> usize {
+        match self.representatives(i, t) {
+            RepresentativeSet::All(m) => m,
+            RepresentativeSet::Listed(v) => v.len(),
+        }
+    }
+
+    /// The generators `Q'_S(i, t)`: hosts that hold `(P_i, t)` and generate
+    /// `(P_i, t+1)` during the protocol. Empty iff `(P_i, t+1)` is never
+    /// generated; requires `t < T`.
+    pub fn generators(&self, i: Node, t: u32) -> &[Node] {
+        assert!(t < self.guest_t, "Q'_S(i, t) is defined for t < T");
+        &self.generated_by[self.idx(i, t + 1)]
+    }
+
+    /// Hosts that executed `Generate((P_i, t))`, `t ≥ 1`.
+    pub fn generated_by(&self, i: Node, t: u32) -> &[Node] {
+        &self.generated_by[self.idx(i, t)]
+    }
+
+    /// Host step (1-based) at which host `q` first acquired `(P_i, t)`;
+    /// `Some(0)` for initial pebbles, `None` if `q` never held it.
+    pub fn acquisition_step(&self, q: Node, p: Pebble) -> Option<u32> {
+        if p.t == 0 {
+            return Some(0);
+        }
+        self.acquired[q as usize].get(&p.key()).copied()
+    }
+
+    /// Earliest host step after which a *generating* pebble of type
+    /// `(P_i, t)` exists: the first acquisition of `(P_i, t)` by any host
+    /// that eventually generates `(P_i, t+1)` (the quantity behind
+    /// `E_t(τ)` in Definition 3.16). `None` if `(P_i, t+1)` is never
+    /// generated.
+    pub fn earliest_generating_hold(&self, i: Node, t: u32) -> Option<u32> {
+        self.generators(i, t)
+            .iter()
+            .filter_map(|&q| self.acquisition_step(q, Pebble::new(i, t)))
+            .min()
+    }
+
+    /// Total pebble-copy count `Σ_{i,t≥1} q_{i,t}` — the quantity the paper
+    /// bounds by `m·T' = n·k·T` in Lemma 3.12.
+    pub fn total_weight(&self) -> usize {
+        self.holders.iter().map(|h| h.len()).sum()
+    }
+
+    /// Sum of weights at a fixed guest time `t` (the `Σ_i q_{i,t}` that
+    /// Lemma 3.13(2) bounds by `384·n·k`).
+    pub fn level_weight(&self, t: u32) -> usize {
+        (0..self.guest_n as Node).map(|i| self.weight(i, t)).sum()
+    }
+
+    /// `P(j, t)` of Lemma 3.15: the guest nodes whose `t`-pebble is held by
+    /// host `j`. Computed by scanning level `t`.
+    pub fn guests_on_host(&self, j: Node, t: u32) -> Vec<Node> {
+        (0..self.guest_n as Node)
+            .filter(|&i| match self.representatives(i, t) {
+                RepresentativeSet::All(_) => true,
+                RepresentativeSet::Listed(v) => v.contains(&j),
+            })
+            .collect()
+    }
+}
+
+/// A view of `Q_S(i, t)` that avoids materializing the all-hosts set for the
+/// initial pebbles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RepresentativeSet<'a> {
+    /// Every host holds the pebble (only for `t = 0`).
+    All(usize),
+    /// Exactly these hosts hold the pebble.
+    Listed(&'a [Node]),
+}
+
+impl RepresentativeSet<'_> {
+    /// Number of representatives.
+    pub fn len(&self) -> usize {
+        match self {
+            RepresentativeSet::All(m) => *m,
+            RepresentativeSet::Listed(v) => v.len(),
+        }
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, q: Node) -> bool {
+        match self {
+            RepresentativeSet::All(m) => (q as usize) < *m,
+            RepresentativeSet::Listed(v) => v.contains(&q),
+        }
+    }
+
+    /// Materialize as a vector.
+    pub fn to_vec(&self) -> Vec<Node> {
+        match self {
+            RepresentativeSet::All(m) => (0..*m as Node).collect(),
+            RepresentativeSet::Listed(v) => v.to_vec(),
+        }
+    }
+}
+
+/// Replay `proto` against `guest` and `host`, enforcing every rule of the
+/// Section 3.1 pebble game, and return the custody [`Trace`].
+///
+/// Rules enforced:
+/// 1. every step assigns exactly one op to each of the `m` processors;
+/// 2. sends go to host neighbours, carry a held pebble, and pair with a
+///    matching receive (one receive per processor per step);
+/// 3. generations have all predecessor pebbles present *before* the step;
+/// 4. every final pebble `(P_i, T)` is generated by the end.
+pub fn check(guest: &Graph, host: &Graph, proto: &Protocol) -> Result<Trace, CheckError> {
+    let n = proto.guest_n;
+    let t_max = proto.guest_t;
+    let m = proto.host_m;
+    assert_eq!(guest.n(), n, "guest graph size mismatch");
+    assert_eq!(host.n(), m, "host graph size mismatch");
+
+    let mut trace = Trace {
+        guest_n: n,
+        guest_t: t_max,
+        host_m: m,
+        host_steps: proto.steps.len(),
+        holders: vec![Vec::new(); n * t_max as usize],
+        generated_by: vec![Vec::new(); n * t_max as usize],
+        acquired: vec![FxHashMap::default(); m],
+    };
+
+    // Holding test: t = 0 pebbles are universal; otherwise look up the
+    // acquisition map with "strictly before this step" semantics.
+    let held_before =
+        |acquired: &Vec<FxHashMap<u64, u32>>, q: Node, p: Pebble, step: u32| -> bool {
+            if p.t == 0 {
+                return (p.node as usize) < n;
+            }
+            acquired[q as usize]
+                .get(&p.key())
+                .is_some_and(|&s| s < step)
+        };
+
+    for (step0, row) in proto.steps.iter().enumerate() {
+        let step = step0 as u32 + 1; // 1-based host time
+        if row.len() != m {
+            return Err(CheckError::BadRowLength { step: step0, got: row.len() });
+        }
+        // Phase 1: validate every op against the *pre-step* state.
+        for (qi, op) in row.iter().enumerate() {
+            let q = qi as Node;
+            match *op {
+                Op::Idle => {}
+                Op::Generate(p) => {
+                    if p.t == 0 || p.t > t_max || p.node as usize >= n {
+                        return Err(CheckError::GenerateOutOfRange { step: step0, host: q, pebble: p });
+                    }
+                    let own = Pebble::new(p.node, p.t - 1);
+                    if !held_before(&trace.acquired, q, own, step) {
+                        return Err(CheckError::GenerateMissingPredecessor {
+                            step: step0,
+                            host: q,
+                            pebble: p,
+                            missing: own,
+                        });
+                    }
+                    for &nb in guest.neighbors(p.node) {
+                        let pred = Pebble::new(nb, p.t - 1);
+                        if !held_before(&trace.acquired, q, pred, step) {
+                            return Err(CheckError::GenerateMissingPredecessor {
+                                step: step0,
+                                host: q,
+                                pebble: p,
+                                missing: pred,
+                            });
+                        }
+                    }
+                }
+                Op::Send { pebble, to } => {
+                    if !host.has_edge(q, to) {
+                        return Err(CheckError::SendToNonNeighbor { step: step0, host: q, to });
+                    }
+                    if !held_before(&trace.acquired, q, pebble, step) {
+                        return Err(CheckError::SendWithoutHolding { step: step0, host: q, pebble });
+                    }
+                    if !matches!(row[to as usize], Op::Recv { from } if from == q) {
+                        return Err(CheckError::UnmatchedSend { step: step0, host: q, to });
+                    }
+                }
+                Op::Recv { from } => {
+                    if !host.has_edge(q, from) {
+                        return Err(CheckError::RecvFromNonNeighbor { step: step0, host: q, from });
+                    }
+                    if !matches!(row[from as usize], Op::Send { to, .. } if to == q) {
+                        return Err(CheckError::UnmatchedRecv { step: step0, host: q, from });
+                    }
+                }
+            }
+        }
+        // Phase 2: apply effects (pebbles become available *after* the step).
+        for (qi, op) in row.iter().enumerate() {
+            let q = qi as Node;
+            match *op {
+                Op::Generate(p) => {
+                    record_acquisition(&mut trace, q, p, step);
+                    let idx = trace.idx(p.node, p.t);
+                    trace.generated_by[idx].push(q);
+                }
+                Op::Recv { from } => {
+                    if let Op::Send { pebble, .. } = row[from as usize] {
+                        if pebble.t > 0 {
+                            record_acquisition(&mut trace, q, pebble, step);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Final-pebble condition.
+    for i in 0..n as Node {
+        if trace.generated_by[trace.idx(i, t_max)].is_empty() {
+            return Err(CheckError::MissingFinalPebble { node: i });
+        }
+    }
+    Ok(trace)
+}
+
+fn record_acquisition(trace: &mut Trace, q: Node, p: Pebble, step: u32) {
+    let map = &mut trace.acquired[q as usize];
+    if !map.contains_key(&p.key()) {
+        map.insert(p.key(), step);
+        let idx = trace.idx(p.node, p.t);
+        trace.holders[idx].push(q);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::ProtocolBuilder;
+    use unet_topology::generators::{complete, ring};
+
+    /// Smallest interesting scenario: guest = 3-ring, host = K2.
+    /// Host 0 generates everything (it holds all initial pebbles).
+    fn tiny_valid_protocol() -> (Graph, Graph, Protocol) {
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 1, 2);
+        for i in 0..3u32 {
+            b.set_op(0, Op::Generate(Pebble::new(i, 1)));
+            b.end_step();
+        }
+        (guest, host, b.finish())
+    }
+
+    #[test]
+    fn valid_protocol_accepted() {
+        let (guest, host, proto) = tiny_valid_protocol();
+        let trace = check(&guest, &host, &proto).expect("valid");
+        assert_eq!(trace.host_steps, 3);
+        for i in 0..3u32 {
+            assert_eq!(trace.representatives(i, 1).to_vec(), vec![0]);
+            assert_eq!(trace.weight(i, 1), 1);
+            assert_eq!(trace.generated_by(i, 1), &[0]);
+        }
+        assert_eq!(trace.total_weight(), 3);
+        assert_eq!(trace.level_weight(1), 3);
+        assert_eq!(trace.level_weight(0), 6); // 3 guests × 2 hosts (initial)
+        assert_eq!(trace.guests_on_host(1, 0), vec![0, 1, 2]);
+        assert!(trace.guests_on_host(1, 1).is_empty());
+    }
+
+    #[test]
+    fn missing_final_pebble_detected() {
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 1, 2);
+        b.set_op(0, Op::Generate(Pebble::new(0, 1)));
+        b.end_step();
+        b.set_op(0, Op::Generate(Pebble::new(1, 1)));
+        b.end_step();
+        let proto = b.finish();
+        assert_eq!(
+            check(&guest, &host, &proto).unwrap_err(),
+            CheckError::MissingFinalPebble { node: 2 }
+        );
+    }
+
+    #[test]
+    fn generate_without_predecessor_detected() {
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 2, 2);
+        // (P0, 2) needs (P0,1), (P1,1), (P2,1) — none generated yet.
+        b.set_op(0, Op::Generate(Pebble::new(0, 2)));
+        b.end_step();
+        let proto = b.finish();
+        let err = check(&guest, &host, &proto).unwrap_err();
+        assert!(matches!(err, CheckError::GenerateMissingPredecessor { pebble, .. }
+            if pebble == Pebble::new(0, 2)));
+    }
+
+    #[test]
+    fn generate_same_step_dependency_rejected() {
+        // A pebble generated in step τ is not available to another generate
+        // in the same step τ (effects apply after the step).
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 2, 2);
+        for i in 0..3u32 {
+            b.set_op(0, Op::Generate(Pebble::new(i, 1)));
+            b.end_step();
+        }
+        // Host 0 holds (·,1) for all i after step 3; generating (0,2) at
+        // step 4 is fine, but a second-level generate in the same step that
+        // needs (0,2) must fail.
+        b.set_op(0, Op::Generate(Pebble::new(0, 2)));
+        b.end_step();
+        let proto_ok = b.finish();
+        assert!(check(&guest, &host, &proto_ok).is_err()); // finals (1,2),(2,2) missing
+    }
+
+    #[test]
+    fn unmatched_send_detected() {
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 1, 2);
+        b.set_op(0, Op::Send { pebble: Pebble::new(0, 0), to: 1 });
+        b.end_step();
+        let proto = b.finish();
+        assert_eq!(
+            check(&guest, &host, &proto).unwrap_err(),
+            CheckError::UnmatchedSend { step: 0, host: 0, to: 1 }
+        );
+    }
+
+    #[test]
+    fn unmatched_recv_detected() {
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 1, 2);
+        b.set_op(1, Op::Recv { from: 0 });
+        b.end_step();
+        let proto = b.finish();
+        assert_eq!(
+            check(&guest, &host, &proto).unwrap_err(),
+            CheckError::UnmatchedRecv { step: 0, host: 1, from: 0 }
+        );
+    }
+
+    #[test]
+    fn send_to_non_neighbor_detected() {
+        let guest = ring(4);
+        let host = crate::test_support::path_host(3); // 0-1-2
+        let mut b = ProtocolBuilder::new(4, 1, 3);
+        b.set_op(0, Op::Send { pebble: Pebble::new(0, 0), to: 2 });
+        b.set_op(2, Op::Recv { from: 0 });
+        b.end_step();
+        let proto = b.finish();
+        assert_eq!(
+            check(&guest, &host, &proto).unwrap_err(),
+            CheckError::SendToNonNeighbor { step: 0, host: 0, to: 2 }
+        );
+    }
+
+    #[test]
+    fn send_without_holding_detected() {
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 1, 2);
+        b.transfer(0, 1, Pebble::new(0, 1)); // (0,1) not yet generated
+        b.end_step();
+        let proto = b.finish();
+        assert_eq!(
+            check(&guest, &host, &proto).unwrap_err(),
+            CheckError::SendWithoutHolding {
+                step: 0,
+                host: 0,
+                pebble: Pebble::new(0, 1)
+            }
+        );
+    }
+
+    #[test]
+    fn sent_pebble_usable_next_step() {
+        // Host 0 generates (0,1)..(2,1), ships them to host 1, and host 1
+        // generates (0,2) — exercising transfer timing.
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 2, 2);
+        for i in 0..3u32 {
+            b.set_op(0, Op::Generate(Pebble::new(i, 1)));
+            b.end_step();
+        }
+        for i in 0..3u32 {
+            b.transfer(0, 1, Pebble::new(i, 1));
+            b.end_step();
+        }
+        for i in 0..3u32 {
+            b.set_op(1, Op::Generate(Pebble::new(i, 2)));
+            b.end_step();
+        }
+        let proto = b.finish();
+        let trace = check(&guest, &host, &proto).expect("valid");
+        // Host 1 holds (0,1) (received) and generated (0,2).
+        assert!(trace.representatives(0, 1).contains(1));
+        assert_eq!(trace.generated_by(0, 2), &[1]);
+        // Q'_S(0,1) = {1}.
+        assert_eq!(trace.generators(0, 1), &[1]);
+        // Acquisition steps: host 1 got (0,1) at step 4 (1-based).
+        assert_eq!(trace.acquisition_step(1, Pebble::new(0, 1)), Some(4));
+        assert_eq!(trace.acquisition_step(0, Pebble::new(0, 1)), Some(1));
+        assert_eq!(trace.acquisition_step(0, Pebble::new(0, 0)), Some(0));
+        assert_eq!(trace.acquisition_step(0, Pebble::new(0, 2)), None);
+        // Earliest generating hold of (0,1): host 1 at step 4.
+        assert_eq!(trace.earliest_generating_hold(0, 1), Some(4));
+    }
+
+    #[test]
+    fn generate_out_of_range_detected() {
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 1, 2);
+        b.set_op(0, Op::Generate(Pebble::new(0, 5)));
+        b.end_step();
+        let proto = b.finish();
+        assert!(matches!(
+            check(&guest, &host, &proto),
+            Err(CheckError::GenerateOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn inefficiency_of_tiny_protocol() {
+        let (_, _, proto) = tiny_valid_protocol();
+        // T' = 3, T = 1, m = 2, n = 3: s = 3, k = 3·2/3 = 2.
+        assert_eq!(proto.slowdown(), 3.0);
+        assert_eq!(proto.inefficiency(), 2.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! The dependency graph `Γ_G` of a guest computation (Definition 3.7).
+//!
+//! `Γ_G` has vertices `P × {0, …, T}` and directed edges
+//! `((P, t), (P', t+1))` whenever `P = P'` or `{P, P'} ∈ E(G)`. A pebble
+//! `(P', t+1)` can only be generated from its predecessors — this graph *is*
+//! the data-dependency structure of the simulated computation.
+//!
+//! We exploit the characterization that `(P, t) →^i (P', t+i)` (an `i`-th
+//! predecessor relation) holds **iff** `dist_G(P, P') ≤ i`: lazy self-edges
+//! absorb slack, so reachability in `Γ_G` reduces to graph distance.
+
+use unet_topology::analysis::bfs_distances;
+use unet_topology::{Graph, Node};
+
+/// A vertex `(P, t)` of the dependency graph.
+pub type GammaNode = (Node, u32);
+
+/// The predecessors of `(P, t)` in `Γ_G`: `(P, t−1)` and `(P', t−1)` for all
+/// guest neighbours `P'`. Empty for `t = 0`.
+pub fn predecessors(g: &Graph, v: GammaNode) -> Vec<GammaNode> {
+    let (p, t) = v;
+    if t == 0 {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(g.degree(p) + 1);
+    out.push((p, t - 1));
+    for &q in g.neighbors(p) {
+        out.push((q, t - 1));
+    }
+    out
+}
+
+/// The successors of `(P, t)` in `Γ_G` truncated at horizon `t_max`.
+pub fn successors(g: &Graph, v: GammaNode, t_max: u32) -> Vec<GammaNode> {
+    let (p, t) = v;
+    if t >= t_max {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(g.degree(p) + 1);
+    out.push((p, t + 1));
+    for &q in g.neighbors(p) {
+        out.push((q, t + 1));
+    }
+    out
+}
+
+/// Whether `(P, t) →^{t'−t} (P', t')` in `Γ_G`, i.e. `(P, t)` is a
+/// `(t'−t)`-th predecessor of `(P', t')` (Definition 3.7).
+///
+/// Holds iff `t ≤ t'` and `dist_G(P, P') ≤ t' − t` (self-edges let the path
+/// idle at any vertex, so only the graph distance matters).
+pub fn is_predecessor(g: &Graph, from: GammaNode, to: GammaNode) -> bool {
+    let (p, t) = from;
+    let (q, t2) = to;
+    if t2 < t {
+        return false;
+    }
+    let dist = bfs_distances(g, p)[q as usize];
+    dist != u32::MAX && dist <= t2 - t
+}
+
+/// All guest nodes `P'` such that `(P, t) →^i (P', t+i)`: the ball of radius
+/// `i` around `P` in `G`. This is the "information cone" of a configuration.
+pub fn influence_cone(g: &Graph, p: Node, i: u32) -> Vec<Node> {
+    bfs_distances(g, p)
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d <= i)
+        .map(|(v, _)| v as Node)
+        .collect()
+}
+
+/// Number of distinct directed paths from `(P, t)` to `(P', t + i)` in
+/// `Γ_G`, by dynamic programming over levels. This counts the *data-flow
+/// multiplicity* of a dependency: how many distinct causal chains carry
+/// `P`'s configuration into `P'`'s, `i` steps later. Saturates at
+/// `u64::MAX` (counts grow like `(c+1)^i`).
+pub fn count_paths(g: &Graph, from: GammaNode, to: GammaNode) -> u64 {
+    let (p, t) = from;
+    let (q, t2) = to;
+    if t2 < t {
+        return 0;
+    }
+    let span = (t2 - t) as usize;
+    // ways[v] = #paths from (p, t) to (v, t + level).
+    let mut ways = vec![0u64; g.n()];
+    ways[p as usize] = 1;
+    let mut next = vec![0u64; g.n()];
+    for _ in 0..span {
+        for x in next.iter_mut() {
+            *x = 0;
+        }
+        for v in 0..g.n() {
+            let w = ways[v];
+            if w == 0 {
+                continue;
+            }
+            next[v] = next[v].saturating_add(w);
+            for &u in g.neighbors(v as Node) {
+                next[u as usize] = next[u as usize].saturating_add(w);
+            }
+        }
+        std::mem::swap(&mut ways, &mut next);
+    }
+    ways[q as usize]
+}
+
+/// Check that a set of roots `R` covers all of `P × {t}` at horizon `x`:
+/// for every guest node `i` there is `r ∈ R` with
+/// `(P_r, t−x) →^x (P_i, t)` — the property Lemma 3.12's representative set
+/// needs ("the leaves of these `h` trees cover the entire set `P × {t₀}`").
+pub fn roots_cover(g: &Graph, roots: &[Node], x: u32) -> bool {
+    let n = g.n();
+    let mut covered = vec![false; n];
+    for &r in roots {
+        for v in influence_cone(g, r, x) {
+            covered[v as usize] = true;
+        }
+    }
+    covered.into_iter().all(|c| c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_topology::generators::{mesh, multitorus, ring, torus};
+
+    #[test]
+    fn predecessors_of_ring_node() {
+        let g = ring(5);
+        let preds = predecessors(&g, (0, 3));
+        assert_eq!(preds.len(), 3);
+        assert!(preds.contains(&(0, 2)));
+        assert!(preds.contains(&(1, 2)));
+        assert!(preds.contains(&(4, 2)));
+        assert!(predecessors(&g, (0, 0)).is_empty());
+    }
+
+    #[test]
+    fn successors_respect_horizon() {
+        let g = ring(5);
+        assert_eq!(successors(&g, (0, 3), 4).len(), 3);
+        assert!(successors(&g, (0, 4), 4).is_empty());
+    }
+
+    #[test]
+    fn predecessor_iff_distance() {
+        let g = mesh(4, 4);
+        // dist((0,0) → (3,3)) = 6 in the mesh.
+        assert!(is_predecessor(&g, (0, 0), (15, 6)));
+        assert!(is_predecessor(&g, (0, 0), (15, 9)));
+        assert!(!is_predecessor(&g, (0, 0), (15, 5)));
+        // Time must not run backwards.
+        assert!(!is_predecessor(&g, (0, 5), (15, 3)));
+        // Lazy path to itself.
+        assert!(is_predecessor(&g, (7, 2), (7, 2)));
+        assert!(is_predecessor(&g, (7, 2), (7, 9)));
+    }
+
+    #[test]
+    fn influence_cone_is_ball() {
+        let g = torus(4, 4);
+        assert_eq!(influence_cone(&g, 0, 0), vec![0]);
+        assert_eq!(influence_cone(&g, 0, 1).len(), 5);
+        assert_eq!(influence_cone(&g, 0, 100).len(), 16);
+    }
+
+    #[test]
+    fn path_counts_on_a_path_graph() {
+        // On the 2-path 0–1, paths (0,0) → (0,2): sequences over {stay,
+        // move} returning to 0 in 2 steps: stay-stay, move-move ⇒ 2.
+        let g = unet_topology::generators::path(2);
+        assert_eq!(count_paths(&g, (0, 0), (0, 2)), 2);
+        assert_eq!(count_paths(&g, (0, 0), (1, 2)), 2); // sm, ms
+        assert_eq!(count_paths(&g, (0, 0), (1, 1)), 1);
+        assert_eq!(count_paths(&g, (0, 0), (0, 0)), 1);
+        assert_eq!(count_paths(&g, (0, 3), (0, 1)), 0); // backwards
+    }
+
+    #[test]
+    fn path_counts_grow_with_degree() {
+        // K4: from any node, total walks of length i = 4^i; into a fixed
+        // target it is 4^{i−1} for i ≥ 1.
+        let g = unet_topology::generators::complete(4);
+        assert_eq!(count_paths(&g, (0, 0), (2, 1)), 1);
+        assert_eq!(count_paths(&g, (0, 0), (2, 2)), 4);
+        assert_eq!(count_paths(&g, (0, 0), (2, 3)), 16);
+    }
+
+    #[test]
+    fn path_count_positive_iff_predecessor() {
+        let g = mesh(4, 4);
+        for &(from, to) in &[((0u32, 0u32), (15u32, 6u32)), ((0, 0), (15, 5)), ((7, 2), (7, 9))] {
+            let reach = is_predecessor(&g, from, to);
+            let cnt = count_paths(&g, from, to);
+            assert_eq!(reach, cnt > 0, "{from:?} → {to:?}");
+        }
+    }
+
+    #[test]
+    fn torus_centers_cover() {
+        // One root per 4×4 block of an 8×8 multitorus covers everything
+        // within the block diameter.
+        let g = multitorus(4, 64);
+        let roots = vec![0, 4, 32, 36]; // one corner per block
+        // Block torus diameter = 4 (2+2); global edges only help.
+        assert!(roots_cover(&g, &roots, 4));
+        assert!(!roots_cover(&g, &[0], 2));
+        assert!(roots_cover(&g, &[0], 8)); // 8×8 torus diameter = 8 ≤ 8
+    }
+}

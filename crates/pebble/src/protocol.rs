@@ -1,0 +1,278 @@
+//! The pebble-game simulation protocol (paper, Section 3.1).
+//!
+//! A simulation of `T` guest steps by `T'` host steps is a *protocol*: for
+//! every host time step and every host processor, one operation. A pebble of
+//! type `(P_i, t)` stands for the configuration of guest processor `P_i`
+//! after `t` guest steps. Initially every host processor holds all pebbles
+//! `(P_1, 0), …, (P_n, 0)`; pebbles are never destroyed; at the end every
+//! final pebble `(P_i, T)` must have been generated somewhere.
+
+use unet_topology::Node;
+
+/// A pebble type `(P_i, t)`: the configuration of guest node `node` at guest
+/// time `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pebble {
+    /// Guest processor index `i`.
+    pub node: Node,
+    /// Guest time step `t ∈ [0, T]`.
+    pub t: u32,
+}
+
+impl Pebble {
+    /// Construct a pebble type.
+    #[inline]
+    pub fn new(node: Node, t: u32) -> Self {
+        Pebble { node, t }
+    }
+
+    /// Pack into a `u64` key (for hash sets in hot paths).
+    #[inline]
+    pub fn key(self) -> u64 {
+        ((self.node as u64) << 32) | self.t as u64
+    }
+
+    /// Inverse of [`Pebble::key`].
+    #[inline]
+    pub fn from_key(k: u64) -> Self {
+        Pebble { node: (k >> 32) as Node, t: k as u32 }
+    }
+}
+
+/// One host-processor operation in one host time step.
+///
+/// The model (Section 3.1): per step a processor may **generate** a pebble
+/// `(P_i, t)` (requires holding `(P_i, t−1)` and `(P_j, t−1)` for every guest
+/// neighbour `P_j` of `P_i`), **send** a *copy* of a held pebble to a
+/// neighbouring processor, or **receive** one pebble from a neighbour.
+/// Sends and receives must pair up within the step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Do nothing this step.
+    Idle,
+    /// Generate pebble `(P_i, t)` from its predecessors held locally.
+    Generate(Pebble),
+    /// Send a copy of `pebble` to host neighbour `to` (both keep a copy).
+    Send {
+        /// The pebble type being copied.
+        pebble: Pebble,
+        /// Destination host processor (must be a host neighbour).
+        to: Node,
+    },
+    /// Receive whatever the neighbour `from` sends this step.
+    Recv {
+        /// Source host processor (must be a host neighbour).
+        from: Node,
+    },
+}
+
+/// A complete simulation protocol: `steps[τ][q]` is the operation of host
+/// processor `q` at host time `τ`. All rows have length `m` (host size).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Protocol {
+    /// Number of guest processors `n`.
+    pub guest_n: usize,
+    /// Number of guest steps `T` being simulated.
+    pub guest_t: u32,
+    /// Number of host processors `m`.
+    pub host_m: usize,
+    /// `steps[τ][q]`: op of host `q` at host step `τ`; `steps.len() = T'`.
+    pub steps: Vec<Vec<Op>>,
+}
+
+impl Protocol {
+    /// Empty protocol skeleton.
+    pub fn new(guest_n: usize, guest_t: u32, host_m: usize) -> Self {
+        Protocol { guest_n, guest_t, host_m, steps: Vec::new() }
+    }
+
+    /// Host time `T'`.
+    #[inline]
+    pub fn host_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Append one host step of `m` operations.
+    ///
+    /// # Panics
+    /// Panics if `ops.len() != m`.
+    pub fn push_step(&mut self, ops: Vec<Op>) {
+        assert_eq!(ops.len(), self.host_m, "step must cover every host processor");
+        self.steps.push(ops);
+    }
+
+    /// Slowdown `s = T' / T` as a rational (numerator, denominator) and as
+    /// `f64`.
+    pub fn slowdown(&self) -> f64 {
+        self.host_steps() as f64 / self.guest_t as f64
+    }
+
+    /// Inefficiency `k = s · m / n = T'·m / (T·n)` (paper, Section 3.1).
+    /// The lower bound Theorem 3.1 states `k = Ω(log m)` for universal hosts.
+    pub fn inefficiency(&self) -> f64 {
+        self.slowdown() * self.host_m as f64 / self.guest_n as f64
+    }
+
+    /// Total number of host operations that are not `Idle` — an upper bound
+    /// on the number of pebbles handled, used by Lemma 3.12's averaging
+    /// (`Σ q_{i,t} ≤ m·T'`).
+    pub fn busy_ops(&self) -> usize {
+        self.steps
+            .iter()
+            .flat_map(|row| row.iter())
+            .filter(|op| !matches!(op, Op::Idle))
+            .count()
+    }
+
+    /// Count of operations by kind `(generate, send, recv, idle)`.
+    pub fn op_histogram(&self) -> (usize, usize, usize, usize) {
+        let mut h = (0, 0, 0, 0);
+        for op in self.steps.iter().flat_map(|r| r.iter()) {
+            match op {
+                Op::Generate(_) => h.0 += 1,
+                Op::Send { .. } => h.1 += 1,
+                Op::Recv { .. } => h.2 += 1,
+                Op::Idle => h.3 += 1,
+            }
+        }
+        h
+    }
+}
+
+/// Mutable builder used by the simulators: collects per-host op queues and
+/// flushes them into aligned [`Protocol`] rows.
+#[derive(Debug)]
+pub struct ProtocolBuilder {
+    proto: Protocol,
+    /// Ops queued for the *current* host step, one slot per host.
+    current: Vec<Op>,
+    dirty: bool,
+}
+
+impl ProtocolBuilder {
+    /// Start building a protocol for `n` guests, `T` guest steps, `m` hosts.
+    pub fn new(guest_n: usize, guest_t: u32, host_m: usize) -> Self {
+        ProtocolBuilder {
+            proto: Protocol::new(guest_n, guest_t, host_m),
+            current: vec![Op::Idle; host_m],
+            dirty: false,
+        }
+    }
+
+    /// Host size `m`.
+    pub fn host_m(&self) -> usize {
+        self.proto.host_m
+    }
+
+    /// Set host `q`'s op for the current step.
+    ///
+    /// # Panics
+    /// Panics if `q` already has a non-idle op this step (the model allows
+    /// one operation per processor per step).
+    pub fn set_op(&mut self, q: Node, op: Op) {
+        let slot = &mut self.current[q as usize];
+        assert!(
+            matches!(slot, Op::Idle),
+            "host {q} already has an op this step: {slot:?}"
+        );
+        *slot = op;
+        self.dirty = true;
+    }
+
+    /// Whether host `q` is free in the current step.
+    pub fn is_free(&self, q: Node) -> bool {
+        matches!(self.current[q as usize], Op::Idle)
+    }
+
+    /// Close the current host step (even if fully idle) and start a new one.
+    pub fn end_step(&mut self) {
+        let row = std::mem::replace(&mut self.current, vec![Op::Idle; self.proto.host_m]);
+        self.proto.push_step(row);
+        self.dirty = false;
+    }
+
+    /// Convenience: schedule a paired send/recv in the current step.
+    ///
+    /// # Panics
+    /// Panics if either endpoint is busy.
+    pub fn transfer(&mut self, from: Node, to: Node, pebble: Pebble) {
+        self.set_op(from, Op::Send { pebble, to });
+        self.set_op(to, Op::Recv { from });
+    }
+
+    /// Finish: flushes a trailing partial step and returns the protocol.
+    pub fn finish(mut self) -> Protocol {
+        if self.dirty {
+            self.end_step();
+        }
+        self.proto
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pebble_key_roundtrip() {
+        let p = Pebble::new(123456, 789);
+        assert_eq!(Pebble::from_key(p.key()), p);
+    }
+
+    #[test]
+    fn protocol_metrics() {
+        let mut p = Protocol::new(4, 2, 2);
+        p.push_step(vec![Op::Generate(Pebble::new(0, 1)), Op::Idle]);
+        p.push_step(vec![
+            Op::Send { pebble: Pebble::new(0, 1), to: 1 },
+            Op::Recv { from: 0 },
+        ]);
+        assert_eq!(p.host_steps(), 2);
+        assert_eq!(p.slowdown(), 1.0);
+        assert_eq!(p.inefficiency(), 0.5);
+        assert_eq!(p.busy_ops(), 3);
+        assert_eq!(p.op_histogram(), (1, 1, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover every host")]
+    fn wrong_row_length_rejected() {
+        let mut p = Protocol::new(4, 2, 3);
+        p.push_step(vec![Op::Idle]);
+    }
+
+    #[test]
+    fn builder_steps_align() {
+        let mut b = ProtocolBuilder::new(2, 1, 3);
+        b.set_op(0, Op::Generate(Pebble::new(0, 1)));
+        b.end_step();
+        b.transfer(0, 1, Pebble::new(0, 1));
+        let proto = b.finish();
+        assert_eq!(proto.host_steps(), 2);
+        assert_eq!(proto.steps[1][0], Op::Send { pebble: Pebble::new(0, 1), to: 1 });
+        assert_eq!(proto.steps[1][1], Op::Recv { from: 0 });
+        assert_eq!(proto.steps[1][2], Op::Idle);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an op")]
+    fn builder_rejects_double_booking() {
+        let mut b = ProtocolBuilder::new(2, 1, 2);
+        b.set_op(0, Op::Generate(Pebble::new(0, 1)));
+        b.set_op(0, Op::Idle);
+    }
+
+    #[test]
+    fn builder_flushes_trailing_step() {
+        let mut b = ProtocolBuilder::new(2, 1, 1);
+        b.set_op(0, Op::Generate(Pebble::new(1, 1)));
+        let proto = b.finish();
+        assert_eq!(proto.host_steps(), 1);
+    }
+
+    #[test]
+    fn builder_empty_protocol() {
+        let proto = ProtocolBuilder::new(2, 1, 1).finish();
+        assert_eq!(proto.host_steps(), 0);
+    }
+}

@@ -1,0 +1,445 @@
+//! Beneš networks and Waksman's offline permutation routing.
+//!
+//! Section 2's corollary routes the guest-induced `⌈n/m⌉–⌈n/m⌉` problem
+//! *offline* (the permutations "depend on G only, and therefore are known in
+//! advance"), citing Waksman's permuting network. We implement the cited
+//! machinery end to end: the Beneš multistage network as a constant-degree
+//! graph, the looping algorithm that realizes **any** permutation with
+//! link-congestion 1 per stage, and wave-pipelining of many permutations —
+//! giving offline `h–h` routing in `(2d − 1) + (perms − 1)` steps, i.e.
+//! `route(h) = O(h + log m)` per wave on an `m`-node Beneš host.
+
+use crate::packet::Transfer;
+use unet_topology::{Graph, GraphBuilder, Node};
+
+/// The cross-bit sequence of the recursive Beneš network on `2^d` rows:
+/// `[0, 1, …, d−1, d−2, …, 0]` (length `2d − 1` stage transitions between
+/// `2d` node columns).
+pub fn cross_bits(d: usize) -> Vec<usize> {
+    assert!(d >= 1);
+    let mut bits: Vec<usize> = (0..d).collect();
+    bits.extend((0..d - 1).rev());
+    bits
+}
+
+/// Node id of `(column, row)` in the Beneš graph on `2^d` rows.
+#[inline]
+pub fn benes_index(d: usize, col: usize, row: usize) -> Node {
+    debug_assert!(row < (1 << d) && col < 2 * d);
+    (col * (1 << d) + row) as Node
+}
+
+/// The Beneš network as an undirected constant-degree (≤ 4) graph:
+/// `2d` columns of `2^d` rows, consecutive columns joined by straight edges
+/// and cross edges on [`cross_bits`]. A legitimate universal-host substrate
+/// in its own right (`2d·2^d` nodes).
+pub fn benes_network(d: usize) -> Graph {
+    let rows = 1usize << d;
+    let bits = cross_bits(d);
+    let mut b = GraphBuilder::new(2 * d * rows);
+    for (c, &bit) in bits.iter().enumerate() {
+        for r in 0..rows {
+            b.add_edge(benes_index(d, c, r), benes_index(d, c + 1, r));
+            b.add_edge(benes_index(d, c, r), benes_index(d, c + 1, r ^ (1 << bit)));
+        }
+    }
+    b.build()
+}
+
+/// Waksman's looping algorithm: for a permutation `perm` of `2^d` rows
+/// (`perm[i]` = output row of the packet entering at row `i`), compute the
+/// row of every packet at every Beneš column so that **no two packets share
+/// a directed stage edge**.
+///
+/// Returns `paths[i][c]` = row of packet `i` at column `c ∈ [0, 2d)`;
+/// `paths[i][0] = i` and `paths[i][2d−1] = perm[i]`.
+pub fn waksman_paths(perm: &[u32]) -> Vec<Vec<u32>> {
+    let n = perm.len();
+    assert!(n >= 2 && n.is_power_of_two(), "permutation size must be a power of two ≥ 2");
+    {
+        // Validate permutation.
+        let mut seen = vec![false; n];
+        for &p in perm {
+            assert!((p as usize) < n && !seen[p as usize], "not a permutation");
+            seen[p as usize] = true;
+        }
+    }
+    solve(perm)
+}
+
+fn solve(perm: &[u32]) -> Vec<Vec<u32>> {
+    let n = perm.len();
+    if n == 2 {
+        // One switch: two columns.
+        return vec![vec![0, perm[0]], vec![1, perm[1]]];
+    }
+    // Inverse permutation.
+    let mut inv = vec![0u32; n];
+    for (i, &p) in perm.iter().enumerate() {
+        inv[p as usize] = i as u32;
+    }
+    // Looping: branch[i] ∈ {0 (top), 1 (bottom)}.
+    const UNSET: u8 = u8::MAX;
+    let mut branch = vec![UNSET; n];
+    for start in 0..n {
+        if branch[start] != UNSET {
+            continue;
+        }
+        let mut i = start;
+        branch[i] = 0;
+        loop {
+            // Input-pair constraint: partner takes the other subnetwork.
+            let partner = i ^ 1;
+            if branch[partner] != UNSET {
+                break;
+            }
+            branch[partner] = branch[i] ^ 1;
+            // Output-pair constraint: the packet leaving through the other
+            // output of partner's output switch takes the other subnetwork.
+            let sibling = inv[(perm[partner] ^ 1) as usize] as usize;
+            if branch[sibling] != UNSET {
+                break;
+            }
+            branch[sibling] = branch[partner] ^ 1;
+            i = sibling;
+        }
+    }
+    // Build sub-permutations on n/2 pairs.
+    let half = n / 2;
+    let mut top_perm = vec![u32::MAX; half];
+    let mut bot_perm = vec![u32::MAX; half];
+    for i in 0..n {
+        let pair_in = i >> 1;
+        let pair_out = perm[i] >> 1;
+        let tgt = if branch[i] == 0 { &mut top_perm } else { &mut bot_perm };
+        debug_assert_eq!(tgt[pair_in as usize], u32::MAX, "looping produced a clash");
+        tgt[pair_in as usize] = pair_out;
+    }
+    let top = solve(&top_perm);
+    let bot = solve(&bot_perm);
+    // Assemble full paths.
+    let sub_cols = top[0].len(); // 2(d−1)
+    let cols = sub_cols + 2;
+    let mut paths = vec![Vec::with_capacity(cols); n];
+    for i in 0..n {
+        let b = branch[i] as u32;
+        let sub = if b == 0 { &top } else { &bot };
+        let p = i >> 1;
+        let path = &mut paths[i];
+        path.push(i as u32);
+        for c in 0..sub_cols {
+            path.push((sub[p][c] << 1) | b);
+        }
+        path.push(perm[i]);
+    }
+    paths
+}
+
+/// Verify the Waksman output: consecutive rows differ only in the stage's
+/// cross bit, endpoints match, and per stage no directed edge carries two
+/// packets. Returns the per-stage max edge congestion (must be all 1).
+pub fn verify_waksman(perm: &[u32], paths: &[Vec<u32>]) -> Result<(), String> {
+    let n = perm.len();
+    let d = n.trailing_zeros() as usize;
+    let bits = cross_bits(d);
+    if paths.len() != n {
+        return Err("path count mismatch".into());
+    }
+    let mut used = std::collections::HashSet::new();
+    for (i, path) in paths.iter().enumerate() {
+        if path.len() != 2 * d {
+            return Err(format!("packet {i}: {} columns, want {}", path.len(), 2 * d));
+        }
+        if path[0] != i as u32 || path[2 * d - 1] != perm[i] {
+            return Err(format!("packet {i}: wrong endpoints"));
+        }
+        for (c, w) in path.windows(2).enumerate() {
+            let diff = w[0] ^ w[1];
+            if diff != 0 && diff != (1 << bits[c]) {
+                return Err(format!("packet {i}: illegal hop at stage {c}"));
+            }
+        }
+    }
+    used.clear();
+    for c in 0..2 * d - 1 {
+        for (i, path) in paths.iter().enumerate() {
+            if !used.insert((c, path[c], path[c + 1])) {
+                return Err(format!("stage {c}: edge reused (packet {i})"));
+            }
+        }
+        used.clear();
+    }
+    Ok(())
+}
+
+/// Wave-pipeline several permutations through the Beneš network: wave `w`
+/// crosses stage `c` at step `w + c`. Produces the explicit synchronous
+/// transfer schedule on [`benes_network`] node ids and its makespan
+/// `(perms − 1) + (2d − 1)` — the offline `h–h` routing time of Section 2.
+///
+/// Port-model safety per step is asserted (each node sends ≤ 1 and receives
+/// ≤ 1): within a wave every column-row carries exactly one packet, and
+/// different waves occupy different columns at any step.
+pub fn pipeline_schedule(d: usize, perms: &[Vec<u32>]) -> (u32, Vec<Transfer>) {
+    let stages = 2 * d - 1;
+    let mut transfers = Vec::new();
+    let mut paths_per_wave = Vec::with_capacity(perms.len());
+    for perm in perms {
+        let paths = waksman_paths(perm);
+        verify_waksman(perm, &paths).expect("Waksman routing must verify");
+        paths_per_wave.push(paths);
+    }
+    let makespan = (perms.len().max(1) - 1 + stages) as u32;
+    for (w, paths) in paths_per_wave.iter().enumerate() {
+        for (pid, path) in paths.iter().enumerate() {
+            for c in 0..stages {
+                transfers.push(Transfer {
+                    step: (w + c) as u32,
+                    from: benes_index(d, c, path[c] as usize),
+                    to: benes_index(d, c + 1, path[c + 1] as usize),
+                    packet_id: (w * paths.len() + pid) as u32,
+                });
+            }
+        }
+    }
+    transfers.sort_by_key(|t| t.step);
+    // Port-model assertion.
+    let mut senders = std::collections::HashSet::new();
+    let mut receivers = std::collections::HashSet::new();
+    let mut cur = u32::MAX;
+    for t in &transfers {
+        if t.step != cur {
+            senders.clear();
+            receivers.clear();
+            cur = t.step;
+        }
+        assert!(senders.insert(t.from), "double send at step {}", t.step);
+        assert!(receivers.insert(t.to), "double recv at step {}", t.step);
+    }
+    (makespan, transfers)
+}
+
+/// Offline `h–h` routing on the Beneš network with sources and destinations
+/// on **column 0** (rows): decompose into permutations (Euler split), send
+/// every wave forward through the Waksman-configured network, then pipeline
+/// all waves straight back along their destination rows. Two cleanly
+/// separated pipelined phases avoid forward/return port conflicts.
+///
+/// Returns `(makespan, transfers, delivered_at)` where `delivered_at[i]` is
+/// the completion step of the `i`-th input pair. Padding packets introduced
+/// by the decomposition are not moved.
+///
+/// Makespan = `2·(perms − 1) + 2·(2d − 1)` = `O(h + log m)`.
+pub fn benes_h_h_schedule(
+    d: usize,
+    pairs: &[(u32, u32)],
+) -> (u32, Vec<Transfer>, Vec<u32>) {
+    use crate::decompose::decompose_into_permutations;
+    use crate::problem::RoutingProblem;
+    let rows = 1usize << d;
+    let prob = RoutingProblem::new(
+        rows,
+        pairs.iter().map(|&(s, t)| (s as Node, t as Node)).collect(),
+    );
+    let perms = decompose_into_permutations(&prob);
+    // Assign each original pair to one (wave, src-row) slot.
+    let mut slot_of_pair: Vec<Option<(usize, u32)>> = vec![None; pairs.len()];
+    {
+        use unet_topology::util::FxHashMap;
+        let mut unmatched: FxHashMap<(u32, u32), Vec<usize>> = FxHashMap::default();
+        for (i, &p) in pairs.iter().enumerate() {
+            unmatched.entry(p).or_default().push(i);
+        }
+        for (w, perm) in perms.iter().enumerate() {
+            for (s, &t) in perm.iter().enumerate() {
+                if let Some(list) = unmatched.get_mut(&(s as u32, t)) {
+                    if let Some(pair_idx) = list.pop() {
+                        slot_of_pair[pair_idx] = Some((w, s as u32));
+                    }
+                }
+            }
+        }
+    }
+    let stages = 2 * d - 1;
+    let s0 = (perms.len() - 1 + stages) as u32; // return phase start offset
+    let mut transfers = Vec::new();
+    let mut delivered_at = vec![0u32; pairs.len()];
+    let mut paths_cache: Vec<Vec<Vec<u32>>> = Vec::with_capacity(perms.len());
+    for perm in &perms {
+        let paths = waksman_paths(perm);
+        verify_waksman(perm, &paths).expect("Waksman must verify");
+        paths_cache.push(paths);
+    }
+    for (pair_idx, slot) in slot_of_pair.iter().enumerate() {
+        let (w, src_row) = slot.expect("decomposition covers every pair");
+        let path = &paths_cache[w][src_row as usize];
+        let pid = pair_idx as u32;
+        // Forward: column c → c+1 at step w + c.
+        for c in 0..stages {
+            transfers.push(Transfer {
+                step: (w + c) as u32,
+                from: benes_index(d, c, path[c] as usize),
+                to: benes_index(d, c + 1, path[c + 1] as usize),
+                packet_id: pid,
+            });
+        }
+        // Return: straight along the destination row, column (2d−1−j) →
+        // (2d−2−j) at step s0 + w + j.
+        let dst_row = *path.last().unwrap() as usize;
+        for j in 0..stages {
+            transfers.push(Transfer {
+                step: s0 + w as u32 + j as u32,
+                from: benes_index(d, 2 * d - 1 - j, dst_row),
+                to: benes_index(d, 2 * d - 2 - j, dst_row),
+                packet_id: pid,
+            });
+        }
+        delivered_at[pair_idx] = s0 + w as u32 + stages as u32;
+    }
+    transfers.sort_by_key(|t| (t.step, t.from));
+    // Port-model sanity (debug builds): one send and one receive per node
+    // per step.
+    #[cfg(debug_assertions)]
+    {
+        let mut senders = std::collections::HashSet::new();
+        let mut receivers = std::collections::HashSet::new();
+        let mut cur = u32::MAX;
+        for t in &transfers {
+            if t.step != cur {
+                senders.clear();
+                receivers.clear();
+                cur = t.step;
+            }
+            assert!(senders.insert(t.from), "double send at step {}", t.step);
+            assert!(receivers.insert(t.to), "double recv at step {}", t.step);
+        }
+    }
+    let makespan = delivered_at.iter().copied().max().unwrap_or(0);
+    (makespan, transfers, delivered_at)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::seq::SliceRandom;
+    use unet_topology::util::seeded_rng;
+
+    #[test]
+    fn cross_bits_structure() {
+        assert_eq!(cross_bits(1), vec![0]);
+        assert_eq!(cross_bits(2), vec![0, 1, 0]);
+        assert_eq!(cross_bits(3), vec![0, 1, 2, 1, 0]);
+    }
+
+    #[test]
+    fn benes_graph_counts() {
+        let d = 3;
+        let g = benes_network(d);
+        assert_eq!(g.n(), 2 * d << d);
+        assert!(g.max_degree() <= 4);
+        assert!(unet_topology::analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn waksman_identity() {
+        let perm: Vec<u32> = (0..8).collect();
+        let paths = waksman_paths(&perm);
+        verify_waksman(&perm, &paths).unwrap();
+    }
+
+    #[test]
+    fn waksman_reversal_and_rotation() {
+        for n in [2usize, 4, 8, 16, 32] {
+            let rev: Vec<u32> = (0..n as u32).rev().collect();
+            let paths = waksman_paths(&rev);
+            verify_waksman(&rev, &paths).unwrap();
+            let rot: Vec<u32> = (0..n as u32).map(|i| (i + 1) % n as u32).collect();
+            let paths = waksman_paths(&rot);
+            verify_waksman(&rot, &paths).unwrap();
+        }
+    }
+
+    #[test]
+    fn waksman_random_permutations() {
+        let mut rng = seeded_rng(13);
+        for d in 1..=6usize {
+            let n = 1usize << d;
+            for _ in 0..10 {
+                let mut perm: Vec<u32> = (0..n as u32).collect();
+                perm.shuffle(&mut rng);
+                let paths = waksman_paths(&perm);
+                verify_waksman(&perm, &paths)
+                    .unwrap_or_else(|e| panic!("d = {d}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn waksman_rejects_non_permutation() {
+        waksman_paths(&[0, 0, 1, 2]);
+    }
+
+    #[test]
+    fn pipeline_makespan_formula() {
+        let d = 4;
+        let mut rng = seeded_rng(17);
+        let mut perms = Vec::new();
+        for _ in 0..5 {
+            let mut p: Vec<u32> = (0..16).collect();
+            p.shuffle(&mut rng);
+            perms.push(p);
+        }
+        let (makespan, transfers) = pipeline_schedule(d, &perms);
+        assert_eq!(makespan, (5 - 1) + (2 * 4 - 1));
+        // 5 waves × 16 packets × 7 stages transfers.
+        assert_eq!(transfers.len(), 5 * 16 * 7);
+    }
+
+    #[test]
+    fn pipeline_single_wave() {
+        let (makespan, _) = pipeline_schedule(2, &[vec![3, 2, 1, 0]]);
+        assert_eq!(makespan, 3);
+    }
+
+    #[test]
+    fn round_trip_schedule_random_h_h() {
+        let d = 3;
+        let rows = 1u32 << d;
+        let mut rng = seeded_rng(31);
+        // Random 4–4 problem on the 8 rows.
+        let mut pairs = Vec::new();
+        for _ in 0..4 {
+            let mut p: Vec<u32> = (0..rows).collect();
+            p.shuffle(&mut rng);
+            for (s, &t) in p.iter().enumerate() {
+                pairs.push((s as u32, t));
+            }
+        }
+        let (makespan, transfers, delivered) = benes_h_h_schedule(d, &pairs);
+        // Makespan = 2(P−1) + 2(2d−1) with P = 4 perms: 6 + 10 = 16.
+        assert_eq!(makespan, 16);
+        assert_eq!(delivered.len(), pairs.len());
+        assert!(delivered.iter().all(|&x| x <= makespan));
+        // Each packet moves 2·(2d−1) times.
+        assert_eq!(transfers.len(), pairs.len() * 2 * (2 * d - 1));
+        // Packets end at their destination row on column 0.
+        for (i, &(_, t)) in pairs.iter().enumerate() {
+            let last = transfers
+                .iter()
+                .filter(|tr| tr.packet_id == i as u32)
+                .max_by_key(|tr| tr.step)
+                .unwrap();
+            assert_eq!(last.to, benes_index(d, 0, t as usize));
+        }
+    }
+
+    #[test]
+    fn round_trip_schedule_single_permutation() {
+        let d = 2;
+        let pairs: Vec<(u32, u32)> = vec![(0, 3), (1, 2), (2, 1), (3, 0)];
+        let (makespan, _, delivered) = benes_h_h_schedule(d, &pairs);
+        assert_eq!(makespan, 2 * (2 * d as u32 - 1));
+        assert!(delivered.iter().all(|&x| x == makespan));
+    }
+}

@@ -1,0 +1,220 @@
+//! Decomposing `h–h` relations into permutations.
+//!
+//! Theorem 2.1's butterfly corollary routes the guest-induced
+//! `⌈n/m⌉–⌈n/m⌉` problem "by routing `O(n/m)` permutations". The classical
+//! device is: pad the bipartite (sources × destinations) multigraph to
+//! `h`-regular, then split it into `h` perfect matchings. For `h` a power of
+//! two this is a clean recursive **Euler split** (halve the degree along an
+//! Eulerian circuit); we pad `h` up to the next power of two with identity
+//! dummy packets, so an `h–h` relation becomes at most `2h` permutations.
+
+use crate::problem::RoutingProblem;
+use unet_topology::Node;
+
+/// Decompose an `h–h` problem into full permutations of `[m]` such that
+/// every original packet `(src, dst)` appears in exactly one permutation
+/// (`perm[src] = dst`). Padding entries are identity-ish placements that an
+/// engine can route at no cost or skip.
+///
+/// Returns at most `next_power_of_two(h)` permutations.
+pub fn decompose_into_permutations(prob: &RoutingProblem) -> Vec<Vec<Node>> {
+    let m = prob.m;
+    let h = prob.h().max(1).next_power_of_two();
+    // Edge list of the bipartite multigraph, padded to exactly h-regular.
+    let mut edges: Vec<(Node, Node)> = prob.pairs.clone();
+    let mut out_deg = vec![0usize; m];
+    let mut in_deg = vec![0usize; m];
+    for &(s, d) in &edges {
+        out_deg[s as usize] += 1;
+        in_deg[d as usize] += 1;
+    }
+    // Pair up out-deficits with in-deficits arbitrarily.
+    let mut need_out: Vec<Node> = Vec::new();
+    let mut need_in: Vec<Node> = Vec::new();
+    for v in 0..m {
+        for _ in out_deg[v]..h {
+            need_out.push(v as Node);
+        }
+        for _ in in_deg[v]..h {
+            need_in.push(v as Node);
+        }
+    }
+    debug_assert_eq!(need_out.len(), need_in.len());
+    for (s, d) in need_out.into_iter().zip(need_in) {
+        edges.push((s, d));
+    }
+    // Recursively Euler-split down to matchings.
+    let mut stack = vec![(edges, h)];
+    let mut perms = Vec::new();
+    while let Some((edges, deg)) = stack.pop() {
+        if deg == 1 {
+            // Perfect matching ⇒ permutation.
+            let mut perm = vec![Node::MAX; m];
+            for (s, d) in edges {
+                debug_assert_eq!(perm[s as usize], Node::MAX);
+                perm[s as usize] = d;
+            }
+            debug_assert!(perm.iter().all(|&d| d != Node::MAX));
+            perms.push(perm);
+        } else {
+            let (a, b) = euler_split(m, &edges);
+            stack.push((a, deg / 2));
+            stack.push((b, deg / 2));
+        }
+    }
+    perms
+}
+
+/// Split a `2k`-regular bipartite multigraph (given as `(left, right)` edge
+/// pairs over `[m] × [m]`) into two `k`-regular halves along Eulerian
+/// circuits.
+fn euler_split(m: usize, edges: &[(Node, Node)]) -> (Vec<(Node, Node)>, Vec<(Node, Node)>) {
+    // Bipartite incidence: vertex ids 0..m = left, m..2m = right.
+    let nv = 2 * m;
+    let mut incident: Vec<Vec<u32>> = vec![Vec::new(); nv];
+    for (e, &(s, d)) in edges.iter().enumerate() {
+        incident[s as usize].push(e as u32);
+        incident[(d as usize) + m].push(e as u32);
+    }
+    let mut used = vec![false; edges.len()];
+    let mut cursor = vec![0usize; nv];
+    let mut a = Vec::with_capacity(edges.len() / 2);
+    let mut b = Vec::with_capacity(edges.len() / 2);
+    for start in 0..nv {
+        loop {
+            // Find an unused incident edge of `start`.
+            while cursor[start] < incident[start].len()
+                && used[incident[start][cursor[start]] as usize]
+            {
+                cursor[start] += 1;
+            }
+            if cursor[start] >= incident[start].len() {
+                break;
+            }
+            // Walk a closed circuit; alternate sides determine direction.
+            let mut v = start;
+            loop {
+                while cursor[v] < incident[v].len() && used[incident[v][cursor[v]] as usize] {
+                    cursor[v] += 1;
+                }
+                if cursor[v] >= incident[v].len() {
+                    break;
+                }
+                let e = incident[v][cursor[v]] as usize;
+                used[e] = true;
+                let (s, d) = edges[e];
+                // Traversal direction: from left→right goes to half A,
+                // right→left to half B (Euler alternation balances degrees).
+                if v < m {
+                    a.push((s, d));
+                    v = (d as usize) + m;
+                } else {
+                    b.push((s, d));
+                    v = s as usize;
+                }
+                if v == start {
+                    break;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(a.len(), b.len(), "Euler split must halve the multigraph");
+    (a, b)
+}
+
+/// Check the decomposition: every permutation is a bijection on `[m]`, and
+/// the multiset of original pairs is covered exactly once.
+pub fn verify_decomposition(prob: &RoutingProblem, perms: &[Vec<Node>]) -> Result<(), String> {
+    let m = prob.m;
+    for (i, perm) in perms.iter().enumerate() {
+        if perm.len() != m {
+            return Err(format!("perm {i} has wrong length"));
+        }
+        let mut seen = vec![false; m];
+        for &d in perm {
+            if (d as usize) >= m || seen[d as usize] {
+                return Err(format!("perm {i} is not a bijection"));
+            }
+            seen[d as usize] = true;
+        }
+    }
+    // Multiset containment: count (s,d) pairs.
+    use unet_topology::util::FxHashMap;
+    let mut want: FxHashMap<(Node, Node), i64> = FxHashMap::default();
+    for &p in &prob.pairs {
+        *want.entry(p).or_insert(0) += 1;
+    }
+    for perm in perms {
+        for (s, &d) in perm.iter().enumerate() {
+            if let Some(c) = want.get_mut(&(s as Node, d)) {
+                *c -= 1;
+            }
+        }
+    }
+    if want.values().any(|&c| c > 0) {
+        return Err("some original packet is not covered by any permutation".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{random_h_h, RoutingProblem};
+    use unet_topology::util::seeded_rng;
+
+    #[test]
+    fn permutation_decomposes_to_itself() {
+        let prob = crate::problem::random_permutation(8, &mut seeded_rng(1));
+        let perms = decompose_into_permutations(&prob);
+        assert_eq!(perms.len(), 1);
+        verify_decomposition(&prob, &perms).unwrap();
+    }
+
+    #[test]
+    fn h_h_decomposes_into_h_perms() {
+        let mut rng = seeded_rng(2);
+        for h in [2usize, 4, 8] {
+            let prob = random_h_h(16, h, &mut rng);
+            let perms = decompose_into_permutations(&prob);
+            assert_eq!(perms.len(), h, "h = {h}"); // h already a power of two
+            verify_decomposition(&prob, &perms).unwrap();
+        }
+    }
+
+    #[test]
+    fn odd_h_pads_to_power_of_two() {
+        let mut rng = seeded_rng(3);
+        let prob = random_h_h(8, 3, &mut rng);
+        let perms = decompose_into_permutations(&prob);
+        assert_eq!(perms.len(), 4);
+        verify_decomposition(&prob, &perms).unwrap();
+    }
+
+    #[test]
+    fn irregular_problem_padded() {
+        // A lopsided problem: node 0 sends 3 packets, others idle.
+        let prob = RoutingProblem::new(4, vec![(0, 1), (0, 2), (0, 3)]);
+        let perms = decompose_into_permutations(&prob);
+        assert_eq!(perms.len(), 4);
+        verify_decomposition(&prob, &perms).unwrap();
+    }
+
+    #[test]
+    fn empty_problem() {
+        let prob = RoutingProblem::new(4, vec![]);
+        let perms = decompose_into_permutations(&prob);
+        assert_eq!(perms.len(), 1); // one identity-ish padding perm
+        verify_decomposition(&prob, &perms).unwrap();
+    }
+
+    #[test]
+    fn duplicate_pairs_handled() {
+        // The same (src, dst) twice must land in two different permutations.
+        let prob = RoutingProblem::new(4, vec![(1, 2), (1, 2)]);
+        let perms = decompose_into_permutations(&prob);
+        verify_decomposition(&prob, &perms).unwrap();
+        let count = perms.iter().filter(|p| p[1] == 2).count();
+        assert_eq!(count, 2);
+    }
+}

@@ -1,0 +1,174 @@
+//! `h–h` routing problems (Section 2).
+//!
+//! An `h–h` routing problem gives every node at most `h` packets to send and
+//! makes every node the destination of at most `h` packets. `route_G(h)` —
+//! the worst-case time to solve such problems on `G` — is the quantity
+//! Theorem 2.1 turns into a universal-simulation slowdown.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use unet_topology::{Graph, Node};
+
+/// A routing problem on `m` nodes: a list of `(src, dst)` packet pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingProblem {
+    /// Number of network nodes.
+    pub m: usize,
+    /// The packets.
+    pub pairs: Vec<(Node, Node)>,
+}
+
+impl RoutingProblem {
+    /// Construct and validate node ranges.
+    pub fn new(m: usize, pairs: Vec<(Node, Node)>) -> Self {
+        assert!(
+            pairs.iter().all(|&(s, d)| (s as usize) < m && (d as usize) < m),
+            "packet endpoint out of range"
+        );
+        RoutingProblem { m, pairs }
+    }
+
+    /// The smallest `h` such that this is an `h–h` problem: the max over
+    /// nodes of packets originating or terminating there.
+    pub fn h(&self) -> usize {
+        let mut out = vec![0usize; self.m];
+        let mut inc = vec![0usize; self.m];
+        for &(s, d) in &self.pairs {
+            out[s as usize] += 1;
+            inc[d as usize] += 1;
+        }
+        out.into_iter().chain(inc).max().unwrap_or(0)
+    }
+
+    /// Whether the problem is a (partial) permutation: `h() ≤ 1`.
+    pub fn is_permutation(&self) -> bool {
+        self.h() <= 1
+    }
+}
+
+/// A full random permutation routing problem (`1–1`).
+pub fn random_permutation<R: Rng>(m: usize, rng: &mut R) -> RoutingProblem {
+    let mut dsts: Vec<Node> = (0..m as Node).collect();
+    dsts.shuffle(rng);
+    RoutingProblem::new(m, (0..m as Node).map(|s| (s, dsts[s as usize])).collect())
+}
+
+/// A random `h–h` problem built as the union of `h` independent random
+/// permutations — every node sends exactly `h` and receives exactly `h`.
+pub fn random_h_h<R: Rng>(m: usize, h: usize, rng: &mut R) -> RoutingProblem {
+    let mut pairs = Vec::with_capacity(m * h);
+    for _ in 0..h {
+        pairs.extend(random_permutation(m, rng).pairs);
+    }
+    RoutingProblem::new(m, pairs)
+}
+
+/// The transpose permutation on a `√m × √m` grid id space: `(x, y) ↦ (y, x)`.
+/// A classic adversarial pattern for meshes.
+pub fn transpose(m: usize) -> RoutingProblem {
+    let side = unet_topology::util::isqrt(m);
+    assert_eq!(side * side, m, "transpose needs a square node count");
+    let pairs = (0..m)
+        .map(|v| {
+            let (x, y) = (v / side, v % side);
+            (v as Node, (y * side + x) as Node)
+        })
+        .collect();
+    RoutingProblem::new(m, pairs)
+}
+
+/// Bit-reversal permutation on `m = 2^k` nodes — the classic adversarial
+/// pattern for greedy butterfly routing.
+pub fn bit_reversal(m: usize) -> RoutingProblem {
+    assert!(m.is_power_of_two());
+    let k = m.trailing_zeros();
+    let pairs = (0..m as u32)
+        .map(|v| (v as Node, (v.reverse_bits() >> (32 - k)) as Node))
+        .collect();
+    RoutingProblem::new(m, pairs)
+}
+
+/// The `⌈n/m⌉–⌈n/m⌉` problem a guest step induces under an embedding
+/// `f : [n] → [m]` (proof of Theorem 2.1): one packet `f(P) → f(P')` per
+/// directed guest edge, dropping host-local pairs.
+pub fn guest_induced(guest: &Graph, f: &[Node], m: usize) -> RoutingProblem {
+    assert_eq!(f.len(), guest.n());
+    let mut pairs = Vec::new();
+    for u in 0..guest.n() as Node {
+        for &v in guest.neighbors(u) {
+            let (s, d) = (f[u as usize], f[v as usize]);
+            if s != d {
+                pairs.push((s, d));
+            }
+        }
+    }
+    RoutingProblem::new(m, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_topology::generators::ring;
+    use unet_topology::util::seeded_rng;
+
+    #[test]
+    fn random_permutation_is_1_1() {
+        let p = random_permutation(16, &mut seeded_rng(1));
+        assert_eq!(p.h(), 1);
+        assert!(p.is_permutation());
+        assert_eq!(p.pairs.len(), 16);
+    }
+
+    #[test]
+    fn random_h_h_has_exact_h() {
+        let p = random_h_h(16, 4, &mut seeded_rng(2));
+        assert_eq!(p.h(), 4);
+        assert_eq!(p.pairs.len(), 64);
+    }
+
+    #[test]
+    fn transpose_is_permutation() {
+        let p = transpose(16);
+        assert!(p.is_permutation());
+        // (1,2) → (2,1): node 6 → node 9 on a 4×4 grid.
+        assert!(p.pairs.contains(&(6, 9)));
+        // Diagonal fixed points map to themselves.
+        assert!(p.pairs.contains(&(5, 5)));
+    }
+
+    #[test]
+    fn bit_reversal_is_involution() {
+        let p = bit_reversal(16);
+        assert!(p.is_permutation());
+        for &(s, d) in &p.pairs {
+            // reversing twice is the identity
+            let back = p.pairs[d as usize].1;
+            assert_eq!(back, s);
+        }
+        // 0001 → 1000.
+        assert!(p.pairs.contains(&(1, 8)));
+    }
+
+    #[test]
+    fn guest_induced_degree_bound() {
+        // Guest ring(8) mapped 2-per-host onto 4 hosts: each host sends at
+        // most 2·2 = 4 packets (each of its 2 guests has ≤ 2 remote edges).
+        let guest = ring(8);
+        let f: Vec<Node> = (0..8).map(|i| (i / 2) as Node).collect();
+        let p = guest_induced(&guest, &f, 4);
+        assert!(p.h() <= 4, "h = {}", p.h());
+        // Host-local edges dropped: guests 0,1 share host 0.
+        assert!(!p.pairs.contains(&(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        RoutingProblem::new(4, vec![(0, 9)]);
+    }
+
+    #[test]
+    fn h_of_empty_problem() {
+        assert_eq!(RoutingProblem::new(4, vec![]).h(), 0);
+    }
+}

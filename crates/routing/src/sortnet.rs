@@ -1,0 +1,266 @@
+//! Sorting networks: Batcher's bitonic sorter, standing in for the AKS
+//! circuit.
+//!
+//! Galil & Paul's universal machine (and the deterministic `h–h` routing the
+//! paper mentions via Leighton's Columnsort over AKS) uses parallel sorting
+//! as the routing mechanism. AKS has unimplementable constants, so —
+//! documented substitution — we use Batcher's bitonic network: depth
+//! `O(log² n)` instead of `O(log n)`, same obliviousness and
+//! data-independence, which is what the simulation construction needs.
+
+/// One comparator: compare positions `(lo, hi)`; after the stage
+/// `v[lo] ≤ v[hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Comparator {
+    /// Position receiving the minimum.
+    pub lo: u32,
+    /// Position receiving the maximum.
+    pub hi: u32,
+}
+
+/// The bitonic sorting network for `n = 2^k` elements as a list of stages;
+/// comparators within a stage touch disjoint positions (parallel step).
+/// Depth = `k·(k+1)/2` stages.
+pub fn bitonic_stages(k: u32) -> Vec<Vec<Comparator>> {
+    let n = 1usize << k;
+    let mut stages = Vec::new();
+    for kk in 1..=k {
+        let block = 1usize << kk;
+        for jj in (0..kk).rev() {
+            let dist = 1usize << jj;
+            let mut stage = Vec::with_capacity(n / 2);
+            for i in 0..n {
+                let l = i ^ dist;
+                if l > i {
+                    // Ascending block iff bit `kk` of i is 0.
+                    let ascending = i & block == 0;
+                    stage.push(if ascending {
+                        Comparator { lo: i as u32, hi: l as u32 }
+                    } else {
+                        Comparator { lo: l as u32, hi: i as u32 }
+                    });
+                }
+            }
+            stages.push(stage);
+        }
+    }
+    stages
+}
+
+/// Apply a staged network to `values` in place.
+pub fn apply_stages<T: Ord + Copy>(stages: &[Vec<Comparator>], values: &mut [T]) {
+    for stage in stages {
+        for c in stage {
+            let (lo, hi) = (c.lo as usize, c.hi as usize);
+            if values[lo] > values[hi] {
+                values.swap(lo, hi);
+            }
+        }
+    }
+}
+
+/// Sort via the bitonic network (length must be a power of two).
+pub fn bitonic_sort<T: Ord + Copy>(values: &mut [T]) {
+    assert!(values.len().is_power_of_two(), "bitonic sort needs 2^k elements");
+    if values.len() <= 1 {
+        return;
+    }
+    let k = values.len().trailing_zeros();
+    let stages = bitonic_stages(k);
+    apply_stages(&stages, values);
+}
+
+/// Depth (parallel steps) of the bitonic sorter on `2^k` inputs.
+pub fn bitonic_depth(k: u32) -> usize {
+    (k * (k + 1) / 2) as usize
+}
+
+/// Predicted sorting-based `h–h` routing time on an `n = 2^k`-node host that
+/// executes one comparator stage per step: `O(h)` sorts of the packet array,
+/// i.e. `≈ h · depth` — the `sort(n, m)`-driven slowdown of Galil–Paul.
+pub fn sorting_route_steps(k: u32, h: usize) -> usize {
+    h.max(1) * bitonic_depth(k)
+}
+
+/// Verify that comparators within each stage are vertex-disjoint (so a stage
+/// is executable in one parallel step on a network hosting one element per
+/// node).
+pub fn stages_are_parallel(stages: &[Vec<Comparator>]) -> bool {
+    stages.iter().all(|stage| {
+        let mut seen = std::collections::HashSet::new();
+        stage.iter().all(|c| seen.insert(c.lo) && seen.insert(c.hi))
+    })
+}
+
+/// Odd–even transposition sort on `n` elements: `n` stages of adjacent
+/// comparators — *the* sorting network for linear-array/ring hosts, where
+/// every comparator is a physical link. Depth `n` (vs `O(log² n)` for
+/// bitonic on hypercubic hosts): using it as the routing mechanism makes a
+/// ring host pay `Θ(m)` per permutation, which is why rings are terrible
+/// universal hosts (experiment E8).
+pub fn odd_even_transposition_stages(n: usize) -> Vec<Vec<Comparator>> {
+    (0..n)
+        .map(|round| {
+            (round % 2..n.saturating_sub(1))
+                .step_by(2)
+                .map(|i| Comparator { lo: i as u32, hi: i as u32 + 1 })
+                .collect()
+        })
+        .collect()
+}
+
+/// Batcher's odd–even mergesort on `n = 2^k` elements — the other classic
+/// `O(log² n)`-depth network; included as an ablation against bitonic
+/// (slightly fewer comparators, same depth class).
+pub fn odd_even_merge_stages(kk: u32) -> Vec<Vec<Comparator>> {
+    let n = 1usize << kk;
+    let mut stages: Vec<Vec<Comparator>> = Vec::new();
+    // Knuth's iterative formulation: one parallel stage per (p, k) pair.
+    let mut p = 1usize;
+    while p < n {
+        let mut k = p;
+        while k >= 1 {
+            let mut stage = Vec::new();
+            let mut j = k % p;
+            while j + k < n {
+                for i in 0..k {
+                    let a = i + j;
+                    let b = i + j + k;
+                    if b < n && a / (2 * p) == b / (2 * p) {
+                        stage.push(Comparator { lo: a as u32, hi: b as u32 });
+                    }
+                }
+                j += 2 * k;
+            }
+            if !stage.is_empty() {
+                stages.push(stage);
+            }
+            if k == 1 {
+                break;
+            }
+            k /= 2;
+        }
+        p *= 2;
+    }
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use unet_topology::util::seeded_rng;
+
+    #[test]
+    fn sorts_small_arrays() {
+        for k in 0..6u32 {
+            let n = 1usize << k;
+            let mut v: Vec<u32> = (0..n as u32).rev().collect();
+            bitonic_sort(&mut v);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn sorts_random_arrays() {
+        let mut rng = seeded_rng(5);
+        for _ in 0..50 {
+            let mut v: Vec<u64> = (0..64).map(|_| rng.gen_range(0..1000)).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            bitonic_sort(&mut v);
+            assert_eq!(v, expect);
+        }
+    }
+
+    #[test]
+    fn zero_one_principle_exhaustive() {
+        // 0-1 principle: a comparator network sorts all inputs iff it sorts
+        // all 0-1 inputs. Exhaust all 2^8 binary inputs for k = 3.
+        let stages = bitonic_stages(3);
+        for mask in 0u32..256 {
+            let mut v: Vec<u8> = (0..8).map(|i| ((mask >> i) & 1) as u8).collect();
+            apply_stages(&stages, &mut v);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "mask = {mask}");
+        }
+    }
+
+    #[test]
+    fn stage_structure() {
+        let stages = bitonic_stages(4);
+        assert_eq!(stages.len(), bitonic_depth(4));
+        assert_eq!(bitonic_depth(4), 10);
+        assert!(stages_are_parallel(&stages));
+        // Every stage has n/2 comparators.
+        assert!(stages.iter().all(|s| s.len() == 8));
+    }
+
+    #[test]
+    fn sorting_route_cost_monotone_in_h() {
+        assert!(sorting_route_steps(10, 4) > sorting_route_steps(10, 1));
+        assert_eq!(sorting_route_steps(10, 0), bitonic_depth(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn non_power_of_two_rejected() {
+        let mut v = vec![3u32, 1, 2];
+        bitonic_sort(&mut v);
+    }
+
+    #[test]
+    fn odd_even_transposition_sorts() {
+        for n in [1usize, 2, 5, 8, 17] {
+            let stages = odd_even_transposition_stages(n);
+            assert_eq!(stages.len(), n);
+            assert!(stages_are_parallel(&stages));
+            // Comparators only touch adjacent positions (linear-array model).
+            for s in &stages {
+                for c in s {
+                    assert_eq!(c.hi, c.lo + 1);
+                }
+            }
+            let mut v: Vec<u32> = (0..n as u32).rev().collect();
+            apply_stages(&stages, &mut v);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "n = {n}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn odd_even_transposition_zero_one_principle() {
+        let stages = odd_even_transposition_stages(7);
+        for mask in 0u32..128 {
+            let mut v: Vec<u8> = (0..7).map(|i| ((mask >> i) & 1) as u8).collect();
+            apply_stages(&stages, &mut v);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]), "mask = {mask}");
+        }
+    }
+
+    #[test]
+    fn odd_even_merge_sorts() {
+        let mut rng = seeded_rng(9);
+        for k in 1..=6u32 {
+            let stages = odd_even_merge_stages(k);
+            assert!(stages_are_parallel(&stages), "k = {k}");
+            for _ in 0..10 {
+                let n = 1usize << k;
+                let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..100)).collect();
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                apply_stages(&stages, &mut v);
+                assert_eq!(v, expect, "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn odd_even_merge_fewer_comparators_than_bitonic() {
+        // Batcher's odd-even network uses strictly fewer comparators than
+        // bitonic at the same size (the classic comparison).
+        for k in 3..=6u32 {
+            let oe: usize = odd_even_merge_stages(k).iter().map(|s| s.len()).sum();
+            let bi: usize = bitonic_stages(k).iter().map(|s| s.len()).sum();
+            assert!(oe < bi, "k = {k}: odd-even {oe} vs bitonic {bi}");
+        }
+    }
+}

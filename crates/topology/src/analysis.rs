@@ -1,0 +1,242 @@
+//! Structural graph analysis: BFS, diameter, connectivity, and the spreading
+//! function of [15] (the size of `t`-neighbourhoods, which governs how far
+//! information can travel in `t` steps of a network computation).
+
+use crate::graph::{Graph, Node};
+use std::collections::VecDeque;
+
+/// BFS distances from `src`; unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, src: Node) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &w in g.neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `src` (max finite BFS distance). `None` if the graph is
+/// disconnected from `src`.
+pub fn eccentricity(g: &Graph, src: Node) -> Option<u32> {
+    let dist = bfs_distances(g, src);
+    let mut max = 0;
+    for &d in &dist {
+        if d == u32::MAX {
+            return None;
+        }
+        max = max.max(d);
+    }
+    Some(max)
+}
+
+/// Exact diameter by all-pairs BFS — `O(n·(n+m))`, fine for the experiment
+/// sizes (n ≤ ~10⁴). Panics on empty, returns `u32::MAX` when disconnected.
+pub fn diameter_exact(g: &Graph) -> u32 {
+    assert!(g.n() > 0);
+    let mut best = 0;
+    for v in 0..g.n() as Node {
+        match eccentricity(g, v) {
+            Some(e) => best = best.max(e),
+            None => return u32::MAX,
+        }
+    }
+    best
+}
+
+/// Double-sweep lower bound on the diameter: BFS from `src`, then BFS from
+/// the farthest vertex found. Exact on trees; a good lower bound in general
+/// and `O(n + m)`.
+pub fn diameter_double_sweep(g: &Graph, src: Node) -> u32 {
+    let d1 = bfs_distances(g, src);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != u32::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .map(|(v, _)| v as Node)
+        .unwrap_or(src);
+    let d2 = bfs_distances(g, far);
+    d2.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+}
+
+/// Whether the graph is connected (vacuously true for n ≤ 1).
+pub fn is_connected(g: &Graph) -> bool {
+    if g.n() <= 1 {
+        return true;
+    }
+    bfs_distances(g, 0).iter().all(|&d| d != u32::MAX)
+}
+
+/// Size of the ball of radius `t` around `v` (the `t`-neighbourhood,
+/// including `v`).
+pub fn ball_size(g: &Graph, v: Node, t: u32) -> usize {
+    bfs_distances(g, v).iter().filter(|&&d| d <= t).count()
+}
+
+/// The spreading function of [15] evaluated at `t`: the *maximum* over all
+/// vertices of the `t`-neighbourhood size. Networks with polynomially bounded
+/// spreading admit smaller universal hosts (Meyer auf der Heide & Wanka,
+/// STACS'89) — we expose the measurement so that claim can be explored.
+///
+/// `sample` limits the number of source vertices scanned (deterministic
+/// stride) to keep this `O(sample · (n + m))`.
+pub fn spreading_function(g: &Graph, t: u32, sample: usize) -> usize {
+    let n = g.n();
+    if n == 0 {
+        return 0;
+    }
+    let stride = (n / sample.max(1)).max(1);
+    (0..n)
+        .step_by(stride)
+        .map(|v| ball_size(g, v as Node, t))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Connected components; returns a component id per vertex and the count.
+pub fn components(g: &Graph) -> (Vec<u32>, usize) {
+    let mut comp = vec![u32::MAX; g.n()];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..g.n() as Node {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Brute-force vertex expansion: over all sets `A` with `|A| ≤ α·n`, the
+/// minimum of `|N(A)| / |A|` where `N(A)` is the set of neighbours of `A`
+/// (following the paper's Definition 3.8 of an `(α, β)`-expander; `N(A)` may
+/// intersect `A`). Exponential — only for `n ≤ ~20` (tests and tiny
+/// certification runs).
+pub fn vertex_expansion_bruteforce(g: &Graph, alpha: f64) -> f64 {
+    let n = g.n();
+    assert!(n <= 24, "brute-force expansion is exponential; n = {n} too large");
+    let limit = (alpha * n as f64).floor() as u32;
+    let mut best = f64::INFINITY;
+    for mask in 1u64..(1u64 << n) {
+        let size = mask.count_ones();
+        if size == 0 || size > limit {
+            continue;
+        }
+        let mut nb = 0u64;
+        for v in 0..n {
+            if mask & (1 << v) != 0 {
+                for &w in g.neighbors(v as Node) {
+                    nb |= 1 << w;
+                }
+            }
+        }
+        let ratio = nb.count_ones() as f64 / size as f64;
+        if ratio < best {
+            best = ratio;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{binary_tree, complete, path, ring};
+    use crate::generators::mesh::{mesh, torus};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter_exact(&path(5)), 4);
+        assert_eq!(diameter_exact(&ring(6)), 3);
+        assert_eq!(diameter_exact(&mesh(4, 4)), 6);
+        assert_eq!(diameter_exact(&torus(4, 4)), 4);
+        assert_eq!(diameter_exact(&complete(7)), 1);
+    }
+
+    #[test]
+    fn double_sweep_exact_on_trees() {
+        let g = binary_tree(4);
+        assert_eq!(diameter_double_sweep(&g, 0), diameter_exact(&g));
+    }
+
+    #[test]
+    fn disconnected_detection() {
+        let mut b = crate::graph::GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(2, 3);
+        let g = b.build();
+        assert!(!is_connected(&g));
+        assert_eq!(diameter_exact(&g), u32::MAX);
+        assert_eq!(eccentricity(&g, 0), None);
+        let (comp, count) = components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+    }
+
+    #[test]
+    fn ball_sizes_on_torus() {
+        let g = torus(5, 5);
+        assert_eq!(ball_size(&g, 0, 0), 1);
+        assert_eq!(ball_size(&g, 0, 1), 5);
+        // Radius-2 ball on the torus: 1 + 4 + 8 = 13.
+        assert_eq!(ball_size(&g, 0, 2), 13);
+        assert_eq!(ball_size(&g, 0, 100), 25);
+    }
+
+    #[test]
+    fn spreading_function_mesh_quadratic() {
+        // Mesh spreading is Θ(t²) — "polynomial spreading" per [15].
+        let g = mesh(20, 20);
+        let s2 = spreading_function(&g, 2, 400);
+        let s4 = spreading_function(&g, 4, 400);
+        assert_eq!(s2, 13);
+        assert_eq!(s4, 41);
+    }
+
+    #[test]
+    fn expansion_of_complete_graph() {
+        let g = complete(8);
+        // Any A: N(A) = everything, ratio ≥ 8 / |A| ≥ 8 / 4.
+        let beta = vertex_expansion_bruteforce(&g, 0.5);
+        assert!(beta >= 2.0 - 1e-9, "beta = {beta}");
+    }
+
+    #[test]
+    fn expansion_of_ring_is_weak() {
+        let g = ring(16);
+        // At α = 0.5 the alternating set {0,2,…,14} has N(A) = the odd
+        // vertices, so |N(A)|/|A| = 1 exactly: rings are not (½, β)-expanders
+        // for any β > 1.
+        let beta = vertex_expansion_bruteforce(&g, 0.5);
+        assert!((beta - 1.0).abs() < 1e-9, "beta = {beta}");
+        // At α = 0.25 the worst set is a run of alternating vertices, e.g.
+        // {0,2,4,6} with N(A) = {1,3,5,7,15} ⇒ β = 5/4.
+        let beta_small = vertex_expansion_bruteforce(&g, 0.25);
+        assert!((beta_small - 1.25).abs() < 1e-9, "beta = {beta_small}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Counting labelled regular graphs.
+//!
+//! The lower-bound proof of Theorem 3.1 is a counting argument: the number of
+//! guests `|U'|` (c-regular graphs on n labelled vertices) must not exceed
+//! the number `D(k)` of guests that admit `k`-inefficient simulations. This
+//! module supplies the `log₂|U'|` side:
+//!
+//! * [`log2_num_regular`] — the Bender–Canfield asymptotic count, accurate to
+//!   `o(1)` in the exponent for fixed degree;
+//! * [`log2_pairings`] — the configuration-model upper bound
+//!   `(nd)! / ((nd/2)!·2^{nd/2}·(d!)^n)`;
+//! * [`log2_num_supergraphs`] — the paper's bound
+//!   `|U[G₀]| ≥ n^{((c−12)/2)·n} · 2^{−δn}` in executable form (the count of
+//!   (c−12)-regular residual graphs);
+//! * [`count_regular_exact`] — brute-force enumeration for tiny `n`, used to
+//!   validate the formulas in tests.
+
+use crate::util::{log2_factorial, log2_binomial};
+
+/// `log₂` of the number of perfect matchings of `2k` points: `(2k−1)!! =
+/// (2k)! / (k!·2^k)`.
+pub fn log2_double_factorial_odd(k: u64) -> f64 {
+    log2_factorial(2 * k) - log2_factorial(k) - k as f64
+}
+
+/// `log₂` of the number of configuration-model pairings that project onto
+/// labelled `d`-regular multigraphs: `(nd−1)!! / (d!)^n` — an upper bound on
+/// the number of simple labelled `d`-regular graphs.
+pub fn log2_pairings(n: u64, d: u64) -> f64 {
+    assert!(n * d % 2 == 0, "n·d must be even");
+    log2_double_factorial_odd(n * d / 2) - n as f64 * log2_factorial(d)
+}
+
+/// Bender–Canfield estimate of `log₂ #{labelled simple d-regular graphs on n
+/// vertices}`:
+/// `(nd−1)!!/(d!)^n · e^{−(d²−1)/4}` — exact up to `(1+o(1))` for fixed `d`.
+pub fn log2_num_regular(n: u64, d: u64) -> f64 {
+    let correction = ((d * d) as f64 - 1.0) / 4.0 / std::f64::consts::LN_2;
+    log2_pairings(n, d) - correction
+}
+
+/// `log₂|U[G₀]|` in the style of the paper's Theorem 3.1 proof: the guests
+/// containing the fixed 12-regular `G₀` are determined by their
+/// `(c−12)`-regular residual, so
+/// `log₂|U[G₀]| ≈ log₂ #{(c−12)-regular graphs}`. The paper lower-bounds this
+/// by `((c−12)/2)·n·log₂ n − δ·n`; we return both the Bender–Canfield value
+/// and the paper's leading term for comparison.
+pub fn log2_num_supergraphs(n: u64, c: u64) -> SupergraphCount {
+    assert!(c >= 12 && (c - 12) % 2 == 0);
+    let resid = c - 12;
+    let bc = if resid == 0 { 0.0 } else { log2_num_regular(n, resid) };
+    let leading = (resid as f64 / 2.0) * n as f64 * (n as f64).log2();
+    // δ from Stirling: (nd/2)·log₂ e terms etc.; report the implied δ.
+    let delta = if n > 0 { (leading - bc) / n as f64 } else { 0.0 };
+    SupergraphCount { log2_count: bc, leading_term: leading, delta_per_n: delta }
+}
+
+/// Output of [`log2_num_supergraphs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupergraphCount {
+    /// Bender–Canfield `log₂` count of residual graphs.
+    pub log2_count: f64,
+    /// The paper's leading term `((c−12)/2)·n·log₂ n`.
+    pub leading_term: f64,
+    /// Implied `δ` such that count `= leading − δ·n` (paper: a constant).
+    pub delta_per_n: f64,
+}
+
+/// `log₂` of the naive per-fragment multiplicity bound of Lemma 3.3:
+/// `∏ C(|D_i|, c/2)` given the multiset of `|D_i|` values.
+pub fn log2_multiplicity(d_sizes: &[u64], c: u64) -> f64 {
+    d_sizes
+        .iter()
+        .map(|&di| log2_binomial(di, c / 2))
+        .sum()
+}
+
+/// Exact count of labelled simple `d`-regular graphs on `n` vertices by
+/// brute force over edge subsets. Exponential; intended for `n ≤ 8` with
+/// `d ≤ 3` (validation of the formulas only).
+pub fn count_regular_exact(n: usize, d: usize) -> u64 {
+    assert!(n <= 8, "exact enumeration limited to n ≤ 8");
+    if n * d % 2 == 1 {
+        return 0;
+    }
+    let pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
+        .collect();
+    let e = pairs.len();
+    let need = n * d / 2;
+    let mut count = 0u64;
+    // Iterate subsets of exactly `need` edges via Gosper's hack.
+    if need > e {
+        return 0;
+    }
+    if need == 0 {
+        return 1;
+    }
+    let mut mask: u64 = (1u64 << need) - 1;
+    let limit: u64 = 1u64 << e;
+    while mask < limit {
+        let mut deg = [0u8; 8];
+        let mut ok = true;
+        let mut m = mask;
+        while m != 0 {
+            let i = m.trailing_zeros() as usize;
+            let (u, v) = pairs[i];
+            deg[u] += 1;
+            deg[v] += 1;
+            if deg[u] > d as u8 || deg[v] > d as u8 {
+                ok = false;
+                break;
+            }
+            m &= m - 1;
+        }
+        if ok && deg[..n].iter().all(|&x| x == d as u8) {
+            count += 1;
+        }
+        // Gosper: next subset with same popcount.
+        let c0 = mask & mask.wrapping_neg();
+        let r = mask + c0;
+        mask = if c0 == 0 { limit } else { (((r ^ mask) >> 2) / c0) | r };
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts_known_values() {
+        // Labelled 2-regular graphs = disjoint unions of cycles covering all
+        // vertices: n=3 → 1 (triangle), n=4 → 3, n=5 → 12, n=6 → 70.
+        assert_eq!(count_regular_exact(3, 2), 1);
+        assert_eq!(count_regular_exact(4, 2), 3);
+        assert_eq!(count_regular_exact(5, 2), 12);
+        assert_eq!(count_regular_exact(6, 2), 70);
+        // Labelled cubic graphs: n=4 → 1 (K4), n=6 → 70.
+        assert_eq!(count_regular_exact(4, 3), 1);
+        assert_eq!(count_regular_exact(6, 3), 70);
+        // Odd n·d impossible.
+        assert_eq!(count_regular_exact(5, 3), 0);
+        // 1-regular = perfect matchings: n=6 → 15.
+        assert_eq!(count_regular_exact(6, 1), 15);
+    }
+
+    #[test]
+    fn pairings_upper_bounds_exact() {
+        for (n, d) in [(6u64, 2usize), (6, 3), (8, 2)] {
+            let exact = count_regular_exact(n as usize, d) as f64;
+            let bound = log2_pairings(n, d as u64);
+            assert!(
+                bound >= exact.log2() - 1e-9,
+                "n={n} d={d}: bound {bound} < exact {}",
+                exact.log2()
+            );
+        }
+    }
+
+    #[test]
+    fn bender_canfield_close_for_small_cases() {
+        // BC is asymptotic; at n=8, d=3 it should be within ~1 bit of exact.
+        let exact = count_regular_exact(8, 3) as f64; // 19355
+        assert_eq!(exact as u64, 19355);
+        let bc = log2_num_regular(8, 3);
+        assert!(
+            (bc - exact.log2()).abs() < 1.0,
+            "BC {bc} vs exact {}",
+            exact.log2()
+        );
+    }
+
+    #[test]
+    fn supergraph_count_leading_term_dominates() {
+        let sc = log2_num_supergraphs(1 << 12, 16);
+        // Count is positive and below the leading term (δ > 0 as the paper
+        // states), and δ stays bounded.
+        assert!(sc.log2_count > 0.0);
+        assert!(sc.log2_count < sc.leading_term);
+        assert!(sc.delta_per_n > 0.0 && sc.delta_per_n < 10.0, "δ = {}", sc.delta_per_n);
+    }
+
+    #[test]
+    fn supergraph_count_degree_12_trivial() {
+        let sc = log2_num_supergraphs(64, 12);
+        assert_eq!(sc.log2_count, 0.0);
+    }
+
+    #[test]
+    fn multiplicity_bound_formula() {
+        // Two D_i of size 4, c = 4 ⇒ C(4,2)² = 36.
+        let lg = log2_multiplicity(&[4, 4], 4);
+        assert!((lg - 36f64.log2()).abs() < 1e-9);
+        // An undersized D_i kills the product.
+        assert_eq!(log2_multiplicity(&[1, 4], 4), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn double_factorial_small() {
+        // (2·3−1)!! = 15.
+        assert!((log2_double_factorial_odd(3) - 15f64.log2()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,212 @@
+//! Eulerian circuits and balanced orientations.
+//!
+//! Lemma 3.3 represents each `c`-regular guest (c even) as a digraph with
+//! `c/2` in- and `c/2` out-edges per vertex, "obtained by walking along an
+//! Eulerian tour". This module makes that device executable: Hierholzer's
+//! algorithm per connected component, then orient every edge along the tour.
+
+use crate::graph::{Graph, Node};
+
+/// A balanced orientation of an even-degree graph: for every vertex,
+/// `out[v]` lists the heads of edges directed out of `v`, with
+/// `|out[v]| = deg(v)/2`.
+#[derive(Debug, Clone)]
+pub struct Orientation {
+    /// Out-neighbours per vertex (multiset order unspecified).
+    pub out: Vec<Vec<Node>>,
+}
+
+impl Orientation {
+    /// In-degree of `v` (computed; equals `deg(v)/2` for valid orientations).
+    pub fn in_degree(&self, v: Node) -> usize {
+        self.out
+            .iter()
+            .map(|lst| lst.iter().filter(|&&w| w == v).count())
+            .sum()
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: Node) -> usize {
+        self.out[v as usize].len()
+    }
+
+    /// Check balance against the underlying graph.
+    pub fn is_balanced_for(&self, g: &Graph) -> bool {
+        (0..g.n() as Node).all(|v| {
+            let d = g.degree(v);
+            d % 2 == 0 && self.out_degree(v) == d / 2
+        })
+    }
+}
+
+/// Orient every edge of an even-degree graph along Eulerian circuits (one per
+/// connected component). The result is balanced: in-degree = out-degree =
+/// deg/2 at every vertex — exactly the representation Lemma 3.3 needs.
+///
+/// # Panics
+/// Panics if any vertex has odd degree.
+pub fn eulerian_orientation(g: &Graph) -> Orientation {
+    for v in 0..g.n() as Node {
+        assert!(
+            g.degree(v) % 2 == 0,
+            "vertex {v} has odd degree {}; Eulerian orientation needs even degrees",
+            g.degree(v)
+        );
+    }
+    let n = g.n();
+    // Flat edge structures: for each vertex a cursor into its adjacency list
+    // and a "used" flag per directed arc position.
+    let mut cursor = vec![0usize; n];
+    // used[v][i] marks that the i-th incident edge of v was traversed (in
+    // either direction). We need to match the two endpoints of an undirected
+    // edge: find the partner slot by scanning w's adjacency for v among
+    // unused slots. To make that O(1) amortized we precompute partner slots.
+    let (slot_of, partner) = edge_slots(g);
+    let mut used = vec![false; slot_of.last().copied().unwrap_or(0)];
+    let mut out: Vec<Vec<Node>> = (0..n).map(|v| Vec::with_capacity(g.degree(v as Node) / 2)).collect();
+
+    for start in 0..n {
+        // Hierholzer from `start` over still-unused edges.
+        loop {
+            // Find an unused incident edge of `start`.
+            if !advance_cursor(g, &slot_of, &used, &mut cursor, start) {
+                break;
+            }
+            // Walk a closed circuit and record orientations.
+            let mut v = start;
+            loop {
+                if !advance_cursor(g, &slot_of, &used, &mut cursor, v) {
+                    break;
+                }
+                let slot = slot_of[v] + cursor[v];
+                let w = g.neighbors(v as Node)[cursor[v]];
+                used[slot] = true;
+                used[partner[slot]] = true;
+                out[v].push(w);
+                v = w as usize;
+                if v == start {
+                    break;
+                }
+            }
+        }
+    }
+    Orientation { out }
+}
+
+/// Per-vertex base slot into a flat incidence array, plus for each incidence
+/// slot the partner slot at the other endpoint.
+fn edge_slots(g: &Graph) -> (Vec<usize>, Vec<usize>) {
+    let n = g.n();
+    let mut slot_of = Vec::with_capacity(n + 1);
+    let mut acc = 0usize;
+    for v in 0..n {
+        slot_of.push(acc);
+        acc += g.degree(v as Node);
+    }
+    slot_of.push(acc);
+    let mut partner = vec![usize::MAX; acc];
+    // For the simple graph, the partner of slot (v, i) with neighbour w is
+    // the slot (w, j) where g.neighbors(w)[j] == v (unique since simple).
+    for v in 0..n {
+        for (i, &w) in g.neighbors(v as Node).iter().enumerate() {
+            let j = g
+                .neighbors(w)
+                .binary_search(&(v as Node))
+                .expect("simple graph adjacency must be symmetric");
+            partner[slot_of[v] + i] = slot_of[w as usize] + j;
+        }
+    }
+    (slot_of, partner)
+}
+
+/// Move `cursor[v]` forward past used slots; returns whether an unused
+/// incident edge remains.
+fn advance_cursor(
+    g: &Graph,
+    slot_of: &[usize],
+    used: &[bool],
+    cursor: &mut [usize],
+    v: usize,
+) -> bool {
+    let deg = g.degree(v as Node);
+    while cursor[v] < deg && used[slot_of[v] + cursor[v]] {
+        cursor[v] += 1;
+    }
+    cursor[v] < deg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::ring;
+    use crate::generators::mesh::torus;
+    use crate::generators::random::random_regular;
+    use crate::util::seeded_rng;
+
+    #[test]
+    fn ring_orientation_is_a_cycle() {
+        let g = ring(6);
+        let o = eulerian_orientation(&g);
+        assert!(o.is_balanced_for(&g));
+        for v in 0..6u32 {
+            assert_eq!(o.out_degree(v), 1);
+            assert_eq!(o.in_degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn torus_orientation_balanced() {
+        let g = torus(4, 4);
+        let o = eulerian_orientation(&g);
+        assert!(o.is_balanced_for(&g));
+        for v in 0..16u32 {
+            assert_eq!(o.out_degree(v), 2);
+        }
+        // Every oriented edge is a real edge, each undirected edge exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..16u32 {
+            for &w in &o.out[v as usize] {
+                assert!(g.has_edge(v, w));
+                let key = if v < w { (v, w) } else { (w, v) };
+                assert!(seen.insert(key), "edge {key:?} oriented twice");
+            }
+        }
+        assert_eq!(seen.len(), g.num_edges());
+    }
+
+    #[test]
+    fn random_regular_16_orientation() {
+        // The paper's guest degree c = 16 ⇒ 8 in / 8 out.
+        let g = random_regular(40, 16, &mut seeded_rng(21));
+        let o = eulerian_orientation(&g);
+        assert!(o.is_balanced_for(&g));
+        for v in 0..40u32 {
+            assert_eq!(o.out_degree(v), 8);
+        }
+    }
+
+    #[test]
+    fn disconnected_even_graph() {
+        // Two disjoint triangles.
+        let mut b = crate::graph::GraphBuilder::new(6);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+        b.add_edge(3, 4).add_edge(4, 5).add_edge(5, 3);
+        let g = b.build();
+        let o = eulerian_orientation(&g);
+        assert!(o.is_balanced_for(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd degree")]
+    fn odd_degree_rejected() {
+        let g = crate::generators::classic::path(3);
+        eulerian_orientation(&g);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = crate::graph::GraphBuilder::new(3).build();
+        let o = eulerian_orientation(&g);
+        assert!(o.is_balanced_for(&g));
+    }
+}

@@ -1,0 +1,219 @@
+//! Further networks from the paper's reference list: the mesh of trees
+//! (Achilles [1] emulates meshes on them), Kautz graphs (de Bruijn's denser
+//! sibling), and the multibutterfly (Rappoport [17] separates it from the
+//! butterfly under simulation).
+
+use crate::graph::{Graph, GraphBuilder, Node};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// The `s × s` mesh of trees: an `s × s` grid of leaves (no grid edges!),
+/// plus a complete binary tree over every row and every column. For
+/// `s = 2^k`: `s² + 2·s·(s−1)` vertices, degree ≤ 6 (leaves have degree 2,
+/// internal tree nodes ≤ 3 each ×2 trees at roots-adjacent nodes).
+/// Diameter `O(log s)` with only `O(s² )` nodes — a classic powerful host
+/// (reference [1] emulates meshes on it optimally).
+///
+/// Node layout: leaves `0..s²` (row-major), then row-tree internals
+/// (`s·(s−1)` of them), then column-tree internals.
+pub fn mesh_of_trees(s: usize) -> Graph {
+    assert!(s.is_power_of_two() && s >= 2, "side must be a power of two ≥ 2");
+    let leaves = s * s;
+    let internals_per_tree = s - 1;
+    let n = leaves + 2 * s * internals_per_tree;
+    let mut b = GraphBuilder::new(n);
+    // A complete binary tree over `s` leaf slots: internal nodes indexed
+    // 0..s−1 heap-style (root = 0); leaf j attaches under internal
+    // (s/2 − 1 + j/2)… simpler: build the tree over 2s−1 heap slots where
+    // slots s−1..2s−2 are the leaves.
+    let connect_tree = |leaf_ids: &[Node], internal_base: Node, b: &mut GraphBuilder| {
+        // Heap positions 0..2s−2; position p ≥ s−1 is leaf leaf_ids[p−(s−1)],
+        // else internal internal_base + p.
+        let id = |p: usize| -> Node {
+            if p >= s - 1 {
+                leaf_ids[p - (s - 1)]
+            } else {
+                internal_base + p as Node
+            }
+        };
+        for p in 0..s - 1 {
+            b.add_edge(id(p), id(2 * p + 1));
+            b.add_edge(id(p), id(2 * p + 2));
+        }
+    };
+    // Row trees.
+    for r in 0..s {
+        let leaf_ids: Vec<Node> = (0..s).map(|c| (r * s + c) as Node).collect();
+        let base = (leaves + r * internals_per_tree) as Node;
+        connect_tree(&leaf_ids, base, &mut b);
+    }
+    // Column trees.
+    for c in 0..s {
+        let leaf_ids: Vec<Node> = (0..s).map(|r| (r * s + c) as Node).collect();
+        let base = (leaves + s * internals_per_tree + c * internals_per_tree) as Node;
+        connect_tree(&leaf_ids, base, &mut b);
+    }
+    b.build()
+}
+
+/// Kautz graph `K(b, k)`: vertices are length-`k` strings over `b+1` symbols
+/// with no two consecutive symbols equal (`(b+1)·b^{k−1}` of them); edges
+/// connect `x₁…x_k` to `x₂…x_k y` for every `y ≠ x_k`. Undirected version;
+/// degree ≤ `2b`. Denser than de Bruijn at the same degree, diameter `k`.
+pub fn kautz(b: usize, k: usize) -> Graph {
+    assert!(b >= 2 && k >= 1);
+    // Enumerate vertices as sequences; index them.
+    let mut verts: Vec<Vec<u8>> = Vec::new();
+    let mut stack: Vec<Vec<u8>> = (0..=b as u8).map(|s| vec![s]).collect();
+    while let Some(v) = stack.pop() {
+        if v.len() == k {
+            verts.push(v);
+            continue;
+        }
+        for y in 0..=b as u8 {
+            if y != *v.last().unwrap() {
+                let mut w = v.clone();
+                w.push(y);
+                stack.push(w);
+            }
+        }
+    }
+    verts.sort();
+    let index = |v: &[u8]| -> Node {
+        verts.binary_search_by(|w| w.as_slice().cmp(v)).unwrap() as Node
+    };
+    let mut g = GraphBuilder::new(verts.len());
+    for v in &verts {
+        for y in 0..=b as u8 {
+            if y != *v.last().unwrap() {
+                let mut w: Vec<u8> = v[1..].to_vec();
+                w.push(y);
+                let u = index(v);
+                let t = index(&w);
+                if u != t {
+                    g.add_edge(u, t);
+                }
+            }
+        }
+    }
+    g.build()
+}
+
+/// A randomized multibutterfly of dimension `d` with multiplicity 2
+/// (Rappoport [17]'s subject): like the butterfly, but between consecutive
+/// levels each node connects to `2` random targets in the "straight" half
+/// and `2` in the "cross" half of its next-level splitter — the expander
+/// splitters are what make multibutterflies robust and hard for plain
+/// butterflies to simulate. Degree ≤ 8 + 8.
+///
+/// Levels `0..=d`, rows `2^d`, node `(ℓ, r)` = `ℓ·2^d + r` (same layout as
+/// [`crate::generators::butterfly::butterfly`]).
+pub fn multibutterfly<R: Rng>(d: usize, rng: &mut R) -> Graph {
+    let rows = 1usize << d;
+    let mut b = GraphBuilder::new((d + 1) * rows);
+    let idx = |l: usize, r: usize| (l * rows + r) as Node;
+    for level in 0..d {
+        let block = 1usize << (d - level); // splitter width at this level
+        let half = block / 2;
+        for base in (0..rows).step_by(block) {
+            // Within the splitter starting at `base`: upper half keeps bit,
+            // lower half flips it. Build 2-regular random bipartite
+            // connections from all `block` inputs to each half.
+            for (hstart, _name) in [(base, "upper"), (base + half, "lower")] {
+                // Random 2-regular bipartite graph: union of 2 random
+                // "matchings" input-position → output-position mod half.
+                for _ in 0..2 {
+                    let mut targets: Vec<usize> = (0..half).collect();
+                    targets.shuffle(rng);
+                    for i in 0..block {
+                        let t = targets[i % half];
+                        b.add_edge(idx(level, base + i), idx(level + 1, hstart + t));
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{diameter_exact, is_connected};
+    use crate::util::seeded_rng;
+
+    #[test]
+    fn mesh_of_trees_structure() {
+        let s = 4;
+        let g = mesh_of_trees(s);
+        assert_eq!(g.n(), 16 + 2 * 4 * 3);
+        assert!(is_connected(&g));
+        // Leaves have degree exactly 2 (one row tree, one column tree).
+        for leaf in 0..16u32 {
+            assert_eq!(g.degree(leaf), 2, "leaf {leaf}");
+        }
+        assert!(g.max_degree() <= 4);
+        // Diameter O(log s): going leaf → row root → … ≤ 4·log s.
+        assert!(diameter_exact(&g) <= 4 * 2 + 2);
+    }
+
+    #[test]
+    fn mesh_of_trees_larger() {
+        let g = mesh_of_trees(8);
+        assert_eq!(g.n(), 64 + 2 * 8 * 7);
+        assert!(is_connected(&g));
+        assert!(g.max_degree() <= 4);
+        // Diameter grows logarithmically: ≤ 4·log2(8) + 2 = 14.
+        assert!(diameter_exact(&g) <= 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn mesh_of_trees_rejects_non_power() {
+        mesh_of_trees(6);
+    }
+
+    #[test]
+    fn kautz_counts_and_degree() {
+        // K(2, 3): 3·2² = 12 vertices, out-degree 2 ⇒ undirected degree ≤ 4.
+        let g = kautz(2, 3);
+        assert_eq!(g.n(), 12);
+        assert!(g.max_degree() <= 4);
+        assert!(is_connected(&g));
+        assert!(diameter_exact(&g) <= 3);
+        // K(3, 2): 4·3 = 12 vertices.
+        let g2 = kautz(3, 2);
+        assert_eq!(g2.n(), 12);
+        assert!(g2.max_degree() <= 6);
+    }
+
+    #[test]
+    fn multibutterfly_structure() {
+        let mut rng = seeded_rng(5);
+        let g = multibutterfly(4, &mut rng);
+        assert_eq!(g.n(), 5 * 16);
+        assert!(is_connected(&g));
+        // Constant degree (with multiplicity 2 and dedup, ≤ 16).
+        assert!(g.max_degree() <= 16, "degree {}", g.max_degree());
+        // Strictly more edges than the plain butterfly (the splitters).
+        let bf = crate::generators::butterfly::butterfly(4);
+        assert!(g.num_edges() > bf.num_edges());
+    }
+
+    #[test]
+    fn multibutterfly_splitters_stay_in_blocks() {
+        // An edge from (ℓ, r) goes to level ℓ+1 within r's 2^{d−ℓ} block.
+        let mut rng = seeded_rng(6);
+        let d = 3;
+        let g = multibutterfly(d, &mut rng);
+        let rows = 1usize << d;
+        for (u, v) in g.edges() {
+            let (lu, ru) = ((u as usize) / rows, (u as usize) % rows);
+            let (lv, rv) = ((v as usize) / rows, (v as usize) % rows);
+            assert_eq!(lu.abs_diff(lv), 1, "edges connect adjacent levels");
+            let level = lu.min(lv);
+            let block = 1usize << (d - level);
+            assert_eq!(ru / block, rv / block, "edge leaves its splitter block");
+        }
+    }
+}

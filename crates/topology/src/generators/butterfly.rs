@@ -1,0 +1,152 @@
+//! Butterfly and wrapped butterfly networks.
+//!
+//! The butterfly is the paper's canonical "good universal host" for `m ≤ n`
+//! (Section 2): it has constant degree and solves any `h–h` routing problem in
+//! `O(h · log m)` steps offline, which makes it `n`-universal with slowdown
+//! `O((n/m)·log m)` — matching the lower bound of Theorem 3.1.
+
+use crate::graph::{Graph, GraphBuilder, Node};
+
+/// Vertex id of butterfly node `(level, row)` in a `dim`-dimensional
+/// butterfly with `levels` levels (`dim + 1` for the ordinary butterfly,
+/// `dim` for the wrapped one).
+#[inline]
+pub fn bf_index(dim: usize, level: usize, row: usize) -> Node {
+    debug_assert!(row < (1usize << dim));
+    (level * (1 << dim) + row) as Node
+}
+
+/// Inverse of [`bf_index`].
+#[inline]
+pub fn bf_coords(dim: usize, v: Node) -> (usize, usize) {
+    let v = v as usize;
+    (v / (1 << dim), v % (1 << dim))
+}
+
+/// `dim`-dimensional butterfly: `(dim + 1) · 2^dim` vertices `(ℓ, row)` with
+/// `0 ≤ ℓ ≤ dim`, straight edges `(ℓ, r)–(ℓ+1, r)` and cross edges
+/// `(ℓ, r)–(ℓ+1, r ⊕ 2^ℓ)`. Degree ≤ 4.
+pub fn butterfly(dim: usize) -> Graph {
+    let rows = 1usize << dim;
+    let mut b = GraphBuilder::new((dim + 1) * rows);
+    for level in 0..dim {
+        for row in 0..rows {
+            let v = bf_index(dim, level, row);
+            b.add_edge(v, bf_index(dim, level + 1, row));
+            b.add_edge(v, bf_index(dim, level + 1, row ^ (1 << level)));
+        }
+    }
+    b.build()
+}
+
+/// Wrapped (cyclic) `dim`-dimensional butterfly: `dim · 2^dim` vertices,
+/// levels taken mod `dim`, so level `dim − 1` connects back to level 0.
+/// 4-regular for `dim ≥ 3`.
+pub fn wrapped_butterfly(dim: usize) -> Graph {
+    assert!(dim >= 1);
+    let rows = 1usize << dim;
+    let mut b = GraphBuilder::new(dim * rows);
+    for level in 0..dim {
+        let next = (level + 1) % dim;
+        for row in 0..rows {
+            let v = bf_index(dim, level, row);
+            let straight = bf_index(dim, next, row);
+            let cross = bf_index(dim, next, row ^ (1 << level));
+            if v != straight {
+                b.add_edge(v, straight);
+            }
+            if v != cross {
+                b.add_edge(v, cross);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Largest butterfly dimension such that the (ordinary) butterfly has at most
+/// `m` vertices; returns `(dim, size)`.
+pub fn butterfly_dim_for_size(m: usize) -> (usize, usize) {
+    let mut dim = 0usize;
+    loop {
+        let next = (dim + 2) * (1usize << (dim + 1));
+        if next > m {
+            break;
+        }
+        dim += 1;
+    }
+    (dim, (dim + 1) * (1usize << dim))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_counts() {
+        let g = butterfly(3);
+        assert_eq!(g.n(), 4 * 8);
+        // dim levels of edges, each level 2 * 2^dim edges.
+        assert_eq!(g.num_edges(), 3 * 2 * 8);
+        assert!(g.max_degree() <= 4);
+        // Interior level vertices have degree 4.
+        assert_eq!(g.degree(bf_index(3, 1, 0)), 4);
+        // Boundary levels have degree 2.
+        assert_eq!(g.degree(bf_index(3, 0, 0)), 2);
+        assert_eq!(g.degree(bf_index(3, 3, 5)), 2);
+    }
+
+    #[test]
+    fn butterfly_edges_follow_bit_structure() {
+        let g = butterfly(3);
+        // (0, 0) connects straight to (1, 0) and cross to (1, 1).
+        assert!(g.has_edge(bf_index(3, 0, 0), bf_index(3, 1, 0)));
+        assert!(g.has_edge(bf_index(3, 0, 0), bf_index(3, 1, 1)));
+        // (1, 0) crosses on bit 1 to (2, 2).
+        assert!(g.has_edge(bf_index(3, 1, 0), bf_index(3, 2, 2)));
+        assert!(!g.has_edge(bf_index(3, 0, 0), bf_index(3, 2, 0)));
+    }
+
+    #[test]
+    fn wrapped_butterfly_regular() {
+        for dim in 3..7 {
+            let g = wrapped_butterfly(dim);
+            assert_eq!(g.n(), dim << dim);
+            assert_eq!(g.is_regular(), Some(4), "dim = {dim}");
+        }
+    }
+
+    #[test]
+    fn wrapped_butterfly_small_dims() {
+        // dim = 1: 2 vertices; straight+cross collapse.
+        let g = wrapped_butterfly(1);
+        assert_eq!(g.n(), 2);
+        // dim = 2 has parallel straight/cross edges collapsing; still valid.
+        let g2 = wrapped_butterfly(2);
+        assert_eq!(g2.n(), 8);
+        assert!(g2.max_degree() <= 4);
+    }
+
+    #[test]
+    fn connectivity() {
+        use crate::analysis::is_connected;
+        assert!(is_connected(&butterfly(4)));
+        assert!(is_connected(&wrapped_butterfly(4)));
+    }
+
+    #[test]
+    fn dim_for_size() {
+        // dim 3: 4 * 8 = 32 nodes.
+        assert_eq!(butterfly_dim_for_size(32), (3, 32));
+        assert_eq!(butterfly_dim_for_size(33), (3, 32));
+        assert_eq!(butterfly_dim_for_size(79), (3, 32));
+        assert_eq!(butterfly_dim_for_size(80), (4, 80));
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        for v in 0..(4 * 8) as Node {
+            let (l, r) = bf_coords(3, v);
+            assert_eq!(bf_index(3, l, r), v);
+        }
+    }
+}

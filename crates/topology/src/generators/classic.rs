@@ -1,0 +1,246 @@
+//! The remaining classic constant-degree networks named in the paper's
+//! introduction: paths, rings, cube-connected cycles, shuffle-exchange,
+//! de Bruijn, hypercubes, complete graphs, and trees.
+
+use crate::graph::{Graph, GraphBuilder, Node};
+
+/// Path on `n` vertices (`0–1–…–(n−1)`).
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as Node, v as Node);
+    }
+    b.build()
+}
+
+/// Ring (cycle) on `n` vertices.
+pub fn ring(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    if n >= 2 {
+        for v in 1..n {
+            b.add_edge((v - 1) as Node, v as Node);
+        }
+        if n >= 3 {
+            b.add_edge((n - 1) as Node, 0);
+        }
+    }
+    b.build()
+}
+
+/// Cube-connected cycles of dimension `d`: `d · 2^d` vertices `(i, w)` with
+/// cycle position `i ∈ [d]` and hypercube corner `w ∈ {0,1}^d`. Cycle edges
+/// `(i,w)–(i+1 mod d, w)` and hypercube edges `(i,w)–(i, w ⊕ 2^i)`.
+/// 3-regular for `d ≥ 3`.
+pub fn cube_connected_cycles(d: usize) -> Graph {
+    assert!(d >= 1);
+    let corners = 1usize << d;
+    let idx = |i: usize, w: usize| (w * d + i) as Node;
+    let mut b = GraphBuilder::new(d * corners);
+    for w in 0..corners {
+        for i in 0..d {
+            let next = (i + 1) % d;
+            if idx(i, w) != idx(next, w) {
+                b.add_edge(idx(i, w), idx(next, w));
+            }
+            b.add_edge(idx(i, w), idx(i, w ^ (1 << i)));
+        }
+    }
+    b.build()
+}
+
+/// Shuffle-exchange network on `2^d` vertices: exchange edges `w–(w ⊕ 1)` and
+/// shuffle edges `w–rot(w)` (cyclic left rotation of the `d` bits). Degree ≤ 3.
+pub fn shuffle_exchange(d: usize) -> Graph {
+    assert!(d >= 1);
+    let n = 1usize << d;
+    let rot = |w: usize| ((w << 1) | (w >> (d - 1))) & (n - 1);
+    let mut b = GraphBuilder::new(n);
+    for w in 0..n {
+        b.add_edge(w as Node, (w ^ 1) as Node);
+        let r = rot(w);
+        if r != w {
+            b.add_edge(w as Node, r as Node);
+        }
+    }
+    b.build()
+}
+
+/// De Bruijn graph on `2^d` vertices: edges `w–(2w mod n)` and
+/// `w–(2w+1 mod n)`. Degree ≤ 4.
+pub fn de_bruijn(d: usize) -> Graph {
+    assert!(d >= 1);
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for w in 0..n {
+        for bit in 0..2usize {
+            let t = ((w << 1) | bit) & (n - 1);
+            if t != w {
+                b.add_edge(w as Node, t as Node);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Hypercube of dimension `d` (degree `d` — *not* constant degree; included
+/// as a comparison topology, as in the simulation literature the paper cites).
+pub fn hypercube(d: usize) -> Graph {
+    let n = 1usize << d;
+    let mut b = GraphBuilder::new(n);
+    for w in 0..n {
+        for i in 0..d {
+            let t = w ^ (1 << i);
+            if w < t {
+                b.add_edge(w as Node, t as Node);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete network `K_n` (degree `n − 1`; the guest class of [14]'s
+/// complete-network simulations).
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as Node {
+        for v in (u + 1)..n as Node {
+            b.add_edge(u, v);
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `depth` levels of edges (`2^{depth+1} − 1`
+/// vertices, root = 0, children of `v` are `2v+1`, `2v+2`). Degree ≤ 3.
+pub fn binary_tree(depth: usize) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for c in [2 * v + 1, 2 * v + 2] {
+            if c < n {
+                b.add_edge(v as Node, c as Node);
+            }
+        }
+    }
+    b.build()
+}
+
+/// X-tree: complete binary tree plus edges between adjacent vertices of each
+/// level. Degree ≤ 5; constant-degree host with slightly better routing than
+/// the plain tree.
+pub fn x_tree(depth: usize) -> Graph {
+    let n = (1usize << (depth + 1)) - 1;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for c in [2 * v + 1, 2 * v + 2] {
+            if c < n {
+                b.add_edge(v as Node, c as Node);
+            }
+        }
+    }
+    // Level ℓ spans indices [2^ℓ − 1, 2^{ℓ+1} − 2].
+    for level in 1..=depth {
+        let lo = (1usize << level) - 1;
+        let hi = (1usize << (level + 1)) - 2;
+        for v in lo..hi {
+            b.add_edge(v as Node, (v + 1) as Node);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{diameter_exact, is_connected};
+
+    #[test]
+    fn path_and_ring() {
+        assert_eq!(path(5).num_edges(), 4);
+        assert_eq!(ring(5).num_edges(), 5);
+        assert_eq!(ring(5).is_regular(), Some(2));
+        assert_eq!(ring(2).num_edges(), 1);
+        assert_eq!(ring(1).num_edges(), 0);
+        assert_eq!(diameter_exact(&ring(8)), 4);
+    }
+
+    #[test]
+    fn ccc_regularity() {
+        for d in 3..6 {
+            let g = cube_connected_cycles(d);
+            assert_eq!(g.n(), d << d);
+            assert_eq!(g.is_regular(), Some(3), "d = {d}");
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn ccc_small_dims() {
+        // d = 1: 2 vertices, single hypercube edge; cycle edges collapse.
+        let g = cube_connected_cycles(1);
+        assert_eq!(g.n(), 2);
+        assert_eq!(g.num_edges(), 1);
+        // d = 2: cycles of length 2 deduplicate.
+        let g2 = cube_connected_cycles(2);
+        assert_eq!(g2.n(), 8);
+        assert!(g2.max_degree() <= 3);
+        assert!(is_connected(&g2));
+    }
+
+    #[test]
+    fn shuffle_exchange_degree() {
+        for d in 2..8 {
+            let g = shuffle_exchange(d);
+            assert_eq!(g.n(), 1 << d);
+            assert!(g.max_degree() <= 3, "d = {d}");
+            assert!(is_connected(&g));
+        }
+    }
+
+    #[test]
+    fn de_bruijn_degree_and_connectivity() {
+        for d in 2..8 {
+            let g = de_bruijn(d);
+            assert_eq!(g.n(), 1 << d);
+            assert!(g.max_degree() <= 4, "d = {d}");
+            assert!(is_connected(&g));
+        }
+        // Diameter of de Bruijn on 2^d nodes is d.
+        assert_eq!(diameter_exact(&de_bruijn(5)), 5);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let g = hypercube(4);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.is_regular(), Some(4));
+        assert_eq!(diameter_exact(&g), 4);
+    }
+
+    #[test]
+    fn complete_graph() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.is_regular(), Some(5));
+        assert_eq!(diameter_exact(&g), 1);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(3);
+        assert_eq!(g.n(), 15);
+        assert_eq!(g.num_edges(), 14);
+        assert!(g.max_degree() <= 3);
+        assert_eq!(diameter_exact(&g), 6);
+    }
+
+    #[test]
+    fn x_tree_structure() {
+        let g = x_tree(3);
+        assert_eq!(g.n(), 15);
+        assert!(g.max_degree() <= 5);
+        // X-tree strictly denser than tree.
+        assert!(g.num_edges() > binary_tree(3).num_edges());
+        assert!(is_connected(&g));
+    }
+}

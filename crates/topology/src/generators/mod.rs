@@ -1,0 +1,21 @@
+//! Generators for every network family the paper mentions.
+//!
+//! All generators return [`crate::graph::Graph`]s and are deterministic given
+//! their parameters (and RNG seed, where randomized).
+
+pub mod advanced;
+pub mod butterfly;
+pub mod classic;
+pub mod mesh;
+pub mod random;
+
+pub use advanced::{kautz, mesh_of_trees, multibutterfly};
+pub use butterfly::{butterfly, butterfly_dim_for_size, wrapped_butterfly};
+pub use classic::{
+    binary_tree, complete, cube_connected_cycles, de_bruijn, hypercube, path, ring,
+    shuffle_exchange, x_tree,
+};
+pub use mesh::{blocks, grid_coords, grid_index, mesh, multitorus, torus, torus_side};
+pub use random::{
+    margulis_expander, random_hamiltonian_union, random_regular, random_regular_containing, random_supergraph,
+};

@@ -1,0 +1,359 @@
+//! Random regular graphs and expanders.
+//!
+//! The lower-bound proof needs two random-graph devices:
+//!
+//! * the **guest class** `U'` of `c`-regular graphs (with `c = 16`) from
+//!   which the counting argument draws its "hard" guests — we sample them
+//!   with the configuration (pairing) model, rejecting non-simple outcomes;
+//! * a **4-regular `(α, β)`-expander** as half of the fixed subgraph `G₀`
+//!   (Definition 3.9) — we build it as the union of two independent random
+//!   Hamiltonian cycles, which is an expander with high probability, and then
+//!   *certify* the expansion spectrally (see [`crate::spectral`]), so no
+//!   unverified probabilistic assumption leaks into the experiments.
+
+use crate::graph::{Graph, GraphBuilder, Node};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Sample a random simple `d`-regular graph on `n` vertices: configuration
+/// (pairing) model followed by double-edge-switch repair of self-loops and
+/// multi-edges.
+///
+/// Plain rejection has success probability `e^{−(d²−1)/4}` — hopeless already
+/// at the paper's guest degree `c = 16` — so we instead repair defects with
+/// the standard degree-preserving switch `{(u,v), (x,y)} → {(u,x), (v,y)}`,
+/// which converges in `O(defects)` expected switches and yields a
+/// distribution that is uniform up to `o(1)` for fixed `d` (McKay–Wormald).
+///
+/// # Panics
+/// Panics if `n · d` is odd or `d ≥ n`.
+pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n * d % 2 == 0, "n·d must be even for a d-regular graph");
+    assert!(d < n, "degree must be below n");
+    if d == 0 {
+        return GraphBuilder::new(n).build();
+    }
+    // Random pairing of n·d stubs into a multigraph edge list; the switch
+    // walk can stall on extremely dense instances (d close to n−1 leaves it
+    // almost no valid switches), so restart with fresh pairings.
+    let mut stubs: Vec<Node> = (0..n as Node)
+        .flat_map(|v| std::iter::repeat(v).take(d))
+        .collect();
+    for attempt in 0..16 {
+        stubs.shuffle(rng);
+        let mut edges: Vec<(Node, Node)> = stubs
+            .chunks(2)
+            .map(|p| if p[0] < p[1] { (p[0], p[1]) } else { (p[1], p[0]) })
+            .collect();
+        if !repair_to_simple(&mut edges, rng) {
+            assert!(attempt < 15, "switch repair failed to converge for n = {n}, d = {d}");
+            continue;
+        }
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = b.build();
+        debug_assert_eq!(g.is_regular(), Some(d));
+        return g;
+    }
+    unreachable!()
+}
+
+/// Remove self-loops and duplicate edges from a multigraph edge list by
+/// random double-edge switches, preserving the degree sequence. Returns
+/// whether the walk converged within its budget.
+fn repair_to_simple<R: Rng>(edges: &mut [(Node, Node)], rng: &mut R) -> bool {
+    repair_with_forbidden(edges, |_, _| false, rng)
+}
+
+/// Like [`repair_to_simple`] but additionally switches away any edge present
+/// in `g0` (used to sample residual graphs edge-disjoint from `G₀`).
+fn repair_to_simple_avoiding<R: Rng>(edges: &mut [(Node, Node)], g0: &Graph, rng: &mut R) -> bool {
+    repair_with_forbidden(edges, |u, v| g0.has_edge(u, v), rng)
+}
+
+fn repair_with_forbidden<R, F>(edges: &mut [(Node, Node)], forbidden: F, rng: &mut R) -> bool
+where
+    R: Rng,
+    F: Fn(Node, Node) -> bool,
+{
+    use crate::util::FxHashMap;
+    let canon = |u: Node, v: Node| if u < v { (u, v) } else { (v, u) };
+    // Multiplicity map and the list of defective edge indices.
+    let mut mult: FxHashMap<(Node, Node), u32> = FxHashMap::default();
+    for &(u, v) in edges.iter() {
+        *mult.entry(canon(u, v)).or_insert(0) += 1;
+    }
+    let is_defect = |(u, v): (Node, Node), mult: &FxHashMap<(Node, Node), u32>| {
+        u == v || mult[&canon(u, v)] > 1 || forbidden(u, v)
+    };
+    let mut defects: Vec<usize> = (0..edges.len())
+        .filter(|&i| is_defect(edges[i], &mult))
+        .collect();
+    let mut guard = 0usize;
+    let budget = 2000 * edges.len().max(1);
+    while let Some(&i) = defects.last() {
+        guard += 1;
+        if guard >= budget {
+            return false;
+        }
+        if !is_defect(edges[i], &mult) {
+            defects.pop();
+            continue;
+        }
+        // Random partner edge j, random orientation of the switch.
+        let j = rng.gen_range(0..edges.len());
+        if j == i {
+            continue;
+        }
+        let (u, v) = edges[i];
+        let (mut x, mut y) = edges[j];
+        if rng.gen::<bool>() {
+            std::mem::swap(&mut x, &mut y);
+        }
+        // Proposed replacement: (u, x) and (v, y).
+        if u == x || v == y {
+            continue;
+        }
+        let e1 = canon(u, x);
+        let e2 = canon(v, y);
+        let new_ok = mult.get(&e1).copied().unwrap_or(0) == 0
+            && mult.get(&e2).copied().unwrap_or(0) == 0
+            && e1 != e2
+            && !forbidden(e1.0, e1.1)
+            && !forbidden(e2.0, e2.1);
+        if !new_ok {
+            continue;
+        }
+        // Apply: decrement old multiplicities, set new edges.
+        for old in [canon(u, v), canon(x, y)] {
+            let c = mult.get_mut(&old).expect("edge in map");
+            *c -= 1;
+        }
+        *mult.entry(e1).or_insert(0) += 1;
+        *mult.entry(e2).or_insert(0) += 1;
+        edges[i] = e1;
+        edges[j] = e2;
+        // j might have been a defect that is now fixed, or i may remain a
+        // defect (handled on the next loop pass by the freshness check).
+        if is_defect(edges[j], &mult) {
+            defects.push(j);
+        }
+    }
+    true
+}
+
+/// Union of `k` independent uniformly random Hamiltonian cycles on `n`
+/// vertices: a `2k`-regular (multi-)graph which we reject-and-retry into a
+/// simple graph. For `k = 2` this is the standard explicit-free construction
+/// of a 4-regular expander (w.h.p.).
+pub fn random_hamiltonian_union<R: Rng>(n: usize, k: usize, rng: &mut R) -> Graph {
+    assert!(n >= 2 * k + 1 || (n >= 3 && k == 1), "n too small for {k} disjoint cycles");
+    let max_tries = 10_000;
+    'retry: for _ in 0..max_tries {
+        let mut b = GraphBuilder::new(n);
+        let mut seen = crate::util::FxHashSet::default();
+        for _ in 0..k {
+            let mut perm: Vec<Node> = (0..n as Node).collect();
+            perm.shuffle(rng);
+            for i in 0..n {
+                let u = perm[i];
+                let v = perm[(i + 1) % n];
+                let key = if u < v { (u, v) } else { (v, u) };
+                if !seen.insert(key) {
+                    continue 'retry;
+                }
+                b.add_edge(u, v);
+            }
+        }
+        return b.build();
+    }
+    panic!("failed to sample {k} edge-disjoint Hamiltonian cycles on {n} vertices");
+}
+
+/// The paper's guest-class sampler: a random `c`-regular graph *containing a
+/// fixed subgraph* `g0`, i.e. a uniform element of `U[G₀]` in the style of
+/// the counting argument. The residual `G \ G₀` is sampled as a random
+/// `(c − deg₀)`-regular graph avoiding `g0`'s edges.
+///
+/// `g0` must be regular and `c` must exceed its degree by an even amount
+/// (use [`random_supergraph`] for irregular `g0`).
+pub fn random_regular_containing<R: Rng>(g0: &Graph, c: usize, rng: &mut R) -> Graph {
+    let d0 = g0
+        .is_regular()
+        .expect("G0 must be regular for this sampler; use random_supergraph");
+    assert!(c >= d0 && (c - d0) % 2 == 0, "need c ≥ deg(G0) with even residual degree");
+    random_supergraph(g0, c, rng)
+}
+
+/// Sample a random simple `c`-regular supergraph of an arbitrary `g0` with
+/// `deg(g0) ≤ c`: the residual gets the degree sequence
+/// `c − deg_{g0}(v)` (pairing model + switch repair avoiding `g0`'s edges).
+///
+/// # Panics
+/// Panics if some vertex of `g0` already exceeds degree `c` or the residual
+/// stub count is odd.
+pub fn random_supergraph<R: Rng>(g0: &Graph, c: usize, rng: &mut R) -> Graph {
+    let n = g0.n();
+    let mut stubs: Vec<Node> = Vec::new();
+    for v in 0..n as Node {
+        let d0 = g0.degree(v);
+        assert!(d0 <= c, "vertex {v} has degree {d0} > c = {c}");
+        stubs.extend(std::iter::repeat(v).take(c - d0));
+    }
+    assert!(stubs.len() % 2 == 0, "residual degree sum must be even");
+    if stubs.is_empty() {
+        return g0.clone();
+    }
+    // Dense instances (residual degree close to the number of available
+    // non-g0 partners) can stall one switch-repair walk; restart with a
+    // fresh pairing a few times before giving up.
+    for attempt in 0..8 {
+        stubs.shuffle(rng);
+        let mut edges: Vec<(Node, Node)> = stubs
+            .chunks(2)
+            .map(|p| if p[0] < p[1] { (p[0], p[1]) } else { (p[1], p[0]) })
+            .collect();
+        if !repair_to_simple_avoiding(&mut edges, g0, rng) {
+            assert!(attempt < 7, "residual degree sequence appears infeasible for this g0/c");
+            continue;
+        }
+        let mut b = GraphBuilder::new(n);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let resid = b.build();
+        debug_assert!((0..n as Node).all(|v| resid.degree(v) == c - g0.degree(v)));
+        return resid.union(g0);
+    }
+    unreachable!()
+}
+
+/// Explicit Margulis-style expander on `Z_N × Z_N` (n = N² vertices),
+/// degree ≤ 8: each `(x, y)` connects to `(x ± y, y)`, `(x ± y + 1, y)`... —
+/// we use the Gabber–Galil variant: neighbours `(x + y, y)`, `(x + y + 1, y)`,
+/// `(x, y + x)`, `(x, y + x + 1)` and their inverses, all mod `N`.
+/// Deterministic (no RNG), constant degree, provably expanding.
+pub fn margulis_expander(side: usize) -> Graph {
+    let n = side * side;
+    let idx = |x: usize, y: usize| (x * side + y) as Node;
+    let mut b = GraphBuilder::new(n);
+    for x in 0..side {
+        for y in 0..side {
+            let v = idx(x, y);
+            let targets = [
+                idx((x + y) % side, y),
+                idx((x + y + 1) % side, y),
+                idx(x, (y + x) % side),
+                idx(x, (y + x + 1) % side),
+            ];
+            for t in targets {
+                if t != v {
+                    b.add_edge(v, t);
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::is_connected;
+    use crate::util::seeded_rng;
+
+    #[test]
+    fn random_regular_is_regular_and_simple() {
+        let mut rng = seeded_rng(7);
+        for &(n, d) in &[(10, 3), (20, 4), (64, 16), (101, 4)] {
+            let g = random_regular(n, d, &mut rng);
+            assert_eq!(g.is_regular(), Some(d), "n={n} d={d}");
+            assert_eq!(g.n(), n);
+        }
+    }
+
+    #[test]
+    fn random_regular_zero_degree() {
+        let mut rng = seeded_rng(1);
+        let g = random_regular(5, 0, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn random_regular_odd_product_rejected() {
+        let mut rng = seeded_rng(1);
+        random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn hamiltonian_union_is_regular() {
+        let mut rng = seeded_rng(11);
+        let g = random_hamiltonian_union(50, 2, &mut rng);
+        assert_eq!(g.is_regular(), Some(4));
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn hamiltonian_union_single_cycle() {
+        let mut rng = seeded_rng(3);
+        let g = random_hamiltonian_union(9, 1, &mut rng);
+        assert_eq!(g.is_regular(), Some(2));
+        assert!(is_connected(&g));
+        assert_eq!(g.num_edges(), 9);
+    }
+
+    #[test]
+    fn containing_sampler_preserves_g0() {
+        let mut rng = seeded_rng(5);
+        let g0 = crate::generators::mesh::torus(6, 6); // 4-regular
+        let g = random_regular_containing(&g0, 8, &mut rng);
+        assert_eq!(g.is_regular(), Some(8));
+        assert!(g.contains_subgraph(&g0));
+        // Residual is exactly 4-regular and disjoint from g0.
+        let resid = g.difference(&g0);
+        assert_eq!(resid.is_regular(), Some(4));
+        for (u, v) in resid.edges() {
+            assert!(!g0.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn supergraph_of_irregular_g0() {
+        // g0 = path(6) (degrees 1,2,2,2,2,1); c = 4 supergraph.
+        let g0 = crate::generators::classic::path(6);
+        let g = random_supergraph(&g0, 4, &mut seeded_rng(9));
+        assert_eq!(g.is_regular(), Some(4));
+        assert!(g.contains_subgraph(&g0));
+        for v in 0..6u32 {
+            assert_eq!(g.difference(&g0).degree(v), 4 - g0.degree(v));
+        }
+    }
+
+    #[test]
+    fn containing_sampler_zero_residual() {
+        let mut rng = seeded_rng(5);
+        let g0 = crate::generators::mesh::torus(4, 4);
+        let g = random_regular_containing(&g0, 4, &mut rng);
+        assert_eq!(g, g0);
+    }
+
+    #[test]
+    fn margulis_constant_degree_connected() {
+        for side in [3usize, 5, 8, 13] {
+            let g = margulis_expander(side);
+            assert_eq!(g.n(), side * side);
+            assert!(g.max_degree() <= 8, "side={side} deg={}", g.max_degree());
+            assert!(is_connected(&g), "side={side}");
+        }
+    }
+
+    #[test]
+    fn samplers_deterministic_under_seed() {
+        let a = random_regular(30, 4, &mut seeded_rng(99));
+        let b = random_regular(30, 4, &mut seeded_rng(99));
+        assert_eq!(a, b);
+    }
+}

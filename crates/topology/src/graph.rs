@@ -1,0 +1,355 @@
+//! Compact, immutable graph representation for processor networks.
+//!
+//! Networks in this library are finite, undirected, simple graphs whose
+//! vertices are processors `P_0, …, P_{n−1}`. The paper's model requires
+//! *constant-degree* networks; we represent arbitrary graphs but expose
+//! [`Graph::max_degree`] and [`Graph::is_regular`] so callers can enforce the
+//! degree discipline where the theory demands it.
+//!
+//! The representation is CSR (compressed sparse row): one `u32` offset per
+//! vertex into a flat, per-vertex-sorted neighbour array. This keeps the hot
+//! loops of the simulators (neighbour scans during pebble generation and
+//! packet forwarding) allocation-free and cache-friendly.
+
+use std::fmt;
+
+/// Index of a processor in a network. Kept at 32 bits deliberately: every
+/// simulation structure stores many of these, and the paper's parameter
+/// ranges (n, m ≤ 2³²) never need more.
+pub type Node = u32;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Construct via [`GraphBuilder`] or one of the generators in
+/// [`crate::generators`].
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    neighbors: Vec<Node>,
+}
+
+impl Graph {
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: Node) -> usize {
+        (self.offsets[v as usize + 1] - self.offsets[v as usize]) as usize
+    }
+
+    /// Neighbours of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: Node) -> &[Node] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.neighbors[lo..hi]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(log deg(u))`.
+    pub fn has_edge(&self, u: Node, v: Node) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Largest vertex degree — the paper's "degree of the network".
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as Node).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Smallest vertex degree.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n() as Node)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// `Some(d)` if every vertex has degree exactly `d`.
+    pub fn is_regular(&self) -> Option<usize> {
+        let n = self.n();
+        if n == 0 {
+            return Some(0);
+        }
+        let d = self.degree(0);
+        (1..n as Node).all(|v| self.degree(v) == d).then_some(d)
+    }
+
+    /// Iterator over all undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
+        (0..self.n() as Node).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Union of two graphs on the same vertex set: edge set `E₁ ∪ E₂`.
+    ///
+    /// This is how the paper assembles `G₀` (Definition 3.9): the edges of a
+    /// multitorus united with the edges of an expander. Duplicate edges
+    /// collapse (the result is again simple).
+    ///
+    /// # Panics
+    /// Panics if the vertex counts differ.
+    pub fn union(&self, other: &Graph) -> Graph {
+        assert_eq!(
+            self.n(),
+            other.n(),
+            "graph union requires equal vertex sets"
+        );
+        let mut b = GraphBuilder::new(self.n());
+        for (u, v) in self.edges().chain(other.edges()) {
+            b.add_edge(u, v);
+        }
+        b.build()
+    }
+
+    /// Graph difference `self \ other`: keeps edges of `self` not in `other`,
+    /// on the same vertex set. This is the paper's residual graph
+    /// `G' = G \ G₀` from the proof of Proposition 3.6(b).
+    pub fn difference(&self, other: &Graph) -> Graph {
+        assert_eq!(self.n(), other.n());
+        let mut b = GraphBuilder::new(self.n());
+        for (u, v) in self.edges() {
+            if !other.has_edge(u, v) {
+                b.add_edge(u, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Whether `other` is a subgraph of `self` (same vertex set, `E' ⊆ E`).
+    pub fn contains_subgraph(&self, other: &Graph) -> bool {
+        self.n() == other.n() && other.edges().all(|(u, v)| self.has_edge(u, v))
+    }
+
+    /// Induced subgraph on `keep` (must be sorted, deduplicated). Returns the
+    /// subgraph plus the mapping `new → old`.
+    pub fn induced(&self, keep: &[Node]) -> (Graph, Vec<Node>) {
+        debug_assert!(keep.windows(2).all(|w| w[0] < w[1]));
+        let mut rename = vec![u32::MAX; self.n()];
+        for (new, &old) in keep.iter().enumerate() {
+            rename[old as usize] = new as u32;
+        }
+        let mut b = GraphBuilder::new(keep.len());
+        for &old in keep {
+            for &w in self.neighbors(old) {
+                let nw = rename[w as usize];
+                if nw != u32::MAX && rename[old as usize] < nw {
+                    b.add_edge(rename[old as usize], nw);
+                }
+            }
+        }
+        (b.build(), keep.to_vec())
+    }
+
+    /// Degree histogram: `hist[d]` = number of vertices with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.max_degree() + 1];
+        for v in 0..self.n() as Node {
+            hist[self.degree(v)] += 1;
+        }
+        hist
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Graph {{ n: {}, edges: {}, max_degree: {} }}",
+            self.n(),
+            self.num_edges(),
+            self.max_degree()
+        )
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// Self-loops are rejected (the paper's networks are simple), and duplicate
+/// edges collapse silently, which makes generator code that re-derives the
+/// same edge from two directions (e.g. torus wrap-around on a 2-cycle)
+/// harmless.
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(Node, Node)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph with `n` vertices and no edges.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "vertex count exceeds u32 range");
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Add the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn add_edge(&mut self, u: Node, v: Node) -> &mut Self {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
+        assert_ne!(u, v, "self-loops are not allowed in processor networks");
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Finalize into a CSR [`Graph`]. Deduplicates edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut deg = vec![0u32; self.n];
+        for &(u, v) in &self.edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(self.n + 1);
+        offsets.push(0u32);
+        let mut acc = 0u32;
+        for &d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut neighbors = vec![0 as Node; acc as usize];
+        for &(u, v) in &self.edges {
+            neighbors[cursor[u as usize] as usize] = v;
+            cursor[u as usize] += 1;
+            neighbors[cursor[v as usize] as usize] = u;
+            cursor[v as usize] += 1;
+        }
+        // Each adjacency list is already sorted because edges were sorted by
+        // (min, max); the `v`-side entries interleave, so sort per vertex.
+        for v in 0..self.n {
+            let lo = offsets[v] as usize;
+            let hi = offsets[v + 1] as usize;
+            neighbors[lo..hi].sort_unstable();
+        }
+        Graph { offsets, neighbors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).add_edge(1, 2).add_edge(2, 0);
+        b.build()
+    }
+
+    #[test]
+    fn triangle_basics() {
+        let g = triangle();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.is_regular(), Some(2));
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_rejected() {
+        GraphBuilder::new(2).add_edge(1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        GraphBuilder::new(2).add_edge(0, 2);
+    }
+
+    #[test]
+    fn union_collapses_shared_edges() {
+        let g = triangle();
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1); // shared with triangle
+        let h = b.build();
+        let u = g.union(&h);
+        assert_eq!(u.num_edges(), 3);
+        assert!(u.contains_subgraph(&h));
+        assert!(u.contains_subgraph(&g));
+    }
+
+    #[test]
+    fn difference_is_residual() {
+        let g = triangle();
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        let g0 = b.build();
+        let resid = g.difference(&g0);
+        assert_eq!(resid.num_edges(), 2);
+        assert!(!resid.has_edge(0, 1));
+        assert!(resid.has_edge(1, 2));
+        // difference ∪ g0 = g
+        assert_eq!(resid.union(&g0), g);
+    }
+
+    #[test]
+    fn induced_subgraph() {
+        let g = triangle();
+        let (sub, map) = g.induced(&[0, 2]);
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(map, vec![0, 2]);
+    }
+
+    #[test]
+    fn edges_iterator_canonical() {
+        let g = triangle();
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).add_edge(1, 2);
+        let g = b.build();
+        // degrees: 1, 2, 1, 0
+        assert_eq!(g.degree_histogram(), vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.is_regular(), Some(0));
+        assert_eq!(g.max_degree(), 0);
+    }
+}

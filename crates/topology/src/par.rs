@@ -1,0 +1,93 @@
+//! Minimal data-parallel helpers on crossbeam scoped threads.
+//!
+//! The experiment sweeps (simulate the same guest on six host sizes, build
+//! `side²` canonical trees, run `trials` routing problems) are embarrassingly
+//! parallel; these helpers parallelize them without pulling a full
+//! work-stealing runtime into the dependency tree. Order is preserved;
+//! panics in workers propagate.
+
+/// Map `f` over `items` on up to `threads` scoped worker threads, preserving
+/// input order. With `threads <= 1` (or one item) runs inline.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    // Contiguous chunks per worker; results concatenated in order.
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(threads);
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| scope.spawn(|_| slice.iter().map(&f).collect::<Vec<R>>()))
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    out.into_iter().flatten().collect()
+}
+
+/// Number of worker threads to use by default: the available parallelism,
+/// capped at 8 (the sweeps are memory-bound beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map(&items, 4, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_inline() {
+        let out = par_map(&[1, 2, 3], 1, |&x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<u32> = par_map(&[] as &[u32], 4, |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = par_map(&[7u32], 16, |&x| x);
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        par_map(&[1, 2, 3], 2, |&x| {
+            assert!(x != 2, "boom");
+            x
+        });
+    }
+
+    #[test]
+    fn actually_parallel_speedup_shape() {
+        // Not a benchmark — just confirm results match sequential on a
+        // non-trivial workload.
+        let items: Vec<usize> = (0..64).collect();
+        let seq: Vec<usize> = items.iter().map(|&i| (0..1000).fold(i, |a, b| a ^ b)).collect();
+        let par = par_map(&items, default_threads(), |&i| (0..1000).fold(i, |a, b| a ^ b));
+        assert_eq!(seq, par);
+    }
+}

@@ -1,0 +1,165 @@
+//! Balanced graph bipartitions and edge cuts.
+//!
+//! The bandwidth-based lower bounds of Kruskal & Rappoport [10] (cited in
+//! the paper's related work) compare the communication demand a guest
+//! pushes across a cut with the host's capacity across it. This module
+//! provides the cut machinery: exact cut evaluation, a Kernighan–Lin-style
+//! local-search bisection heuristic, and canonical bisections for the
+//! families whose widths are known in closed form.
+
+use crate::graph::{Graph, Node};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Number of edges crossing the bipartition `side` (`true`/`false` halves).
+pub fn edge_cut(g: &Graph, side: &[bool]) -> usize {
+    assert_eq!(side.len(), g.n());
+    g.edges()
+        .filter(|&(u, v)| side[u as usize] != side[v as usize])
+        .count()
+}
+
+/// Whether the bipartition is balanced (halves differ by ≤ 1).
+pub fn is_balanced(side: &[bool]) -> bool {
+    let a = side.iter().filter(|&&s| s).count();
+    let b = side.len() - a;
+    a.abs_diff(b) <= 1
+}
+
+/// Kernighan–Lin-style bisection: start from a random balanced split and
+/// greedily swap the pair of cross-side vertices with the best cut gain
+/// until no improving swap exists (repeated `restarts` times, best kept).
+/// A heuristic *upper bound* on the bisection width — which is the right
+/// direction for host-capacity bounds.
+pub fn kl_bisection<R: Rng>(g: &Graph, restarts: usize, rng: &mut R) -> Vec<bool> {
+    let n = g.n();
+    let mut best: Option<(usize, Vec<bool>)> = None;
+    for _ in 0..restarts.max(1) {
+        // Random balanced start.
+        let mut order: Vec<Node> = (0..n as Node).collect();
+        order.shuffle(rng);
+        let mut side = vec![false; n];
+        for &v in order.iter().take(n / 2) {
+            side[v as usize] = true;
+        }
+        // Cut reduction from moving v across: crossing edges become internal
+        // (−1 each) and internal ones start crossing (+1 each).
+        let gain = |side: &[bool], v: Node| -> i64 {
+            let mut same = 0i64;
+            let mut cross = 0i64;
+            for &w in g.neighbors(v) {
+                if side[w as usize] == side[v as usize] {
+                    same += 1;
+                } else {
+                    cross += 1;
+                }
+            }
+            cross - same
+        };
+        // Greedy improving swaps.
+        loop {
+            let mut best_swap: Option<(i64, Node, Node)> = None;
+            for u in 0..n as Node {
+                if !side[u as usize] {
+                    continue;
+                }
+                for v in 0..n as Node {
+                    if side[v as usize] {
+                        continue;
+                    }
+                    // Swap gain = gain(u) + gain(v) − 2·[u ~ v].
+                    let g_uv =
+                        gain(&side, u) + gain(&side, v) - 2 * i64::from(g.has_edge(u, v));
+                    if g_uv > 0 && best_swap.map_or(true, |(bg, _, _)| g_uv > bg) {
+                        best_swap = Some((g_uv, u, v));
+                    }
+                }
+            }
+            match best_swap {
+                Some((_, u, v)) => {
+                    side[u as usize] = false;
+                    side[v as usize] = true;
+                }
+                None => break,
+            }
+        }
+        let cut = edge_cut(g, &side);
+        if best.as_ref().map_or(true, |(c, _)| cut < *c) {
+            best = Some((cut, side));
+        }
+    }
+    best.expect("at least one restart").1
+}
+
+/// The canonical half-split of a row-major `rows × cols` grid: top half vs
+/// bottom half — the exact bisection of meshes (`cols` edges) and tori
+/// (`2·cols` edges).
+pub fn grid_half_split(rows: usize, cols: usize) -> Vec<bool> {
+    (0..rows * cols).map(|v| v / cols < rows / 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, mesh, ring, torus};
+    use crate::util::seeded_rng;
+
+    #[test]
+    fn cut_and_balance_basics() {
+        let g = ring(8);
+        let side: Vec<bool> = (0..8).map(|v| v < 4).collect();
+        assert_eq!(edge_cut(&g, &side), 2);
+        assert!(is_balanced(&side));
+        let lop: Vec<bool> = (0..8).map(|v| v < 2).collect();
+        assert!(!is_balanced(&lop));
+    }
+
+    #[test]
+    fn grid_split_cuts_match_theory() {
+        // Mesh rows×cols cut by the horizontal bisector: `cols` edges.
+        let side = grid_half_split(4, 6);
+        assert_eq!(edge_cut(&mesh(4, 6), &side), 6);
+        // Torus adds the wrap-around layer: 2·cols.
+        assert_eq!(edge_cut(&torus(4, 6), &side), 12);
+        assert!(is_balanced(&side));
+    }
+
+    #[test]
+    fn kl_finds_ring_bisection() {
+        let g = ring(16);
+        let side = kl_bisection(&g, 5, &mut seeded_rng(1));
+        assert!(is_balanced(&side));
+        assert_eq!(edge_cut(&g, &side), 2, "ring bisection width is 2");
+    }
+
+    #[test]
+    fn kl_matches_torus_bisection() {
+        let g = torus(4, 4);
+        let side = kl_bisection(&g, 8, &mut seeded_rng(2));
+        assert!(is_balanced(&side));
+        assert_eq!(edge_cut(&g, &side), 8, "4×4 torus bisection width is 2·4");
+    }
+
+    #[test]
+    fn kl_on_complete_graph() {
+        // K8 bisection: 4·4 = 16 regardless of split.
+        let g = complete(8);
+        let side = kl_bisection(&g, 2, &mut seeded_rng(3));
+        assert_eq!(edge_cut(&g, &side), 16);
+    }
+
+    #[test]
+    fn kl_never_worse_than_random_start() {
+        let g = crate::generators::random_regular(32, 4, &mut seeded_rng(4));
+        let mut rng = seeded_rng(5);
+        let refined = kl_bisection(&g, 3, &mut rng);
+        // Compare against a fresh random balanced split.
+        let mut order: Vec<Node> = (0..32).collect();
+        order.shuffle(&mut rng);
+        let mut random_side = vec![false; 32];
+        for &v in order.iter().take(16) {
+            random_side[v as usize] = true;
+        }
+        assert!(edge_cut(&g, &refined) <= edge_cut(&g, &random_side));
+    }
+}

@@ -1,0 +1,200 @@
+//! Spectral expansion certification.
+//!
+//! Definition 3.9 requires `G₀` to contain a 4-regular `(α, β)`-expander with
+//! `0 < α < 1`, `β > 1`, and the lower-bound constant
+//! `γ = ½·α·(1 − 1/β)` (Lemma 3.15) depends on those parameters. Rather than
+//! assuming expansion of a random graph, we *certify* it:
+//!
+//! 1. estimate the second-largest adjacency eigenvalue `λ` by power iteration
+//!    orthogonal to the all-ones vector (exact enough for certification
+//!    because we only need an upper bound with slack), then
+//! 2. convert `λ` into vertex expansion via **Tanner's bound**: for a
+//!    `d`-regular graph and any `A` with `|A| = αn`,
+//!    `|N(A)| ≥ |A| · d² / (λ² + (d² − λ²)·α)`.
+//!
+//! The certified `(α, β)` pair feeds straight into
+//! `unet_lowerbound::counting`.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Result of spectral analysis of a `d`-regular graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Spectrum {
+    /// Degree `d` (largest adjacency eigenvalue of a connected regular graph).
+    pub degree: usize,
+    /// Estimated second-largest eigenvalue **in absolute value** of the
+    /// adjacency matrix.
+    pub lambda: f64,
+}
+
+impl Spectrum {
+    /// Tanner's vertex-expansion bound at set-size fraction `alpha`:
+    /// every `A` with `|A| ≤ α·n` satisfies `|N(A)| ≥ β·|A|` for the returned
+    /// `β = d² / (λ² + (d² − λ²)·α)`.
+    pub fn tanner_beta(&self, alpha: f64) -> f64 {
+        let d2 = (self.degree * self.degree) as f64;
+        let l2 = self.lambda * self.lambda;
+        d2 / (l2 + (d2 - l2) * alpha)
+    }
+
+    /// The paper's γ constant (Lemma 3.15): `γ = ½·α·(1 − 1/β)` using the
+    /// Tanner-certified β at `alpha`. Positive iff β > 1.
+    pub fn gamma(&self, alpha: f64) -> f64 {
+        let beta = self.tanner_beta(alpha);
+        0.5 * alpha * (1.0 - 1.0 / beta)
+    }
+}
+
+/// Estimate the second adjacency eigenvalue of a connected `d`-regular graph
+/// by power iteration with deflation of the top eigenvector (the all-ones
+/// vector, exact for regular graphs). Returns the full [`Spectrum`].
+///
+/// `iters` of 200–500 gives 2–3 significant digits — enough, since the bound
+/// consumer only needs `λ` bounded away from `d`.
+///
+/// # Panics
+/// Panics unless `g` is regular and non-empty.
+pub fn estimate_spectrum<R: Rng>(g: &Graph, iters: usize, rng: &mut R) -> Spectrum {
+    let d = g
+        .is_regular()
+        .expect("spectral certification requires a regular graph");
+    let n = g.n();
+    assert!(n > 0);
+    let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+    deflate_and_normalize(&mut v);
+    let mut w = vec![0.0f64; n];
+    let mut lambda = 0.0f64;
+    for _ in 0..iters {
+        // w = A v
+        for (u, wu) in w.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for &x in g.neighbors(u as u32) {
+                acc += v[x as usize];
+            }
+            *wu = acc;
+        }
+        deflate_and_normalize(&mut w);
+        std::mem::swap(&mut v, &mut w);
+    }
+    // Rayleigh quotient for the converged direction.
+    let mut num = 0.0;
+    for (u, &vu) in v.iter().enumerate() {
+        let mut acc = 0.0;
+        for &x in g.neighbors(u as u32) {
+            acc += v[x as usize];
+        }
+        num += vu * acc;
+    }
+    lambda += num; // v is unit-norm
+    Spectrum { degree: d, lambda: lambda.abs() }
+}
+
+/// Remove the all-ones component and scale to unit norm. If the vector
+/// collapses (numerically zero), reseed it deterministically.
+fn deflate_and_normalize(v: &mut [f64]) {
+    let n = v.len() as f64;
+    let mean: f64 = v.iter().sum::<f64>() / n;
+    for x in v.iter_mut() {
+        *x -= mean;
+    }
+    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm < 1e-300 {
+        for (i, x) in v.iter_mut().enumerate() {
+            *x = if i % 2 == 0 { 1.0 } else { -1.0 };
+        }
+        let norm2: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        for x in v.iter_mut() {
+            *x /= norm2;
+        }
+        return;
+    }
+    for x in v.iter_mut() {
+        *x /= norm;
+    }
+}
+
+/// Certify an `(α, β)`-expander per Definition 3.8 from the spectrum:
+/// returns `Some((alpha, beta, gamma))` with `β > 1` if certification
+/// succeeds at the requested `alpha`, else `None`.
+pub fn certify_expander<R: Rng>(
+    g: &Graph,
+    alpha: f64,
+    iters: usize,
+    rng: &mut R,
+) -> Option<(f64, f64, f64)> {
+    let spec = estimate_spectrum(g, iters, rng);
+    // Guard: power iteration can only under-estimate λ if unconverged, which
+    // would over-certify. Add 5% safety margin, capped at d.
+    let safe = Spectrum {
+        degree: spec.degree,
+        lambda: (spec.lambda * 1.05).min(spec.degree as f64),
+    };
+    let beta = safe.tanner_beta(alpha);
+    (beta > 1.0).then(|| (alpha, beta, 0.5 * alpha * (1.0 - 1.0 / beta)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::classic::{complete, ring};
+    use crate::generators::random::{margulis_expander, random_hamiltonian_union};
+    use crate::util::seeded_rng;
+
+    #[test]
+    fn complete_graph_lambda_is_one() {
+        // K_n adjacency spectrum: n−1 once, −1 with multiplicity n−1.
+        let g = complete(12);
+        let spec = estimate_spectrum(&g, 300, &mut seeded_rng(1));
+        assert_eq!(spec.degree, 11);
+        assert!((spec.lambda - 1.0).abs() < 0.05, "λ = {}", spec.lambda);
+    }
+
+    #[test]
+    fn ring_lambda_near_two() {
+        // Cycle C_n: λ₂ = 2·cos(2π/n) → 2; rings do not expand.
+        // λ₂(C₆₄) = 2·cos(2π/64) ≈ 1.995; power iteration converges slowly
+        // because the gap to λ₃ is tiny, so accept anything clearly above the
+        // expansion-certification threshold.
+        let g = ring(64);
+        let spec = estimate_spectrum(&g, 2000, &mut seeded_rng(2));
+        assert!(spec.lambda > 1.9, "λ = {}", spec.lambda);
+        assert!(certify_expander(&g, 0.5, 2000, &mut seeded_rng(3)).is_none());
+    }
+
+    #[test]
+    fn random_4_regular_certifies() {
+        let g = random_hamiltonian_union(256, 2, &mut seeded_rng(4));
+        let cert = certify_expander(&g, 0.5, 400, &mut seeded_rng(5));
+        let (alpha, beta, gamma) = cert.expect("random 4-regular should certify");
+        assert_eq!(alpha, 0.5);
+        assert!(beta > 1.0);
+        assert!(gamma > 0.0 && gamma < 0.25);
+    }
+
+    #[test]
+    fn margulis_certifies() {
+        let g = margulis_expander(16);
+        // Margulis graphs may be slightly irregular after dedup at small
+        // side; only run the spectral path when regular.
+        if g.is_regular().is_some() {
+            let cert = certify_expander(&g, 0.5, 400, &mut seeded_rng(6));
+            assert!(cert.is_some());
+        }
+    }
+
+    #[test]
+    fn tanner_monotone_in_alpha() {
+        let spec = Spectrum { degree: 4, lambda: 2.5 };
+        let b1 = spec.tanner_beta(0.1);
+        let b2 = spec.tanner_beta(0.5);
+        assert!(b1 > b2, "{b1} vs {b2}");
+    }
+
+    #[test]
+    fn gamma_formula() {
+        let spec = Spectrum { degree: 4, lambda: 0.0 };
+        // β = d²/(d²·α) = 1/α = 2 at α = 0.5 ⇒ γ = 0.5·0.5·(1−0.5) = 0.125.
+        assert!((spec.gamma(0.5) - 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,100 @@
+//! Experiments E4 + E5: machine-check the lower-bound lemmas on a real run.
+//!
+//! Samples a guest from `U[G₀]`, simulates it with the Theorem 2.1 engine,
+//! certifies the pebble protocol, and then verifies every structural fact of
+//! the Section 3 proof on the concrete trace: the Lemma 3.12 averaging
+//! bounds and `|Z_S| ≥ (T−D)/2`, the Prop. 3.17 wavefront expansion,
+//! dependency monotonicity, fragment structure (Lemma 3.3), heavy-host
+//! accounting, and consistency with `m·s = Ω(n·log m)`.
+//!
+//! Run with: `cargo run --release --example lower_bound_audit`
+
+use universal_networks::core::prelude::*;
+use universal_networks::lowerbound::audit::run_audit;
+use universal_networks::lowerbound::build_g0;
+use universal_networks::topology::generators::{random_supergraph, torus};
+use universal_networks::topology::util::seeded_rng;
+
+fn main() {
+    let mut rng = seeded_rng(3);
+    // n = 144 guests (12×12 grid, side-2 blocks), host torus of m = 16.
+    let g0 = build_g0(144, 1, &mut rng);
+    println!(
+        "G0: n = {}, {} blocks, certified (α, β, γ) = ({:.2}, {:.3}, {:.4})",
+        g0.n(),
+        g0.h(),
+        g0.alpha,
+        g0.beta,
+        g0.gamma
+    );
+    let guest = random_supergraph(&g0.graph, 12, &mut rng);
+    println!(
+        "guest ∈ U[G0]: {}-regular, contains G0: {}",
+        guest.is_regular().map_or(0, |d| d),
+        guest.contains_subgraph(&g0.graph)
+    );
+
+    let host = torus(4, 4);
+    let router = presets::torus_xy(4, 4);
+    let report = run_audit(
+        &g0,
+        &guest,
+        &host,
+        Embedding::block(144, 16),
+        &router,
+        8,
+        0.05,
+        &mut seeded_rng(4),
+    );
+
+    println!("\n== simulation metrics ==");
+    println!(
+        "T' = {}, slowdown s = {:.1}, inefficiency k = {:.2}, total pebble copies = {}",
+        report.metrics.host_steps,
+        report.metrics.slowdown,
+        report.metrics.inefficiency,
+        report.metrics.total_weight
+    );
+
+    println!("\n== Lemma 3.12 (averaging) ==");
+    println!(
+        "tree depth D = {}, |Z_S| = {} (large enough: {})",
+        report.averaging.depth,
+        report.averaging.z_s.len(),
+        report.averaging.z_s_large_enough
+    );
+    if let Some(c) = report.averaging.certificates.first() {
+        println!(
+            "t0 = {}: Σq(roots) = {} ≤ {:.1},  Σw(roots) = {} ≤ {:.1}",
+            c.t0, c.sum_root_q, c.bound_root_q, c.sum_root_w, c.bound_root_w
+        );
+    }
+    println!(
+        "total weight {} ≤ work bound m·T' = {}",
+        report.averaging.total_weight, report.averaging.work_bound
+    );
+
+    println!("\n== Prop 3.17 (wavefront) ==");
+    println!("dependency monotonicity: {}", report.wavefront.monotone);
+    println!("expansion steps hold:    {}", report.wavefront.expansion_ok);
+    println!("τ_j thresholds:          {:?}", report.wavefront.taus);
+    println!("min level gap:           {:?}", report.wavefront.min_gap);
+
+    println!("\n== fragments (Lemma 3.3 / Prop 3.14) ==");
+    println!("structurally valid: {}", report.fragments_structurally_valid);
+    println!("small-D fraction:   {:.3}", report.small_d_fraction);
+    if let Some(fc) = report.fragment_costs.first() {
+        println!(
+            "encoding cost at t0 = {}: {:.0} bits ≤ budget r·n·k = {:.0} bits",
+            fc.t0,
+            fc.total(),
+            fc.budget_bits
+        );
+    }
+
+    println!("\n== verdict ==");
+    println!("heavy-host bound held:  {}", report.heavy_host_bound_held);
+    println!("trade-off consistent:   {}", report.tradeoff_consistent);
+    println!("AUDIT {}", if report.passed() { "PASSED" } else { "FAILED" });
+    assert!(report.passed());
+}

@@ -1,0 +1,65 @@
+//! Working with simulation protocols as artifacts: save, re-check, replay,
+//! prune, and inspect the redundancy profile.
+//!
+//! Run with: `cargo run --release --example protocol_tools`
+
+use universal_networks::core::prelude::*;
+use universal_networks::pebble::analysis::weight_heatmap;
+use universal_networks::pebble::optimize::prune;
+use universal_networks::pebble::replay::render_timeline;
+use universal_networks::pebble::{check, io};
+use universal_networks::topology::generators::{random_regular, torus};
+use universal_networks::topology::util::seeded_rng;
+
+fn main() {
+    // Produce a certified protocol.
+    let n = 64;
+    let guest = random_regular(n, 4, &mut seeded_rng(1));
+    let comp = GuestComputation::random(guest.clone(), 2);
+    let host = torus(3, 3);
+    let router = presets::torus_xy(3, 3);
+    let sim = EmbeddingSimulator { embedding: Embedding::block(n, 9), router: &router };
+    let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(3));
+    let proto = run.protocol;
+    check(&guest, &host, &proto).expect("certifies");
+
+    // 1. Serialize, reload, re-check — protocols are durable artifacts.
+    let text = io::to_text(&proto);
+    let reloaded = io::from_text(&text).expect("parses");
+    assert_eq!(reloaded, proto);
+    println!(
+        "serialized protocol: {} bytes, {} steps, {} busy ops — round-trips exactly\n",
+        text.len(),
+        proto.host_steps(),
+        proto.busy_ops()
+    );
+
+    // 2. Replay: a per-step timeline of the simulation's anatomy.
+    println!("timeline (first 12 steps):");
+    print!("{}", render_timeline(&proto, 12));
+
+    // 3. Prune: how much of the work was essential?
+    let (pruned, stats) = prune(&guest, &proto);
+    check(&guest, &host, &pruned).expect("pruned protocol still certifies");
+    println!(
+        "\npruning: {} → {} busy ops ({:.0}% essential), {} → {} steps",
+        stats.busy_before,
+        stats.busy_after,
+        100.0 * stats.busy_after as f64 / stats.busy_before as f64,
+        stats.steps_before,
+        stats.steps_after
+    );
+
+    // 4. Redundancy profiles before and after.
+    let trace = check(&guest, &host, &proto).unwrap();
+    let trace_p = check(&guest, &host, &pruned).unwrap();
+    println!("\nq_(i,t) heatmap, original (log2 scale; '.' = single copy):");
+    print!("{}", weight_heatmap(&trace, 64));
+    println!("q_(i,t) heatmap, pruned:");
+    print!("{}", weight_heatmap(&trace_p, 64));
+    println!(
+        "\ntotal custody: {} → {} pebble copies",
+        trace.total_weight(),
+        trace_p.total_weight()
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: simulate an arbitrary guest network on a smaller universal
+//! host, get a machine-checked pebble protocol, and compare the measured
+//! slowdown with the paper's bounds.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use universal_networks::core::prelude::*;
+use universal_networks::pebble::check;
+use universal_networks::topology::generators::{random_regular, torus};
+use universal_networks::topology::util::seeded_rng;
+
+fn main() {
+    // The guest: a random 4-regular network with n = 256 processors —
+    // an arbitrary member of the class U the paper's universal hosts must
+    // handle.
+    let n = 256;
+    let mut rng = seeded_rng(2024);
+    let guest = random_regular(n, 4, &mut rng);
+    let comp = GuestComputation::random(guest.clone(), 42);
+
+    // The host: a 8×8 torus — m = 64 ≤ n, so Theorem 2.1 predicts slowdown
+    // O(route_M(n/m)).
+    let host = torus(8, 8);
+    let m = host.n();
+
+    // Static embedding + shortest-path routing = the Theorem 2.1 simulation.
+    let router = presets::torus_xy(8, 8);
+    let sim = EmbeddingSimulator {
+        embedding: Embedding::block(n, m),
+        router: &router,
+    };
+
+    let steps = 8;
+    println!("simulating T = {steps} steps of a {n}-node guest on an {m}-node torus…");
+    let run = sim.simulate(&comp, &host, steps, &mut rng);
+
+    // 1. The protocol is a *checkable artifact*: every generate/send/receive
+    //    is validated against the Section 3.1 pebble-game rules.
+    let trace = check(&guest, &host, &run.protocol).expect("protocol certifies");
+
+    // 2. The simulation is *bit-for-bit correct*: the host reproduced the
+    //    guest's final configurations exactly.
+    assert_eq!(run.final_states, comp.run_final(steps));
+    println!("✓ pebble protocol certified ({} host steps)", trace.host_steps);
+    println!("✓ final states match direct execution bit-for-bit");
+
+    // 3. Measured numbers vs the paper's bounds.
+    let s = run.slowdown();
+    let k = run.inefficiency();
+    println!("\n               measured   bound");
+    println!("slowdown s     {s:8.1}   ≥ n/m = {:.1} (load)", bounds::load_bound(n, m));
+    println!(
+        "               {s:8.1}   ~ (n/m)·log m = {:.1} (Thm 2.1 upper shape)",
+        bounds::upper_bound_butterfly(n, m)
+    );
+    println!("inefficiency k {k:8.1}   = Ω(log m) = Ω({:.1}) (Thm 3.1 lower)", (m as f64).log2());
+    println!(
+        "m·s product    {:8.0}   = Ω(n·log m) = Ω({:.0})",
+        m as f64 * s,
+        n as f64 * (m as f64).log2()
+    );
+    assert!(bounds::consistent_with_lower_bound(n, m, s, 0.1));
+    println!("\n✓ measured point is consistent with the m·s = Ω(n·log m) trade-off");
+}

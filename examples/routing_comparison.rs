@@ -1,0 +1,63 @@
+//! Experiment E6: `route_M(h)` across strategies and hosts.
+//!
+//! Measures the routing-time function of Section 2 — the quantity that
+//! Theorem 2.1 converts into universal-simulation slowdown — for:
+//! greedy bit-fixing and Valiant's randomized routing on the butterfly,
+//! dimension-order routing on the torus, and the offline Beneš/Waksman
+//! pipeline. Expected shapes: butterfly/Beneš ≈ `h + log m` per wave
+//! (offline) or `h·log m`-ish online; torus pays `√m`.
+//!
+//! Run with: `cargo run --release --example routing_comparison`
+
+use universal_networks::routing::benes::{benes_h_h_schedule, benes_network};
+use universal_networks::routing::butterfly::{GreedyButterfly, ValiantButterfly};
+use universal_networks::routing::greedy::DimensionOrder;
+use universal_networks::routing::metrics::measure_route_time;
+use universal_networks::topology::generators::{butterfly, torus};
+use universal_networks::topology::util::seeded_rng;
+use rand::seq::SliceRandom;
+
+fn main() {
+    let mut rng = seeded_rng(31);
+    let dim = 6; // butterfly: 448 nodes, 64 rows
+    let bf = butterfly(dim);
+    let side = 21; // torus of comparable size (441)
+    let tor = torus(side, side);
+    let d_benes = 6; // Beneš on 64 rows
+
+    println!(
+        "butterfly m = {}, torus m = {}, benes rows = {}",
+        bf.n(),
+        tor.n(),
+        1 << d_benes
+    );
+    println!(
+        "{:>4} {:>16} {:>16} {:>14} {:>18}",
+        "h", "bf-greedy(max)", "bf-valiant(max)", "torus-xy(max)", "benes-offline(exact)"
+    );
+    for h in [1usize, 2, 4, 8] {
+        let g = measure_route_time(&bf, h, &GreedyButterfly { dim }, 3, &mut rng);
+        let v = measure_route_time(&bf, h, &ValiantButterfly { dim }, 3, &mut rng);
+        let t = measure_route_time(&tor, h, &DimensionOrder::torus(side, side), 3, &mut rng);
+        // Offline: exact makespan of the Waksman pipeline on h permutations.
+        let rows = 1u32 << d_benes;
+        let mut pairs = Vec::new();
+        for _ in 0..h {
+            let mut p: Vec<u32> = (0..rows).collect();
+            p.shuffle(&mut rng);
+            for (s, &d) in p.iter().enumerate() {
+                pairs.push((s as u32, d));
+            }
+        }
+        let (makespan, _, _) = benes_h_h_schedule(d_benes, &pairs);
+        println!(
+            "{h:>4} {:>16} {:>16} {:>14} {:>18}",
+            g.max_steps, v.max_steps, t.max_steps, makespan
+        );
+    }
+    println!(
+        "\noffline formula: 2(h−1) + 2(2d−1) = O(h + log m); torus grows with √m = {side};"
+    );
+    println!("online butterfly ≈ O(h·log m) — the Theorem 2.1 slowdown driver.");
+    let _ = benes_network(d_benes); // the Beneš graph itself is also a valid host
+}

@@ -1,0 +1,234 @@
+//! `unet` — the command-line face of the universal-networks workspace.
+//!
+//! ```text
+//! unet topo     <spec>                        graph facts (degree, diameter, expansion)
+//! unet simulate <guest> <host> <T> [opts]     run + certify a universal simulation
+//! unet check    <guest> <host> <proto-file>   re-check a saved protocol
+//! unet route    <host> <h> [--trials N]       measure route_M(h)
+//! unet tradeoff <n> [--gamma G]               print the Theorem 3.1 trade-off table
+//! unet audit    <n-hint> <host> <T>           full lower-bound audit on a U[G0] guest
+//! ```
+//!
+//! Graph specs: `torus:8x8`, `butterfly:4`, `random:256x4:7`, … (see
+//! `universal_networks::spec`).
+
+use std::process::ExitCode;
+use universal_networks::core::prelude::*;
+use universal_networks::core::routers::SelectorRouter;
+use universal_networks::lowerbound;
+use universal_networks::pebble;
+use universal_networks::routing::metrics::measure_route_time_bfs;
+use universal_networks::spec::parse_graph;
+use universal_networks::topology::analysis::{diameter_exact, is_connected};
+use universal_networks::topology::generators::random_supergraph;
+use universal_networks::topology::spectral::certify_expander;
+use universal_networks::topology::util::seeded_rng;
+use universal_networks::topology::Graph;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  unet topo     <spec>
+  unet simulate <guest-spec> <host-spec> <steps> [--seed S] [--save FILE]
+  unet check    <guest-spec> <host-spec> <protocol-file>
+  unet route    <host-spec> <h> [--trials N]
+  unet tradeoff <n> [--gamma G]
+  unet audit    <n-hint> <host-spec> <steps>";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing subcommand")?;
+    match cmd.as_str() {
+        "topo" => topo(args.get(1).ok_or("missing spec")?),
+        "simulate" => simulate(&args[1..]),
+        "check" => check_cmd(&args[1..]),
+        "route" => route_cmd(&args[1..]),
+        "tradeoff" => tradeoff(&args[1..]),
+        "audit" => audit(&args[1..]),
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn topo(spec: &str) -> Result<(), String> {
+    let g = parse_graph(spec)?;
+    println!("spec:       {spec}");
+    println!("nodes:      {}", g.n());
+    println!("edges:      {}", g.num_edges());
+    println!("degree:     {}..{}", g.min_degree(), g.max_degree());
+    println!("regular:    {:?}", g.is_regular());
+    println!("connected:  {}", is_connected(&g));
+    if g.n() <= 4096 && is_connected(&g) {
+        println!("diameter:   {}", diameter_exact(&g));
+    }
+    if let Some(d) = g.is_regular() {
+        if d >= 3 && g.n() >= 8 {
+            let mut rng = seeded_rng(1);
+            match certify_expander(&g, 0.5, 400, &mut rng) {
+                Some((a, b, gm)) => println!("expander:   certified (α={a}, β={b:.3}, γ={gm:.4})"),
+                None => println!("expander:   not certified at α=0.5"),
+            }
+        }
+    }
+    Ok(())
+}
+
+fn simulate(args: &[String]) -> Result<(), String> {
+    let guest_spec = args.first().ok_or("missing guest spec")?;
+    let host_spec = args.get(1).ok_or("missing host spec")?;
+    let steps: u32 = args
+        .get(2)
+        .ok_or("missing steps")?
+        .parse()
+        .map_err(|_| "bad steps")?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
+    let guest = parse_graph(guest_spec)?;
+    let host = parse_graph(host_spec)?;
+    let (n, m) = (guest.n(), host.n());
+    let comp = GuestComputation::random(guest.clone(), seed);
+    let router: SelectorRouter<universal_networks::routing::ShortestPath> = presets::bfs();
+    let sim = EmbeddingSimulator { embedding: Embedding::block(n, m), router: &router };
+    let mut rng = seeded_rng(seed ^ 0xAA);
+    let run = sim.simulate(&comp, &host, steps, &mut rng);
+    let v = verify_run(&comp, &host, &run, steps).map_err(|e| e.to_string())?;
+    println!("guest {guest_spec} (n={n})  →  host {host_spec} (m={m}),  T = {steps}");
+    println!("host steps T' = {}", v.metrics.host_steps);
+    println!("slowdown  s  = {:.2}   (load bound {:.2})", v.metrics.slowdown, bounds::load_bound(n, m));
+    println!("inefficy  k  = {:.2}   (Thm 3.1 floor Ω(log m) ~ {:.2})", v.metrics.inefficiency, (m as f64).log2());
+    println!("protocol certified; states match direct execution bit-for-bit");
+    if let Some(path) = flag(args, "--save") {
+        std::fs::write(&path, pebble::io::to_text(&run.protocol))
+            .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("protocol saved to {path}");
+    }
+    Ok(())
+}
+
+fn check_cmd(args: &[String]) -> Result<(), String> {
+    let guest = parse_graph(args.first().ok_or("missing guest spec")?)?;
+    let host = parse_graph(args.get(1).ok_or("missing host spec")?)?;
+    let path = args.get(2).ok_or("missing protocol file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let proto = pebble::io::from_text(&text).map_err(|e| e.to_string())?;
+    match pebble::check(&guest, &host, &proto) {
+        Ok(trace) => {
+            println!(
+                "OK: valid protocol ({} steps, {} busy ops, slowdown {:.2}, inefficiency {:.2})",
+                trace.host_steps,
+                proto.busy_ops(),
+                proto.slowdown(),
+                proto.inefficiency()
+            );
+            Ok(())
+        }
+        Err(e) => Err(format!("INVALID protocol: {e}")),
+    }
+}
+
+fn route_cmd(args: &[String]) -> Result<(), String> {
+    let host = parse_graph(args.first().ok_or("missing host spec")?)?;
+    let h: usize = args.get(1).ok_or("missing h")?.parse().map_err(|_| "bad h")?;
+    let trials: usize =
+        flag(args, "--trials").map_or(Ok(5), |s| s.parse().map_err(|_| "bad trials"))?;
+    let mut rng = seeded_rng(7);
+    let stats = measure_route_time_bfs(&host, h, trials, &mut rng);
+    println!(
+        "route_M({h}) over {trials} random problems on m = {}: max {} steps, mean {:.1}, max queue {}",
+        host.n(),
+        stats.max_steps,
+        stats.mean_steps,
+        stats.max_queue
+    );
+    Ok(())
+}
+
+fn tradeoff(args: &[String]) -> Result<(), String> {
+    let n: u64 = args.first().ok_or("missing n")?.parse().map_err(|_| "bad n")?;
+    let gamma: f64 =
+        flag(args, "--gamma").map_or(Ok(0.125), |s| s.parse().map_err(|_| "bad gamma"))?;
+    let max_exp = (n as f64).log2() as u32;
+    let ms: Vec<u64> = (3..=max_exp).map(|e| 1u64 << e).collect();
+    println!("{:>8} {:>9} {:>9} {:>9} {:>9} {:>12}", "m", "k_ideal", "k_shape", "s_shape", "s_upper", "m*s");
+    for row in lowerbound::tradeoff_table(n, &ms, gamma, 4) {
+        println!(
+            "{:>8} {:>9.2} {:>9.2} {:>9.1} {:>9.1} {:>12.0}",
+            row.m, row.k_ideal, row.k_shape, row.s_shape, row.s_upper, row.ms_product
+        );
+    }
+    Ok(())
+}
+
+fn audit(args: &[String]) -> Result<(), String> {
+    let n_hint: usize = args.first().ok_or("missing n-hint")?.parse().map_err(|_| "bad n")?;
+    let host: Graph = parse_graph(args.get(1).ok_or("missing host spec")?)?;
+    let steps: u32 = args.get(2).ok_or("missing steps")?.parse().map_err(|_| "bad steps")?;
+    let mut rng = seeded_rng(3);
+    let (g0, n) = lowerbound::build_g0_for_host(n_hint, host.n(), &mut rng);
+    let c = (g0.graph.max_degree() + 2 + 1) / 2 * 2; // even c ≥ deg(G0)
+    let guest = random_supergraph(&g0.graph, c.max(12), &mut rng);
+    println!(
+        "G0: n = {n}, a = {}, blocks = {}, certified (α, β, γ) = ({:.2}, {:.3}, {:.4})",
+        g0.a,
+        g0.h(),
+        g0.alpha,
+        g0.beta,
+        g0.gamma
+    );
+    let steps = if steps < g0.min_steps() {
+        println!(
+            "note: raising T from {steps} to {} (the analysis needs T > tree depth; \
+             the paper's T ≥ 2√(log m))",
+            g0.min_steps()
+        );
+        g0.min_steps()
+    } else {
+        steps
+    };
+    let router = presets::bfs();
+    let report = lowerbound::run_audit(
+        &g0,
+        &guest,
+        &host,
+        Embedding::block(n, host.n()),
+        &router,
+        steps,
+        0.05,
+        &mut seeded_rng(4),
+    );
+    println!(
+        "metrics: T' = {}, s = {:.1}, k = {:.2}",
+        report.metrics.host_steps, report.metrics.slowdown, report.metrics.inefficiency
+    );
+    println!(
+        "averaging: |Z_S| = {} (ok: {}), bounds hold: {}",
+        report.averaging.z_s.len(),
+        report.averaging.z_s_large_enough,
+        report.averaging.all_bounds_hold()
+    );
+    println!(
+        "wavefront: monotone {}, expansion {}, min gap {:?}",
+        report.wavefront.monotone, report.wavefront.expansion_ok, report.wavefront.min_gap
+    );
+    println!(
+        "fragments: structural {}, small-D fraction {:.3}",
+        report.fragments_structurally_valid, report.small_d_fraction
+    );
+    println!("AUDIT {}", if report.passed() { "PASSED" } else { "FAILED" });
+    report.passed().then_some(()).ok_or_else(|| "audit failed".into())
+}

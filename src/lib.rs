@@ -1,0 +1,39 @@
+//! # universal-networks
+//!
+//! A full reproduction of *"Optimal Trade-Offs Between Size and Slowdown for
+//! Universal Parallel Networks"* (F. Meyer auf der Heide, M. Storch,
+//! R. Wanka; SPAA 1995 / ICSI TR-96-052) as a usable Rust system:
+//! network topologies, the pebble-game simulation model, packet routing,
+//! universal simulation algorithms, and the lower-bound machinery — all
+//! executable and machine-checked.
+//!
+//! This facade crate re-exports the member crates:
+//!
+//! * [`topology`] — graphs and generators (meshes, tori, multitori,
+//!   butterflies, CCC, shuffle-exchange, de Bruijn, expanders, …);
+//! * [`pebble`] — the Section 3.1 simulation model: protocols, validity
+//!   checking, traces, fragments, dependency graphs/trees;
+//! * [`routing`] — `h–h` routing: greedy, Valiant, Beneš/Waksman offline,
+//!   sorting networks;
+//! * [`core`] — universal simulations (Theorem 2.1 engine, Galil–Paul,
+//!   flooding, tree hosts) and bound predictions;
+//! * [`lowerbound`] — Theorem 3.1 executable: `G₀`, averaging, wavefronts,
+//!   counting, audits.
+//!
+//! See `examples/quickstart.rs` for a three-minute tour.
+
+pub mod spec;
+
+pub use unet_core as core;
+pub use unet_lowerbound as lowerbound;
+pub use unet_pebble as pebble;
+pub use unet_routing as routing;
+pub use unet_topology as topology;
+
+/// Everything most programs need.
+pub mod prelude {
+    pub use unet_core::prelude::*;
+    pub use unet_pebble::{check, Op, Pebble, Protocol, ProtocolBuilder};
+    pub use unet_routing::{RoutingProblem, ShortestPath};
+    pub use unet_topology::prelude::*;
+}

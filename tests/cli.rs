@@ -1,0 +1,77 @@
+//! Integration tests for the `unet` CLI binary.
+
+use std::process::Command;
+
+fn unet(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_unet"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn topo_reports_graph_facts() {
+    let (ok, stdout, _) = unet(&["topo", "torus:4x4"]);
+    assert!(ok);
+    assert!(stdout.contains("nodes:      16"));
+    assert!(stdout.contains("regular:    Some(4)"));
+    assert!(stdout.contains("diameter:   4"));
+}
+
+#[test]
+fn simulate_save_check_roundtrip() {
+    let dir = std::env::temp_dir().join("unet-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let proto = dir.join("p.unetproto");
+    let proto_s = proto.to_str().unwrap();
+    let (ok, stdout, stderr) = unet(&[
+        "simulate",
+        "ring:32",
+        "torus:2x2",
+        "2",
+        "--save",
+        proto_s,
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("protocol certified"));
+    assert!(proto.exists());
+    // Re-check the saved artifact.
+    let (ok2, stdout2, stderr2) = unet(&["check", "ring:32", "torus:2x2", proto_s]);
+    assert!(ok2, "stderr: {stderr2}");
+    assert!(stdout2.contains("OK: valid protocol"));
+    // Checking against the wrong guest must fail.
+    let (ok3, _, stderr3) = unet(&["check", "ring:16", "torus:2x2", proto_s]);
+    assert!(!ok3);
+    let _ = stderr3;
+}
+
+#[test]
+fn tradeoff_prints_table() {
+    let (ok, stdout, _) = unet(&["tradeoff", "1024"]);
+    assert!(ok);
+    assert!(stdout.contains("k_ideal"));
+    // Rows for m = 8 .. 1024.
+    assert!(stdout.lines().count() >= 8);
+}
+
+#[test]
+fn route_reports_stats() {
+    let (ok, stdout, _) = unet(&["route", "torus:4x4", "2", "--trials", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("route_M(2)"));
+}
+
+#[test]
+fn bad_usage_fails_with_usage_text() {
+    let (ok, _, stderr) = unet(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+    let (ok2, _, stderr2) = unet(&["topo", "nosuch:3"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("unknown graph family"));
+}

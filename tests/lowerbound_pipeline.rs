@@ -1,0 +1,116 @@
+//! Integration of the lower-bound machinery against live simulations:
+//! the lemmas of Section 3 must hold on every certified protocol our
+//! simulators produce.
+
+use universal_networks::core::prelude::*;
+use universal_networks::lowerbound::audit::run_audit;
+use universal_networks::lowerbound::averaging::analyze;
+use universal_networks::lowerbound::wavefront;
+use universal_networks::lowerbound::{build_g0, build_g0_for_host, CountingParams};
+use universal_networks::pebble::check;
+use universal_networks::topology::generators::random_supergraph;
+use universal_networks::topology::generators::torus;
+use universal_networks::topology::util::seeded_rng;
+
+#[test]
+fn audit_passes_across_routers_and_hosts() {
+    let mut rng = seeded_rng(41);
+    let g0 = build_g0(64, 1, &mut rng);
+    let guest = random_supergraph(&g0.graph, 12, &mut rng);
+    let cases: Vec<(&str, _)> = vec![
+        ("torus-2x2", torus(2, 2)),
+        ("torus-4x4", torus(4, 4)),
+    ];
+    for (name, host) in cases {
+        let m = host.n();
+        let router = presets::bfs();
+        let report = run_audit(
+            &g0,
+            &guest,
+            &host,
+            Embedding::block(64, m),
+            &router,
+            8,
+            0.05,
+            &mut seeded_rng(42),
+        );
+        assert!(report.passed(), "{name}: {report:#?}");
+    }
+}
+
+#[test]
+fn g0_for_host_sizes_consistently() {
+    let mut rng = seeded_rng(43);
+    for m in [16usize, 64, 256] {
+        let (g0, n) = build_g0_for_host(100, m, &mut rng);
+        assert_eq!(g0.n(), n);
+        assert!(g0.graph.max_degree() <= 12);
+        assert!(g0.gamma > 0.0);
+    }
+}
+
+#[test]
+fn z_s_grows_with_computation_length() {
+    // Longer computations give the averaging argument more critical steps.
+    let mut rng = seeded_rng(44);
+    let g0 = build_g0(36, 1, &mut rng);
+    let guest = random_supergraph(&g0.graph, 12, &mut rng);
+    let comp = GuestComputation::random(guest.clone(), 45);
+    let host = torus(2, 2);
+    let router = presets::bfs();
+    let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
+    let mut sizes = Vec::new();
+    for steps in [4u32, 8, 12] {
+        let run = sim.simulate(&comp, &host, steps, &mut seeded_rng(46));
+        let trace = check(&guest, &host, &run.protocol).unwrap();
+        let analysis = analyze(&trace, &g0);
+        assert!(analysis.all_bounds_hold());
+        sizes.push(analysis.z_s.len());
+    }
+    assert!(sizes[2] > sizes[0], "Z_S sizes: {sizes:?}");
+}
+
+#[test]
+fn wavefront_ordering_holds_for_every_simulator() {
+    // Level-t majorities must be reached in increasing order of t for any
+    // valid protocol — the monotonicity behind Prop. 3.17.
+    let mut rng = seeded_rng(47);
+    let g0 = build_g0(36, 1, &mut rng);
+    let guest = random_supergraph(&g0.graph, 12, &mut rng);
+    let comp = GuestComputation::random(guest.clone(), 48);
+    let host = torus(3, 3);
+    let router = presets::torus_xy(3, 3);
+    let sim = EmbeddingSimulator { embedding: Embedding::block(36, 9), router: &router };
+    let run = sim.simulate(&comp, &host, 6, &mut seeded_rng(49));
+    let trace = check(&guest, &host, &run.protocol).unwrap();
+    let ex = wavefront::existence_times(&trace);
+    let mut last = 0u32;
+    for t in 1..=6u32 {
+        let tau = wavefront::tau_threshold(&ex, t, 18).expect("majority reached");
+        assert!(tau > last, "level {t} majority at {tau} not after {last}");
+        last = tau;
+    }
+}
+
+#[test]
+fn counting_chain_lower_bound_never_exceeds_measured() {
+    // Any *correct* simulation's measured inefficiency must exceed the
+    // counting-chain k_min at matching parameters (the bound is a lower
+    // bound, after all).
+    let mut rng = seeded_rng(50);
+    let g0 = build_g0(64, 1, &mut rng);
+    let guest = random_supergraph(&g0.graph, 12, &mut rng);
+    let comp = GuestComputation::random(guest.clone(), 51);
+    let host = torus(4, 4);
+    let router = presets::torus_xy(4, 4);
+    let sim = EmbeddingSimulator { embedding: Embedding::block(64, 16), router: &router };
+    let run = sim.simulate(&comp, &host, 6, &mut seeded_rng(52));
+    verify_run(&comp, &host, &run, 6).unwrap();
+    let params = CountingParams::shape(g0.gamma);
+    let k_lower = universal_networks::lowerbound::k_min(16, &params);
+    assert!(
+        run.inefficiency() >= k_lower,
+        "measured k {} below theoretical floor {k_lower}",
+        run.inefficiency()
+    );
+}
