@@ -14,10 +14,7 @@ fn regenerate_table() {
     let n = 64;
     let (guest, comp) = standard_guest(n, 0xE10);
     println!("\n=== E10: tree hosts for short computations (guest n = {n}, c = 4) ===");
-    println!(
-        "{:>3} {:>10} {:>12} {:>10} {:>8}",
-        "T", "host size", "2^O(T)·n", "slowdown", "k"
-    );
+    println!("{:>3} {:>10} {:>12} {:>10} {:>8}", "T", "host size", "2^O(T)·n", "slowdown", "k");
     for t in 1..=4u32 {
         let host = build_tree_host(&guest, t);
         let proto = tree_protocol(&comp, &host, t);

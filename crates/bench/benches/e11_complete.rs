@@ -19,10 +19,7 @@ fn measure(n: usize, side: usize, steps: u32) -> (f64, f64) {
     let comp = GuestComputation::random(guest.clone(), 0xE11);
     let host = torus(side, side);
     let router = presets::torus_xy(side, side);
-    let sim = EmbeddingSimulator {
-        embedding: Embedding::block(n, side * side),
-        router: &router,
-    };
+    let sim = EmbeddingSimulator { embedding: Embedding::block(n, side * side), router: &router };
     let mut r = rng();
     let run = sim.simulate(&comp, &host, steps, &mut r);
     let v = verify_run(&comp, &host, &run, steps).expect("certifies");

@@ -39,10 +39,7 @@ fn embedding_ablation() {
     let host = torus(4, 4);
     let comp = GuestComputation::random(guest.clone(), 0xE12);
     let router = presets::torus_xy(4, 4);
-    println!(
-        "{:>8} {:>9} {:>11} {:>10}",
-        "embed", "dilation", "congestion", "slowdown"
-    );
+    println!("{:>8} {:>9} {:>11} {:>10}", "embed", "dilation", "congestion", "slowdown");
     let cases: Vec<(&str, Embedding)> = vec![
         ("tiles", Embedding::grid_tiles(16, 4)),
         ("block", Embedding::block(256, 16)),
@@ -113,10 +110,7 @@ fn prune_ablation() {
 
 fn separation_table() {
     println!("\n--- E12e: embedding-universal vs dynamic-universal size ([13] vs [14]) ---");
-    println!(
-        "{:>10} {:>16} {:>15} {:>8}",
-        "n", "log2 m (embed)", "log2 m (dyn)", "ratio"
-    );
+    println!("{:>10} {:>16} {:>15} {:>8}", "n", "log2 m (embed)", "log2 m (dyn)", "ratio");
     for row in embedding_vs_dynamic(&[1 << 10, 1 << 16, 1 << 24, 1 << 32], 4, 4) {
         println!(
             "{:>10} {:>16.1} {:>15.1} {:>8.2}",

@@ -56,9 +56,7 @@ fn bench(c: &mut Criterion) {
     regenerate_table();
     let mut group = c.benchmark_group("e14_spreading");
     let g = torus(32, 32);
-    group.bench_function("spreading_function_t8", |b| {
-        b.iter(|| spreading_function(&g, 8, 128))
-    });
+    group.bench_function("spreading_function_t8", |b| b.iter(|| spreading_function(&g, 8, 128)));
     let e = Embedding::grid_tiles(32, 8);
     group.bench_function("guest_induced_problem", |b| {
         b.iter(|| guest_induced(&g, &e.f, 64).pairs.len())

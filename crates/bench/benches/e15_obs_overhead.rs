@@ -1,0 +1,96 @@
+//! E15 — instrumentation overhead of the routing engine.
+//!
+//! The zero-cost claim, measured: `route()` (which monomorphizes
+//! `route_recorded` over `NoopRecorder`) must cost the same as calling
+//! `route_recorded` with an explicit `NoopRecorder`, and the live
+//! `InMemoryRecorder` shows what full recording costs on the same problem.
+//! A paired-measurement check asserts the noop overhead stays below 2%.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
+use unet_obs::{InMemoryRecorder, NoopRecorder};
+use unet_routing::packet::{make_packets, route, route_recorded, Discipline, Packet, ShortestPath};
+use unet_topology::generators::torus;
+use unet_topology::util::seeded_rng;
+use unet_topology::Graph;
+
+fn problem() -> (Graph, Vec<Packet>) {
+    let g = torus(16, 16);
+    let n = g.n() as u32;
+    let mut rng = seeded_rng(0xE15);
+    let pairs: Vec<(u32, u32)> =
+        (0..2 * n).map(|i| ((i * 37 + 5) % n, (i * 101 + 13) % n)).collect();
+    let packets = make_packets(&g, &pairs, &ShortestPath, &mut rng);
+    (g, packets)
+}
+
+/// Median wall time of `reps` runs of `f`, in nanoseconds.
+fn median_ns(reps: usize, mut f: impl FnMut()) -> u128 {
+    let mut times: Vec<u128> = (0..reps)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+fn overhead_report() {
+    let (g, packets) = problem();
+    // Warm up caches and page in both code paths.
+    for _ in 0..3 {
+        route(&g, &packets, Discipline::FarthestFirst, u32::MAX).unwrap();
+        route_recorded(&g, &packets, Discipline::FarthestFirst, u32::MAX, &mut NoopRecorder)
+            .unwrap();
+    }
+    let reps = 31;
+    let plain = median_ns(reps, || {
+        route(&g, &packets, Discipline::FarthestFirst, u32::MAX).unwrap();
+    });
+    let noop = median_ns(reps, || {
+        route_recorded(&g, &packets, Discipline::FarthestFirst, u32::MAX, &mut NoopRecorder)
+            .unwrap();
+    });
+    let live = median_ns(reps, || {
+        let mut rec = InMemoryRecorder::new();
+        route_recorded(&g, &packets, Discipline::FarthestFirst, u32::MAX, &mut rec).unwrap();
+    });
+    let overhead = (noop as f64 - plain as f64) / plain as f64 * 100.0;
+    println!("\n=== E15: recorder overhead on route(), 512 packets on torus 16x16 ===");
+    println!("route() plain:                 {:>10} ns (median of {reps})", plain);
+    println!("route_recorded(Noop):          {:>10} ns  ({overhead:+.2}% vs plain)", noop);
+    println!(
+        "route_recorded(InMemory):      {:>10} ns  ({:+.2}% vs plain)",
+        live,
+        (live as f64 - plain as f64) / plain as f64 * 100.0
+    );
+    assert!(overhead < 2.0, "NoopRecorder must be free: measured {overhead:.2}% overhead");
+    println!("zero-cost check PASSED: noop overhead {overhead:.2}% < 2%");
+}
+
+fn bench(c: &mut Criterion) {
+    overhead_report();
+    let (g, packets) = problem();
+    let mut group = c.benchmark_group("e15_obs_overhead");
+    group.bench_function("route_plain", |b| {
+        b.iter(|| route(&g, &packets, Discipline::FarthestFirst, u32::MAX).unwrap())
+    });
+    group.bench_function("route_noop_recorder", |b| {
+        b.iter(|| {
+            route_recorded(&g, &packets, Discipline::FarthestFirst, u32::MAX, &mut NoopRecorder)
+                .unwrap()
+        })
+    });
+    group.bench_function("route_inmemory_recorder", |b| {
+        b.iter(|| {
+            let mut rec = InMemoryRecorder::new();
+            route_recorded(&g, &packets, Discipline::FarthestFirst, u32::MAX, &mut rec).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -17,10 +17,7 @@ fn regenerate_table() {
     let (guest, comp) = standard_guest(n, 0xE1);
     let mut r = rng();
     println!("\n=== E1: upper-bound trade-off (guest n = {n}, T = {steps}) ===");
-    println!(
-        "{:>5} {:>8} {:>10} {:>8} {:>10}",
-        "m", "load", "measured", "k=s*m/n", "upper"
-    );
+    println!("{:>5} {:>8} {:>10} {:>8} {:>10}", "m", "load", "measured", "k=s*m/n", "upper");
     let mut prev_k: Option<f64> = None;
     for dim in 2..=5usize {
         let m = (dim + 1) << dim;

@@ -33,12 +33,8 @@ fn bench(c: &mut Criterion) {
     let shape = CountingParams::shape(GAMMA);
     let mut group = c.benchmark_group("e2_tradeoff");
     group.bench_function("k_min", |b| b.iter(|| k_min(std::hint::black_box(1u64 << 20), &shape)));
-    group.bench_function("crossover_k", |b| {
-        b.iter(|| crossover_k(1 << 12, 1 << 10, &shape))
-    });
-    group.bench_function("log2_d_k", |b| {
-        b.iter(|| log2_d_k(1 << 12, 1 << 10, 3.0, &shape))
-    });
+    group.bench_function("crossover_k", |b| b.iter(|| crossover_k(1 << 12, 1 << 10, &shape)));
+    group.bench_function("log2_d_k", |b| b.iter(|| log2_d_k(1 << 12, 1 << 10, 3.0, &shape)));
     group.bench_function("log2_u_g0", |b| b.iter(|| log2_u_g0(1 << 12, 16)));
     group.bench_function("tradeoff_table_12_rows", |b| {
         let ms: Vec<u64> = (3..=14).map(|e| 1u64 << e).collect();

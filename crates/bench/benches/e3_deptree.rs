@@ -26,13 +26,11 @@ fn regenerate_table() {
             verify_tree(&tree, &g0, &reference).expect("Lemma 3.10 invariants");
             max_size = max_size.max(tree.size());
         }
-        println!(
-            "{a:>6} {side:>7} {depth:>7} {max_size:>9} {:>9} {:>8}",
-            48 * a * a,
-            side * side
-        );
+        println!("{a:>6} {side:>7} {depth:>7} {max_size:>9} {:>9} {:>8}", 48 * a * a, side * side);
     }
-    println!("every tree verified: binary, rooted at t−depth, leaves = block × {{t}}, size ≤ 48a².");
+    println!(
+        "every tree verified: binary, rooted at t−depth, leaves = block × {{t}}, size ≤ 48a²."
+    );
 }
 
 fn bench(c: &mut Criterion) {

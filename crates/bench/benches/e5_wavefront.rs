@@ -30,10 +30,9 @@ fn async_trace(policy: SchedulePolicy) -> (unet_topology::Graph, unet_pebble::Tr
 
 fn regenerate_table() {
     println!("\n=== E5: wavefront e_t(τ) — asynchronous simulation (n = 144, T = 8) ===");
-    for (name, policy) in [
-        ("random", SchedulePolicy::Random),
-        ("deepest-first", SchedulePolicy::DeepestFirst),
-    ] {
+    for (name, policy) in
+        [("random", SchedulePolicy::Random), ("deepest-first", SchedulePolicy::DeepestFirst)]
+    {
         let (guest, trace, alpha, beta) = async_trace(policy);
         let ex = existence_times(&trace);
         let n = trace.guest_n;

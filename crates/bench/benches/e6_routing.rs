@@ -41,10 +41,7 @@ fn regenerate_table() {
             }
         }
         let (mk, _, _) = benes_h_h_schedule(5, &pairs);
-        println!(
-            "{h:>3} {:>12} {:>12} {:>10} {:>16}",
-            g.max_steps, v.max_steps, t.max_steps, mk
-        );
+        println!("{h:>3} {:>12} {:>12} {:>10} {:>16}", g.max_steps, v.max_steps, t.max_steps, mk);
     }
     println!("offline = 2(h−1) + 2(2d−1) exactly; torus pays Θ(√m); butterfly Θ(h·log m).");
 }

@@ -61,9 +61,7 @@ fn bench(c: &mut Criterion) {
     let f = lowerbound_fixture();
     let a = analyze(&f.trace, &f.g0);
     group.sample_size(20);
-    group.bench_function("fragment_costs", |b| {
-        b.iter(|| fragment_costs(&f.trace, &f.g0, &a, 4))
-    });
+    group.bench_function("fragment_costs", |b| b.iter(|| fragment_costs(&f.trace, &f.g0, &a, 4)));
     group.finish();
 }
 

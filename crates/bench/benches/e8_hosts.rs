@@ -5,9 +5,9 @@
 //! diameter), then times the per-host simulation kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use unet_bench::{rng, standard_guest};
 use unet_core::prelude::*;
 use unet_core::routers::Router;
-use unet_bench::{rng, standard_guest};
 use unet_topology::generators::{
     butterfly, kautz, mesh, mesh_of_trees, multibutterfly, random_hamiltonian_union, ring, torus,
 };
@@ -21,10 +21,7 @@ fn measure(
     steps: u32,
 ) -> (f64, f64) {
     let mut r = rng();
-    let sim = EmbeddingSimulator {
-        embedding: Embedding::block(guest.n(), host.n()),
-        router,
-    };
+    let sim = EmbeddingSimulator { embedding: Embedding::block(guest.n(), host.n()), router };
     let run = sim.simulate(comp, host, steps, &mut r);
     let v = verify_run(comp, host, &run, steps).expect("certifies");
     (v.metrics.slowdown, v.metrics.inefficiency)
@@ -74,20 +71,14 @@ fn bench(c: &mut Criterion) {
     let (guest, comp) = standard_guest(256, 0xE8);
     let mut group = c.benchmark_group("e8_hosts");
     group.sample_size(10);
-    let hosts: Vec<(&str, Graph)> = vec![
-        ("butterfly", butterfly(3)),
-        ("torus", torus(6, 6)),
-        ("mesh", mesh(6, 6)),
-    ];
+    let hosts: Vec<(&str, Graph)> =
+        vec![("butterfly", butterfly(3)), ("torus", torus(6, 6)), ("mesh", mesh(6, 6))];
     for (name, host) in hosts {
         let m = host.n();
         group.bench_with_input(BenchmarkId::new("simulate", name), &m, |b, _| {
             let router = presets::bfs();
             let mut r = rng();
-            let sim = EmbeddingSimulator {
-                embedding: Embedding::block(256, m),
-                router: &router,
-            };
+            let sim = EmbeddingSimulator { embedding: Embedding::block(256, m), router: &router };
             b.iter(|| sim.simulate(&comp, &host, 2, &mut r).protocol.host_steps());
         });
     }

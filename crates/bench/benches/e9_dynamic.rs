@@ -26,10 +26,7 @@ fn regenerate_table() {
         let m = side * side;
         let host = torus(side, side);
         let router = presets::torus_xy(side, side);
-        let sim = EmbeddingSimulator {
-            embedding: Embedding::block(n, m),
-            router: &router,
-        };
+        let sim = EmbeddingSimulator { embedding: Embedding::block(n, m), router: &router };
         let mut r = rng();
         let run = sim.simulate(&comp, &host, steps, &mut r);
         verify_run(&comp, &host, &run, steps).expect("certifies");
@@ -43,7 +40,9 @@ fn regenerate_table() {
             flood.slowdown()
         );
     }
-    println!("k_embed is ~flat-ish in m (log-ish), k_flood = m: redundancy loses for all but tiny m.");
+    println!(
+        "k_embed is ~flat-ish in m (log-ish), k_flood = m: redundancy loses for all but tiny m."
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -1,0 +1,126 @@
+//! `bench-json` — machine-readable benchmark artifacts.
+//!
+//! Runs the E1 (upper-bound) and E2 (lower-bound trade-off) kernels and
+//! writes `BENCH_E1.json` / `BENCH_E2.json`: one JSON object per
+//! experiment with per-row slowdown, inefficiency, makespan, sizes, and
+//! wall-clock time. The artifacts are the CI/regression-friendly twin of
+//! the human tables the criterion benches print.
+//!
+//! ```text
+//! cargo run -p unet-bench --bin bench-json [--release] [OUT_DIR]
+//! ```
+
+use std::time::Instant;
+use unet_bench::{butterfly_metrics, rng, standard_guest};
+use unet_lowerbound::tradeoff_table;
+use unet_obs::json::Value;
+
+const E2_GAMMA: f64 = 0.125;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn e1_artifact() -> Value {
+    let n = 512usize;
+    let steps = 3u32;
+    let (guest, comp) = standard_guest(n, 0xE1);
+    let mut r = rng();
+    let mut rows = Vec::new();
+    let total_start = Instant::now();
+    for dim in 2..=4usize {
+        let wall_start = Instant::now();
+        let m = butterfly_metrics(&guest, &comp, dim, steps, &mut r);
+        let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+        rows.push(obj(vec![
+            ("dim", Value::UInt(dim as u64)),
+            ("guest_n", Value::UInt(m.guest_n as u64)),
+            ("host_m", Value::UInt(m.host_m as u64)),
+            ("guest_steps", Value::UInt(m.guest_t as u64)),
+            ("makespan", Value::UInt(m.host_steps as u64)),
+            ("slowdown", Value::Float(m.slowdown)),
+            ("inefficiency", Value::Float(m.inefficiency)),
+            ("avg_weight", Value::Float(m.avg_weight)),
+            ("wall_ms", Value::Float(wall_ms)),
+        ]));
+    }
+    obj(vec![
+        ("experiment", Value::Str("E1".into())),
+        ("title", Value::Str("Theorem 2.1 upper bound: butterfly hosts".into())),
+        ("guest", Value::Str(format!("random-regular n={n} d=4"))),
+        ("guest_n", Value::UInt(n as u64)),
+        ("guest_steps", Value::UInt(steps as u64)),
+        ("rows", Value::Arr(rows)),
+        ("wall_ms_total", Value::Float(total_start.elapsed().as_secs_f64() * 1e3)),
+    ])
+}
+
+fn e2_artifact() -> Value {
+    let n = 1u64 << 14;
+    let ms: Vec<u64> = (3..=14).map(|e| 1u64 << e).collect();
+    let wall_start = Instant::now();
+    let table = tradeoff_table(n, &ms, E2_GAMMA, 4);
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    let rows = table
+        .iter()
+        .map(|row| {
+            obj(vec![
+                ("host_m", Value::UInt(row.m)),
+                ("guest_n", Value::UInt(n)),
+                ("inefficiency_ideal", Value::Float(row.k_ideal)),
+                ("inefficiency_shape", Value::Float(row.k_shape)),
+                ("inefficiency_paper", Value::Float(row.k_paper)),
+                ("slowdown_shape", Value::Float(row.s_shape)),
+                ("slowdown_upper", Value::Float(row.s_upper)),
+                ("ms_product", Value::Float(row.ms_product)),
+            ])
+        })
+        .collect();
+    obj(vec![
+        ("experiment", Value::Str("E2".into())),
+        ("title", Value::Str("Theorem 3.1 lower-bound trade-off".into())),
+        ("guest_n", Value::UInt(n)),
+        ("gamma", Value::Float(E2_GAMMA)),
+        ("rows", Value::Arr(rows)),
+        ("wall_ms_total", Value::Float(wall_ms)),
+    ])
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    for (name, artifact) in [("BENCH_E1.json", e1_artifact()), ("BENCH_E2.json", e2_artifact())] {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, artifact.to_json() + "\n")
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        println!("wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_obs::json::parse;
+
+    #[test]
+    fn artifacts_round_trip_with_required_fields() {
+        for artifact in [e1_artifact(), e2_artifact()] {
+            let text = artifact.to_json();
+            let back = parse(&text).expect("artifact is valid JSON");
+            let rows = back.get("rows").and_then(Value::as_arr).expect("rows");
+            assert!(!rows.is_empty());
+            for row in rows {
+                assert!(row.get("host_m").and_then(Value::as_u64).is_some());
+                assert!(row.get("guest_n").and_then(Value::as_u64).is_some());
+            }
+            assert!(back.get("wall_ms_total").and_then(Value::as_f64).unwrap() >= 0.0);
+        }
+        // E1 rows carry measured slowdown + wall time (the regression signal).
+        let e1 = e1_artifact();
+        for row in e1.get("rows").and_then(Value::as_arr).unwrap() {
+            assert!(row.get("slowdown").and_then(Value::as_f64).unwrap() >= 1.0);
+            assert!(row.get("inefficiency").and_then(Value::as_f64).unwrap() > 0.0);
+            assert!(row.get("makespan").and_then(Value::as_u64).unwrap() > 0);
+            assert!(row.get("wall_ms").and_then(Value::as_f64).unwrap() >= 0.0);
+        }
+    }
+}

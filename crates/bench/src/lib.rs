@@ -36,15 +36,26 @@ pub fn butterfly_slowdown(
     steps: u32,
     rng: &mut StdRng,
 ) -> f64 {
+    butterfly_metrics(guest, comp, dim, steps, rng).slowdown
+}
+
+/// Like [`butterfly_slowdown`], but returns the full certified metrics
+/// (host steps, slowdown, inefficiency, sizes) — the raw material of the
+/// machine-readable `BENCH_E*.json` artifacts.
+pub fn butterfly_metrics(
+    guest: &Graph,
+    comp: &GuestComputation,
+    dim: usize,
+    steps: u32,
+    rng: &mut StdRng,
+) -> unet_pebble::analysis::SimulationMetrics {
     let host = butterfly(dim);
     let router: SelectorRouter<ValiantButterfly> = presets::butterfly_valiant(dim);
-    let sim = EmbeddingSimulator {
-        embedding: Embedding::block(guest.n(), host.n()),
-        router: &router,
-    };
+    let sim =
+        EmbeddingSimulator { embedding: Embedding::block(guest.n(), host.n()), router: &router };
     let run = sim.simulate(comp, &host, steps, rng);
     let v = verify_run(comp, &host, &run, steps).expect("certifies");
-    v.metrics.slowdown
+    v.metrics
 }
 
 /// A verified trace of a `U[G₀]` guest on a torus host — the shared input
@@ -68,10 +79,7 @@ pub fn lowerbound_fixture() -> LowerBoundFixture {
     let comp = GuestComputation::random(guest.clone(), 78);
     let host = torus(4, 4);
     let router = presets::torus_xy(4, 4);
-    let sim = EmbeddingSimulator {
-        embedding: Embedding::block(144, 16),
-        router: &router,
-    };
+    let sim = EmbeddingSimulator { embedding: Embedding::block(144, 16), router: &router };
     let run = sim.simulate(&comp, &host, 8, &mut r);
     let trace = unet_pebble::check(&guest, &host, &run.protocol).expect("certifies");
     LowerBoundFixture { g0, guest, host, trace }

@@ -105,7 +105,7 @@ impl AsyncSimulator {
 
         let mut host_order: Vec<Node> = (0..m as Node).collect();
         let mut guard = 0usize;
-        let budget = 64 * (n as usize) * (steps as usize + 1) * (m.max(2));
+        let budget = 64 * n * (steps as usize + 1) * (m.max(2));
         while remaining > 0 {
             guard += 1;
             assert!(guard < budget, "async scheduler exceeded its step budget");
@@ -236,13 +236,10 @@ mod tests {
 
     #[test]
     fn all_policies_certify() {
-        for (i, policy) in [
-            SchedulePolicy::Random,
-            SchedulePolicy::LowestLevel,
-            SchedulePolicy::DeepestFirst,
-        ]
-        .into_iter()
-        .enumerate()
+        for (i, policy) in
+            [SchedulePolicy::Random, SchedulePolicy::LowestLevel, SchedulePolicy::DeepestFirst]
+                .into_iter()
+                .enumerate()
         {
             let _ = run_policy(policy, 100 + i as u64);
         }
@@ -275,10 +272,8 @@ mod tests {
         // Depth-first scheduling must generate some level-2 pebble before
         // the last level-1 pebble (true asynchrony).
         let (_, trace) = run_policy(SchedulePolicy::DeepestFirst, 9);
-        let first_l2 = (0..32u32)
-            .filter_map(|i| trace.earliest_generating_hold(i, 1))
-            .min()
-            .unwrap();
+        let first_l2 =
+            (0..32u32).filter_map(|i| trace.earliest_generating_hold(i, 1)).min().unwrap();
         let last_l1 = (0..32u32)
             .map(|i| {
                 trace
@@ -301,10 +296,8 @@ mod tests {
         let guest = ring(12);
         let comp = GuestComputation::random(guest.clone(), 3);
         let host = unet_topology::GraphBuilder::new(1).build();
-        let sim = AsyncSimulator {
-            embedding: Embedding::block(12, 1),
-            policy: SchedulePolicy::Random,
-        };
+        let sim =
+            AsyncSimulator { embedding: Embedding::block(12, 1), policy: SchedulePolicy::Random };
         let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(4));
         check(&guest, &host, &run.protocol).expect("certifies");
         // One op per step on a single host: T' = n·T exactly.
@@ -334,10 +327,8 @@ mod tests {
         let guest = ring(8);
         let comp = GuestComputation::random(guest.clone(), 7);
         let host = unet_topology::generators::path(4);
-        let sim = AsyncSimulator {
-            embedding: Embedding::block(8, 4),
-            policy: SchedulePolicy::Random,
-        };
+        let sim =
+            AsyncSimulator { embedding: Embedding::block(8, 4), policy: SchedulePolicy::Random };
         sim.simulate(&comp, &host, 2, &mut seeded_rng(8));
     }
 }

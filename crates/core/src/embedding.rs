@@ -50,7 +50,7 @@ impl Embedding {
     /// mesh simulations pay only the load, not the diameter.
     pub fn grid_tiles(guest_side: usize, host_side: usize) -> Self {
         assert!(
-            host_side > 0 && guest_side % host_side == 0,
+            host_side > 0 && guest_side.is_multiple_of(host_side),
             "host side must divide guest side"
         );
         let t = guest_side / host_side;
@@ -129,8 +129,7 @@ impl Embedding {
             if a == b {
                 continue;
             }
-            let path = unet_routing::packet::bfs_path(host, a, b)
-                .expect("host must be connected");
+            let path = unet_routing::packet::bfs_path(host, a, b).expect("host must be connected");
             for w in path.windows(2) {
                 let key = if w[0] < w[1] { (w[0], w[1]) } else { (w[1], w[0]) };
                 *per_edge.entry(key).or_insert(0) += 1;
@@ -221,7 +220,7 @@ mod tests {
         assert_eq!(e.f[0], 0);
         assert_eq!(e.f[7], 0); // (1,1)
         assert_eq!(e.f[2], 1); // (0,2) → host (0,1)
-        // Grid-adjacent guests map to grid-adjacent (or equal) hosts.
+                               // Grid-adjacent guests map to grid-adjacent (or equal) hosts.
         for x in 0..6usize {
             for y in 0..5usize {
                 let a = e.f[x * 6 + y] as usize;

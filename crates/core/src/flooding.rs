@@ -47,7 +47,7 @@ mod tests {
         let trace = check(&guest, &host, &proto).expect("flooding is always valid");
         assert_eq!(proto.slowdown(), 6.0);
         assert_eq!(proto.inefficiency(), 3.0); // = m
-        // Every host holds every pebble.
+                                               // Every host holds every pebble.
         for i in 0..6u32 {
             for t in 1..=2u32 {
                 assert_eq!(trace.weight(i, t), 3);

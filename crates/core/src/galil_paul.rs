@@ -117,12 +117,7 @@ impl Router for GalilPaulRouter {
 impl Router for GalilPaulRouterWith {
     fn route(&self, host: &Graph, prob: &RoutingProblem, _rng: &mut StdRng) -> Outcome {
         let n = 1usize << self.k;
-        assert_eq!(
-            host.n(),
-            n,
-            "host must be the comparator graph on 2^{} positions",
-            self.k
-        );
+        assert_eq!(host.n(), n, "host must be the comparator graph on 2^{} positions", self.k);
         if prob.pairs.is_empty() {
             return Outcome { steps: 0, delivered_at: vec![], transfers: vec![], max_queue: 0 };
         }
@@ -242,17 +237,21 @@ mod tests {
     fn odd_even_merge_routes_on_its_comparator_host() {
         let host = comparator_host(4, SortNetwork::OddEvenMerge);
         // Superset of the hypercube, still a comparison topology.
-        assert!(host.contains_subgraph(&hypercube(4)) || host.num_edges() >= hypercube(4).num_edges());
+        assert!(
+            host.contains_subgraph(&hypercube(4)) || host.num_edges() >= hypercube(4).num_edges()
+        );
         let prob = RoutingProblem::new(16, vec![(0, 15), (3, 9), (9, 3)]);
-        let out = GalilPaulRouterWith { k: 4, net: SortNetwork::OddEvenMerge }
-            .route(&host, &prob, &mut seeded_rng(6));
+        let out = GalilPaulRouterWith { k: 4, net: SortNetwork::OddEvenMerge }.route(
+            &host,
+            &prob,
+            &mut seeded_rng(6),
+        );
         assert_eq!(out.delivered_at.len(), 3);
         use rand::seq::SliceRandom;
         let mut perm: Vec<Node> = (0..16).collect();
         perm.shuffle(&mut seeded_rng(7));
-        for (src, path) in sorting_paths_with(4, &perm, SortNetwork::OddEvenMerge)
-            .iter()
-            .enumerate()
+        for (src, path) in
+            sorting_paths_with(4, &perm, SortNetwork::OddEvenMerge).iter().enumerate()
         {
             assert_eq!(path[0], src as Node);
             assert_eq!(*path.last().unwrap(), perm[src]);

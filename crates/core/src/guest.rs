@@ -44,9 +44,8 @@ impl GuestComputation {
     /// A computation on `graph` with pseudo-random initial states drawn from
     /// `seed` (deterministic).
     pub fn random(graph: Graph, seed: u64) -> Self {
-        let init = (0..graph.n() as u64)
-            .map(|i| mix(seed ^ mix(i.wrapping_add(0xabcd_ef01))))
-            .collect();
+        let init =
+            (0..graph.n() as u64).map(|i| mix(seed ^ mix(i.wrapping_add(0xabcd_ef01)))).collect();
         GuestComputation { graph, init }
     }
 

@@ -8,7 +8,10 @@
 //! (Beneš/Waksman).
 
 use rand::rngs::StdRng;
-use unet_routing::packet::{make_packets, route, Discipline, Outcome, PathSelector};
+use unet_obs::{NoopRecorder, Recorder};
+use unet_routing::packet::{
+    generous_step_limit, make_packets, route_recorded, Discipline, Outcome, PathSelector,
+};
 use unet_routing::problem::RoutingProblem;
 use unet_topology::{Graph, Node};
 
@@ -16,6 +19,21 @@ use unet_topology::{Graph, Node};
 pub trait Router {
     /// Produce a transfer schedule solving `prob` on `host`.
     fn route(&self, host: &Graph, prob: &RoutingProblem, rng: &mut StdRng) -> Outcome;
+
+    /// [`Router::route`] with instrumentation. The recorder is a trait
+    /// object because `Router` itself is used as one. The default just
+    /// ignores the recorder; engine-backed routers override it to thread
+    /// the recorder into [`unet_routing::packet::route_recorded`].
+    fn route_recorded(
+        &self,
+        host: &Graph,
+        prob: &RoutingProblem,
+        rng: &mut StdRng,
+        rec: &mut (dyn Recorder + '_),
+    ) -> Outcome {
+        let _ = rec;
+        self.route(host, prob, rng)
+    }
 
     /// Human-readable strategy name (for experiment tables).
     fn name(&self) -> &'static str;
@@ -37,12 +55,39 @@ impl<S: PathSelector> SelectorRouter<S> {
     }
 }
 
+impl<S: PathSelector> SelectorRouter<S> {
+    fn route_inner<REC: Recorder + ?Sized>(
+        &self,
+        host: &Graph,
+        prob: &RoutingProblem,
+        rng: &mut StdRng,
+        rec: &mut REC,
+    ) -> Outcome {
+        let packets = make_packets(host, &prob.pairs, &self.selector, rng);
+        route_recorded(
+            host,
+            &packets,
+            Discipline::FarthestFirst,
+            generous_step_limit(&packets),
+            rec,
+        )
+        .expect("engine progress guarantee under generous limit")
+    }
+}
+
 impl<S: PathSelector> Router for SelectorRouter<S> {
     fn route(&self, host: &Graph, prob: &RoutingProblem, rng: &mut StdRng) -> Outcome {
-        let packets = make_packets(host, &prob.pairs, &self.selector, rng);
-        let limit: u32 = packets.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
-        route(host, &packets, Discipline::FarthestFirst, limit)
-            .expect("engine progress guarantee under generous limit")
+        self.route_inner(host, prob, rng, &mut NoopRecorder)
+    }
+
+    fn route_recorded(
+        &self,
+        host: &Graph,
+        prob: &RoutingProblem,
+        rng: &mut StdRng,
+        rec: &mut (dyn Recorder + '_),
+    ) -> Outcome {
+        self.route_inner(host, prob, rng, rec)
     }
 
     fn name(&self) -> &'static str {

@@ -15,6 +15,7 @@ use crate::embedding::Embedding;
 use crate::guest::{transition, GuestComputation};
 use crate::routers::Router;
 use rand::rngs::StdRng;
+use unet_obs::{NoopRecorder, Recorder};
 use unet_pebble::protocol::{Op, Pebble, Protocol, ProtocolBuilder};
 use unet_routing::packet::Transfer;
 use unet_routing::problem::RoutingProblem;
@@ -68,6 +69,25 @@ impl EmbeddingSimulator<'_> {
         steps: u32,
         rng: &mut StdRng,
     ) -> SimulationRun {
+        self.simulate_recorded(comp, host, steps, rng, &mut NoopRecorder)
+    }
+
+    /// [`EmbeddingSimulator::simulate`] with instrumentation. Per guest
+    /// step it brackets the two phases with `sim.comm` / `sim.compute`
+    /// spans and samples the induced routing-problem size; the router's own
+    /// `route` span and metrics nest under `sim.comm`. Run totals land in
+    /// `sim.*` counters and the `sim.load` gauge.
+    ///
+    /// `simulate` is exactly this with [`NoopRecorder`], so the
+    /// uninstrumented path monomorphizes all of it away.
+    pub fn simulate_recorded<REC: Recorder>(
+        &self,
+        comp: &GuestComputation,
+        host: &Graph,
+        steps: u32,
+        rng: &mut StdRng,
+        rec: &mut REC,
+    ) -> SimulationRun {
         let n = comp.n();
         let m = host.n();
         assert_eq!(self.embedding.n(), n, "embedding covers every guest");
@@ -90,6 +110,7 @@ impl EmbeddingSimulator<'_> {
             // One packet per (guest u, remote host of a neighbour of u).
             // Level-0 pebbles are initial and held by every host, so the
             // first guest step needs no communication at all.
+            rec.span_start("sim.comm");
             let mut seen: FxHashSet<(Node, Node)> = FxHashSet::default();
             let mut pairs: Vec<(Node, Node)> = Vec::new();
             let mut payloads: Vec<Pebble> = Vec::new();
@@ -105,12 +126,15 @@ impl EmbeddingSimulator<'_> {
                     }
                 }
             }
+            rec.histogram("sim.routing_problem_size", pairs.len() as u64);
             if !pairs.is_empty() {
                 let prob = RoutingProblem::new(m, pairs);
-                let out = self.router.route(host, &prob, rng);
+                let out = self.router.route_recorded(host, &prob, rng, &mut *rec);
                 comm_steps += emit_transfers(&mut builder, &out.transfers, &payloads);
             }
+            rec.span_end("sim.comm");
             // ---- Computation phase ---------------------------------------
+            rec.span_start("sim.compute");
             for round in 0..load {
                 for (q, guests) in guests_by_host.iter().enumerate() {
                     if let Some(&v) = guests.get(round) {
@@ -131,7 +155,12 @@ impl EmbeddingSimulator<'_> {
                 next_states.push(transition(prev_states[i as usize], &nb_buf));
             }
             prev_states = next_states;
+            rec.span_end("sim.compute");
         }
+        rec.counter("sim.guest_steps", steps as u64);
+        rec.counter("sim.comm_steps", comm_steps as u64);
+        rec.counter("sim.compute_steps", compute_steps as u64);
+        rec.gauge("sim.load", load as f64);
 
         SimulationRun {
             protocol: builder.finish(),
@@ -153,7 +182,11 @@ impl EmbeddingSimulator<'_> {
 /// covers them.
 ///
 /// Returns the number of pebble steps emitted.
-fn emit_transfers(builder: &mut ProtocolBuilder, transfers: &[Transfer], payloads: &[Pebble]) -> usize {
+fn emit_transfers(
+    builder: &mut ProtocolBuilder,
+    transfers: &[Transfer],
+    payloads: &[Pebble],
+) -> usize {
     let mut emitted = 0usize;
     let mut idx = 0usize;
     while idx < transfers.len() {
@@ -163,10 +196,8 @@ fn emit_transfers(builder: &mut ProtocolBuilder, transfers: &[Transfer], payload
         while hi < transfers.len() && transfers[hi].step == step {
             hi += 1;
         }
-        let mut remaining: Vec<&Transfer> = transfers[idx..hi]
-            .iter()
-            .filter(|t| t.from != t.to)
-            .collect();
+        let mut remaining: Vec<&Transfer> =
+            transfers[idx..hi].iter().filter(|t| t.from != t.to).collect();
         while !remaining.is_empty() {
             let mut used: FxHashSet<Node> = FxHashSet::default();
             let mut next_round = Vec::new();
@@ -204,10 +235,7 @@ mod tests {
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest.clone(), 99);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator {
-            embedding: Embedding::block(12, 4),
-            router: &router,
-        };
+        let sim = EmbeddingSimulator { embedding: Embedding::block(12, 4), router: &router };
         let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(1));
         // Pebble-game certification.
         let trace = check(&guest, &host, &run.protocol).expect("protocol must verify");
@@ -225,10 +253,7 @@ mod tests {
         let host = mesh(3, 3);
         let comp = GuestComputation::random(guest.clone(), 5);
         let router = presets::mesh_xy(3, 3);
-        let sim = EmbeddingSimulator {
-            embedding: Embedding::block(24, 9),
-            router: &router,
-        };
+        let sim = EmbeddingSimulator { embedding: Embedding::block(24, 9), router: &router };
         let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(2));
         check(&guest, &host, &run.protocol).expect("verify");
         assert_eq!(run.final_states, comp.run_final(2));
@@ -241,10 +266,7 @@ mod tests {
         let host = torus(4, 4);
         let comp = GuestComputation::random(guest.clone(), 1);
         let router = presets::torus_xy(4, 4);
-        let sim = EmbeddingSimulator {
-            embedding: Embedding::block(8, 16),
-            router: &router,
-        };
+        let sim = EmbeddingSimulator { embedding: Embedding::block(8, 16), router: &router };
         let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(3));
         check(&guest, &host, &run.protocol).expect("verify");
         assert_eq!(run.final_states, comp.run_final(2));
@@ -258,10 +280,7 @@ mod tests {
         let host = torus(3, 3);
         let comp = GuestComputation::random(guest.clone(), 2);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator {
-            embedding: Embedding::block(9, 9),
-            router: &router,
-        };
+        let sim = EmbeddingSimulator { embedding: Embedding::block(9, 9), router: &router };
         let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(4));
         check(&guest, &host, &run.protocol).expect("verify");
         assert_eq!(run.final_states, comp.run_final(2));
@@ -283,16 +302,56 @@ mod tests {
     }
 
     #[test]
+    fn recorded_simulation_matches_and_nests() {
+        use unet_obs::InMemoryRecorder;
+        let guest = ring(12);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest.clone(), 99);
+        let router = presets::bfs();
+        let sim = EmbeddingSimulator { embedding: Embedding::block(12, 4), router: &router };
+        let plain = sim.simulate(&comp, &host, 3, &mut seeded_rng(1));
+        let mut rec = InMemoryRecorder::new();
+        let recorded = sim.simulate_recorded(&comp, &host, 3, &mut seeded_rng(1), &mut rec);
+        // Instrumentation must not perturb the run (same RNG stream).
+        assert_eq!(plain.final_states, recorded.final_states);
+        assert_eq!(plain.comm_steps, recorded.comm_steps);
+        assert_eq!(plain.compute_steps, recorded.compute_steps);
+        assert_eq!(plain.protocol.host_steps(), recorded.protocol.host_steps());
+        // Spans balanced; phase totals present for both phases.
+        assert!(rec.open_spans().is_empty());
+        let totals: Vec<_> = rec.span_totals().collect();
+        assert!(totals.iter().any(|&(n, ns, _)| n == "sim.comm" && ns > 0));
+        assert!(totals.iter().any(|&(n, ..)| n == "sim.compute"));
+        // Router metrics nested under the simulation via the dyn boundary.
+        assert!(totals.iter().any(|&(n, ..)| n == "route"));
+        assert!(rec.counter_value("route.steps") > 0);
+        // Run totals agree with the result.
+        assert_eq!(rec.counter_value("sim.guest_steps"), 3);
+        assert_eq!(rec.counter_value("sim.comm_steps"), recorded.comm_steps as u64);
+        assert_eq!(rec.counter_value("sim.compute_steps"), recorded.compute_steps as u64);
+        // One routing-problem-size sample per guest step.
+        assert_eq!(rec.histogram_data("sim.routing_problem_size").unwrap().count, 3);
+    }
+
+    #[test]
+    fn simulation_run_carries_no_instrumentation_state() {
+        // The zero-cost claim in struct form: a run is exactly its four
+        // payload fields; recording state lives in the Recorder, never here.
+        use std::mem::size_of;
+        assert_eq!(
+            size_of::<SimulationRun>(),
+            size_of::<Protocol>() + size_of::<Vec<u64>>() + 2 * size_of::<usize>()
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "at least one")]
     fn zero_steps_rejected() {
         let guest = ring(4);
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest, 1);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator {
-            embedding: Embedding::block(4, 4),
-            router: &router,
-        };
+        let sim = EmbeddingSimulator { embedding: Embedding::block(4, 4), router: &router };
         sim.simulate(&comp, &host, 0, &mut seeded_rng(0));
     }
 }

@@ -89,12 +89,7 @@ pub fn build_tree_host(guest: &Graph, steps: u32) -> TreeHost {
 pub fn tree_protocol(comp: &GuestComputation, host: &TreeHost, steps: u32) -> Protocol {
     let n = comp.n();
     let m = host.graph.n();
-    let max_arity = host
-        .children
-        .iter()
-        .map(|c| c.len())
-        .max()
-        .unwrap_or(0);
+    let max_arity = host.children.iter().map(|c| c.len()).max().unwrap_or(0);
     let mut b = ProtocolBuilder::new(n, steps, m);
     // depth[h]: distance from root; level-t generators sit at depth T − t.
     let mut depth = vec![0u32; m];
@@ -110,9 +105,7 @@ pub fn tree_protocol(comp: &GuestComputation, host: &TreeHost, steps: u32) -> Pr
         // Stream children's pebbles up, one child index per step.
         for slot in 0..max_arity {
             for h in 0..m as Node {
-                if depth[h as usize] == gen_depth
-                    && host.assignment[h as usize].t == t
-                {
+                if depth[h as usize] == gen_depth && host.assignment[h as usize].t == t {
                     if let Some(&ch) = host.children[h as usize].get(slot) {
                         let pb = host.assignment[ch as usize];
                         debug_assert_eq!(pb.t, t - 1);
@@ -158,7 +151,7 @@ mod tests {
         assert_eq!(host.graph.n(), 4 * 13);
         assert_eq!(tree_host_size(4, 2, 2), 4 * 13);
         assert!(host.graph.max_degree() <= 2 + 2); // arity c+1=3, +1 parent
-        // Leaves are initial pebbles.
+                                                   // Leaves are initial pebbles.
         for h in 0..host.graph.n() {
             if host.children[h].is_empty() {
                 assert_eq!(host.assignment[h].t, 0);

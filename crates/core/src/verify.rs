@@ -119,9 +119,6 @@ mod tests {
         let mut run = sim.simulate(&comp, &host, 2, &mut seeded_rng(1));
         // Drop the last host step (removes final generations).
         run.protocol.steps.pop();
-        assert!(matches!(
-            verify_run(&comp, &host, &run, 2),
-            Err(VerifyError::Protocol(_))
-        ));
+        assert!(matches!(verify_run(&comp, &host, &run, 2), Err(VerifyError::Protocol(_))));
     }
 }

@@ -61,6 +61,7 @@ impl AuditReport {
 /// certify, and audit. `alpha_tradeoff` is the constant used for the final
 /// `m·s ≥ α·n·log m` consistency check (use something ≤ 1; measured
 /// simulations sit well above the shape).
+#[allow(clippy::too_many_arguments)] // the audit takes the whole scenario by design
 pub fn run_audit(
     g0: &G0,
     guest: &Graph,

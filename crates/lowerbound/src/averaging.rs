@@ -52,10 +52,7 @@ pub fn canonical_trees(side: usize) -> CanonicalTrees {
     for p in 0..(side * side) as Node {
         let tree = dependency_tree(&reference, p, depth);
         max_size = max_size.max(tree.size());
-        let shape: Vec<(u32, u32)> = tree
-            .gamma_nodes()
-            .map(|(v, t)| (v, depth - t))
-            .collect();
+        let shape: Vec<(u32, u32)> = tree.gamma_nodes().map(|(v, t)| (v, depth - t)).collect();
         for &(cell, _) in &shape {
             containment[cell as usize] += 1;
         }
@@ -68,7 +65,13 @@ pub fn canonical_trees(side: usize) -> CanonicalTrees {
 impl CanonicalTrees {
     /// Weight `w_{root, t_end}` of the tree rooted (at local position
     /// `root_local`) in `block`, with leaves at `t_end`.
-    pub fn weight(&self, trace: &Trace, block: &BlockTorus, root_local: usize, t_end: u32) -> usize {
+    pub fn weight(
+        &self,
+        trace: &Trace,
+        block: &BlockTorus,
+        root_local: usize,
+        t_end: u32,
+    ) -> usize {
         debug_assert!(t_end >= self.depth);
         let (side, shape) = (self.side, &self.shapes[root_local]);
         shape
@@ -129,49 +132,50 @@ pub fn analyze(trace: &Trace, g0: &G0) -> AveragingAnalysis {
     );
     let side2 = (g0.block_side * g0.block_side) as f64;
 
+    // (w-sum, level weight, per-block (w, q, representative)) for one guest step.
+    type StepStats = (u64, u64, Vec<(usize, usize, Node)>);
+
     // Per-t totals, computed in parallel over guest steps (the dominant
     // cost of an audit: |blocks|·side² tree-weight sums per step).
     let ts: Vec<u32> = (depth..=t_max).collect();
-    let per_t: Vec<(u64, u64, Vec<(usize, usize, Node)>)> = unet_topology::par::par_map(
-        &ts,
-        unet_topology::par::default_threads(),
-        |&t| {
-        let mut w_sum = 0u64;
-        let mut reps_t = Vec::with_capacity(g0.blocks.len());
-        for block in &g0.blocks {
-            // Rank nodes by w and q inside the block; pick a node in the
-            // bottom 3/4 of both rankings (nonempty since 3/4 + 3/4 > 1).
-            let side = g0.block_side;
-            let mut stats: Vec<(usize, usize, Node)> = Vec::with_capacity(side * side);
-            for p in 0..side * side {
-                let v = block.at(p / side, p % side);
-                let w = canon.weight(trace, block, p, t);
-                let q = trace.weight(v, t - depth);
-                w_sum += w as u64;
-                stats.push((w, q, v));
-            }
-            let quota = (side * side) / 4; // top quarter excluded
-            let mut by_w: Vec<usize> = (0..stats.len()).collect();
-            by_w.sort_by_key(|&i| stats[i].0);
-            let mut by_q_rank = vec![0usize; stats.len()];
-            {
-                let mut by_q: Vec<usize> = (0..stats.len()).collect();
-                by_q.sort_by_key(|&i| stats[i].1);
-                for (rank, &i) in by_q.iter().enumerate() {
-                    by_q_rank[i] = rank;
+    let per_t: Vec<StepStats> =
+        unet_topology::par::par_map(&ts, unet_topology::par::default_threads(), |&t| {
+            let mut w_sum = 0u64;
+            let mut reps_t = Vec::with_capacity(g0.blocks.len());
+            for block in &g0.blocks {
+                // Rank nodes by w and q inside the block; pick a node in the
+                // bottom 3/4 of both rankings (nonempty since 3/4 + 3/4 > 1).
+                let side = g0.block_side;
+                let mut stats: Vec<(usize, usize, Node)> = Vec::with_capacity(side * side);
+                for p in 0..side * side {
+                    let v = block.at(p / side, p % side);
+                    let w = canon.weight(trace, block, p, t);
+                    let q = trace.weight(v, t - depth);
+                    w_sum += w as u64;
+                    stats.push((w, q, v));
                 }
+                let quota = (side * side) / 4; // top quarter excluded
+                let mut by_w: Vec<usize> = (0..stats.len()).collect();
+                by_w.sort_by_key(|&i| stats[i].0);
+                let mut by_q_rank = vec![0usize; stats.len()];
+                {
+                    let mut by_q: Vec<usize> = (0..stats.len()).collect();
+                    by_q.sort_by_key(|&i| stats[i].1);
+                    for (rank, &i) in by_q.iter().enumerate() {
+                        by_q_rank[i] = rank;
+                    }
+                }
+                let cutoff = stats.len() - quota;
+                let pick = by_w
+                    .iter()
+                    .take(cutoff.max(1))
+                    .find(|&&i| by_q_rank[i] < cutoff.max(1))
+                    .copied()
+                    .unwrap_or(by_w[0]);
+                reps_t.push(stats[pick]);
             }
-            let cutoff = stats.len() - quota;
-            let pick = by_w
-                .iter()
-                .take(cutoff.max(1))
-                .find(|&&i| by_q_rank[i] < cutoff.max(1))
-                .copied()
-                .unwrap_or(by_w[0]);
-            reps_t.push(stats[pick]);
-        }
-        (w_sum, trace.level_weight(t - depth) as u64, reps_t)
-    });
+            (w_sum, trace.level_weight(t - depth) as u64, reps_t)
+        });
     let total_w: Vec<u64> = per_t.iter().map(|x| x.0).collect();
     let level_q: Vec<u64> = per_t.iter().map(|x| x.1).collect();
     let best: Vec<Vec<(usize, usize, Node)>> = per_t.into_iter().map(|x| x.2).collect();
@@ -263,10 +267,7 @@ mod tests {
             for p in 0..(g0.block_side * g0.block_side) {
                 let root = block.at(p / g0.block_side, p % g0.block_side);
                 let tree = dependency_tree(block, root, t);
-                assert_eq!(
-                    canon.weight(&trace, block, p, t),
-                    tree_weight(&trace, &tree)
-                );
+                assert_eq!(canon.weight(&trace, block, p, t), tree_weight(&trace, &tree));
             }
         }
     }

@@ -300,10 +300,7 @@ mod tests {
             let n = 1u64 << e;
             let m = min_size_for_slowdown(n, 2.0, &p);
             let ratio = m as f64 / (n as f64 * e as f64);
-            assert!(
-                ratio > 0.2 && ratio < 2.0,
-                "n = 2^{e}: m = {m}, m/(n·log n) = {ratio}"
-            );
+            assert!(ratio > 0.2 && ratio < 2.0, "n = 2^{e}: m = {m}, m/(n·log n) = {ratio}");
             // And it is achievable-compatible: s_min at that m is ≤ 2.
             assert!(s_min(n, m, &p) <= 2.0);
         }

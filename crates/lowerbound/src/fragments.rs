@@ -81,12 +81,7 @@ pub fn fragment_costs(
                 }
             }
             let _ = &canon; // canonical shapes reserved for the fast path
-            FragmentCost {
-                t0,
-                root_bits,
-                forest_bits,
-                budget_bits: r_paper * n * k,
-            }
+            FragmentCost { t0, root_bits, forest_bits, budget_bits: r_paper * n * k }
         })
         .collect()
 }

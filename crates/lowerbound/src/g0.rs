@@ -58,34 +58,15 @@ pub fn a_for_host(m: usize) -> usize {
 pub fn build_g0<R: Rng>(n: usize, a: usize, rng: &mut R) -> G0 {
     let side = 2 * a;
     let grid = torus_side(n);
-    assert!(
-        grid % side == 0,
-        "block side 2a = {side} must divide √n = {grid}"
-    );
+    assert!(grid.is_multiple_of(side), "block side 2a = {side} must divide √n = {grid}");
     let e1 = multitorus(side, n);
     let e2 = random_hamiltonian_union(n, 2, rng);
     let graph = e1.union(&e2);
-    assert!(
-        graph.max_degree() <= 12,
-        "G0 degree {} exceeds 12",
-        graph.max_degree()
-    );
+    assert!(graph.max_degree() <= 12, "G0 degree {} exceeds 12", graph.max_degree());
     let (alpha, beta, gamma) = certify_expander(&e2, 0.5, 400, rng)
         .expect("random 4-regular graph failed to certify as an expander");
-    let bts = blocks(side, n)
-        .iter()
-        .map(|b| BlockTorus::from_sorted_block(grid, b))
-        .collect();
-    G0 {
-        graph,
-        multitorus: e1,
-        block_side: side,
-        a,
-        blocks: bts,
-        alpha,
-        beta,
-        gamma,
-    }
+    let bts = blocks(side, n).iter().map(|b| BlockTorus::from_sorted_block(grid, b)).collect();
+    G0 { graph, multitorus: e1, block_side: side, a, blocks: bts, alpha, beta, gamma }
 }
 
 /// Build `G₀` sized for a host of `m` processors (`a = √(log m)`), rounding
@@ -165,7 +146,7 @@ mod tests {
     fn blocks_partition_nodes() {
         let mut rng = seeded_rng(5);
         let g0 = build_g0(64, 2, &mut rng);
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         for bt in &g0.blocks {
             for &v in bt.nodes() {
                 assert!(!seen[v as usize]);

@@ -35,8 +35,8 @@
 #![warn(missing_docs)]
 
 pub mod audit;
-pub mod bandwidth;
 pub mod averaging;
+pub mod bandwidth;
 pub mod counting;
 pub mod embedding_bound;
 pub mod fragments;

@@ -56,10 +56,7 @@ pub fn e_curve(existence: &[Vec<u32>], t: u32, t_prime: u32) -> Vec<usize> {
 pub fn tau_threshold(existence: &[Vec<u32>], t: u32, threshold: usize) -> Option<u32> {
     let mut times: Vec<u32> = existence[t as usize - 1].clone();
     times.sort_unstable();
-    times
-        .get(threshold.saturating_sub(1))
-        .copied()
-        .filter(|&s| s != u32::MAX)
+    times.get(threshold.saturating_sub(1)).copied().filter(|&s| s != u32::MAX)
 }
 
 /// Verify the expansion step (Proposition 3.17) mechanically: for every
@@ -140,9 +137,8 @@ pub fn audit(guest: &Graph, trace: &Trace, alpha: f64, beta: f64) -> WavefrontAu
     let existence = existence_times(trace);
     let n = guest.n();
     let threshold = (alpha * n as f64).ceil() as usize;
-    let taus: Vec<Option<u32>> = (1..=trace.guest_t)
-        .map(|t| tau_threshold(&existence, t, threshold))
-        .collect();
+    let taus: Vec<Option<u32>> =
+        (1..=trace.guest_t).map(|t| tau_threshold(&existence, t, threshold)).collect();
     let mut min_gap: Option<u32> = None;
     for w in taus.windows(2) {
         if let (Some(a), Some(b)) = (w[0], w[1]) {

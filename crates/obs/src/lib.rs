@@ -1,0 +1,27 @@
+//! # unet-obs — observability for the universal-networks workspace
+//!
+//! The paper's whole argument is quantitative — slowdown `s`, inefficiency
+//! `k = s·m/n`, routing makespans, queue lengths, pebble-op counts. This
+//! crate gives those numbers a first-class home:
+//!
+//! * [`Recorder`] — span/counter/gauge/histogram primitives that the hot
+//!   subsystems (`EmbeddingSimulator::simulate`, `packet::route`,
+//!   `pebble::check`) are generic over;
+//! * [`NoopRecorder`] — the default; a zero-sized type whose methods
+//!   monomorphize to nothing, so uninstrumented callers pay nothing;
+//! * [`InMemoryRecorder`] — aggregates counters/gauges, log-bucketed
+//!   [`Histogram`]s, and a chronological span-event stream;
+//! * [`trace`] — JSONL export/import of a recorded run
+//!   (`unet trace` writes it, `unet report` reads it);
+//! * [`report`] — human-readable summaries of a trace;
+//! * [`json`] — the dependency-free JSON reader/writer underneath.
+//!
+//! This crate is dependency-free by design: every other crate in the
+//! workspace can depend on it without cycles.
+
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod trace;
+
+pub use recorder::{Histogram, InMemoryRecorder, NoopRecorder, Recorder};

@@ -1,0 +1,191 @@
+//! Human-readable summaries of a parsed [`TraceDoc`] — the output of
+//! `unet report`.
+
+use crate::recorder::Histogram;
+use crate::trace::TraceDoc;
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn hist_line(name: &str, h: &Histogram) -> String {
+    if h.count == 0 {
+        return format!("  {name:<28} (empty)");
+    }
+    format!(
+        "  {name:<28} n={:<8} mean={:<10.2} min={:<8} max={}",
+        h.count,
+        h.mean().unwrap_or(0.0),
+        h.min,
+        h.max
+    )
+}
+
+/// ASCII bar chart of a histogram's occupied log₂ buckets.
+fn hist_chart(h: &Histogram) -> Vec<String> {
+    const WIDTH: usize = 32;
+    let peak = h.buckets.iter().copied().max().unwrap_or(0);
+    if peak == 0 {
+        return Vec::new();
+    }
+    let (lo, hi) = (
+        h.buckets.iter().position(|&c| c > 0).unwrap(),
+        h.buckets.iter().rposition(|&c| c > 0).unwrap(),
+    );
+    (lo..=hi)
+        .map(|i| {
+            let c = h.buckets[i];
+            let bar = "#".repeat(((c as u128 * WIDTH as u128).div_ceil(peak as u128)) as usize);
+            let (b_lo, b_hi) = Histogram::bucket_range(i);
+            let label = if b_lo == b_hi {
+                format!("{b_lo}")
+            } else if b_hi == u64::MAX {
+                format!("{b_lo}..")
+            } else {
+                format!("{b_lo}..{b_hi}")
+            };
+            format!("    {label:>22} | {bar:<WIDTH$} {c}")
+        })
+        .collect()
+}
+
+/// Render the full report for a trace.
+pub fn render(doc: &TraceDoc) -> String {
+    let mut out = String::new();
+    let m = &doc.meta;
+    out.push_str(&format!(
+        "trace: {} — guest {} (n={}) on host {} (m={}), {} guest steps\n",
+        m.command, m.guest, m.n, m.host, m.m, m.guest_steps
+    ));
+
+    if let Some(s) = &doc.summary {
+        out.push_str("\nsummary\n");
+        out.push_str(&format!(
+            "  host steps T'={} (comm {}, compute {})\n",
+            s.host_steps, s.comm_steps, s.compute_steps
+        ));
+        out.push_str(&format!("  slowdown      s = T'/T   = {:.3}\n", s.slowdown));
+        out.push_str(&format!("  inefficiency  k = s·m/n  = {:.3}\n", s.inefficiency));
+        out.push_str(&format!("  wall time     {:.3} ms\n", s.wall_ms));
+    }
+
+    let totals = doc.span_totals();
+    if !totals.is_empty() {
+        let grand: u64 = {
+            // Only top-level time is additive; nested spans double-count.
+            // For the share column use the largest total as the scale.
+            totals.iter().map(|&(_, ns, _)| ns).max().unwrap_or(1).max(1)
+        };
+        out.push_str("\nphases (wall clock)\n");
+        for (name, ns, count) in &totals {
+            out.push_str(&format!(
+                "  {name:<28} {:>10}  ×{count:<6} {:>5.1}%\n",
+                fmt_ns(*ns),
+                *ns as f64 * 100.0 / grand as f64
+            ));
+        }
+    }
+
+    if !doc.counters.is_empty() {
+        out.push_str("\ncounters\n");
+        for (name, v) in &doc.counters {
+            out.push_str(&format!("  {name:<28} {v}\n"));
+        }
+    }
+
+    if !doc.gauges.is_empty() {
+        out.push_str("\ngauges\n");
+        for (name, v) in &doc.gauges {
+            out.push_str(&format!("  {name:<28} {v}\n"));
+        }
+    }
+
+    if !doc.histograms.is_empty() {
+        out.push_str("\nhistograms\n");
+        for (name, h) in &doc.histograms {
+            out.push_str(&hist_line(name, h));
+            out.push('\n');
+            for line in hist_chart(h) {
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{InMemoryRecorder, Recorder};
+    use crate::trace::{export, parse_trace, RunMeta, RunSummary};
+
+    fn sample_doc() -> TraceDoc {
+        let mut rec = InMemoryRecorder::new();
+        rec.span_start("sim.comm");
+        rec.counter("route.transfers", 42);
+        rec.histogram("route.hops", 1);
+        rec.histogram("route.hops", 5);
+        rec.histogram("route.hops", 5);
+        rec.gauge("sim.load", 2.5);
+        rec.span_end("sim.comm");
+        let meta = RunMeta {
+            command: "simulate".into(),
+            guest: "ring:8".into(),
+            host: "mesh:4".into(),
+            n: 8,
+            m: 4,
+            guest_steps: 2,
+        };
+        let summary = RunSummary {
+            host_steps: 20,
+            comm_steps: 14,
+            compute_steps: 6,
+            slowdown: 10.0,
+            inefficiency: 5.0,
+            wall_ms: 0.5,
+        };
+        parse_trace(&export(&rec, &meta, Some(&summary))).unwrap()
+    }
+
+    #[test]
+    fn render_mentions_headline_metrics() {
+        let text = render(&sample_doc());
+        assert!(text.contains("slowdown"));
+        assert!(text.contains("inefficiency"));
+        assert!(text.contains("10.000"));
+        assert!(text.contains("5.000"));
+        assert!(text.contains("route.transfers"));
+        assert!(text.contains("sim.comm"));
+        assert!(text.contains("route.hops"));
+        assert!(text.contains("sim.load"));
+    }
+
+    #[test]
+    fn hist_chart_spans_occupied_buckets() {
+        let mut h = Histogram::default();
+        h.record(1);
+        h.record(8);
+        h.record(8);
+        let lines = hist_chart(&h);
+        // Buckets 1 (value 1) through 4 (8..15) inclusive → 4 rows.
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("1 |"));
+        assert!(lines[3].contains("8..15"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_without_panic() {
+        let h = Histogram::default();
+        assert!(hist_line("empty", &h).contains("(empty)"));
+        assert!(hist_chart(&h).is_empty());
+    }
+}

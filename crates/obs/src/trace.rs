@@ -1,0 +1,496 @@
+//! JSONL run traces: the machine-readable artifact behind `unet trace`
+//! and `unet report`.
+//!
+//! One JSON object per line. The first line is the `meta` record; span
+//! events follow in chronological order (balanced, LIFO-nested); counter /
+//! gauge / histogram aggregates and the final `summary` close the file:
+//!
+//! ```text
+//! {"type":"meta","schema":"unet-trace/1","command":"simulate","guest":"ring:12","host":"torus:2x2","n":12,"m":4,"guest_steps":3}
+//! {"type":"span","op":"start","name":"sim.comm","ns":1200}
+//! {"type":"span","op":"end","name":"sim.comm","ns":58000}
+//! {"type":"counter","name":"route.transfers","value":831}
+//! {"type":"gauge","name":"sim.load","value":3.0}
+//! {"type":"hist","name":"route.queue_occupancy","count":96,"sum":310,"min":1,"max":9,"buckets":[[1,40],[2,30],[3,20],[4,6]]}
+//! {"type":"summary","host_steps":61,"comm_steps":40,"compute_steps":21,"slowdown":20.3,"inefficiency":6.8,"wall_ms":1.9}
+//! ```
+//!
+//! Histogram buckets are sparse `[index, count]` pairs over the log₂
+//! bucketing of [`Histogram`]. [`parse_trace`] validates structure:
+//! every line must parse, span events must balance under stack discipline,
+//! and timestamps must be non-decreasing.
+
+use crate::json::{parse, Value};
+use crate::recorder::{Histogram, InMemoryRecorder, SpanEvent};
+
+/// Trace schema identifier written into (and required from) `meta` lines.
+pub const SCHEMA: &str = "unet-trace/1";
+
+/// Identity of a traced run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunMeta {
+    /// Which subcommand/driver produced the trace.
+    pub command: String,
+    /// Guest graph spec.
+    pub guest: String,
+    /// Host graph spec.
+    pub host: String,
+    /// Guest size `n`.
+    pub n: u64,
+    /// Host size `m`.
+    pub m: u64,
+    /// Guest steps `T`.
+    pub guest_steps: u64,
+}
+
+/// Headline metrics of a traced run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunSummary {
+    /// Host steps `T'`.
+    pub host_steps: u64,
+    /// Host steps spent in communication phases.
+    pub comm_steps: u64,
+    /// Host steps spent in computation phases.
+    pub compute_steps: u64,
+    /// Measured slowdown `s = T'/T`.
+    pub slowdown: f64,
+    /// Measured inefficiency `k = s·m/n`.
+    pub inefficiency: f64,
+    /// Wall-clock time of the run in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// An owned span event from a parsed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceSpan {
+    /// Phase opened.
+    Start {
+        /// Phase name.
+        name: String,
+        /// Nanoseconds since trace epoch.
+        ns: u64,
+    },
+    /// Phase closed.
+    End {
+        /// Phase name.
+        name: String,
+        /// Nanoseconds since trace epoch.
+        ns: u64,
+    },
+}
+
+/// A fully parsed and validated trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDoc {
+    /// The `meta` record.
+    pub meta: RunMeta,
+    /// Chronological, balanced span events.
+    pub spans: Vec<TraceSpan>,
+    /// Counter totals, in file order.
+    pub counters: Vec<(String, u64)>,
+    /// Final gauge values, in file order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms, in file order.
+    pub histograms: Vec<(String, Histogram)>,
+    /// The `summary` record, if present.
+    pub summary: Option<RunSummary>,
+}
+
+impl TraceDoc {
+    /// Counter total by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// `(name, total ns, completions)` per span name, by replaying the
+    /// event stream (which [`parse_trace`] already validated as balanced).
+    pub fn span_totals(&self) -> Vec<(String, u64, u64)> {
+        let mut stack: Vec<(&str, u64)> = Vec::new();
+        let mut totals: Vec<(String, u64, u64)> = Vec::new();
+        for ev in &self.spans {
+            match ev {
+                TraceSpan::Start { name, ns } => stack.push((name, *ns)),
+                TraceSpan::End { ns, .. } => {
+                    let (name, started) = stack.pop().expect("validated balanced");
+                    match totals.iter_mut().find(|(k, ..)| k == name) {
+                        Some(t) => {
+                            t.1 += ns - started;
+                            t.2 += 1;
+                        }
+                        None => totals.push((name.to_string(), ns - started, 1)),
+                    }
+                }
+            }
+        }
+        totals
+    }
+}
+
+/// Serialize a recorded run to JSONL. Panics (debug) if spans are still
+/// open — finish every phase before exporting.
+pub fn export(rec: &InMemoryRecorder, meta: &RunMeta, summary: Option<&RunSummary>) -> String {
+    debug_assert!(rec.open_spans().is_empty(), "exporting with open spans: {:?}", rec.open_spans());
+    let mut out = String::new();
+    out.push_str(&meta_value(meta).to_json());
+    out.push('\n');
+    for ev in rec.events() {
+        let (op, name, ns) = match *ev {
+            SpanEvent::Start { name, ns } => ("start", name, ns),
+            SpanEvent::End { name, ns } => ("end", name, ns),
+        };
+        let line = Value::Obj(vec![
+            ("type".into(), Value::Str("span".into())),
+            ("op".into(), Value::Str(op.into())),
+            ("name".into(), Value::Str(name.into())),
+            ("ns".into(), Value::UInt(ns)),
+        ]);
+        out.push_str(&line.to_json());
+        out.push('\n');
+    }
+    for (name, v) in rec.counters() {
+        let line = Value::Obj(vec![
+            ("type".into(), Value::Str("counter".into())),
+            ("name".into(), Value::Str(name.into())),
+            ("value".into(), Value::UInt(v)),
+        ]);
+        out.push_str(&line.to_json());
+        out.push('\n');
+    }
+    for (name, v) in rec.gauges() {
+        let line = Value::Obj(vec![
+            ("type".into(), Value::Str("gauge".into())),
+            ("name".into(), Value::Str(name.into())),
+            ("value".into(), Value::Float(v)),
+        ]);
+        out.push_str(&line.to_json());
+        out.push('\n');
+    }
+    for (name, h) in rec.histograms() {
+        out.push_str(&hist_value(name, h).to_json());
+        out.push('\n');
+    }
+    if let Some(s) = summary {
+        out.push_str(&summary_value(s).to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn meta_value(meta: &RunMeta) -> Value {
+    Value::Obj(vec![
+        ("type".into(), Value::Str("meta".into())),
+        ("schema".into(), Value::Str(SCHEMA.into())),
+        ("command".into(), Value::Str(meta.command.clone())),
+        ("guest".into(), Value::Str(meta.guest.clone())),
+        ("host".into(), Value::Str(meta.host.clone())),
+        ("n".into(), Value::UInt(meta.n)),
+        ("m".into(), Value::UInt(meta.m)),
+        ("guest_steps".into(), Value::UInt(meta.guest_steps)),
+    ])
+}
+
+fn hist_value(name: &str, h: &Histogram) -> Value {
+    let buckets: Vec<Value> = h
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, &c)| Value::Arr(vec![Value::UInt(i as u64), Value::UInt(c)]))
+        .collect();
+    // `sum` is u128 internally; saturate to u64 for the wire (a real run
+    // cannot reach it: 2⁶⁴ ns ≈ 585 years of samples).
+    let sum = u64::try_from(h.sum).unwrap_or(u64::MAX);
+    Value::Obj(vec![
+        ("type".into(), Value::Str("hist".into())),
+        ("name".into(), Value::Str(name.into())),
+        ("count".into(), Value::UInt(h.count)),
+        ("sum".into(), Value::UInt(sum)),
+        ("min".into(), Value::UInt(if h.count == 0 { 0 } else { h.min })),
+        ("max".into(), Value::UInt(h.max)),
+        ("buckets".into(), Value::Arr(buckets)),
+    ])
+}
+
+fn summary_value(s: &RunSummary) -> Value {
+    Value::Obj(vec![
+        ("type".into(), Value::Str("summary".into())),
+        ("host_steps".into(), Value::UInt(s.host_steps)),
+        ("comm_steps".into(), Value::UInt(s.comm_steps)),
+        ("compute_steps".into(), Value::UInt(s.compute_steps)),
+        ("slowdown".into(), Value::Float(s.slowdown)),
+        ("inefficiency".into(), Value::Float(s.inefficiency)),
+        ("wall_ms".into(), Value::Float(s.wall_ms)),
+    ])
+}
+
+fn field_u64(v: &Value, key: &str, line: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("line {line}: missing/invalid u64 field {key:?}"))
+}
+
+fn field_f64(v: &Value, key: &str, line: usize) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("line {line}: missing/invalid number field {key:?}"))
+}
+
+fn field_str(v: &Value, key: &str, line: usize) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {line}: missing/invalid string field {key:?}"))
+}
+
+/// Parse and validate a JSONL trace: every line must be valid JSON of a
+/// known record type, the first line must be a `meta` record with the
+/// expected schema, span events must balance (stack discipline with
+/// matching names) and be chronological.
+pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
+    let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+    let (lno, first) = lines.next().ok_or("empty trace")?;
+    let head = parse(first).map_err(|e| format!("line {}: {e}", lno + 1))?;
+    if head.get("type").and_then(Value::as_str) != Some("meta") {
+        return Err("first line must be the meta record".into());
+    }
+    let schema = field_str(&head, "schema", lno + 1)?;
+    if schema != SCHEMA {
+        return Err(format!("unsupported schema {schema:?} (expected {SCHEMA:?})"));
+    }
+    let meta = RunMeta {
+        command: field_str(&head, "command", lno + 1)?,
+        guest: field_str(&head, "guest", lno + 1)?,
+        host: field_str(&head, "host", lno + 1)?,
+        n: field_u64(&head, "n", lno + 1)?,
+        m: field_u64(&head, "m", lno + 1)?,
+        guest_steps: field_u64(&head, "guest_steps", lno + 1)?,
+    };
+
+    let mut doc = TraceDoc {
+        meta,
+        spans: Vec::new(),
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+        summary: None,
+    };
+    let mut stack: Vec<String> = Vec::new();
+    let mut last_ns = 0u64;
+
+    for (i, line) in lines {
+        let lno = i + 1;
+        let v = parse(line).map_err(|e| format!("line {lno}: {e}"))?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("span") => {
+                let name = field_str(&v, "name", lno)?;
+                let ns = field_u64(&v, "ns", lno)?;
+                if ns < last_ns {
+                    return Err(format!("line {lno}: span time goes backwards ({ns} < {last_ns})"));
+                }
+                last_ns = ns;
+                match v.get("op").and_then(Value::as_str) {
+                    Some("start") => {
+                        stack.push(name.clone());
+                        doc.spans.push(TraceSpan::Start { name, ns });
+                    }
+                    Some("end") => match stack.pop() {
+                        Some(open) if open == name => doc.spans.push(TraceSpan::End { name, ns }),
+                        Some(open) => {
+                            return Err(format!(
+                                "line {lno}: span end {name:?} does not close innermost open span {open:?}"
+                            ))
+                        }
+                        None => return Err(format!("line {lno}: span end {name:?} with no open span")),
+                    },
+                    other => return Err(format!("line {lno}: bad span op {other:?}")),
+                }
+            }
+            Some("counter") => {
+                doc.counters.push((field_str(&v, "name", lno)?, field_u64(&v, "value", lno)?));
+            }
+            Some("gauge") => {
+                doc.gauges.push((field_str(&v, "name", lno)?, field_f64(&v, "value", lno)?));
+            }
+            Some("hist") => {
+                let name = field_str(&v, "name", lno)?;
+                let mut h = Histogram {
+                    count: field_u64(&v, "count", lno)?,
+                    sum: field_u64(&v, "sum", lno)? as u128,
+                    min: field_u64(&v, "min", lno)?,
+                    max: field_u64(&v, "max", lno)?,
+                    buckets: [0; 65],
+                };
+                if h.count == 0 {
+                    h.min = u64::MAX;
+                }
+                let buckets = v
+                    .get("buckets")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| format!("line {lno}: missing buckets array"))?;
+                let mut total = 0u64;
+                for b in buckets {
+                    let pair = b.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                        format!("line {lno}: bucket entries must be [index, count] pairs")
+                    })?;
+                    let idx = pair[0]
+                        .as_u64()
+                        .filter(|&i| i < 65)
+                        .ok_or_else(|| format!("line {lno}: bucket index out of range"))?;
+                    let c =
+                        pair[1].as_u64().ok_or_else(|| format!("line {lno}: bad bucket count"))?;
+                    h.buckets[idx as usize] = c;
+                    total += c;
+                }
+                if total != h.count {
+                    return Err(format!(
+                        "line {lno}: histogram {name:?} bucket total {total} != count {}",
+                        h.count
+                    ));
+                }
+                doc.histograms.push((name, h));
+            }
+            Some("summary") => {
+                doc.summary = Some(RunSummary {
+                    host_steps: field_u64(&v, "host_steps", lno)?,
+                    comm_steps: field_u64(&v, "comm_steps", lno)?,
+                    compute_steps: field_u64(&v, "compute_steps", lno)?,
+                    slowdown: field_f64(&v, "slowdown", lno)?,
+                    inefficiency: field_f64(&v, "inefficiency", lno)?,
+                    wall_ms: field_f64(&v, "wall_ms", lno)?,
+                });
+            }
+            Some("meta") => return Err(format!("line {lno}: duplicate meta record")),
+            other => return Err(format!("line {lno}: unknown record type {other:?}")),
+        }
+    }
+    if !stack.is_empty() {
+        return Err(format!("unbalanced trace: spans still open at EOF: {stack:?}"));
+    }
+    Ok(doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample_meta() -> RunMeta {
+        RunMeta {
+            command: "simulate".into(),
+            guest: "ring:12".into(),
+            host: "torus:2x2".into(),
+            n: 12,
+            m: 4,
+            guest_steps: 3,
+        }
+    }
+
+    fn sample_recorder() -> InMemoryRecorder {
+        let mut rec = InMemoryRecorder::new();
+        rec.span_start("sim.step");
+        rec.span_start("sim.comm");
+        rec.histogram("route.hops", 0);
+        rec.histogram("route.hops", 3);
+        rec.histogram("route.hops", u64::MAX);
+        rec.counter("route.transfers", 17);
+        rec.span_end("sim.comm");
+        rec.span_start("sim.compute");
+        rec.gauge("sim.load", 3.0);
+        rec.span_end("sim.compute");
+        rec.span_end("sim.step");
+        rec
+    }
+
+    #[test]
+    fn export_parse_round_trip() {
+        let rec = sample_recorder();
+        let summary = RunSummary {
+            host_steps: 61,
+            comm_steps: 40,
+            compute_steps: 21,
+            slowdown: 20.33,
+            inefficiency: 6.78,
+            wall_ms: 1.25,
+        };
+        let text = export(&rec, &sample_meta(), Some(&summary));
+        // Every line parses as standalone JSON.
+        for line in text.lines() {
+            crate::json::parse(line).expect("line parses");
+        }
+        let doc = parse_trace(&text).expect("trace validates");
+        assert_eq!(doc.meta, sample_meta());
+        assert_eq!(doc.summary, Some(summary));
+        assert_eq!(doc.counter("route.transfers"), Some(17));
+        let h = doc.histogram("route.hops").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[2], 1);
+        assert_eq!(h.buckets[64], 1);
+        assert_eq!(doc.spans.len(), 6);
+        // Totals replay: sim.step once, children once each.
+        let totals = doc.span_totals();
+        assert_eq!(totals.iter().filter(|(n, ..)| n == "sim.step").count(), 1);
+        assert!(totals.iter().all(|&(_, _, count)| count == 1));
+    }
+
+    #[test]
+    fn histograms_survive_round_trip_exactly() {
+        let mut rec = InMemoryRecorder::new();
+        for v in [0u64, 1, 1, 7, 8, 1 << 40, u64::MAX] {
+            rec.histogram("h", v);
+        }
+        let mut expected = rec.histogram_data("h").unwrap().clone();
+        // The wire format carries `sum` as u64 (saturating); this sample set
+        // deliberately overflows it to pin that behaviour down.
+        expected.sum = expected.sum.min(u64::MAX as u128);
+        let text = export(&rec, &sample_meta(), None);
+        let doc = parse_trace(&text).unwrap();
+        assert_eq!(doc.histogram("h"), Some(&expected));
+    }
+
+    #[test]
+    fn unbalanced_traces_rejected() {
+        let meta = "{\"type\":\"meta\",\"schema\":\"unet-trace/1\",\"command\":\"c\",\"guest\":\"g\",\"host\":\"h\",\"n\":1,\"m\":1,\"guest_steps\":1}";
+        let start = "{\"type\":\"span\",\"op\":\"start\",\"name\":\"a\",\"ns\":1}";
+        let end_b = "{\"type\":\"span\",\"op\":\"end\",\"name\":\"b\",\"ns\":2}";
+        let end_a = "{\"type\":\"span\",\"op\":\"end\",\"name\":\"a\",\"ns\":2}";
+        // Still open at EOF.
+        assert!(parse_trace(&format!("{meta}\n{start}\n")).unwrap_err().contains("still open"));
+        // Wrong name closes.
+        assert!(parse_trace(&format!("{meta}\n{start}\n{end_b}\n"))
+            .unwrap_err()
+            .contains("does not close"));
+        // End without start.
+        assert!(parse_trace(&format!("{meta}\n{end_a}\n")).unwrap_err().contains("no open span"));
+        // Time going backwards.
+        let late = "{\"type\":\"span\",\"op\":\"start\",\"name\":\"a\",\"ns\":9}";
+        let early = "{\"type\":\"span\",\"op\":\"end\",\"name\":\"a\",\"ns\":3}";
+        assert!(parse_trace(&format!("{meta}\n{late}\n{early}\n"))
+            .unwrap_err()
+            .contains("backwards"));
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        let meta = "{\"type\":\"meta\",\"schema\":\"unet-trace/1\",\"command\":\"c\",\"guest\":\"g\",\"host\":\"h\",\"n\":1,\"m\":1,\"guest_steps\":1}";
+        assert!(parse_trace("").is_err());
+        assert!(parse_trace("not json\n").is_err());
+        assert!(parse_trace(&format!("{meta}\n{{\"type\":\"mystery\"}}\n")).is_err());
+        assert!(parse_trace(&format!("{meta}\n{meta}\n")).unwrap_err().contains("duplicate meta"));
+        // Histogram whose buckets disagree with its count.
+        let bad_hist = "{\"type\":\"hist\",\"name\":\"h\",\"count\":5,\"sum\":5,\"min\":1,\"max\":1,\"buckets\":[[1,2]]}";
+        assert!(parse_trace(&format!("{meta}\n{bad_hist}\n"))
+            .unwrap_err()
+            .contains("bucket total"));
+        // Wrong schema.
+        let bad_meta = meta.replace("unet-trace/1", "unet-trace/9");
+        assert!(parse_trace(&format!("{bad_meta}\n")).unwrap_err().contains("unsupported schema"));
+    }
+}

@@ -74,12 +74,7 @@ pub fn heavy_hosts(trace: &Trace, t: u32, threshold: usize) -> Vec<Node> {
             }
         }
     }
-    occupancy
-        .iter()
-        .enumerate()
-        .filter(|&(_, &o)| o > threshold)
-        .map(|(j, _)| j as Node)
-        .collect()
+    occupancy.iter().enumerate().filter(|&(_, &o)| o > threshold).map(|(j, _)| j as Node).collect()
 }
 
 /// Averaging bound on the number of heavy hosts (the step inside
@@ -104,10 +99,7 @@ pub fn weight_heatmap(trace: &Trace, max_width: usize) -> String {
             // Max weight over the guests bucketed into this column.
             let lo = col * n / width;
             let hi = ((col + 1) * n / width).max(lo + 1);
-            let q = (lo..hi)
-                .map(|i| trace.weight(i as Node, t))
-                .max()
-                .unwrap_or(0);
+            let q = (lo..hi).map(|i| trace.weight(i as Node, t)).max().unwrap_or(0);
             out.push(match q {
                 0 => ' ',
                 1 => '.',

@@ -7,6 +7,7 @@
 //! paper's entire lower-bound analysis (Section 3.2–3.3) is phrased in.
 
 use crate::protocol::{Op, Pebble, Protocol};
+use unet_obs::{NoopRecorder, Recorder};
 use unet_topology::util::FxHashMap;
 use unet_topology::{Graph, Node};
 
@@ -265,6 +266,60 @@ impl RepresentativeSet<'_> {
 /// 3. generations have all predecessor pebbles present *before* the step;
 /// 4. every final pebble `(P_i, T)` is generated by the end.
 pub fn check(guest: &Graph, host: &Graph, proto: &Protocol) -> Result<Trace, CheckError> {
+    check_recorded(guest, host, proto, &mut NoopRecorder)
+}
+
+/// [`check`] with instrumentation. Emits, under the `pebble.check` span:
+///
+/// * counters `pebble.ops.idle` / `.generate` / `.send` / `.recv` — the
+///   protocol's op mix (counted from the rows, so they are exact even when
+///   the replay rejects);
+/// * counter `pebble.acquisitions` — distinct (host, pebble) custody
+///   records created (`Σ q_{i,t}`, the quantity of Lemma 3.12);
+/// * histogram `pebble.level_weight` — `Σ_i q_{i,t}` per guest level
+///   `t ≥ 1`: how fragmented each level's pebble copies are across hosts
+///   (Lemma 3.13(2) bounds this by `384·n·k`);
+/// * histogram `pebble.holders_per_pebble` — `q_{i,t}` per pebble type.
+///
+/// The span is closed on rejection too, so a trace containing a failed
+/// check still balances.
+pub fn check_recorded<REC: Recorder + ?Sized>(
+    guest: &Graph,
+    host: &Graph,
+    proto: &Protocol,
+    rec: &mut REC,
+) -> Result<Trace, CheckError> {
+    rec.span_start("pebble.check");
+    let result = check_impl(guest, host, proto);
+    rec.span_end("pebble.check");
+    let (mut idle, mut generate, mut send, mut recv) = (0u64, 0u64, 0u64, 0u64);
+    for row in &proto.steps {
+        for op in row {
+            match op {
+                Op::Idle => idle += 1,
+                Op::Generate(_) => generate += 1,
+                Op::Send { .. } => send += 1,
+                Op::Recv { .. } => recv += 1,
+            }
+        }
+    }
+    rec.counter("pebble.ops.idle", idle);
+    rec.counter("pebble.ops.generate", generate);
+    rec.counter("pebble.ops.send", send);
+    rec.counter("pebble.ops.recv", recv);
+    if let Ok(trace) = &result {
+        rec.counter("pebble.acquisitions", trace.total_weight() as u64);
+        for t in 1..=trace.guest_t {
+            rec.histogram("pebble.level_weight", trace.level_weight(t) as u64);
+        }
+        for holders in &trace.holders {
+            rec.histogram("pebble.holders_per_pebble", holders.len() as u64);
+        }
+    }
+    result
+}
+
+fn check_impl(guest: &Graph, host: &Graph, proto: &Protocol) -> Result<Trace, CheckError> {
     let n = proto.guest_n;
     let t_max = proto.guest_t;
     let m = proto.host_m;
@@ -288,9 +343,7 @@ pub fn check(guest: &Graph, host: &Graph, proto: &Protocol) -> Result<Trace, Che
             if p.t == 0 {
                 return (p.node as usize) < n;
             }
-            acquired[q as usize]
-                .get(&p.key())
-                .is_some_and(|&s| s < step)
+            acquired[q as usize].get(&p.key()).is_some_and(|&s| s < step)
         };
 
     for (step0, row) in proto.steps.iter().enumerate() {
@@ -305,7 +358,11 @@ pub fn check(guest: &Graph, host: &Graph, proto: &Protocol) -> Result<Trace, Che
                 Op::Idle => {}
                 Op::Generate(p) => {
                     if p.t == 0 || p.t > t_max || p.node as usize >= n {
-                        return Err(CheckError::GenerateOutOfRange { step: step0, host: q, pebble: p });
+                        return Err(CheckError::GenerateOutOfRange {
+                            step: step0,
+                            host: q,
+                            pebble: p,
+                        });
                     }
                     let own = Pebble::new(p.node, p.t - 1);
                     if !held_before(&trace.acquired, q, own, step) {
@@ -333,7 +390,11 @@ pub fn check(guest: &Graph, host: &Graph, proto: &Protocol) -> Result<Trace, Che
                         return Err(CheckError::SendToNonNeighbor { step: step0, host: q, to });
                     }
                     if !held_before(&trace.acquired, q, pebble, step) {
-                        return Err(CheckError::SendWithoutHolding { step: step0, host: q, pebble });
+                        return Err(CheckError::SendWithoutHolding {
+                            step: step0,
+                            host: q,
+                            pebble,
+                        });
                     }
                     if !matches!(row[to as usize], Op::Recv { from } if from == q) {
                         return Err(CheckError::UnmatchedSend { step: step0, host: q, to });
@@ -381,8 +442,8 @@ pub fn check(guest: &Graph, host: &Graph, proto: &Protocol) -> Result<Trace, Che
 
 fn record_acquisition(trace: &mut Trace, q: Node, p: Pebble, step: u32) {
     let map = &mut trace.acquired[q as usize];
-    if !map.contains_key(&p.key()) {
-        map.insert(p.key(), step);
+    if let std::collections::hash_map::Entry::Vacant(e) = map.entry(p.key()) {
+        e.insert(step);
         let idx = trace.idx(p.node, p.t);
         trace.holders[idx].push(q);
     }
@@ -527,11 +588,7 @@ mod tests {
         let proto = b.finish();
         assert_eq!(
             check(&guest, &host, &proto).unwrap_err(),
-            CheckError::SendWithoutHolding {
-                step: 0,
-                host: 0,
-                pebble: Pebble::new(0, 1)
-            }
+            CheckError::SendWithoutHolding { step: 0, host: 0, pebble: Pebble::new(0, 1) }
         );
     }
 
@@ -578,10 +635,46 @@ mod tests {
         b.set_op(0, Op::Generate(Pebble::new(0, 5)));
         b.end_step();
         let proto = b.finish();
-        assert!(matches!(
-            check(&guest, &host, &proto),
-            Err(CheckError::GenerateOutOfRange { .. })
-        ));
+        assert!(matches!(check(&guest, &host, &proto), Err(CheckError::GenerateOutOfRange { .. })));
+    }
+
+    #[test]
+    fn recorded_check_counts_ops_and_fragments() {
+        use unet_obs::InMemoryRecorder;
+        let (guest, host, proto) = tiny_valid_protocol();
+        let mut rec = InMemoryRecorder::new();
+        let trace = check_recorded(&guest, &host, &proto, &mut rec).expect("valid");
+        assert!(rec.open_spans().is_empty());
+        // 3 steps × 2 hosts: 3 generates, 3 idles, no transfers.
+        assert_eq!(rec.counter_value("pebble.ops.generate"), 3);
+        assert_eq!(rec.counter_value("pebble.ops.idle"), 3);
+        assert_eq!(rec.counter_value("pebble.ops.send"), 0);
+        assert_eq!(rec.counter_value("pebble.ops.recv"), 0);
+        assert_eq!(rec.counter_value("pebble.acquisitions"), trace.total_weight() as u64);
+        let lw = rec.histogram_data("pebble.level_weight").unwrap();
+        assert_eq!(lw.count, 1); // one non-initial level
+        assert_eq!(lw.max, trace.level_weight(1) as u64);
+        let hp = rec.histogram_data("pebble.holders_per_pebble").unwrap();
+        assert_eq!(hp.count, 3); // one entry per (i, t≥1) pebble type
+    }
+
+    #[test]
+    fn recorded_check_balances_on_rejection() {
+        use unet_obs::InMemoryRecorder;
+        let guest = ring(3);
+        let host = complete(2);
+        let mut b = ProtocolBuilder::new(3, 1, 2);
+        b.set_op(0, Op::Send { pebble: Pebble::new(0, 0), to: 1 });
+        b.end_step();
+        let proto = b.finish();
+        let mut rec = InMemoryRecorder::new();
+        assert!(check_recorded(&guest, &host, &proto, &mut rec).is_err());
+        assert!(rec.open_spans().is_empty(), "span must close on rejection");
+        // Op mix still reported (it is a property of the protocol).
+        assert_eq!(rec.counter_value("pebble.ops.send"), 1);
+        // No custody stats for a rejected protocol (absent counters read 0).
+        assert_eq!(rec.counter_value("pebble.acquisitions"), 0);
+        assert!(rec.histogram_data("pebble.level_weight").is_none());
     }
 
     #[test]

@@ -203,7 +203,7 @@ mod tests {
         // within the block diameter.
         let g = multitorus(4, 64);
         let roots = vec![0, 4, 32, 36]; // one corner per block
-        // Block torus diameter = 4 (2+2); global edges only help.
+                                        // Block torus diameter = 4 (2+2); global edges only help.
         assert!(roots_cover(&g, &roots, 4));
         assert!(!roots_cover(&g, &[0], 2));
         assert!(roots_cover(&g, &[0], 8)); // 8×8 torus diameter = 8 ≤ 8

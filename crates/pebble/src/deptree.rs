@@ -82,10 +82,7 @@ impl BlockTorus {
 
     /// Local coordinates of a global node, if it belongs to this block.
     pub fn local_of(&self, v: Node) -> Option<(usize, usize)> {
-        self.cells
-            .iter()
-            .position(|&c| c == v)
-            .map(|p| (p / self.side, p % self.side))
+        self.cells.iter().position(|&c| c == v).map(|p| (p / self.side, p % self.side))
     }
 }
 
@@ -128,11 +125,7 @@ impl DepTree {
 
     /// Indices of the leaves (nodes without children).
     pub fn leaves(&self) -> impl Iterator<Item = usize> + '_ {
-        self.nodes
-            .iter()
-            .enumerate()
-            .filter(|(_, nd)| nd.children == [NO_NODE; 2])
-            .map(|(i, _)| i)
+        self.nodes.iter().enumerate().filter(|(_, nd)| nd.children == [NO_NODE; 2]).map(|(i, _)| i)
     }
 
     /// The `(vertex, time)` pairs the tree touches, with multiplicity — used
@@ -283,9 +276,7 @@ impl Builder<'_> {
 /// # Panics
 /// Panics if `root` is not in the block or `t_end < tree_depth(side)`.
 pub fn dependency_tree(block: &BlockTorus, root: Node, t_end: u32) -> DepTree {
-    let (rx, ry) = block
-        .local_of(root)
-        .expect("root vertex must belong to the block");
+    let (rx, ry) = block.local_of(root).expect("root vertex must belong to the block");
     let depth = tree_depth(block.side());
     assert!(t_end >= depth, "t_end = {t_end} below tree depth {depth}");
     let mut b = Builder { block, rx, ry, nodes: Vec::new() };
@@ -339,10 +330,7 @@ pub fn verify_tree(tree: &DepTree, g0: &Graph, block: &BlockTorus) -> Result<(),
         leaf_count += 1;
     }
     if leaf_count != block.nodes().len() {
-        return Err(format!(
-            "covered {leaf_count} of {} cells",
-            block.nodes().len()
-        ));
+        return Err(format!("covered {leaf_count} of {} cells", block.nodes().len()));
     }
     let bound = 12 * block.side() * block.side();
     if tree.size() > bound {
@@ -359,10 +347,7 @@ mod tests {
     fn block_setup(a: usize, n: usize) -> (Graph, Vec<BlockTorus>) {
         let g0 = multitorus(a, n);
         let grid = torus_side(n);
-        let bts = blocks(a, n)
-            .iter()
-            .map(|b| BlockTorus::from_sorted_block(grid, b))
-            .collect();
+        let bts = blocks(a, n).iter().map(|b| BlockTorus::from_sorted_block(grid, b)).collect();
         (g0, bts)
     }
 
@@ -370,13 +355,10 @@ mod tests {
     fn depth_values() {
         assert_eq!(tree_depth(1), 0);
         assert_eq!(tree_depth(2), 2); // split: max(1+need(1,2), 1+need(1,2)); need(1,2)=1
-        // Depth grows ≈ 2·side.
+                                      // Depth grows ≈ 2·side.
         for side in 2..20 {
             let d = tree_depth(side);
-            assert!(
-                d as usize >= side && d as usize <= 3 * side,
-                "side {side}: depth {d}"
-            );
+            assert!(d as usize >= side && d as usize <= 3 * side, "side {side}: depth {d}");
         }
     }
 
@@ -403,12 +385,7 @@ mod tests {
             let root = bt.at(a / 2, a / 2);
             let tree = dependency_tree(bt, root, tree_depth(a));
             verify_tree(&tree, &g0, bt).unwrap();
-            assert!(
-                tree.size() <= 12 * a * a,
-                "side {a}: size {} > {}",
-                tree.size(),
-                12 * a * a
-            );
+            assert!(tree.size() <= 12 * a * a, "side {a}: size {} > {}", tree.size(), 12 * a * a);
         }
     }
 

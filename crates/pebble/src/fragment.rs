@@ -45,9 +45,7 @@ pub enum GeneratorChoice {
 pub fn extract_fragment(trace: &Trace, t0: u32, choice: GeneratorChoice) -> Option<Fragment> {
     let n = trace.guest_n;
     assert!(t0 < trace.guest_t);
-    let b: Vec<Vec<Node>> = (0..n as Node)
-        .map(|i| trace.representatives(i, t0).to_vec())
-        .collect();
+    let b: Vec<Vec<Node>> = (0..n as Node).map(|i| trace.representatives(i, t0).to_vec()).collect();
     let mut b_prime = Vec::with_capacity(n);
     // Occupancy per host at level t0: |P(j, t0)| — computed once.
     let mut occupancy = vec![0u32; trace.host_m];
@@ -65,13 +63,15 @@ pub fn extract_fragment(trace: &Trace, t0: u32, choice: GeneratorChoice) -> Opti
             GeneratorChoice::First => gens[0],
             GeneratorChoice::LightestHost => *gens
                 .iter()
-                .min_by_key(|&&q| {
-                    if t0 == 0 {
-                        trace.guest_n as u32
-                    } else {
-                        occupancy[q as usize]
-                    }
-                })
+                .min_by_key(
+                    |&&q| {
+                        if t0 == 0 {
+                            trace.guest_n as u32
+                        } else {
+                            occupancy[q as usize]
+                        }
+                    },
+                )
                 .expect("nonempty"),
         };
         b_prime.push(bi);
@@ -79,8 +79,8 @@ pub fn extract_fragment(trace: &Trace, t0: u32, choice: GeneratorChoice) -> Opti
     // D_i = indices i' whose B_{i'} contains b_i. Build host → guests index.
     let mut by_host: Vec<Vec<Node>> = vec![Vec::new(); trace.host_m];
     if t0 == 0 {
-        for j in 0..trace.host_m {
-            by_host[j] = (0..n as Node).collect();
+        for row in by_host.iter_mut() {
+            *row = (0..n as Node).collect();
         }
     } else {
         for (i, bi) in b.iter().enumerate() {
@@ -89,10 +89,7 @@ pub fn extract_fragment(trace: &Trace, t0: u32, choice: GeneratorChoice) -> Opti
             }
         }
     }
-    let d = b_prime
-        .iter()
-        .map(|&bi| by_host[bi as usize].clone())
-        .collect();
+    let d = b_prime.iter().map(|&bi| by_host[bi as usize].clone()).collect();
     Some(Fragment { t0, b, b_prime, d })
 }
 

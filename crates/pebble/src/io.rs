@@ -111,9 +111,7 @@ pub fn from_text(text: &str) -> Result<Protocol, ParseError> {
             current = Some(vec![Op::Idle; m]);
             continue;
         }
-        let row = current
-            .as_mut()
-            .ok_or_else(|| err(ln, "operation before first `step`"))?;
+        let row = current.as_mut().ok_or_else(|| err(ln, "operation before first `step`"))?;
         let mut next_num = |what: &str| -> Result<usize, ParseError> {
             it.next()
                 .ok_or_else(|| err(ln, format!("missing {what}")))
@@ -224,7 +222,7 @@ mod tests {
         let mut b = ProtocolBuilder::new(16, 4, 4);
         for t in 1..=4u32 {
             for i in 0..16u32 {
-                b.set_op((i % 4) as u32, Op::Generate(Pebble::new(i, t)));
+                b.set_op(i % 4, Op::Generate(Pebble::new(i, t)));
                 b.end_step();
             }
         }

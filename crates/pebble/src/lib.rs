@@ -41,16 +41,16 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
-pub mod optimize;
 pub mod check;
 pub mod depgraph;
 pub mod deptree;
 pub mod fragment;
 pub mod io;
+pub mod optimize;
 pub mod protocol;
 pub mod replay;
 
-pub use check::{check, CheckError, RepresentativeSet, Trace};
+pub use check::{check, check_recorded, CheckError, RepresentativeSet, Trace};
 pub use protocol::{Op, Pebble, Protocol, ProtocolBuilder};
 
 /// Helpers shared by tests across this crate (not part of the public API).

@@ -70,8 +70,8 @@ pub fn prune(guest: &Graph, proto: &Protocol) -> (Protocol, PruneStats) {
         for (q, op) in row.iter().enumerate() {
             match *op {
                 Op::Generate(p) => {
-                    let wanted = demand[q].remove(&p.key())
-                        || designated.contains(&(si, q as Node));
+                    let wanted =
+                        demand[q].remove(&p.key()) || designated.contains(&(si, q as Node));
                     if wanted {
                         useful[idx(si, q)] = true;
                         // Preconditions: closed neighbourhood at t−1.

@@ -117,11 +117,7 @@ impl Protocol {
     /// on the number of pebbles handled, used by Lemma 3.12's averaging
     /// (`Σ q_{i,t} ≤ m·T'`).
     pub fn busy_ops(&self) -> usize {
-        self.steps
-            .iter()
-            .flat_map(|row| row.iter())
-            .filter(|op| !matches!(op, Op::Idle))
-            .count()
+        self.steps.iter().flat_map(|row| row.iter()).filter(|op| !matches!(op, Op::Idle)).count()
     }
 
     /// Count of operations by kind `(generate, send, recv, idle)`.
@@ -171,10 +167,7 @@ impl ProtocolBuilder {
     /// one operation per processor per step).
     pub fn set_op(&mut self, q: Node, op: Op) {
         let slot = &mut self.current[q as usize];
-        assert!(
-            matches!(slot, Op::Idle),
-            "host {q} already has an op this step: {slot:?}"
-        );
+        assert!(matches!(slot, Op::Idle), "host {q} already has an op this step: {slot:?}");
         *slot = op;
         self.dirty = true;
     }
@@ -223,10 +216,7 @@ mod tests {
     fn protocol_metrics() {
         let mut p = Protocol::new(4, 2, 2);
         p.push_step(vec![Op::Generate(Pebble::new(0, 1)), Op::Idle]);
-        p.push_step(vec![
-            Op::Send { pebble: Pebble::new(0, 1), to: 1 },
-            Op::Recv { from: 0 },
-        ]);
+        p.push_step(vec![Op::Send { pebble: Pebble::new(0, 1), to: 1 }, Op::Recv { from: 0 }]);
         assert_eq!(p.host_steps(), 2);
         assert_eq!(p.slowdown(), 1.0);
         assert_eq!(p.inefficiency(), 0.5);

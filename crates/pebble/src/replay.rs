@@ -53,10 +53,8 @@ impl<'a> Replay<'a> {
 
     /// Pebbles (t ≥ 1) currently held by host `q`.
     pub fn held_by(&self, q: Node) -> Vec<Pebble> {
-        let mut v: Vec<Pebble> = self.held[q as usize]
-            .iter()
-            .map(|&k| Pebble::from_key(k))
-            .collect();
+        let mut v: Vec<Pebble> =
+            self.held[q as usize].iter().map(|&k| Pebble::from_key(k)).collect();
         v.sort_unstable();
         v
     }

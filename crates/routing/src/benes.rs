@@ -112,8 +112,8 @@ fn solve(perm: &[u32]) -> Vec<Vec<u32>> {
         let pair_in = i >> 1;
         let pair_out = perm[i] >> 1;
         let tgt = if branch[i] == 0 { &mut top_perm } else { &mut bot_perm };
-        debug_assert_eq!(tgt[pair_in as usize], u32::MAX, "looping produced a clash");
-        tgt[pair_in as usize] = pair_out;
+        debug_assert_eq!(tgt[pair_in], u32::MAX, "looping produced a clash");
+        tgt[pair_in] = pair_out;
     }
     let top = solve(&top_perm);
     let bot = solve(&bot_perm);
@@ -127,8 +127,8 @@ fn solve(perm: &[u32]) -> Vec<Vec<u32>> {
         let p = i >> 1;
         let path = &mut paths[i];
         path.push(i as u32);
-        for c in 0..sub_cols {
-            path.push((sub[p][c] << 1) | b);
+        for &cell in sub[p].iter().take(sub_cols) {
+            path.push((cell << 1) | b);
         }
         path.push(perm[i]);
     }
@@ -230,17 +230,12 @@ pub fn pipeline_schedule(d: usize, perms: &[Vec<u32>]) -> (u32, Vec<Transfer>) {
 /// by the decomposition are not moved.
 ///
 /// Makespan = `2·(perms − 1) + 2·(2d − 1)` = `O(h + log m)`.
-pub fn benes_h_h_schedule(
-    d: usize,
-    pairs: &[(u32, u32)],
-) -> (u32, Vec<Transfer>, Vec<u32>) {
+pub fn benes_h_h_schedule(d: usize, pairs: &[(u32, u32)]) -> (u32, Vec<Transfer>, Vec<u32>) {
     use crate::decompose::decompose_into_permutations;
     use crate::problem::RoutingProblem;
     let rows = 1usize << d;
-    let prob = RoutingProblem::new(
-        rows,
-        pairs.iter().map(|&(s, t)| (s as Node, t as Node)).collect(),
-    );
+    let prob =
+        RoutingProblem::new(rows, pairs.iter().map(|&(s, t)| (s as Node, t as Node)).collect());
     let perms = decompose_into_permutations(&prob);
     // Assign each original pair to one (wave, src-row) slot.
     let mut slot_of_pair: Vec<Option<(usize, u32)>> = vec![None; pairs.len()];
@@ -335,7 +330,7 @@ mod tests {
     fn benes_graph_counts() {
         let d = 3;
         let g = benes_network(d);
-        assert_eq!(g.n(), 2 * d << d);
+        assert_eq!(g.n(), (2 * d) << d);
         assert!(g.max_degree() <= 4);
         assert!(unet_topology::analysis::is_connected(&g));
     }
@@ -368,8 +363,7 @@ mod tests {
                 let mut perm: Vec<u32> = (0..n as u32).collect();
                 perm.shuffle(&mut rng);
                 let paths = waksman_paths(&perm);
-                verify_waksman(&perm, &paths)
-                    .unwrap_or_else(|e| panic!("d = {d}: {e}"));
+                verify_waksman(&perm, &paths).unwrap_or_else(|e| panic!("d = {d}: {e}"));
             }
         }
     }

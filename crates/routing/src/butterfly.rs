@@ -36,11 +36,8 @@ impl GreedyButterfly {
         // Bit b is fixed on the edge between levels b and b+1, so the walk
         // must dip down to level `lo = min(sl, dl, lowest set bit of diff)`
         // and reach at least `hi = max(sl?, dl, highest set bit + 1)`.
-        let lo = if diff == 0 {
-            sl.min(dl)
-        } else {
-            sl.min(dl).min(diff.trailing_zeros() as usize)
-        };
+        let lo =
+            if diff == 0 { sl.min(dl) } else { sl.min(dl).min(diff.trailing_zeros() as usize) };
         let hi = if diff == 0 {
             dl.max(lo)
         } else {

@@ -65,10 +65,13 @@ pub fn decompose_into_permutations(prob: &RoutingProblem) -> Vec<Vec<Node>> {
     perms
 }
 
+/// Half of an edge split: `(left, right)` pairs over `[m] × [m]`.
+type EdgeList = Vec<(Node, Node)>;
+
 /// Split a `2k`-regular bipartite multigraph (given as `(left, right)` edge
 /// pairs over `[m] × [m]`) into two `k`-regular halves along Eulerian
 /// circuits.
-fn euler_split(m: usize, edges: &[(Node, Node)]) -> (Vec<(Node, Node)>, Vec<(Node, Node)>) {
+fn euler_split(m: usize, edges: &[(Node, Node)]) -> (EdgeList, EdgeList) {
     // Bipartite incidence: vertex ids 0..m = left, m..2m = right.
     let nv = 2 * m;
     let mut incident: Vec<Vec<u32>> = vec![Vec::new(); nv];

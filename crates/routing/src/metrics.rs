@@ -1,6 +1,8 @@
 //! Measuring `route_G(h)` — the routing-time function of Section 2.
 
-use crate::packet::{make_packets, route, Discipline, PathSelector, ShortestPath};
+use crate::packet::{
+    generous_step_limit, make_packets, route, Discipline, PathSelector, ShortestPath,
+};
 use crate::problem::random_h_h;
 use rand::Rng;
 use unet_topology::Graph;
@@ -38,8 +40,7 @@ pub fn measure_route_time<S: PathSelector, R: Rng>(
     for _ in 0..trials {
         let prob = random_h_h(g.n(), h, rng);
         let packets = make_packets(g, &prob.pairs, selector, rng);
-        let limit: u32 = packets.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
-        let out = route(g, &packets, Discipline::FarthestFirst, limit)
+        let out = route(g, &packets, Discipline::FarthestFirst, generous_step_limit(&packets))
             .expect("progress guarantee makes the sum-of-paths limit generous");
         max_steps = max_steps.max(out.steps);
         sum_steps += out.steps as u64;
@@ -55,7 +56,12 @@ pub fn measure_route_time<S: PathSelector, R: Rng>(
 }
 
 /// Shortest-path baseline measurement (works on any connected host).
-pub fn measure_route_time_bfs<R: Rng>(g: &Graph, h: usize, trials: usize, rng: &mut R) -> RouteStats {
+pub fn measure_route_time_bfs<R: Rng>(
+    g: &Graph,
+    h: usize,
+    trials: usize,
+    rng: &mut R,
+) -> RouteStats {
     measure_route_time(g, h, &ShortestPath, trials, rng)
 }
 
@@ -78,10 +84,7 @@ pub fn path_congestion(paths: &[Vec<unet_topology::Node>]) -> (usize, usize) {
             }
         }
     }
-    (
-        edge.values().copied().max().unwrap_or(0),
-        node.values().copied().max().unwrap_or(0),
-    )
+    (edge.values().copied().max().unwrap_or(0), node.values().copied().max().unwrap_or(0))
 }
 
 #[cfg(test)]

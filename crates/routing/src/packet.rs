@@ -9,6 +9,7 @@
 //! greedy, randomized (Valiant), and offline (Beneš/Waksman) strategies.
 
 use rand::Rng;
+use unet_obs::{NoopRecorder, Recorder};
 use unet_topology::{Graph, Node};
 
 /// One packet of an `h–h` routing problem.
@@ -131,7 +132,38 @@ impl Outcome {
 /// one-send/one-receive-per-node-per-step discipline. Returns `None` if the
 /// step limit is exceeded (which, for finite paths, can only happen when the
 /// limit is too small — the engine guarantees progress every step).
-pub fn route(g: &Graph, packets: &[Packet], discipline: Discipline, max_steps: u32) -> Option<Outcome> {
+///
+/// Uninstrumented entry point; identical to
+/// [`route_recorded`] with a [`NoopRecorder`] (same monomorphization, so
+/// instrumentation costs nothing here).
+pub fn route(
+    g: &Graph,
+    packets: &[Packet],
+    discipline: Discipline,
+    max_steps: u32,
+) -> Option<Outcome> {
+    route_recorded(g, packets, discipline, max_steps, &mut NoopRecorder)
+}
+
+/// [`route`] with instrumentation. Emits, per synchronous round, the number
+/// of packets still in flight and the occupancy of every non-empty queue;
+/// per run, the hop count of each delivered packet and totals for steps and
+/// transfers — all under the `route` span:
+///
+/// * span `route` — the whole run (closed even on step-limit failure);
+/// * histogram `route.packets_in_flight` — undelivered packets, one sample
+///   per round;
+/// * histogram `route.queue_occupancy` — length of each non-empty queue,
+///   sampled every round;
+/// * histogram `route.hops` — per delivered packet, `path.len() − 1`;
+/// * counters `route.steps`, `route.transfers`, `route.packets`.
+pub fn route_recorded<REC: Recorder + ?Sized>(
+    g: &Graph,
+    packets: &[Packet],
+    discipline: Discipline,
+    max_steps: u32,
+    rec: &mut REC,
+) -> Option<Outcome> {
     let n = g.n();
     // Validate paths.
     for p in packets {
@@ -167,25 +199,28 @@ pub fn route(g: &Graph, packets: &[Packet], discipline: Discipline, max_steps: u
     let remaining =
         |i: u32, progress: &[usize]| packets[i as usize].path.len() - 1 - progress[i as usize];
 
+    rec.span_start("route");
     let mut step = 0u32;
     while undelivered > 0 {
         if step >= max_steps {
+            rec.span_end("route");
             return None;
         }
+        rec.histogram("route.packets_in_flight", undelivered as u64);
         // Phase 1: each non-empty node proposes its best packet.
         // proposals[to] = (priority, from, packet)
         let mut best_at_receiver: Vec<Option<(usize, Node, u32)>> = vec![None; n];
-        for v in 0..n {
-            if queue[v].is_empty() {
+        for (v, qv) in queue.iter().enumerate() {
+            if qv.is_empty() {
                 continue;
             }
             // Pick the packet to offer.
             let &pid = match discipline {
-                Discipline::FarthestFirst => queue[v]
+                Discipline::FarthestFirst => qv
                     .iter()
                     .max_by_key(|&&i| (remaining(i, &progress), std::cmp::Reverse(i)))
                     .unwrap(),
-                Discipline::Fifo => queue[v].iter().min().unwrap(),
+                Discipline::Fifo => qv.iter().min().unwrap(),
             };
             let next = packets[pid as usize].path[progress[pid as usize] + 1];
             let prio = remaining(pid, &progress);
@@ -217,9 +252,21 @@ pub fn route(g: &Graph, packets: &[Packet], discipline: Discipline, max_steps: u
             }
         }
         debug_assert!(moved_any, "engine must make progress every step");
+        for q in &queue {
+            if !q.is_empty() {
+                rec.histogram("route.queue_occupancy", q.len() as u64);
+            }
+        }
         max_queue = max_queue.max(queue.iter().map(|q| q.len()).max().unwrap_or(0));
         step += 1;
     }
+    rec.span_end("route");
+    for p in packets {
+        rec.histogram("route.hops", (p.path.len() - 1) as u64);
+    }
+    rec.counter("route.steps", step as u64);
+    rec.counter("route.transfers", transfers.len() as u64);
+    rec.counter("route.packets", packets.len() as u64);
     Some(Outcome { steps: step, delivered_at, transfers, max_queue })
 }
 
@@ -247,8 +294,20 @@ pub fn make_packets<S: PathSelector, R: Rng>(
 pub fn route_simple(g: &Graph, pairs: &[(Node, Node)]) -> Outcome {
     let mut rng = unet_topology::util::seeded_rng(0);
     let packets = make_packets(g, pairs, &ShortestPath, &mut rng);
-    let worst: u32 = packets.iter().map(|p| p.path.len() as u32).sum::<u32>() + 16;
-    route(g, &packets, Discipline::FarthestFirst, worst).expect("generous limit")
+    route(g, &packets, Discipline::FarthestFirst, generous_step_limit(&packets))
+        .expect("generous limit")
+}
+
+/// A step limit no valid run can exceed: sum of path lengths (each step
+/// moves ≥ 1 packet forward) plus slack. Accumulated in u64 and saturated
+/// so huge problem sets can't wrap u32 into a spuriously small limit.
+pub fn generous_step_limit(packets: &[Packet]) -> u32 {
+    step_limit_for_lengths(packets.iter().map(|p| p.path.len()))
+}
+
+fn step_limit_for_lengths(lens: impl Iterator<Item = usize>) -> u32 {
+    let total: u64 = lens.map(|l| l as u64 + 1).sum();
+    u32::try_from(total.saturating_add(64)).unwrap_or(u32::MAX)
 }
 
 #[cfg(test)]
@@ -307,7 +366,8 @@ mod tests {
     fn transfers_respect_port_model() {
         // No node sends twice or receives twice in the same step.
         let g = torus(4, 4);
-        let pairs: Vec<(Node, Node)> = (0..16).map(|i| (i as Node, ((i * 7 + 3) % 16) as Node)).collect();
+        let pairs: Vec<(Node, Node)> =
+            (0..16).map(|i| (i as Node, ((i * 7 + 3) % 16) as Node)).collect();
         let out = route_simple(&g, &pairs);
         for step_transfers in out.transfers_by_step() {
             let mut senders = std::collections::HashSet::new();
@@ -357,6 +417,56 @@ mod tests {
         let g = path(4); // 0-1-2-3
         let pkt = Packet { id: 0, src: 0, dst: 3, path: vec![0, 3] };
         route(&g, &[pkt], Discipline::Fifo, 10);
+    }
+
+    #[test]
+    fn recorded_route_matches_and_balances() {
+        use unet_obs::InMemoryRecorder;
+        let g = torus(4, 4);
+        let pairs: Vec<(Node, Node)> =
+            (0..16).map(|i| (i as Node, ((i * 5 + 1) % 16) as Node)).collect();
+        let mut rng = unet_topology::util::seeded_rng(0);
+        let packets = make_packets(&g, &pairs, &ShortestPath, &mut rng);
+        let plain = route(&g, &packets, Discipline::FarthestFirst, 1000).unwrap();
+        let mut rec = InMemoryRecorder::new();
+        let recorded =
+            route_recorded(&g, &packets, Discipline::FarthestFirst, 1000, &mut rec).unwrap();
+        // Instrumentation must not change the outcome.
+        assert_eq!(plain.steps, recorded.steps);
+        assert_eq!(plain.delivered_at, recorded.delivered_at);
+        assert_eq!(plain.transfers, recorded.transfers);
+        // Spans balanced; metrics consistent with the outcome.
+        assert!(rec.open_spans().is_empty());
+        assert_eq!(rec.counter_value("route.steps"), recorded.steps as u64);
+        assert_eq!(rec.counter_value("route.transfers"), recorded.transfers.len() as u64);
+        assert_eq!(rec.counter_value("route.packets"), packets.len() as u64);
+        let hops = rec.histogram_data("route.hops").unwrap();
+        assert_eq!(hops.count, packets.len() as u64);
+        let flight = rec.histogram_data("route.packets_in_flight").unwrap();
+        assert_eq!(flight.count, recorded.steps as u64); // one sample per round
+        let occ = rec.histogram_data("route.queue_occupancy").unwrap();
+        assert!(occ.max as usize <= recorded.max_queue);
+    }
+
+    #[test]
+    fn recorded_route_step_limit_failure_closes_span() {
+        use unet_obs::InMemoryRecorder;
+        let g = path(5);
+        let mut rng = unet_topology::util::seeded_rng(0);
+        let packets = make_packets(&g, &[(0, 4)], &ShortestPath, &mut rng);
+        let mut rec = InMemoryRecorder::new();
+        assert!(route_recorded(&g, &packets, Discipline::Fifo, 2, &mut rec).is_none());
+        assert!(rec.open_spans().is_empty(), "span must close on failure too");
+    }
+
+    #[test]
+    fn generous_step_limit_saturates() {
+        // Path lengths whose u32 sum would wrap; the limit must saturate to
+        // u32::MAX instead of wrapping into a tiny bound.
+        let huge = u32::MAX as usize / 2;
+        assert_eq!(step_limit_for_lengths([huge, huge, huge].into_iter()), u32::MAX);
+        // Small problems keep a tight limit.
+        assert_eq!(step_limit_for_lengths([4usize, 4].into_iter()), 74);
     }
 
     #[test]

@@ -82,9 +82,8 @@ pub fn transpose(m: usize) -> RoutingProblem {
 pub fn bit_reversal(m: usize) -> RoutingProblem {
     assert!(m.is_power_of_two());
     let k = m.trailing_zeros();
-    let pairs = (0..m as u32)
-        .map(|v| (v as Node, (v.reverse_bits() >> (32 - k)) as Node))
-        .collect();
+    let pairs =
+        (0..m as u32).map(|v| (v as Node, (v.reverse_bits() >> (32 - k)) as Node)).collect();
     RoutingProblem::new(m, pairs)
 }
 

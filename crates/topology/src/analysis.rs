@@ -94,11 +94,7 @@ pub fn spreading_function(g: &Graph, t: u32, sample: usize) -> usize {
         return 0;
     }
     let stride = (n / sample.max(1)).max(1);
-    (0..n)
-        .step_by(stride)
-        .map(|v| ball_size(g, v as Node, t))
-        .max()
-        .unwrap_or(0)
+    (0..n).step_by(stride).map(|v| ball_size(g, v as Node, t)).max().unwrap_or(0)
 }
 
 /// Connected components; returns a component id per vertex and the count.

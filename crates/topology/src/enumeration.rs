@@ -15,7 +15,7 @@
 //! * [`count_regular_exact`] — brute-force enumeration for tiny `n`, used to
 //!   validate the formulas in tests.
 
-use crate::util::{log2_factorial, log2_binomial};
+use crate::util::{log2_binomial, log2_factorial};
 
 /// `log₂` of the number of perfect matchings of `2k` points: `(2k−1)!! =
 /// (2k)! / (k!·2^k)`.
@@ -27,7 +27,7 @@ pub fn log2_double_factorial_odd(k: u64) -> f64 {
 /// labelled `d`-regular multigraphs: `(nd−1)!! / (d!)^n` — an upper bound on
 /// the number of simple labelled `d`-regular graphs.
 pub fn log2_pairings(n: u64, d: u64) -> f64 {
-    assert!(n * d % 2 == 0, "n·d must be even");
+    assert!((n * d).is_multiple_of(2), "n·d must be even");
     log2_double_factorial_odd(n * d / 2) - n as f64 * log2_factorial(d)
 }
 
@@ -46,7 +46,7 @@ pub fn log2_num_regular(n: u64, d: u64) -> f64 {
 /// by `((c−12)/2)·n·log₂ n − δ·n`; we return both the Bender–Canfield value
 /// and the paper's leading term for comparison.
 pub fn log2_num_supergraphs(n: u64, c: u64) -> SupergraphCount {
-    assert!(c >= 12 && (c - 12) % 2 == 0);
+    assert!(c >= 12 && (c - 12).is_multiple_of(2));
     let resid = c - 12;
     let bc = if resid == 0 { 0.0 } else { log2_num_regular(n, resid) };
     let leading = (resid as f64 / 2.0) * n as f64 * (n as f64).log2();
@@ -69,10 +69,7 @@ pub struct SupergraphCount {
 /// `log₂` of the naive per-fragment multiplicity bound of Lemma 3.3:
 /// `∏ C(|D_i|, c/2)` given the multiset of `|D_i|` values.
 pub fn log2_multiplicity(d_sizes: &[u64], c: u64) -> f64 {
-    d_sizes
-        .iter()
-        .map(|&di| log2_binomial(di, c / 2))
-        .sum()
+    d_sizes.iter().map(|&di| log2_binomial(di, c / 2)).sum()
 }
 
 /// Exact count of labelled simple `d`-regular graphs on `n` vertices by
@@ -83,9 +80,8 @@ pub fn count_regular_exact(n: usize, d: usize) -> u64 {
     if n * d % 2 == 1 {
         return 0;
     }
-    let pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|u| ((u + 1)..n).map(move |v| (u, v)))
-        .collect();
+    let pairs: Vec<(usize, usize)> =
+        (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v))).collect();
     let e = pairs.len();
     let need = n * d / 2;
     let mut count = 0u64;
@@ -119,7 +115,7 @@ pub fn count_regular_exact(n: usize, d: usize) -> u64 {
         // Gosper: next subset with same popcount.
         let c0 = mask & mask.wrapping_neg();
         let r = mask + c0;
-        mask = if c0 == 0 { limit } else { (((r ^ mask) >> 2) / c0) | r };
+        mask = ((r ^ mask) >> 2).checked_div(c0).map_or(limit, |q| q | r);
     }
     count
 }
@@ -164,11 +160,7 @@ mod tests {
         let exact = count_regular_exact(8, 3) as f64; // 19355
         assert_eq!(exact as u64, 19355);
         let bc = log2_num_regular(8, 3);
-        assert!(
-            (bc - exact.log2()).abs() < 1.0,
-            "BC {bc} vs exact {}",
-            exact.log2()
-        );
+        assert!((bc - exact.log2()).abs() < 1.0, "BC {bc} vs exact {}", exact.log2());
     }
 
     #[test]

@@ -19,10 +19,7 @@ pub struct Orientation {
 impl Orientation {
     /// In-degree of `v` (computed; equals `deg(v)/2` for valid orientations).
     pub fn in_degree(&self, v: Node) -> usize {
-        self.out
-            .iter()
-            .map(|lst| lst.iter().filter(|&&w| w == v).count())
-            .sum()
+        self.out.iter().map(|lst| lst.iter().filter(|&&w| w == v).count()).sum()
     }
 
     /// Out-degree of `v`.
@@ -34,7 +31,7 @@ impl Orientation {
     pub fn is_balanced_for(&self, g: &Graph) -> bool {
         (0..g.n() as Node).all(|v| {
             let d = g.degree(v);
-            d % 2 == 0 && self.out_degree(v) == d / 2
+            d.is_multiple_of(2) && self.out_degree(v) == d / 2
         })
     }
 }
@@ -48,7 +45,7 @@ impl Orientation {
 pub fn eulerian_orientation(g: &Graph) -> Orientation {
     for v in 0..g.n() as Node {
         assert!(
-            g.degree(v) % 2 == 0,
+            g.degree(v).is_multiple_of(2),
             "vertex {v} has odd degree {}; Eulerian orientation needs even degrees",
             g.degree(v)
         );
@@ -63,7 +60,8 @@ pub fn eulerian_orientation(g: &Graph) -> Orientation {
     // unused slots. To make that O(1) amortized we precompute partner slots.
     let (slot_of, partner) = edge_slots(g);
     let mut used = vec![false; slot_of.last().copied().unwrap_or(0)];
-    let mut out: Vec<Vec<Node>> = (0..n).map(|v| Vec::with_capacity(g.degree(v as Node) / 2)).collect();
+    let mut out: Vec<Vec<Node>> =
+        (0..n).map(|v| Vec::with_capacity(g.degree(v as Node) / 2)).collect();
 
     for start in 0..n {
         // Hierholzer from `start` over still-unused edges.

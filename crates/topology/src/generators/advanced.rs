@@ -79,9 +79,8 @@ pub fn kautz(b: usize, k: usize) -> Graph {
         }
     }
     verts.sort();
-    let index = |v: &[u8]| -> Node {
-        verts.binary_search_by(|w| w.as_slice().cmp(v)).unwrap() as Node
-    };
+    let index =
+        |v: &[u8]| -> Node { verts.binary_search_by(|w| w.as_slice().cmp(v)).unwrap() as Node };
     let mut g = GraphBuilder::new(verts.len());
     for v in &verts {
         for y in 0..=b as u8 {

@@ -66,7 +66,7 @@ pub fn torus(rows: usize, cols: usize) -> Graph {
 /// Panics if `n` is not a perfect square or `a` does not divide `√n`.
 pub fn multitorus(a: usize, n: usize) -> Graph {
     let big = torus_side(n);
-    assert!(a >= 1 && big % a == 0, "block side {a} must divide N = {big}");
+    assert!(a >= 1 && big.is_multiple_of(a), "block side {a} must divide N = {big}");
     let mut b = GraphBuilder::new(n);
     // Global torus edges.
     for x in 0..big {
@@ -118,7 +118,7 @@ pub fn torus_side(n: usize) -> usize {
 /// which the paper partitions `G₀` (with `a = 2·√(log m)` there).
 pub fn blocks(a: usize, n: usize) -> Vec<Vec<Node>> {
     let big = torus_side(n);
-    assert!(big % a == 0);
+    assert!(big.is_multiple_of(a));
     let mut out = Vec::with_capacity((big / a) * (big / a));
     for bx in (0..big).step_by(a) {
         for by in (0..big).step_by(a) {

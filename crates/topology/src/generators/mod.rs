@@ -17,5 +17,6 @@ pub use classic::{
 };
 pub use mesh::{blocks, grid_coords, grid_index, mesh, multitorus, torus, torus_side};
 pub use random::{
-    margulis_expander, random_hamiltonian_union, random_regular, random_regular_containing, random_supergraph,
+    margulis_expander, random_hamiltonian_union, random_regular, random_regular_containing,
+    random_supergraph,
 };

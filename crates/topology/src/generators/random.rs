@@ -28,7 +28,7 @@ use rand::Rng;
 /// # Panics
 /// Panics if `n · d` is odd or `d ≥ n`.
 pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n·d must be even for a d-regular graph");
+    assert!((n * d).is_multiple_of(2), "n·d must be even for a d-regular graph");
     assert!(d < n, "degree must be below n");
     if d == 0 {
         return GraphBuilder::new(n).build();
@@ -36,9 +36,7 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
     // Random pairing of n·d stubs into a multigraph edge list; the switch
     // walk can stall on extremely dense instances (d close to n−1 leaves it
     // almost no valid switches), so restart with fresh pairings.
-    let mut stubs: Vec<Node> = (0..n as Node)
-        .flat_map(|v| std::iter::repeat(v).take(d))
-        .collect();
+    let mut stubs: Vec<Node> = (0..n as Node).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     for attempt in 0..16 {
         stubs.shuffle(rng);
         let mut edges: Vec<(Node, Node)> = stubs
@@ -88,9 +86,8 @@ where
     let is_defect = |(u, v): (Node, Node), mult: &FxHashMap<(Node, Node), u32>| {
         u == v || mult[&canon(u, v)] > 1 || forbidden(u, v)
     };
-    let mut defects: Vec<usize> = (0..edges.len())
-        .filter(|&i| is_defect(edges[i], &mult))
-        .collect();
+    let mut defects: Vec<usize> =
+        (0..edges.len()).filter(|&i| is_defect(edges[i], &mult)).collect();
     let mut guard = 0usize;
     let budget = 2000 * edges.len().max(1);
     while let Some(&i) = defects.last() {
@@ -149,7 +146,7 @@ where
 /// simple graph. For `k = 2` this is the standard explicit-free construction
 /// of a 4-regular expander (w.h.p.).
 pub fn random_hamiltonian_union<R: Rng>(n: usize, k: usize, rng: &mut R) -> Graph {
-    assert!(n >= 2 * k + 1 || (n >= 3 && k == 1), "n too small for {k} disjoint cycles");
+    assert!(n > 2 * k || (n >= 3 && k == 1), "n too small for {k} disjoint cycles");
     let max_tries = 10_000;
     'retry: for _ in 0..max_tries {
         let mut b = GraphBuilder::new(n);
@@ -180,10 +177,8 @@ pub fn random_hamiltonian_union<R: Rng>(n: usize, k: usize, rng: &mut R) -> Grap
 /// `g0` must be regular and `c` must exceed its degree by an even amount
 /// (use [`random_supergraph`] for irregular `g0`).
 pub fn random_regular_containing<R: Rng>(g0: &Graph, c: usize, rng: &mut R) -> Graph {
-    let d0 = g0
-        .is_regular()
-        .expect("G0 must be regular for this sampler; use random_supergraph");
-    assert!(c >= d0 && (c - d0) % 2 == 0, "need c ≥ deg(G0) with even residual degree");
+    let d0 = g0.is_regular().expect("G0 must be regular for this sampler; use random_supergraph");
+    assert!(c >= d0 && (c - d0).is_multiple_of(2), "need c ≥ deg(G0) with even residual degree");
     random_supergraph(g0, c, rng)
 }
 
@@ -200,9 +195,9 @@ pub fn random_supergraph<R: Rng>(g0: &Graph, c: usize, rng: &mut R) -> Graph {
     for v in 0..n as Node {
         let d0 = g0.degree(v);
         assert!(d0 <= c, "vertex {v} has degree {d0} > c = {c}");
-        stubs.extend(std::iter::repeat(v).take(c - d0));
+        stubs.extend(std::iter::repeat_n(v, c - d0));
     }
-    assert!(stubs.len() % 2 == 0, "residual degree sum must be even");
+    assert!(stubs.len().is_multiple_of(2), "residual degree sum must be even");
     if stubs.is_empty() {
         return g0.clone();
     }

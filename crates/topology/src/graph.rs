@@ -69,10 +69,7 @@ impl Graph {
 
     /// Smallest vertex degree.
     pub fn min_degree(&self) -> usize {
-        (0..self.n() as Node)
-            .map(|v| self.degree(v))
-            .min()
-            .unwrap_or(0)
+        (0..self.n() as Node).map(|v| self.degree(v)).min().unwrap_or(0)
     }
 
     /// `Some(d)` if every vertex has degree exactly `d`.
@@ -88,11 +85,7 @@ impl Graph {
     /// Iterator over all undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (Node, Node)> + '_ {
         (0..self.n() as Node).flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .copied()
-                .filter(move |&v| u < v)
-                .map(move |v| (u, v))
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
         })
     }
 
@@ -105,11 +98,7 @@ impl Graph {
     /// # Panics
     /// Panics if the vertex counts differ.
     pub fn union(&self, other: &Graph) -> Graph {
-        assert_eq!(
-            self.n(),
-            other.n(),
-            "graph union requires equal vertex sets"
-        );
+        assert_eq!(self.n(), other.n(), "graph union requires equal vertex sets");
         let mut b = GraphBuilder::new(self.n());
         for (u, v) in self.edges().chain(other.edges()) {
             b.add_edge(u, v);

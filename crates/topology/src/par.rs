@@ -37,10 +37,7 @@ where
 /// Number of worker threads to use by default: the available parallelism,
 /// capped at 8 (the sweeps are memory-bound beyond that).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8)
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
 }
 
 #[cfg(test)]

@@ -56,9 +56,7 @@ impl Spectrum {
 /// # Panics
 /// Panics unless `g` is regular and non-empty.
 pub fn estimate_spectrum<R: Rng>(g: &Graph, iters: usize, rng: &mut R) -> Spectrum {
-    let d = g
-        .is_regular()
-        .expect("spectral certification requires a regular graph");
+    let d = g.is_regular().expect("spectral certification requires a regular graph");
     let n = g.n();
     assert!(n > 0);
     let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
@@ -126,10 +124,8 @@ pub fn certify_expander<R: Rng>(
     let spec = estimate_spectrum(g, iters, rng);
     // Guard: power iteration can only under-estimate λ if unconverged, which
     // would over-certify. Add 5% safety margin, capped at d.
-    let safe = Spectrum {
-        degree: spec.degree,
-        lambda: (spec.lambda * 1.05).min(spec.degree as f64),
-    };
+    let safe =
+        Spectrum { degree: spec.degree, lambda: (spec.lambda * 1.05).min(spec.degree as f64) };
     let beta = safe.tanner_beta(alpha);
     (beta > 1.0).then(|| (alpha, beta, 0.5 * alpha * (1.0 - 1.0 / beta)))
 }

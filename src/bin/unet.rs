@@ -7,6 +7,8 @@
 //! unet route    <host> <h> [--trials N]       measure route_M(h)
 //! unet tradeoff <n> [--gamma G]               print the Theorem 3.1 trade-off table
 //! unet audit    <n-hint> <host> <T>           full lower-bound audit on a U[G0] guest
+//! unet trace    <guest> <host> <T> [opts]     instrumented run → JSONL trace
+//! unet report   <trace-file>                  human-readable trace summary
 //! ```
 //!
 //! Graph specs: `torus:8x8`, `butterfly:4`, `random:256x4:7`, … (see
@@ -44,7 +46,9 @@ const USAGE: &str = "usage:
   unet check    <guest-spec> <host-spec> <protocol-file>
   unet route    <host-spec> <h> [--trials N]
   unet tradeoff <n> [--gamma G]
-  unet audit    <n-hint> <host-spec> <steps>";
+  unet audit    <n-hint> <host-spec> <steps>
+  unet trace    <guest-spec> <host-spec> <steps> [--seed S] [--out FILE]
+  unet report   <trace-file>";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -55,15 +59,14 @@ fn run(args: &[String]) -> Result<(), String> {
         "route" => route_cmd(&args[1..]),
         "tradeoff" => tradeoff(&args[1..]),
         "audit" => audit(&args[1..]),
+        "trace" => trace_cmd(&args[1..]),
+        "report" => report_cmd(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
 fn topo(spec: &str) -> Result<(), String> {
@@ -92,11 +95,7 @@ fn topo(spec: &str) -> Result<(), String> {
 fn simulate(args: &[String]) -> Result<(), String> {
     let guest_spec = args.first().ok_or("missing guest spec")?;
     let host_spec = args.get(1).ok_or("missing host spec")?;
-    let steps: u32 = args
-        .get(2)
-        .ok_or("missing steps")?
-        .parse()
-        .map_err(|_| "bad steps")?;
+    let steps: u32 = args.get(2).ok_or("missing steps")?.parse().map_err(|_| "bad steps")?;
     let seed: u64 = flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
     let guest = parse_graph(guest_spec)?;
     let host = parse_graph(host_spec)?;
@@ -109,8 +108,16 @@ fn simulate(args: &[String]) -> Result<(), String> {
     let v = verify_run(&comp, &host, &run, steps).map_err(|e| e.to_string())?;
     println!("guest {guest_spec} (n={n})  →  host {host_spec} (m={m}),  T = {steps}");
     println!("host steps T' = {}", v.metrics.host_steps);
-    println!("slowdown  s  = {:.2}   (load bound {:.2})", v.metrics.slowdown, bounds::load_bound(n, m));
-    println!("inefficy  k  = {:.2}   (Thm 3.1 floor Ω(log m) ~ {:.2})", v.metrics.inefficiency, (m as f64).log2());
+    println!(
+        "slowdown  s  = {:.2}   (load bound {:.2})",
+        v.metrics.slowdown,
+        bounds::load_bound(n, m)
+    );
+    println!(
+        "inefficy  k  = {:.2}   (Thm 3.1 floor Ω(log m) ~ {:.2})",
+        v.metrics.inefficiency,
+        (m as f64).log2()
+    );
     println!("protocol certified; states match direct execution bit-for-bit");
     if let Some(path) = flag(args, "--save") {
         std::fs::write(&path, pebble::io::to_text(&run.protocol))
@@ -158,13 +165,86 @@ fn route_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Run an instrumented simulation (same setup as `simulate`) and emit the
+/// JSONL trace: simulator phase spans, routing metrics, the pebble-checker
+/// custody stats, and the slowdown/inefficiency summary.
+fn trace_cmd(args: &[String]) -> Result<(), String> {
+    use universal_networks::obs::trace::{export, RunMeta, RunSummary};
+    use universal_networks::obs::InMemoryRecorder;
+    use universal_networks::pebble::check_recorded;
+
+    let guest_spec = args.first().ok_or("missing guest spec")?;
+    let host_spec = args.get(1).ok_or("missing host spec")?;
+    let steps: u32 = args.get(2).ok_or("missing steps")?.parse().map_err(|_| "bad steps")?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
+    let guest = parse_graph(guest_spec)?;
+    let host = parse_graph(host_spec)?;
+    let (n, m) = (guest.n(), host.n());
+    let comp = GuestComputation::random(guest.clone(), seed);
+    let router: SelectorRouter<universal_networks::routing::ShortestPath> = presets::bfs();
+    let sim = EmbeddingSimulator { embedding: Embedding::block(n, m), router: &router };
+    let mut rng = seeded_rng(seed ^ 0xAA);
+
+    let mut rec = InMemoryRecorder::new();
+    let wall_start = std::time::Instant::now();
+    let run = sim.simulate_recorded(&comp, &host, steps, &mut rng, &mut rec);
+    check_recorded(&guest, &host, &run.protocol, &mut rec)
+        .map_err(|e| format!("emitted protocol failed to verify: {e}"))?;
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+
+    let meta = RunMeta {
+        command: "trace".into(),
+        guest: guest_spec.clone(),
+        host: host_spec.clone(),
+        n: n as u64,
+        m: m as u64,
+        guest_steps: steps as u64,
+    };
+    let summary = RunSummary {
+        host_steps: run.protocol.host_steps() as u64,
+        comm_steps: run.comm_steps as u64,
+        compute_steps: run.compute_steps as u64,
+        slowdown: run.slowdown(),
+        inefficiency: run.inefficiency(),
+        wall_ms,
+    };
+    let text = export(&rec, &meta, Some(&summary));
+    match flag(args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, &text).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "trace written to {path} ({} lines, T' = {}, s = {:.2}, k = {:.2})",
+                text.lines().count(),
+                summary.host_steps,
+                summary.slowdown,
+                summary.inefficiency
+            );
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Parse, validate, and summarize a JSONL trace written by `unet trace`.
+fn report_cmd(args: &[String]) -> Result<(), String> {
+    use universal_networks::obs::{report, trace::parse_trace};
+    let path = args.first().ok_or("missing trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let doc = parse_trace(&text)?;
+    print!("{}", report::render(&doc));
+    Ok(())
+}
+
 fn tradeoff(args: &[String]) -> Result<(), String> {
     let n: u64 = args.first().ok_or("missing n")?.parse().map_err(|_| "bad n")?;
     let gamma: f64 =
         flag(args, "--gamma").map_or(Ok(0.125), |s| s.parse().map_err(|_| "bad gamma"))?;
     let max_exp = (n as f64).log2() as u32;
     let ms: Vec<u64> = (3..=max_exp).map(|e| 1u64 << e).collect();
-    println!("{:>8} {:>9} {:>9} {:>9} {:>9} {:>12}", "m", "k_ideal", "k_shape", "s_shape", "s_upper", "m*s");
+    println!(
+        "{:>8} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "m", "k_ideal", "k_shape", "s_shape", "s_upper", "m*s"
+    );
     for row in lowerbound::tradeoff_table(n, &ms, gamma, 4) {
         println!(
             "{:>8} {:>9.2} {:>9.2} {:>9.1} {:>9.1} {:>12.0}",
@@ -180,7 +260,7 @@ fn audit(args: &[String]) -> Result<(), String> {
     let steps: u32 = args.get(2).ok_or("missing steps")?.parse().map_err(|_| "bad steps")?;
     let mut rng = seeded_rng(3);
     let (g0, n) = lowerbound::build_g0_for_host(n_hint, host.n(), &mut rng);
-    let c = (g0.graph.max_degree() + 2 + 1) / 2 * 2; // even c ≥ deg(G0)
+    let c = (g0.graph.max_degree() + 2).div_ceil(2) * 2; // even c ≥ deg(G0)
     let guest = random_supergraph(&g0.graph, c.max(12), &mut rng);
     println!(
         "G0: n = {n}, a = {}, blocks = {}, certified (α, β, γ) = ({:.2}, {:.3}, {:.4})",

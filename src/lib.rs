@@ -18,7 +18,9 @@
 //! * [`core`] — universal simulations (Theorem 2.1 engine, Galil–Paul,
 //!   flooding, tree hosts) and bound predictions;
 //! * [`lowerbound`] — Theorem 3.1 executable: `G₀`, averaging, wavefronts,
-//!   counting, audits.
+//!   counting, audits;
+//! * [`obs`] — zero-cost instrumentation: recorders, JSONL run traces
+//!   (`unet trace`), and report rendering (`unet report`).
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
@@ -26,6 +28,7 @@ pub mod spec;
 
 pub use unet_core as core;
 pub use unet_lowerbound as lowerbound;
+pub use unet_obs as obs;
 pub use unet_pebble as pebble;
 pub use unet_routing as routing;
 pub use unet_topology as topology;

@@ -36,9 +36,7 @@ pub fn parse_graph(spec: &str) -> Result<Graph, String> {
     };
     let one = |s: &str| -> Result<usize, String> {
         let v = nums(s)?;
-        (v.len() == 1)
-            .then(|| v[0])
-            .ok_or_else(|| format!("{family} takes one parameter"))
+        (v.len() == 1).then(|| v[0]).ok_or_else(|| format!("{family} takes one parameter"))
     };
     let two = |s: &str| -> Result<(usize, usize), String> {
         let v = nums(s)?;

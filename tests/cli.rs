@@ -3,10 +3,7 @@
 use std::process::Command;
 
 fn unet(args: &[&str]) -> (bool, String, String) {
-    let out = Command::new(env!("CARGO_BIN_EXE_unet"))
-        .args(args)
-        .output()
-        .expect("binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_unet")).args(args).output().expect("binary runs");
     (
         out.status.success(),
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -29,14 +26,7 @@ fn simulate_save_check_roundtrip() {
     std::fs::create_dir_all(&dir).unwrap();
     let proto = dir.join("p.unetproto");
     let proto_s = proto.to_str().unwrap();
-    let (ok, stdout, stderr) = unet(&[
-        "simulate",
-        "ring:32",
-        "torus:2x2",
-        "2",
-        "--save",
-        proto_s,
-    ]);
+    let (ok, stdout, stderr) = unet(&["simulate", "ring:32", "torus:2x2", "2", "--save", proto_s]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("protocol certified"));
     assert!(proto.exists());

@@ -41,14 +41,7 @@ fn every_classic_guest_simulates_on_butterfly() {
     ];
     for (name, guest) in guests {
         let n = guest.n();
-        let s = simulate_and_certify(
-            &guest,
-            &host,
-            Embedding::block(n, 32),
-            &router,
-            3,
-            0xabc,
-        );
+        let s = simulate_and_certify(&guest, &host, Embedding::block(n, 32), &router, 3, 0xabc);
         assert!(s.is_finite(), "{name}");
     }
 }
@@ -94,14 +87,8 @@ fn slowdown_improves_with_host_size() {
     for dim in 2..=4usize {
         let host = butterfly(dim);
         let router = presets::butterfly_valiant(dim);
-        let s = simulate_and_certify(
-            &guest,
-            &host,
-            Embedding::block(n, host.n()),
-            &router,
-            2,
-            0x123,
-        );
+        let s =
+            simulate_and_certify(&guest, &host, Embedding::block(n, host.n()), &router, 2, 0x123);
         assert!(s < prev, "dim {dim}: slowdown {s} ≥ previous {prev}");
         prev = s;
     }
@@ -173,9 +160,7 @@ fn universality_composes() {
     let composed = run2.protocol.host_steps() as f64 / 2.0;
     assert!((composed - s1 * s2).abs() < 1e-9, "composed {composed} vs {s1}·{s2}");
     // And the composed slowdown respects the trade-off on the final host.
-    assert!(universal_networks::core::bounds::consistent_with_lower_bound(
-        64, 4, composed, 0.05
-    ));
+    assert!(universal_networks::core::bounds::consistent_with_lower_bound(64, 4, composed, 0.05));
 }
 
 #[test]

@@ -17,10 +17,7 @@ fn audit_passes_across_routers_and_hosts() {
     let mut rng = seeded_rng(41);
     let g0 = build_g0(64, 1, &mut rng);
     let guest = random_supergraph(&g0.graph, 12, &mut rng);
-    let cases: Vec<(&str, _)> = vec![
-        ("torus-2x2", torus(2, 2)),
-        ("torus-4x4", torus(4, 4)),
-    ];
+    let cases: Vec<(&str, _)> = vec![("torus-2x2", torus(2, 2)), ("torus-4x4", torus(4, 4))];
     for (name, host) in cases {
         let m = host.n();
         let router = presets::bfs();

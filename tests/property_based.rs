@@ -6,7 +6,7 @@ use universal_networks::pebble::check;
 use universal_networks::routing::decompose::{decompose_into_permutations, verify_decomposition};
 use universal_networks::routing::packet::route_simple;
 use universal_networks::routing::problem::RoutingProblem;
-use universal_networks::routing::sortnet::{bitonic_stages, apply_stages};
+use universal_networks::routing::sortnet::{apply_stages, bitonic_stages};
 use universal_networks::topology::euler::eulerian_orientation;
 use universal_networks::topology::generators::*;
 use universal_networks::topology::util::seeded_rng;
@@ -245,7 +245,7 @@ proptest! {
             proto.steps[row][q] = match kind {
                 0 => Op::Idle,
                 1 => Op::Generate(Pebble::new(a % 20, b % 4)), // may be out of range
-                2 => Op::Send { pebble: Pebble::new(a % 20, b % 4), to: (a % 5) as u32 % 4 },
+                2 => Op::Send { pebble: Pebble::new(a % 20, b % 4), to: (a % 5) % 4 },
                 _ => Op::Recv { from: (b % 4) },
             };
         }

@@ -1,0 +1,254 @@
+//! Offline shim for the subset of the `criterion` 0.5 API this workspace
+//! uses: `criterion_group!` / `criterion_main!`, `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and `black_box`.
+//!
+//! It is a plain wall-clock harness, not a statistical one: each benchmark
+//! is warmed up, then timed over an adaptively chosen iteration count, and
+//! the mean time per iteration is printed. `-- --test` (the mode
+//! EXPERIMENTS.md uses to regenerate tables quickly) runs every closure
+//! exactly once and skips timing. If `CRITERION_JSON` names a file, one
+//! JSON line per benchmark (`{"id": ..., "mean_ns": ..., "iters": ...}`)
+//! is appended — the hook `unet-bench`'s artifact runner builds on.
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    test_mode: bool,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Cargo invokes bench binaries with `--bench`; everything after a
+        // bare `--` on the cargo command line is appended verbatim.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode, json_path: std::env::var("CRITERION_JSON").ok() }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { c: self, name: name.into() }
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.to_string();
+        run_one(self, &id, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API parity; the shim's adaptive timing ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API parity; the shim's adaptive timing ignores it.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.c, &full, &mut f);
+        self
+    }
+
+    /// Benchmark a closure with an explicit input under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.c, &full, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream finalizes reports here; the shim prints as
+    /// it goes, so this is a no-op that consumes the group).
+    pub fn finish(self) {}
+}
+
+/// A `function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { function: function.into(), parameter: parameter.to_string() }
+    }
+
+    /// Identifier distinguished only by `parameter`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { function: String::new(), parameter: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            write!(f, "{}", self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    test_mode: bool,
+    /// (total elapsed, iterations) of the measured phase.
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its output alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.measured = Some((Duration::ZERO, 1));
+            return;
+        }
+        // Warm up and estimate a single-shot time.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        // Aim for ~200 ms of measurement, between 1 and 10_000 iterations.
+        let iters =
+            (Duration::from_millis(200).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.measured = Some((t1.elapsed(), iters));
+    }
+}
+
+fn run_one(c: &mut Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { test_mode: c.test_mode, measured: None };
+    f(&mut b);
+    let Some((total, iters)) = b.measured else {
+        println!("{id}: benchmark closure never called Bencher::iter");
+        return;
+    };
+    if c.test_mode {
+        println!("{id}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let mean_ns = total.as_nanos() as f64 / iters as f64;
+    println!("{id}: mean {} over {iters} iterations", fmt_ns(mean_ns));
+    if let Some(path) = &c.json_path {
+        let line = format!(
+            "{{\"id\":\"{}\",\"mean_ns\":{:.1},\"iters\":{}}}\n",
+            id.replace('\\', "\\\\").replace('"', "\\\""),
+            mean_ns,
+            iters
+        );
+        if let Err(e) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+        {
+            eprintln!("warning: CRITERION_JSON append to {path} failed: {e}");
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a runner callable from `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures() {
+        let mut c = Criterion { test_mode: false, json_path: None };
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion { test_mode: true, json_path: None };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_function("f", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &x| b.iter(|| x * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("p").to_string(), "p");
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline shim for the subset of `crossbeam` 0.8 this workspace uses:
+//! `crossbeam::thread::scope` + `ScopedJoinHandle::join`, implemented on
+//! top of `std::thread::scope` (stable since Rust 1.63, which postdates
+//! crossbeam's scoped threads — hence the upstream dependency existing at
+//! all). Semantics match the call sites' expectations: worker panics
+//! surface through `join()`, and panics inside the main closure propagate
+//! out of `scope` itself.
+
+pub mod thread {
+    //! Scoped threads (mirrors `crossbeam::thread`).
+
+    use std::any::Any;
+
+    /// Spawn scope handed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread; `Err` carries the worker's panic payload.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. As in crossbeam, the closure receives the scope
+        /// (allowing nested spawns), which call sites here ignore (`|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing locals is sound; all workers
+    /// are joined before returning. Matching crossbeam's signature this
+    /// returns `Result`, but — also matching crossbeam — a panic that the
+    /// caller re-raises after `join()` propagates out of `scope` directly,
+    /// so callers' `.expect("scope panicked")` never fires for worker
+    /// panics they already handled.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+
+    #[test]
+    fn spawn_join_borrows_locals() {
+        let data = vec![1u64, 2, 3, 4];
+        let data = &data;
+        let total = thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..2).map(|i| scope.spawn(move |_| data[i * 2] + data[i * 2 + 1])).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_via_join() {
+        let caught = thread::scope(|scope| {
+            let h = scope.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(caught);
+    }
+}

@@ -1,0 +1,357 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! Supports the `proptest!` macro with `pat in strategy` arguments, range /
+//! tuple / `prop::collection::vec` / `any::<T>()` strategies, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros. Differences
+//! from upstream: no shrinking (a failing case reports its arguments and
+//! case index instead of a minimized input), and the deterministic RNG is
+//! seeded per test from the test name so runs are reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped, not failed.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure (mirrors upstream's constructor used by the macros).
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-test configuration (only the field this workspace sets).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values (upstream's `Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Full-domain strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Strategy over `T`'s whole domain (upstream `proptest::prelude::any`).
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_any!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+pub mod collection {
+    //! Collection strategies (upstream `proptest::collection`).
+
+    use super::{Rng, StdRng, Strategy};
+
+    /// Inclusive length range for [`vec`] (upstream `SizeRange`). Built
+    /// only from `usize`-typed ranges so untyped literals like `1..6`
+    /// infer as `usize`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a [`SizeRange`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: SizeRange,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements are
+    /// drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, len: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, len: len.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.lo..=self.len.hi);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::prelude`-shaped module tree (`prop::collection::vec`, …).
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! The usual glob import surface.
+    pub use crate::{
+        any, collection, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Deterministic per-test RNG; seeded from the test's name so each test has
+/// an independent, reproducible stream.
+pub fn test_rng(name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Assert inside a proptest body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l == r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), l, r
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            l != r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            l
+        );
+    }};
+}
+
+/// Reject the current case (skip without failing) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+/// The `proptest!` test-suite macro: each `fn name(arg in strategy, ...)`
+/// becomes a `#[test]`-compatible function running `cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            #[allow(unused_mut)]
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+                let mut rejects: u32 = 0;
+                let mut ran: u32 = 0;
+                while ran < cfg.cases {
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)*
+                    let args_desc = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)*),
+                        $(&$arg),*
+                    );
+                    let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        let mut $name = (); // shadow-proof the body against the fn name
+                        let _ = &mut $name;
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => ran += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < cfg.cases * 16 + 256,
+                                "proptest {}: too many rejected cases ({rejects})",
+                                stringify!($name)
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest {} failed at case {ran}: {msg}\n  inputs: {args_desc}",
+                                stringify!($name)
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..10, y in 0usize..=4) {
+            prop_assert!(x >= 3 && x < 10);
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn tuples_and_vecs(v in prop::collection::vec((0u32..5, 0u8..2), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for &(a, b) in &v {
+                prop_assert!(a < 5 && b < 2);
+            }
+        }
+
+        #[test]
+        fn any_and_assume(x in any::<u64>()) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs: x = ")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        inner();
+    }
+}
