@@ -25,7 +25,7 @@ fn discipline_ablation() {
     println!("{:>3} {:>16} {:>10}", "h", "farthest-first", "fifo");
     for h in [1usize, 4, 8] {
         let prob = random_h_h(64, h, &mut r);
-        let pk = make_packets(&g, &prob.pairs, &ShortestPath, &mut r);
+        let pk = make_packets(&g, &prob.pairs, &ShortestPath, &mut r).unwrap();
         let lim: u32 = pk.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
         let ff = route(&g, &pk, Discipline::FarthestFirst, lim).unwrap().steps;
         let ffo = route(&g, &pk, Discipline::Fifo, lim).unwrap().steps;

@@ -20,7 +20,7 @@ fn problem() -> (Graph, Vec<Packet>) {
     let mut rng = seeded_rng(0xE15);
     let pairs: Vec<(u32, u32)> =
         (0..2 * n).map(|i| ((i * 37 + 5) % n, (i * 101 + 13) % n)).collect();
-    let packets = make_packets(&g, &pairs, &ShortestPath, &mut rng);
+    let packets = make_packets(&g, &pairs, &ShortestPath, &mut rng).unwrap();
     (g, packets)
 }
 

@@ -57,7 +57,7 @@ fn bench(c: &mut Criterion) {
             let mut r = rng();
             b.iter(|| {
                 let prob = random_h_h(bf.n(), h, &mut r);
-                let pk = make_packets(&bf, &prob.pairs, &ValiantButterfly { dim }, &mut r);
+                let pk = make_packets(&bf, &prob.pairs, &ValiantButterfly { dim }, &mut r).unwrap();
                 let lim: u32 = pk.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
                 route(&bf, &pk, Discipline::FarthestFirst, lim).unwrap().steps
             });

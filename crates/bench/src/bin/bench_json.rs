@@ -1,19 +1,32 @@
 //! `bench-json` — machine-readable benchmark artifacts.
 //!
-//! Runs the E1 (upper-bound) and E2 (lower-bound trade-off) kernels and
-//! writes `BENCH_E1.json` / `BENCH_E2.json`: one JSON object per
-//! experiment with per-row slowdown, inefficiency, makespan, sizes, and
-//! wall-clock time. The artifacts are the CI/regression-friendly twin of
-//! the human tables the criterion benches print.
+//! Runs the E1 (upper-bound), E2 (lower-bound trade-off), and E16
+//! (degraded-mode fault sweep) kernels and writes `BENCH_E1.json` /
+//! `BENCH_E2.json` / `BENCH_E16.json`: one JSON object per experiment with
+//! per-row slowdown, inefficiency, makespan, sizes, and wall-clock time.
+//! The artifacts are the CI/regression-friendly twin of the human tables
+//! the criterion benches print.
 //!
 //! ```text
-//! cargo run -p unet-bench --bin bench-json [--release] [OUT_DIR]
+//! cargo run -p unet-bench --bin bench-json [--release] [--quick] [OUT_DIR]
 //! ```
+//!
+//! `--quick` shrinks every experiment to CI-smoke sizes (seconds, not
+//! minutes) without changing the artifact schema.
 
 use std::time::Instant;
 use unet_bench::{butterfly_metrics, rng, standard_guest};
+use unet_core::bounds;
+use unet_core::prelude::{Embedding, GuestComputation};
+use unet_faults::{DegradedSimulator, FaultPlan};
 use unet_lowerbound::tradeoff_table;
 use unet_obs::json::Value;
+use unet_routing::butterfly::GreedyButterfly;
+use unet_routing::greedy::DimensionOrder;
+use unet_routing::PathSelector;
+use unet_topology::generators::{butterfly, torus};
+use unet_topology::util::seeded_rng;
+use unet_topology::Graph;
 
 const E2_GAMMA: f64 = 0.125;
 
@@ -21,14 +34,15 @@ fn obj(fields: Vec<(&str, Value)>) -> Value {
     Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
 }
 
-fn e1_artifact() -> Value {
-    let n = 512usize;
-    let steps = 3u32;
+fn e1_artifact(quick: bool) -> Value {
+    let n = if quick { 96 } else { 512 };
+    let steps = if quick { 2u32 } else { 3 };
+    let dims = if quick { 2..=3usize } else { 2..=4 };
     let (guest, comp) = standard_guest(n, 0xE1);
     let mut r = rng();
     let mut rows = Vec::new();
     let total_start = Instant::now();
-    for dim in 2..=4usize {
+    for dim in dims {
         let wall_start = Instant::now();
         let m = butterfly_metrics(&guest, &comp, dim, steps, &mut r);
         let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
@@ -55,9 +69,10 @@ fn e1_artifact() -> Value {
     ])
 }
 
-fn e2_artifact() -> Value {
-    let n = 1u64 << 14;
-    let ms: Vec<u64> = (3..=14).map(|e| 1u64 << e).collect();
+fn e2_artifact(quick: bool) -> Value {
+    let exp = if quick { 8u32 } else { 14 };
+    let n = 1u64 << exp;
+    let ms: Vec<u64> = (3..=exp).map(|e| 1u64 << e).collect();
     let wall_start = Instant::now();
     let table = tradeoff_table(n, &ms, E2_GAMMA, 4);
     let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
@@ -86,13 +101,97 @@ fn e2_artifact() -> Value {
     ])
 }
 
+/// One degraded run on `host`: crash-stop `rate` of the nodes at boundary
+/// 2, simulate, certify, and report the measured numbers against the
+/// Theorem 3.1 shape on the **surviving** size `m'`.
+fn e16_row<S: PathSelector>(
+    label: &str,
+    host: &Graph,
+    selector: S,
+    guest_n: usize,
+    steps: u32,
+    rate: f64,
+) -> Value {
+    let (guest, comp) = standard_guest(guest_n, 0xE16);
+    let plan = FaultPlan::crashes(host, rate, 2, 0xE16);
+    let sim = DegradedSimulator {
+        embedding: Embedding::block(guest_n, host.n()),
+        plan,
+        selector: Some(selector),
+    };
+    let wall_start = Instant::now();
+    let run = sim
+        .simulate(&comp, host, steps, &mut seeded_rng(0xE16))
+        .expect("faults leave survivors at these rates");
+    unet_pebble::check(&guest, host, &run.run.protocol).expect("degraded protocol certifies");
+    assert_eq!(run.run.final_states, comp.run_final(steps), "bit-for-bit");
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    let k = run.surviving_inefficiency();
+    let bound = bounds::lower_bound_inefficiency(run.m_surviving, 1.0);
+    assert!(
+        k >= bound,
+        "measured k = {k:.2} on m' = {} dipped below the Theorem 3.1 shape {bound:.2}",
+        run.m_surviving
+    );
+    obj(vec![
+        ("host", Value::Str(label.into())),
+        ("fault_rate", Value::Float(rate)),
+        ("host_m", Value::UInt(host.n() as u64)),
+        ("m_surviving", Value::UInt(run.m_surviving as u64)),
+        ("guest_n", Value::UInt(guest_n as u64)),
+        ("slowdown", Value::Float(run.run.slowdown())),
+        ("k", Value::Float(k)),
+        ("k_bound", Value::Float(bound)),
+        ("dropped", Value::UInt(run.dropped)),
+        ("retried", Value::UInt(run.retried)),
+        ("replayed", Value::UInt(run.replayed)),
+        ("remapped", Value::UInt(run.remapped)),
+        ("wall_ms", Value::Float(wall_ms)),
+    ])
+}
+
+fn e16_artifact(quick: bool) -> Value {
+    let (n, dim, side, steps) = if quick { (48, 2, 3, 2u32) } else { (256, 3, 6, 3) };
+    // Quick mode uses 0.2 so that ⌊rate·m⌋ ≥ 1 even on the 9-node mesh —
+    // a "faulty" row that kills nobody would test nothing.
+    let rates: &[f64] = if quick { &[0.0, 0.2] } else { &[0.0, 0.05, 0.1, 0.2] };
+    let bf = butterfly(dim);
+    let mesh = torus(side, side);
+    let total_start = Instant::now();
+    let mut rows = Vec::new();
+    for &rate in rates {
+        rows.push(e16_row("butterfly", &bf, GreedyButterfly { dim }, n, steps, rate));
+        rows.push(e16_row("mesh", &mesh, DimensionOrder::torus(side, side), n, steps, rate));
+    }
+    obj(vec![
+        ("experiment", Value::Str("E16".into())),
+        ("title", Value::Str("Degraded-mode simulation: slowdown vs crash-stop fault rate".into())),
+        ("guest", Value::Str(format!("random-regular n={n} d=4"))),
+        ("guest_n", Value::UInt(n as u64)),
+        ("guest_steps", Value::UInt(steps as u64)),
+        ("fault_boundary", Value::UInt(2)),
+        ("rows", Value::Arr(rows)),
+        ("wall_ms_total", Value::Float(total_start.elapsed().as_secs_f64() * 1e3)),
+    ])
+}
+
 fn main() {
-    let out_dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
-    for (name, artifact) in [("BENCH_E1.json", e1_artifact()), ("BENCH_E2.json", e2_artifact())] {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| ".".into());
+    let artifacts = [
+        ("BENCH_E1.json", e1_artifact(quick)),
+        ("BENCH_E2.json", e2_artifact(quick)),
+        ("BENCH_E16.json", e16_artifact(quick)),
+    ];
+    for (name, artifact) in artifacts {
         let path = format!("{out_dir}/{name}");
-        std::fs::write(&path, artifact.to_json() + "\n")
-            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        println!("wrote {path}");
+        let text = artifact.to_json() + "\n";
+        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        // Self-validate: what we wrote must parse back as JSON with rows.
+        let back = unet_obs::json::parse(&text).unwrap_or_else(|e| panic!("{path} invalid: {e}"));
+        let rows = back.get("rows").and_then(Value::as_arr).expect("artifact has rows");
+        println!("wrote {path} ({} rows)", rows.len());
     }
 }
 
@@ -103,7 +202,7 @@ mod tests {
 
     #[test]
     fn artifacts_round_trip_with_required_fields() {
-        for artifact in [e1_artifact(), e2_artifact()] {
+        for artifact in [e1_artifact(true), e2_artifact(true), e16_artifact(true)] {
             let text = artifact.to_json();
             let back = parse(&text).expect("artifact is valid JSON");
             let rows = back.get("rows").and_then(Value::as_arr).expect("rows");
@@ -115,12 +214,41 @@ mod tests {
             assert!(back.get("wall_ms_total").and_then(Value::as_f64).unwrap() >= 0.0);
         }
         // E1 rows carry measured slowdown + wall time (the regression signal).
-        let e1 = e1_artifact();
+        let e1 = e1_artifact(true);
         for row in e1.get("rows").and_then(Value::as_arr).unwrap() {
             assert!(row.get("slowdown").and_then(Value::as_f64).unwrap() >= 1.0);
             assert!(row.get("inefficiency").and_then(Value::as_f64).unwrap() > 0.0);
             assert!(row.get("makespan").and_then(Value::as_u64).unwrap() > 0);
             assert!(row.get("wall_ms").and_then(Value::as_f64).unwrap() >= 0.0);
         }
+    }
+
+    #[test]
+    fn e16_rows_respect_the_surviving_size_bound() {
+        // e16_row itself asserts k ≥ α·log₂(m'); here we re-check from the
+        // serialized artifact so schema drift can't hide a violation.
+        let e16 = e16_artifact(true);
+        let text = e16.to_json();
+        let back = parse(&text).expect("valid JSON");
+        let rows = back.get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows.len(), 4, "2 rates × 2 hosts in quick mode");
+        let mut faulted = 0;
+        for row in rows {
+            let m = row.get("host_m").and_then(Value::as_u64).unwrap();
+            let m_surv = row.get("m_surviving").and_then(Value::as_u64).unwrap();
+            let k = row.get("k").and_then(Value::as_f64).unwrap();
+            let bound = row.get("k_bound").and_then(Value::as_f64).unwrap();
+            assert!(m_surv <= m && m_surv > 0);
+            assert!(k >= bound, "k = {k} below bound {bound}");
+            let rate = row.get("fault_rate").and_then(Value::as_f64).unwrap();
+            if rate > 0.0 {
+                faulted += 1;
+                assert!(m_surv < m, "crashes at rate {rate} must kill someone");
+            } else {
+                assert_eq!(m_surv, m);
+                assert_eq!(row.get("dropped").and_then(Value::as_u64).unwrap(), 0);
+            }
+        }
+        assert_eq!(faulted, 2);
     }
 }

@@ -63,7 +63,8 @@ impl<S: PathSelector> SelectorRouter<S> {
         rng: &mut StdRng,
         rec: &mut REC,
     ) -> Outcome {
-        let packets = make_packets(host, &prob.pairs, &self.selector, rng);
+        let packets = make_packets(host, &prob.pairs, &self.selector, rng)
+            .expect("embedding maps guests onto a connected host");
         route_recorded(
             host,
             &packets,

@@ -182,7 +182,11 @@ impl EmbeddingSimulator<'_> {
 /// covers them.
 ///
 /// Returns the number of pebble steps emitted.
-fn emit_transfers(
+///
+/// Public so that degraded-mode simulators (`unet-faults`) can reuse the
+/// exact decomposition when converting fault-aware routing runs into
+/// certified pebble steps.
+pub fn emit_transfers(
     builder: &mut ProtocolBuilder,
     transfers: &[Transfer],
     payloads: &[Pebble],

@@ -1,0 +1,31 @@
+//! Fault injection and degraded-mode simulation for universal parallel
+//! networks.
+//!
+//! The paper's universality results (Theorems 2.1 and 3.1) assume a healthy
+//! host. This crate asks what survives when the host degrades:
+//!
+//! * [`plan`] — seeded, deterministic [`FaultPlan`]s: crash-stop node
+//!   faults, permanent link cuts, transient link flaps with repair times,
+//!   and spatially correlated ("rack fire") failures.
+//! * [`view`] — [`FaultyView`], a time-evolving live view over any base
+//!   [`Graph`](unet_topology::Graph); composes with every generator in
+//!   `unet-topology`.
+//! * [`route`] — fault-aware routing: canonical paths validated against the
+//!   live view with BFS rerouting fallback, surfacing delivered / dropped /
+//!   retried counts through `unet-obs`.
+//! * [`degraded`] — [`DegradedSimulator`]: the embedding simulator with
+//!   host-death handling (re-embedding plus pebble replay from surviving
+//!   representatives), emitting ordinary pebble protocols that
+//!   `unet_pebble::check` certifies end-to-end.
+
+#![warn(missing_docs)]
+
+pub mod degraded;
+pub mod plan;
+pub mod route;
+pub mod view;
+
+pub use degraded::{DegradedError, DegradedRun, DegradedSimulator};
+pub use plan::{FaultEvent, FaultKind, FaultPlan};
+pub use route::{route_faulty, route_faulty_recorded, FaultyOutcome};
+pub use view::{AppliedFault, FaultyView};

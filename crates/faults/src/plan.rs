@@ -1,0 +1,291 @@
+//! Seeded, deterministic fault plans.
+//!
+//! A [`FaultPlan`] is a time-ordered script of fault events against a host
+//! graph. Times are **guest-step boundaries**: an event with `at = t` fires
+//! before guest step `t` is simulated (`at = 0` fires before anything runs).
+//! Plans are built from a seed and are fully deterministic — the same seed
+//! and parameters always produce the same plan, which is what makes degraded
+//! runs reproducible and property-testable.
+
+use rand::seq::SliceRandom;
+use unet_topology::util::seeded_rng;
+use unet_topology::{Graph, Node};
+
+/// One kind of fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Crash-stop node failure: the node stops forever (fail-stop model —
+    /// no byzantine behaviour, no recovery).
+    NodeCrash {
+        /// The crashed host node.
+        node: Node,
+    },
+    /// Permanent link cut: the edge disappears forever.
+    LinkCut {
+        /// Lower endpoint (canonical order `u < v`).
+        u: Node,
+        /// Upper endpoint.
+        v: Node,
+    },
+    /// Transient link flap: the edge goes down at the event time and comes
+    /// back at `repair_at`.
+    LinkFlap {
+        /// Lower endpoint (canonical order `u < v`).
+        u: Node,
+        /// Upper endpoint.
+        v: Node,
+        /// Guest-step boundary at which the link is repaired
+        /// (strictly greater than the injection time).
+        repair_at: u32,
+    },
+}
+
+/// A fault event: what happens, and at which guest-step boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Guest-step boundary at which the fault fires.
+    pub at: u32,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, time-sorted script of fault events.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+fn canonical(u: Node, v: Node) -> (Node, Node) {
+    if u < v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl FaultPlan {
+    /// Wrap explicit events, stable-sorting by time (events at the same
+    /// boundary keep their construction order).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        for e in &mut events {
+            match &mut e.kind {
+                FaultKind::LinkCut { u, v } => {
+                    let (a, b) = canonical(*u, *v);
+                    (*u, *v) = (a, b);
+                }
+                FaultKind::LinkFlap { u, v, repair_at } => {
+                    let (a, b) = canonical(*u, *v);
+                    (*u, *v) = (a, b);
+                    assert!(*repair_at > e.at, "flap must repair strictly after it fires");
+                }
+                FaultKind::NodeCrash { .. } => {}
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { events }
+    }
+
+    /// An empty plan (healthy host).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Crash-stop `⌊rate·m⌋` distinct nodes of `g` at boundary `at`,
+    /// sampled by `seed`.
+    pub fn crashes(g: &Graph, rate: f64, at: u32, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let count = (rate * g.n() as f64).floor() as usize;
+        let mut nodes: Vec<Node> = (0..g.n() as Node).collect();
+        nodes.shuffle(&mut seeded_rng(seed));
+        FaultPlan::new(
+            nodes
+                .into_iter()
+                .take(count)
+                .map(|node| FaultEvent { at, kind: FaultKind::NodeCrash { node } })
+                .collect(),
+        )
+    }
+
+    /// Cut `⌊rate·|E|⌋` distinct links of `g` permanently at boundary `at`.
+    pub fn link_cuts(g: &Graph, rate: f64, at: u32, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        let mut edges: Vec<(Node, Node)> = g.edges().collect();
+        let count = (rate * edges.len() as f64).floor() as usize;
+        edges.shuffle(&mut seeded_rng(seed));
+        FaultPlan::new(
+            edges
+                .into_iter()
+                .take(count)
+                .map(|(u, v)| FaultEvent { at, kind: FaultKind::LinkCut { u, v } })
+                .collect(),
+        )
+    }
+
+    /// Flap `⌊rate·|E|⌋` distinct links down at boundary `at`, repaired
+    /// `down_for ≥ 1` boundaries later.
+    pub fn link_flaps(g: &Graph, rate: f64, at: u32, down_for: u32, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        assert!(down_for >= 1, "a flap must stay down for at least one boundary");
+        let mut edges: Vec<(Node, Node)> = g.edges().collect();
+        let count = (rate * edges.len() as f64).floor() as usize;
+        edges.shuffle(&mut seeded_rng(seed));
+        FaultPlan::new(
+            edges
+                .into_iter()
+                .take(count)
+                .map(|(u, v)| FaultEvent {
+                    at,
+                    kind: FaultKind::LinkFlap { u, v, repair_at: at + down_for },
+                })
+                .collect(),
+        )
+    }
+
+    /// Spatially correlated crash: a seeded centre node and every node
+    /// within BFS distance `radius` of it crash together at boundary `at` —
+    /// the "a rack caught fire" failure mode, the worst case for embeddings
+    /// that rely on locality.
+    pub fn correlated_crashes(g: &Graph, radius: u32, at: u32, seed: u64) -> Self {
+        assert!(g.n() > 0, "cannot fault an empty host");
+        let mut nodes: Vec<Node> = (0..g.n() as Node).collect();
+        nodes.shuffle(&mut seeded_rng(seed));
+        let centre = nodes[0];
+        let dist = unet_topology::analysis::bfs_distances(g, centre);
+        FaultPlan::new(
+            (0..g.n() as Node)
+                .filter(|&v| dist[v as usize] <= radius)
+                .map(|node| FaultEvent { at, kind: FaultKind::NodeCrash { node } })
+                .collect(),
+        )
+    }
+
+    /// Merge another plan into this one (re-sorting by time).
+    pub fn merge(self, other: FaultPlan) -> Self {
+        let mut events = self.events;
+        events.extend(other.events);
+        FaultPlan::new(events)
+    }
+
+    /// The time-sorted events.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Check that every event refers to a node or edge of `g`.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        let m = g.n() as Node;
+        for e in &self.events {
+            match e.kind {
+                FaultKind::NodeCrash { node } => {
+                    if node >= m {
+                        return Err(format!("crash of node {node} out of range (m = {m})"));
+                    }
+                }
+                FaultKind::LinkCut { u, v } | FaultKind::LinkFlap { u, v, .. } => {
+                    if !g.has_edge(u, v) {
+                        return Err(format!("link fault on non-edge ({u}, {v})"));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_topology::generators::{butterfly::butterfly, torus};
+
+    #[test]
+    fn crashes_are_deterministic_and_distinct() {
+        let g = torus(4, 4);
+        let a = FaultPlan::crashes(&g, 0.25, 1, 42);
+        let b = FaultPlan::crashes(&g, 0.25, 1, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let mut nodes: Vec<Node> = a
+            .events()
+            .iter()
+            .map(|e| match e.kind {
+                FaultKind::NodeCrash { node } => node,
+                _ => panic!("only crashes"),
+            })
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        assert_eq!(nodes.len(), 4, "sampled nodes must be distinct");
+        // A different seed gives a different sample (whp for 16 choose 4).
+        let c = FaultPlan::crashes(&g, 0.25, 1, 43);
+        assert_ne!(a, c);
+        a.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn link_faults_reference_real_edges() {
+        let g = butterfly(3);
+        let cuts = FaultPlan::link_cuts(&g, 0.1, 2, 7);
+        cuts.validate(&g).unwrap();
+        let flaps = FaultPlan::link_flaps(&g, 0.1, 2, 3, 7);
+        flaps.validate(&g).unwrap();
+        for e in flaps.events() {
+            match e.kind {
+                FaultKind::LinkFlap { repair_at, .. } => assert_eq!(repair_at, 5),
+                _ => panic!("only flaps"),
+            }
+        }
+    }
+
+    #[test]
+    fn events_sorted_by_time_stably() {
+        let plan = FaultPlan::new(vec![
+            FaultEvent { at: 3, kind: FaultKind::NodeCrash { node: 1 } },
+            FaultEvent { at: 1, kind: FaultKind::NodeCrash { node: 2 } },
+            FaultEvent { at: 3, kind: FaultKind::LinkCut { u: 5, v: 4 } },
+        ]);
+        let at: Vec<u32> = plan.events().iter().map(|e| e.at).collect();
+        assert_eq!(at, vec![1, 3, 3]);
+        // Canonical edge order applied.
+        assert_eq!(plan.events()[2].kind, FaultKind::LinkCut { u: 4, v: 5 });
+    }
+
+    #[test]
+    fn correlated_ball_is_connected_in_base() {
+        let g = torus(6, 6);
+        let plan = FaultPlan::correlated_crashes(&g, 1, 1, 9);
+        // Radius-1 ball on a torus: centre + 4 neighbours.
+        assert_eq!(plan.len(), 5);
+        plan.validate(&g).unwrap();
+        assert_eq!(plan, FaultPlan::correlated_crashes(&g, 1, 1, 9));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_elements() {
+        let g = torus(2, 2);
+        let bad =
+            FaultPlan::new(vec![FaultEvent { at: 0, kind: FaultKind::NodeCrash { node: 99 } }]);
+        assert!(bad.validate(&g).is_err());
+        let non_edge =
+            FaultPlan::new(vec![FaultEvent { at: 0, kind: FaultKind::LinkCut { u: 0, v: 3 } }]);
+        assert!(non_edge.validate(&g).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly after")]
+    fn instant_repair_rejected() {
+        FaultPlan::new(vec![FaultEvent {
+            at: 2,
+            kind: FaultKind::LinkFlap { u: 0, v: 1, repair_at: 2 },
+        }]);
+    }
+}

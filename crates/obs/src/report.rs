@@ -94,6 +94,21 @@ pub fn render(doc: &TraceDoc) -> String {
         }
     }
 
+    if !doc.faults.is_empty() {
+        out.push_str("\nfault timeline\n");
+        let mut ordered: Vec<_> = doc.faults.iter().collect();
+        ordered.sort_by_key(|f| f.at);
+        for f in ordered {
+            out.push_str(&format!(
+                "  t={:<6} {:<7} {:<6} {}\n",
+                f.at,
+                f.op.as_str(),
+                f.kind,
+                f.subject
+            ));
+        }
+    }
+
     if !doc.counters.is_empty() {
         out.push_str("\ncounters\n");
         for (name, v) in &doc.counters {
@@ -167,6 +182,43 @@ mod tests {
         assert!(text.contains("sim.comm"));
         assert!(text.contains("route.hops"));
         assert!(text.contains("sim.load"));
+    }
+
+    #[test]
+    fn fault_timeline_rendered_in_time_order() {
+        use crate::trace::{export_with_faults, FaultOp, FaultRecord};
+        let mut rec = InMemoryRecorder::new();
+        rec.counter("faults.dropped", 1);
+        let meta = RunMeta {
+            command: "faults".into(),
+            guest: "ring:8".into(),
+            host: "butterfly:3".into(),
+            n: 8,
+            m: 32,
+            guest_steps: 2,
+        };
+        let faults = vec![
+            FaultRecord {
+                at: 3,
+                op: FaultOp::Repair,
+                kind: "flap".into(),
+                subject: "link:1-2".into(),
+            },
+            FaultRecord {
+                at: 1,
+                op: FaultOp::Inject,
+                kind: "crash".into(),
+                subject: "node:7".into(),
+            },
+        ];
+        let doc = parse_trace(&export_with_faults(&rec, &meta, &faults, None)).unwrap();
+        let text = render(&doc);
+        assert!(text.contains("fault timeline"));
+        let inject = text.find("inject").unwrap();
+        let repair = text.find("repair").unwrap();
+        assert!(inject < repair, "timeline must be sorted by time");
+        assert!(text.contains("node:7"));
+        assert!(text.contains("link:1-2"));
     }
 
     #[test]

@@ -60,6 +60,57 @@ pub struct RunSummary {
     pub wall_ms: f64,
 }
 
+/// What a [`FaultRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A fault fired: a node crashed, a link was cut or flapped down.
+    Inject,
+    /// A transient fault healed (link flap repaired).
+    Repair,
+    /// A guest processor was re-embedded onto a live host after its host
+    /// crashed.
+    Remap,
+}
+
+impl FaultOp {
+    /// Wire name of the op.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultOp::Inject => "inject",
+            FaultOp::Repair => "repair",
+            FaultOp::Remap => "remap",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "inject" => Some(FaultOp::Inject),
+            "repair" => Some(FaultOp::Repair),
+            "remap" => Some(FaultOp::Remap),
+            _ => None,
+        }
+    }
+}
+
+/// One fault event in a traced run — the `unet-trace/1` record
+/// `{"type":"fault","op":...,"at":...,"kind":...,"subject":...}`. The schema
+/// addition is backwards-compatible: readers of fault-free traces see no
+/// `fault` lines at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord {
+    /// Guest-step boundary at which the event fired.
+    pub at: u64,
+    /// Event class.
+    pub op: FaultOp,
+    /// Fault kind: `"crash"`, `"cut"`, `"flap"` for inject/repair;
+    /// `"guest"` for remap events.
+    pub kind: String,
+    /// Affected element, e.g. `"node:5"`, `"link:3-7"`, or
+    /// `"guest:12->host:4"`.
+    pub subject: String,
+}
+
 /// An owned span event from a parsed trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceSpan {
@@ -92,6 +143,8 @@ pub struct TraceDoc {
     pub gauges: Vec<(String, f64)>,
     /// Histograms, in file order.
     pub histograms: Vec<(String, Histogram)>,
+    /// Fault events, in file order.
+    pub faults: Vec<FaultRecord>,
     /// The `summary` record, if present.
     pub summary: Option<RunSummary>,
 }
@@ -134,6 +187,17 @@ impl TraceDoc {
 /// Serialize a recorded run to JSONL. Panics (debug) if spans are still
 /// open — finish every phase before exporting.
 pub fn export(rec: &InMemoryRecorder, meta: &RunMeta, summary: Option<&RunSummary>) -> String {
+    export_with_faults(rec, meta, &[], summary)
+}
+
+/// [`export`] plus a fault timeline: one `fault` record per event, emitted
+/// after the aggregate records and before the summary.
+pub fn export_with_faults(
+    rec: &InMemoryRecorder,
+    meta: &RunMeta,
+    faults: &[FaultRecord],
+    summary: Option<&RunSummary>,
+) -> String {
     debug_assert!(rec.open_spans().is_empty(), "exporting with open spans: {:?}", rec.open_spans());
     let mut out = String::new();
     out.push_str(&meta_value(meta).to_json());
@@ -172,6 +236,17 @@ pub fn export(rec: &InMemoryRecorder, meta: &RunMeta, summary: Option<&RunSummar
     }
     for (name, h) in rec.histograms() {
         out.push_str(&hist_value(name, h).to_json());
+        out.push('\n');
+    }
+    for f in faults {
+        let line = Value::Obj(vec![
+            ("type".into(), Value::Str("fault".into())),
+            ("op".into(), Value::Str(f.op.as_str().into())),
+            ("at".into(), Value::UInt(f.at)),
+            ("kind".into(), Value::Str(f.kind.clone())),
+            ("subject".into(), Value::Str(f.subject.clone())),
+        ]);
+        out.push_str(&line.to_json());
         out.push('\n');
     }
     if let Some(s) = summary {
@@ -277,6 +352,7 @@ pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
         counters: Vec::new(),
         gauges: Vec::new(),
         histograms: Vec::new(),
+        faults: Vec::new(),
         summary: None,
     };
     let mut stack: Vec<String> = Vec::new();
@@ -353,6 +429,17 @@ pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
                     ));
                 }
                 doc.histograms.push((name, h));
+            }
+            Some("fault") => {
+                let op_name = field_str(&v, "op", lno)?;
+                let op = FaultOp::parse(&op_name)
+                    .ok_or_else(|| format!("line {lno}: bad fault op {op_name:?}"))?;
+                doc.faults.push(FaultRecord {
+                    at: field_u64(&v, "at", lno)?,
+                    op,
+                    kind: field_str(&v, "kind", lno)?,
+                    subject: field_str(&v, "subject", lno)?,
+                });
             }
             Some("summary") => {
                 doc.summary = Some(RunSummary {
@@ -453,6 +540,46 @@ mod tests {
         let text = export(&rec, &sample_meta(), None);
         let doc = parse_trace(&text).unwrap();
         assert_eq!(doc.histogram("h"), Some(&expected));
+    }
+
+    #[test]
+    fn fault_records_round_trip() {
+        let rec = sample_recorder();
+        let faults = vec![
+            FaultRecord {
+                at: 2,
+                op: FaultOp::Inject,
+                kind: "crash".into(),
+                subject: "node:5".into(),
+            },
+            FaultRecord {
+                at: 2,
+                op: FaultOp::Remap,
+                kind: "guest".into(),
+                subject: "guest:12->host:4".into(),
+            },
+            FaultRecord {
+                at: 4,
+                op: FaultOp::Repair,
+                kind: "flap".into(),
+                subject: "link:3-7".into(),
+            },
+        ];
+        let text = export_with_faults(&rec, &sample_meta(), &faults, None);
+        let doc = parse_trace(&text).expect("trace with faults validates");
+        assert_eq!(doc.faults, faults);
+        // Fault-free export stays byte-identical to the plain one (schema
+        // addition is strictly backwards-compatible).
+        assert_eq!(
+            export(&rec, &sample_meta(), None),
+            export_with_faults(&rec, &sample_meta(), &[], None)
+        );
+        // Bad ops are rejected.
+        let meta_line = text.lines().next().unwrap();
+        let bad = format!(
+            "{meta_line}\n{{\"type\":\"fault\",\"op\":\"explode\",\"at\":1,\"kind\":\"crash\",\"subject\":\"node:1\"}}\n"
+        );
+        assert!(parse_trace(&bad).unwrap_err().contains("bad fault op"));
     }
 
     #[test]

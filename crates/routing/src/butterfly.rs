@@ -6,7 +6,7 @@
 //! trick gives the same bound w.h.p.), so by Theorem 2.1 a size-`m` butterfly
 //! is `n`-universal with slowdown `O((n/m)·log m)`.
 
-use crate::packet::PathSelector;
+use crate::packet::{PathSelector, RouteError};
 use rand::Rng;
 use unet_topology::generators::butterfly::{bf_coords, bf_index};
 use unet_topology::{Graph, Node};
@@ -71,8 +71,14 @@ impl GreedyButterfly {
 }
 
 impl PathSelector for GreedyButterfly {
-    fn path<R: Rng>(&self, _g: &Graph, src: Node, dst: Node, _rng: &mut R) -> Vec<Node> {
-        self.walk(src, dst)
+    fn path<R: Rng>(
+        &self,
+        _g: &Graph,
+        src: Node,
+        dst: Node,
+        _rng: &mut R,
+    ) -> Result<Vec<Node>, RouteError> {
+        Ok(self.walk(src, dst))
     }
 }
 
@@ -87,7 +93,13 @@ pub struct ValiantButterfly {
 }
 
 impl PathSelector for ValiantButterfly {
-    fn path<R: Rng>(&self, _g: &Graph, src: Node, dst: Node, rng: &mut R) -> Vec<Node> {
+    fn path<R: Rng>(
+        &self,
+        _g: &Graph,
+        src: Node,
+        dst: Node,
+        rng: &mut R,
+    ) -> Result<Vec<Node>, RouteError> {
         let d = self.dim;
         let greedy = GreedyButterfly { dim: d };
         // Uniformly random intermediate node (level *and* row — pinning the
@@ -98,7 +110,7 @@ impl PathSelector for ValiantButterfly {
         let mut first = greedy.walk(src, mid);
         let second = greedy.walk(mid, dst);
         first.extend_from_slice(&second[1..]);
-        first
+        Ok(first)
     }
 }
 
@@ -139,8 +151,14 @@ impl GreedyWrappedButterfly {
 }
 
 impl PathSelector for GreedyWrappedButterfly {
-    fn path<R: Rng>(&self, _g: &Graph, src: Node, dst: Node, _rng: &mut R) -> Vec<Node> {
-        self.walk(src, dst)
+    fn path<R: Rng>(
+        &self,
+        _g: &Graph,
+        src: Node,
+        dst: Node,
+        _rng: &mut R,
+    ) -> Result<Vec<Node>, RouteError> {
+        Ok(self.walk(src, dst))
     }
 }
 
@@ -177,7 +195,7 @@ mod tests {
         let sel = GreedyButterfly { dim };
         let mut rng = seeded_rng(7);
         let prob = random_h_h(m, 2, &mut rng);
-        let packets = make_packets(&g, &prob.pairs, &sel, &mut rng);
+        let packets = make_packets(&g, &prob.pairs, &sel, &mut rng).unwrap();
         let out = route(&g, &packets, Discipline::FarthestFirst, 100_000).unwrap();
         assert!(out.delivered_at.iter().all(|&d| d != u32::MAX));
     }
@@ -198,9 +216,9 @@ mod tests {
             .map(|&(s, t)| (bf::bf_index(dim, 0, s as usize), bf::bf_index(dim, dim, t as usize)))
             .collect();
         let mut rng = seeded_rng(11);
-        let greedy_pkts = make_packets(&g, &pairs, &GreedyButterfly { dim }, &mut rng);
+        let greedy_pkts = make_packets(&g, &pairs, &GreedyButterfly { dim }, &mut rng).unwrap();
         let greedy_out = route(&g, &greedy_pkts, Discipline::FarthestFirst, 1 << 20).unwrap();
-        let val_pkts = make_packets(&g, &pairs, &ValiantButterfly { dim }, &mut rng);
+        let val_pkts = make_packets(&g, &pairs, &ValiantButterfly { dim }, &mut rng).unwrap();
         let val_out = route(&g, &val_pkts, Discipline::FarthestFirst, 1 << 20).unwrap();
         assert!(val_out.delivered_at.iter().all(|&d| d != u32::MAX));
         assert!(greedy_out.delivered_at.iter().all(|&d| d != u32::MAX));
@@ -246,7 +264,7 @@ mod tests {
         let g = bf::wrapped_butterfly(dim);
         let mut rng = seeded_rng(99);
         let prob = random_h_h(g.n(), 2, &mut rng);
-        let pk = make_packets(&g, &prob.pairs, &GreedyWrappedButterfly { dim }, &mut rng);
+        let pk = make_packets(&g, &prob.pairs, &GreedyWrappedButterfly { dim }, &mut rng).unwrap();
         let lim: u32 = pk.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;
         let out = route(&g, &pk, Discipline::FarthestFirst, lim).unwrap();
         assert!(out.delivered_at.iter().all(|&d| d != u32::MAX));
@@ -261,7 +279,7 @@ mod tests {
         for _ in 0..20 {
             let src = rng.gen_range(0..g.n() as Node);
             let dst = rng.gen_range(0..g.n() as Node);
-            let p = sel.path(&g, src, dst, &mut rng);
+            let p = sel.path(&g, src, dst, &mut rng).unwrap();
             assert_eq!(p[0], src);
             assert_eq!(*p.last().unwrap(), dst);
             for w in p.windows(2) {

@@ -5,7 +5,7 @@
 //! in `O(h·√m)` steps — the `√m` diameter cost that makes meshes *bad*
 //! universal hosts compared to the butterfly's `log m` (experiment E8).
 
-use crate::packet::PathSelector;
+use crate::packet::{PathSelector, RouteError};
 use rand::Rng;
 use unet_topology::{Graph, Node};
 
@@ -53,7 +53,13 @@ impl DimensionOrder {
 }
 
 impl PathSelector for DimensionOrder {
-    fn path<R: Rng>(&self, _g: &Graph, src: Node, dst: Node, _rng: &mut R) -> Vec<Node> {
+    fn path<R: Rng>(
+        &self,
+        _g: &Graph,
+        src: Node,
+        dst: Node,
+        _rng: &mut R,
+    ) -> Result<Vec<Node>, RouteError> {
         let (sx, sy) = (src as usize / self.cols, src as usize % self.cols);
         let (dx, dy) = (dst as usize / self.cols, dst as usize % self.cols);
         let mut path = vec![src];
@@ -63,7 +69,7 @@ impl PathSelector for DimensionOrder {
         for y in self.axis_walk(sy, dy, self.cols) {
             path.push((dx * self.cols + y) as Node);
         }
-        path
+        Ok(path)
     }
 }
 
@@ -79,7 +85,7 @@ mod tests {
     fn mesh_path_is_xy() {
         let g = mesh(4, 4);
         let sel = DimensionOrder::mesh(4, 4);
-        let p = sel.path(&g, 0, 15, &mut seeded_rng(0));
+        let p = sel.path(&g, 0, 15, &mut seeded_rng(0)).unwrap();
         // X first: 0 → 4 → 8 → 12, then Y: 13 → 14 → 15.
         assert_eq!(p, vec![0, 4, 8, 12, 13, 14, 15]);
     }
@@ -88,7 +94,7 @@ mod tests {
     fn torus_path_uses_wraps() {
         let g = torus(4, 4);
         let sel = DimensionOrder::torus(4, 4);
-        let p = sel.path(&g, 0, 15, &mut seeded_rng(0));
+        let p = sel.path(&g, 0, 15, &mut seeded_rng(0)).unwrap();
         // Wrap both dims: 0 → 12 (x−1 mod 4), then 12 → 15 (y−1 mod 4).
         assert_eq!(p, vec![0, 12, 15]);
         // Every hop is an edge.
@@ -102,7 +108,7 @@ mod tests {
         let g = mesh(8, 8);
         let prob = transpose(64);
         let sel = DimensionOrder::mesh(8, 8);
-        let packets = make_packets(&g, &prob.pairs, &sel, &mut seeded_rng(1));
+        let packets = make_packets(&g, &prob.pairs, &sel, &mut seeded_rng(1)).unwrap();
         let out = route(&g, &packets, Discipline::FarthestFirst, 10_000).unwrap();
         assert!(out.delivered_at.iter().all(|&d| d != u32::MAX));
         // Diameter 14; transpose under X-Y routing finishes within a small
@@ -118,7 +124,7 @@ mod tests {
         let mut prev = 0;
         for h in [1usize, 4] {
             let prob = random_h_h(64, h, &mut rng);
-            let packets = make_packets(&g, &prob.pairs, &sel, &mut rng);
+            let packets = make_packets(&g, &prob.pairs, &sel, &mut rng).unwrap();
             let out = route(&g, &packets, Discipline::FarthestFirst, 100_000).unwrap();
             assert!(out.delivered_at.iter().all(|&d| d != u32::MAX));
             assert!(out.steps > prev, "routing time should grow with h");

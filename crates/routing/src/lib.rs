@@ -40,5 +40,7 @@ pub mod packet;
 pub mod problem;
 pub mod sortnet;
 
-pub use packet::{route, Discipline, Outcome, Packet, PathSelector, ShortestPath, Transfer};
+pub use packet::{
+    route, Discipline, Outcome, Packet, PathSelector, RouteError, ShortestPath, Transfer,
+};
 pub use problem::RoutingProblem;

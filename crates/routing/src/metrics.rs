@@ -27,6 +27,11 @@ pub struct RouteStats {
 /// estimate of the worst case (random problems are near-worst-case for the
 /// topologies we study); offline schedules should be measured with
 /// [`crate::benes::pipeline_schedule`] instead.
+///
+/// # Panics
+/// Panics if the selector cannot connect a sampled pair (measurement only
+/// makes sense on connected hosts; use [`crate::packet::make_packets`]
+/// directly for fallible path selection).
 pub fn measure_route_time<S: PathSelector, R: Rng>(
     g: &Graph,
     h: usize,
@@ -39,7 +44,8 @@ pub fn measure_route_time<S: PathSelector, R: Rng>(
     let mut max_queue = 0usize;
     for _ in 0..trials {
         let prob = random_h_h(g.n(), h, rng);
-        let packets = make_packets(g, &prob.pairs, selector, rng);
+        let packets =
+            make_packets(g, &prob.pairs, selector, rng).expect("measurement host is connected");
         let out = route(g, &packets, Discipline::FarthestFirst, generous_step_limit(&packets))
             .expect("progress guarantee makes the sum-of-paths limit generous");
         max_steps = max_steps.max(out.steps);
@@ -127,7 +133,7 @@ mod tests {
         let g = butterfly(dim);
         let mut rng = seeded_rng(77);
         let prob = crate::problem::random_h_h(g.n(), 4, &mut rng);
-        let pk = make_packets(&g, &prob.pairs, &GreedyButterfly { dim }, &mut rng);
+        let pk = make_packets(&g, &prob.pairs, &GreedyButterfly { dim }, &mut rng).unwrap();
         let paths: Vec<_> = pk.iter().map(|p| p.path.clone()).collect();
         let (edge_c, _) = path_congestion(&paths);
         let lim: u32 = pk.iter().map(|p| p.path.len() as u32 + 1).sum::<u32>() + 64;

@@ -25,21 +25,61 @@ pub struct Packet {
     pub path: Vec<Node>,
 }
 
+/// Typed routing failure. Routing never panics on bad topology: a host that
+/// cannot connect a packet's endpoints (disconnected generator input, or a
+/// fault-partitioned surviving subnetwork) surfaces here instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteError {
+    /// No path exists from `src` to `dst` in the (possibly faulted) host.
+    Unreachable {
+        /// Origin node.
+        src: Node,
+        /// Destination node.
+        dst: Node,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::Unreachable { src, dst } => {
+                write!(f, "no path from {src} to {dst}: host is partitioned between them")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
 /// Chooses a path for each packet before routing starts (oblivious or
 /// offline routing). Randomized selectors draw from the provided RNG.
 pub trait PathSelector {
     /// A walk from `src` to `dst` along edges of `g` (consecutive entries
-    /// must be neighbours; `path[0] = src`, `path.last() = dst`).
-    fn path<R: Rng>(&self, g: &Graph, src: Node, dst: Node, rng: &mut R) -> Vec<Node>;
+    /// must be neighbours; `path[0] = src`, `path.last() = dst`), or
+    /// [`RouteError::Unreachable`] when no such walk exists.
+    fn path<R: Rng>(
+        &self,
+        g: &Graph,
+        src: Node,
+        dst: Node,
+        rng: &mut R,
+    ) -> Result<Vec<Node>, RouteError>;
 }
 
-/// Shortest-path (BFS) selector — works on any connected host. Deterministic.
+/// Shortest-path (BFS) selector — works on any host; reports
+/// [`RouteError::Unreachable`] across disconnected components. Deterministic.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ShortestPath;
 
 impl PathSelector for ShortestPath {
-    fn path<R: Rng>(&self, g: &Graph, src: Node, dst: Node, _rng: &mut R) -> Vec<Node> {
-        bfs_path(g, src, dst).expect("host must be connected")
+    fn path<R: Rng>(
+        &self,
+        g: &Graph,
+        src: Node,
+        dst: Node,
+        _rng: &mut R,
+    ) -> Result<Vec<Node>, RouteError> {
+        bfs_path(g, src, dst).ok_or(RouteError::Unreachable { src, dst })
     }
 }
 
@@ -270,32 +310,32 @@ pub fn route_recorded<REC: Recorder + ?Sized>(
     Some(Outcome { steps: step, delivered_at, transfers, max_queue })
 }
 
-/// Build packets from `(src, dst)` pairs using a path selector.
+/// Build packets from `(src, dst)` pairs using a path selector. Fails with
+/// the selector's [`RouteError`] on the first pair it cannot connect.
 pub fn make_packets<S: PathSelector, R: Rng>(
     g: &Graph,
     pairs: &[(Node, Node)],
     selector: &S,
     rng: &mut R,
-) -> Vec<Packet> {
+) -> Result<Vec<Packet>, RouteError> {
     pairs
         .iter()
         .enumerate()
-        .map(|(i, &(src, dst))| Packet {
-            id: i as u32,
-            src,
-            dst,
-            path: selector.path(g, src, dst, rng),
+        .map(|(i, &(src, dst))| {
+            Ok(Packet { id: i as u32, src, dst, path: selector.path(g, src, dst, rng)? })
         })
         .collect()
 }
 
 /// Convenience: route `(src, dst)` pairs with BFS paths and default
-/// discipline; panics on step-limit overflow (limit = generous bound).
-pub fn route_simple(g: &Graph, pairs: &[(Node, Node)]) -> Outcome {
+/// discipline. Returns [`RouteError::Unreachable`] on a partitioned host;
+/// panics only on step-limit overflow (limit = generous bound, so never for
+/// valid inputs).
+pub fn route_simple(g: &Graph, pairs: &[(Node, Node)]) -> Result<Outcome, RouteError> {
     let mut rng = unet_topology::util::seeded_rng(0);
-    let packets = make_packets(g, pairs, &ShortestPath, &mut rng);
-    route(g, &packets, Discipline::FarthestFirst, generous_step_limit(&packets))
-        .expect("generous limit")
+    let packets = make_packets(g, pairs, &ShortestPath, &mut rng)?;
+    Ok(route(g, &packets, Discipline::FarthestFirst, generous_step_limit(&packets))
+        .expect("generous limit"))
 }
 
 /// A step limit no valid run can exceed: sum of path lengths (each step
@@ -334,9 +374,29 @@ mod tests {
     }
 
     #[test]
+    fn partitioned_host_yields_typed_error() {
+        // Two components: {0,1} and {2,3}. Routing across them must surface
+        // RouteError::Unreachable, not panic.
+        let mut b = unet_topology::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        let g = b.build();
+        assert!(matches!(
+            route_simple(&g, &[(0, 3)]),
+            Err(RouteError::Unreachable { src: 0, dst: 3 })
+        ));
+        // Pairs within one component still route fine.
+        let ok = route_simple(&g, &[(0, 1), (3, 2)]).unwrap();
+        assert!(ok.delivered_at.iter().all(|&d| d != u32::MAX));
+        // The error is displayable (typed, not a panic string).
+        let msg = RouteError::Unreachable { src: 0, dst: 3 }.to_string();
+        assert!(msg.contains("partitioned"));
+    }
+
+    #[test]
     fn single_packet_travels_path_length() {
         let g = path(5);
-        let out = route_simple(&g, &[(0, 4)]);
+        let out = route_simple(&g, &[(0, 4)]).unwrap();
         assert_eq!(out.steps, 4);
         assert_eq!(out.delivered_at, vec![4]);
         assert_eq!(out.transfers.len(), 4);
@@ -345,7 +405,7 @@ mod tests {
     #[test]
     fn self_packet_is_free() {
         let g = path(3);
-        let out = route_simple(&g, &[(1, 1)]);
+        let out = route_simple(&g, &[(1, 1)]).unwrap();
         assert_eq!(out.steps, 0);
         assert_eq!(out.delivered_at, vec![0]);
     }
@@ -355,7 +415,7 @@ mod tests {
         // Two packets into the same destination on a star-free path graph:
         // 0→1 and 2→1 can both deliver only one per step.
         let g = path(3);
-        let out = route_simple(&g, &[(0, 1), (2, 1)]);
+        let out = route_simple(&g, &[(0, 1), (2, 1)]).unwrap();
         assert_eq!(out.steps, 2);
         let mut d = out.delivered_at.clone();
         d.sort_unstable();
@@ -368,7 +428,7 @@ mod tests {
         let g = torus(4, 4);
         let pairs: Vec<(Node, Node)> =
             (0..16).map(|i| (i as Node, ((i * 7 + 3) % 16) as Node)).collect();
-        let out = route_simple(&g, &pairs);
+        let out = route_simple(&g, &pairs).unwrap();
         for step_transfers in out.transfers_by_step() {
             let mut senders = std::collections::HashSet::new();
             let mut receivers = std::collections::HashSet::new();
@@ -387,7 +447,7 @@ mod tests {
         let mut rng = unet_topology::util::seeded_rng(3);
         let pairs: Vec<(Node, Node)> =
             (0..72).map(|_| (rng.gen_range(0..36), rng.gen_range(0..36))).collect();
-        let out = route_simple(&g, &pairs);
+        let out = route_simple(&g, &pairs).unwrap();
         assert!(out.delivered_at.iter().all(|&d| d != u32::MAX));
         assert!(out.steps > 0);
         assert!(out.max_queue >= 1);
@@ -398,7 +458,7 @@ mod tests {
         let g = ring(8);
         let pairs: Vec<(Node, Node)> = (0..8).map(|i| (i as Node, ((i + 4) % 8) as Node)).collect();
         let mut rng = unet_topology::util::seeded_rng(0);
-        let packets = make_packets(&g, &pairs, &ShortestPath, &mut rng);
+        let packets = make_packets(&g, &pairs, &ShortestPath, &mut rng).unwrap();
         let out = route(&g, &packets, Discipline::Fifo, 1000).unwrap();
         assert!(out.delivered_at.iter().all(|&d| d != u32::MAX));
     }
@@ -407,7 +467,7 @@ mod tests {
     fn step_limit_enforced() {
         let g = path(5);
         let mut rng = unet_topology::util::seeded_rng(0);
-        let packets = make_packets(&g, &[(0, 4)], &ShortestPath, &mut rng);
+        let packets = make_packets(&g, &[(0, 4)], &ShortestPath, &mut rng).unwrap();
         assert!(route(&g, &packets, Discipline::Fifo, 2).is_none());
     }
 
@@ -426,7 +486,7 @@ mod tests {
         let pairs: Vec<(Node, Node)> =
             (0..16).map(|i| (i as Node, ((i * 5 + 1) % 16) as Node)).collect();
         let mut rng = unet_topology::util::seeded_rng(0);
-        let packets = make_packets(&g, &pairs, &ShortestPath, &mut rng);
+        let packets = make_packets(&g, &pairs, &ShortestPath, &mut rng).unwrap();
         let plain = route(&g, &packets, Discipline::FarthestFirst, 1000).unwrap();
         let mut rec = InMemoryRecorder::new();
         let recorded =
@@ -453,7 +513,7 @@ mod tests {
         use unet_obs::InMemoryRecorder;
         let g = path(5);
         let mut rng = unet_topology::util::seeded_rng(0);
-        let packets = make_packets(&g, &[(0, 4)], &ShortestPath, &mut rng);
+        let packets = make_packets(&g, &[(0, 4)], &ShortestPath, &mut rng).unwrap();
         let mut rec = InMemoryRecorder::new();
         assert!(route_recorded(&g, &packets, Discipline::Fifo, 2, &mut rec).is_none());
         assert!(rec.open_spans().is_empty(), "span must close on failure too");

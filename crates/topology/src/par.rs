@@ -34,9 +34,31 @@ where
     out.into_iter().flatten().collect()
 }
 
-/// Number of worker threads to use by default: the available parallelism,
-/// capped at 8 (the sweeps are memory-bound beyond that).
+/// Number of worker threads to use by default.
+///
+/// Resolution order:
+/// 1. `UNET_THREADS` environment variable, if set to a positive integer —
+///    the explicit override for machines where the default cap is wrong
+///    (honoured by the `unet` CLI and `bench-json` alike, so one variable
+///    controls every sweep).
+/// 2. Otherwise the available parallelism, capped at 8. The cap exists
+///    because the experiment sweeps are memory-bandwidth-bound: each worker
+///    streams whole CSR graphs and routing queues, so beyond ~8 workers the
+///    extra threads mostly contend on the memory bus rather than speeding
+///    anything up. `UNET_THREADS` is the escape hatch for hardware where
+///    that heuristic is wrong (many-channel servers, or CI boxes that need
+///    `UNET_THREADS=2` to stay within a cgroup quota).
+///
+/// An unset, empty, or unparsable `UNET_THREADS` falls back to the capped
+/// default; `UNET_THREADS=0` is treated as unset.
 pub fn default_threads() -> usize {
+    if let Ok(raw) = std::env::var("UNET_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(8)
 }
 
@@ -76,6 +98,26 @@ mod tests {
             assert!(x != 2, "boom");
             x
         });
+    }
+
+    #[test]
+    fn unet_threads_env_override() {
+        // Set, read, restore — keeps the process env clean for other tests.
+        let saved = std::env::var("UNET_THREADS").ok();
+        std::env::set_var("UNET_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("UNET_THREADS", " 12 ");
+        assert_eq!(default_threads(), 12);
+        // Zero and garbage fall back to the capped default.
+        for bad in ["0", "", "lots"] {
+            std::env::set_var("UNET_THREADS", bad);
+            let n = default_threads();
+            assert!((1..=8).contains(&n), "fallback out of range: {n}");
+        }
+        match saved {
+            Some(v) => std::env::set_var("UNET_THREADS", v),
+            None => std::env::remove_var("UNET_THREADS"),
+        }
     }
 
     #[test]

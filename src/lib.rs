@@ -20,13 +20,17 @@
 //! * [`lowerbound`] — Theorem 3.1 executable: `G₀`, averaging, wavefronts,
 //!   counting, audits;
 //! * [`obs`] — zero-cost instrumentation: recorders, JSONL run traces
-//!   (`unet trace`), and report rendering (`unet report`).
+//!   (`unet trace`), and report rendering (`unet report`);
+//! * [`faults`] — fault injection and degraded-mode simulation: seeded
+//!   fault plans, faulty host views, fault-aware rerouting, and
+//!   crash-surviving simulation with re-embedding and pebble replay.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
 pub mod spec;
 
 pub use unet_core as core;
+pub use unet_faults as faults;
 pub use unet_lowerbound as lowerbound;
 pub use unet_obs as obs;
 pub use unet_pebble as pebble;
@@ -36,6 +40,7 @@ pub use unet_topology as topology;
 /// Everything most programs need.
 pub mod prelude {
     pub use unet_core::prelude::*;
+    pub use unet_faults::{DegradedSimulator, FaultPlan, FaultyView};
     pub use unet_pebble::{check, Op, Pebble, Protocol, ProtocolBuilder};
     pub use unet_routing::{RoutingProblem, ShortestPath};
     pub use unet_topology::prelude::*;

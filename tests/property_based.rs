@@ -60,7 +60,7 @@ proptest! {
         let g = torus(side, side);
         let mut rng = seeded_rng(seed);
         let prob = universal_networks::routing::problem::random_h_h(g.n(), h, &mut rng);
-        let out = route_simple(&g, &prob.pairs);
+        let out = route_simple(&g, &prob.pairs).unwrap();
         prop_assert!(out.delivered_at.iter().all(|&d| d != u32::MAX));
         for step in out.transfers_by_step() {
             let mut from = std::collections::HashSet::new();
