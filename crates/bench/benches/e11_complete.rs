@@ -9,6 +9,8 @@
 //! `s = Ω(log n)` for non-oblivious complete-network simulation regardless
 //! of `m` — our measured points must (and do) sit far above `log n`.
 
+#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use unet_bench::rng;
 use unet_core::prelude::*;

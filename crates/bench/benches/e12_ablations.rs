@@ -9,6 +9,8 @@
 //! 4. **Protocol pruning**: how much of each simulator's work is essential.
 //! 5. **Embeddings vs dynamics**: the [13]/[14] size separation as a table.
 
+#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use unet_bench::{rng, standard_guest};
 use unet_core::prelude::*;

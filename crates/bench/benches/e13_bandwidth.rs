@@ -7,6 +7,8 @@
 //! shows load vs cut bound vs measured, and the measured run never violates
 //! the bound.
 
+#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use unet_bench::rng;
 use unet_core::prelude::*;

@@ -9,6 +9,8 @@
 //! (`S(t) = 2^{Θ(t)}`) forces global traffic — the reason general universal
 //! hosts need the full Theorem 3.1 price but mesh-like guests do not.
 
+#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use unet_bench::rng;
 use unet_core::prelude::*;

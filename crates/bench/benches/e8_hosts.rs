@@ -4,6 +4,8 @@
 //! good `h–h` routing make good universal hosts; meshes pay their `√m`
 //! diameter), then times the per-host simulation kernels.
 
+#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use unet_bench::{rng, standard_guest};
 use unet_core::prelude::*;

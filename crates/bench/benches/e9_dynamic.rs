@@ -6,6 +6,8 @@
 //! gap above it reproduce the paper's conclusion that dynamics cannot beat
 //! the embedding for `m ≤ n`. Then times the protocol generation + checking.
 
+#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use unet_bench::{rng, standard_guest};
 use unet_core::flooding::flooding_protocol;

@@ -1,9 +1,11 @@
 //! `bench-json` — machine-readable benchmark artifacts.
 //!
-//! Runs the E1 (upper-bound), E2 (lower-bound trade-off), and E16
-//! (degraded-mode fault sweep) kernels and writes `BENCH_E1.json` /
-//! `BENCH_E2.json` / `BENCH_E16.json`: one JSON object per experiment with
-//! per-row slowdown, inefficiency, makespan, sizes, and wall-clock time.
+//! Runs the E1 (upper-bound), E2 (lower-bound trade-off), E16
+//! (degraded-mode fault sweep), and E17 (engine thread/cache sweep)
+//! kernels and writes `BENCH_E1.json` / `BENCH_E2.json` /
+//! `BENCH_E16.json` / `BENCH_E17.json`: one JSON object per experiment
+//! with per-row slowdown, inefficiency, makespan, sizes, and wall-clock
+//! time.
 //! The artifacts are the CI/regression-friendly twin of the human tables
 //! the criterion benches print.
 //!
@@ -15,7 +17,7 @@
 //! minutes) without changing the artifact schema.
 
 use std::time::Instant;
-use unet_bench::{butterfly_metrics, rng, standard_guest};
+use unet_bench::{butterfly_engine_run, butterfly_metrics, rng, standard_guest};
 use unet_core::bounds;
 use unet_core::prelude::{Embedding, GuestComputation};
 use unet_faults::{DegradedSimulator, FaultPlan};
@@ -175,6 +177,66 @@ fn e16_artifact(quick: bool) -> Value {
     ])
 }
 
+/// E17: the thread/cache sweep over the engine's parallel-phase and
+/// route-plan-cache settings, on the E1 butterfly configuration. Every row
+/// re-runs the same `(guest, router, seed)` through the `Simulation`
+/// builder with a different `(threads, cache)` pair. The first row
+/// (sequential, uncached) is the baseline; every other row is asserted
+/// bit-for-bit identical to it and checker-certified, so `wall_ms` is the
+/// only column allowed to vary between rows.
+fn e17_artifact(quick: bool) -> Value {
+    let (n, dim, steps) = if quick { (96, 2, 3u32) } else { (512, 3, 8) };
+    let (guest, comp) = standard_guest(n, 0xE1);
+    let host = butterfly(dim);
+    let configs: [(&str, usize, bool); 4] = [
+        ("seq-uncached", 1, false),
+        ("seq-cached", 1, true),
+        ("par-uncached", 4, false),
+        ("par-cached", 4, true),
+    ];
+    let total_start = Instant::now();
+    let mut baseline: Option<unet_core::SimulationRun> = None;
+    let mut rows = Vec::new();
+    for (label, threads, cache) in configs {
+        let wall_start = Instant::now();
+        let (run, hits, misses) =
+            butterfly_engine_run(&guest, &comp, dim, steps, 0xE17, threads, cache);
+        let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+        let trace = unet_pebble::check(&guest, &host, &run.protocol)
+            .unwrap_or_else(|e| panic!("E17 {label} failed to certify: {e}"));
+        assert_eq!(run.final_states, comp.run_final(steps), "{label}: states bit-for-bit");
+        if let Some(base) = &baseline {
+            assert_eq!(run.protocol, base.protocol, "{label}: protocol differs from baseline");
+            assert_eq!(run.final_states, base.final_states, "{label}: states differ");
+        }
+        rows.push(obj(vec![
+            ("config", Value::Str(label.into())),
+            ("threads", Value::UInt(threads as u64)),
+            ("cache", Value::Bool(cache)),
+            ("guest_n", Value::UInt(n as u64)),
+            ("host_m", Value::UInt(host.n() as u64)),
+            ("guest_steps", Value::UInt(steps as u64)),
+            ("makespan", Value::UInt(trace.host_steps as u64)),
+            ("cache_hits", Value::UInt(hits)),
+            ("cache_misses", Value::UInt(misses)),
+            ("wall_ms", Value::Float(wall_ms)),
+        ]));
+        if baseline.is_none() {
+            baseline = Some(run);
+        }
+    }
+    obj(vec![
+        ("experiment", Value::Str("E17".into())),
+        ("title", Value::Str("Engine thread/cache sweep: identical protocols, wall time".into())),
+        ("guest", Value::Str(format!("random-regular n={n} d=4"))),
+        ("guest_n", Value::UInt(n as u64)),
+        ("guest_steps", Value::UInt(steps as u64)),
+        ("router", Value::Str("butterfly-valiant".into())),
+        ("rows", Value::Arr(rows)),
+        ("wall_ms_total", Value::Float(total_start.elapsed().as_secs_f64() * 1e3)),
+    ])
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -183,6 +245,7 @@ fn main() {
         ("BENCH_E1.json", e1_artifact(quick)),
         ("BENCH_E2.json", e2_artifact(quick)),
         ("BENCH_E16.json", e16_artifact(quick)),
+        ("BENCH_E17.json", e17_artifact(quick)),
     ];
     for (name, artifact) in artifacts {
         let path = format!("{out_dir}/{name}");
@@ -202,7 +265,9 @@ mod tests {
 
     #[test]
     fn artifacts_round_trip_with_required_fields() {
-        for artifact in [e1_artifact(true), e2_artifact(true), e16_artifact(true)] {
+        for artifact in
+            [e1_artifact(true), e2_artifact(true), e16_artifact(true), e17_artifact(true)]
+        {
             let text = artifact.to_json();
             let back = parse(&text).expect("artifact is valid JSON");
             let rows = back.get("rows").and_then(Value::as_arr).expect("rows");
@@ -220,6 +285,31 @@ mod tests {
             assert!(row.get("inefficiency").and_then(Value::as_f64).unwrap() > 0.0);
             assert!(row.get("makespan").and_then(Value::as_u64).unwrap() > 0);
             assert!(row.get("wall_ms").and_then(Value::as_f64).unwrap() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn e17_rows_are_equivalent_and_cache_counters_line_up() {
+        // e17_artifact itself asserts bit-for-bit equality against the
+        // sequential-uncached baseline; here we check the serialized
+        // schema: 4 configs, identical makespans, and cache counters that
+        // reflect each row's cache setting.
+        let text = e17_artifact(true).to_json();
+        let back = parse(&text).expect("valid JSON");
+        let rows = back.get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows.len(), 4, "2 thread settings × 2 cache settings");
+        let makespan0 = rows[0].get("makespan").and_then(Value::as_u64).unwrap();
+        for row in rows {
+            assert_eq!(row.get("makespan").and_then(Value::as_u64).unwrap(), makespan0);
+            let cached = matches!(row.get("cache"), Some(Value::Bool(true)));
+            let hits = row.get("cache_hits").and_then(Value::as_u64).unwrap();
+            let misses = row.get("cache_misses").and_then(Value::as_u64).unwrap();
+            if cached {
+                assert_eq!(misses, 1, "one cold comm phase per cached run");
+                assert!(hits >= 1, "replays after the first comm phase");
+            } else {
+                assert_eq!((hits, misses), (0, 0));
+            }
         }
     }
 

@@ -42,6 +42,7 @@ pub fn butterfly_slowdown(
 /// Like [`butterfly_slowdown`], but returns the full certified metrics
 /// (host steps, slowdown, inefficiency, sizes) — the raw material of the
 /// machine-readable `BENCH_E*.json` artifacts.
+#[allow(deprecated)] // E1/E2 artifacts pin the legacy wrapper's rng threading
 pub fn butterfly_metrics(
     guest: &Graph,
     comp: &GuestComputation,
@@ -58,6 +59,39 @@ pub fn butterfly_metrics(
     v.metrics
 }
 
+/// One engine run for the E17 thread/cache sweep: the E1 butterfly
+/// configuration driven through the [`Simulation`] builder with explicit
+/// thread and cache settings. Returns the certified run together with the
+/// route-plan cache hit/miss counters it reported.
+pub fn butterfly_engine_run(
+    guest: &Graph,
+    comp: &GuestComputation,
+    dim: usize,
+    steps: u32,
+    seed: u64,
+    threads: usize,
+    cache: bool,
+) -> (SimulationRun, u64, u64) {
+    let host = butterfly(dim);
+    let router: SelectorRouter<ValiantButterfly> = presets::butterfly_valiant(dim);
+    let mut rec = unet_obs::InMemoryRecorder::new();
+    let run = Simulation::builder()
+        .guest(comp)
+        .host(&host)
+        .embedding(Embedding::block(guest.n(), host.n()))
+        .router(&router)
+        .steps(steps)
+        .seed(seed)
+        .threads(threads)
+        .cache_policy(if cache { CachePolicy::Enabled } else { CachePolicy::Disabled })
+        .recorder(&mut rec)
+        .run()
+        .expect("builder run succeeds on the E1 configuration");
+    let hits = rec.counter_value("sim.cache.hits");
+    let misses = rec.counter_value("sim.cache.misses");
+    (run, hits, misses)
+}
+
 /// A verified trace of a `U[G₀]` guest on a torus host — the shared input
 /// for the lower-bound analysis benches (E4, E5, E7).
 pub struct LowerBoundFixture {
@@ -72,6 +106,7 @@ pub struct LowerBoundFixture {
 }
 
 /// Build the standard lower-bound fixture: `n = 144`, `m = 16`, `T = 8`.
+#[allow(deprecated)] // E4/E5/E7 analyses pin the legacy wrapper's rng threading
 pub fn lowerbound_fixture() -> LowerBoundFixture {
     let mut r = seeded_rng(77);
     let g0 = unet_lowerbound::build_g0(144, 1, &mut r);
@@ -94,6 +129,17 @@ mod tests {
         let f = lowerbound_fixture();
         assert_eq!(f.trace.guest_n, 144);
         assert_eq!(f.trace.host_m, 16);
+    }
+
+    #[test]
+    fn engine_run_sweep_rows_agree() {
+        let (g, c) = standard_guest(96, 1);
+        let (base, h0, m0) = butterfly_engine_run(&g, &c, 2, 3, 0x17, 1, false);
+        let (tuned, h1, m1) = butterfly_engine_run(&g, &c, 2, 3, 0x17, 4, true);
+        assert_eq!(base.protocol, tuned.protocol);
+        assert_eq!(base.final_states, tuned.final_states);
+        assert_eq!((h0, m0), (0, 0));
+        assert!(h1 >= 1 && m1 == 1, "hits {h1}, misses {m1}");
     }
 
     #[test]

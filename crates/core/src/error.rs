@@ -1,0 +1,110 @@
+//! `SimError` — the unified fallible surface of the simulation engine.
+//!
+//! Historically the engine front door was `EmbeddingSimulator` with
+//! panicking asserts; every malformed configuration (zero steps, an
+//! embedding sized for a different guest or host, a router bound to a
+//! different topology) aborted the process — and several of those were
+//! reachable from CLI input. [`SimError`] replaces all of them: the
+//! [`Simulation`](crate::sim::Simulation) builder validates up front and
+//! returns `Result<SimulationRun, SimError>`, and verification failures
+//! fold into the same type via `From<VerifyError>`.
+
+use crate::verify::VerifyError;
+
+/// Everything that can go wrong configuring, running, or certifying a
+/// universal simulation.
+#[derive(Debug)]
+pub enum SimError {
+    /// A required builder field was never supplied.
+    MissingField(&'static str),
+    /// `steps == 0`: a simulation must run at least one guest step.
+    ZeroSteps,
+    /// The embedding's domain size disagrees with the guest computation.
+    GuestMismatch {
+        /// `embedding.n()`.
+        embedding_n: usize,
+        /// `comp.n()`.
+        guest_n: usize,
+    },
+    /// The embedding's range size disagrees with the host graph.
+    HostMismatch {
+        /// `embedding.m`.
+        embedding_m: usize,
+        /// `host.n()`.
+        host_m: usize,
+    },
+    /// The host graph has no nodes (or the flooding host count is zero).
+    EmptyHost,
+    /// The router cannot operate on this host topology.
+    Router {
+        /// The router's `name()`.
+        router: &'static str,
+        /// Why the host was rejected.
+        reason: String,
+    },
+    /// The run completed but failed certification.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::MissingField(field) => {
+                write!(f, "simulation builder is missing required field `{field}`")
+            }
+            SimError::ZeroSteps => write!(f, "simulate at least one guest step (steps >= 1)"),
+            SimError::GuestMismatch { embedding_n, guest_n } => {
+                write!(f, "embedding covers {embedding_n} guests but the computation has {guest_n}")
+            }
+            SimError::HostMismatch { embedding_m, host_m } => {
+                write!(f, "embedding targets {embedding_m} hosts but the host graph has {host_m}")
+            }
+            SimError::EmptyHost => write!(f, "host must have at least one node"),
+            SimError::Router { router, reason } => {
+                write!(f, "router `{router}` rejected this host: {reason}")
+            }
+            SimError::Verify(e) => write!(f, "certification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VerifyError> for SimError {
+    fn from(e: VerifyError) -> Self {
+        SimError::Verify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        assert!(SimError::ZeroSteps.to_string().contains("at least one"));
+        assert!(SimError::MissingField("router").to_string().contains("`router`"));
+        let g = SimError::GuestMismatch { embedding_n: 8, guest_n: 12 };
+        assert!(g.to_string().contains('8') && g.to_string().contains("12"));
+        let h = SimError::HostMismatch { embedding_m: 4, host_m: 9 };
+        assert!(h.to_string().contains('4') && h.to_string().contains('9'));
+        let r = SimError::Router { router: "benes-offline", reason: "wrong size".into() };
+        assert!(r.to_string().contains("benes-offline"));
+    }
+
+    #[test]
+    fn verify_error_folds_in_with_source() {
+        use std::error::Error;
+        let e: SimError = VerifyError::WrongStates { node: 3, got: 1, want: 2 }.into();
+        assert!(matches!(e, SimError::Verify(_)));
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("P3"));
+    }
+}

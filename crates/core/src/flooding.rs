@@ -7,7 +7,9 @@
 //! experiment E9: the paper's conclusion is that for `m ≤ n` no amount of
 //! dynamic redundancy beats the plain embedding by more than a constant.
 
+use crate::error::SimError;
 use crate::guest::GuestComputation;
+use crate::simulate::SimulationRun;
 use unet_pebble::protocol::{Op, Pebble, Protocol, ProtocolBuilder};
 
 /// Simulate `steps` guest steps with full redundancy on `m` hosts:
@@ -30,6 +32,31 @@ pub fn flooding_protocol(comp: &GuestComputation, m: usize, steps: u32) -> Proto
 /// The flooding slowdown is exactly `n` per guest step.
 pub fn flooding_slowdown(n: usize) -> f64 {
     n as f64
+}
+
+/// Fallible flooding run in the builder API's vocabulary: validates the
+/// configuration (`steps ≥ 1`, `m ≥ 1`), emits the protocol, and computes
+/// the final states, packaged as a [`SimulationRun`] so the standard
+/// verification/metrics pipeline (`run.verify(…)`) applies unchanged.
+pub fn flooding_run(
+    comp: &GuestComputation,
+    m: usize,
+    steps: u32,
+) -> Result<SimulationRun, SimError> {
+    if steps == 0 {
+        return Err(SimError::ZeroSteps);
+    }
+    if m == 0 {
+        return Err(SimError::EmptyHost);
+    }
+    let protocol = flooding_protocol(comp, m, steps);
+    let compute_steps = protocol.host_steps();
+    Ok(SimulationRun {
+        protocol,
+        final_states: comp.run_final(steps),
+        comm_steps: 0,
+        compute_steps,
+    })
 }
 
 #[cfg(test)]
@@ -63,6 +90,19 @@ mod tests {
         let proto = flooding_protocol(&comp, 1, 3);
         check(&guest, &host, &proto).expect("single host floods fine");
         assert_eq!(proto.inefficiency(), 1.0);
+    }
+
+    #[test]
+    fn flooding_run_verifies_and_validates() {
+        let guest = ring(6);
+        let host = complete(3);
+        let comp = GuestComputation::random(guest.clone(), 4);
+        let run = flooding_run(&comp, 3, 2).expect("valid");
+        run.verify(&comp, &host, 2).expect("certified");
+        assert_eq!(run.comm_steps, 0);
+        assert_eq!(run.compute_steps, run.protocol.host_steps());
+        assert!(matches!(flooding_run(&comp, 3, 0), Err(SimError::ZeroSteps)));
+        assert!(matches!(flooding_run(&comp, 0, 2), Err(SimError::EmptyHost)));
     }
 
     #[test]

@@ -112,6 +112,10 @@ impl Router for GalilPaulRouter {
     fn name(&self) -> &'static str {
         "galil-paul-bitonic-sort"
     }
+
+    fn validate(&self, host: &Graph) -> Result<(), String> {
+        GalilPaulRouterWith { k: self.k, net: SortNetwork::Bitonic }.validate(host)
+    }
 }
 
 impl Router for GalilPaulRouterWith {
@@ -175,9 +179,23 @@ impl Router for GalilPaulRouterWith {
             SortNetwork::OddEvenMerge => "galil-paul-odd-even-merge",
         }
     }
+
+    fn validate(&self, host: &Graph) -> Result<(), String> {
+        let n = 1usize << self.k;
+        if host.n() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "host has {} nodes but the comparator graph on 2^{} positions has {n}",
+                host.n(),
+                self.k
+            ))
+        }
+    }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use crate::embedding::Embedding;

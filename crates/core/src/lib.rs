@@ -5,8 +5,11 @@
 //! protocol and measured slowdown, for every simulation strategy the paper
 //! discusses:
 //!
+//! * [`sim`] — the **public front door**: `Simulation::builder()`, fallible
+//!   via [`SimError`], with thread/cache execution knobs;
 //! * [`simulate`] — the **Theorem 2.1 engine**: static embedding +
-//!   pluggable `h–h` routing; slowdown `O(route_M(n/m))`;
+//!   pluggable `h–h` routing; slowdown `O(route_M(n/m))`, with a
+//!   step-invariant route-plan cache and parallel phases;
 //! * [`galil_paul`] — the sorting-based universal machine of Galil & Paul;
 //! * [`flooding`] — the fully redundant baseline (slowdown `n`);
 //! * [`treesim`] — constant slowdown for short computations on
@@ -19,19 +22,22 @@
 //! ```
 //! use unet_core::prelude::*;
 //! use unet_topology::generators::{ring, torus};
-//! use unet_topology::util::seeded_rng;
 //!
 //! // Simulate a 16-node ring guest on a 4-node torus host (m ≤ n).
 //! let guest = ring(16);
 //! let host = torus(2, 2);
 //! let comp = GuestComputation::random(guest, 7);
 //! let router = presets::bfs();
-//! let sim = EmbeddingSimulator {
-//!     embedding: Embedding::block(16, 4),
-//!     router: &router,
-//! };
-//! let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(1));
-//! let verified = verify_run(&comp, &host, &run, 3).expect("certified");
+//! let run = Simulation::builder()
+//!     .guest(&comp)
+//!     .host(&host)
+//!     .embedding(Embedding::block(16, 4))
+//!     .router(&router)
+//!     .steps(3)
+//!     .seed(1)
+//!     .run()
+//!     .expect("misconfigurations surface as SimError, not panics");
+//! let verified = run.verify(&comp, &host, 3).expect("certified");
 //! assert!(verified.metrics.slowdown >= 4.0); // ≥ load n/m
 //! ```
 
@@ -40,17 +46,21 @@
 pub mod async_sim;
 pub mod bounds;
 pub mod embedding;
+pub mod error;
 pub mod flooding;
 pub mod galil_paul;
 pub mod guest;
 pub mod routers;
+pub mod sim;
 pub mod simulate;
 pub mod treesim;
 pub mod verify;
 
 pub use embedding::Embedding;
+pub use error::SimError;
 pub use guest::GuestComputation;
 pub use routers::Router;
+pub use sim::{CachePolicy, Simulation, SimulationBuilder};
 pub use simulate::{EmbeddingSimulator, SimulationRun};
 pub use verify::{verify_run, VerifiedRun, VerifyError};
 
@@ -58,8 +68,10 @@ pub use verify::{verify_run, VerifiedRun, VerifyError};
 pub mod prelude {
     pub use crate::bounds;
     pub use crate::embedding::Embedding;
+    pub use crate::error::SimError;
     pub use crate::guest::GuestComputation;
     pub use crate::routers::{presets, Router};
+    pub use crate::sim::{CachePolicy, Simulation, SimulationBuilder};
     pub use crate::simulate::{EmbeddingSimulator, SimulationRun};
     pub use crate::verify::{verify_run, VerifiedRun};
 }

@@ -37,6 +37,16 @@ pub trait Router {
 
     /// Human-readable strategy name (for experiment tables).
     fn name(&self) -> &'static str;
+
+    /// Check that this router can operate on `host` **before** any routing
+    /// is attempted. The builder front door calls this and converts a
+    /// rejection into `SimError::Router`, replacing the panics that
+    /// topology-bound routers (Beneš, Galil–Paul) used to raise mid-run.
+    /// The default accepts every host.
+    fn validate(&self, host: &Graph) -> Result<(), String> {
+        let _ = host;
+        Ok(())
+    }
 }
 
 /// Wrap any [`PathSelector`] (BFS, dimension-order, butterfly greedy,
@@ -94,6 +104,16 @@ impl<S: PathSelector> Router for SelectorRouter<S> {
     fn name(&self) -> &'static str {
         self.label
     }
+
+    fn validate(&self, host: &Graph) -> Result<(), String> {
+        // Path selection panics on unreachable targets; reject up front so
+        // the builder can return `SimError::Router` instead.
+        if unet_topology::analysis::is_connected(host) {
+            Ok(())
+        } else {
+            Err("store-and-forward path selection requires a connected host".into())
+        }
+    }
 }
 
 /// Offline router for the Beneš-network host: sources/destinations must be
@@ -130,6 +150,20 @@ impl Router for OfflineBenesRouter {
 
     fn name(&self) -> &'static str {
         "offline-benes-waksman"
+    }
+
+    fn validate(&self, host: &Graph) -> Result<(), String> {
+        let rows = 1usize << self.dim;
+        if host.n() == 2 * self.dim * rows {
+            Ok(())
+        } else {
+            Err(format!(
+                "host has {} nodes but benes_network({}) has {}",
+                host.n(),
+                self.dim,
+                2 * self.dim * rows
+            ))
+        }
     }
 }
 
@@ -227,5 +261,21 @@ mod tests {
     #[test]
     fn column0_ids() {
         assert_eq!(benes_column0(2), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn validate_accepts_and_rejects() {
+        // Selector router: connected host OK, disconnected host rejected.
+        let r = presets::bfs();
+        assert!(r.validate(&torus(3, 3)).is_ok());
+        let mut b = unet_topology::GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(2, 3);
+        assert!(r.validate(&b.build()).is_err());
+        // Beneš router: exact size or nothing.
+        let b = OfflineBenesRouter { dim: 2 };
+        assert!(b.validate(&benes_network(2)).is_ok());
+        let err = b.validate(&torus(3, 3)).unwrap_err();
+        assert!(err.contains("benes_network(2)"), "{err}");
     }
 }

@@ -5,21 +5,39 @@
 //! (a) a **communication phase** — the guest's cross-host edges induce an
 //! `O(n/m)–O(n/m)` routing problem, solved by a pluggable [`Router`] — and
 //! (b) a **computation phase** — each host generates its guests' next
-//! configurations sequentially.
+//! configurations.
 //!
 //! The engine emits a full pebble-game [`Protocol`] (so the Section 3.1
 //! checker can certify the run) plus the host-computed final states (so the
 //! simulation can be verified bit-for-bit against direct execution).
+//!
+//! Two execution optimizations live here, both **bit-for-bit invisible** in
+//! the emitted protocol and final states:
+//!
+//! * **Route-plan cache** — for a static embedding the induced routing
+//!   problem is identical at every guest step `gt > 1`, so the pair set and
+//!   the router's matching decomposition ([`unet_routing::plan::RoutePlan`])
+//!   are computed once and replayed with fresh pebble payloads each step.
+//! * **Parallel phases** — pair extraction shards by guest range and the
+//!   host-side state computation shards by node range, both on
+//!   [`unet_topology::par`] with order-preserving merges.
+//!
+//! The public front door is [`crate::sim::Simulation`]; the
+//! [`EmbeddingSimulator`] entry points are kept as deprecated wrappers that
+//! reproduce the legacy sequential behaviour exactly (including its panics).
 
 use crate::embedding::Embedding;
+use crate::error::SimError;
 use crate::guest::{transition, GuestComputation};
 use crate::routers::Router;
 use rand::rngs::StdRng;
 use unet_obs::{NoopRecorder, Recorder};
 use unet_pebble::protocol::{Op, Pebble, Protocol, ProtocolBuilder};
 use unet_routing::packet::Transfer;
+use unet_routing::plan::{extract_plan, PlanCache, RoutePlan};
 use unet_routing::problem::RoutingProblem;
-use unet_topology::util::FxHashSet;
+use unet_topology::par::par_chunks;
+use unet_topology::util::{seeded_rng, FxHashSet};
 use unet_topology::{Graph, Node};
 
 /// Result of a universal simulation run.
@@ -48,7 +66,221 @@ impl SimulationRun {
     }
 }
 
+/// Where the router's randomness comes from.
+///
+/// The legacy API threaded one `StdRng` through every communication phase,
+/// so a randomized router (Valiant) drew a *different* schedule each step —
+/// correct, but inherently uncacheable. The builder API instead fixes one
+/// route seed per run: every phase sees an identically seeded generator, the
+/// schedule becomes step-invariant, and the route-plan cache is pure
+/// memoization (cached and uncached runs are bit-for-bit identical even for
+/// randomized routers).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum RouteRngMode {
+    /// Legacy: consume the caller's RNG stream each phase.
+    Threaded,
+    /// Deterministic: reseed a fresh generator with this seed each phase.
+    PerPhase(u64),
+}
+
+/// Execution knobs threaded through the engine core (see
+/// [`crate::sim::SimulationBuilder`] for the public surface).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EngineConfig {
+    pub threads: usize,
+    pub cache: bool,
+    pub route_rng: RouteRngMode,
+}
+
+/// The step-invariant skeleton of one communication phase: payload sources
+/// (guest per packet), problem size, and the replayable transfer rounds.
+struct CachedComm {
+    guests: Vec<Node>,
+    pair_count: usize,
+    plan: RoutePlan,
+}
+
+/// Build the induced `h–h` routing problem: one packet per
+/// `(guest u, remote host of a neighbour of u)`, in ascending guest order.
+///
+/// Sharded by guest range. The dedup key `(u, fv)` involves only the shard's
+/// own `u`, so shard-local `seen` sets plus an in-order concatenation yield
+/// exactly the sequential pair list.
+fn induced_pairs(
+    comp: &GuestComputation,
+    f: &[Node],
+    threads: usize,
+) -> (Vec<(Node, Node)>, Vec<Node>) {
+    let n = comp.n();
+    let found: Vec<((Node, Node), Node)> = par_chunks(n, threads, |range| {
+        let mut seen: FxHashSet<(Node, Node)> = FxHashSet::default();
+        let mut out = Vec::new();
+        for u in range {
+            let u = u as Node;
+            let fu = f[u as usize];
+            for &v in comp.graph.neighbors(u) {
+                let fv = f[v as usize];
+                if fu != fv && seen.insert((u, fv)) {
+                    out.push(((fu, fv), u));
+                }
+            }
+        }
+        out
+    });
+    let mut pairs = Vec::with_capacity(found.len());
+    let mut guests = Vec::with_capacity(found.len());
+    for (pair, u) in found {
+        pairs.push(pair);
+        guests.push(u);
+    }
+    (pairs, guests)
+}
+
+/// Host-side state computation, sharded by node range (each node reads only
+/// `prev_states`, so the parallel result equals the sequential one exactly).
+///
+/// Public so degraded-mode simulators (`unet-faults`) can share the exact
+/// transition loop (and its parallel/sequential equivalence guarantee).
+pub fn advance_states(comp: &GuestComputation, prev_states: &[u64], threads: usize) -> Vec<u64> {
+    par_chunks(comp.n(), threads, |range| {
+        let mut out = Vec::with_capacity(range.len());
+        let mut nb_buf: Vec<u64> = Vec::new();
+        for i in range {
+            nb_buf.clear();
+            nb_buf.extend(comp.graph.neighbors(i as Node).iter().map(|&j| prev_states[j as usize]));
+            out.push(transition(prev_states[i], &nb_buf));
+        }
+        out
+    })
+}
+
+/// The engine core shared by the builder API and the deprecated wrappers.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_engine<REC: Recorder>(
+    embedding: &Embedding,
+    router: &dyn Router,
+    comp: &GuestComputation,
+    host: &Graph,
+    steps: u32,
+    cfg: &EngineConfig,
+    rng: &mut StdRng,
+    rec: &mut REC,
+) -> Result<SimulationRun, SimError> {
+    let n = comp.n();
+    let m = host.n();
+    if steps == 0 {
+        return Err(SimError::ZeroSteps);
+    }
+    if m == 0 {
+        return Err(SimError::EmptyHost);
+    }
+    if embedding.n() != n {
+        return Err(SimError::GuestMismatch { embedding_n: embedding.n(), guest_n: n });
+    }
+    if embedding.m != m {
+        return Err(SimError::HostMismatch { embedding_m: embedding.m, host_m: m });
+    }
+    router.validate(host).map_err(|reason| SimError::Router { router: router.name(), reason })?;
+
+    let f = &embedding.f;
+    let guests_by_host = embedding.guests_by_host();
+    let load = embedding.load();
+
+    let mut builder = ProtocolBuilder::new(n, steps, m);
+    let mut comm_steps = 0usize;
+    let mut compute_steps = 0usize;
+    // The core engine never changes topology mid-run, so the cache epoch is
+    // constant; degraded-mode simulators key their caches on the live
+    // `FaultyView::epoch` instead.
+    let mut cache: PlanCache<CachedComm> = PlanCache::new();
+
+    let mut prev_states: Vec<u64> = comp.init.clone();
+
+    for gt in 1..=steps {
+        // ---- Communication phase -------------------------------------
+        // One packet per (guest u, remote host of a neighbour of u).
+        // Level-0 pebbles are initial and held by every host, so the
+        // first guest step needs no communication at all.
+        rec.span_start("sim.comm");
+        if gt > 1 {
+            let hit = cfg.cache && cache.lookup(0, |_| true).is_some();
+            if hit {
+                let c = cache.peek().expect("hit implies entry");
+                rec.histogram("sim.routing_problem_size", c.pair_count as u64);
+                let payloads: Vec<Pebble> =
+                    c.guests.iter().map(|&u| Pebble::new(u, gt - 1)).collect();
+                comm_steps += replay_plan(&mut builder, &c.plan, &payloads);
+            } else {
+                let (pairs, guests) = induced_pairs(comp, f, cfg.threads);
+                rec.histogram("sim.routing_problem_size", pairs.len() as u64);
+                let pair_count = pairs.len();
+                let plan = if pairs.is_empty() {
+                    RoutePlan::default()
+                } else {
+                    let prob = RoutingProblem::new(m, pairs);
+                    let out = match cfg.route_rng {
+                        RouteRngMode::Threaded => {
+                            router.route_recorded(host, &prob, rng, &mut *rec)
+                        }
+                        RouteRngMode::PerPhase(seed) => {
+                            router.route_recorded(host, &prob, &mut seeded_rng(seed), &mut *rec)
+                        }
+                    };
+                    extract_plan(&out.transfers)
+                };
+                let payloads: Vec<Pebble> =
+                    guests.iter().map(|&u| Pebble::new(u, gt - 1)).collect();
+                comm_steps += replay_plan(&mut builder, &plan, &payloads);
+                if cfg.cache {
+                    cache.store(0, CachedComm { guests, pair_count, plan });
+                }
+            }
+        } else {
+            rec.histogram("sim.routing_problem_size", 0);
+        }
+        rec.span_end("sim.comm");
+        // ---- Computation phase ---------------------------------------
+        rec.span_start("sim.compute");
+        for round in 0..load {
+            for (q, guests) in guests_by_host.iter().enumerate() {
+                if let Some(&v) = guests.get(round) {
+                    builder.set_op(q as Node, Op::Generate(Pebble::new(v, gt)));
+                }
+            }
+            builder.end_step();
+            compute_steps += 1;
+        }
+        // ---- Host-side state computation -----------------------------
+        // (data availability is certified separately by the pebble
+        // checker; values are copies, so computing from the global table
+        // is equivalent to computing from the delivered copies)
+        prev_states = advance_states(comp, &prev_states, cfg.threads);
+        rec.span_end("sim.compute");
+    }
+    rec.counter("sim.guest_steps", steps as u64);
+    rec.counter("sim.comm_steps", comm_steps as u64);
+    rec.counter("sim.compute_steps", compute_steps as u64);
+    rec.counter("sim.cache.hits", cache.hits());
+    rec.counter("sim.cache.misses", cache.misses());
+    rec.gauge("sim.load", load as f64);
+    rec.gauge("sim.par.threads", cfg.threads as f64);
+
+    Ok(SimulationRun {
+        protocol: builder.finish(),
+        final_states: prev_states,
+        comm_steps,
+        compute_steps,
+    })
+}
+
 /// The static-embedding universal simulator of Theorem 2.1.
+///
+/// Deprecated front door: prefer [`crate::sim::Simulation::builder`], which
+/// validates instead of panicking, exposes the thread/cache knobs, and makes
+/// randomized routers cache-compatible via a fixed per-run route seed. The
+/// methods here reproduce the legacy behaviour **exactly** (sequential,
+/// uncached, RNG threaded through every phase) so existing callers see
+/// byte-identical protocols.
 pub struct EmbeddingSimulator<'r> {
     /// The guest→host placement.
     pub embedding: Embedding,
@@ -56,12 +288,14 @@ pub struct EmbeddingSimulator<'r> {
     pub router: &'r dyn Router,
 }
 
+#[allow(deprecated)]
 impl EmbeddingSimulator<'_> {
     /// Simulate `steps` guest steps of `comp` on `host`.
     ///
     /// # Panics
     /// Panics if sizes disagree (`embedding.n() == comp.n()`,
-    /// `embedding.m == host.n()`).
+    /// `embedding.m == host.n()`) or `steps == 0`.
+    #[deprecated(since = "0.2.0", note = "use `Simulation::builder()` and handle `SimError`")]
     pub fn simulate(
         &self,
         comp: &GuestComputation,
@@ -80,6 +314,7 @@ impl EmbeddingSimulator<'_> {
     ///
     /// `simulate` is exactly this with [`NoopRecorder`], so the
     /// uninstrumented path monomorphizes all of it away.
+    #[deprecated(since = "0.2.0", note = "use `Simulation::builder()` and handle `SimError`")]
     pub fn simulate_recorded<REC: Recorder>(
         &self,
         comp: &GuestComputation,
@@ -88,87 +323,30 @@ impl EmbeddingSimulator<'_> {
         rng: &mut StdRng,
         rec: &mut REC,
     ) -> SimulationRun {
-        let n = comp.n();
-        let m = host.n();
-        assert_eq!(self.embedding.n(), n, "embedding covers every guest");
-        assert_eq!(self.embedding.m, m, "embedding targets this host");
+        // Legacy contract: panic, with the historical messages, rather than
+        // return. New code should use the builder and get `SimError`.
+        assert_eq!(self.embedding.n(), comp.n(), "embedding covers every guest");
+        assert_eq!(self.embedding.m, host.n(), "embedding targets this host");
         assert!(steps >= 1, "simulate at least one guest step");
-
-        let f = &self.embedding.f;
-        let guests_by_host = self.embedding.guests_by_host();
-        let load = self.embedding.load();
-
-        let mut builder = ProtocolBuilder::new(n, steps, m);
-        let mut comm_steps = 0usize;
-        let mut compute_steps = 0usize;
-
-        let mut prev_states: Vec<u64> = comp.init.clone();
-        let mut nb_buf: Vec<u64> = Vec::new();
-
-        for gt in 1..=steps {
-            // ---- Communication phase -------------------------------------
-            // One packet per (guest u, remote host of a neighbour of u).
-            // Level-0 pebbles are initial and held by every host, so the
-            // first guest step needs no communication at all.
-            rec.span_start("sim.comm");
-            let mut seen: FxHashSet<(Node, Node)> = FxHashSet::default();
-            let mut pairs: Vec<(Node, Node)> = Vec::new();
-            let mut payloads: Vec<Pebble> = Vec::new();
-            if gt > 1 {
-                for u in 0..n as Node {
-                    let fu = f[u as usize];
-                    for &v in comp.graph.neighbors(u) {
-                        let fv = f[v as usize];
-                        if fu != fv && seen.insert((u, fv)) {
-                            pairs.push((fu, fv));
-                            payloads.push(Pebble::new(u, gt - 1));
-                        }
-                    }
-                }
-            }
-            rec.histogram("sim.routing_problem_size", pairs.len() as u64);
-            if !pairs.is_empty() {
-                let prob = RoutingProblem::new(m, pairs);
-                let out = self.router.route_recorded(host, &prob, rng, &mut *rec);
-                comm_steps += emit_transfers(&mut builder, &out.transfers, &payloads);
-            }
-            rec.span_end("sim.comm");
-            // ---- Computation phase ---------------------------------------
-            rec.span_start("sim.compute");
-            for round in 0..load {
-                for (q, guests) in guests_by_host.iter().enumerate() {
-                    if let Some(&v) = guests.get(round) {
-                        builder.set_op(q as Node, Op::Generate(Pebble::new(v, gt)));
-                    }
-                }
-                builder.end_step();
-                compute_steps += 1;
-            }
-            // ---- Host-side state computation -----------------------------
-            // (data availability is certified separately by the pebble
-            // checker; values are copies, so computing from the global table
-            // is equivalent to computing from the delivered copies)
-            let mut next_states = Vec::with_capacity(n);
-            for i in 0..n as Node {
-                nb_buf.clear();
-                nb_buf.extend(comp.graph.neighbors(i).iter().map(|&j| prev_states[j as usize]));
-                next_states.push(transition(prev_states[i as usize], &nb_buf));
-            }
-            prev_states = next_states;
-            rec.span_end("sim.compute");
-        }
-        rec.counter("sim.guest_steps", steps as u64);
-        rec.counter("sim.comm_steps", comm_steps as u64);
-        rec.counter("sim.compute_steps", compute_steps as u64);
-        rec.gauge("sim.load", load as f64);
-
-        SimulationRun {
-            protocol: builder.finish(),
-            final_states: prev_states,
-            comm_steps,
-            compute_steps,
+        let cfg = EngineConfig { threads: 1, cache: false, route_rng: RouteRngMode::Threaded };
+        match run_engine(&self.embedding, self.router, comp, host, steps, &cfg, rng, rec) {
+            Ok(run) => run,
+            Err(e) => panic!("{e}"),
         }
     }
+}
+
+/// Replay an extracted [`RoutePlan`] into pebble protocol steps with the
+/// given payload table (`payloads[packet_id]`). Returns the number of pebble
+/// steps emitted (`plan.rounds.len()`).
+pub fn replay_plan(builder: &mut ProtocolBuilder, plan: &RoutePlan, payloads: &[Pebble]) -> usize {
+    for round in &plan.rounds {
+        for &(from, to, pid) in round {
+            builder.transfer(from, to, payloads[pid as usize]);
+        }
+        builder.end_step();
+    }
+    plan.rounds.len()
 }
 
 /// Convert an engine transfer schedule into pebble send/receive steps.
@@ -181,6 +359,11 @@ impl EmbeddingSimulator<'_> {
 /// Δ = 2). Self-transfers (lazy path segments) are dropped — custody already
 /// covers them.
 ///
+/// Since the route-plan cache landed this is literally
+/// [`unet_routing::plan::extract_plan`] followed by [`replay_plan`]; the
+/// decomposition is unchanged, so output is byte-identical to the historical
+/// inline loop.
+///
 /// Returns the number of pebble steps emitted.
 ///
 /// Public so that degraded-mode simulators (`unet-faults`) can reuse the
@@ -191,39 +374,11 @@ pub fn emit_transfers(
     transfers: &[Transfer],
     payloads: &[Pebble],
 ) -> usize {
-    let mut emitted = 0usize;
-    let mut idx = 0usize;
-    while idx < transfers.len() {
-        // Slice out one engine step.
-        let step = transfers[idx].step;
-        let mut hi = idx;
-        while hi < transfers.len() && transfers[hi].step == step {
-            hi += 1;
-        }
-        let mut remaining: Vec<&Transfer> =
-            transfers[idx..hi].iter().filter(|t| t.from != t.to).collect();
-        while !remaining.is_empty() {
-            let mut used: FxHashSet<Node> = FxHashSet::default();
-            let mut next_round = Vec::new();
-            for t in remaining {
-                if used.contains(&t.from) || used.contains(&t.to) {
-                    next_round.push(t);
-                    continue;
-                }
-                used.insert(t.from);
-                used.insert(t.to);
-                builder.transfer(t.from, t.to, payloads[t.packet_id as usize]);
-            }
-            builder.end_step();
-            emitted += 1;
-            remaining = next_round;
-        }
-        idx = hi;
-    }
-    emitted
+    replay_plan(builder, &extract_plan(transfers), payloads)
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::routers::presets;
@@ -335,6 +490,9 @@ mod tests {
         assert_eq!(rec.counter_value("sim.compute_steps"), recorded.compute_steps as u64);
         // One routing-problem-size sample per guest step.
         assert_eq!(rec.histogram_data("sim.routing_problem_size").unwrap().count, 3);
+        // The legacy wrapper runs uncached: no hits, and no lookups either.
+        assert_eq!(rec.counter_value("sim.cache.hits"), 0);
+        assert_eq!(rec.counter_value("sim.cache.misses"), 0);
     }
 
     #[test]
@@ -357,5 +515,29 @@ mod tests {
         let router = presets::bfs();
         let sim = EmbeddingSimulator { embedding: Embedding::block(4, 4), router: &router };
         sim.simulate(&comp, &host, 0, &mut seeded_rng(0));
+    }
+
+    #[test]
+    fn emit_transfers_equals_extract_then_replay() {
+        // The refactor contract: the one-shot path and the extracted-plan
+        // path must build identical protocol segments.
+        let transfers = vec![
+            Transfer { step: 0, from: 0, to: 1, packet_id: 0 },
+            Transfer { step: 0, from: 1, to: 2, packet_id: 1 },
+            Transfer { step: 1, from: 2, to: 2, packet_id: 0 },
+            Transfer { step: 1, from: 2, to: 3, packet_id: 1 },
+        ];
+        let payloads = vec![Pebble::new(4, 1), Pebble::new(5, 1)];
+        let mut b1 = ProtocolBuilder::new(8, 1, 4);
+        let s1 = emit_transfers(&mut b1, &transfers, &payloads);
+        let plan = extract_plan(&transfers);
+        let mut b2 = ProtocolBuilder::new(8, 1, 4);
+        let s2 = replay_plan(&mut b2, &plan, &payloads);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, plan.pebble_steps());
+        // Close both protocols identically and compare the emitted steps.
+        b1.end_step();
+        b2.end_step();
+        assert_eq!(b1.finish().steps, b2.finish().steps);
     }
 }

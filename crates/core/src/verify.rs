@@ -52,6 +52,23 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+impl SimulationRun {
+    /// Certify this run, folding failures into [`SimError`](crate::SimError).
+    ///
+    /// This is [`verify_run`] adapted to the builder API's error type: use
+    /// it when a `?`-chain already speaks `SimError` (the CLI and the
+    /// experiment harnesses do); use [`verify_run`] directly when the
+    /// caller wants to distinguish the [`VerifyError`] variants.
+    pub fn verify(
+        &self,
+        comp: &GuestComputation,
+        host: &Graph,
+        steps: u32,
+    ) -> Result<VerifiedRun, crate::SimError> {
+        Ok(verify_run(comp, host, self, steps)?)
+    }
+}
+
 /// Certify a [`SimulationRun`] against the guest computation and host graph.
 pub fn verify_run(
     comp: &GuestComputation,
@@ -71,6 +88,7 @@ pub fn verify_run(
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::embedding::Embedding;
@@ -106,6 +124,22 @@ mod tests {
         match verify_run(&comp, &host, &run, 2) {
             Err(VerifyError::WrongStates { node: 3, .. }) => {}
             other => panic!("expected WrongStates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_verify_folds_into_sim_error() {
+        let guest = ring(8);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest, 1);
+        let router = presets::bfs();
+        let sim = EmbeddingSimulator { embedding: Embedding::block(8, 4), router: &router };
+        let mut run = sim.simulate(&comp, &host, 2, &mut seeded_rng(1));
+        assert!(run.verify(&comp, &host, 2).is_ok());
+        run.final_states[0] ^= 1;
+        match run.verify(&comp, &host, 2) {
+            Err(crate::SimError::Verify(VerifyError::WrongStates { node: 0, .. })) => {}
+            other => panic!("expected SimError::Verify, got {other:?}"),
         }
     }
 

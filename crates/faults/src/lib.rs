@@ -25,7 +25,7 @@ pub mod plan;
 pub mod route;
 pub mod view;
 
-pub use degraded::{DegradedError, DegradedRun, DegradedSimulator};
+pub use degraded::{DegradedError, DegradedRun, DegradedSimulator, DegradedTuning};
 pub use plan::{FaultEvent, FaultKind, FaultPlan};
 pub use route::{route_faulty, route_faulty_recorded, FaultyOutcome};
 pub use view::{AppliedFault, FaultyView};

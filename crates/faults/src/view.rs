@@ -55,6 +55,8 @@ pub struct FaultyView<'g> {
     flap_down: FxHashSet<(Node, Node)>,
     /// Outstanding repairs, sorted by repair time.
     pending_repairs: Vec<(u32, Node, Node)>,
+    /// Monotone topology-change counter (see [`FaultyView::epoch`]).
+    epoch: u64,
 }
 
 impl<'g> FaultyView<'g> {
@@ -75,7 +77,18 @@ impl<'g> FaultyView<'g> {
             cut: FxHashSet::default(),
             flap_down: FxHashSet::default(),
             pending_repairs: Vec::new(),
+            epoch: 0,
         }
+    }
+
+    /// Topology epoch: bumped once per applied fault or repair, starting at
+    /// 0. Two calls observing the same epoch are guaranteed to see the same
+    /// live topology, which is exactly the invalidation key the route-plan
+    /// caches (`unet_routing::plan::PlanCache`) need: cache a schedule
+    /// tagged with the epoch it was computed under, and any fault or repair
+    /// firing in between forces a reroute.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The underlying healthy graph.
@@ -154,6 +167,7 @@ impl<'g> FaultyView<'g> {
             }
         }
         self.time = t;
+        self.epoch += applied.len() as u64;
         applied
     }
 
@@ -328,6 +342,28 @@ mod tests {
         for (a, b) in alive.edges() {
             assert!(view.is_edge_up(rename[a as usize], rename[b as usize]));
         }
+    }
+
+    #[test]
+    fn epoch_counts_applied_changes_only() {
+        let g = ring(6);
+        let p = plan(vec![
+            FaultEvent { at: 1, kind: FaultKind::LinkFlap { u: 0, v: 1, repair_at: 3 } },
+            FaultEvent { at: 2, kind: FaultKind::NodeCrash { node: 4 } },
+            FaultEvent { at: 2, kind: FaultKind::NodeCrash { node: 4 } }, // idempotent
+        ]);
+        let mut view = FaultyView::new(&g, &p);
+        assert_eq!(view.epoch(), 0);
+        view.advance_to(0);
+        assert_eq!(view.epoch(), 0, "nothing fired yet");
+        view.advance_to(1);
+        assert_eq!(view.epoch(), 1, "flap down");
+        view.advance_to(2);
+        assert_eq!(view.epoch(), 2, "crash applied once, re-crash skipped");
+        view.advance_to(3);
+        assert_eq!(view.epoch(), 3, "repair bumps too");
+        view.advance_to(9);
+        assert_eq!(view.epoch(), 3, "quiet advance leaves the epoch alone");
     }
 
     #[test]

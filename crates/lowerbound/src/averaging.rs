@@ -227,6 +227,7 @@ impl AveragingAnalysis {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use crate::g0::build_g0;

@@ -100,6 +100,7 @@ fn _assert_node_type(v: Node) -> Node {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use unet_core::prelude::*;

@@ -94,6 +94,7 @@ impl CanonicalTrees {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use crate::averaging::analyze;

@@ -161,6 +161,7 @@ pub fn audit(guest: &Graph, trace: &Trace, alpha: f64, beta: f64) -> WavefrontAu
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use unet_core::{Embedding, EmbeddingSimulator, GuestComputation};

@@ -15,7 +15,9 @@
 //! * [`decompose`] — `h–h` relations → permutations by Euler splits;
 //! * [`sortnet`] — Batcher's bitonic network (documented AKS substitute) for
 //!   sorting-based routing à la Galil–Paul;
-//! * [`metrics`] — empirical `route_G(h)` measurement.
+//! * [`metrics`] — empirical `route_G(h)` measurement;
+//! * [`plan`] — replayable route plans: the step-invariant matching
+//!   decomposition extracted once and replayed with fresh payloads.
 //!
 //! ```
 //! use unet_routing::benes::{waksman_paths, verify_waksman};
@@ -37,10 +39,12 @@ pub mod decompose;
 pub mod greedy;
 pub mod metrics;
 pub mod packet;
+pub mod plan;
 pub mod problem;
 pub mod sortnet;
 
 pub use packet::{
     route, Discipline, Outcome, Packet, PathSelector, RouteError, ShortestPath, Transfer,
 };
+pub use plan::{extract_plan, PlanCache, RoutePlan};
 pub use problem::RoutingProblem;

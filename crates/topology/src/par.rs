@@ -34,6 +34,46 @@ where
     out.into_iter().flatten().collect()
 }
 
+/// Map `f` over up-to-`threads` contiguous index ranges covering `0..len`,
+/// concatenating the per-range outputs in range order.
+///
+/// This is the shard-shaped sibling of [`par_map`]: instead of one closure
+/// call per item, the worker sees a whole `Range<usize>` and returns the
+/// vector for that shard. Because shards are contiguous and concatenated in
+/// order, any per-item computation that depends only on the item index (and
+/// shared read-only state) produces output **identical** to the sequential
+/// loop — the property the parallel simulation engine's bit-for-bit claim
+/// rests on. With `threads <= 1` the single range `0..len` runs inline.
+pub fn par_chunks<R, F>(len: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
+    let threads = threads.max(1).min(len.max(1));
+    if threads <= 1 {
+        return f(0..len);
+    }
+    let chunk = len.div_ceil(threads);
+    let ranges: Vec<std::ops::Range<usize>> =
+        (0..len).step_by(chunk).map(|lo| lo..(lo + chunk).min(len)).collect();
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(ranges.len());
+    let fr = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let r = r.clone();
+                scope.spawn(move |_| fr(r))
+            })
+            .collect();
+        for h in handles {
+            out.push(h.join().expect("worker panicked"));
+        }
+    })
+    .expect("scope panicked");
+    out.into_iter().flatten().collect()
+}
+
 /// Number of worker threads to use by default.
 ///
 /// Resolution order:
@@ -98,6 +138,22 @@ mod tests {
             assert!(x != 2, "boom");
             x
         });
+    }
+
+    #[test]
+    fn chunks_match_sequential_order() {
+        let out = par_chunks(100, 4, |r| r.map(|i| i * 3).collect());
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunks_inline_and_empty() {
+        let one = par_chunks(5, 1, |r| r.collect());
+        assert_eq!(one, vec![0, 1, 2, 3, 4]);
+        let none: Vec<usize> = par_chunks(0, 4, |r| r.collect());
+        assert!(none.is_empty());
+        let more_threads = par_chunks(2, 16, |r| r.collect());
+        assert_eq!(more_threads, vec![0, 1]);
     }
 
     #[test]

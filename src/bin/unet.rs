@@ -44,6 +44,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   unet topo     <spec>
   unet simulate <guest-spec> <host-spec> <steps> [--seed S] [--save FILE]
+                [--threads N] [--no-cache]
   unet check    <guest-spec> <host-spec> <protocol-file>
   unet route    <host-spec> <h> [--trials N]
   unet tradeoff <n> [--gamma G]
@@ -56,7 +57,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
     match cmd.as_str() {
         "topo" => topo(args.get(1).ok_or("missing spec")?),
-        "simulate" => simulate(&args[1..]),
+        "simulate" | "sim" => simulate(&args[1..]),
         "check" => check_cmd(&args[1..]),
         "route" => route_cmd(&args[1..]),
         "tradeoff" => tradeoff(&args[1..]),
@@ -70,6 +71,10 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
 }
 
 fn topo(spec: &str) -> Result<(), String> {
@@ -96,19 +101,36 @@ fn topo(spec: &str) -> Result<(), String> {
 }
 
 fn simulate(args: &[String]) -> Result<(), String> {
+    use universal_networks::obs::InMemoryRecorder;
+    use universal_networks::topology::par::default_threads;
+
     let guest_spec = args.first().ok_or("missing guest spec")?;
     let host_spec = args.get(1).ok_or("missing host spec")?;
     let steps: u32 = args.get(2).ok_or("missing steps")?.parse().map_err(|_| "bad steps")?;
     let seed: u64 = flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
+    let threads: usize = flag(args, "--threads")
+        .map_or(Ok(default_threads()), |s| s.parse().map_err(|_| "bad threads"))?;
+    let cache =
+        if has_flag(args, "--no-cache") { CachePolicy::Disabled } else { CachePolicy::Enabled };
     let guest = parse_graph(guest_spec)?;
     let host = parse_graph(host_spec)?;
     let (n, m) = (guest.n(), host.n());
     let comp = GuestComputation::random(guest.clone(), seed);
     let router: SelectorRouter<universal_networks::routing::ShortestPath> = presets::bfs();
-    let sim = EmbeddingSimulator { embedding: Embedding::block(n, m), router: &router };
-    let mut rng = seeded_rng(seed ^ 0xAA);
-    let run = sim.simulate(&comp, &host, steps, &mut rng);
-    let v = verify_run(&comp, &host, &run, steps).map_err(|e| e.to_string())?;
+    let mut rec = InMemoryRecorder::new();
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(n, m))
+        .router(&router)
+        .steps(steps)
+        .seed(seed ^ 0xAA)
+        .threads(threads)
+        .cache_policy(cache)
+        .recorder(&mut rec)
+        .run()
+        .map_err(|e| e.to_string())?;
+    let v = run.verify(&comp, &host, steps).map_err(|e| e.to_string())?;
     println!("guest {guest_spec} (n={n})  →  host {host_spec} (m={m}),  T = {steps}");
     println!("host steps T' = {}", v.metrics.host_steps);
     println!(
@@ -120,6 +142,12 @@ fn simulate(args: &[String]) -> Result<(), String> {
         "inefficy  k  = {:.2}   (Thm 3.1 floor Ω(log m) ~ {:.2})",
         v.metrics.inefficiency,
         (m as f64).log2()
+    );
+    println!(
+        "route-plan cache: {} hits / {} misses   ({} threads)",
+        rec.counter_value("sim.cache.hits"),
+        rec.counter_value("sim.cache.misses"),
+        threads
     );
     println!("protocol certified; states match direct execution bit-for-bit");
     if let Some(path) = flag(args, "--save") {
@@ -185,12 +213,19 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     let (n, m) = (guest.n(), host.n());
     let comp = GuestComputation::random(guest.clone(), seed);
     let router: SelectorRouter<universal_networks::routing::ShortestPath> = presets::bfs();
-    let sim = EmbeddingSimulator { embedding: Embedding::block(n, m), router: &router };
-    let mut rng = seeded_rng(seed ^ 0xAA);
 
     let mut rec = InMemoryRecorder::new();
     let wall_start = std::time::Instant::now();
-    let run = sim.simulate_recorded(&comp, &host, steps, &mut rng, &mut rec);
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(n, m))
+        .router(&router)
+        .steps(steps)
+        .seed(seed ^ 0xAA)
+        .recorder(&mut rec)
+        .run()
+        .map_err(|e| e.to_string())?;
     check_recorded(&guest, &host, &run.protocol, &mut rec)
         .map_err(|e| format!("emitted protocol failed to verify: {e}"))?;
     let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;

@@ -40,7 +40,7 @@ pub use unet_topology as topology;
 /// Everything most programs need.
 pub mod prelude {
     pub use unet_core::prelude::*;
-    pub use unet_faults::{DegradedSimulator, FaultPlan, FaultyView};
+    pub use unet_faults::{DegradedSimulator, DegradedTuning, FaultPlan, FaultyView};
     pub use unet_pebble::{check, Op, Pebble, Protocol, ProtocolBuilder};
     pub use unet_routing::{RoutingProblem, ShortestPath};
     pub use unet_topology::prelude::*;

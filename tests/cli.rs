@@ -41,6 +41,33 @@ fn simulate_save_check_roundtrip() {
 }
 
 #[test]
+fn simulate_threads_and_no_cache_flags() {
+    let (ok, stdout, stderr) =
+        unet(&["sim", "ring:32", "torus:2x2", "3", "--threads", "2", "--no-cache"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("route-plan cache: 0 hits / 0 misses   (2 threads)"), "{stdout}");
+    assert!(stdout.contains("protocol certified"));
+}
+
+#[test]
+fn simulate_reports_cache_hits() {
+    let (ok, stdout, stderr) = unet(&["simulate", "ring:32", "torus:2x2", "3", "--threads", "1"]);
+    assert!(ok, "stderr: {stderr}");
+    // 3 guest steps with comm phases at gt = 2, 3: one miss then one replay.
+    assert!(stdout.contains("route-plan cache: 1 hits / 1 misses   (1 threads)"), "{stdout}");
+}
+
+#[test]
+fn simulate_zero_steps_is_a_graceful_error() {
+    let (ok, _, stderr) = unet(&["simulate", "ring:32", "torus:2x2", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"), "{stderr}");
+    assert!(stderr.contains("at least one guest step"), "{stderr}");
+    // A graceful SimError, not a panic.
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
 fn tradeoff_prints_table() {
     let (ok, stdout, _) = unet(&["tradeoff", "1024"]);
     assert!(ok);

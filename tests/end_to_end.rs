@@ -1,6 +1,8 @@
 //! Cross-crate integration: guest → embedding → routing → pebble protocol →
 //! checker → lower-bound analyses, end to end.
 
+#![allow(deprecated)] // still exercises the legacy `EmbeddingSimulator` wrappers
+
 use universal_networks::core::prelude::*;
 use universal_networks::core::routers::OfflineBenesRouter;
 use universal_networks::pebble::check;

@@ -1,0 +1,151 @@
+//! Equivalence tests for the redesigned engine: a parallel, route-plan-
+//! cached run must be **bit-for-bit identical** to the sequential,
+//! uncached run — same pebble `Protocol`, same `final_states` — on
+//! healthy hosts through the [`Simulation`] builder and on crashing hosts
+//! through [`DegradedSimulator::simulate_tuned`]. The suite also pins the
+//! builder's error paths (the panics that became `SimError`).
+
+use proptest::prelude::*;
+use universal_networks::core::prelude::*;
+use universal_networks::core::SimError;
+use universal_networks::faults::{DegradedSimulator, DegradedTuning, FaultPlan};
+use universal_networks::obs::NoopRecorder;
+use universal_networks::pebble::check;
+use universal_networks::routing::ShortestPath;
+use universal_networks::topology::generators::{random_regular, torus};
+use universal_networks::topology::util::seeded_rng;
+use universal_networks::topology::Graph;
+
+fn builder_run(
+    comp: &GuestComputation,
+    host: &Graph,
+    steps: u32,
+    seed: u64,
+    threads: usize,
+    cache: CachePolicy,
+) -> SimulationRun {
+    let router = presets::bfs();
+    Simulation::builder()
+        .guest(comp)
+        .host(host)
+        .embedding(Embedding::block(comp.graph.n(), host.n()))
+        .router(&router)
+        .steps(steps)
+        .seed(seed)
+        .threads(threads)
+        .cache_policy(cache)
+        .run()
+        .expect("valid configuration runs")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Healthy engine: (threads = 4, cache on) ≡ (threads = 1, cache off)
+    /// for random guests, hosts, and seeds — and both certify.
+    #[test]
+    fn parallel_cached_equals_sequential_uncached(
+        seed in 0u64..500,
+        guest_scale in 2usize..5,   // n = 16·scale
+        host_side in 2usize..4,     // m = side²
+        steps in 1u32..5,
+    ) {
+        let n = 16 * guest_scale;
+        let mut rng = seeded_rng(seed);
+        let guest = random_regular(n, 4, &mut rng);
+        let host = torus(host_side, host_side);
+        let comp = GuestComputation::random(guest.clone(), seed ^ 0x55);
+        let base = builder_run(&comp, &host, steps, seed, 1, CachePolicy::Disabled);
+        let tuned = builder_run(&comp, &host, steps, seed, 4, CachePolicy::Enabled);
+        prop_assert_eq!(&tuned.protocol, &base.protocol);
+        prop_assert_eq!(&tuned.final_states, &base.final_states);
+        prop_assert_eq!((tuned.comm_steps, tuned.compute_steps), (base.comm_steps, base.compute_steps));
+        check(&guest, &host, &base.protocol).expect("certifies");
+        prop_assert_eq!(base.final_states, comp.run_final(steps));
+    }
+
+    /// Degraded engine under a 10% crash plan: `simulate_tuned` with
+    /// (threads = 4, cache on) ≡ (threads = 1, cache off), fault story
+    /// included, and the protocol still certifies.
+    #[test]
+    fn degraded_parallel_cached_equals_sequential_uncached(
+        seed in 0u64..300,
+        host_side in 3usize..5,
+        steps in 2u32..6,
+    ) {
+        let n = 48;
+        let mut rng = seeded_rng(seed);
+        let guest = random_regular(n, 4, &mut rng);
+        let host = torus(host_side, host_side);
+        let comp = GuestComputation::random(guest.clone(), seed ^ 0x77);
+        let sim = DegradedSimulator {
+            embedding: Embedding::block(n, host.n()),
+            plan: FaultPlan::crashes(&host, 0.10, 2, seed),
+            selector: Some(ShortestPath),
+        };
+        let seq = sim
+            .simulate_tuned(&comp, &host, steps,
+                &DegradedTuning { threads: 1, cache: false },
+                &mut seeded_rng(seed ^ 0xAB), &mut NoopRecorder)
+            .expect("10% crashes leave survivors");
+        let par = sim
+            .simulate_tuned(&comp, &host, steps,
+                &DegradedTuning { threads: 4, cache: true },
+                &mut seeded_rng(seed ^ 0xAB), &mut NoopRecorder)
+            .expect("same plan, same survivors");
+        prop_assert_eq!(&par.run.protocol, &seq.run.protocol);
+        prop_assert_eq!(&par.run.final_states, &seq.run.final_states);
+        prop_assert_eq!(&par.fault_log, &seq.fault_log);
+        prop_assert_eq!(
+            (par.delivered, par.dropped, par.retried, par.replayed, par.remapped),
+            (seq.delivered, seq.dropped, seq.retried, seq.replayed, seq.remapped)
+        );
+        check(&guest, &host, &seq.run.protocol).expect("degraded protocol certifies");
+        prop_assert_eq!(seq.run.final_states, comp.run_final(steps));
+    }
+}
+
+#[test]
+fn builder_rejects_zero_steps_and_size_mismatches() {
+    let guest = random_regular(32, 4, &mut seeded_rng(1));
+    let host = torus(2, 2);
+    let comp = GuestComputation::random(guest, 1);
+    let router = presets::bfs();
+    let base = || {
+        Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(32, 4))
+            .router(&router)
+    };
+    assert!(matches!(base().steps(0).run(), Err(SimError::ZeroSteps)));
+    let wrong_guest = base().embedding(Embedding::block(16, 4)).steps(1).run();
+    assert!(matches!(wrong_guest, Err(SimError::GuestMismatch { embedding_n: 16, guest_n: 32 })));
+    let wrong_host = base().embedding(Embedding::block(32, 8)).steps(1).run();
+    assert!(matches!(wrong_host, Err(SimError::HostMismatch { embedding_m: 8, host_m: 4 })));
+    assert!(matches!(base().run(), Err(SimError::MissingField("steps"))));
+}
+
+#[test]
+fn builder_surfaces_router_validation() {
+    use universal_networks::core::routers::OfflineBenesRouter;
+    let guest = random_regular(16, 4, &mut seeded_rng(2));
+    let host = torus(2, 2); // not a Beneš network
+    let comp = GuestComputation::random(guest, 2);
+    let router = OfflineBenesRouter { dim: 2 };
+    let err = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(16, 4))
+        .router(&router)
+        .steps(2)
+        .run()
+        .unwrap_err();
+    match err {
+        SimError::Router { router, reason } => {
+            assert_eq!(router, "offline-benes-waksman");
+            assert!(reason.contains("benes_network(2)"), "{reason}");
+        }
+        other => panic!("expected router validation error, got {other}"),
+    }
+}

@@ -2,6 +2,8 @@
 //! the lemmas of Section 3 must hold on every certified protocol our
 //! simulators produce.
 
+#![allow(deprecated)] // still exercises the legacy `EmbeddingSimulator` wrappers
+
 use universal_networks::core::prelude::*;
 use universal_networks::lowerbound::audit::run_audit;
 use universal_networks::lowerbound::averaging::analyze;

@@ -1,5 +1,7 @@
 //! Property-based tests (proptest) on the core invariants.
 
+#![allow(deprecated)] // still exercises the legacy `EmbeddingSimulator` wrappers
+
 use proptest::prelude::*;
 use universal_networks::core::prelude::*;
 use universal_networks::pebble::check;

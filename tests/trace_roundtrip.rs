@@ -2,6 +2,8 @@
 //! into an `InMemoryRecorder`, export it as a JSONL trace, parse it back,
 //! and check that every recorded signal survives the round trip.
 
+#![allow(deprecated)] // still exercises the legacy `EmbeddingSimulator` wrappers
+
 use universal_networks::core::prelude::*;
 use universal_networks::obs::trace::{export, parse_trace, RunMeta, RunSummary};
 use universal_networks::obs::InMemoryRecorder;
