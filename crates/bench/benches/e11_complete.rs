@@ -9,10 +9,7 @@
 //! `s = Ω(log n)` for non-oblivious complete-network simulation regardless
 //! of `m` — our measured points must (and do) sit far above `log n`.
 
-#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use unet_bench::rng;
 use unet_core::prelude::*;
 use unet_topology::generators::{complete, torus};
 
@@ -21,9 +18,15 @@ fn measure(n: usize, side: usize, steps: u32) -> (f64, f64) {
     let comp = GuestComputation::random(guest.clone(), 0xE11);
     let host = torus(side, side);
     let router = presets::torus_xy(side, side);
-    let sim = EmbeddingSimulator { embedding: Embedding::block(n, side * side), router: &router };
-    let mut r = rng();
-    let run = sim.simulate(&comp, &host, steps, &mut r);
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(n, side * side))
+        .router(&router)
+        .steps(steps)
+        .seed(0xE11)
+        .run()
+        .expect("torus configuration is valid");
     let v = verify_run(&comp, &host, &run, steps).expect("certifies");
     (v.metrics.slowdown, v.metrics.inefficiency)
 }

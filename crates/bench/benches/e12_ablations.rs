@@ -9,16 +9,34 @@
 //! 4. **Protocol pruning**: how much of each simulator's work is essential.
 //! 5. **Embeddings vs dynamics**: the [13]/[14] size separation as a table.
 
-#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
-
 use criterion::{criterion_group, criterion_main, Criterion};
 use unet_bench::{rng, standard_guest};
 use unet_core::prelude::*;
+use unet_core::routers::Router;
 use unet_lowerbound::embedding_bound::embedding_vs_dynamic;
 use unet_pebble::optimize::prune;
 use unet_routing::packet::{make_packets, route, Discipline, ShortestPath};
 use unet_routing::problem::random_h_h;
 use unet_topology::generators::{butterfly, torus};
+
+fn builder_run(
+    comp: &GuestComputation,
+    host: &unet_topology::Graph,
+    embedding: Embedding,
+    router: &dyn Router,
+    steps: u32,
+    seed: u64,
+) -> SimulationRun {
+    Simulation::builder()
+        .guest(comp)
+        .host(host)
+        .embedding(embedding)
+        .router(router)
+        .steps(steps)
+        .seed(seed)
+        .run()
+        .expect("ablation configuration is valid")
+}
 
 fn discipline_ablation() {
     println!("\n--- E12a: queue discipline (torus 8×8, random h–h) ---");
@@ -50,8 +68,7 @@ fn embedding_ablation() {
     for (name, e) in cases {
         let dil = e.dilation(&guest, &host);
         let cong = e.edge_congestion(&guest, &host);
-        let sim = EmbeddingSimulator { embedding: e, router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut rng());
+        let run = builder_run(&comp, &host, e, &router, 2, 0xE12);
         verify_run(&comp, &host, &run, 2).expect("certifies");
         println!("{name:>8} {dil:>9} {cong:>11} {:>10.1}", run.slowdown());
     }
@@ -65,15 +82,13 @@ fn router_ablation() {
     for (name, s) in [
         ("greedy", {
             let router = presets::butterfly_greedy(4);
-            let sim = EmbeddingSimulator { embedding: Embedding::block(512, 80), router: &router };
-            let run = sim.simulate(&comp, &host, 2, &mut rng());
+            let run = builder_run(&comp, &host, Embedding::block(512, 80), &router, 2, 0xE12C);
             verify_run(&comp, &host, &run, 2).expect("certifies");
             run.slowdown()
         }),
         ("valiant", {
             let router = presets::butterfly_valiant(4);
-            let sim = EmbeddingSimulator { embedding: Embedding::block(512, 80), router: &router };
-            let run = sim.simulate(&comp, &host, 2, &mut rng());
+            let run = builder_run(&comp, &host, Embedding::block(512, 80), &router, 2, 0xE12C);
             verify_run(&comp, &host, &run, 2).expect("certifies");
             run.slowdown()
         }),
@@ -89,8 +104,7 @@ fn prune_ablation() {
     let (guest, comp) = standard_guest(128, 0xE12D);
     let host = torus(3, 3);
     let router = presets::torus_xy(3, 3);
-    let sim = EmbeddingSimulator { embedding: Embedding::block(128, 9), router: &router };
-    let run = sim.simulate(&comp, &host, 2, &mut rng());
+    let run = builder_run(&comp, &host, Embedding::block(128, 9), &router, 2, 0xE12D);
     let (_, st) = prune(&guest, &run.protocol);
     println!(
         "embedding simulator: {} → {} busy ops ({:.0}% essential), {} → {} steps",
@@ -134,8 +148,7 @@ fn bench(c: &mut Criterion) {
     let (guest, comp) = standard_guest(128, 1);
     let host = torus(3, 3);
     let router = presets::torus_xy(3, 3);
-    let sim = EmbeddingSimulator { embedding: Embedding::block(128, 9), router: &router };
-    let run = sim.simulate(&comp, &host, 2, &mut rng());
+    let run = builder_run(&comp, &host, Embedding::block(128, 9), &router, 2, 1);
     group.bench_function("prune", |b| b.iter(|| prune(&guest, &run.protocol).1));
     group.bench_function("dilation", |b| {
         let g = torus(16, 16);

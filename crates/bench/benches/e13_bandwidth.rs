@@ -7,8 +7,6 @@
 //! shows load vs cut bound vs measured, and the measured run never violates
 //! the bound.
 
-#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
-
 use criterion::{criterion_group, criterion_main, Criterion};
 use unet_bench::rng;
 use unet_core::prelude::*;
@@ -31,8 +29,14 @@ fn regenerate_table() {
         let e = Embedding::block(n, m);
         let (bound, _) = best_bandwidth_bound(&guest, &host, &e, 3, &mut r);
         let router = presets::torus_xy(side, side);
-        let sim = EmbeddingSimulator { embedding: e, router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut r);
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(e)
+            .router(&router)
+            .steps(2)
+            .run_with_rng(&mut r)
+            .expect("torus configuration is valid");
         verify_run(&comp, &host, &run, 2).expect("certifies");
         println!(
             "{m:>5} {:>8.1} {bound:>11.1} {:>10.1} {:>12}",

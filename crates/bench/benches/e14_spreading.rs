@@ -9,8 +9,6 @@
 //! (`S(t) = 2^{Θ(t)}`) forces global traffic — the reason general universal
 //! hosts need the full Theorem 3.1 price but mesh-like guests do not.
 
-#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
-
 use criterion::{criterion_group, criterion_main, Criterion};
 use unet_bench::rng;
 use unet_core::prelude::*;
@@ -39,8 +37,14 @@ fn regenerate_table() {
         let s8 = spreading_function(&guest, 8, 64);
         let prob = guest_induced(&guest, &e.f, 16);
         let comp = GuestComputation::random(guest.clone(), 0xE14);
-        let sim = EmbeddingSimulator { embedding: e, router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut r);
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(e)
+            .router(&router)
+            .steps(2)
+            .run_with_rng(&mut r)
+            .expect("torus configuration is valid");
         verify_run(&comp, &host, &run, 2).expect("certifies");
         println!(
             "{name:>10} {s2:>6} {s4:>6} {s8:>7} {:>10} {:>10} {:>10.1}",

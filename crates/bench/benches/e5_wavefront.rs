@@ -8,8 +8,6 @@
 //! per-level thresholds `τ_j` are separated by the expansion-driven gaps of
 //! Lemma 3.15. Both schedules are printed side by side.
 
-#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
-
 use criterion::{criterion_group, criterion_main, Criterion};
 use unet_bench::lowerbound_fixture;
 use unet_core::async_sim::{AsyncSimulator, SchedulePolicy};

@@ -4,8 +4,6 @@
 //! good `h–h` routing make good universal hosts; meshes pay their `√m`
 //! diameter), then times the per-host simulation kernels.
 
-#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use unet_bench::{rng, standard_guest};
 use unet_core::prelude::*;
@@ -22,9 +20,15 @@ fn measure(
     router: &dyn Router,
     steps: u32,
 ) -> (f64, f64) {
-    let mut r = rng();
-    let sim = EmbeddingSimulator { embedding: Embedding::block(guest.n(), host.n()), router };
-    let run = sim.simulate(comp, host, steps, &mut r);
+    let run = Simulation::builder()
+        .guest(comp)
+        .host(host)
+        .embedding(Embedding::block(guest.n(), host.n()))
+        .router(router)
+        .steps(steps)
+        .seed(0xE8)
+        .run()
+        .expect("host configuration is valid");
     let v = verify_run(comp, host, &run, steps).expect("certifies");
     (v.metrics.slowdown, v.metrics.inefficiency)
 }
@@ -79,9 +83,19 @@ fn bench(c: &mut Criterion) {
         let m = host.n();
         group.bench_with_input(BenchmarkId::new("simulate", name), &m, |b, _| {
             let router = presets::bfs();
-            let mut r = rng();
-            let sim = EmbeddingSimulator { embedding: Embedding::block(256, m), router: &router };
-            b.iter(|| sim.simulate(&comp, &host, 2, &mut r).protocol.host_steps());
+            b.iter(|| {
+                Simulation::builder()
+                    .guest(&comp)
+                    .host(&host)
+                    .embedding(Embedding::block(256, m))
+                    .router(&router)
+                    .steps(2)
+                    .seed(0xE8)
+                    .run()
+                    .expect("host configuration is valid")
+                    .protocol
+                    .host_steps()
+            });
         });
     }
     let _ = &guest;

@@ -6,10 +6,8 @@
 //! gap above it reproduce the paper's conclusion that dynamics cannot beat
 //! the embedding for `m ≤ n`. Then times the protocol generation + checking.
 
-#![allow(deprecated)] // times the legacy `EmbeddingSimulator` wrappers
-
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use unet_bench::{rng, standard_guest};
+use unet_bench::standard_guest;
 use unet_core::flooding::flooding_protocol;
 use unet_core::prelude::*;
 use unet_pebble::check;
@@ -28,9 +26,15 @@ fn regenerate_table() {
         let m = side * side;
         let host = torus(side, side);
         let router = presets::torus_xy(side, side);
-        let sim = EmbeddingSimulator { embedding: Embedding::block(n, m), router: &router };
-        let mut r = rng();
-        let run = sim.simulate(&comp, &host, steps, &mut r);
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(n, m))
+            .router(&router)
+            .steps(steps)
+            .seed(0xE9)
+            .run()
+            .expect("torus configuration is valid");
         verify_run(&comp, &host, &run, steps).expect("certifies");
         let flood = flooding_protocol(&comp, m, steps);
         check(&guest, &host, &flood).expect("flooding certifies");

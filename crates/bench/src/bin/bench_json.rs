@@ -1,13 +1,13 @@
-//! `bench-json` — machine-readable benchmark artifacts.
+//! `bench-json` — machine-readable benchmark artifacts, from the registry.
 //!
-//! Runs the E1 (upper-bound), E2 (lower-bound trade-off), E16
-//! (degraded-mode fault sweep), and E17 (engine thread/cache sweep)
-//! kernels and writes `BENCH_E1.json` / `BENCH_E2.json` /
-//! `BENCH_E16.json` / `BENCH_E17.json`: one JSON object per experiment
-//! with per-row slowdown, inefficiency, makespan, sizes, and wall-clock
-//! time.
-//! The artifacts are the CI/regression-friendly twin of the human tables
-//! the criterion benches print.
+//! Thin driver over [`unet_bench::registry`]: sweeps every registered
+//! experiment (E1, E2, E16, E17) and writes the versioned `BENCH.json`
+//! (schema `unet-bench/2`) plus — for one deprecation cycle — the legacy
+//! per-experiment `BENCH_E*.json` files, emitted from the *same* rows via
+//! [`unet_bench::schema::legacy_artifacts`]. The experiment logic itself
+//! (grids, runners, expected shapes) lives in the registry; this binary
+//! only does I/O. Prefer `unet bench run` / `unet bench diff` for the
+//! full CLI (filtering, resume, the shape-regression gate).
 //!
 //! ```text
 //! cargo run -p unet-bench --bin bench-json [--release] [--quick] [OUT_DIR]
@@ -16,271 +16,77 @@
 //! `--quick` shrinks every experiment to CI-smoke sizes (seconds, not
 //! minutes) without changing the artifact schema.
 
-use std::time::Instant;
-use unet_bench::{butterfly_engine_run, butterfly_metrics, rng, standard_guest};
-use unet_core::bounds;
-use unet_core::prelude::{Embedding, GuestComputation};
-use unet_faults::{DegradedSimulator, FaultPlan};
-use unet_lowerbound::tradeoff_table;
+use unet_bench::schema::legacy_artifacts;
+use unet_bench::sweep::{check_shapes, run_to_file, SweepOptions};
 use unet_obs::json::Value;
-use unet_routing::butterfly::GreedyButterfly;
-use unet_routing::greedy::DimensionOrder;
-use unet_routing::PathSelector;
-use unet_topology::generators::{butterfly, torus};
-use unet_topology::util::seeded_rng;
-use unet_topology::Graph;
-
-const E2_GAMMA: f64 = 0.125;
-
-fn obj(fields: Vec<(&str, Value)>) -> Value {
-    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-}
-
-fn e1_artifact(quick: bool) -> Value {
-    let n = if quick { 96 } else { 512 };
-    let steps = if quick { 2u32 } else { 3 };
-    let dims = if quick { 2..=3usize } else { 2..=4 };
-    let (guest, comp) = standard_guest(n, 0xE1);
-    let mut r = rng();
-    let mut rows = Vec::new();
-    let total_start = Instant::now();
-    for dim in dims {
-        let wall_start = Instant::now();
-        let m = butterfly_metrics(&guest, &comp, dim, steps, &mut r);
-        let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-        rows.push(obj(vec![
-            ("dim", Value::UInt(dim as u64)),
-            ("guest_n", Value::UInt(m.guest_n as u64)),
-            ("host_m", Value::UInt(m.host_m as u64)),
-            ("guest_steps", Value::UInt(m.guest_t as u64)),
-            ("makespan", Value::UInt(m.host_steps as u64)),
-            ("slowdown", Value::Float(m.slowdown)),
-            ("inefficiency", Value::Float(m.inefficiency)),
-            ("avg_weight", Value::Float(m.avg_weight)),
-            ("wall_ms", Value::Float(wall_ms)),
-        ]));
-    }
-    obj(vec![
-        ("experiment", Value::Str("E1".into())),
-        ("title", Value::Str("Theorem 2.1 upper bound: butterfly hosts".into())),
-        ("guest", Value::Str(format!("random-regular n={n} d=4"))),
-        ("guest_n", Value::UInt(n as u64)),
-        ("guest_steps", Value::UInt(steps as u64)),
-        ("rows", Value::Arr(rows)),
-        ("wall_ms_total", Value::Float(total_start.elapsed().as_secs_f64() * 1e3)),
-    ])
-}
-
-fn e2_artifact(quick: bool) -> Value {
-    let exp = if quick { 8u32 } else { 14 };
-    let n = 1u64 << exp;
-    let ms: Vec<u64> = (3..=exp).map(|e| 1u64 << e).collect();
-    let wall_start = Instant::now();
-    let table = tradeoff_table(n, &ms, E2_GAMMA, 4);
-    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-    let rows = table
-        .iter()
-        .map(|row| {
-            obj(vec![
-                ("host_m", Value::UInt(row.m)),
-                ("guest_n", Value::UInt(n)),
-                ("inefficiency_ideal", Value::Float(row.k_ideal)),
-                ("inefficiency_shape", Value::Float(row.k_shape)),
-                ("inefficiency_paper", Value::Float(row.k_paper)),
-                ("slowdown_shape", Value::Float(row.s_shape)),
-                ("slowdown_upper", Value::Float(row.s_upper)),
-                ("ms_product", Value::Float(row.ms_product)),
-            ])
-        })
-        .collect();
-    obj(vec![
-        ("experiment", Value::Str("E2".into())),
-        ("title", Value::Str("Theorem 3.1 lower-bound trade-off".into())),
-        ("guest_n", Value::UInt(n)),
-        ("gamma", Value::Float(E2_GAMMA)),
-        ("rows", Value::Arr(rows)),
-        ("wall_ms_total", Value::Float(wall_ms)),
-    ])
-}
-
-/// One degraded run on `host`: crash-stop `rate` of the nodes at boundary
-/// 2, simulate, certify, and report the measured numbers against the
-/// Theorem 3.1 shape on the **surviving** size `m'`.
-fn e16_row<S: PathSelector>(
-    label: &str,
-    host: &Graph,
-    selector: S,
-    guest_n: usize,
-    steps: u32,
-    rate: f64,
-) -> Value {
-    let (guest, comp) = standard_guest(guest_n, 0xE16);
-    let plan = FaultPlan::crashes(host, rate, 2, 0xE16);
-    let sim = DegradedSimulator {
-        embedding: Embedding::block(guest_n, host.n()),
-        plan,
-        selector: Some(selector),
-    };
-    let wall_start = Instant::now();
-    let run = sim
-        .simulate(&comp, host, steps, &mut seeded_rng(0xE16))
-        .expect("faults leave survivors at these rates");
-    unet_pebble::check(&guest, host, &run.run.protocol).expect("degraded protocol certifies");
-    assert_eq!(run.run.final_states, comp.run_final(steps), "bit-for-bit");
-    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-    let k = run.surviving_inefficiency();
-    let bound = bounds::lower_bound_inefficiency(run.m_surviving, 1.0);
-    assert!(
-        k >= bound,
-        "measured k = {k:.2} on m' = {} dipped below the Theorem 3.1 shape {bound:.2}",
-        run.m_surviving
-    );
-    obj(vec![
-        ("host", Value::Str(label.into())),
-        ("fault_rate", Value::Float(rate)),
-        ("host_m", Value::UInt(host.n() as u64)),
-        ("m_surviving", Value::UInt(run.m_surviving as u64)),
-        ("guest_n", Value::UInt(guest_n as u64)),
-        ("slowdown", Value::Float(run.run.slowdown())),
-        ("k", Value::Float(k)),
-        ("k_bound", Value::Float(bound)),
-        ("dropped", Value::UInt(run.dropped)),
-        ("retried", Value::UInt(run.retried)),
-        ("replayed", Value::UInt(run.replayed)),
-        ("remapped", Value::UInt(run.remapped)),
-        ("wall_ms", Value::Float(wall_ms)),
-    ])
-}
-
-fn e16_artifact(quick: bool) -> Value {
-    let (n, dim, side, steps) = if quick { (48, 2, 3, 2u32) } else { (256, 3, 6, 3) };
-    // Quick mode uses 0.2 so that ⌊rate·m⌋ ≥ 1 even on the 9-node mesh —
-    // a "faulty" row that kills nobody would test nothing.
-    let rates: &[f64] = if quick { &[0.0, 0.2] } else { &[0.0, 0.05, 0.1, 0.2] };
-    let bf = butterfly(dim);
-    let mesh = torus(side, side);
-    let total_start = Instant::now();
-    let mut rows = Vec::new();
-    for &rate in rates {
-        rows.push(e16_row("butterfly", &bf, GreedyButterfly { dim }, n, steps, rate));
-        rows.push(e16_row("mesh", &mesh, DimensionOrder::torus(side, side), n, steps, rate));
-    }
-    obj(vec![
-        ("experiment", Value::Str("E16".into())),
-        ("title", Value::Str("Degraded-mode simulation: slowdown vs crash-stop fault rate".into())),
-        ("guest", Value::Str(format!("random-regular n={n} d=4"))),
-        ("guest_n", Value::UInt(n as u64)),
-        ("guest_steps", Value::UInt(steps as u64)),
-        ("fault_boundary", Value::UInt(2)),
-        ("rows", Value::Arr(rows)),
-        ("wall_ms_total", Value::Float(total_start.elapsed().as_secs_f64() * 1e3)),
-    ])
-}
-
-/// E17: the thread/cache sweep over the engine's parallel-phase and
-/// route-plan-cache settings, on the E1 butterfly configuration. Every row
-/// re-runs the same `(guest, router, seed)` through the `Simulation`
-/// builder with a different `(threads, cache)` pair. The first row
-/// (sequential, uncached) is the baseline; every other row is asserted
-/// bit-for-bit identical to it and checker-certified, so `wall_ms` is the
-/// only column allowed to vary between rows.
-fn e17_artifact(quick: bool) -> Value {
-    let (n, dim, steps) = if quick { (96, 2, 3u32) } else { (512, 3, 8) };
-    let (guest, comp) = standard_guest(n, 0xE1);
-    let host = butterfly(dim);
-    let configs: [(&str, usize, bool); 4] = [
-        ("seq-uncached", 1, false),
-        ("seq-cached", 1, true),
-        ("par-uncached", 4, false),
-        ("par-cached", 4, true),
-    ];
-    let total_start = Instant::now();
-    let mut baseline: Option<unet_core::SimulationRun> = None;
-    let mut rows = Vec::new();
-    for (label, threads, cache) in configs {
-        let wall_start = Instant::now();
-        let (run, hits, misses) =
-            butterfly_engine_run(&guest, &comp, dim, steps, 0xE17, threads, cache);
-        let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
-        let trace = unet_pebble::check(&guest, &host, &run.protocol)
-            .unwrap_or_else(|e| panic!("E17 {label} failed to certify: {e}"));
-        assert_eq!(run.final_states, comp.run_final(steps), "{label}: states bit-for-bit");
-        if let Some(base) = &baseline {
-            assert_eq!(run.protocol, base.protocol, "{label}: protocol differs from baseline");
-            assert_eq!(run.final_states, base.final_states, "{label}: states differ");
-        }
-        rows.push(obj(vec![
-            ("config", Value::Str(label.into())),
-            ("threads", Value::UInt(threads as u64)),
-            ("cache", Value::Bool(cache)),
-            ("guest_n", Value::UInt(n as u64)),
-            ("host_m", Value::UInt(host.n() as u64)),
-            ("guest_steps", Value::UInt(steps as u64)),
-            ("makespan", Value::UInt(trace.host_steps as u64)),
-            ("cache_hits", Value::UInt(hits)),
-            ("cache_misses", Value::UInt(misses)),
-            ("wall_ms", Value::Float(wall_ms)),
-        ]));
-        if baseline.is_none() {
-            baseline = Some(run);
-        }
-    }
-    obj(vec![
-        ("experiment", Value::Str("E17".into())),
-        ("title", Value::Str("Engine thread/cache sweep: identical protocols, wall time".into())),
-        ("guest", Value::Str(format!("random-regular n={n} d=4"))),
-        ("guest_n", Value::UInt(n as u64)),
-        ("guest_steps", Value::UInt(steps as u64)),
-        ("router", Value::Str("butterfly-valiant".into())),
-        ("rows", Value::Arr(rows)),
-        ("wall_ms_total", Value::Float(total_start.elapsed().as_secs_f64() * 1e3)),
-    ])
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let out_dir = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| ".".into());
-    let artifacts = [
-        ("BENCH_E1.json", e1_artifact(quick)),
-        ("BENCH_E2.json", e2_artifact(quick)),
-        ("BENCH_E16.json", e16_artifact(quick)),
-        ("BENCH_E17.json", e17_artifact(quick)),
-    ];
-    for (name, artifact) in artifacts {
+    let opts = SweepOptions { quick, ..SweepOptions::default() };
+    let bench_path = format!("{out_dir}/BENCH.json");
+    let (doc, progress) = run_to_file(&bench_path, &opts, false).unwrap_or_else(|e| {
+        eprintln!("bench-json: {e}");
+        std::process::exit(1);
+    });
+    for line in &progress {
+        println!("{line}");
+    }
+    println!("wrote {bench_path} ({} experiments)", doc.experiments.len());
+    for (name, artifact) in legacy_artifacts(&doc) {
         let path = format!("{out_dir}/{name}");
         let text = artifact.to_json() + "\n";
         std::fs::write(&path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
         // Self-validate: what we wrote must parse back as JSON with rows.
         let back = unet_obs::json::parse(&text).unwrap_or_else(|e| panic!("{path} invalid: {e}"));
         let rows = back.get("rows").and_then(Value::as_arr).expect("artifact has rows");
-        println!("wrote {path} ({} rows)", rows.len());
+        println!("wrote {path} ({} rows, deprecated: use BENCH.json)", rows.len());
+    }
+    // The artifact must satisfy its own shape predicates at birth.
+    let mut bent = 0;
+    for o in check_shapes(&doc) {
+        if let Some(v) = o.violation {
+            eprintln!("bench-json: {} shape violated: {v}", o.exp);
+            bent += 1;
+        }
+    }
+    if bent > 0 {
+        std::process::exit(1);
     }
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use unet_obs::json::parse;
+    use unet_bench::registry::registry;
+    use unet_bench::schema::legacy_artifacts;
+    use unet_bench::sweep::{run_experiment, run_sweep, SweepOptions};
+    use unet_obs::json::{parse, Value};
+
+    fn quick_doc(filter: &str) -> unet_bench::schema::BenchDoc {
+        run_sweep(&SweepOptions {
+            quick: true,
+            filter: Some(SweepOptions::parse_filter(filter)),
+            threads: 2,
+        })
+    }
 
     #[test]
     fn artifacts_round_trip_with_required_fields() {
-        for artifact in
-            [e1_artifact(true), e2_artifact(true), e16_artifact(true), e17_artifact(true)]
-        {
-            let text = artifact.to_json();
-            let back = parse(&text).expect("artifact is valid JSON");
-            let rows = back.get("rows").and_then(Value::as_arr).expect("rows");
-            assert!(!rows.is_empty());
-            for row in rows {
+        // E1 exercises the builder engine; E2 the trade-off table. (E16 and
+        // E17 have their own registry tests.)
+        let doc = quick_doc("e1,e2");
+        for exp in &doc.experiments {
+            assert!(!exp.rows.is_empty());
+            for row in &exp.rows {
                 assert!(row.get("host_m").and_then(Value::as_u64).is_some());
                 assert!(row.get("guest_n").and_then(Value::as_u64).is_some());
             }
-            assert!(back.get("wall_ms_total").and_then(Value::as_f64).unwrap() >= 0.0);
+            assert!(exp.wall_ms_total >= 0.0);
         }
         // E1 rows carry measured slowdown + wall time (the regression signal).
-        let e1 = e1_artifact(true);
-        for row in e1.get("rows").and_then(Value::as_arr).unwrap() {
+        let e1 = doc.experiment("E1").expect("E1 present");
+        for row in &e1.rows {
             assert!(row.get("slowdown").and_then(Value::as_f64).unwrap() >= 1.0);
             assert!(row.get("inefficiency").and_then(Value::as_f64).unwrap() > 0.0);
             assert!(row.get("makespan").and_then(Value::as_u64).unwrap() > 0);
@@ -289,41 +95,30 @@ mod tests {
     }
 
     #[test]
-    fn e17_rows_are_equivalent_and_cache_counters_line_up() {
-        // e17_artifact itself asserts bit-for-bit equality against the
-        // sequential-uncached baseline; here we check the serialized
-        // schema: 4 configs, identical makespans, and cache counters that
-        // reflect each row's cache setting.
-        let text = e17_artifact(true).to_json();
+    fn legacy_artifacts_keep_the_v1_surface() {
+        let doc = quick_doc("e2");
+        let legacy = legacy_artifacts(&doc);
+        assert_eq!(legacy.len(), 1);
+        let (name, artifact) = &legacy[0];
+        assert_eq!(name, "BENCH_E2.json");
+        let text = artifact.to_json();
         let back = parse(&text).expect("valid JSON");
-        let rows = back.get("rows").and_then(Value::as_arr).unwrap();
-        assert_eq!(rows.len(), 4, "2 thread settings × 2 cache settings");
-        let makespan0 = rows[0].get("makespan").and_then(Value::as_u64).unwrap();
-        for row in rows {
-            assert_eq!(row.get("makespan").and_then(Value::as_u64).unwrap(), makespan0);
-            let cached = matches!(row.get("cache"), Some(Value::Bool(true)));
-            let hits = row.get("cache_hits").and_then(Value::as_u64).unwrap();
-            let misses = row.get("cache_misses").and_then(Value::as_u64).unwrap();
-            if cached {
-                assert_eq!(misses, 1, "one cold comm phase per cached run");
-                assert!(hits >= 1, "replays after the first comm phase");
-            } else {
-                assert_eq!((hits, misses), (0, 0));
-            }
-        }
+        assert_eq!(back.get("experiment").and_then(Value::as_str), Some("E2"));
+        let rows = back.get("rows").and_then(Value::as_arr).expect("rows");
+        assert!(!rows.is_empty());
+        assert!(back.get("wall_ms_total").and_then(Value::as_f64).unwrap() >= 0.0);
     }
 
     #[test]
     fn e16_rows_respect_the_surviving_size_bound() {
-        // e16_row itself asserts k ≥ α·log₂(m'); here we re-check from the
-        // serialized artifact so schema drift can't hide a violation.
-        let e16 = e16_artifact(true);
-        let text = e16.to_json();
-        let back = parse(&text).expect("valid JSON");
-        let rows = back.get("rows").and_then(Value::as_arr).unwrap();
-        assert_eq!(rows.len(), 4, "2 rates × 2 hosts in quick mode");
+        // The registry's shape predicates check k ≥ α·log₂(m') at gate
+        // time; here we re-check from the rows so schema drift can't hide
+        // a violation.
+        let exp = registry().into_iter().find(|e| e.id == "E16").unwrap();
+        let result = run_experiment(&exp, true, 2, None);
+        assert_eq!(result.rows.len(), 4, "2 rates × 2 hosts in quick mode");
         let mut faulted = 0;
-        for row in rows {
+        for row in &result.rows {
             let m = row.get("host_m").and_then(Value::as_u64).unwrap();
             let m_surv = row.get("m_surviving").and_then(Value::as_u64).unwrap();
             let k = row.get("k").and_then(Value::as_f64).unwrap();

@@ -1,0 +1,134 @@
+//! The shape-regression gate: `unet bench diff <baseline>`.
+//!
+//! Compares a committed baseline artifact against a fresh sweep **by shape
+//! predicate**, never by absolute timing: both sides' rows are checked
+//! against every registry shape ([`crate::shape`]), so the gate is robust
+//! to machine noise (a slower runner moves every wall-time together and
+//! bends no curve) while still catching real regressions — a measured
+//! point dipping below the Theorem 3.1 curve, E17's cached row losing its
+//! speedup ordering, a protocol hash splitting between configs.
+//!
+//! The baseline may have been measured on the full grids and the fresh
+//! side on `--quick` grids; that is fine, because shapes are properties of
+//! each row set independently, not a row-by-row comparison.
+
+use crate::registry::registry;
+use crate::schema::BenchDoc;
+use crate::sweep::{check_shapes, run_sweep, SweepOptions};
+
+/// The result of one gate run: human-readable report lines plus the
+/// pass/fail verdict.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// One line per (experiment, shape, side) plus per-experiment headers.
+    pub lines: Vec<String>,
+    /// Number of shape violations (and missing experiments) found.
+    pub failures: usize,
+}
+
+impl DiffReport {
+    /// Did the gate pass?
+    pub fn passed(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+fn check_side(label: &str, doc: &BenchDoc, report: &mut DiffReport) {
+    for o in check_shapes(doc) {
+        match o.violation {
+            None => report.lines.push(format!("  ok    {} [{label}] {}", o.exp, o.shape)),
+            Some(v) => {
+                report.failures += 1;
+                report.lines.push(format!("  FAIL  {} [{label}] {v}", o.exp));
+            }
+        }
+    }
+}
+
+/// Run the gate: parse `baseline_text` (must be a schema-v2 artifact), run
+/// a fresh sweep with `opts`, and evaluate every registry shape on both
+/// sides. An experiment selected by the filter but absent from the
+/// baseline counts as a failure (the baseline is stale — regenerate it
+/// with `unet bench run`).
+pub fn diff(baseline_text: &str, opts: &SweepOptions) -> Result<DiffReport, String> {
+    let baseline = BenchDoc::parse(baseline_text)?;
+    let mut report = DiffReport {
+        lines: vec![format!(
+            "baseline: git {} seed {:#x} {}",
+            baseline.git_rev,
+            baseline.seed,
+            if baseline.quick { "quick grid" } else { "full grid" }
+        )],
+        failures: 0,
+    };
+    for exp in registry() {
+        if opts.selects(exp.id) && baseline.experiment(exp.id).is_none() {
+            report.failures += 1;
+            report.lines.push(format!(
+                "  FAIL  {} missing from baseline — regenerate it with `unet bench run`",
+                exp.id
+            ));
+        }
+    }
+    check_side("baseline", &baseline, &mut report);
+    let fresh = run_sweep(opts);
+    report.lines.push(format!(
+        "fresh:    git {} {}",
+        fresh.git_rev,
+        if fresh.quick { "quick grid" } else { "full grid" }
+    ));
+    check_side("fresh", &fresh, &mut report);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_obs::json::Value;
+
+    fn opts() -> SweepOptions {
+        SweepOptions { quick: true, filter: Some(vec!["E2".into()]), threads: 2 }
+    }
+
+    #[test]
+    fn gate_passes_on_an_honest_baseline() {
+        let baseline = run_sweep(&opts());
+        let report = diff(&baseline.to_json(), &opts()).expect("parses");
+        assert!(report.passed(), "{:?}", report.lines);
+        assert!(report.lines.iter().any(|l| l.contains("[baseline]")));
+        assert!(report.lines.iter().any(|l| l.contains("[fresh]")));
+    }
+
+    #[test]
+    fn gate_fails_on_a_bent_curve() {
+        let mut baseline = run_sweep(&opts());
+        // Bend E2: force one inefficiency_ideal below the Ω(log m) floor.
+        let rows = &mut baseline.experiments[0].rows;
+        let last = rows.last_mut().unwrap();
+        if let Value::Obj(fields) = last {
+            for (k, v) in fields.iter_mut() {
+                if k == "inefficiency_ideal" {
+                    *v = Value::Float(0.01);
+                }
+            }
+        }
+        let report = diff(&baseline.to_json(), &opts()).expect("parses");
+        assert!(!report.passed());
+        assert!(report.lines.iter().any(|l| l.contains("FAIL") && l.contains("[baseline]")));
+    }
+
+    #[test]
+    fn gate_fails_on_a_stale_baseline() {
+        let mut baseline = run_sweep(&opts());
+        baseline.experiments.clear();
+        let report = diff(&baseline.to_json(), &opts()).expect("parses");
+        assert!(!report.passed());
+        assert!(report.lines.iter().any(|l| l.contains("missing from baseline")));
+    }
+
+    #[test]
+    fn gate_rejects_v1_artifacts() {
+        let err = diff(r#"{"experiment":"E1","rows":[]}"#, &opts()).unwrap_err();
+        assert!(err.contains("not a v2 artifact"), "{err}");
+    }
+}

@@ -1,9 +1,23 @@
-//! Shared setup helpers for the experiment benches (E1–E10).
+//! Benchmark harness for the paper reproduction: shared fixtures, the
+//! declarative experiment registry, and the shape-regression gate.
 //!
-//! Every bench regenerates its experiment's table/series on stdout once
-//! (the paper-reproduction artifact) and then times the computational
-//! kernel with Criterion. Parameters here are chosen so the full
-//! `cargo bench` run finishes in a few minutes on a laptop.
+//! The crate has two layers:
+//!
+//! * **Fixtures** (this module): seeded guests, butterfly runs, and the
+//!   lower-bound trace shared by the criterion benches (`benches/e*.rs`),
+//!   which print the human-readable tables.
+//! * **The registry** ([`registry`]): one declarative [`registry::Experiment`]
+//!   per machine-checked experiment (E1, E2, E16, E17), swept in parallel
+//!   shards ([`sweep`]), serialized to the versioned `BENCH.json` artifact
+//!   ([`schema`]), rendered to markdown ([`report_md`]), and regression-gated
+//!   by expected-shape predicates ([`shape`], [`diff`]) — `k` affine in
+//!   `log m` (Thm 2.1), every point above the `Ω(log m)` floor (Thm 3.1),
+//!   bit-for-bit engine determinism — rather than absolute timings.
+//!
+//! Everything here drives the [`Simulation`] builder engine with explicit
+//! seeds, so rows are reproducible and parallel-shard-safe.
+
+#![deny(missing_docs)]
 
 use rand::rngs::StdRng;
 use unet_core::prelude::*;
@@ -13,6 +27,13 @@ use unet_routing::butterfly::ValiantButterfly;
 use unet_topology::generators::{butterfly, random_regular, random_supergraph, torus};
 use unet_topology::util::seeded_rng;
 use unet_topology::Graph;
+
+pub mod diff;
+pub mod registry;
+pub mod report_md;
+pub mod schema;
+pub mod shape;
+pub mod sweep;
 
 /// Standard RNG for all benches (reproducible tables).
 pub fn rng() -> StdRng {
@@ -27,34 +48,39 @@ pub fn standard_guest(n: usize, seed: u64) -> (Graph, GuestComputation) {
     (g, c)
 }
 
-/// Simulate guest on a butterfly of dimension `dim` with Valiant routing;
-/// returns the measured slowdown.
+/// Simulate guest on a butterfly of dimension `dim` with Valiant routing
+/// (the Theorem 2.1 host family); returns the measured slowdown.
 pub fn butterfly_slowdown(
     guest: &Graph,
     comp: &GuestComputation,
     dim: usize,
     steps: u32,
-    rng: &mut StdRng,
+    seed: u64,
 ) -> f64 {
-    butterfly_metrics(guest, comp, dim, steps, rng).slowdown
+    butterfly_metrics(guest, comp, dim, steps, seed).slowdown
 }
 
 /// Like [`butterfly_slowdown`], but returns the full certified metrics
 /// (host steps, slowdown, inefficiency, sizes) — the raw material of the
-/// machine-readable `BENCH_E*.json` artifacts.
-#[allow(deprecated)] // E1/E2 artifacts pin the legacy wrapper's rng threading
+/// registry's E1 rows.
 pub fn butterfly_metrics(
     guest: &Graph,
     comp: &GuestComputation,
     dim: usize,
     steps: u32,
-    rng: &mut StdRng,
+    seed: u64,
 ) -> unet_pebble::analysis::SimulationMetrics {
     let host = butterfly(dim);
     let router: SelectorRouter<ValiantButterfly> = presets::butterfly_valiant(dim);
-    let sim =
-        EmbeddingSimulator { embedding: Embedding::block(guest.n(), host.n()), router: &router };
-    let run = sim.simulate(comp, &host, steps, rng);
+    let run = Simulation::builder()
+        .guest(comp)
+        .host(&host)
+        .embedding(Embedding::block(guest.n(), host.n()))
+        .router(&router)
+        .steps(steps)
+        .seed(seed)
+        .run()
+        .expect("butterfly configuration is valid");
     let v = verify_run(comp, &host, &run, steps).expect("certifies");
     v.metrics
 }
@@ -106,7 +132,10 @@ pub struct LowerBoundFixture {
 }
 
 /// Build the standard lower-bound fixture: `n = 144`, `m = 16`, `T = 8`.
-#[allow(deprecated)] // E4/E5/E7 analyses pin the legacy wrapper's rng threading
+/// The analyses downstream (E4 averaging, E5 wavefront, E7 counting) are
+/// properties of *any* certified trace (Thm 3.1 holds per protocol), so
+/// the fixture just needs one — produced by the builder engine with the
+/// fixture's own rng threaded through for the route seed.
 pub fn lowerbound_fixture() -> LowerBoundFixture {
     let mut r = seeded_rng(77);
     let g0 = unet_lowerbound::build_g0(144, 1, &mut r);
@@ -114,8 +143,14 @@ pub fn lowerbound_fixture() -> LowerBoundFixture {
     let comp = GuestComputation::random(guest.clone(), 78);
     let host = torus(4, 4);
     let router = presets::torus_xy(4, 4);
-    let sim = EmbeddingSimulator { embedding: Embedding::block(144, 16), router: &router };
-    let run = sim.simulate(&comp, &host, 8, &mut r);
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(144, 16))
+        .router(&router)
+        .steps(8)
+        .run_with_rng(&mut r)
+        .expect("torus fixture is valid");
     let trace = unet_pebble::check(&guest, &host, &run.protocol).expect("certifies");
     LowerBoundFixture { g0, guest, host, trace }
 }
@@ -145,7 +180,16 @@ mod tests {
     #[test]
     fn butterfly_slowdown_sane() {
         let (g, c) = standard_guest(128, 1);
-        let s = butterfly_slowdown(&g, &c, 3, 2, &mut rng());
+        let s = butterfly_slowdown(&g, &c, 3, 2, 0x5EED);
         assert!(s >= 4.0);
+    }
+
+    #[test]
+    fn butterfly_metrics_is_seed_deterministic() {
+        let (g, c) = standard_guest(96, 2);
+        let a = butterfly_metrics(&g, &c, 2, 2, 7);
+        let b = butterfly_metrics(&g, &c, 2, 2, 7);
+        assert_eq!(a.host_steps, b.host_steps);
+        assert_eq!(a.slowdown, b.slowdown);
     }
 }

@@ -1,0 +1,643 @@
+//! The declarative experiment registry.
+//!
+//! One [`Experiment`] descriptor per machine-checked experiment: its id,
+//! the paper claim it instantiates, its parameter grid (full and `--quick`
+//! variants), a pure runner mapping one grid point to one measured row,
+//! and the expected-shape predicates ([`crate::shape`]) the rows must
+//! satisfy. The descriptors replace the copy-pasted artifact code that
+//! used to live in `bench-json` and the `benches/e*_*.rs` tables: the
+//! sweep runner ([`crate::sweep`]), the regression gate
+//! ([`crate::diff`]), the markdown report ([`crate::report_md`]), and the
+//! legacy `BENCH_E*.json` emission ([`crate::schema::legacy_artifacts`])
+//! all consume the same registry.
+//!
+//! Runners are **pure functions of their grid point**: every parameter —
+//! sizes, step counts, seeds — is in the [`GridPoint`], so points can run
+//! in parallel shards ([`unet_topology::par`]) and resumed rows merge
+//! deterministically. (This is why the registry drives the
+//! `Simulation::builder()` engine with an explicit per-row seed rather
+//! than the deprecated `EmbeddingSimulator` wrappers, which thread one RNG
+//! through a whole sweep.)
+
+use std::time::Instant;
+use unet_core::prelude::{bounds, presets, Embedding, Simulation};
+use unet_core::routers::SelectorRouter;
+use unet_core::verify::verify_run;
+use unet_core::CachePolicy;
+use unet_faults::{DegradedSimulator, FaultPlan};
+use unet_lowerbound::tradeoff_table;
+use unet_obs::json::Value;
+use unet_obs::InMemoryRecorder;
+use unet_routing::butterfly::{GreedyButterfly, ValiantButterfly};
+use unet_routing::greedy::DimensionOrder;
+use unet_routing::PathSelector;
+use unet_topology::generators::{butterfly, torus};
+use unet_topology::util::seeded_rng;
+use unet_topology::Graph;
+
+use crate::shape::Shape;
+use crate::standard_guest;
+
+/// One point of an experiment's parameter grid: named parameters, in a
+/// fixed order. Runners read sizes/seeds out of it; the sweep runner uses
+/// the projection onto [`Experiment::grid_keys`] to match rows against
+/// resumed partial artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPoint {
+    /// Named parameter values (grid keys first, auxiliary constants after).
+    pub params: Vec<(&'static str, Value)>,
+}
+
+impl GridPoint {
+    /// Build a point from `(name, value)` pairs.
+    pub fn new(params: Vec<(&'static str, Value)>) -> Self {
+        GridPoint { params }
+    }
+
+    /// Look up a parameter by name.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.params.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+
+    /// Required `u64` parameter (panics on absence — a registry bug, not
+    /// a user error).
+    pub fn u64(&self, key: &str) -> u64 {
+        self.get(key).and_then(Value::as_u64).unwrap_or_else(|| panic!("grid point lacks {key}"))
+    }
+
+    /// Required `f64` parameter.
+    pub fn f64(&self, key: &str) -> f64 {
+        self.get(key).and_then(Value::as_f64).unwrap_or_else(|| panic!("grid point lacks {key}"))
+    }
+
+    /// Required string parameter.
+    pub fn str(&self, key: &str) -> &str {
+        self.get(key).and_then(Value::as_str).unwrap_or_else(|| panic!("grid point lacks {key}"))
+    }
+
+    /// Canonical identity of this point under the experiment's grid keys:
+    /// the JSON of the key-restricted parameter object.
+    pub fn key(&self, grid_keys: &[&str]) -> String {
+        project(|k| self.get(k).cloned(), grid_keys)
+    }
+}
+
+fn project(get: impl Fn(&str) -> Option<Value>, grid_keys: &[&str]) -> String {
+    Value::Obj(grid_keys.iter().map(|&k| (k.to_string(), get(k).unwrap_or(Value::Null))).collect())
+        .to_json()
+}
+
+/// The grid-key projection of a measured **row** (rows embed their grid
+/// parameters), for matching against [`GridPoint::key`]. Returns `None`
+/// when the row is missing a key — such rows never match and are re-run.
+pub fn row_key(row: &Value, grid_keys: &[&str]) -> Option<String> {
+    if grid_keys.iter().any(|k| row.get(k).is_none()) {
+        return None;
+    }
+    Some(project(|k| row.get(k).cloned(), grid_keys))
+}
+
+/// A declarative experiment: everything the sweep runner, the regression
+/// gate, and the report renderer need to know about one paper claim.
+pub struct Experiment {
+    /// Stable id (`"E1"`).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// The paper claim instantiated, with its section/theorem reference.
+    pub claim: &'static str,
+    /// The parameter names that identify a grid point (resume matching).
+    pub grid_keys: &'static [&'static str],
+    /// Experiment-level constants for the artifact header.
+    pub meta: fn(quick: bool) -> Vec<(String, Value)>,
+    /// The parameter grid (full or `--quick` CI-smoke sizes).
+    pub grid: fn(quick: bool) -> Vec<GridPoint>,
+    /// Run one grid point → one measured row (pure; parallel-safe).
+    pub run: fn(&GridPoint) -> Value,
+    /// The expected-shape predicates the rows must satisfy.
+    pub shapes: fn() -> Vec<Shape>,
+}
+
+/// The full registry, in canonical order.
+pub fn registry() -> Vec<Experiment> {
+    vec![e1(), e2(), e16(), e17()]
+}
+
+/// The registry's base seed, recorded in the artifact header; every row
+/// seed below is a fixed constant derived independently of it so that
+/// shards are order-independent.
+pub const BASE_SEED: u64 = 0x5EED;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// FNV-1a over a byte stream: the stable 64-bit fingerprint used for the
+/// `protocol_hash` / `states_hash` columns (bit-for-bit equality across
+/// rows without embedding whole protocols in the artifact).
+pub fn fnv1a(bytes: impl IntoIterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+// --- E1: Theorem 2.1 upper bound on butterfly hosts --------------------
+
+fn e1_sizes(quick: bool) -> (usize, u32) {
+    if quick {
+        (96, 2)
+    } else {
+        (512, 3)
+    }
+}
+
+fn e1() -> Experiment {
+    Experiment {
+        id: "E1",
+        title: "Theorem 2.1 upper bound: butterfly hosts",
+        claim: "Thm 2.1 + butterfly corollary: inefficiency k = s*m/n is Theta(log m) \
+                (affine in log m, never below the Thm 3.1 floor)",
+        grid_keys: &["dim"],
+        meta: |quick| {
+            let (n, steps) = e1_sizes(quick);
+            vec![
+                ("guest".into(), Value::Str(format!("random-regular n={n} d=4"))),
+                ("guest_n".into(), Value::UInt(n as u64)),
+                ("guest_steps".into(), Value::UInt(steps as u64)),
+                ("router".into(), Value::Str("butterfly-valiant".into())),
+            ]
+        },
+        grid: |quick| {
+            let (n, steps) = e1_sizes(quick);
+            (2..=4usize)
+                .map(|dim| {
+                    GridPoint::new(vec![
+                        ("dim", Value::UInt(dim as u64)),
+                        ("guest_n", Value::UInt(n as u64)),
+                        ("guest_steps", Value::UInt(steps as u64)),
+                        ("seed", Value::UInt(0xE100 + dim as u64)),
+                    ])
+                })
+                .collect()
+        },
+        run: |p| {
+            let dim = p.u64("dim") as usize;
+            let n = p.u64("guest_n") as usize;
+            let steps = p.u64("guest_steps") as u32;
+            let (guest, comp) = standard_guest(n, 0xE1);
+            let host = butterfly(dim);
+            let router: SelectorRouter<ValiantButterfly> = presets::butterfly_valiant(dim);
+            let wall_start = Instant::now();
+            let run = Simulation::builder()
+                .guest(&comp)
+                .host(&host)
+                .embedding(Embedding::block(guest.n(), host.n()))
+                .router(&router)
+                .steps(steps)
+                .seed(p.u64("seed"))
+                .threads(1) // the sweep itself shards across rows
+                .run()
+                .expect("E1 configuration is valid");
+            let m = verify_run(&comp, &host, &run, steps).expect("certifies").metrics;
+            let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+            obj(vec![
+                ("dim", Value::UInt(dim as u64)),
+                ("guest_n", Value::UInt(m.guest_n as u64)),
+                ("host_m", Value::UInt(m.host_m as u64)),
+                ("guest_steps", Value::UInt(m.guest_t as u64)),
+                ("makespan", Value::UInt(m.host_steps as u64)),
+                ("load_bound", Value::Float(bounds::load_bound(m.guest_n, m.host_m))),
+                ("slowdown", Value::Float(m.slowdown)),
+                ("inefficiency", Value::Float(m.inefficiency)),
+                ("k_upper", Value::Float(bounds::upper_bound_butterfly(m.guest_n, m.host_m))),
+                ("avg_weight", Value::Float(m.avg_weight)),
+                ("wall_ms", Value::Float(wall_ms)),
+            ])
+        },
+        shapes: || {
+            vec![
+                // Thm 2.1: k grows affinely in log m (constant Δk per dim).
+                Shape::AffineInLog { x: "host_m", y: "inefficiency", max_slope_ratio: 2.5 },
+                // Thm 3.1: no measured point below the Ω(log m) curve.
+                Shape::FloorLog { x: "host_m", y: "inefficiency", alpha: 1.0 },
+                // Any simulation: slowdown dominates the load bound n/m.
+                Shape::AtLeastColumn { y: "slowdown", floor: "load_bound" },
+            ]
+        },
+    }
+}
+
+// --- E2: Theorem 3.1 lower-bound trade-off ------------------------------
+
+const E2_GAMMA: f64 = 0.125;
+
+fn e2_exp(quick: bool) -> u32 {
+    if quick {
+        8
+    } else {
+        14
+    }
+}
+
+fn e2() -> Experiment {
+    Experiment {
+        id: "E2",
+        title: "Theorem 3.1 lower-bound trade-off",
+        claim: "Thm 3.1: m*s = Omega(n*log m); k_min grows with m and the lower \
+                curve stays below the Thm 2.1 upper curve everywhere",
+        grid_keys: &["host_m"],
+        meta: |quick| {
+            vec![
+                ("guest_n".into(), Value::UInt(1u64 << e2_exp(quick))),
+                ("gamma".into(), Value::Float(E2_GAMMA)),
+            ]
+        },
+        grid: |quick| {
+            let exp = e2_exp(quick);
+            let n = 1u64 << exp;
+            (3..=exp)
+                .map(|e| {
+                    GridPoint::new(vec![
+                        ("host_m", Value::UInt(1u64 << e)),
+                        ("guest_n", Value::UInt(n)),
+                    ])
+                })
+                .collect()
+        },
+        run: |p| {
+            let n = p.u64("guest_n");
+            let m = p.u64("host_m");
+            let wall_start = Instant::now();
+            let table = tradeoff_table(n, &[m], E2_GAMMA, 4);
+            let row = &table[0];
+            let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+            obj(vec![
+                ("host_m", Value::UInt(row.m)),
+                ("guest_n", Value::UInt(n)),
+                ("inefficiency_ideal", Value::Float(row.k_ideal)),
+                ("inefficiency_shape", Value::Float(row.k_shape)),
+                ("inefficiency_paper", Value::Float(row.k_paper)),
+                ("slowdown_shape", Value::Float(row.s_shape)),
+                ("slowdown_upper", Value::Float(row.s_upper)),
+                ("ms_product", Value::Float(row.ms_product)),
+                ("wall_ms", Value::Float(wall_ms)),
+            ])
+        },
+        shapes: || {
+            vec![
+                // k_min(m) grows with m (the Ω(log m) inefficiency floor).
+                Shape::MonotoneInLog { x: "host_m", y: "inefficiency_ideal" },
+                // The idealized solution of k + log2 k = log2 m stays a
+                // constant fraction of log2 m.
+                Shape::FloorLog { x: "host_m", y: "inefficiency_ideal", alpha: 0.5 },
+                // Lower bound below upper bound everywhere (else one of the
+                // two curves is mis-computed).
+                Shape::AtLeastColumn { y: "slowdown_upper", floor: "slowdown_shape" },
+                // The trade-off invariant: m*s_shape >= n (log m >= 1 here).
+                Shape::AtLeastColumn { y: "ms_product", floor: "guest_n" },
+            ]
+        },
+    }
+}
+
+// --- E16: degraded-mode fault sweep -------------------------------------
+
+struct E16Sizes {
+    n: usize,
+    dim: usize,
+    side: usize,
+    steps: u32,
+    rates: &'static [f64],
+}
+
+fn e16_sizes(quick: bool) -> E16Sizes {
+    if quick {
+        // Rate 0.2 so that ⌊rate·m⌋ ≥ 1 even on the 9-node mesh — a
+        // "faulty" row that kills nobody would test nothing.
+        E16Sizes { n: 48, dim: 2, side: 3, steps: 2, rates: &[0.0, 0.2] }
+    } else {
+        E16Sizes { n: 256, dim: 3, side: 6, steps: 3, rates: &[0.0, 0.05, 0.1, 0.2] }
+    }
+}
+
+/// One degraded run on `host`: crash-stop `rate` of the nodes at boundary
+/// 2, simulate, certify, and report the measured numbers against the
+/// Theorem 3.1 shape on the **surviving** size `m'`.
+fn e16_run_on<S: PathSelector>(
+    label: &str,
+    host: &Graph,
+    selector: S,
+    guest_n: usize,
+    steps: u32,
+    rate: f64,
+) -> Value {
+    let (guest, comp) = standard_guest(guest_n, 0xE16);
+    let plan = FaultPlan::crashes(host, rate, 2, 0xE16);
+    let sim = DegradedSimulator {
+        embedding: Embedding::block(guest_n, host.n()),
+        plan,
+        selector: Some(selector),
+    };
+    let wall_start = Instant::now();
+    let run = sim
+        .simulate(&comp, host, steps, &mut seeded_rng(0xE16))
+        .expect("faults leave survivors at these rates");
+    unet_pebble::check(&guest, host, &run.run.protocol).expect("degraded protocol certifies");
+    assert_eq!(run.run.final_states, comp.run_final(steps), "bit-for-bit");
+    let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+    let k = run.surviving_inefficiency();
+    let bound = bounds::lower_bound_inefficiency(run.m_surviving, 1.0);
+    obj(vec![
+        ("host", Value::Str(label.into())),
+        ("fault_rate", Value::Float(rate)),
+        ("host_m", Value::UInt(host.n() as u64)),
+        ("m_surviving", Value::UInt(run.m_surviving as u64)),
+        ("guest_n", Value::UInt(guest_n as u64)),
+        ("slowdown", Value::Float(run.run.slowdown())),
+        ("k", Value::Float(k)),
+        ("k_bound", Value::Float(bound)),
+        ("dropped", Value::UInt(run.dropped)),
+        ("retried", Value::UInt(run.retried)),
+        ("replayed", Value::UInt(run.replayed)),
+        ("remapped", Value::UInt(run.remapped)),
+        ("wall_ms", Value::Float(wall_ms)),
+    ])
+}
+
+fn e16() -> Experiment {
+    Experiment {
+        id: "E16",
+        title: "Degraded-mode simulation: slowdown vs crash-stop fault rate",
+        claim: "Extrapolated from §3.1: a degraded host of surviving size m' is still \
+                universal, and the Thm 3.1 trade-off holds on m' — measured \
+                k' = s*m'/n >= Omega(log m') at every fault rate",
+        grid_keys: &["host", "fault_rate"],
+        meta: |quick| {
+            let s = e16_sizes(quick);
+            vec![
+                ("guest".into(), Value::Str(format!("random-regular n={} d=4", s.n))),
+                ("guest_n".into(), Value::UInt(s.n as u64)),
+                ("guest_steps".into(), Value::UInt(s.steps as u64)),
+                ("fault_boundary".into(), Value::UInt(2)),
+            ]
+        },
+        grid: |quick| {
+            let s = e16_sizes(quick);
+            let mut points = Vec::new();
+            for &rate in s.rates {
+                for host in ["butterfly", "mesh"] {
+                    points.push(GridPoint::new(vec![
+                        ("host", Value::Str(host.into())),
+                        ("fault_rate", Value::Float(rate)),
+                        ("guest_n", Value::UInt(s.n as u64)),
+                        ("guest_steps", Value::UInt(s.steps as u64)),
+                        ("dim", Value::UInt(s.dim as u64)),
+                        ("side", Value::UInt(s.side as u64)),
+                    ]));
+                }
+            }
+            points
+        },
+        run: |p| {
+            let n = p.u64("guest_n") as usize;
+            let steps = p.u64("guest_steps") as u32;
+            let rate = p.f64("fault_rate");
+            match p.str("host") {
+                "butterfly" => {
+                    let dim = p.u64("dim") as usize;
+                    e16_run_on(
+                        "butterfly",
+                        &butterfly(dim),
+                        GreedyButterfly { dim },
+                        n,
+                        steps,
+                        rate,
+                    )
+                }
+                "mesh" => {
+                    let side = p.u64("side") as usize;
+                    e16_run_on(
+                        "mesh",
+                        &torus(side, side),
+                        DimensionOrder::torus(side, side),
+                        n,
+                        steps,
+                        rate,
+                    )
+                }
+                other => panic!("unknown E16 host {other:?}"),
+            }
+        },
+        shapes: || {
+            vec![
+                // The claim itself: k on m' never dips below the Thm 3.1
+                // curve (evaluated per row, stored as k_bound).
+                Shape::AtLeastColumn { y: "k", floor: "k_bound" },
+                // Crashes only remove hosts: m' <= m.
+                Shape::AtLeastColumn { y: "host_m", floor: "m_surviving" },
+            ]
+        },
+    }
+}
+
+// --- E17: engine thread/cache sweep -------------------------------------
+
+fn e17_sizes(quick: bool) -> (usize, usize, u32) {
+    if quick {
+        (96, 2, 3)
+    } else {
+        (512, 3, 8)
+    }
+}
+
+const E17_CONFIGS: [(&str, u64, bool); 4] = [
+    ("seq-uncached", 1, false),
+    ("seq-cached", 1, true),
+    ("par-uncached", 4, false),
+    ("par-cached", 4, true),
+];
+
+fn e17() -> Experiment {
+    Experiment {
+        id: "E17",
+        title: "Engine thread/cache sweep: identical protocols, wall time",
+        claim: "Engineering claim on the Thm 2.1 engine: the route-plan cache and \
+                parallel phases change wall time only — protocol and final states \
+                are bit-for-bit identical for every (threads, cache) setting",
+        grid_keys: &["config"],
+        meta: |quick| {
+            let (n, _, steps) = e17_sizes(quick);
+            vec![
+                ("guest".into(), Value::Str(format!("random-regular n={n} d=4"))),
+                ("guest_n".into(), Value::UInt(n as u64)),
+                ("guest_steps".into(), Value::UInt(steps as u64)),
+                ("router".into(), Value::Str("butterfly-valiant".into())),
+            ]
+        },
+        grid: |quick| {
+            let (n, dim, steps) = e17_sizes(quick);
+            E17_CONFIGS
+                .iter()
+                .map(|&(label, threads, cache)| {
+                    GridPoint::new(vec![
+                        ("config", Value::Str(label.into())),
+                        ("threads", Value::UInt(threads)),
+                        ("cache", Value::Bool(cache)),
+                        ("guest_n", Value::UInt(n as u64)),
+                        ("dim", Value::UInt(dim as u64)),
+                        ("guest_steps", Value::UInt(steps as u64)),
+                        // One shared seed: rows must agree bit-for-bit.
+                        ("seed", Value::UInt(0xE17)),
+                    ])
+                })
+                .collect()
+        },
+        run: |p| {
+            let n = p.u64("guest_n") as usize;
+            let dim = p.u64("dim") as usize;
+            let steps = p.u64("guest_steps") as u32;
+            let threads = p.u64("threads") as usize;
+            let cache = matches!(p.get("cache"), Some(Value::Bool(true)));
+            let (guest, comp) = standard_guest(n, 0xE1);
+            let host = butterfly(dim);
+            let router: SelectorRouter<ValiantButterfly> = presets::butterfly_valiant(dim);
+            let mut rec = InMemoryRecorder::new();
+            let wall_start = Instant::now();
+            let run = Simulation::builder()
+                .guest(&comp)
+                .host(&host)
+                .embedding(Embedding::block(guest.n(), host.n()))
+                .router(&router)
+                .steps(steps)
+                .seed(p.u64("seed"))
+                .threads(threads)
+                .cache_policy(if cache { CachePolicy::Enabled } else { CachePolicy::Disabled })
+                .recorder(&mut rec)
+                .run()
+                .expect("E17 configuration is valid");
+            let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+            let trace = unet_pebble::check(&guest, &host, &run.protocol)
+                .unwrap_or_else(|e| panic!("E17 {} failed to certify: {e}", p.str("config")));
+            assert_eq!(run.final_states, comp.run_final(steps), "states bit-for-bit");
+            let protocol_hash = fnv1a(unet_pebble::io::to_text(&run.protocol).bytes());
+            let states_hash = fnv1a(run.final_states.iter().flat_map(|s| s.to_le_bytes()));
+            obj(vec![
+                ("config", Value::Str(p.str("config").into())),
+                ("threads", Value::UInt(threads as u64)),
+                ("cache", Value::Bool(cache)),
+                ("guest_n", Value::UInt(n as u64)),
+                ("host_m", Value::UInt(host.n() as u64)),
+                ("guest_steps", Value::UInt(steps as u64)),
+                ("makespan", Value::UInt(trace.host_steps as u64)),
+                ("cache_hits", Value::UInt(rec.counter_value("sim.cache.hits"))),
+                ("cache_misses", Value::UInt(rec.counter_value("sim.cache.misses"))),
+                ("protocol_hash", Value::UInt(protocol_hash)),
+                ("states_hash", Value::UInt(states_hash)),
+                ("wall_ms", Value::Float(wall_ms)),
+            ])
+        },
+        shapes: || {
+            vec![
+                // The bit-for-bit claim, at artifact level: every row emits
+                // the identical protocol and states.
+                Shape::ConstantColumn { col: "protocol_hash" },
+                Shape::ConstantColumn { col: "states_hash" },
+                Shape::ConstantColumn { col: "makespan" },
+                // Deterministic cache behaviour: one cold phase, then replays.
+                Shape::CacheCounters { cache: "cache", hits: "cache_hits", misses: "cache_misses" },
+                // The cached row must not lose its speedup ordering (loose,
+                // and skipped below the noise floor — see Shape docs).
+                Shape::SpeedupOrdering {
+                    key: "config",
+                    fast: "seq-cached",
+                    slow: "seq-uncached",
+                    wall: "wall_ms",
+                    factor: 1.5,
+                    min_wall_ms: 5.0,
+                },
+            ]
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_canonical() {
+        let reg = registry();
+        let ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+        assert_eq!(ids, ["E1", "E2", "E16", "E17"]);
+        for exp in &reg {
+            assert!(!(exp.shapes)().is_empty(), "{} has no shape predicates", exp.id);
+            for quick in [true, false] {
+                let grid = (exp.grid)(quick);
+                assert!(!grid.is_empty(), "{} has an empty grid", exp.id);
+                // Grid keys identify points uniquely.
+                let mut keys: Vec<String> = grid.iter().map(|p| p.key(exp.grid_keys)).collect();
+                keys.sort();
+                keys.dedup();
+                assert_eq!(keys.len(), grid.len(), "{} grid keys collide", exp.id);
+            }
+        }
+    }
+
+    #[test]
+    fn rows_embed_their_grid_keys_and_pass_their_shapes() {
+        // Run the two cheapest grids end to end (E2 quick is numeric-only,
+        // E16 quick exercises the degraded engine) and check the contract:
+        // every row projects onto its grid point's key, and the rows
+        // satisfy the experiment's own shape predicates.
+        for exp in registry() {
+            if exp.id != "E2" && exp.id != "E16" {
+                continue;
+            }
+            let grid = (exp.grid)(true);
+            let rows: Vec<Value> = grid.iter().map(|p| (exp.run)(p)).collect();
+            for (p, row) in grid.iter().zip(&rows) {
+                assert_eq!(
+                    row_key(row, exp.grid_keys).as_deref(),
+                    Some(p.key(exp.grid_keys).as_str()),
+                    "{}: row does not embed its grid point",
+                    exp.id
+                );
+            }
+            for shape in (exp.shapes)() {
+                shape.check(&rows).unwrap_or_else(|v| panic!("{}: {v}", exp.id));
+            }
+        }
+    }
+
+    #[test]
+    fn e17_rows_agree_bit_for_bit() {
+        let exp = e17();
+        let grid = (exp.grid)(true);
+        let rows: Vec<Value> = grid.iter().map(|p| (exp.run)(p)).collect();
+        for shape in (exp.shapes)() {
+            shape.check(&rows).unwrap_or_else(|v| panic!("E17: {v}"));
+        }
+        let h0 = rows[0].get("protocol_hash").and_then(Value::as_u64).unwrap();
+        assert!(rows.iter().all(|r| r.get("protocol_hash").and_then(Value::as_u64) == Some(h0)));
+    }
+
+    #[test]
+    fn fnv1a_is_stable_and_sensitive() {
+        assert_eq!(fnv1a([]), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(*b"protocol"), fnv1a(*b"protocoL"));
+    }
+
+    #[test]
+    fn grid_point_key_is_order_insensitive_to_extras() {
+        let a = GridPoint::new(vec![("dim", Value::UInt(3)), ("seed", Value::UInt(7))]);
+        let b = GridPoint::new(vec![
+            ("dim", Value::UInt(3)),
+            ("seed", Value::UInt(99)), // non-key params don't matter
+        ]);
+        assert_eq!(a.key(&["dim"]), b.key(&["dim"]));
+        assert_ne!(a.key(&["dim", "seed"]), b.key(&["dim", "seed"]));
+    }
+}

@@ -7,7 +7,7 @@
 //!   `O((n/m)·log m)` for `m ≤ n`.
 //! * **Lower bound** (Theorem 3.1) — `m·s = Ω(n·log m)`, i.e.
 //!   `s = Ω((n/m)·log m)`; equivalently inefficiency `k = Ω(log m)`.
-//! * **Upper trade-off for `m ≥ n`** ([14], quoted in Section 1) — a host of
+//! * **Upper trade-off for `m ≥ n`** (\[14\], quoted in Section 1) — a host of
 //!   size `n·ℓ` achieves `s·log ℓ = O(log n)`.
 
 /// The trivial load-induced slowdown `max(1, n/m)`.
@@ -33,7 +33,7 @@ pub fn lower_bound_inefficiency(m: usize, alpha: f64) -> f64 {
     alpha * (m as f64).log2()
 }
 
-/// The `m ≥ n` upper trade-off of [14]: with host size `m = n·ℓ`,
+/// The `m ≥ n` upper trade-off of \[14\]: with host size `m = n·ℓ`,
 /// `s = O(log n / log ℓ)`. Returns the predicted slowdown shape.
 pub fn upper_tradeoff_large_host(n: usize, m: usize) -> f64 {
     assert!(m >= n && n >= 2);

@@ -92,7 +92,7 @@ impl Embedding {
     }
 
     /// **Dilation**: the maximum host distance spanned by a guest edge —
-    /// the classic embedding cost measure (see Monien & Sudborough [16]).
+    /// the classic embedding cost measure (see Monien & Sudborough \[16\]).
     /// An embedding-based simulation cannot have slowdown below its
     /// dilation; this is the quantity the `embedding_bound` counting in
     /// `unet-lowerbound` charges for.

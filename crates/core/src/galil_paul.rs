@@ -1,4 +1,4 @@
-//! Sorting-based universal simulation (Galil & Paul [6]).
+//! Sorting-based universal simulation (Galil & Paul \[6\]).
 //!
 //! Galil and Paul showed that any network that can sort `n` keys in
 //! `sort(n, m)` parallel steps is `n`-universal with slowdown

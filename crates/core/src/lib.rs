@@ -41,7 +41,7 @@
 //! assert!(verified.metrics.slowdown >= 4.0); // ≥ load n/m
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod async_sim;
 pub mod bounds;

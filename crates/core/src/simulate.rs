@@ -43,7 +43,7 @@ use unet_topology::{Graph, Node};
 /// Result of a universal simulation run.
 #[derive(Debug, Clone)]
 pub struct SimulationRun {
-    /// The emitted pebble protocol (feed to [`unet_pebble::check`]).
+    /// The emitted pebble protocol (feed to [`unet_pebble::check`](fn@unet_pebble::check)).
     pub protocol: Protocol,
     /// Host-computed final guest states (compare against
     /// [`GuestComputation::run_final`]).

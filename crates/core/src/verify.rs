@@ -1,7 +1,7 @@
 //! End-to-end verification: a universal simulation is *correct* iff
 //!
 //! 1. its pebble protocol satisfies every rule of the Section 3.1 model
-//!    (checked by [`unet_pebble::check`]), and
+//!    (checked by [`unet_pebble::check`](fn@unet_pebble::check)), and
 //! 2. the host-computed final configurations equal the guest's direct run
 //!    bit-for-bit.
 //!

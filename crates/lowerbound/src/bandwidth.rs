@@ -1,5 +1,5 @@
 //! Bandwidth-based lower bounds on embedding simulations (Kruskal &
-//! Rappoport [10], cited in the paper's related work as one of the
+//! Rappoport \[10\], cited in the paper's related work as one of the
 //! techniques that can exceed the load-induced bound — though not strong
 //! enough for universal networks, which is why Theorem 3.1 needs counting).
 //!
@@ -75,7 +75,7 @@ pub fn best_bandwidth_bound<R: rand::Rng>(
 /// guest's expansion guarantees `Ω(n)` crossing edges under any balanced
 /// placement, while the host cut is `O(√m)` — bound `Ω(n/√m)`, exceeding
 /// the load `n/m` by `√m` (the "meshes are not able to simulate … with the
-/// load-induced slowdown only" result quoted from [9]/[10]).
+/// load-induced slowdown only" result quoted from \[9\]/\[10\]).
 pub fn expander_on_grid_bound(n: usize, m: usize, expansion_edges_per_node: f64) -> f64 {
     let crossing = expansion_edges_per_node * n as f64 / 2.0;
     let side = unet_topology::util::isqrt(m) as f64;

@@ -1,5 +1,5 @@
 //! Static embeddings cannot be universal cheaply — the counting contrast
-//! the paper draws with [13] ("if only embeddings are allowed, universal
+//! the paper draws with \[13\] ("if only embeddings are allowed, universal
 //! networks with constant slowdown have exponential size") made executable.
 //!
 //! An *embedding-based* simulation maps each guest processor to one host
@@ -21,9 +21,9 @@
 //! ```
 //!
 //! — for constant slowdown `s`, `m = n^{Ω(c)}`, versus `m = O(n^{1+ε})`
-//! with *dynamic* simulation [14]: the quantitative content of "dynamic
+//! with *dynamic* simulation \[14\]: the quantitative content of "dynamic
 //! simulations are strictly stronger than embeddings" for universal hosts.
-//! (This simple counting bound is weaker than [13]'s exponential bound but
+//! (This simple counting bound is weaker than \[13\]'s exponential bound but
 //! already separates the two regimes by an arbitrary polynomial degree.)
 
 /// `log₂` of the maximum number of distinct `c`-regular guests a fixed host
@@ -54,7 +54,7 @@ pub fn log2_min_embedding_universal_size(n: u64, c: u32, d: u32, s: u32) -> f64 
     ((c as f64 / 2.0) * ((n as f64).log2() - per_edge)).max(0.0)
 }
 
-/// The dynamic-simulation comparison point from [14]: size `n^{1+ε}` hosts
+/// The dynamic-simulation comparison point from \[14\]: size `n^{1+ε}` hosts
 /// achieve constant slowdown. Returns `log₂ m = (1+ε)·log₂ n`.
 pub fn log2_dynamic_universal_size(n: u64, epsilon: f64) -> f64 {
     (1.0 + epsilon) * (n as f64).log2()

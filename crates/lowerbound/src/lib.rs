@@ -16,7 +16,7 @@
 //! * [`counting`] — the numeric Theorem 3.1 chain: `|U[G₀]|` vs `D(k)`,
 //!   the solved `k_min(m) = Ω(log m)`, and the full trade-off table;
 //! * [`embedding_bound`] — the embeddings-vs-dynamics separation the paper
-//!   draws with [13]/[14], as a counting bound;
+//!   draws with \[13\]/\[14\], as a counting bound;
 //! * [`audit`] — one-call pipeline: simulate a `U[G₀]` guest, certify,
 //!   check every lemma on the run.
 //!

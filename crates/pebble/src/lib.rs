@@ -9,7 +9,7 @@
 //! neighbour, or receive one.
 //!
 //! * [`protocol`] — the protocol format and builder;
-//! * [`check`] — full validity checking (every rule of the model) and the
+//! * [`check`](fn@crate::check) — full validity checking (every rule of the model) and the
 //!   custody [`check::Trace`] exposing `Q_S(i,t)` / `Q'_S(i,t)`;
 //! * [`analysis`] — weights, metrics, heavy-processor accounting
 //!   (Definition 3.11, Lemma 3.15);

@@ -1,6 +1,6 @@
 //! Step-by-step protocol replay.
 //!
-//! The checker ([`crate::check`]) validates a protocol wholesale; this
+//! The checker ([`crate::check`](fn@crate::check)) validates a protocol wholesale; this
 //! module *observes* one: an iterator that walks host steps and yields a
 //! [`StepSummary`] per step (what was generated, moved, how custody grew),
 //! plus access to the evolving per-host pebble sets. Useful for debugging

@@ -11,7 +11,7 @@
 //! * [`butterfly`] — greedy bit-fixing and Valiant's randomized routing;
 //! * [`benes`] — the Beneš network and Waksman's looping algorithm: offline
 //!   permutation routing with stage-congestion 1, pipelined into offline
-//!   `h–h` schedules (the Waksman [19] citation of Section 2);
+//!   `h–h` schedules (the Waksman \[19\] citation of Section 2);
 //! * [`decompose`] — `h–h` relations → permutations by Euler splits;
 //! * [`sortnet`] — Batcher's bitonic network (documented AKS substitute) for
 //!   sorting-based routing à la Galil–Paul;
@@ -31,7 +31,7 @@
 //! assert_eq!(*paths[0].last().unwrap(), 3); // …and exits at row perm[0].
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod benes;
 pub mod butterfly;

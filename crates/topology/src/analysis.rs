@@ -1,5 +1,5 @@
 //! Structural graph analysis: BFS, diameter, connectivity, and the spreading
-//! function of [15] (the size of `t`-neighbourhoods, which governs how far
+//! function of \[15\] (the size of `t`-neighbourhoods, which governs how far
 //! information can travel in `t` steps of a network computation).
 
 use crate::graph::{Graph, Node};
@@ -81,7 +81,7 @@ pub fn ball_size(g: &Graph, v: Node, t: u32) -> usize {
     bfs_distances(g, v).iter().filter(|&&d| d <= t).count()
 }
 
-/// The spreading function of [15] evaluated at `t`: the *maximum* over all
+/// The spreading function of \[15\] evaluated at `t`: the *maximum* over all
 /// vertices of the `t`-neighbourhood size. Networks with polynomially bounded
 /// spreading admit smaller universal hosts (Meyer auf der Heide & Wanka,
 /// STACS'89) — we expose the measurement so that claim can be explored.

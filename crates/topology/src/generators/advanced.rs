@@ -1,6 +1,6 @@
 //! Further networks from the paper's reference list: the mesh of trees
-//! (Achilles [1] emulates meshes on them), Kautz graphs (de Bruijn's denser
-//! sibling), and the multibutterfly (Rappoport [17] separates it from the
+//! (Achilles \[1\] emulates meshes on them), Kautz graphs (de Bruijn's denser
+//! sibling), and the multibutterfly (Rappoport \[17\] separates it from the
 //! butterfly under simulation).
 
 use crate::graph::{Graph, GraphBuilder, Node};
@@ -12,7 +12,7 @@ use rand::Rng;
 /// `s = 2^k`: `s² + 2·s·(s−1)` vertices, degree ≤ 6 (leaves have degree 2,
 /// internal tree nodes ≤ 3 each ×2 trees at roots-adjacent nodes).
 /// Diameter `O(log s)` with only `O(s² )` nodes — a classic powerful host
-/// (reference [1] emulates meshes on it optimally).
+/// (reference \[1\] emulates meshes on it optimally).
 ///
 /// Node layout: leaves `0..s²` (row-major), then row-tree internals
 /// (`s·(s−1)` of them), then column-tree internals.
@@ -99,7 +99,7 @@ pub fn kautz(b: usize, k: usize) -> Graph {
 }
 
 /// A randomized multibutterfly of dimension `d` with multiplicity 2
-/// (Rappoport [17]'s subject): like the butterfly, but between consecutive
+/// (Rappoport \[17\]'s subject): like the butterfly, but between consecutive
 /// levels each node connects to `2` random targets in the "straight" half
 /// and `2` in the "cross" half of its next-level splitter — the expander
 /// splitters are what make multibutterflies robust and hard for plain

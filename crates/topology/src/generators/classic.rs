@@ -98,7 +98,7 @@ pub fn hypercube(d: usize) -> Graph {
     b.build()
 }
 
-/// Complete network `K_n` (degree `n − 1`; the guest class of [14]'s
+/// Complete network `K_n` (degree `n − 1`; the guest class of \[14\]'s
 /// complete-network simulations).
 pub fn complete(n: usize) -> Graph {
     let mut b = GraphBuilder::new(n);

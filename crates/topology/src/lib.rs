@@ -17,7 +17,7 @@
 //!   orientation device of Lemma 3.3) and [`enumeration`] (the counting side
 //!   of the lower-bound argument).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod analysis;
 pub mod enumeration;

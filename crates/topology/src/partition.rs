@@ -1,6 +1,6 @@
 //! Balanced graph bipartitions and edge cuts.
 //!
-//! The bandwidth-based lower bounds of Kruskal & Rappoport [10] (cited in
+//! The bandwidth-based lower bounds of Kruskal & Rappoport \[10\] (cited in
 //! the paper's related work) compare the communication demand a guest
 //! pushes across a cut with the host's capacity across it. This module
 //! provides the cut machinery: exact cut evaluation, a Kernighan–Lin-style

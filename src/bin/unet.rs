@@ -9,7 +9,9 @@
 //! unet audit    <n-hint> <host> <T>           full lower-bound audit on a U[G0] guest
 //! unet trace    <guest> <host> <T> [opts]     instrumented run → JSONL trace
 //! unet report   <trace-file>                  human-readable trace summary
+//! unet report   --markdown <BENCH.json>       markdown tables from a bench artifact
 //! unet faults   <guest> <host> <T> [opts]     degraded run under crash-stop faults
+//! unet bench    run|diff|list [opts]          experiment registry + regression gate
 //! ```
 //!
 //! Graph specs: `torus:8x8`, `butterfly:4`, `random:256x4:7`, … (see
@@ -51,7 +53,11 @@ const USAGE: &str = "usage:
   unet audit    <n-hint> <host-spec> <steps>
   unet trace    <guest-spec> <host-spec> <steps> [--seed S] [--out FILE]
   unet report   <trace-file>
-  unet faults   <guest-spec> <host-spec> <steps> [--rate R] [--at T0] [--seed S] [--out FILE]";
+  unet report   --markdown <BENCH.json>
+  unet faults   <guest-spec> <host-spec> <steps> [--rate R] [--at T0] [--seed S] [--out FILE]
+  unet bench    run  [--quick] [--filter IDS] [--out FILE] [--resume] [--threads N]
+  unet bench    diff <baseline-BENCH.json> [--full] [--filter IDS] [--threads N]
+  unet bench    list";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -65,6 +71,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "trace" => trace_cmd(&args[1..]),
         "report" => report_cmd(&args[1..]),
         "faults" => faults_cmd(&args[1..]),
+        "bench" => bench_cmd(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -338,14 +345,110 @@ fn faults_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Parse, validate, and summarize a JSONL trace written by `unet trace`.
+/// Parse, validate, and summarize a JSONL trace written by `unet trace`,
+/// or — with `--markdown` — render a `BENCH.json` artifact as the markdown
+/// tables EXPERIMENTS.md embeds.
 fn report_cmd(args: &[String]) -> Result<(), String> {
     use universal_networks::obs::{report, trace::parse_trace};
+    if has_flag(args, "--markdown") {
+        let path = args
+            .iter()
+            .find(|a| !a.starts_with("--"))
+            .ok_or("missing BENCH.json path after --markdown")?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let doc = universal_networks::bench::schema::BenchDoc::parse(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
+        print!("{}", universal_networks::bench::report_md::render(&doc));
+        return Ok(());
+    }
     let path = args.first().ok_or("missing trace file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = parse_trace(&text)?;
     print!("{}", report::render(&doc));
     Ok(())
+}
+
+/// The experiment registry: `run` sweeps grids into a versioned
+/// `BENCH.json`, `diff` re-checks every paper claim's *shape* (Thm 2.1
+/// affinity in log m, the Thm 3.1 floor, E17's bit-for-bit invariants)
+/// against a committed baseline plus a fresh run, `list` shows what is
+/// registered.
+fn bench_cmd(args: &[String]) -> Result<(), String> {
+    use universal_networks::bench::diff::diff;
+    use universal_networks::bench::registry::registry;
+    use universal_networks::bench::sweep::{check_shapes, run_to_file, SweepOptions};
+    use universal_networks::topology::par::default_threads;
+
+    let sub = args.first().ok_or("missing bench subcommand (run | diff | list)")?;
+    let threads: usize = flag(args, "--threads")
+        .map_or(Ok(default_threads()), |s| s.parse().map_err(|_| "bad threads"))?;
+    let filter = flag(args, "--filter").map(|f| SweepOptions::parse_filter(&f));
+    match sub.as_str() {
+        "list" => {
+            for exp in registry() {
+                println!("{}: {}", exp.id, exp.title);
+                println!("    claim: {}", exp.claim);
+                for shape in (exp.shapes)() {
+                    println!("    shape: {}", shape.describe());
+                }
+            }
+            Ok(())
+        }
+        "run" => {
+            let opts = SweepOptions { quick: has_flag(args, "--quick"), filter, threads };
+            let out = flag(args, "--out").unwrap_or_else(|| "BENCH.json".into());
+            let (doc, progress) = run_to_file(&out, &opts, has_flag(args, "--resume"))?;
+            for line in &progress {
+                println!("{line}");
+            }
+            println!("wrote {out} ({} experiments)", doc.experiments.len());
+            let mut bent = Vec::new();
+            for o in check_shapes(&doc) {
+                match o.violation {
+                    None => println!("  ok    {} {}", o.exp, o.shape),
+                    Some(v) => bent.push(format!("  FAIL  {} {v}", o.exp)),
+                }
+            }
+            for line in &bent {
+                println!("{line}");
+            }
+            if bent.is_empty() {
+                Ok(())
+            } else {
+                Err(format!("{} shape predicate(s) violated by the fresh sweep", bent.len()))
+            }
+        }
+        "diff" => {
+            // First positional after `diff`, skipping flags and their values.
+            let mut rest = args.iter().skip(1);
+            let mut path = None;
+            while let Some(a) = rest.next() {
+                if a == "--filter" || a == "--threads" {
+                    rest.next();
+                } else if !a.starts_with("--") {
+                    path = Some(a);
+                    break;
+                }
+            }
+            let path = path.ok_or("missing baseline BENCH.json path")?;
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            // Quick grids by default: the gate checks shapes, not absolute
+            // numbers, so the CI-smoke sizes are comparable to a committed
+            // full-size baseline. `--full` opts into full grids.
+            let opts = SweepOptions { quick: !has_flag(args, "--full"), filter, threads };
+            let report = diff(&text, &opts)?;
+            for line in &report.lines {
+                println!("{line}");
+            }
+            if report.passed() {
+                println!("bench diff: all claim shapes hold");
+                Ok(())
+            } else {
+                Err(format!("bench diff: {} shape check(s) failed", report.failures))
+            }
+        }
+        other => Err(format!("unknown bench subcommand {other:?} (run | diff | list)")),
+    }
 }
 
 fn tradeoff(args: &[String]) -> Result<(), String> {

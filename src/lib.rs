@@ -23,12 +23,24 @@
 //!   (`unet trace`), and report rendering (`unet report`);
 //! * [`faults`] — fault injection and degraded-mode simulation: seeded
 //!   fault plans, faulty host views, fault-aware rerouting, and
-//!   crash-surviving simulation with re-embedding and pebble replay.
+//!   crash-surviving simulation with re-embedding and pebble replay;
+//! * [`mod@bench`] — the declarative experiment registry behind `unet bench`:
+//!   parameter grids, sharded sweeps into versioned `BENCH.json`
+//!   artifacts, and the shape-predicate regression gate (`unet bench
+//!   diff`).
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
 pub mod spec;
 
+/// Compiles and runs every `rust` block in `README.md` as a doctest, so the
+/// README's quickstart and engine-API examples can never drift from the
+/// real API. Exists only under `cargo test --doc`.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+pub struct ReadmeDoctests;
+
+pub use unet_bench as bench;
 pub use unet_core as core;
 pub use unet_faults as faults;
 pub use unet_lowerbound as lowerbound;

@@ -19,9 +19,9 @@ use unet_topology::Graph;
 /// | `benes:D` | Beneš network on `2^D` rows |
 /// | `ccc:D`, `shuffle:D`, `debruijn:D`, `hypercube:D` | hypercubic |
 /// | `tree:D`, `xtree:D` | trees of depth `D` |
-/// | `meshoftrees:S` | `S×S` mesh of trees ([1]) |
+/// | `meshoftrees:S` | `S×S` mesh of trees (\[1\]) |
 /// | `kautz:BxK` | Kautz graph `K(B, K)` |
-/// | `multibutterfly:D` or `multibutterfly:D:SEED` | randomized multibutterfly ([17]) |
+/// | `multibutterfly:D` or `multibutterfly:D:SEED` | randomized multibutterfly (\[17\]) |
 /// | `random:NxD` or `random:NxD:SEED` | random `D`-regular |
 /// | `expander:N` or `expander:N:SEED` | random 4-regular expander |
 /// | `margulis:S` | Margulis-style expander on `S×S` |

@@ -84,6 +84,78 @@ fn route_reports_stats() {
 }
 
 #[test]
+fn bench_diff_passes_honest_baseline_and_fails_bent_curve() {
+    use universal_networks::obs::json::{parse, Value};
+
+    let dir = std::env::temp_dir().join("unet-cli-bench-diff");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("BENCH.json");
+    let baseline_s = baseline.to_str().unwrap();
+
+    // Produce a quick-grid baseline for E1 only.
+    let (ok, stdout, stderr) =
+        unet(&["bench", "run", "--quick", "--filter", "e1", "--out", baseline_s]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("E1"), "{stdout}");
+    assert!(baseline.exists());
+
+    // The honest baseline must pass the gate.
+    let (ok2, stdout2, stderr2) = unet(&["bench", "diff", baseline_s, "--filter", "e1"]);
+    assert!(ok2, "stdout: {stdout2}\nstderr: {stderr2}");
+    assert!(stdout2.contains("all claim shapes hold"), "{stdout2}");
+
+    // Bend E1's inefficiency curve below the Theorem 3.1 floor and the
+    // gate must exit nonzero, naming the broken shape.
+    let text = std::fs::read_to_string(&baseline).unwrap();
+    let mut doc = parse(&text).expect("baseline parses");
+    {
+        let exps = match &mut doc {
+            Value::Obj(fields) => fields
+                .iter_mut()
+                .find(|(k, _)| k == "experiments")
+                .map(|(_, v)| v)
+                .expect("has experiments"),
+            _ => panic!("baseline is not an object"),
+        };
+        let rows = match exps {
+            Value::Arr(items) => match &mut items[0] {
+                Value::Obj(fields) => {
+                    fields.iter_mut().find(|(k, _)| k == "rows").map(|(_, v)| v).expect("has rows")
+                }
+                _ => panic!("experiment is not an object"),
+            },
+            _ => panic!("experiments is not an array"),
+        };
+        if let Value::Arr(items) = rows {
+            for row in items {
+                if let Value::Obj(fields) = row {
+                    for (k, v) in fields.iter_mut() {
+                        if k == "inefficiency" {
+                            *v = Value::Float(0.01);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let bent = dir.join("BENCH-bent.json");
+    let bent_s = bent.to_str().unwrap();
+    std::fs::write(&bent, doc.to_json()).unwrap();
+
+    let (ok3, stdout3, _) = unet(&["bench", "diff", bent_s, "--filter", "e1"]);
+    assert!(!ok3, "bent baseline must fail the gate: {stdout3}");
+    assert!(stdout3.contains("FAIL"), "{stdout3}");
+    assert!(stdout3.contains("inefficiency"), "{stdout3}");
+}
+
+#[test]
+fn bench_diff_rejects_missing_baseline_file() {
+    let (ok, _, stderr) = unet(&["bench", "diff", "/nonexistent/BENCH.json"]);
+    assert!(!ok);
+    assert!(stderr.contains("error:"), "{stderr}");
+}
+
+#[test]
 fn bad_usage_fails_with_usage_text() {
     let (ok, _, stderr) = unet(&["frobnicate"]);
     assert!(!ok);

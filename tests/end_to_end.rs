@@ -1,8 +1,6 @@
 //! Cross-crate integration: guest → embedding → routing → pebble protocol →
 //! checker → lower-bound analyses, end to end.
 
-#![allow(deprecated)] // still exercises the legacy `EmbeddingSimulator` wrappers
-
 use universal_networks::core::prelude::*;
 use universal_networks::core::routers::OfflineBenesRouter;
 use universal_networks::pebble::check;
@@ -21,8 +19,15 @@ fn simulate_and_certify(
     seed: u64,
 ) -> f64 {
     let comp = GuestComputation::random(guest.clone(), seed);
-    let sim = EmbeddingSimulator { embedding, router };
-    let run = sim.simulate(&comp, host, steps, &mut seeded_rng(seed ^ 1));
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(host)
+        .embedding(embedding)
+        .router(router)
+        .steps(steps)
+        .seed(seed ^ 1)
+        .run()
+        .expect("configuration is valid");
     let v = verify_run(&comp, host, &run, steps).expect("simulation certifies");
     assert!(v.metrics.slowdown >= bounds::load_bound(guest.n(), host.n()));
     v.metrics.slowdown
@@ -116,13 +121,19 @@ fn locality_beats_random_embedding_on_mesh_guest() {
     let host = torus(4, 4);
     let router = presets::torus_xy(4, 4);
     let comp = GuestComputation::random(guest.clone(), 6);
-    let tiles = EmbeddingSimulator { embedding: Embedding::grid_tiles(16, 4), router: &router };
-    let random = EmbeddingSimulator {
-        embedding: Embedding::random(256, 16, &mut seeded_rng(7)),
-        router: &router,
+    let builder = |embedding: Embedding, seed: u64| {
+        Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(embedding)
+            .router(&router)
+            .steps(2)
+            .seed(seed)
+            .run()
+            .expect("configuration is valid")
     };
-    let run_t = tiles.simulate(&comp, &host, 2, &mut seeded_rng(8));
-    let run_r = random.simulate(&comp, &host, 2, &mut seeded_rng(9));
+    let run_t = builder(Embedding::grid_tiles(16, 4), 8);
+    let run_r = builder(Embedding::random(256, 16, &mut seeded_rng(7)), 9);
     verify_run(&comp, &host, &run_t, 2).unwrap();
     verify_run(&comp, &host, &run_r, 2).unwrap();
     assert!(
@@ -144,8 +155,15 @@ fn universality_composes() {
     let host2 = torus(2, 2);
     let comp = GuestComputation::random(guest.clone(), 0xC0);
     let router1 = presets::torus_xy(4, 4);
-    let sim1 = EmbeddingSimulator { embedding: Embedding::block(64, 16), router: &router1 };
-    let run1 = sim1.simulate(&comp, &host1, 2, &mut seeded_rng(1));
+    let run1 = Simulation::builder()
+        .guest(&comp)
+        .host(&host1)
+        .embedding(Embedding::block(64, 16))
+        .router(&router1)
+        .steps(2)
+        .seed(1)
+        .run()
+        .expect("level-1 configuration is valid");
     verify_run(&comp, &host1, &run1, 2).unwrap();
     let s1 = run1.slowdown();
     let t1 = run1.protocol.host_steps() as u32;
@@ -153,8 +171,15 @@ fn universality_composes() {
     // Level 2: host1 itself as a guest running t1 steps of some computation.
     let comp2 = GuestComputation::random(host1.clone(), 0xC1);
     let router2 = presets::torus_xy(2, 2);
-    let sim2 = EmbeddingSimulator { embedding: Embedding::block(16, 4), router: &router2 };
-    let run2 = sim2.simulate(&comp2, &host2, t1, &mut seeded_rng(2));
+    let run2 = Simulation::builder()
+        .guest(&comp2)
+        .host(&host2)
+        .embedding(Embedding::block(16, 4))
+        .router(&router2)
+        .steps(t1)
+        .seed(2)
+        .run()
+        .expect("level-2 configuration is valid");
     verify_run(&comp2, &host2, &run2, t1).unwrap();
     let s2 = run2.slowdown();
 
@@ -192,8 +217,15 @@ fn protocol_mutations_are_caught() {
     let host = torus(2, 2);
     let comp = GuestComputation::random(guest.clone(), 10);
     let router = presets::bfs();
-    let sim = EmbeddingSimulator { embedding: Embedding::block(16, 4), router: &router };
-    let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(11));
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(16, 4))
+        .router(&router)
+        .steps(2)
+        .seed(11)
+        .run()
+        .expect("configuration is valid");
     assert!(check(&guest, &host, &run.protocol).is_ok());
 
     // 1. Drop a receive (orphans its paired send).
@@ -262,8 +294,15 @@ fn flooding_crossover_matches_theory() {
         let (guest, comp) = comp_of(128, 12);
         let host = torus(3, 3);
         let router = presets::torus_xy(3, 3);
-        let sim = EmbeddingSimulator { embedding: Embedding::block(128, 9), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(14));
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(128, 9))
+            .router(&router)
+            .steps(2)
+            .seed(14)
+            .run()
+            .expect("configuration is valid");
         verify_run(&comp, &host, &run, 2).unwrap();
         let flood = flooding_protocol(&comp, 9, 2);
         check(&guest, &host, &flood).unwrap();
@@ -274,8 +313,15 @@ fn flooding_crossover_matches_theory() {
         let (guest, comp) = comp_of(256, 15);
         let host = torus(8, 8);
         let router = presets::torus_xy(8, 8);
-        let sim = EmbeddingSimulator { embedding: Embedding::block(256, 64), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(16));
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(256, 64))
+            .router(&router)
+            .steps(2)
+            .seed(16)
+            .run()
+            .expect("configuration is valid");
         verify_run(&comp, &host, &run, 2).unwrap();
         let flood = flooding_protocol(&comp, 64, 2);
         check(&guest, &host, &flood).unwrap();

@@ -2,8 +2,6 @@
 //! the lemmas of Section 3 must hold on every certified protocol our
 //! simulators produce.
 
-#![allow(deprecated)] // still exercises the legacy `EmbeddingSimulator` wrappers
-
 use universal_networks::core::prelude::*;
 use universal_networks::lowerbound::audit::run_audit;
 use universal_networks::lowerbound::averaging::analyze;
@@ -57,10 +55,17 @@ fn z_s_grows_with_computation_length() {
     let comp = GuestComputation::random(guest.clone(), 45);
     let host = torus(2, 2);
     let router = presets::bfs();
-    let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
     let mut sizes = Vec::new();
     for steps in [4u32, 8, 12] {
-        let run = sim.simulate(&comp, &host, steps, &mut seeded_rng(46));
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(36, 4))
+            .router(&router)
+            .steps(steps)
+            .seed(46)
+            .run()
+            .expect("configuration is valid");
         let trace = check(&guest, &host, &run.protocol).unwrap();
         let analysis = analyze(&trace, &g0);
         assert!(analysis.all_bounds_hold());
@@ -79,8 +84,15 @@ fn wavefront_ordering_holds_for_every_simulator() {
     let comp = GuestComputation::random(guest.clone(), 48);
     let host = torus(3, 3);
     let router = presets::torus_xy(3, 3);
-    let sim = EmbeddingSimulator { embedding: Embedding::block(36, 9), router: &router };
-    let run = sim.simulate(&comp, &host, 6, &mut seeded_rng(49));
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(36, 9))
+        .router(&router)
+        .steps(6)
+        .seed(49)
+        .run()
+        .expect("configuration is valid");
     let trace = check(&guest, &host, &run.protocol).unwrap();
     let ex = wavefront::existence_times(&trace);
     let mut last = 0u32;
@@ -102,8 +114,15 @@ fn counting_chain_lower_bound_never_exceeds_measured() {
     let comp = GuestComputation::random(guest.clone(), 51);
     let host = torus(4, 4);
     let router = presets::torus_xy(4, 4);
-    let sim = EmbeddingSimulator { embedding: Embedding::block(64, 16), router: &router };
-    let run = sim.simulate(&comp, &host, 6, &mut seeded_rng(52));
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(64, 16))
+        .router(&router)
+        .steps(6)
+        .seed(52)
+        .run()
+        .expect("configuration is valid");
     verify_run(&comp, &host, &run, 6).unwrap();
     let params = CountingParams::shape(g0.gamma);
     let k_lower = universal_networks::lowerbound::k_min(16, &params);

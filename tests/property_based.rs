@@ -1,7 +1,5 @@
 //! Property-based tests (proptest) on the core invariants.
 
-#![allow(deprecated)] // still exercises the legacy `EmbeddingSimulator` wrappers
-
 use proptest::prelude::*;
 use universal_networks::core::prelude::*;
 use universal_networks::pebble::check;
@@ -32,11 +30,14 @@ proptest! {
         let host = torus(host_side, host_side);
         let comp = GuestComputation::random(guest.clone(), seed ^ 0x55);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator {
-            embedding: Embedding::block(n, host.n()),
-            router: &router,
-        };
-        let run = sim.simulate(&comp, &host, steps, &mut rng);
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(n, host.n()))
+            .router(&router)
+            .steps(steps)
+            .run_with_rng(&mut rng)
+            .expect("configuration is valid");
         let trace = check(&guest, &host, &run.protocol).expect("certifies");
         prop_assert_eq!(run.final_states, comp.run_final(steps));
         // Custody invariant: Q'_S(i,t) ⊆ Q_S(i,t).
@@ -157,8 +158,14 @@ proptest! {
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest.clone(), seed);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(n, 4), router: &router };
-        let run = sim.simulate(&comp, &host, steps, &mut rng);
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(n, 4))
+            .router(&router)
+            .steps(steps)
+            .run_with_rng(&mut rng)
+            .expect("configuration is valid");
         let trace = check(&guest, &host, &run.protocol).unwrap();
         for t0 in 0..steps {
             let frag = extract_fragment(&trace, t0, GeneratorChoice::First).unwrap();
@@ -185,8 +192,14 @@ proptest! {
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest.clone(), seed);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(n, 4), router: &router };
-        let run = sim.simulate(&comp, &host, steps, &mut rng);
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(n, 4))
+            .router(&router)
+            .steps(steps)
+            .run_with_rng(&mut rng)
+            .expect("configuration is valid");
         let (pruned, stats) = prune(&guest, &run.protocol);
         prop_assert!(check(&guest, &host, &pruned).is_ok());
         prop_assert!(stats.busy_after <= stats.busy_before);
@@ -237,8 +250,15 @@ proptest! {
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest.clone(), seed);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(n, 4), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(seed));
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(n, 4))
+            .router(&router)
+            .steps(2)
+            .seed(seed)
+            .run()
+            .expect("configuration is valid");
         let mut proto = run.protocol;
         for &(pos, kind, a, b) in &mutations {
             let steps = proto.steps.len();

@@ -2,14 +2,11 @@
 //! into an `InMemoryRecorder`, export it as a JSONL trace, parse it back,
 //! and check that every recorded signal survives the round trip.
 
-#![allow(deprecated)] // still exercises the legacy `EmbeddingSimulator` wrappers
-
 use universal_networks::core::prelude::*;
 use universal_networks::obs::trace::{export, parse_trace, RunMeta, RunSummary};
 use universal_networks::obs::InMemoryRecorder;
 use universal_networks::pebble::check_recorded;
 use universal_networks::topology::generators::{ring, torus};
-use universal_networks::topology::util::seeded_rng;
 
 #[test]
 fn recorded_run_round_trips_through_jsonl() {
@@ -18,11 +15,18 @@ fn recorded_run_round_trips_through_jsonl() {
     let steps = 4u32;
     let comp = GuestComputation::random(guest.clone(), 0xBEEF);
     let router = presets::bfs();
-    let sim =
-        EmbeddingSimulator { embedding: Embedding::block(guest.n(), host.n()), router: &router };
 
     let mut rec = InMemoryRecorder::new();
-    let run = sim.simulate_recorded(&comp, &host, steps, &mut seeded_rng(1), &mut rec);
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(guest.n(), host.n()))
+        .router(&router)
+        .steps(steps)
+        .seed(1)
+        .recorder(&mut rec)
+        .run()
+        .expect("configuration is valid");
     check_recorded(&guest, &host, &run.protocol, &mut rec).expect("run certifies");
 
     let meta = RunMeta {

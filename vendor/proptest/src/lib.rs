@@ -125,7 +125,7 @@ pub mod collection {
 
     use super::{Rng, StdRng, Strategy};
 
-    /// Inclusive length range for [`vec`] (upstream `SizeRange`). Built
+    /// Inclusive length range for [`vec`](fn@crate::collection::vec) (upstream `SizeRange`). Built
     /// only from `usize`-typed ranges so untyped literals like `1..6`
     /// infer as `usize`.
     #[derive(Debug, Clone, Copy)]
@@ -324,7 +324,7 @@ mod tests {
 
         #[test]
         fn ranges_in_bounds(x in 3u64..10, y in 0usize..=4) {
-            prop_assert!(x >= 3 && x < 10);
+            prop_assert!((3..10).contains(&x));
             prop_assert!(y <= 4);
         }
 
@@ -338,7 +338,7 @@ mod tests {
 
         #[test]
         fn any_and_assume(x in any::<u64>()) {
-            prop_assume!(x % 2 == 0);
+            prop_assume!(x.is_multiple_of(2));
             prop_assert_eq!(x % 2, 0);
         }
     }
