@@ -1,13 +1,13 @@
 //! `bench-json` — machine-readable benchmark artifacts, from the registry.
 //!
 //! Thin driver over [`unet_bench::registry`]: sweeps every registered
-//! experiment (E1, E2, E16, E17) and writes the versioned `BENCH.json`
-//! (schema `unet-bench/2`) plus — for one deprecation cycle — the legacy
-//! per-experiment `BENCH_E*.json` files, emitted from the *same* rows via
-//! [`unet_bench::schema::legacy_artifacts`]. The experiment logic itself
-//! (grids, runners, expected shapes) lives in the registry; this binary
-//! only does I/O. Prefer `unet bench run` / `unet bench diff` for the
-//! full CLI (filtering, resume, the shape-regression gate).
+//! experiment (E1, E2, E16, E17, E18) and writes the versioned
+//! `BENCH.json` (schema `unet-bench/2`) — the only artifact; the legacy
+//! per-experiment `BENCH_E*.json` files had their deprecation cycle and
+//! are gone. The experiment logic itself (grids, runners, expected
+//! shapes) lives in the registry; this binary only does I/O. Prefer
+//! `unet bench run` / `unet bench diff` for the full CLI (filtering,
+//! resume, the shape-regression gate).
 //!
 //! ```text
 //! cargo run -p unet-bench --bin bench-json [--release] [--quick] [OUT_DIR]
@@ -16,9 +16,7 @@
 //! `--quick` shrinks every experiment to CI-smoke sizes (seconds, not
 //! minutes) without changing the artifact schema.
 
-use unet_bench::schema::legacy_artifacts;
 use unet_bench::sweep::{check_shapes, run_to_file, SweepOptions};
-use unet_obs::json::Value;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,15 +32,6 @@ fn main() {
         println!("{line}");
     }
     println!("wrote {bench_path} ({} experiments)", doc.experiments.len());
-    for (name, artifact) in legacy_artifacts(&doc) {
-        let path = format!("{out_dir}/{name}");
-        let text = artifact.to_json() + "\n";
-        std::fs::write(&path, &text).unwrap_or_else(|e| panic!("writing {path}: {e}"));
-        // Self-validate: what we wrote must parse back as JSON with rows.
-        let back = unet_obs::json::parse(&text).unwrap_or_else(|e| panic!("{path} invalid: {e}"));
-        let rows = back.get("rows").and_then(Value::as_arr).expect("artifact has rows");
-        println!("wrote {path} ({} rows, deprecated: use BENCH.json)", rows.len());
-    }
     // The artifact must satisfy its own shape predicates at birth.
     let mut bent = 0;
     for o in check_shapes(&doc) {
@@ -59,9 +48,8 @@ fn main() {
 #[cfg(test)]
 mod tests {
     use unet_bench::registry::registry;
-    use unet_bench::schema::legacy_artifacts;
     use unet_bench::sweep::{run_experiment, run_sweep, SweepOptions};
-    use unet_obs::json::{parse, Value};
+    use unet_obs::json::Value;
 
     fn quick_doc(filter: &str) -> unet_bench::schema::BenchDoc {
         run_sweep(&SweepOptions {
@@ -92,21 +80,6 @@ mod tests {
             assert!(row.get("makespan").and_then(Value::as_u64).unwrap() > 0);
             assert!(row.get("wall_ms").and_then(Value::as_f64).unwrap() >= 0.0);
         }
-    }
-
-    #[test]
-    fn legacy_artifacts_keep_the_v1_surface() {
-        let doc = quick_doc("e2");
-        let legacy = legacy_artifacts(&doc);
-        assert_eq!(legacy.len(), 1);
-        let (name, artifact) = &legacy[0];
-        assert_eq!(name, "BENCH_E2.json");
-        let text = artifact.to_json();
-        let back = parse(&text).expect("valid JSON");
-        assert_eq!(back.get("experiment").and_then(Value::as_str), Some("E2"));
-        let rows = back.get("rows").and_then(Value::as_arr).expect("rows");
-        assert!(!rows.is_empty());
-        assert!(back.get("wall_ms_total").and_then(Value::as_f64).unwrap() >= 0.0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //!   lower-bound trace shared by the criterion benches (`benches/e*.rs`),
 //!   which print the human-readable tables.
 //! * **The registry** ([`registry`]): one declarative [`registry::Experiment`]
-//!   per machine-checked experiment (E1, E2, E16, E17), swept in parallel
+//!   per machine-checked experiment (E1, E2, E16, E17, E18), swept in parallel
 //!   shards ([`sweep`]), serialized to the versioned `BENCH.json` artifact
 //!   ([`schema`]), rendered to markdown ([`report_md`]), and regression-gated
 //!   by expected-shape predicates ([`shape`], [`diff`]) — `k` affine in

@@ -7,9 +7,8 @@
 //! satisfy. The descriptors replace the copy-pasted artifact code that
 //! used to live in `bench-json` and the `benches/e*_*.rs` tables: the
 //! sweep runner ([`crate::sweep`]), the regression gate
-//! ([`crate::diff`]), the markdown report ([`crate::report_md`]), and the
-//! legacy `BENCH_E*.json` emission ([`crate::schema::legacy_artifacts`])
-//! all consume the same registry.
+//! ([`crate::diff`]), and the markdown report ([`crate::report_md`]) all
+//! consume the same registry.
 //!
 //! Runners are **pure functions of their grid point**: every parameter —
 //! sizes, step counts, seeds — is in the [`GridPoint`], so points can run
@@ -120,7 +119,7 @@ pub struct Experiment {
 
 /// The full registry, in canonical order.
 pub fn registry() -> Vec<Experiment> {
-    vec![e1(), e2(), e16(), e17()]
+    vec![e1(), e2(), e16(), e17(), e18()]
 }
 
 /// The registry's base seed, recorded in the artifact header; every row
@@ -563,6 +562,136 @@ fn e17() -> Experiment {
     }
 }
 
+// --- E18: congestion telemetry vs load factor ---------------------------
+
+struct E18Sizes {
+    dims: &'static [usize],
+    loads: &'static [u64],
+    steps: u32,
+}
+
+fn e18_sizes(quick: bool) -> E18Sizes {
+    if quick {
+        E18Sizes { dims: &[2, 3], loads: &[1, 2], steps: 2 }
+    } else {
+        E18Sizes { dims: &[2, 3, 4], loads: &[1, 2, 4], steps: 3 }
+    }
+}
+
+/// The symbolic constant of E18's `O(load · log m)` congestion envelope.
+/// Measured per-phase hot-edge utilization on the full grid sits at
+/// `3–4.5 · load · log₂ m` (each host forwards ~`4·load` weighted guest
+/// messages per phase, and Valiant spreads them over `Θ(log m)`-length
+/// paths); 10 leaves ~2× headroom for routing noise while still failing
+/// loudly if congestion ever turns polynomial in `m`.
+const E18_C: f64 = 10.0;
+
+fn e18() -> Experiment {
+    Experiment {
+        id: "E18",
+        title: "Congestion telemetry: hot-edge utilization vs load factor",
+        claim: "Engineering claim on the Thm 2.1 engine telemetry: with Valiant \
+                routing, the per-phase utilization of the hottest host edge stays \
+                within an O(load * log m) envelope as the load factor n/m scales \
+                — at every load, the max-congestion curve keeps the O(log m) shape",
+        grid_keys: &["dim", "load"],
+        meta: |quick| {
+            let s = e18_sizes(quick);
+            vec![
+                ("guest".into(), Value::Str("random-regular d=4, n = load*m".into())),
+                ("guest_steps".into(), Value::UInt(s.steps as u64)),
+                ("router".into(), Value::Str("butterfly-valiant".into())),
+                ("congestion_c".into(), Value::Float(E18_C)),
+            ]
+        },
+        grid: |quick| {
+            let s = e18_sizes(quick);
+            let mut points = Vec::new();
+            for &dim in s.dims {
+                for &load in s.loads {
+                    points.push(GridPoint::new(vec![
+                        ("dim", Value::UInt(dim as u64)),
+                        ("load", Value::UInt(load)),
+                        ("guest_steps", Value::UInt(s.steps as u64)),
+                        ("seed", Value::UInt(0xE1800 + (dim as u64) * 16 + load)),
+                    ]));
+                }
+            }
+            points
+        },
+        run: |p| {
+            use std::collections::BTreeMap;
+            let dim = p.u64("dim") as usize;
+            let load = p.u64("load");
+            let steps = p.u64("guest_steps") as u32;
+            let host = butterfly(dim);
+            let m = host.n();
+            let n = load as usize * m;
+            let (guest, comp) = standard_guest(n, 0xE18);
+            let router: SelectorRouter<ValiantButterfly> = presets::butterfly_valiant(dim);
+            let mut rec = InMemoryRecorder::new();
+            let wall_start = Instant::now();
+            let run = Simulation::builder()
+                .guest(&comp)
+                .host(&host)
+                .embedding(Embedding::block(guest.n(), host.n()))
+                .router(&router)
+                .steps(steps)
+                .seed(p.u64("seed"))
+                .threads(1) // the sweep itself shards across rows
+                .recorder(&mut rec)
+                .run()
+                .expect("E18 configuration is valid");
+            let wall_ms = wall_start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(run.final_states, comp.run_final(steps), "states bit-for-bit");
+            // Fold the per-(round, edge) telemetry into per-edge totals; the
+            // hottest edge divided by the number of comm phases is the
+            // measured per-phase congestion the envelope must dominate.
+            let cells =
+                rec.sample_data("sim.edge_util").expect("engine emits edge-utilization telemetry");
+            let mut per_edge: BTreeMap<u64, u64> = BTreeMap::new();
+            let mut comm_rounds = 0u64;
+            for (&(round, edge), &v) in cells {
+                *per_edge.entry(edge).or_insert(0) += v;
+                comm_rounds = comm_rounds.max(round + 1);
+            }
+            let max_edge_total = per_edge.values().copied().max().unwrap_or(0);
+            let max_edge_util = max_edge_total as f64 / steps as f64;
+            let queue = rec.histogram_data("route.queue_occupancy");
+            obj(vec![
+                ("dim", Value::UInt(dim as u64)),
+                ("load", Value::UInt(load)),
+                ("guest_n", Value::UInt(n as u64)),
+                ("host_m", Value::UInt(m as u64)),
+                ("guest_steps", Value::UInt(steps as u64)),
+                ("comm_rounds", Value::UInt(comm_rounds)),
+                ("hot_edges", Value::UInt(per_edge.len() as u64)),
+                ("max_edge_total", Value::UInt(max_edge_total)),
+                ("max_edge_util", Value::Float(max_edge_util)),
+                ("congestion_bound", Value::Float(E18_C * load as f64 * (m as f64).log2())),
+                ("max_queue", Value::UInt(queue.map_or(0, |h| h.max))),
+                ("mean_queue", Value::Float(queue.and_then(|h| h.mean()).unwrap_or(0.0))),
+                ("wall_ms", Value::Float(wall_ms)),
+            ])
+        },
+        shapes: || {
+            vec![
+                // The claim itself: measured per-phase hot-edge utilization
+                // never escapes the O(load · log m) envelope (evaluated per
+                // row, stored as congestion_bound).
+                Shape::AtLeastColumn { y: "congestion_bound", floor: "max_edge_util" },
+                // Structural invariant of the round schedule: an edge moves
+                // at most one packet per comm round, so the hottest edge's
+                // total cannot exceed the number of rounds.
+                Shape::AtLeastColumn { y: "comm_rounds", floor: "max_edge_total" },
+                // The queue telemetry agrees with itself: the mean occupancy
+                // of non-empty queues cannot exceed the worst queue.
+                Shape::AtLeastColumn { y: "max_queue", floor: "mean_queue" },
+            ]
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -571,7 +700,7 @@ mod tests {
     fn registry_is_canonical() {
         let reg = registry();
         let ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
-        assert_eq!(ids, ["E1", "E2", "E16", "E17"]);
+        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18"]);
         for exp in &reg {
             assert!(!(exp.shapes)().is_empty(), "{} has no shape predicates", exp.id);
             for quick in [true, false] {
@@ -622,6 +751,25 @@ mod tests {
         }
         let h0 = rows[0].get("protocol_hash").and_then(Value::as_u64).unwrap();
         assert!(rows.iter().all(|r| r.get("protocol_hash").and_then(Value::as_u64) == Some(h0)));
+    }
+
+    #[test]
+    fn e18_congestion_stays_inside_the_envelope() {
+        let exp = e18();
+        let grid = (exp.grid)(true);
+        let rows: Vec<Value> = grid.iter().map(|p| (exp.run)(p)).collect();
+        for (p, row) in grid.iter().zip(&rows) {
+            assert_eq!(
+                row_key(row, exp.grid_keys).as_deref(),
+                Some(p.key(exp.grid_keys).as_str()),
+                "E18: row does not embed its grid point"
+            );
+            let util = row.get("max_edge_util").and_then(Value::as_f64).unwrap();
+            assert!(util > 0.0, "telemetry must see at least one transfer: {}", row.to_json());
+        }
+        for shape in (exp.shapes)() {
+            shape.check(&rows).unwrap_or_else(|v| panic!("E18: {v}"));
+        }
     }
 
     #[test]

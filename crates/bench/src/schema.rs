@@ -6,10 +6,8 @@
 //! the schema id, the git revision, and the registry's base seed, so a
 //! committed `BENCH.json` is a *baseline*: `unet bench diff` can parse it
 //! back and re-check every claim's expected shape against it (see
-//! [`crate::shape`] and [`crate::diff`]).
-//!
-//! The legacy per-experiment artifacts are still emitted (from the same
-//! rows — see [`legacy_artifacts`]) for one deprecation cycle.
+//! [`crate::shape`] and [`crate::diff`]). The v1 files had their one
+//! deprecation cycle; `BENCH.json` is now the only artifact.
 //!
 //! Layout:
 //!
@@ -180,26 +178,6 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".into())
 }
 
-/// Emit the deprecated per-experiment v1 artifacts (`BENCH_E1.json`, …)
-/// from a v2 document — same rows, legacy top-level layout — so downstream
-/// consumers get one deprecation cycle before `BENCH.json` becomes the only
-/// artifact.
-pub fn legacy_artifacts(doc: &BenchDoc) -> Vec<(String, Value)> {
-    doc.experiments
-        .iter()
-        .map(|e| {
-            let mut fields: Vec<(String, Value)> = vec![
-                ("experiment".into(), Value::Str(e.id.clone())),
-                ("title".into(), Value::Str(e.title.clone())),
-            ];
-            fields.extend(e.meta.clone());
-            fields.push(("rows".into(), Value::Arr(e.rows.clone())));
-            fields.push(("wall_ms_total".into(), Value::Float(e.wall_ms_total)));
-            (format!("BENCH_{}.json", e.id), Value::Obj(fields))
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,19 +222,6 @@ mod tests {
         let v3 = r#"{"schema":"unet-bench/3","experiments":[]}"#;
         let err = BenchDoc::parse(v3).unwrap_err();
         assert!(err.contains("unsupported schema"), "{err}");
-    }
-
-    #[test]
-    fn legacy_artifacts_keep_v1_layout() {
-        let doc = sample();
-        let legacy = legacy_artifacts(&doc);
-        assert_eq!(legacy.len(), 1);
-        let (name, v) = &legacy[0];
-        assert_eq!(name, "BENCH_E1.json");
-        assert_eq!(v.get("experiment").and_then(Value::as_str), Some("E1"));
-        assert_eq!(v.get("guest").and_then(Value::as_str), Some("random-regular n=96 d=4"));
-        assert_eq!(v.get("rows").and_then(Value::as_arr).map(<[Value]>::len), Some(1));
-        assert!(v.get("schema").is_none(), "v1 files stay unversioned");
     }
 
     #[test]

@@ -342,6 +342,34 @@ mod tests {
     }
 
     #[test]
+    fn edge_util_telemetry_identical_cached_and_uncached() {
+        // The congestion series describes edge traffic, so replayed
+        // (cached) comm phases must contribute exactly like routed ones.
+        use unet_obs::InMemoryRecorder;
+        let guest = ring(12);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest, 3);
+        let router = presets::bfs();
+        let mut with_cache = InMemoryRecorder::new();
+        base(&comp, &host, &router).steps(5).recorder(&mut with_cache).run().expect("run");
+        let mut no_cache = InMemoryRecorder::new();
+        base(&comp, &host, &router)
+            .steps(5)
+            .cache_policy(CachePolicy::Disabled)
+            .recorder(&mut no_cache)
+            .run()
+            .expect("run");
+        let a = with_cache.sample_data("sim.edge_util").expect("cached run sampled");
+        let b = no_cache.sample_data("sim.edge_util").expect("uncached run sampled");
+        assert_eq!(a, b, "same edges, same rounds, same totals");
+        assert!(!a.is_empty());
+        // Total sim.edge_util mass = transfers replayed through the hosts;
+        // with 4 comm phases replaying the same plan, it is 4x one phase.
+        let total: u64 = a.values().sum();
+        assert_eq!(total % 4, 0, "4 identical comm phases: {total}");
+    }
+
+    #[test]
     fn wrapper_and_builder_agree_for_deterministic_routers() {
         // The deprecated wrapper threads the RNG; the builder derives a
         // route seed. For a deterministic router both produce the same

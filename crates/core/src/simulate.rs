@@ -31,7 +31,7 @@ use crate::error::SimError;
 use crate::guest::{transition, GuestComputation};
 use crate::routers::Router;
 use rand::rngs::StdRng;
-use unet_obs::{NoopRecorder, Recorder};
+use unet_obs::{edge_key, NoopRecorder, Recorder};
 use unet_pebble::protocol::{Op, Pebble, Protocol, ProtocolBuilder};
 use unet_routing::packet::Transfer;
 use unet_routing::plan::{extract_plan, PlanCache, RoutePlan};
@@ -195,6 +195,11 @@ pub(crate) fn run_engine<REC: Recorder>(
     let mut cache: PlanCache<CachedComm> = PlanCache::new();
 
     let mut prev_states: Vec<u64> = comp.init.clone();
+    // Global communication-round index across the whole run: the time
+    // axis of the `sim.edge_util` congestion series. Cached phases replay
+    // the same plan over fresh rounds, so they are sampled too — the
+    // telemetry reflects actual edge traffic, not just route() calls.
+    let mut comm_round = 0u64;
 
     for gt in 1..=steps {
         // ---- Communication phase -------------------------------------
@@ -209,6 +214,12 @@ pub(crate) fn run_engine<REC: Recorder>(
                 rec.histogram("sim.routing_problem_size", c.pair_count as u64);
                 let payloads: Vec<Pebble> =
                     c.guests.iter().map(|&u| Pebble::new(u, gt - 1)).collect();
+                for round in &c.plan.rounds {
+                    for &(from, to, _) in round {
+                        rec.sample("sim.edge_util", comm_round, edge_key(from, to), 1);
+                    }
+                    comm_round += 1;
+                }
                 comm_steps += replay_plan(&mut builder, &c.plan, &payloads);
             } else {
                 let (pairs, guests) = induced_pairs(comp, f, cfg.threads);
@@ -230,6 +241,12 @@ pub(crate) fn run_engine<REC: Recorder>(
                 };
                 let payloads: Vec<Pebble> =
                     guests.iter().map(|&u| Pebble::new(u, gt - 1)).collect();
+                for round in &plan.rounds {
+                    for &(from, to, _) in round {
+                        rec.sample("sim.edge_util", comm_round, edge_key(from, to), 1);
+                    }
+                    comm_round += 1;
+                }
                 comm_steps += replay_plan(&mut builder, &plan, &payloads);
                 if cfg.cache {
                     cache.store(0, CachedComm { guests, pair_count, plan });

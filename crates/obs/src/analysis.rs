@@ -1,0 +1,684 @@
+//! Bounded-memory streaming analysis of JSONL traces — the engine behind
+//! `unet analyze`.
+//!
+//! [`TraceAnalyzer`] consumes a trace one line at a time ([`TraceAnalyzer::feed_line`])
+//! and keeps only aggregates, never the event stream itself: memory is
+//! `O(distinct steps + distinct keys + span nesting depth)`, independent
+//! of the number of lines fed. That is what lets `unet analyze` stream a
+//! multi-million-event trace from disk without materializing it (the
+//! property is pinned down by the `million_line_trace_streams_bounded`
+//! test below).
+//!
+//! The products, collected in [`Analysis`]:
+//!
+//! * **Congestion time series** — per sample series (`route.edge_util`,
+//!   `route.queue_depth`, `sim.edge_util`) and per step: max cell value,
+//!   total value, and number of active cells. "Which edges were hot at
+//!   step t" becomes a table lookup.
+//! * **Top-k hot keys** — edges or nodes ranked by total traffic, with
+//!   their peak single-step value. Deterministic: ties break on key id.
+//! * **Queue-depth percentiles** — p50/p90/p99 reconstructed from the
+//!   log₂ buckets of the `route.queue_occupancy` histogram via
+//!   [`Histogram::percentile`].
+//! * **Critical path** — from span parent/child timing: the chain of
+//!   nested spans (longest child at every level) under the longest
+//!   top-level span, i.e. which phase and which route legs bound the
+//!   makespan.
+//!
+//! Malformed input is a hard error with a line number — the analyzer
+//! never skips lines silently, per the CLI contract that `unet analyze`
+//! exits nonzero on truncated traces.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Value};
+use crate::recorder::{unpack_edge_key, Histogram};
+use crate::trace::{self, FaultOp, RunMeta, RunSummary, SampleRecord, SCHEMA};
+
+/// Per-step aggregate of one sample series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepAgg {
+    /// Largest single cell value at this step (peak congestion).
+    pub max: u64,
+    /// Sum over all cells at this step (total traffic).
+    pub total: u64,
+    /// Number of distinct cells sampled at this step (active edges/nodes).
+    pub cells: u64,
+}
+
+/// Per-key (edge or node) aggregate of one sample series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KeyAgg {
+    /// Sum over all steps (total traffic through this key).
+    pub total: u64,
+    /// Largest single-step value (peak load on this key).
+    pub peak: u64,
+}
+
+/// All aggregates of one named sample series.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SeriesSummary {
+    /// Per-step congestion aggregates, keyed by step.
+    pub steps: BTreeMap<u64, StepAgg>,
+    /// Per-key aggregates, keyed by packed edge / node id.
+    pub keys: BTreeMap<u64, KeyAgg>,
+    /// Largest single `(step, key)` cell seen anywhere in the series.
+    pub max_cell: u64,
+    /// Where [`SeriesSummary::max_cell`] occurred.
+    pub max_cell_at: (u64, u64),
+}
+
+impl SeriesSummary {
+    fn add(&mut self, s: &SampleRecord) {
+        let st = self.steps.entry(s.step).or_default();
+        st.max = st.max.max(s.value);
+        st.total += s.value;
+        st.cells += 1;
+        let k = self.keys.entry(s.key).or_default();
+        k.total += s.value;
+        k.peak = k.peak.max(s.value);
+        if s.value > self.max_cell {
+            self.max_cell = s.value;
+            self.max_cell_at = (s.step, s.key);
+        }
+    }
+
+    /// The `k` keys with the largest totals, ties broken by smaller key id
+    /// (deterministic for a fixed trace).
+    pub fn top_keys(&self, k: usize) -> Vec<(u64, KeyAgg)> {
+        let mut v: Vec<(u64, KeyAgg)> = self.keys.iter().map(|(&k, &a)| (k, a)).collect();
+        v.sort_by(|a, b| b.1.total.cmp(&a.1.total).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Peak congestion over the whole series: `max_cell`.
+    pub fn peak(&self) -> u64 {
+        self.max_cell
+    }
+}
+
+/// One segment of the extracted critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathSegment {
+    /// Span name.
+    pub name: String,
+    /// Duration of this span occurrence in nanoseconds.
+    pub ns: u64,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+}
+
+/// The finished product of a streaming pass over one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Analysis {
+    /// Schema the trace declared (current or legacy).
+    pub schema: String,
+    /// The trace's `meta` record.
+    pub meta: RunMeta,
+    /// The trace's `summary` record, if present.
+    pub summary: Option<RunSummary>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Final gauge values by name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Sample series aggregates by name (empty for `/1`//`2` traces).
+    pub series: BTreeMap<String, SeriesSummary>,
+    /// `(total ns, completions)` per span name.
+    pub span_totals: BTreeMap<String, (u64, u64)>,
+    /// Fault events per op name (`inject` / `repair` / `remap`).
+    pub fault_counts: BTreeMap<&'static str, u64>,
+    /// Critical path: the longest top-level span and, at every level, its
+    /// longest direct child. Empty when the trace has no spans.
+    pub critical_path: Vec<PathSegment>,
+    /// Number of non-empty lines consumed.
+    pub lines: u64,
+}
+
+impl Analysis {
+    /// Queue-depth percentiles `(p50, p90, p99)` reconstructed from the
+    /// `route.queue_occupancy` log₂ buckets; `None` if never recorded.
+    pub fn queue_percentiles(&self) -> Option<(u64, u64, u64)> {
+        let h = self.histograms.get("route.queue_occupancy")?;
+        Some((h.percentile(0.5)?, h.percentile(0.9)?, h.percentile(0.99)?))
+    }
+
+    /// Aggregate counters — the invariant checked by the schema-migration
+    /// test: a `/2` trace and its `/3` re-export must agree on these.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+}
+
+/// A span currently open during the streaming pass (critical-path state).
+struct Frame {
+    name: String,
+    start_ns: u64,
+    /// Longest direct child seen so far: its duration and its own chain
+    /// (child first, then grandchild, ...).
+    best_child_ns: u64,
+    best_child_chain: Vec<(String, u64)>,
+}
+
+/// Streaming, bounded-memory trace analyzer. Feed lines in file order
+/// with [`TraceAnalyzer::feed_line`], then call [`TraceAnalyzer::finish`].
+#[derive(Default)]
+pub struct TraceAnalyzer {
+    schema: Option<String>,
+    meta: Option<RunMeta>,
+    summary: Option<RunSummary>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    series: BTreeMap<String, SeriesSummary>,
+    span_totals: BTreeMap<String, (u64, u64)>,
+    fault_counts: BTreeMap<&'static str, u64>,
+    stack: Vec<Frame>,
+    last_ns: u64,
+    /// Longest completed top-level span: duration + chain.
+    best_top_ns: u64,
+    best_top_chain: Vec<(String, u64)>,
+    lines: u64,
+}
+
+impl TraceAnalyzer {
+    /// Fresh analyzer awaiting the `meta` line.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consume one trace line. `lno` is the 1-based line number used in
+    /// error messages. Blank lines are ignored; anything else that fails
+    /// to parse or validate is a hard error.
+    pub fn feed_line(&mut self, line: &str, lno: usize) -> Result<(), String> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        self.lines += 1;
+        let v = parse(line).map_err(|e| format!("line {lno}: {e}"))?;
+        let ty = v.get("type").and_then(Value::as_str);
+        if self.meta.is_none() {
+            if ty != Some("meta") {
+                return Err(format!("line {lno}: first line must be the meta record"));
+            }
+            let (schema, meta) = trace::parse_meta(&v, lno)?;
+            self.schema = Some(schema);
+            self.meta = Some(meta);
+            return Ok(());
+        }
+        match ty {
+            Some("meta") => Err(format!("line {lno}: duplicate meta record")),
+            Some("span") => self.feed_span(&v, lno),
+            Some("counter") => {
+                let name = trace::field_str(&v, "name", lno)?;
+                let val = trace::field_u64(&v, "value", lno)?;
+                *self.counters.entry(name).or_insert(0) += val;
+                Ok(())
+            }
+            Some("gauge") => {
+                let name = trace::field_str(&v, "name", lno)?;
+                let val = trace::field_f64(&v, "value", lno)?;
+                self.gauges.insert(name, val);
+                Ok(())
+            }
+            Some("hist") => {
+                let (name, h) = trace::parse_hist(&v, lno)?;
+                self.histograms.entry(name).or_default().merge(&h);
+                Ok(())
+            }
+            Some("sample") => {
+                let s = trace::parse_sample(&v, lno)?;
+                self.series.entry(s.name.clone()).or_default().add(&s);
+                Ok(())
+            }
+            Some("fault") => {
+                let op_name = trace::field_str(&v, "op", lno)?;
+                let op = FaultOp::parse(&op_name)
+                    .ok_or_else(|| format!("line {lno}: bad fault op {op_name:?}"))?;
+                *self.fault_counts.entry(op.as_str()).or_insert(0) += 1;
+                Ok(())
+            }
+            Some("summary") => {
+                self.summary = Some(RunSummary {
+                    host_steps: trace::field_u64(&v, "host_steps", lno)?,
+                    comm_steps: trace::field_u64(&v, "comm_steps", lno)?,
+                    compute_steps: trace::field_u64(&v, "compute_steps", lno)?,
+                    slowdown: trace::field_f64(&v, "slowdown", lno)?,
+                    inefficiency: trace::field_f64(&v, "inefficiency", lno)?,
+                    wall_ms: trace::field_f64(&v, "wall_ms", lno)?,
+                });
+                Ok(())
+            }
+            other => Err(format!("line {lno}: unknown record type {other:?}")),
+        }
+    }
+
+    fn feed_span(&mut self, v: &Value, lno: usize) -> Result<(), String> {
+        let name = trace::field_str(v, "name", lno)?;
+        let ns = trace::field_u64(v, "ns", lno)?;
+        if ns < self.last_ns {
+            return Err(format!("line {lno}: span time goes backwards ({ns} < {})", self.last_ns));
+        }
+        self.last_ns = ns;
+        match v.get("op").and_then(Value::as_str) {
+            Some("start") => {
+                self.stack.push(Frame {
+                    name,
+                    start_ns: ns,
+                    best_child_ns: 0,
+                    best_child_chain: Vec::new(),
+                });
+                Ok(())
+            }
+            Some("end") => {
+                let frame = match self.stack.pop() {
+                    Some(f) if f.name == name => f,
+                    Some(f) => {
+                        return Err(format!(
+                            "line {lno}: span end {name:?} does not close innermost open span {:?}",
+                            f.name
+                        ))
+                    }
+                    None => return Err(format!("line {lno}: span end {name:?} with no open span")),
+                };
+                let dur = ns - frame.start_ns;
+                let t = self.span_totals.entry(frame.name.clone()).or_insert((0, 0));
+                t.0 += dur;
+                t.1 += 1;
+                // This occurrence's chain: itself, then its longest child's
+                // chain. Bounded by nesting depth, not event count.
+                let mut chain = Vec::with_capacity(1 + frame.best_child_chain.len());
+                chain.push((frame.name, dur));
+                chain.extend(frame.best_child_chain);
+                match self.stack.last_mut() {
+                    Some(parent) => {
+                        if dur > parent.best_child_ns {
+                            parent.best_child_ns = dur;
+                            parent.best_child_chain = chain;
+                        }
+                    }
+                    None => {
+                        if dur > self.best_top_ns || self.best_top_chain.is_empty() {
+                            self.best_top_ns = dur;
+                            self.best_top_chain = chain;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            other => Err(format!("line {lno}: bad span op {other:?}")),
+        }
+    }
+
+    /// Finish the pass: validates that a meta record was seen and every
+    /// span was closed (a truncated trace fails here, not silently).
+    pub fn finish(self) -> Result<Analysis, String> {
+        let meta = self.meta.ok_or("empty trace")?;
+        if !self.stack.is_empty() {
+            let open: Vec<&str> = self.stack.iter().map(|f| f.name.as_str()).collect();
+            return Err(format!("unbalanced trace: spans still open at EOF: {open:?}"));
+        }
+        let critical_path = self
+            .best_top_chain
+            .into_iter()
+            .enumerate()
+            .map(|(depth, (name, ns))| PathSegment { name, ns, depth })
+            .collect();
+        Ok(Analysis {
+            schema: self.schema.unwrap_or_else(|| SCHEMA.to_string()),
+            meta,
+            summary: self.summary,
+            counters: self.counters,
+            gauges: self.gauges,
+            histograms: self.histograms,
+            series: self.series,
+            span_totals: self.span_totals,
+            fault_counts: self.fault_counts,
+            critical_path,
+            lines: self.lines,
+        })
+    }
+
+    /// Current number of retained aggregate entries — the analyzer's
+    /// memory footprint in cells. Used by the bounded-memory test; a
+    /// streaming pass over `L` lines must keep this `O(steps + keys)`,
+    /// never `O(L)`.
+    pub fn retained_cells(&self) -> usize {
+        self.counters.len()
+            + self.gauges.len()
+            + self.histograms.len()
+            + self.span_totals.len()
+            + self.stack.len()
+            + self.series.values().map(|s| s.steps.len() + s.keys.len()).sum::<usize>()
+    }
+}
+
+/// Run the analyzer over a full in-memory trace (tests and `unet report`;
+/// the CLI streams from disk instead).
+pub fn analyze_str(text: &str) -> Result<Analysis, String> {
+    let mut a = TraceAnalyzer::new();
+    for (i, line) in text.lines().enumerate() {
+        a.feed_line(line, i + 1)?;
+    }
+    a.finish()
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Render a key of the given series for humans: `edge a->b` for
+/// `*edge_util` series (packed edges), `node v` otherwise.
+fn fmt_key(series: &str, key: u64) -> String {
+    if series.ends_with("edge_util") {
+        let (from, to) = unpack_edge_key(key);
+        format!("edge {from}->{to}")
+    } else {
+        format!("node {key}")
+    }
+}
+
+/// Render an [`Analysis`] for humans (`markdown = false`) or as a
+/// GitHub-flavored markdown report (`markdown = true`). `top_k` bounds
+/// the hot-key tables. Output is deterministic for a fixed trace.
+pub fn render(a: &Analysis, top_k: usize, markdown: bool) -> String {
+    let mut out = String::new();
+    let h = |out: &mut String, text: &str| {
+        if markdown {
+            out.push_str(&format!("\n## {text}\n\n"));
+        } else {
+            out.push_str(&format!("\n=== {text} ===\n"));
+        }
+    };
+    if markdown {
+        out.push_str(&format!(
+            "# Trace analysis: {} on {}\n\nschema `{}` · command `{}` · n={} m={} T={} · {} lines\n",
+            a.meta.guest, a.meta.host, a.schema, a.meta.command, a.meta.n, a.meta.m,
+            a.meta.guest_steps, a.lines
+        ));
+    } else {
+        out.push_str(&format!(
+            "trace analysis: {} on {}  (schema {}, command {}, n={} m={} T={}, {} lines)\n",
+            a.meta.guest,
+            a.meta.host,
+            a.schema,
+            a.meta.command,
+            a.meta.n,
+            a.meta.m,
+            a.meta.guest_steps,
+            a.lines
+        ));
+    }
+    if let Some(s) = &a.summary {
+        h(&mut out, "Summary");
+        out.push_str(&format!(
+            "host_steps {} (comm {} + compute {})   slowdown {:.3}   inefficiency {:.3}\n",
+            s.host_steps, s.comm_steps, s.compute_steps, s.slowdown, s.inefficiency
+        ));
+    }
+
+    h(&mut out, "Congestion");
+    if a.series.is_empty() {
+        out.push_str("no sample series in this trace (pre-/3 schema or no routing phases)\n");
+    }
+    for (name, s) in &a.series {
+        out.push_str(&format!(
+            "{name}: {} keys over {} steps, peak cell {} at step {} ({})\n",
+            s.keys.len(),
+            s.steps.len(),
+            s.max_cell,
+            s.max_cell_at.0,
+            fmt_key(name, s.max_cell_at.1),
+        ));
+        if markdown {
+            out.push_str("\n| rank | key | total | peak/step |\n|---:|---|---:|---:|\n");
+            for (i, (key, agg)) in s.top_keys(top_k).into_iter().enumerate() {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} |\n",
+                    i + 1,
+                    fmt_key(name, key),
+                    agg.total,
+                    agg.peak
+                ));
+            }
+        } else {
+            for (i, (key, agg)) in s.top_keys(top_k).into_iter().enumerate() {
+                out.push_str(&format!(
+                    "  top{:<2} {:<16} total {:<8} peak/step {}\n",
+                    i + 1,
+                    fmt_key(name, key),
+                    agg.total,
+                    agg.peak
+                ));
+            }
+        }
+    }
+    if let Some((p50, p90, p99)) = a.queue_percentiles() {
+        h(&mut out, "Queue depth");
+        out.push_str(&format!(
+            "p50 ≤ {p50}   p90 ≤ {p90}   p99 ≤ {p99}   (reconstructed from log2 buckets)\n"
+        ));
+    }
+
+    if !a.critical_path.is_empty() {
+        h(&mut out, "Critical path");
+        let total = a.critical_path[0].ns;
+        for seg in &a.critical_path {
+            let pct = if total > 0 { 100.0 * seg.ns as f64 / total as f64 } else { 100.0 };
+            out.push_str(&format!(
+                "{}{} {} ({:.1}% of top span)\n",
+                "  ".repeat(seg.depth),
+                seg.name,
+                fmt_ns(seg.ns),
+                pct
+            ));
+        }
+    }
+
+    if !a.fault_counts.is_empty() {
+        h(&mut out, "Faults");
+        for (op, n) in &a.fault_counts {
+            out.push_str(&format!("{op}: {n}\n"));
+        }
+    }
+
+    h(&mut out, "Counters");
+    for (name, v) in &a.counters {
+        out.push_str(&format!("{name} = {v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{edge_key, InMemoryRecorder, Recorder};
+    use crate::trace::{export, RunMeta, LEGACY_SCHEMAS};
+
+    fn meta_line() -> String {
+        format!(
+            "{{\"type\":\"meta\",\"schema\":\"{SCHEMA}\",\"command\":\"c\",\"guest\":\"g\",\"host\":\"h\",\"n\":4,\"m\":4,\"guest_steps\":2}}"
+        )
+    }
+
+    #[test]
+    fn analyzer_matches_parse_trace_on_an_exported_run() {
+        let mut rec = InMemoryRecorder::new();
+        rec.span_start("sim.step");
+        rec.span_start("sim.comm");
+        rec.counter("route.transfers", 5);
+        rec.sample("route.edge_util", 0, edge_key(1, 2), 1);
+        rec.sample("route.edge_util", 0, edge_key(1, 2), 1);
+        rec.sample("route.edge_util", 1, edge_key(2, 3), 1);
+        rec.sample("route.queue_depth", 0, 2, 3);
+        rec.histogram("route.queue_occupancy", 3);
+        rec.span_end("sim.comm");
+        rec.span_end("sim.step");
+        let meta = RunMeta {
+            command: "test".into(),
+            guest: "ring:4".into(),
+            host: "torus:2x2".into(),
+            n: 4,
+            m: 4,
+            guest_steps: 1,
+        };
+        let text = export(&rec, &meta, None);
+        let a = analyze_str(&text).expect("analyzes");
+        assert_eq!(a.counter("route.transfers"), Some(5));
+        let util = &a.series["route.edge_util"];
+        assert_eq!(util.steps[&0], StepAgg { max: 2, total: 2, cells: 1 });
+        assert_eq!(util.steps[&1], StepAgg { max: 1, total: 1, cells: 1 });
+        assert_eq!(util.keys[&edge_key(1, 2)], KeyAgg { total: 2, peak: 2 });
+        assert_eq!(util.max_cell, 2);
+        assert_eq!(util.max_cell_at, (0, edge_key(1, 2)));
+        assert_eq!(a.queue_percentiles(), Some((3, 3, 3)));
+        // Critical path: sim.step wraps sim.comm.
+        let names: Vec<&str> = a.critical_path.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["sim.step", "sim.comm"]);
+        assert_eq!(a.critical_path[0].depth, 0);
+        assert_eq!(a.critical_path[1].depth, 1);
+        assert!(a.critical_path[0].ns >= a.critical_path[1].ns);
+    }
+
+    #[test]
+    fn critical_path_picks_longest_children() {
+        // Hand-written spans with controlled timing: top span A contains a
+        // short B and a long C; C contains D. Critical path = A > C > D.
+        let lines = [
+            meta_line(),
+            r#"{"type":"span","op":"start","name":"A","ns":0}"#.into(),
+            r#"{"type":"span","op":"start","name":"B","ns":10}"#.into(),
+            r#"{"type":"span","op":"end","name":"B","ns":20}"#.into(),
+            r#"{"type":"span","op":"start","name":"C","ns":30}"#.into(),
+            r#"{"type":"span","op":"start","name":"D","ns":40}"#.into(),
+            r#"{"type":"span","op":"end","name":"D","ns":80}"#.into(),
+            r#"{"type":"span","op":"end","name":"C","ns":90}"#.into(),
+            r#"{"type":"span","op":"end","name":"A","ns":100}"#.into(),
+        ];
+        let a = analyze_str(&lines.join("\n")).expect("analyzes");
+        let chain: Vec<(&str, u64, usize)> =
+            a.critical_path.iter().map(|s| (s.name.as_str(), s.ns, s.depth)).collect();
+        assert_eq!(chain, vec![("A", 100, 0), ("C", 60, 1), ("D", 40, 2)]);
+        // Rendering mentions every segment, in both formats.
+        for md in [false, true] {
+            let text = render(&a, 5, md);
+            assert!(text.contains("Critical path"), "{text}");
+            for name in ["A", "C", "D"] {
+                assert!(text.contains(name));
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_is_deterministic_under_ties() {
+        let mut s = SeriesSummary::default();
+        for key in [9u64, 3, 7] {
+            s.add(&SampleRecord { name: "x".into(), step: 0, key, value: 4 });
+        }
+        s.add(&SampleRecord { name: "x".into(), step: 1, key: 7, value: 1 });
+        let top = s.top_keys(3);
+        // 7 leads (total 5); 3 and 9 tie at 4 and order by key id.
+        let keys: Vec<u64> = top.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![7, 3, 9]);
+        assert_eq!(s.top_keys(1).len(), 1);
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_line_numbers() {
+        let mut a = TraceAnalyzer::new();
+        a.feed_line(&meta_line(), 1).unwrap();
+        let err = a.feed_line("{\"type\":\"counter\",\"name\":\"x\"", 7).unwrap_err();
+        assert!(err.starts_with("line 7:"), "{err}");
+
+        // Truncated trace: span still open at EOF.
+        let mut a = TraceAnalyzer::new();
+        a.feed_line(&meta_line(), 1).unwrap();
+        a.feed_line(r#"{"type":"span","op":"start","name":"route","ns":5}"#, 2).unwrap();
+        assert!(a.finish().unwrap_err().contains("still open"));
+
+        // Missing meta.
+        let mut a = TraceAnalyzer::new();
+        let err = a.feed_line(r#"{"type":"counter","name":"x","value":1}"#, 1).unwrap_err();
+        assert!(err.contains("meta"), "{err}");
+
+        // Unknown schema is rejected up front.
+        let mut a = TraceAnalyzer::new();
+        let bad = meta_line().replace(SCHEMA, "unet-trace/99");
+        assert!(a.feed_line(&bad, 1).unwrap_err().contains("unsupported schema"));
+
+        // Legacy schemas are accepted.
+        for legacy in LEGACY_SCHEMAS {
+            let mut a = TraceAnalyzer::new();
+            a.feed_line(&meta_line().replace(SCHEMA, legacy), 1).unwrap();
+            let out = a.finish().unwrap();
+            assert_eq!(out.schema, legacy);
+            assert!(out.series.is_empty());
+        }
+    }
+
+    #[test]
+    fn million_line_trace_streams_bounded() {
+        // ≥1M sample events over 1k steps × 64 edges: retained state must
+        // scale with (steps + keys), not with the line count. This is the
+        // bounded-memory contract behind `unet analyze` on big traces.
+        const STEPS: u64 = 1_000;
+        const KEYS: u64 = 64;
+        const REPS: u64 = 16; // lines = STEPS * KEYS * REPS ≥ 1M
+        let mut a = TraceAnalyzer::new();
+        a.feed_line(&meta_line(), 1).unwrap();
+        let mut lno = 1usize;
+        let mut fed = 0u64;
+        for rep in 0..REPS {
+            for step in 0..STEPS {
+                for k in 0..KEYS {
+                    lno += 1;
+                    fed += 1;
+                    // Reuse one buffer's worth of formatting per line; the
+                    // analyzer sees each line exactly as the CLI would.
+                    let line = format!(
+                        "{{\"type\":\"sample\",\"name\":\"route.edge_util\",\"step\":{step},\"key\":{k},\"value\":{}}}",
+                        1 + (rep + step + k) % 3
+                    );
+                    a.feed_line(&line, lno).unwrap();
+                }
+            }
+            // Memory check after every full sweep: cells retained stay
+            // bounded by the grid size, independent of lines fed so far.
+            assert!(
+                a.retained_cells() <= (STEPS + KEYS) as usize + 16,
+                "retained {} cells after {} lines",
+                a.retained_cells(),
+                fed
+            );
+        }
+        assert!(fed >= 1_000_000, "fed {fed} lines");
+        let out = a.finish().unwrap();
+        assert_eq!(out.lines, fed + 1);
+        let s = &out.series["route.edge_util"];
+        assert_eq!(s.steps.len(), STEPS as usize);
+        assert_eq!(s.keys.len(), KEYS as usize);
+        // Every (step,key) cell was fed REPS times with value in {1,2,3};
+        // totals reflect full aggregation, not truncation.
+        let total: u64 = s.keys.values().map(|k| k.total).sum();
+        assert!(total >= STEPS * KEYS * REPS);
+    }
+
+    #[test]
+    fn render_reports_empty_congestion_for_legacy_traces() {
+        let a = analyze_str(&meta_line().replace(SCHEMA, "unet-trace/1")).unwrap();
+        let text = render(&a, 5, false);
+        assert!(text.contains("no sample series"), "{text}");
+        let md = render(&a, 5, true);
+        assert!(md.contains("## Congestion"), "{md}");
+    }
+}

@@ -14,14 +14,26 @@
 //! * [`trace`] — JSONL export/import of a recorded run
 //!   (`unet trace` writes it, `unet report` reads it);
 //! * [`report`] — human-readable summaries of a trace;
+//! * [`analysis`] — bounded-memory streaming congestion analysis over
+//!   JSONL traces (`unet analyze`): congestion time series, top-k hot
+//!   edges/nodes, queue-depth percentiles, critical-path extraction;
+//! * [`metrics`] — the [`metrics::MetricsRegistry`]: one place for every
+//!   counter/gauge/phase-timing a run produced, with Prometheus-style
+//!   text exposition (`unet metrics`);
 //! * [`json`] — the dependency-free JSON reader/writer underneath.
 //!
 //! This crate is dependency-free by design: every other crate in the
 //! workspace can depend on it without cycles.
 
+pub mod analysis;
 pub mod json;
+pub mod metrics;
 pub mod recorder;
 pub mod report;
 pub mod trace;
 
-pub use recorder::{Histogram, InMemoryRecorder, NoopRecorder, Recorder};
+pub use analysis::{Analysis, TraceAnalyzer};
+pub use metrics::MetricsRegistry;
+pub use recorder::{
+    edge_key, unpack_edge_key, Histogram, InMemoryRecorder, NoopRecorder, Recorder,
+};

@@ -1,0 +1,264 @@
+//! The unified [`MetricsRegistry`] behind `unet metrics`.
+//!
+//! Before this module, a run's operational numbers lived in three places:
+//! fault-routing counters (`faults.route.delivered` / `dropped` /
+//! `retried`) inside `unet-faults`, route-plan cache hit/miss counters
+//! inside the simulation engine, and per-phase wall-time in the recorder's
+//! span totals. The registry ingests an [`InMemoryRecorder`] (or a parsed
+//! trace) and exposes all of them uniformly, in Prometheus text
+//! exposition format:
+//!
+//! ```text
+//! # TYPE unet_sim_cache_hits counter
+//! unet_sim_cache_hits 3
+//! # TYPE unet_sim_load gauge
+//! unet_sim_load 3.0
+//! # TYPE unet_phase_seconds_total counter
+//! unet_phase_seconds_total{phase="sim.comm"} 0.000112
+//! ```
+//!
+//! Metric names are the recorder names with `.` mapped to `_` and a
+//! `unet_` prefix; span totals become the `unet_phase_seconds_total` /
+//! `unet_phase_completions_total` families labelled by phase. Histograms
+//! surface as `_count` / `_sum` / `_max` gauges (the full log₂ buckets
+//! stay in the trace; the exposition carries the headline aggregates).
+
+use std::collections::BTreeMap;
+
+use crate::analysis::Analysis;
+use crate::recorder::{Histogram, InMemoryRecorder};
+
+/// One registered metric.
+#[derive(Debug, Clone, PartialEq)]
+enum Metric {
+    Counter(u64),
+    Gauge(f64),
+}
+
+/// A unified, queryable registry of every counter, gauge, histogram
+/// aggregate, and span timing a run produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+    /// `phase -> (seconds, completions)`, labelled exposition family.
+    phases: BTreeMap<String, (f64, u64)>,
+}
+
+fn sanitize(name: &str) -> String {
+    let mapped: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    format!("unet_{mapped}")
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a registry from everything a live recorder aggregated:
+    /// counters (including the fault-routing and route-plan cache
+    /// families), gauges, histogram headline stats, and per-phase span
+    /// totals.
+    pub fn from_recorder(rec: &InMemoryRecorder) -> Self {
+        let mut reg = Self::new();
+        for (name, v) in rec.counters() {
+            reg.set_counter(name, v);
+        }
+        for (name, v) in rec.gauges() {
+            reg.set_gauge(name, v);
+        }
+        for (name, h) in rec.histograms() {
+            reg.ingest_histogram(name, h);
+        }
+        for (name, ns, count) in rec.span_totals() {
+            reg.set_phase(name, ns as f64 / 1e9, count);
+        }
+        reg
+    }
+
+    /// Build a registry from a finished streaming [`Analysis`] — same
+    /// surface as [`MetricsRegistry::from_recorder`], but sourced from a
+    /// trace file instead of a live run.
+    pub fn from_analysis(a: &Analysis) -> Self {
+        let mut reg = Self::new();
+        for (name, &v) in &a.counters {
+            reg.set_counter(name, v);
+        }
+        for (name, &v) in &a.gauges {
+            reg.set_gauge(name, v);
+        }
+        for (name, h) in &a.histograms {
+            reg.ingest_histogram(name, h);
+        }
+        for (name, &(ns, count)) in &a.span_totals {
+            reg.set_phase(name, ns as f64 / 1e9, count);
+        }
+        reg
+    }
+
+    /// Register/overwrite a counter.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.metrics.insert(sanitize(name), Metric::Counter(value));
+    }
+
+    /// Register/overwrite a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.metrics.insert(sanitize(name), Metric::Gauge(value));
+    }
+
+    /// Register a phase's total seconds and completion count.
+    pub fn set_phase(&mut self, phase: &str, seconds: f64, completions: u64) {
+        self.phases.insert(phase.to_string(), (seconds, completions));
+    }
+
+    fn ingest_histogram(&mut self, name: &str, h: &Histogram) {
+        self.set_counter(&format!("{name}.count"), h.count);
+        self.set_counter(&format!("{name}.sum"), u64::try_from(h.sum).unwrap_or(u64::MAX));
+        self.set_gauge(&format!("{name}.max"), h.max as f64);
+    }
+
+    /// Value of a counter by its *recorder* name (pre-sanitization).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.get(&sanitize(name)) {
+            Some(&Metric::Counter(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Value of a gauge by its *recorder* name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.get(&sanitize(name)) {
+            Some(&Metric::Gauge(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// `(seconds, completions)` of a phase by span name.
+    pub fn phase(&self, name: &str) -> Option<(f64, u64)> {
+        self.phases.get(name).copied()
+    }
+
+    /// Number of registered metrics (phases count once per family entry).
+    pub fn len(&self) -> usize {
+        self.metrics.len() + self.phases.len()
+    }
+
+    /// Is the registry empty?
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty() && self.phases.is_empty()
+    }
+
+    /// Render the Prometheus text exposition format: `# TYPE` headers,
+    /// one `name value` line per metric, phases as labelled families.
+    /// Deterministic: everything is sorted by name.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        for (name, m) in &self.metrics {
+            match m {
+                Metric::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                Metric::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+            }
+        }
+        if !self.phases.is_empty() {
+            out.push_str("# TYPE unet_phase_seconds_total counter\n");
+            for (phase, &(secs, _)) in &self.phases {
+                out.push_str(&format!("unet_phase_seconds_total{{phase=\"{phase}\"}} {secs}\n"));
+            }
+            out.push_str("# TYPE unet_phase_completions_total counter\n");
+            for (phase, &(_, n)) in &self.phases {
+                out.push_str(&format!("unet_phase_completions_total{{phase=\"{phase}\"}} {n}\n"));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    #[test]
+    fn unifies_scattered_counter_families() {
+        // The three previously scattered families all land in one place:
+        // fault routing, route-plan cache, and phase wall time.
+        let mut rec = InMemoryRecorder::new();
+        rec.counter("faults.route.delivered", 9);
+        rec.counter("faults.route.dropped", 1);
+        rec.counter("faults.route.retried", 2);
+        rec.counter("sim.cache.hits", 3);
+        rec.counter("sim.cache.misses", 1);
+        rec.span_start("sim.comm");
+        rec.span_end("sim.comm");
+        rec.gauge("sim.load", 3.0);
+        rec.histogram("route.queue_occupancy", 4);
+
+        let reg = MetricsRegistry::from_recorder(&rec);
+        assert_eq!(reg.counter("faults.route.delivered"), Some(9));
+        assert_eq!(reg.counter("sim.cache.hits"), Some(3));
+        assert_eq!(reg.gauge("sim.load"), Some(3.0));
+        assert_eq!(reg.counter("route.queue_occupancy.count"), Some(1));
+        let (secs, n) = reg.phase("sim.comm").unwrap();
+        assert_eq!(n, 1);
+        assert!(secs >= 0.0);
+        assert!(!reg.is_empty());
+        assert!(reg.len() >= 8);
+    }
+
+    #[test]
+    fn exposition_is_prometheus_shaped_and_sorted() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("sim.cache.hits", 3);
+        reg.set_gauge("sim.load", 2.5);
+        reg.set_phase("sim.comm", 0.125, 4);
+        let text = reg.expose();
+        assert!(text.contains("# TYPE unet_sim_cache_hits counter\nunet_sim_cache_hits 3\n"));
+        assert!(text.contains("# TYPE unet_sim_load gauge\nunet_sim_load 2.5\n"));
+        assert!(text.contains("unet_phase_seconds_total{phase=\"sim.comm\"} 0.125\n"));
+        assert!(text.contains("unet_phase_completions_total{phase=\"sim.comm\"} 4\n"));
+        // Sorted: cache line precedes load line.
+        let hits = text.find("unet_sim_cache_hits").unwrap();
+        let load = text.find("unet_sim_load").unwrap();
+        assert!(hits < load);
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad exposition line: {line}");
+            assert!(parts.next().unwrap().starts_with("unet_"));
+        }
+    }
+
+    #[test]
+    fn registry_from_analysis_matches_from_recorder() {
+        use crate::analysis::analyze_str;
+        use crate::trace::{export, RunMeta};
+        let mut rec = InMemoryRecorder::new();
+        rec.span_start("sim.comm");
+        rec.counter("sim.cache.hits", 2);
+        rec.histogram("route.hops", 5);
+        rec.span_end("sim.comm");
+        let meta = RunMeta {
+            command: "t".into(),
+            guest: "g".into(),
+            host: "h".into(),
+            n: 1,
+            m: 1,
+            guest_steps: 1,
+        };
+        let text = export(&rec, &meta, None);
+        let from_trace = MetricsRegistry::from_analysis(&analyze_str(&text).unwrap());
+        let live = MetricsRegistry::from_recorder(&rec);
+        assert_eq!(from_trace.counter("sim.cache.hits"), live.counter("sim.cache.hits"));
+        assert_eq!(from_trace.counter("route.hops.count"), live.counter("route.hops.count"));
+        assert_eq!(
+            from_trace.phase("sim.comm").map(|(_, n)| n),
+            live.phase("sim.comm").map(|(_, n)| n)
+        );
+    }
+}

@@ -33,6 +33,28 @@ pub trait Recorder {
 
     /// Record one sample into the named log-bucketed histogram.
     fn histogram(&mut self, name: &'static str, value: u64);
+
+    /// Record a keyed time-series sample: at time index `step`, add
+    /// `value` to the cell identified by `key` under `name`.
+    ///
+    /// This is the congestion-telemetry primitive: `key` identifies an
+    /// edge (packed `from << 32 | to`) or a node, `step` is the routing
+    /// round or communication round, and `value` is the contribution
+    /// (1 per transfer for edge utilization; queue length for depth
+    /// samples). Implementations aggregate by `(name, step, key)`.
+    fn sample(&mut self, name: &'static str, step: u64, key: u64, value: u64);
+}
+
+/// Pack a directed edge into a [`Recorder::sample`] key.
+#[inline]
+pub fn edge_key(from: u32, to: u32) -> u64 {
+    ((from as u64) << 32) | to as u64
+}
+
+/// Unpack a [`edge_key`]-packed sample key back into `(from, to)`.
+#[inline]
+pub fn unpack_edge_key(key: u64) -> (u32, u32) {
+    ((key >> 32) as u32, key as u32)
 }
 
 impl Recorder for &mut dyn Recorder {
@@ -56,6 +78,10 @@ impl Recorder for &mut dyn Recorder {
     fn histogram(&mut self, name: &'static str, value: u64) {
         (**self).histogram(name, value)
     }
+    #[inline]
+    fn sample(&mut self, name: &'static str, step: u64, key: u64, value: u64) {
+        (**self).sample(name, step, key, value)
+    }
 }
 
 /// The do-nothing recorder: a zero-sized type whose methods are empty and
@@ -76,6 +102,8 @@ impl Recorder for NoopRecorder {
     fn gauge(&mut self, _name: &'static str, _value: f64) {}
     #[inline(always)]
     fn histogram(&mut self, _name: &'static str, _value: u64) {}
+    #[inline(always)]
+    fn sample(&mut self, _name: &'static str, _step: u64, _key: u64, _value: u64) {}
 }
 
 // The zero-cost claim starts with zero size; checked at compile time.
@@ -142,6 +170,27 @@ impl Histogram {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
+    /// Reconstruct the `p`-th percentile (`0.0 ≤ p ≤ 1.0`) from the log₂
+    /// buckets: the upper bound of the bucket in which the cumulative
+    /// count crosses `⌈p·count⌉`, clamped to the exact recorded `max`.
+    /// `None` when empty. Exact at p=1 (`max` is exact); otherwise an
+    /// upper bound within the 2× width of the crossing bucket.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let (_, hi) = Self::bucket_range(i);
+                return Some(hi.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         self.count += other.count;
@@ -186,6 +235,7 @@ pub struct InMemoryRecorder {
     histograms: BTreeMap<&'static str, Histogram>,
     span_totals: BTreeMap<&'static str, (u64, u64)>, // (total ns, count)
     span_starts: Vec<u64>,                           // parallel to `open`
+    samples: BTreeMap<&'static str, BTreeMap<(u64, u64), u64>>, // (step, key) -> sum
 }
 
 impl Default for InMemoryRecorder {
@@ -206,6 +256,7 @@ impl InMemoryRecorder {
             histograms: BTreeMap::new(),
             span_totals: BTreeMap::new(),
             span_starts: Vec::new(),
+            samples: BTreeMap::new(),
         }
     }
 
@@ -254,6 +305,17 @@ impl InMemoryRecorder {
         self.span_totals.iter().map(|(&k, &(ns, n))| (k, ns, n))
     }
 
+    /// Aggregated time-series samples for `name`: `(step, key) → summed
+    /// value`, sorted by `(step, key)`.
+    pub fn sample_data(&self, name: &str) -> Option<&BTreeMap<(u64, u64), u64>> {
+        self.samples.get(name)
+    }
+
+    /// All sample series, sorted by name.
+    pub fn samples(&self) -> impl Iterator<Item = (&'static str, &BTreeMap<(u64, u64), u64>)> + '_ {
+        self.samples.iter().map(|(&k, v)| (k, v))
+    }
+
     /// Names of spans opened but not yet closed, outermost first.
     pub fn open_spans(&self) -> &[&'static str] {
         &self.open
@@ -295,6 +357,10 @@ impl Recorder for InMemoryRecorder {
     fn histogram(&mut self, name: &'static str, value: u64) {
         self.histograms.entry(name).or_default().record(value);
     }
+
+    fn sample(&mut self, name: &'static str, step: u64, key: u64, value: u64) {
+        *self.samples.entry(name).or_default().entry((step, key)).or_insert(0) += value;
+    }
 }
 
 #[cfg(test)]
@@ -309,6 +375,7 @@ mod tests {
         r.counter("c", 1);
         r.histogram("h", 42);
         r.gauge("g", 1.0);
+        r.sample("s", 0, 1, 2);
         r.span_end("x");
     }
 
@@ -351,6 +418,27 @@ mod tests {
             expected_lo = hi.wrapping_add(1);
         }
         assert_eq!(expected_lo, 0, "bucket 64 ends exactly at u64::MAX");
+    }
+
+    #[test]
+    fn histogram_percentiles_from_buckets() {
+        assert_eq!(Histogram::default().percentile(0.5), None);
+        let mut h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // p=1 is exact; medians land on the bucket upper bound ≥ true value.
+        assert_eq!(h.percentile(1.0), Some(100));
+        let p50 = h.percentile(0.5).unwrap();
+        assert!((50..=63).contains(&p50), "p50 within the crossing bucket: {p50}");
+        let p99 = h.percentile(0.99).unwrap();
+        assert!((99..=100).contains(&p99), "p99 clamped to exact max: {p99}");
+        // Single-sample histogram: every percentile is that sample's bucket.
+        let mut one = Histogram::default();
+        one.record(7);
+        assert_eq!(one.percentile(0.0), Some(7));
+        assert_eq!(one.percentile(0.5), Some(7));
+        assert_eq!(one.percentile(1.0), Some(7));
     }
 
     #[test]
@@ -429,6 +517,31 @@ mod tests {
     }
 
     #[test]
+    fn samples_aggregate_by_step_and_key() {
+        let mut r = InMemoryRecorder::new();
+        let e = edge_key(3, 7);
+        r.sample("route.edge_util", 0, e, 1);
+        r.sample("route.edge_util", 0, e, 1);
+        r.sample("route.edge_util", 1, e, 1);
+        r.sample("route.queue_depth", 0, 7, 4);
+        let util = r.sample_data("route.edge_util").unwrap();
+        assert_eq!(util.get(&(0, e)), Some(&2));
+        assert_eq!(util.get(&(1, e)), Some(&1));
+        assert_eq!(r.sample_data("route.queue_depth").unwrap().get(&(0, 7)), Some(&4));
+        assert!(r.sample_data("missing").is_none());
+        let names: Vec<_> = r.samples().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["route.edge_util", "route.queue_depth"]);
+    }
+
+    #[test]
+    fn edge_key_round_trips() {
+        assert_eq!(unpack_edge_key(edge_key(0, 0)), (0, 0));
+        assert_eq!(unpack_edge_key(edge_key(3, 7)), (3, 7));
+        assert_eq!(unpack_edge_key(edge_key(u32::MAX, 1)), (u32::MAX, 1));
+        assert_ne!(edge_key(3, 7), edge_key(7, 3), "edge keys are directed");
+    }
+
+    #[test]
     fn dyn_recorder_dispatch() {
         let mut mem = InMemoryRecorder::new();
         {
@@ -436,9 +549,11 @@ mod tests {
             // Generic code over R: Recorder + ?Sized accepts the dyn form.
             fn generic<R: Recorder + ?Sized>(rec: &mut R) {
                 rec.counter("via-dyn", 2);
+                rec.sample("via-dyn.samples", 1, 2, 3);
             }
             generic(&mut dynrec);
         }
         assert_eq!(mem.counter_value("via-dyn"), 2);
+        assert_eq!(mem.sample_data("via-dyn.samples").unwrap().get(&(1, 2)), Some(&3));
     }
 }

@@ -109,6 +109,45 @@ pub fn render(doc: &TraceDoc) -> String {
         }
     }
 
+    if !doc.samples.is_empty() {
+        out.push_str("\ncongestion\n");
+        // Group by series name preserving file order, summarizing totals
+        // and the hottest (step, key) cell per series.
+        let mut names: Vec<&str> = Vec::new();
+        for s in &doc.samples {
+            if !names.contains(&s.name.as_str()) {
+                names.push(&s.name);
+            }
+        }
+        for name in names {
+            let mut total = 0u64;
+            let mut cells = 0u64;
+            let mut peak: Option<&crate::trace::SampleRecord> = None;
+            let mut last_step = 0u64;
+            for s in doc.samples_named(name) {
+                total += s.value;
+                cells += 1;
+                last_step = last_step.max(s.step);
+                if peak.is_none_or(|p| s.value > p.value) {
+                    peak = Some(s);
+                }
+            }
+            let peak = peak.expect("series has at least one sample");
+            let key = if name.ends_with("edge_util") {
+                let (from, to) = crate::recorder::unpack_edge_key(peak.key);
+                format!("edge {from}->{to}")
+            } else {
+                format!("node {}", peak.key)
+            };
+            out.push_str(&format!(
+                "  {name:<28} total {total:<8} cells {cells:<8} peak {} at step {} ({key}) over {} steps\n",
+                peak.value,
+                peak.step,
+                last_step + 1
+            ));
+        }
+    }
+
     if !doc.counters.is_empty() {
         out.push_str("\ncounters\n");
         for (name, v) in &doc.counters {
@@ -182,6 +221,31 @@ mod tests {
         assert!(text.contains("sim.comm"));
         assert!(text.contains("route.hops"));
         assert!(text.contains("sim.load"));
+    }
+
+    #[test]
+    fn congestion_section_rendered_from_samples() {
+        use crate::recorder::edge_key;
+        let mut rec = InMemoryRecorder::new();
+        rec.sample("route.edge_util", 0, edge_key(1, 2), 1);
+        rec.sample("route.edge_util", 3, edge_key(4, 5), 7);
+        rec.sample("route.queue_depth", 1, 9, 2);
+        let meta = RunMeta {
+            command: "trace".into(),
+            guest: "ring:8".into(),
+            host: "mesh:4".into(),
+            n: 8,
+            m: 4,
+            guest_steps: 2,
+        };
+        let doc = parse_trace(&export(&rec, &meta, None)).unwrap();
+        let text = render(&doc);
+        assert!(text.contains("congestion"), "{text}");
+        assert!(text.contains("route.edge_util"), "{text}");
+        assert!(text.contains("peak 7 at step 3 (edge 4->5)"), "{text}");
+        assert!(text.contains("node 9"), "{text}");
+        // A sample-free doc has no congestion section.
+        assert!(!render(&sample_doc()).contains("congestion"));
     }
 
     #[test]

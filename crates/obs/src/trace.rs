@@ -6,12 +6,13 @@
 //! gauge / histogram aggregates and the final `summary` close the file:
 //!
 //! ```text
-//! {"type":"meta","schema":"unet-trace/1","command":"simulate","guest":"ring:12","host":"torus:2x2","n":12,"m":4,"guest_steps":3}
+//! {"type":"meta","schema":"unet-trace/3","command":"simulate","guest":"ring:12","host":"torus:2x2","n":12,"m":4,"guest_steps":3}
 //! {"type":"span","op":"start","name":"sim.comm","ns":1200}
 //! {"type":"span","op":"end","name":"sim.comm","ns":58000}
 //! {"type":"counter","name":"route.transfers","value":831}
 //! {"type":"gauge","name":"sim.load","value":3.0}
 //! {"type":"hist","name":"route.queue_occupancy","count":96,"sum":310,"min":1,"max":9,"buckets":[[1,40],[2,30],[3,20],[4,6]]}
+//! {"type":"sample","name":"route.edge_util","step":4,"key":12884901893,"value":2}
 //! {"type":"summary","host_steps":61,"comm_steps":40,"compute_steps":21,"slowdown":20.3,"inefficiency":6.8,"wall_ms":1.9}
 //! ```
 //!
@@ -19,12 +20,24 @@
 //! bucketing of [`Histogram`]. [`parse_trace`] validates structure:
 //! every line must parse, span events must balance under stack discipline,
 //! and timestamps must be non-decreasing.
+//!
+//! Schema history: `unet-trace/1` was the original record set, `/2` added
+//! `fault` records, and `/3` adds per-step `sample` records (edge
+//! utilization and queue depth, keyed by [`crate::recorder::edge_key`] or
+//! node id). All three are accepted by [`parse_trace`]; writers always
+//! emit the current [`SCHEMA`]. A `/1` or `/2` trace simply has no
+//! `sample` lines — readers see empty congestion series.
 
 use crate::json::{parse, Value};
 use crate::recorder::{Histogram, InMemoryRecorder, SpanEvent};
 
-/// Trace schema identifier written into (and required from) `meta` lines.
-pub const SCHEMA: &str = "unet-trace/1";
+/// Trace schema identifier written into `meta` lines.
+pub const SCHEMA: &str = "unet-trace/3";
+
+/// Older schema versions [`parse_trace`] still reads. `/1` is the original
+/// record set; `/2` added `fault` records without changing any existing
+/// record shape. Neither carries `sample` records.
+pub const LEGACY_SCHEMAS: [&str; 2] = ["unet-trace/1", "unet-trace/2"];
 
 /// Identity of a traced run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -93,7 +106,7 @@ impl FaultOp {
     }
 }
 
-/// One fault event in a traced run — the `unet-trace/1` record
+/// One fault event in a traced run — the `unet-trace/2` record
 /// `{"type":"fault","op":...,"at":...,"kind":...,"subject":...}`. The schema
 /// addition is backwards-compatible: readers of fault-free traces see no
 /// `fault` lines at all.
@@ -109,6 +122,22 @@ pub struct FaultRecord {
     /// Affected element, e.g. `"node:5"`, `"link:3-7"`, or
     /// `"guest:12->host:4"`.
     pub subject: String,
+}
+
+/// One keyed time-series point from a parsed trace — the `unet-trace/3`
+/// record `{"type":"sample","name":...,"step":...,"key":...,"value":...}`.
+/// `key` packs an edge ([`crate::recorder::edge_key`]) or a node id;
+/// `value` is the aggregated sum for `(name, step, key)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleRecord {
+    /// Series name, e.g. `"route.edge_util"` or `"route.queue_depth"`.
+    pub name: String,
+    /// Time index (routing round or communication round).
+    pub step: u64,
+    /// Spatial key: packed edge or node id.
+    pub key: u64,
+    /// Summed value at `(step, key)`.
+    pub value: u64,
 }
 
 /// An owned span event from a parsed trace.
@@ -145,6 +174,9 @@ pub struct TraceDoc {
     pub histograms: Vec<(String, Histogram)>,
     /// Fault events, in file order.
     pub faults: Vec<FaultRecord>,
+    /// Time-series sample points, in file order (empty for `/1`//`2`
+    /// traces).
+    pub samples: Vec<SampleRecord>,
     /// The `summary` record, if present.
     pub summary: Option<RunSummary>,
 }
@@ -158,6 +190,11 @@ impl TraceDoc {
     /// Histogram by name.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// All sample points of the named series, in file order.
+    pub fn samples_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SampleRecord> {
+        self.samples.iter().filter(move |s| s.name == name)
     }
 
     /// `(name, total ns, completions)` per span name, by replaying the
@@ -238,6 +275,19 @@ pub fn export_with_faults(
         out.push_str(&hist_value(name, h).to_json());
         out.push('\n');
     }
+    for (name, series) in rec.samples() {
+        for (&(step, key), &value) in series {
+            let line = Value::Obj(vec![
+                ("type".into(), Value::Str("sample".into())),
+                ("name".into(), Value::Str(name.into())),
+                ("step".into(), Value::UInt(step)),
+                ("key".into(), Value::UInt(key)),
+                ("value".into(), Value::UInt(value)),
+            ]);
+            out.push_str(&line.to_json());
+            out.push('\n');
+        }
+    }
     for f in faults {
         let line = Value::Obj(vec![
             ("type".into(), Value::Str("fault".into())),
@@ -303,23 +353,99 @@ fn summary_value(s: &RunSummary) -> Value {
     ])
 }
 
-fn field_u64(v: &Value, key: &str, line: usize) -> Result<u64, String> {
+pub(crate) fn field_u64(v: &Value, key: &str, line: usize) -> Result<u64, String> {
     v.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| format!("line {line}: missing/invalid u64 field {key:?}"))
 }
 
-fn field_f64(v: &Value, key: &str, line: usize) -> Result<f64, String> {
+pub(crate) fn field_f64(v: &Value, key: &str, line: usize) -> Result<f64, String> {
     v.get(key)
         .and_then(Value::as_f64)
         .ok_or_else(|| format!("line {line}: missing/invalid number field {key:?}"))
 }
 
-fn field_str(v: &Value, key: &str, line: usize) -> Result<String, String> {
+pub(crate) fn field_str(v: &Value, key: &str, line: usize) -> Result<String, String> {
     v.get(key)
         .and_then(Value::as_str)
         .map(str::to_string)
         .ok_or_else(|| format!("line {line}: missing/invalid string field {key:?}"))
+}
+
+/// Reject schemas that are neither current nor legacy.
+pub(crate) fn check_schema(schema: &str) -> Result<(), String> {
+    if schema != SCHEMA && !LEGACY_SCHEMAS.contains(&schema) {
+        return Err(format!(
+            "unsupported schema {schema:?} (expected {SCHEMA:?} or a legacy version {LEGACY_SCHEMAS:?})"
+        ));
+    }
+    Ok(())
+}
+
+/// Parse a `meta` record into `(schema, RunMeta)`, validating the schema.
+pub(crate) fn parse_meta(head: &Value, lno: usize) -> Result<(String, RunMeta), String> {
+    let schema = field_str(head, "schema", lno)?;
+    check_schema(&schema)?;
+    let meta = RunMeta {
+        command: field_str(head, "command", lno)?,
+        guest: field_str(head, "guest", lno)?,
+        host: field_str(head, "host", lno)?,
+        n: field_u64(head, "n", lno)?,
+        m: field_u64(head, "m", lno)?,
+        guest_steps: field_u64(head, "guest_steps", lno)?,
+    };
+    Ok((schema, meta))
+}
+
+/// Parse a `hist` record into `(name, Histogram)`, validating bucket
+/// totals against the count.
+pub(crate) fn parse_hist(v: &Value, lno: usize) -> Result<(String, Histogram), String> {
+    let name = field_str(v, "name", lno)?;
+    let mut h = Histogram {
+        count: field_u64(v, "count", lno)?,
+        sum: field_u64(v, "sum", lno)? as u128,
+        min: field_u64(v, "min", lno)?,
+        max: field_u64(v, "max", lno)?,
+        buckets: [0; 65],
+    };
+    if h.count == 0 {
+        h.min = u64::MAX;
+    }
+    let buckets = v
+        .get("buckets")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("line {lno}: missing buckets array"))?;
+    let mut total = 0u64;
+    for b in buckets {
+        let pair = b
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("line {lno}: bucket entries must be [index, count] pairs"))?;
+        let idx = pair[0]
+            .as_u64()
+            .filter(|&i| i < 65)
+            .ok_or_else(|| format!("line {lno}: bucket index out of range"))?;
+        let c = pair[1].as_u64().ok_or_else(|| format!("line {lno}: bad bucket count"))?;
+        h.buckets[idx as usize] = c;
+        total += c;
+    }
+    if total != h.count {
+        return Err(format!(
+            "line {lno}: histogram {name:?} bucket total {total} != count {}",
+            h.count
+        ));
+    }
+    Ok((name, h))
+}
+
+/// Parse a `sample` record.
+pub(crate) fn parse_sample(v: &Value, lno: usize) -> Result<SampleRecord, String> {
+    Ok(SampleRecord {
+        name: field_str(v, "name", lno)?,
+        step: field_u64(v, "step", lno)?,
+        key: field_u64(v, "key", lno)?,
+        value: field_u64(v, "value", lno)?,
+    })
 }
 
 /// Parse and validate a JSONL trace: every line must be valid JSON of a
@@ -333,18 +459,7 @@ pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
     if head.get("type").and_then(Value::as_str) != Some("meta") {
         return Err("first line must be the meta record".into());
     }
-    let schema = field_str(&head, "schema", lno + 1)?;
-    if schema != SCHEMA {
-        return Err(format!("unsupported schema {schema:?} (expected {SCHEMA:?})"));
-    }
-    let meta = RunMeta {
-        command: field_str(&head, "command", lno + 1)?,
-        guest: field_str(&head, "guest", lno + 1)?,
-        host: field_str(&head, "host", lno + 1)?,
-        n: field_u64(&head, "n", lno + 1)?,
-        m: field_u64(&head, "m", lno + 1)?,
-        guest_steps: field_u64(&head, "guest_steps", lno + 1)?,
-    };
+    let (_, meta) = parse_meta(&head, lno + 1)?;
 
     let mut doc = TraceDoc {
         meta,
@@ -353,6 +468,7 @@ pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
         gauges: Vec::new(),
         histograms: Vec::new(),
         faults: Vec::new(),
+        samples: Vec::new(),
         summary: None,
     };
     let mut stack: Vec<String> = Vec::new();
@@ -392,44 +508,8 @@ pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
             Some("gauge") => {
                 doc.gauges.push((field_str(&v, "name", lno)?, field_f64(&v, "value", lno)?));
             }
-            Some("hist") => {
-                let name = field_str(&v, "name", lno)?;
-                let mut h = Histogram {
-                    count: field_u64(&v, "count", lno)?,
-                    sum: field_u64(&v, "sum", lno)? as u128,
-                    min: field_u64(&v, "min", lno)?,
-                    max: field_u64(&v, "max", lno)?,
-                    buckets: [0; 65],
-                };
-                if h.count == 0 {
-                    h.min = u64::MAX;
-                }
-                let buckets = v
-                    .get("buckets")
-                    .and_then(Value::as_arr)
-                    .ok_or_else(|| format!("line {lno}: missing buckets array"))?;
-                let mut total = 0u64;
-                for b in buckets {
-                    let pair = b.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
-                        format!("line {lno}: bucket entries must be [index, count] pairs")
-                    })?;
-                    let idx = pair[0]
-                        .as_u64()
-                        .filter(|&i| i < 65)
-                        .ok_or_else(|| format!("line {lno}: bucket index out of range"))?;
-                    let c =
-                        pair[1].as_u64().ok_or_else(|| format!("line {lno}: bad bucket count"))?;
-                    h.buckets[idx as usize] = c;
-                    total += c;
-                }
-                if total != h.count {
-                    return Err(format!(
-                        "line {lno}: histogram {name:?} bucket total {total} != count {}",
-                        h.count
-                    ));
-                }
-                doc.histograms.push((name, h));
-            }
+            Some("hist") => doc.histograms.push(parse_hist(&v, lno)?),
+            Some("sample") => doc.samples.push(parse_sample(&v, lno)?),
             Some("fault") => {
                 let op_name = field_str(&v, "op", lno)?;
                 let op = FaultOp::parse(&op_name)
@@ -580,6 +660,37 @@ mod tests {
             "{meta_line}\n{{\"type\":\"fault\",\"op\":\"explode\",\"at\":1,\"kind\":\"crash\",\"subject\":\"node:1\"}}\n"
         );
         assert!(parse_trace(&bad).unwrap_err().contains("bad fault op"));
+    }
+
+    #[test]
+    fn samples_round_trip_and_legacy_schemas_accepted() {
+        use crate::recorder::edge_key;
+        let mut rec = sample_recorder();
+        rec.sample("route.edge_util", 0, edge_key(3, 5), 1);
+        rec.sample("route.edge_util", 0, edge_key(3, 5), 1);
+        rec.sample("route.queue_depth", 1, 5, 4);
+        let text = export(&rec, &sample_meta(), None);
+        assert!(text.lines().next().unwrap().contains("unet-trace/3"));
+        let doc = parse_trace(&text).expect("v3 trace validates");
+        let util: Vec<_> = doc.samples_named("route.edge_util").collect();
+        assert_eq!(util.len(), 1, "aggregated to one (step, key) cell");
+        assert_eq!((util[0].step, util[0].key, util[0].value), (0, edge_key(3, 5), 2));
+        let depth: Vec<_> = doc.samples_named("route.queue_depth").collect();
+        assert_eq!((depth[0].step, depth[0].key, depth[0].value), (1, 5, 4));
+
+        // A /1 or /2 meta parses through the same reader, with no samples.
+        for legacy in LEGACY_SCHEMAS {
+            let legacy_text = text
+                .replace(SCHEMA, legacy)
+                .lines()
+                .filter(|l| !l.contains("\"sample\""))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let legacy_doc = parse_trace(&legacy_text)
+                .unwrap_or_else(|e| panic!("legacy {legacy} must parse: {e}"));
+            assert!(legacy_doc.samples.is_empty());
+            assert_eq!(legacy_doc.counter("route.transfers"), doc.counter("route.transfers"));
+        }
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Measuring `route_G(h)` — the routing-time function of Section 2.
 
 use crate::packet::{
-    generous_step_limit, make_packets, route, Discipline, PathSelector, ShortestPath,
+    generous_step_limit, make_packets, route_recorded, Discipline, PathSelector, ShortestPath,
 };
 use crate::problem::random_h_h;
 use rand::Rng;
+use unet_obs::{Histogram, InMemoryRecorder};
 use unet_topology::Graph;
 
 /// Measured routing statistics for a family of problems.
@@ -18,6 +19,10 @@ pub struct RouteStats {
     pub mean_steps: f64,
     /// Worst queue length observed.
     pub max_queue: usize,
+    /// Mean occupancy of non-empty queues over all routing rounds and
+    /// trials, from the same `route.queue_occupancy` histogram the trace
+    /// analyzer reads — the two surfaces agree by construction.
+    pub mean_queue: f64,
     /// Number of trials.
     pub trials: usize,
 }
@@ -42,21 +47,35 @@ pub fn measure_route_time<S: PathSelector, R: Rng>(
     let mut max_steps = 0u32;
     let mut sum_steps = 0u64;
     let mut max_queue = 0usize;
+    let mut rec = InMemoryRecorder::new();
     for _ in 0..trials {
         let prob = random_h_h(g.n(), h, rng);
         let packets =
             make_packets(g, &prob.pairs, selector, rng).expect("measurement host is connected");
-        let out = route(g, &packets, Discipline::FarthestFirst, generous_step_limit(&packets))
-            .expect("progress guarantee makes the sum-of-paths limit generous");
+        let out = route_recorded(
+            g,
+            &packets,
+            Discipline::FarthestFirst,
+            generous_step_limit(&packets),
+            &mut rec,
+        )
+        .expect("progress guarantee makes the sum-of-paths limit generous");
         max_steps = max_steps.max(out.steps);
         sum_steps += out.steps as u64;
         max_queue = max_queue.max(out.max_queue);
     }
+    let queue_hist = rec.histogram_data("route.queue_occupancy");
+    debug_assert_eq!(
+        queue_hist.map_or(0, |h| h.max),
+        max_queue as u64,
+        "recorder and Outcome must agree on the worst queue"
+    );
     RouteStats {
         h,
         max_steps,
         mean_steps: sum_steps as f64 / trials.max(1) as f64,
         max_queue,
+        mean_queue: queue_hist.and_then(Histogram::mean).unwrap_or(0.0),
         trials,
     }
 }
@@ -108,6 +127,21 @@ mod tests {
         assert!(s4.max_steps > s1.max_steps);
         assert_eq!(s1.h, 1);
         assert!(s1.mean_steps <= s1.max_steps as f64);
+    }
+
+    #[test]
+    fn mean_queue_bounded_by_max_and_agrees_with_recorder() {
+        let g = torus(6, 6);
+        let mut rng = seeded_rng(31);
+        let s = measure_route_time_bfs(&g, 4, 3, &mut rng);
+        // Non-empty queues have length ≥ 1, and the mean cannot exceed the
+        // worst queue the router itself reported.
+        assert!(s.mean_queue >= 1.0, "{}", s.mean_queue);
+        assert!(s.mean_queue <= s.max_queue as f64, "{} > {}", s.mean_queue, s.max_queue);
+        // An h=1 problem on a big torus keeps queues near 1.
+        let mut rng = seeded_rng(31);
+        let s1 = measure_route_time_bfs(&g, 1, 3, &mut rng);
+        assert!(s1.mean_queue <= s.mean_queue + 1e-9);
     }
 
     #[test]

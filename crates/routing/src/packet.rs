@@ -9,7 +9,7 @@
 //! greedy, randomized (Valiant), and offline (Beneš/Waksman) strategies.
 
 use rand::Rng;
-use unet_obs::{NoopRecorder, Recorder};
+use unet_obs::{edge_key, NoopRecorder, Recorder};
 use unet_topology::{Graph, Node};
 
 /// One packet of an `h–h` routing problem.
@@ -247,6 +247,15 @@ pub fn route_recorded<REC: Recorder + ?Sized>(
             return None;
         }
         rec.histogram("route.packets_in_flight", undelivered as u64);
+        // Queue telemetry covers the state *entering* this round, so the
+        // initial backlog is sampled too and the histogram max agrees
+        // exactly with the Outcome's `max_queue`.
+        for (v, q) in queue.iter().enumerate() {
+            if !q.is_empty() {
+                rec.histogram("route.queue_occupancy", q.len() as u64);
+                rec.sample("route.queue_depth", step as u64, v as u64, q.len() as u64);
+            }
+        }
         // Phase 1: each non-empty node proposes its best packet.
         // proposals[to] = (priority, from, packet)
         let mut best_at_receiver: Vec<Option<(usize, Node, u32)>> = vec![None; n];
@@ -282,6 +291,7 @@ pub fn route_recorded<REC: Recorder + ?Sized>(
                 q.swap_remove(pos);
                 progress[pid as usize] += 1;
                 transfers.push(Transfer { step, from, to: to as Node, packet_id: pid });
+                rec.sample("route.edge_util", step as u64, edge_key(from, to as Node), 1);
                 moved_any = true;
                 if progress[pid as usize] + 1 == packets[pid as usize].path.len() {
                     delivered_at[pid as usize] = step + 1;
@@ -292,11 +302,6 @@ pub fn route_recorded<REC: Recorder + ?Sized>(
             }
         }
         debug_assert!(moved_any, "engine must make progress every step");
-        for q in &queue {
-            if !q.is_empty() {
-                rec.histogram("route.queue_occupancy", q.len() as u64);
-            }
-        }
         max_queue = max_queue.max(queue.iter().map(|q| q.len()).max().unwrap_or(0));
         step += 1;
     }

@@ -8,8 +8,11 @@
 //! unet tradeoff <n> [--gamma G]               print the Theorem 3.1 trade-off table
 //! unet audit    <n-hint> <host> <T>           full lower-bound audit on a U[G0] guest
 //! unet trace    <guest> <host> <T> [opts]     instrumented run → JSONL trace
+//! unet trace    --quick [opts]                same, with stock quick-smoke parameters
 //! unet report   <trace-file>                  human-readable trace summary
 //! unet report   --markdown <BENCH.json>       markdown tables from a bench artifact
+//! unet analyze  <trace-file> [opts]           streaming congestion/critical-path analysis
+//! unet metrics  <trace-file | g h T>          Prometheus-style metrics exposition
 //! unet faults   <guest> <host> <T> [opts]     degraded run under crash-stop faults
 //! unet bench    run|diff|list [opts]          experiment registry + regression gate
 //! ```
@@ -52,8 +55,12 @@ const USAGE: &str = "usage:
   unet tradeoff <n> [--gamma G]
   unet audit    <n-hint> <host-spec> <steps>
   unet trace    <guest-spec> <host-spec> <steps> [--seed S] [--out FILE]
+  unet trace    --quick [--seed S] [--out FILE]
   unet report   <trace-file>
   unet report   --markdown <BENCH.json>
+  unet analyze  <trace-file> [--markdown] [--top K]
+  unet metrics  <trace-file>
+  unet metrics  <guest-spec> <host-spec> <steps> [--seed S]
   unet faults   <guest-spec> <host-spec> <steps> [--rate R] [--at T0] [--seed S] [--out FILE]
   unet bench    run  [--quick] [--filter IDS] [--out FILE] [--resume] [--threads N]
   unet bench    diff <baseline-BENCH.json> [--full] [--filter IDS] [--threads N]
@@ -70,6 +77,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "audit" => audit(&args[1..]),
         "trace" => trace_cmd(&args[1..]),
         "report" => report_cmd(&args[1..]),
+        "analyze" => analyze_cmd(&args[1..]),
+        "metrics" => metrics_cmd(&args[1..]),
         "faults" => faults_cmd(&args[1..]),
         "bench" => bench_cmd(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
@@ -82,6 +91,21 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Positional arguments: everything that is not a flag or the value of one
+/// of the listed value-taking flags.
+fn positionals<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if value_flags.contains(&a.as_str()) {
+            it.next();
+        } else if !a.starts_with("--") {
+            out.push(a);
+        }
+    }
+    out
 }
 
 fn topo(spec: &str) -> Result<(), String> {
@@ -211,12 +235,20 @@ fn trace_cmd(args: &[String]) -> Result<(), String> {
     use universal_networks::obs::InMemoryRecorder;
     use universal_networks::pebble::check_recorded;
 
-    let guest_spec = args.first().ok_or("missing guest spec")?;
-    let host_spec = args.get(1).ok_or("missing host spec")?;
-    let steps: u32 = args.get(2).ok_or("missing steps")?.parse().map_err(|_| "bad steps")?;
+    // `--quick` is the CI-smoke shorthand: a stock small run whose trace
+    // exercises every record type (spans, samples, histograms, summary).
+    let (guest_spec, host_spec, steps): (String, String, u32) = if has_flag(args, "--quick") {
+        ("ring:24".into(), "torus:3x3".into(), 4)
+    } else {
+        (
+            args.first().ok_or("missing guest spec (or use --quick)")?.clone(),
+            args.get(1).ok_or("missing host spec")?.clone(),
+            args.get(2).ok_or("missing steps")?.parse().map_err(|_| "bad steps")?,
+        )
+    };
     let seed: u64 = flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
-    let guest = parse_graph(guest_spec)?;
-    let host = parse_graph(host_spec)?;
+    let guest = parse_graph(&guest_spec)?;
+    let host = parse_graph(&host_spec)?;
     let (n, m) = (guest.n(), host.n());
     let comp = GuestComputation::random(guest.clone(), seed);
     let router: SelectorRouter<universal_networks::routing::ShortestPath> = presets::bfs();
@@ -365,6 +397,78 @@ fn report_cmd(args: &[String]) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let doc = parse_trace(&text)?;
     print!("{}", report::render(&doc));
+    Ok(())
+}
+
+/// Stream a JSONL trace through the bounded-memory analyzer and print the
+/// congestion / critical-path report (human by default, `--markdown` for
+/// GFM). The trace is read line by line — a multi-million-event trace is
+/// never materialized in memory. Malformed or truncated input is a hard
+/// error naming the offending line.
+fn analyze_cmd(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader};
+    use universal_networks::obs::analysis::{render, TraceAnalyzer};
+
+    let pos = positionals(args, &["--top"]);
+    let path = pos.first().ok_or("missing trace file")?;
+    let top: usize = flag(args, "--top").map_or(Ok(5), |s| s.parse().map_err(|_| "bad --top"))?;
+    let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut analyzer = TraceAnalyzer::new();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{path}: line {}: {e}", i + 1))?;
+        analyzer.feed_line(&line, i + 1).map_err(|e| format!("{path}: {e}"))?;
+    }
+    let analysis = analyzer.finish().map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", render(&analysis, top, has_flag(args, "--markdown")));
+    Ok(())
+}
+
+/// Print the unified metrics registry in Prometheus text exposition
+/// format. Two sources: a trace file (one positional argument) streams
+/// through the analyzer; a `<guest> <host> <steps>` triple runs a fresh
+/// instrumented simulation through `Simulation::builder()` and exposes the
+/// live recorder.
+fn metrics_cmd(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader};
+    use universal_networks::obs::analysis::TraceAnalyzer;
+    use universal_networks::obs::{InMemoryRecorder, MetricsRegistry};
+
+    let pos = positionals(args, &["--seed"]);
+    let reg = match pos.as_slice() {
+        [path] => {
+            let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let mut analyzer = TraceAnalyzer::new();
+            for (i, line) in BufReader::new(file).lines().enumerate() {
+                let line = line.map_err(|e| format!("{path}: line {}: {e}", i + 1))?;
+                analyzer.feed_line(&line, i + 1).map_err(|e| format!("{path}: {e}"))?;
+            }
+            MetricsRegistry::from_analysis(&analyzer.finish().map_err(|e| format!("{path}: {e}"))?)
+        }
+        [guest_spec, host_spec, steps] => {
+            let steps: u32 = steps.parse().map_err(|_| "bad steps")?;
+            let seed: u64 =
+                flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
+            let guest = parse_graph(guest_spec)?;
+            let host = parse_graph(host_spec)?;
+            let (n, m) = (guest.n(), host.n());
+            let comp = GuestComputation::random(guest, seed);
+            let router: SelectorRouter<universal_networks::routing::ShortestPath> = presets::bfs();
+            let mut rec = InMemoryRecorder::new();
+            Simulation::builder()
+                .guest(&comp)
+                .host(&host)
+                .embedding(Embedding::block(n, m))
+                .router(&router)
+                .steps(steps)
+                .seed(seed ^ 0xAA)
+                .recorder(&mut rec)
+                .run()
+                .map_err(|e| e.to_string())?;
+            MetricsRegistry::from_recorder(&rec)
+        }
+        _ => return Err("expected a trace file or <guest-spec> <host-spec> <steps>".into()),
+    };
+    print!("{}", reg.expose());
     Ok(())
 }
 

@@ -149,6 +149,78 @@ fn bench_diff_passes_honest_baseline_and_fails_bent_curve() {
 }
 
 #[test]
+fn trace_quick_analyze_metrics_pipeline() {
+    let dir = std::env::temp_dir().join("unet-cli-analyze");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("quick.jsonl");
+    let trace_s = trace.to_str().unwrap();
+
+    let (ok, _, stderr) = unet(&["trace", "--quick", "--out", trace_s]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(trace.exists());
+
+    // The streaming analyzer surfaces congestion, queue percentiles, and
+    // the critical path, deterministically for the fixed default seed.
+    let (ok2, stdout2, stderr2) = unet(&["analyze", trace_s]);
+    assert!(ok2, "stderr: {stderr2}");
+    for section in ["Summary", "Congestion", "Queue depth", "Critical path"] {
+        assert!(stdout2.contains(section), "missing {section:?} in:\n{stdout2}");
+    }
+    assert!(stdout2.contains("sim.edge_util"), "{stdout2}");
+    let (ok2b, again, _) = unet(&["analyze", trace_s]);
+    assert!(ok2b);
+    assert_eq!(stdout2, again, "analysis must be deterministic");
+
+    // Markdown mode swaps the section headers.
+    let (ok3, stdout3, _) = unet(&["analyze", trace_s, "--markdown"]);
+    assert!(ok3);
+    assert!(stdout3.contains("## Congestion"), "{stdout3}");
+
+    // The metrics exposition is Prometheus-shaped.
+    let (ok4, stdout4, stderr4) = unet(&["metrics", trace_s]);
+    assert!(ok4, "stderr: {stderr4}");
+    assert!(stdout4.contains("# TYPE unet_"), "{stdout4}");
+    assert!(stdout4.contains("unet_sim_cache_hits"), "{stdout4}");
+}
+
+#[test]
+fn analyze_and_report_fail_on_malformed_lines_with_line_numbers() {
+    let dir = std::env::temp_dir().join("unet-cli-analyze-bad");
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("quick.jsonl");
+    let trace_s = trace.to_str().unwrap();
+    let (ok, _, _) = unet(&["trace", "--quick", "--out", trace_s]);
+    assert!(ok);
+
+    // Truncate the last line mid-record, as a crashed writer would.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let truncated: String = text.trim_end().to_string();
+    let cut = truncated.len() - 10;
+    let bad = dir.join("truncated.jsonl");
+    let bad_s = bad.to_str().unwrap();
+    std::fs::write(&bad, &truncated[..cut]).unwrap();
+    let bad_lineno = format!("line {}", truncated.lines().count());
+
+    for cmd in ["analyze", "report"] {
+        let (ok, _, stderr) = unet(&[cmd, bad_s]);
+        assert!(!ok, "{cmd} must exit nonzero on a truncated trace");
+        assert!(stderr.contains(&bad_lineno), "{cmd} must name the bad line: {stderr}");
+        assert!(!stderr.contains("panicked"), "{stderr}");
+    }
+    let (ok_m, _, stderr_m) = unet(&["metrics", bad_s]);
+    assert!(!ok_m, "metrics must exit nonzero on a truncated trace");
+    assert!(stderr_m.contains(&bad_lineno), "{stderr_m}");
+}
+
+#[test]
+fn metrics_live_run_exposes_phase_timings() {
+    let (ok, stdout, stderr) = unet(&["metrics", "ring:24", "torus:3x3", "3"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("unet_phase_seconds_total"), "{stdout}");
+    assert!(stdout.contains("unet_sim_guest_steps 3"), "{stdout}");
+}
+
+#[test]
 fn bench_diff_rejects_missing_baseline_file() {
     let (ok, _, stderr) = unet(&["bench", "diff", "/nonexistent/BENCH.json"]);
     assert!(!ok);
