@@ -30,6 +30,8 @@ use unet_obs::InMemoryRecorder;
 use unet_routing::butterfly::{GreedyButterfly, ValiantButterfly};
 use unet_routing::greedy::DimensionOrder;
 use unet_routing::PathSelector;
+use unet_serve::loadgen::{self, LoadgenConfig};
+use unet_serve::{ServeConfig, Server};
 use unet_topology::generators::{butterfly, torus};
 use unet_topology::util::seeded_rng;
 use unet_topology::Graph;
@@ -119,7 +121,7 @@ pub struct Experiment {
 
 /// The full registry, in canonical order.
 pub fn registry() -> Vec<Experiment> {
-    vec![e1(), e2(), e16(), e17(), e18()]
+    vec![e1(), e2(), e16(), e17(), e18(), e19()]
 }
 
 /// The registry's base seed, recorded in the artifact header; every row
@@ -692,6 +694,135 @@ fn e18() -> Experiment {
     }
 }
 
+// --- E19: serving layer offered-load sweep ------------------------------
+
+struct E19Sizes {
+    guest_n: usize,
+    dim: usize,
+    steps: u32,
+    requests: u64,
+}
+
+fn e19_sizes(quick: bool) -> E19Sizes {
+    if quick {
+        E19Sizes { guest_n: 96, dim: 3, steps: 4, requests: 10 }
+    } else {
+        E19Sizes { guest_n: 192, dim: 4, steps: 4, requests: 16 }
+    }
+}
+
+/// `(label, workers, clients)` — one closed-loop offered-load point per
+/// row. `w1-c4` is the saturation point for one worker; `w4-c4` offers the
+/// same load to four workers.
+const E19_CONFIGS: [(&str, u64, u64); 3] = [("w1-c1", 1, 1), ("w1-c4", 1, 4), ("w4-c4", 4, 4)];
+
+fn e19() -> Experiment {
+    Experiment {
+        id: "E19",
+        title: "Serving layer: closed-loop offered-load sweep over worker counts",
+        claim: "Engineering claim on unet-serve: under a repeated closed-loop workload, \
+                per-request wall time at saturation is ordered by worker count, p99 \
+                latency stays bounded by the request deadline below the knee, the \
+                shared route-plan cache hit ratio approaches 1, and no admitted \
+                request is dropped across the graceful drain",
+        grid_keys: &["config"],
+        meta: |quick| {
+            let s = e19_sizes(quick);
+            vec![
+                ("guest".into(), Value::Str(format!("ring:{}", s.guest_n))),
+                ("host".into(), Value::Str(format!("butterfly:{}", s.dim))),
+                ("guest_steps".into(), Value::UInt(s.steps as u64)),
+                ("requests_per_client".into(), Value::UInt(s.requests)),
+                ("protocol".into(), Value::Str(unet_serve::PROTOCOL.into())),
+            ]
+        },
+        grid: |quick| {
+            let s = e19_sizes(quick);
+            E19_CONFIGS
+                .iter()
+                .map(|&(label, workers, clients)| {
+                    GridPoint::new(vec![
+                        ("config", Value::Str(label.into())),
+                        ("workers", Value::UInt(workers)),
+                        ("clients", Value::UInt(clients)),
+                        ("guest_n", Value::UInt(s.guest_n as u64)),
+                        ("dim", Value::UInt(s.dim as u64)),
+                        ("guest_steps", Value::UInt(s.steps as u64)),
+                        ("requests_per_client", Value::UInt(s.requests)),
+                        // One seed for every client: the whole sweep is one
+                        // repeated workload, so exactly one plan compile.
+                        ("seed", Value::UInt(0xE19)),
+                    ])
+                })
+                .collect()
+        },
+        run: |p| {
+            let workers = p.u64("workers") as usize;
+            let deadline_ms = ServeConfig::default().default_deadline_ms;
+            // Each row runs its own server on an ephemeral port, so rows
+            // are parallel-shard-safe like every other runner.
+            let server =
+                Server::start(ServeConfig { workers, queue_cap: 64, ..ServeConfig::default() })
+                    .expect("bind 127.0.0.1:0");
+            let report = loadgen::run(&LoadgenConfig {
+                addr: server.addr().to_string(),
+                clients: p.u64("clients") as usize,
+                requests_per_client: p.u64("requests_per_client") as usize,
+                guest: format!("ring:{}", p.u64("guest_n")),
+                host: format!("butterfly:{}", p.u64("dim")),
+                steps: p.u64("guest_steps") as u32,
+                seed: p.u64("seed"),
+                deadline_ms: None,
+                warmup: true,
+            })
+            .expect("loadgen against a live server");
+            let drained = server.drain();
+            assert_eq!(report.completed, report.sent, "closed loop loses no request");
+            assert_eq!(report.errors, 0, "no error responses at this load");
+            obj(vec![
+                ("config", Value::Str(p.str("config").into())),
+                ("workers", Value::UInt(workers as u64)),
+                ("clients", Value::UInt(p.u64("clients"))),
+                ("requests", Value::UInt(report.sent as u64)),
+                ("completed", Value::UInt(drained.stats.completed)),
+                ("rejected", Value::UInt(drained.stats.rejected)),
+                ("ms_per_req", Value::Float(report.wall_ms / report.sent.max(1) as f64)),
+                ("p99_ms", Value::Float(report.percentile_ms(99.0).unwrap_or(0.0))),
+                ("p99_cap_ms", Value::Float(deadline_ms as f64)),
+                ("throughput_rps", Value::Float(report.throughput_rps())),
+                ("hit_ratio", Value::Float(drained.stats.hit_ratio().unwrap_or(0.0))),
+                ("hit_ratio_floor", Value::Float(0.9)),
+                ("wall_ms", Value::Float(report.wall_ms)),
+            ])
+        },
+        shapes: || {
+            vec![
+                // Saturation throughput ordered by worker count: four
+                // workers serve the four-client load with less wall time
+                // per request than one worker (loose factor, skipped below
+                // the timing-noise floor like E17's ordering check).
+                Shape::SpeedupOrdering {
+                    key: "config",
+                    fast: "w4-c4",
+                    slow: "w1-c4",
+                    wall: "ms_per_req",
+                    factor: 1.75,
+                    min_wall_ms: 2.0,
+                },
+                // Below the knee nothing times out: p99 stays under the
+                // request deadline.
+                Shape::AtLeastColumn { y: "p99_cap_ms", floor: "p99_ms" },
+                // Repeated workload → hit ratio approaches 1 (one cold
+                // compile, then every request replays the shared plan).
+                Shape::AtLeastColumn { y: "hit_ratio", floor: "hit_ratio_floor" },
+                // Zero dropped in-flight requests across the drain: the
+                // server answered every request the clients sent.
+                Shape::AtLeastColumn { y: "completed", floor: "requests" },
+            ]
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -700,7 +831,7 @@ mod tests {
     fn registry_is_canonical() {
         let reg = registry();
         let ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
-        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18"]);
+        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18", "E19"]);
         for exp in &reg {
             assert!(!(exp.shapes)().is_empty(), "{} has no shape predicates", exp.id);
             for quick in [true, false] {
@@ -769,6 +900,25 @@ mod tests {
         }
         for shape in (exp.shapes)() {
             shape.check(&rows).unwrap_or_else(|v| panic!("E18: {v}"));
+        }
+    }
+
+    #[test]
+    fn e19_rows_embed_keys_and_saturate_the_shared_cache() {
+        let exp = e19();
+        let grid = (exp.grid)(true);
+        let rows: Vec<Value> = grid.iter().map(|p| (exp.run)(p)).collect();
+        for (p, row) in grid.iter().zip(&rows) {
+            assert_eq!(
+                row_key(row, exp.grid_keys).as_deref(),
+                Some(p.key(exp.grid_keys).as_str()),
+                "E19: row does not embed its grid point"
+            );
+            let ratio = row.get("hit_ratio").and_then(Value::as_f64).unwrap();
+            assert!(ratio > 0.9, "repeated workload must hit: {}", row.to_json());
+        }
+        for shape in (exp.shapes)() {
+            shape.check(&rows).unwrap_or_else(|v| panic!("E19: {v}"));
         }
     }
 

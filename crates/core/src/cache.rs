@@ -1,0 +1,183 @@
+//! Process-wide sharing of step-invariant route plans.
+//!
+//! The per-run [`PlanCache`](unet_routing::plan::PlanCache) already makes
+//! guest steps `3..=T` replay the plan computed at step 2 — but every *run*
+//! still pays that first compilation, even when a long-lived process (the
+//! `unet-serve` worker pool) simulates the same guest/host pair thousands of
+//! times. A [`SharedPlanCache`] closes that gap: it memoizes the compiled
+//! communication-phase skeleton across runs, keyed by everything the plan
+//! can depend on and nothing it cannot.
+//!
+//! The key is a fingerprint of `(guest adjacency, host adjacency, embedding,
+//! router name, route seed)`. Guest *states* and the step count are
+//! deliberately excluded: the induced routing problem is a function of the
+//! embedding and the guest's edges only (payloads are rebuilt every step),
+//! which is exactly the invariant the per-run cache already relies on. The
+//! route seed is part of the key because a randomized router's schedule is a
+//! function of its per-phase seed — two runs share a plan only when they
+//! would have compiled identical plans anyway, keeping the bit-for-bit
+//! guarantee of `Simulation::builder` intact.
+//!
+//! Sharing is observable only through counters: engine runs that pre-seed
+//! from (or publish to) a shared cache emit `sim.cache.shared.hits` /
+//! `sim.cache.shared.misses`, and the cache itself keeps process totals for
+//! the server's `metrics` endpoint.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::embedding::Embedding;
+use crate::simulate::CachedComm;
+use unet_topology::Graph;
+
+/// A thread-safe route-plan cache shared across simulation runs.
+///
+/// Construct one per process (or per server), then hand it to any number of
+/// concurrent [`Simulation::builder`](crate::Simulation::builder) runs via
+/// [`shared_cache`](crate::SimulationBuilder::shared_cache). Entries are
+/// never evicted: the key space is the set of distinct workloads a process
+/// serves, which is bounded in practice and tiny in memory (one
+/// [`RoutePlan`](unet_routing::plan::RoutePlan) skeleton per workload).
+#[derive(Debug, Default)]
+pub struct SharedPlanCache {
+    entries: Mutex<HashMap<u64, CachedComm>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SharedPlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct workload plans currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("plan cache poisoned").len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Process-total lookups that found a plan.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Process-total lookups that had to compile.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups served from the cache (`None` before the first
+    /// lookup).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let h = self.hits();
+        let m = self.misses();
+        if h + m == 0 {
+            None
+        } else {
+            Some(h as f64 / (h + m) as f64)
+        }
+    }
+
+    /// Clone out the plan for `key`, counting a hit or miss.
+    pub(crate) fn get(&self, key: u64) -> Option<CachedComm> {
+        let got = self.entries.lock().expect("plan cache poisoned").get(&key).cloned();
+        match got {
+            Some(c) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(c)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a freshly compiled plan. First writer wins — concurrent
+    /// compilations of the same workload produce identical plans (the key
+    /// covers every input), so keeping the incumbent is safe.
+    pub(crate) fn insert_if_absent(&self, key: u64, plan: CachedComm) {
+        self.entries.lock().expect("plan cache poisoned").entry(key).or_insert(plan);
+    }
+}
+
+/// FNV-1a over every input the compiled communication plan depends on.
+pub(crate) fn plan_fingerprint(
+    guest: &Graph,
+    host: &Graph,
+    embedding: &Embedding,
+    router_name: &str,
+    route_seed: u64,
+) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(h: u64, v: u64) -> u64 {
+        let mut h = h;
+        for byte in v.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+    fn eat_graph(mut h: u64, g: &Graph) -> u64 {
+        h = eat(h, g.n() as u64);
+        for u in 0..g.n() {
+            let nb = g.neighbors(u as unet_topology::Node);
+            h = eat(h, nb.len() as u64);
+            for &v in nb {
+                h = eat(h, v as u64);
+            }
+        }
+        h
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h = eat_graph(h, guest);
+    h = eat_graph(h, host);
+    h = eat(h, embedding.m as u64);
+    for &fu in &embedding.f {
+        h = eat(h, fu as u64);
+    }
+    h = eat(h, router_name.len() as u64);
+    for byte in router_name.bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    eat(h, route_seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use unet_topology::generators::{ring, torus};
+
+    #[test]
+    fn fingerprint_separates_every_input() {
+        let guest = ring(8);
+        let host = torus(2, 2);
+        let emb = Embedding::block(8, 4);
+        let base = plan_fingerprint(&guest, &host, &emb, "bfs", 7);
+        assert_eq!(base, plan_fingerprint(&guest, &host, &emb, "bfs", 7), "deterministic");
+        assert_ne!(base, plan_fingerprint(&ring(10), &host, &Embedding::block(10, 4), "bfs", 7));
+        assert_ne!(base, plan_fingerprint(&guest, &torus(2, 3), &Embedding::block(8, 6), "bfs", 7));
+        assert_ne!(base, plan_fingerprint(&guest, &host, &emb, "valiant", 7));
+        assert_ne!(base, plan_fingerprint(&guest, &host, &emb, "bfs", 8));
+    }
+
+    #[test]
+    fn counters_track_lookups() {
+        let cache = SharedPlanCache::new();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hit_ratio(), None);
+        assert!(cache.get(1).is_none());
+        cache.insert_if_absent(1, CachedComm::default());
+        assert!(cache.get(1).is_some());
+        assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.hit_ratio(), Some(0.5));
+    }
+}

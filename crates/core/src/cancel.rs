@@ -1,0 +1,82 @@
+//! Cooperative cancellation for long-running simulations.
+//!
+//! A [`CancelToken`] is a cheap cloneable handle carrying a shared cancel
+//! flag and an optional wall-clock deadline. The engine checks it at
+//! **phase boundaries** (the top of each guest step and between the
+//! communication and computation phases), so a cancelled run stops within
+//! one phase and returns [`SimError::Cancelled`](crate::SimError::Cancelled)
+//! instead of a partial result. That granularity is deliberate: phases are
+//! the engine's units of progress, and checking inside them would put a
+//! branch in the hot loops the zero-cost instrumentation layer keeps clean.
+//!
+//! The token exists for callers that run simulations on behalf of someone
+//! else — the `unet-serve` request workers hand every simulation a token
+//! derived from the request's deadline, so one slow request cannot hold a
+//! worker past its budget.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation handle: manual [`cancel`](CancelToken::cancel)
+/// plus an optional deadline. All clones observe the same flag.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+impl CancelToken {
+    /// A token that only cancels when [`cancel`](CancelToken::cancel) is
+    /// called.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A token that additionally reports cancelled once `budget` wall time
+    /// has elapsed (measured from this call).
+    pub fn with_deadline(budget: Duration) -> Self {
+        CancelToken {
+            flag: Arc::new(AtomicBool::new(false)),
+            deadline: Some(Instant::now() + budget),
+        }
+    }
+
+    /// Request cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Has this token been cancelled (explicitly, or by its deadline)?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_cancel_visible_through_clones() {
+        let tok = CancelToken::new();
+        let other = tok.clone();
+        assert!(!other.is_cancelled());
+        tok.cancel();
+        assert!(other.is_cancelled());
+    }
+
+    #[test]
+    fn zero_deadline_is_already_cancelled() {
+        let tok = CancelToken::with_deadline(Duration::ZERO);
+        assert!(tok.is_cancelled());
+    }
+
+    #[test]
+    fn generous_deadline_not_cancelled_yet() {
+        let tok = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!tok.is_cancelled());
+        tok.cancel();
+        assert!(tok.is_cancelled(), "manual cancel still wins before the deadline");
+    }
+}

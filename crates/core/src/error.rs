@@ -42,6 +42,9 @@ pub enum SimError {
         /// Why the host was rejected.
         reason: String,
     },
+    /// The run was cancelled cooperatively (explicit cancel or deadline)
+    /// at a phase boundary before completing.
+    Cancelled,
     /// The run completed but failed certification.
     Verify(VerifyError),
 }
@@ -62,6 +65,9 @@ impl std::fmt::Display for SimError {
             SimError::EmptyHost => write!(f, "host must have at least one node"),
             SimError::Router { router, reason } => {
                 write!(f, "router `{router}` rejected this host: {reason}")
+            }
+            SimError::Cancelled => {
+                write!(f, "run cancelled (deadline or explicit cancel) at a phase boundary")
             }
             SimError::Verify(e) => write!(f, "certification failed: {e}"),
         }
@@ -97,6 +103,7 @@ mod tests {
         assert!(h.to_string().contains('4') && h.to_string().contains('9'));
         let r = SimError::Router { router: "benes-offline", reason: "wrong size".into() };
         assert!(r.to_string().contains("benes-offline"));
+        assert!(SimError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! * [`treesim`] — constant slowdown for short computations on
 //!   `2^{O(T)}·n`-size tree hosts (the Section 1 remark);
 //! * [`guest`] / [`embedding`] / [`routers`] — the moving parts;
+//! * [`cache`] / [`cancel`] — cross-run route-plan sharing and
+//!   cooperative cancellation, the substrate of long-lived servers
+//!   (`unet-serve`);
+//! * [`spec`] — textual `family:params` graph specifications;
 //! * [`bounds`] — closed-form upper/lower bound shapes of the trade-off;
 //! * [`verify`] — end-to-end certification (protocol validity + bit-exact
 //!   states).
@@ -45,6 +49,8 @@
 
 pub mod async_sim;
 pub mod bounds;
+pub mod cache;
+pub mod cancel;
 pub mod embedding;
 pub mod error;
 pub mod flooding;
@@ -53,9 +59,12 @@ pub mod guest;
 pub mod routers;
 pub mod sim;
 pub mod simulate;
+pub mod spec;
 pub mod treesim;
 pub mod verify;
 
+pub use cache::SharedPlanCache;
+pub use cancel::CancelToken;
 pub use embedding::Embedding;
 pub use error::SimError;
 pub use guest::GuestComputation;
@@ -67,6 +76,8 @@ pub use verify::{verify_run, VerifiedRun, VerifyError};
 /// Glob-import surface.
 pub mod prelude {
     pub use crate::bounds;
+    pub use crate::cache::SharedPlanCache;
+    pub use crate::cancel::CancelToken;
     pub use crate::embedding::Embedding;
     pub use crate::error::SimError;
     pub use crate::guest::GuestComputation;

@@ -36,6 +36,8 @@
 //! the builder derives one route seed per run instead of threading the RNG
 //! through every phase.
 
+use crate::cache::SharedPlanCache;
+use crate::cancel::CancelToken;
 use crate::embedding::Embedding;
 use crate::error::SimError;
 use crate::guest::GuestComputation;
@@ -76,6 +78,8 @@ impl Simulation {
             seed: 0,
             threads: None,
             cache: CachePolicy::Enabled,
+            shared: None,
+            cancel: None,
             recorder: None,
         }
     }
@@ -98,6 +102,8 @@ pub struct SimulationBuilder<'a, REC: Recorder = NoopRecorder> {
     seed: u64,
     threads: Option<usize>,
     cache: CachePolicy,
+    shared: Option<&'a SharedPlanCache>,
+    cancel: Option<CancelToken>,
     recorder: Option<&'a mut REC>,
 }
 
@@ -153,6 +159,24 @@ impl<'a, REC: Recorder> SimulationBuilder<'a, REC> {
         self
     }
 
+    /// Share compiled route plans across runs through a process-wide
+    /// [`SharedPlanCache`]. Runs whose workload fingerprint (guest, host,
+    /// embedding, router, route seed) matches a cached entry skip plan
+    /// compilation entirely; sharing never changes the output. Requires
+    /// [`CachePolicy::Enabled`] to have any effect.
+    pub fn shared_cache(mut self, shared: &'a SharedPlanCache) -> Self {
+        self.shared = Some(shared);
+        self
+    }
+
+    /// Attach a [`CancelToken`]: the engine checks it at phase boundaries
+    /// and returns [`SimError::Cancelled`] once it trips (explicitly or by
+    /// deadline).
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Attach a [`Recorder`]; phase spans, `sim.*` counters (including
     /// `sim.cache.hits`/`sim.cache.misses` and the `sim.par.threads` gauge)
     /// and router metrics land there.
@@ -166,6 +190,8 @@ impl<'a, REC: Recorder> SimulationBuilder<'a, REC> {
             seed: self.seed,
             threads: self.threads,
             cache: self.cache,
+            shared: self.shared,
+            cancel: self.cancel,
             recorder: Some(rec),
         }
     }
@@ -189,10 +215,13 @@ impl<'a, REC: Recorder> SimulationBuilder<'a, REC> {
         let steps = self.steps.ok_or(SimError::MissingField("steps"))?;
         let threads = self.threads.unwrap_or_else(default_threads);
         let route_seed: u64 = rng.gen();
+        let cancel = self.cancel;
         let cfg = EngineConfig {
             threads,
             cache: self.cache == CachePolicy::Enabled,
             route_rng: RouteRngMode::PerPhase(route_seed),
+            shared: self.shared,
+            cancel: cancel.as_ref(),
         };
         match self.recorder {
             Some(rec) => run_engine(&embedding, router, comp, host, steps, &cfg, rng, rec),
@@ -367,6 +396,101 @@ mod tests {
         // with 4 comm phases replaying the same plan, it is 4x one phase.
         let total: u64 = a.values().sum();
         assert_eq!(total % 4, 0, "4 identical comm phases: {total}");
+    }
+
+    #[test]
+    fn shared_cache_skips_compilation_without_changing_output() {
+        use crate::cache::SharedPlanCache;
+        use unet_obs::InMemoryRecorder;
+        let guest = random_regular(24, 4, &mut seeded_rng(2));
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest.clone(), 3);
+        let router = presets::bfs();
+        let shared = SharedPlanCache::new();
+
+        let mut cold = InMemoryRecorder::new();
+        let first = base(&comp, &host, &router)
+            .steps(4)
+            .shared_cache(&shared)
+            .recorder(&mut cold)
+            .run()
+            .expect("cold run");
+        assert_eq!(cold.counter_value("sim.cache.shared.misses"), 1);
+        assert_eq!(cold.counter_value("sim.cache.shared.hits"), 0);
+        assert_eq!(shared.len(), 1, "cold run published its plan");
+
+        let mut warm = InMemoryRecorder::new();
+        let second = base(&comp, &host, &router)
+            .steps(4)
+            .shared_cache(&shared)
+            .recorder(&mut warm)
+            .run()
+            .expect("warm run");
+        assert_eq!(warm.counter_value("sim.cache.shared.hits"), 1);
+        assert_eq!(warm.counter_value("sim.cache.shared.misses"), 0);
+        // Pre-seeded: the per-run cache never missed at all.
+        assert_eq!(warm.counter_value("sim.cache.misses"), 0);
+        assert_eq!(warm.counter_value("sim.cache.hits"), 3);
+        // Sharing is invisible in the output.
+        assert_eq!(first.protocol, second.protocol, "bit-for-bit across the shared cache");
+        assert_eq!(first.final_states, second.final_states);
+        check(&guest, &host, &first.protocol).expect("certified");
+        assert_eq!((shared.hits(), shared.misses()), (1, 1));
+        assert_eq!(shared.hit_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn different_seeds_do_not_share_plans() {
+        use crate::cache::SharedPlanCache;
+        let guest = ring(12);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest, 3);
+        let router = presets::bfs();
+        let shared = SharedPlanCache::new();
+        base(&comp, &host, &router).seed(1).shared_cache(&shared).run().expect("seed 1");
+        base(&comp, &host, &router).seed(2).shared_cache(&shared).run().expect("seed 2");
+        assert_eq!(shared.len(), 2, "distinct route seeds are distinct workloads");
+        assert_eq!(shared.hits(), 0);
+    }
+
+    #[test]
+    fn pre_cancelled_token_stops_before_any_phase() {
+        use crate::cancel::CancelToken;
+        let guest = ring(12);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest, 3);
+        let router = presets::bfs();
+        let token = CancelToken::new();
+        token.cancel();
+        let err = base(&comp, &host, &router).cancel_token(token).run().unwrap_err();
+        assert!(matches!(err, SimError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_at_a_phase_boundary() {
+        use crate::cancel::CancelToken;
+        use std::time::Duration;
+        let guest = ring(12);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest, 3);
+        let router = presets::bfs();
+        let token = CancelToken::with_deadline(Duration::ZERO);
+        let err = base(&comp, &host, &router).steps(50).cancel_token(token).run().unwrap_err();
+        assert!(matches!(err, SimError::Cancelled));
+    }
+
+    #[test]
+    fn uncancelled_token_is_invisible() {
+        use crate::cancel::CancelToken;
+        let guest = ring(12);
+        let host = torus(2, 2);
+        let comp = GuestComputation::random(guest, 3);
+        let router = presets::bfs();
+        let plain = base(&comp, &host, &router).run().expect("plain");
+        let tokened =
+            base(&comp, &host, &router).cancel_token(CancelToken::new()).run().expect("tokened");
+        assert_eq!(plain.protocol, tokened.protocol);
+        assert_eq!(plain.final_states, tokened.final_states);
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! [`EmbeddingSimulator`] entry points are kept as deprecated wrappers that
 //! reproduce the legacy sequential behaviour exactly (including its panics).
 
+use crate::cache::{plan_fingerprint, SharedPlanCache};
+use crate::cancel::CancelToken;
 use crate::embedding::Embedding;
 use crate::error::SimError;
 use crate::guest::{transition, GuestComputation};
@@ -86,15 +88,20 @@ pub(crate) enum RouteRngMode {
 /// Execution knobs threaded through the engine core (see
 /// [`crate::sim::SimulationBuilder`] for the public surface).
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct EngineConfig {
+pub(crate) struct EngineConfig<'e> {
     pub threads: usize,
     pub cache: bool,
     pub route_rng: RouteRngMode,
+    /// Cross-run plan cache to pre-seed from / publish to (serve workers).
+    pub shared: Option<&'e SharedPlanCache>,
+    /// Cooperative cancellation, checked at phase boundaries.
+    pub cancel: Option<&'e CancelToken>,
 }
 
 /// The step-invariant skeleton of one communication phase: payload sources
 /// (guest per packet), problem size, and the replayable transfer rounds.
-struct CachedComm {
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CachedComm {
     guests: Vec<Node>,
     pair_count: usize,
     plan: RoutePlan,
@@ -162,7 +169,7 @@ pub(crate) fn run_engine<REC: Recorder>(
     comp: &GuestComputation,
     host: &Graph,
     steps: u32,
-    cfg: &EngineConfig,
+    cfg: &EngineConfig<'_>,
     rng: &mut StdRng,
     rec: &mut REC,
 ) -> Result<SimulationRun, SimError> {
@@ -194,6 +201,29 @@ pub(crate) fn run_engine<REC: Recorder>(
     // `FaultyView::epoch` instead.
     let mut cache: PlanCache<CachedComm> = PlanCache::new();
 
+    // Cross-run sharing: pre-seed the per-run cache from the process-wide
+    // one when the workload fingerprint matches, and remember the key so a
+    // freshly compiled plan gets published after the run. Only meaningful
+    // under a per-run route seed — the legacy threaded-RNG mode draws a
+    // different schedule every phase and is inherently unshareable.
+    let shared_key = match (cfg.shared, cfg.cache, cfg.route_rng) {
+        (Some(shared), true, RouteRngMode::PerPhase(seed)) => {
+            let key = plan_fingerprint(&comp.graph, host, embedding, router.name(), seed);
+            match shared.get(key) {
+                Some(entry) => {
+                    rec.counter("sim.cache.shared.hits", 1);
+                    cache.store(0, entry);
+                    None
+                }
+                None => {
+                    rec.counter("sim.cache.shared.misses", 1);
+                    Some((shared, key))
+                }
+            }
+        }
+        _ => None,
+    };
+
     let mut prev_states: Vec<u64> = comp.init.clone();
     // Global communication-round index across the whole run: the time
     // axis of the `sim.edge_util` congestion series. Cached phases replay
@@ -202,6 +232,12 @@ pub(crate) fn run_engine<REC: Recorder>(
     let mut comm_round = 0u64;
 
     for gt in 1..=steps {
+        // Cooperative cancellation is checked at phase boundaries only:
+        // phases are the engine's units of progress, and a branch inside
+        // the routing/compute loops would tax uncancellable runs too.
+        if cfg.cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(SimError::Cancelled);
+        }
         // ---- Communication phase -------------------------------------
         // One packet per (guest u, remote host of a neighbour of u).
         // Level-0 pebbles are initial and held by every host, so the
@@ -256,6 +292,9 @@ pub(crate) fn run_engine<REC: Recorder>(
             rec.histogram("sim.routing_problem_size", 0);
         }
         rec.span_end("sim.comm");
+        if cfg.cancel.is_some_and(CancelToken::is_cancelled) {
+            return Err(SimError::Cancelled);
+        }
         // ---- Computation phase ---------------------------------------
         rec.span_start("sim.compute");
         for round in 0..load {
@@ -273,6 +312,12 @@ pub(crate) fn run_engine<REC: Recorder>(
         // is equivalent to computing from the delivered copies)
         prev_states = advance_states(comp, &prev_states, cfg.threads);
         rec.span_end("sim.compute");
+    }
+    // Publish the freshly compiled plan for later runs of this workload.
+    if let Some((shared, key)) = shared_key {
+        if let Some(c) = cache.peek() {
+            shared.insert_if_absent(key, c.clone());
+        }
     }
     rec.counter("sim.guest_steps", steps as u64);
     rec.counter("sim.comm_steps", comm_steps as u64);
@@ -345,7 +390,13 @@ impl EmbeddingSimulator<'_> {
         assert_eq!(self.embedding.n(), comp.n(), "embedding covers every guest");
         assert_eq!(self.embedding.m, host.n(), "embedding targets this host");
         assert!(steps >= 1, "simulate at least one guest step");
-        let cfg = EngineConfig { threads: 1, cache: false, route_rng: RouteRngMode::Threaded };
+        let cfg = EngineConfig {
+            threads: 1,
+            cache: false,
+            route_rng: RouteRngMode::Threaded,
+            shared: None,
+            cancel: None,
+        };
         match run_engine(&self.embedding, self.router, comp, host, steps, &cfg, rng, rec) {
             Ok(run) => run,
             Err(e) => panic!("{e}"),

@@ -1,4 +1,5 @@
-//! Textual graph specifications for the CLI and experiment scripts.
+//! Textual graph specifications for the CLI, the serve protocol, and
+//! experiment scripts.
 //!
 //! A spec is `family:params`, e.g. `torus:8x8`, `butterfly:4`,
 //! `random:64x4:7` (n × degree × seed). [`parse_graph`] covers every

@@ -167,15 +167,32 @@ impl MetricsRegistry {
         if !self.phases.is_empty() {
             out.push_str("# TYPE unet_phase_seconds_total counter\n");
             for (phase, &(secs, _)) in &self.phases {
+                let phase = escape_label(phase);
                 out.push_str(&format!("unet_phase_seconds_total{{phase=\"{phase}\"}} {secs}\n"));
             }
             out.push_str("# TYPE unet_phase_completions_total counter\n");
             for (phase, &(_, n)) in &self.phases {
+                let phase = escape_label(phase);
                 out.push_str(&format!("unet_phase_completions_total{{phase=\"{phase}\"}} {n}\n"));
             }
         }
         out
     }
+}
+
+/// Escape a label value per the Prometheus text exposition rules:
+/// backslash, double quote, and newline must be escaped inside `"…"`.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -232,6 +249,32 @@ mod tests {
             assert!(value.parse::<f64>().is_ok(), "bad exposition line: {line}");
             assert!(parts.next().unwrap().starts_with("unet_"));
         }
+    }
+
+    #[test]
+    fn phase_labels_are_escaped_and_series_order_is_deterministic() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_phase("odd\"phase\\with\nnasties", 1.0, 1);
+        reg.set_phase("sim.comm", 2.0, 2);
+        let text = reg.expose();
+        // Backslash, quote, and newline are escaped per the Prometheus
+        // text rules, so the line stays one line and parses.
+        assert!(
+            text.contains(r#"unet_phase_seconds_total{phase="odd\"phase\\with\nnasties"} 1"#),
+            "{text}"
+        );
+        assert!(!text.contains("nasties\"} 1\nnasties"), "label must not split lines");
+        for line in text.lines() {
+            // After stripping escape pairs, the delimiter quotes balance.
+            let bare = line.replace("\\\\", "").replace("\\\"", "");
+            assert_eq!(bare.matches('"').count() % 2, 0, "unbalanced quotes: {line}");
+        }
+        // Series ordering is deterministic and sorted: repeated expositions
+        // are byte-identical, and within a family labels sort by phase name.
+        assert_eq!(text, reg.expose());
+        let odd = text.find("odd\\\"phase").unwrap();
+        let comm = text.find("phase=\"sim.comm\"").unwrap();
+        assert!(odd < comm, "phases sort lexicographically:\n{text}");
     }
 
     #[test]

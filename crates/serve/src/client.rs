@@ -1,0 +1,26 @@
+//! One-shot request helper (the `unet request` CLI and tests use this).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Connect to `addr`, send one request line, and read one response line.
+///
+/// The connection is closed afterwards — scripting-friendly, at the cost of
+/// a connect per request (the load generator keeps connections open
+/// instead). An empty response (server closed without answering) is an
+/// `UnexpectedEof` error.
+pub fn request_line(addr: &str, line: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    writeln!(stream, "{line}")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    let n = reader.read_line(&mut response)?;
+    if n == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection without responding",
+        ));
+    }
+    Ok(response.trim_end().to_string())
+}

@@ -1,0 +1,51 @@
+//! # unet-serve — simulation as a service
+//!
+//! Everything else in this workspace is one-shot: build the topology,
+//! compile the route plan, run, exit. This crate is the long-lived
+//! counterpart the ROADMAP's "serves heavy traffic" north star asks for — a
+//! TCP server that keeps the expensive artifacts (compiled route plans,
+//! metric aggregates) alive across requests:
+//!
+//! * [`protocol`] — the versioned newline-delimited JSON wire format
+//!   (`unet-serve/1`): `simulate` / `analyze` / `metrics` requests,
+//!   `result` / `error` / `overloaded` responses;
+//! * [`queue`] — the bounded admission queue; a full queue produces a
+//!   typed `overloaded` rejection, never unbounded buffering;
+//! * [`server`] — acceptor + worker pool sharing one
+//!   [`SharedPlanCache`](unet_core::SharedPlanCache) (repeated guest/host
+//!   workloads skip route-plan compilation) and one metrics recorder;
+//!   per-request deadlines ride the engine's phase-boundary cancellation;
+//!   [`Server::drain`] answers everything in flight and flushes metrics;
+//! * [`loadgen`] — a deterministic closed-loop load generator for capacity
+//!   experiments (E19) and CI smoke tests;
+//! * [`client`] — one-shot request helper behind `unet request`;
+//! * [`signal`] — SIGTERM-to-flag plumbing for graceful drain.
+//!
+//! ```
+//! use unet_serve::{Server, ServeConfig};
+//! use unet_serve::client::request_line;
+//! use unet_serve::protocol::{simulate_request_line, parse_response, Response, SimulateReq};
+//!
+//! let server = Server::start(ServeConfig::default()).expect("bind");
+//! let req = simulate_request_line(&SimulateReq {
+//!     guest: "ring:12".into(), host: "torus:2x2".into(),
+//!     steps: 2, seed: 7, deadline_ms: None, id: Some(1),
+//! });
+//! let resp = request_line(&server.addr().to_string(), &req).expect("round trip");
+//! assert!(matches!(parse_response(&resp), Ok(Response::Result(_))));
+//! let report = server.drain();
+//! assert_eq!(report.stats.completed, 1);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use loadgen::{LoadgenConfig, LoadgenReport};
+pub use protocol::{Request, Response, PROTOCOL};
+pub use server::{DrainReport, ServeConfig, Server, ServerStats};

@@ -1,0 +1,239 @@
+//! Deterministic closed-loop load generator.
+//!
+//! `clients` concurrent connections each issue `requests_per_client`
+//! identical `simulate` requests back-to-back (closed loop: the next
+//! request leaves only after the previous response arrives). The request
+//! *count* and workload are fully deterministic — only wall-clock latency
+//! varies — which is what the E19 offered-load sweep needs: saturation
+//! throughput ordered by worker count, with the shared route-plan cache
+//! absorbing every repeat of the workload.
+//!
+//! An optional warm-up request is issued before the clients start so the
+//! one unavoidable shared-cache miss happens deterministically up front
+//! (`hit_ratio = R·C / (R·C + 1)` on a repeated workload).
+
+use std::io;
+use std::time::Instant;
+
+use crate::client::request_line;
+use crate::protocol::{parse_response, simulate_request_line, Response, SimulateReq};
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests each client issues.
+    pub requests_per_client: usize,
+    /// Guest graph spec.
+    pub guest: String,
+    /// Host graph spec.
+    pub host: String,
+    /// Guest steps per request.
+    pub steps: u32,
+    /// Seed (identical across requests — that is the point: a repeated
+    /// workload exercises the shared plan cache).
+    pub seed: u64,
+    /// Per-request deadline override.
+    pub deadline_ms: Option<u64>,
+    /// Issue one warm-up request before the clients start.
+    pub warmup: bool,
+}
+
+/// What a load-generator run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests issued (including the warm-up when enabled).
+    pub sent: usize,
+    /// Requests answered with `result`.
+    pub completed: usize,
+    /// Requests rejected with `overloaded`.
+    pub rejected: usize,
+    /// Requests answered with `error` or lost to I/O failures.
+    pub errors: usize,
+    /// Wall time of the measured (post-warm-up) phase in milliseconds.
+    pub wall_ms: f64,
+    /// Per-request latencies in milliseconds, sorted ascending
+    /// (warm-up excluded).
+    pub latencies_ms: Vec<f64>,
+}
+
+impl LoadgenReport {
+    /// Mean request latency (`None` when nothing completed).
+    pub fn mean_ms(&self) -> Option<f64> {
+        if self.latencies_ms.is_empty() {
+            None
+        } else {
+            Some(self.latencies_ms.iter().sum::<f64>() / self.latencies_ms.len() as f64)
+        }
+    }
+
+    /// Nearest-rank latency percentile, `p` in `[0, 100]`.
+    pub fn percentile_ms(&self, p: f64) -> Option<f64> {
+        if self.latencies_ms.is_empty() {
+            return None;
+        }
+        let idx = ((p / 100.0) * (self.latencies_ms.len() - 1) as f64).round() as usize;
+        Some(self.latencies_ms[idx.min(self.latencies_ms.len() - 1)])
+    }
+
+    /// Completed requests per second over the measured phase.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_ms <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / (self.wall_ms / 1e3)
+        }
+    }
+}
+
+/// Outcome counters of a single client's closed loop.
+#[derive(Debug, Default)]
+struct ClientTally {
+    completed: usize,
+    rejected: usize,
+    errors: usize,
+    latencies_ms: Vec<f64>,
+}
+
+fn run_client(addr: &str, line: &str, requests: usize) -> ClientTally {
+    use std::io::{BufRead, BufReader, Write};
+    let mut tally = ClientTally::default();
+    let mut conn: Option<(std::net::TcpStream, BufReader<std::net::TcpStream>)> = None;
+    for _ in 0..requests {
+        if conn.is_none() {
+            match std::net::TcpStream::connect(addr) {
+                Ok(stream) => match stream.try_clone() {
+                    Ok(read_half) => conn = Some((stream, BufReader::new(read_half))),
+                    Err(_) => {
+                        tally.errors += 1;
+                        continue;
+                    }
+                },
+                Err(_) => {
+                    tally.errors += 1;
+                    continue;
+                }
+            }
+        }
+        let (stream, reader) = conn.as_mut().expect("connected above");
+        let started = Instant::now();
+        let mut response = String::new();
+        let io_ok = writeln!(stream, "{line}")
+            .and_then(|_| stream.flush())
+            .and_then(|_| reader.read_line(&mut response))
+            .map(|n| n > 0)
+            .unwrap_or(false);
+        if !io_ok {
+            tally.errors += 1;
+            conn = None; // reconnect and keep going
+            continue;
+        }
+        match parse_response(response.trim()) {
+            Ok(Response::Result(_)) => {
+                tally.completed += 1;
+                tally.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+            }
+            Ok(Response::Overloaded { .. }) => {
+                tally.rejected += 1;
+                conn = None; // the server dropped this connection
+            }
+            Ok(Response::Error { .. }) | Err(_) => tally.errors += 1,
+        }
+    }
+    tally
+}
+
+/// Run the closed loop and aggregate every client's tally.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let line = simulate_request_line(&SimulateReq {
+        guest: cfg.guest.clone(),
+        host: cfg.host.clone(),
+        steps: cfg.steps,
+        seed: cfg.seed,
+        deadline_ms: cfg.deadline_ms,
+        id: None,
+    });
+    let mut sent = 0usize;
+    let mut warm_completed = 0usize;
+    let mut warm_errors = 0usize;
+    if cfg.warmup {
+        sent += 1;
+        match request_line(&cfg.addr, &line) {
+            Ok(resp) => match parse_response(resp.trim()) {
+                Ok(Response::Result(_)) => warm_completed += 1,
+                _ => warm_errors += 1,
+            },
+            Err(_) => warm_errors += 1,
+        }
+    }
+    let started = Instant::now();
+    let tallies: Vec<ClientTally> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|_| {
+                let addr = &cfg.addr;
+                let line = &line;
+                s.spawn(move |_| run_client(addr, line, cfg.requests_per_client))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
+    })
+    .expect("loadgen scope");
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    sent += cfg.clients * cfg.requests_per_client;
+    let mut report = LoadgenReport {
+        sent,
+        completed: warm_completed,
+        rejected: 0,
+        errors: warm_errors,
+        wall_ms,
+        latencies_ms: Vec::new(),
+    };
+    for t in tallies {
+        report.completed += t.completed;
+        report.rejected += t.rejected;
+        report.errors += t.errors;
+        report.latencies_ms.extend(t.latencies_ms);
+    }
+    report.latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let report = LoadgenReport {
+            sent: 4,
+            completed: 4,
+            rejected: 0,
+            errors: 0,
+            wall_ms: 100.0,
+            latencies_ms: vec![1.0, 2.0, 3.0, 10.0],
+        };
+        assert_eq!(report.percentile_ms(0.0), Some(1.0));
+        assert_eq!(report.percentile_ms(50.0), Some(3.0));
+        assert_eq!(report.percentile_ms(100.0), Some(10.0));
+        assert_eq!(report.mean_ms(), Some(4.0));
+        assert_eq!(report.throughput_rps(), 40.0);
+    }
+
+    #[test]
+    fn empty_report_has_no_percentiles() {
+        let report = LoadgenReport {
+            sent: 0,
+            completed: 0,
+            rejected: 0,
+            errors: 0,
+            wall_ms: 0.0,
+            latencies_ms: Vec::new(),
+        };
+        assert_eq!(report.percentile_ms(99.0), None);
+        assert_eq!(report.mean_ms(), None);
+        assert_eq!(report.throughput_rps(), 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The `unet-serve/1` wire protocol.
+//!
+//! Newline-delimited JSON over TCP, one request and one response per line,
+//! versioned by a mandatory `proto` field. Three request kinds:
+//!
+//! ```text
+//! {"proto":"unet-serve/1","kind":"simulate","guest":"ring:24","host":"torus:3x3",
+//!  "steps":3,"seed":7,"deadline_ms":5000,"id":1}
+//! {"proto":"unet-serve/1","kind":"analyze","trace":["<jsonl line>", ...],"id":2}
+//! {"proto":"unet-serve/1","kind":"metrics","id":3}
+//! ```
+//!
+//! and three response kinds:
+//!
+//! * `result` — the request succeeded; carries `req` (the request kind),
+//!   the echoed `id` if one was sent, and kind-specific payload fields
+//!   (`slowdown`, `exposition`, …);
+//! * `error` — carries a machine-readable `code`
+//!   (`bad-request`, `bad-spec`, `bad-trace`, `deadline-exceeded`,
+//!   `sim-error`, `verify-failed`) and a human `message`;
+//! * `overloaded` — the admission queue was full; the server rejected the
+//!   connection *before* queueing it (explicit backpressure, never
+//!   unbounded buffering). Carries the configured `queue_cap`.
+//!
+//! Graph specifications are the same `family:params` strings the CLI takes
+//! everywhere else ([`unet_core::spec::parse_graph`]).
+
+use unet_obs::json::Value;
+
+/// The protocol version string every request and response carries.
+pub const PROTOCOL: &str = "unet-serve/1";
+
+/// A `simulate` request: run a guest spec on a host spec and certify it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulateReq {
+    /// Guest graph spec (`family:params`).
+    pub guest: String,
+    /// Host graph spec (`family:params`).
+    pub host: String,
+    /// Guest steps to simulate (≥ 1).
+    pub steps: u32,
+    /// Seed for guest states and route-seed derivation.
+    pub seed: u64,
+    /// Per-request deadline override in milliseconds (server default
+    /// applies when absent).
+    pub deadline_ms: Option<u64>,
+    /// Client correlation id, echoed in the response.
+    pub id: Option<u64>,
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run and certify one simulation.
+    Simulate(SimulateReq),
+    /// Aggregate trace lines with the streaming analyzer.
+    Analyze {
+        /// JSONL trace lines (the `unet trace` format).
+        trace: Vec<String>,
+        /// Client correlation id.
+        id: Option<u64>,
+    },
+    /// Return the server's live metrics exposition.
+    Metrics {
+        /// Client correlation id.
+        id: Option<u64>,
+    },
+}
+
+impl Request {
+    /// The request kind as it appears on the wire.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Simulate(_) => "simulate",
+            Request::Analyze { .. } => "analyze",
+            Request::Metrics { .. } => "metrics",
+        }
+    }
+
+    /// The client correlation id, if one was sent.
+    pub fn id(&self) -> Option<u64> {
+        match self {
+            Request::Simulate(r) => r.id,
+            Request::Analyze { id, .. } | Request::Metrics { id } => *id,
+        }
+    }
+}
+
+/// Parse one request line. Errors are human-readable and become the
+/// `message` of a `bad-request` response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = unet_obs::json::parse(line)?;
+    match v.get("proto").and_then(Value::as_str) {
+        Some(PROTOCOL) => {}
+        Some(other) => return Err(format!("unsupported protocol {other:?} (want {PROTOCOL:?})")),
+        None => return Err(format!("missing `proto` field (want {PROTOCOL:?})")),
+    }
+    let id = v.get("id").and_then(Value::as_u64);
+    match v.get("kind").and_then(Value::as_str) {
+        Some("simulate") => {
+            let field = |name: &str| {
+                v.get(name)
+                    .and_then(Value::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("simulate needs a string `{name}` field"))
+            };
+            let steps = v
+                .get("steps")
+                .and_then(Value::as_u64)
+                .ok_or("simulate needs an integer `steps` field")?;
+            let steps =
+                u32::try_from(steps).map_err(|_| format!("steps {steps} exceeds u32::MAX"))?;
+            Ok(Request::Simulate(SimulateReq {
+                guest: field("guest")?,
+                host: field("host")?,
+                steps,
+                seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
+                deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+                id,
+            }))
+        }
+        Some("analyze") => {
+            let arr = v
+                .get("trace")
+                .and_then(Value::as_arr)
+                .ok_or("analyze needs a `trace` array of JSONL lines")?;
+            let trace = arr
+                .iter()
+                .map(|l| {
+                    l.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "analyze `trace` entries must all be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Request::Analyze { trace, id })
+        }
+        Some("metrics") => Ok(Request::Metrics { id }),
+        Some(other) => Err(format!("unknown request kind {other:?}")),
+        None => Err("missing `kind` field".into()),
+    }
+}
+
+fn envelope(kind: &str, id: Option<u64>) -> Vec<(String, Value)> {
+    let mut fields = vec![
+        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
+        ("kind".to_string(), Value::Str(kind.to_string())),
+    ];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::UInt(id)));
+    }
+    fields
+}
+
+/// Build a `result` response line for request kind `req` with the given
+/// payload fields.
+pub fn result_line(req: &str, id: Option<u64>, payload: Vec<(String, Value)>) -> String {
+    let mut fields = envelope("result", id);
+    fields.push(("req".to_string(), Value::Str(req.to_string())));
+    fields.extend(payload);
+    Value::Obj(fields).to_json()
+}
+
+/// Build an `error` response line with a machine-readable `code`.
+pub fn error_line(code: &str, message: &str, id: Option<u64>) -> String {
+    let mut fields = envelope("error", id);
+    fields.push(("code".to_string(), Value::Str(code.to_string())));
+    fields.push(("message".to_string(), Value::Str(message.to_string())));
+    Value::Obj(fields).to_json()
+}
+
+/// Build the typed backpressure rejection the acceptor sends when the
+/// admission queue is full.
+pub fn overloaded_line(queue_cap: usize) -> String {
+    let mut fields = envelope("overloaded", None);
+    fields.push(("queue_cap".to_string(), Value::UInt(queue_cap as u64)));
+    Value::Obj(fields).to_json()
+}
+
+/// Build a `simulate` request line (the client/loadgen side of
+/// [`parse_request`]).
+pub fn simulate_request_line(req: &SimulateReq) -> String {
+    let mut fields = vec![
+        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
+        ("kind".to_string(), Value::Str("simulate".to_string())),
+        ("guest".to_string(), Value::Str(req.guest.clone())),
+        ("host".to_string(), Value::Str(req.host.clone())),
+        ("steps".to_string(), Value::UInt(req.steps as u64)),
+        ("seed".to_string(), Value::UInt(req.seed)),
+    ];
+    if let Some(d) = req.deadline_ms {
+        fields.push(("deadline_ms".to_string(), Value::UInt(d)));
+    }
+    if let Some(id) = req.id {
+        fields.push(("id".to_string(), Value::UInt(id)));
+    }
+    Value::Obj(fields).to_json()
+}
+
+/// Build an `analyze` request line.
+pub fn analyze_request_line(trace: &[String], id: Option<u64>) -> String {
+    let fields = vec![
+        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
+        ("kind".to_string(), Value::Str("analyze".to_string())),
+        ("trace".to_string(), Value::Arr(trace.iter().map(|l| Value::Str(l.clone())).collect())),
+    ];
+    let mut fields = fields;
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::UInt(id)));
+    }
+    Value::Obj(fields).to_json()
+}
+
+/// Build a `metrics` request line.
+pub fn metrics_request_line(id: Option<u64>) -> String {
+    let mut fields = vec![
+        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
+        ("kind".to_string(), Value::Str("metrics".to_string())),
+    ];
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::UInt(id)));
+    }
+    Value::Obj(fields).to_json()
+}
+
+/// A parsed response line, classified by its `kind`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The request succeeded; payload fields live in the carried object.
+    Result(Value),
+    /// The request failed with a typed code and message.
+    Error {
+        /// Machine-readable failure code.
+        code: String,
+        /// Human-readable description.
+        message: String,
+        /// Echoed correlation id.
+        id: Option<u64>,
+    },
+    /// The admission queue was full; the request was never queued.
+    Overloaded {
+        /// The server's configured queue bound.
+        queue_cap: u64,
+    },
+}
+
+/// Parse one response line.
+pub fn parse_response(line: &str) -> Result<Response, String> {
+    let v = unet_obs::json::parse(line)?;
+    match v.get("proto").and_then(Value::as_str) {
+        Some(PROTOCOL) => {}
+        _ => return Err(format!("response is not {PROTOCOL:?}: {line}")),
+    }
+    match v.get("kind").and_then(Value::as_str) {
+        Some("result") => Ok(Response::Result(v)),
+        Some("error") => Ok(Response::Error {
+            code: v.get("code").and_then(Value::as_str).unwrap_or("unknown").to_string(),
+            message: v.get("message").and_then(Value::as_str).unwrap_or("").to_string(),
+            id: v.get("id").and_then(Value::as_u64),
+        }),
+        Some("overloaded") => Ok(Response::Overloaded {
+            queue_cap: v.get("queue_cap").and_then(Value::as_u64).unwrap_or(0),
+        }),
+        other => Err(format!("unknown response kind {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulate_round_trips() {
+        let req = SimulateReq {
+            guest: "ring:24".into(),
+            host: "torus:3x3".into(),
+            steps: 3,
+            seed: 7,
+            deadline_ms: Some(5000),
+            id: Some(41),
+        };
+        let line = simulate_request_line(&req);
+        assert_eq!(parse_request(&line).unwrap(), Request::Simulate(req));
+    }
+
+    #[test]
+    fn analyze_and_metrics_round_trip() {
+        let trace = vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()];
+        let line = analyze_request_line(&trace, Some(9));
+        assert_eq!(parse_request(&line).unwrap(), Request::Analyze { trace, id: Some(9) });
+        let line = metrics_request_line(None);
+        assert_eq!(parse_request(&line).unwrap(), Request::Metrics { id: None });
+    }
+
+    #[test]
+    fn version_gate_and_errors_are_descriptive() {
+        assert!(parse_request("{}").unwrap_err().contains("proto"));
+        assert!(parse_request("{\"proto\":\"unet-serve/0\",\"kind\":\"metrics\"}")
+            .unwrap_err()
+            .contains("unsupported protocol"));
+        let nokind = format!("{{\"proto\":{:?}}}", PROTOCOL);
+        assert!(parse_request(&nokind).unwrap_err().contains("kind"));
+        let badkind = format!("{{\"proto\":{:?},\"kind\":\"frobnicate\"}}", PROTOCOL);
+        assert!(parse_request(&badkind).unwrap_err().contains("frobnicate"));
+        let nosteps = format!(
+            "{{\"proto\":{:?},\"kind\":\"simulate\",\"guest\":\"ring:4\",\"host\":\"ring:4\"}}",
+            PROTOCOL
+        );
+        assert!(parse_request(&nosteps).unwrap_err().contains("steps"));
+    }
+
+    #[test]
+    fn response_lines_classify() {
+        let ok = result_line("simulate", Some(3), vec![("slowdown".into(), Value::Float(4.5))]);
+        match parse_response(&ok).unwrap() {
+            Response::Result(v) => {
+                assert_eq!(v.get("req").and_then(Value::as_str), Some("simulate"));
+                assert_eq!(v.get("id").and_then(Value::as_u64), Some(3));
+                assert_eq!(v.get("slowdown").and_then(Value::as_f64), Some(4.5));
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+        let err = error_line("bad-spec", "unknown graph family \"blah\"", None);
+        match parse_response(&err).unwrap() {
+            Response::Error { code, message, id } => {
+                assert_eq!(code, "bad-spec");
+                assert!(message.contains("blah"));
+                assert_eq!(id, None);
+            }
+            other => panic!("expected error, got {other:?}"),
+        }
+        assert_eq!(
+            parse_response(&overloaded_line(8)).unwrap(),
+            Response::Overloaded { queue_cap: 8 }
+        );
+    }
+}

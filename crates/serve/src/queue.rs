@@ -1,0 +1,146 @@
+//! The bounded admission queue behind the server's backpressure.
+//!
+//! A [`BoundedQueue`] holds at most `cap` items;
+//! [`try_push`](BoundedQueue::try_push) never blocks and hands the item back when the
+//! queue is full, which is exactly what explicit backpressure needs — the
+//! acceptor turns that returned connection into a typed `overloaded`
+//! response instead of buffering unboundedly. [`pop`](BoundedQueue::pop)
+//! blocks until an item arrives or the queue is closed *and* empty: closing
+//! drains, it never discards, so graceful shutdown finishes every admitted
+//! item.
+//!
+//! Built on `Mutex` + `Condvar` only (the vendored crossbeam shim provides
+//! scoped threads, not channels).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking multi-producer multi-consumer queue with a hard capacity.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `cap` items (`cap == 0` rejects
+    /// everything — useful for forcing the overloaded path in tests).
+    pub fn new(cap: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Is the queue currently empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push: `Ok(depth_after)` when admitted, `Err(item)` when
+    /// the queue is full or closed.
+    pub fn try_push(&self, item: T) -> Result<usize, T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        if st.closed || st.items.len() >= self.cap {
+            return Err(item);
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        drop(st);
+        self.ready.notify_one();
+        Ok(depth)
+    }
+
+    /// Blocking pop: `Some(item)` in admission order, or `None` once the
+    /// queue is closed **and** fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("queue poisoned");
+        }
+    }
+
+    /// Stop admitting; wake every blocked consumer. Already queued items
+    /// are still handed out (drain semantics).
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn respects_capacity_and_returns_the_item() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(3), "full queue hands the item back");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(4), Ok(2));
+    }
+
+    #[test]
+    fn zero_capacity_rejects_everything() {
+        let q = BoundedQueue::new(0);
+        assert_eq!(q.try_push(7), Err(7));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_drains_then_yields_none() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(3), "closed queue admits nothing");
+        assert_eq!(q.pop(), Some(1), "queued items survive the close");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn blocked_consumers_wake_on_push_and_close() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Some(v) = q.pop() {
+                    got.push(v);
+                }
+                got
+            })
+        };
+        q.try_push(10).unwrap();
+        q.try_push(11).unwrap();
+        q.close();
+        assert_eq!(consumer.join().unwrap(), vec![10, 11]);
+    }
+}

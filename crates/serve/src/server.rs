@@ -1,0 +1,459 @@
+//! The long-running simulation server.
+//!
+//! Architecture, front to back:
+//!
+//! * **Acceptor thread** — polls a non-blocking [`TcpListener`]. Every
+//!   accepted connection goes through [`BoundedQueue::try_push`]; a full
+//!   queue turns into an immediate typed `overloaded` response (explicit
+//!   backpressure — the server never buffers unboundedly). Queue depth at
+//!   each admission flows through the same [`Recorder::sample`] hook the
+//!   routing loop uses for congestion series.
+//! * **Worker pool** — `workers` plain threads popping connections and
+//!   serving requests line-by-line. All workers share one process-wide
+//!   [`SharedPlanCache`], so repeated guest/host workloads skip route-plan
+//!   compilation entirely, and one [`InMemoryRecorder`] (behind a mutex)
+//!   accumulating server-level series: admissions/rejections/completions,
+//!   request-latency log₂-histograms, and every `sim.*` counter the engine
+//!   emitted on behalf of requests.
+//! * **Deadlines** — each `simulate` request runs under a
+//!   [`CancelToken::with_deadline`]; the engine checks it at phase
+//!   boundaries and the worker maps [`SimError::Cancelled`] to a
+//!   `deadline-exceeded` error response.
+//! * **Graceful drain** — [`Server::drain`] stops the acceptor, lets the
+//!   queue empty, answers every request already in flight (workers close
+//!   idle connections via a short read timeout once shutdown is flagged),
+//!   joins all threads, and returns the final metrics exposition plus a
+//!   JSONL trace of the server recorder. No admitted request is dropped.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::protocol::{
+    error_line, overloaded_line, parse_request, result_line, Request, SimulateReq,
+};
+use crate::queue::BoundedQueue;
+use unet_core::cancel::CancelToken;
+use unet_core::spec::parse_graph;
+use unet_core::{CachePolicy, Embedding, GuestComputation, SharedPlanCache, SimError, Simulation};
+use unet_obs::json::Value;
+use unet_obs::trace::{export, RunMeta};
+use unet_obs::{InMemoryRecorder, MetricsRegistry, Recorder, TraceAnalyzer};
+use unet_topology::par::default_threads;
+
+/// Server configuration (all fields have serviceable defaults).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (the default).
+    pub addr: String,
+    /// Worker threads serving requests (default: [`default_threads`]).
+    pub workers: usize,
+    /// Admission queue bound; 0 rejects every connection (default 64).
+    pub queue_cap: usize,
+    /// Deadline applied to `simulate` requests that do not carry their own
+    /// `deadline_ms` (default 10 000 ms).
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: default_threads(),
+            queue_cap: 64,
+            default_deadline_ms: 10_000,
+        }
+    }
+}
+
+/// Counter snapshot of a running (or drained) server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections admitted to the queue.
+    pub admitted: u64,
+    /// Connections rejected with `overloaded`.
+    pub rejected: u64,
+    /// Requests answered (any response kind except `overloaded`).
+    pub completed: u64,
+    /// Shared route-plan cache hits (process totals).
+    pub shared_hits: u64,
+    /// Shared route-plan cache misses.
+    pub shared_misses: u64,
+}
+
+impl ServerStats {
+    /// Shared-cache hit ratio (`None` before the first simulate request).
+    pub fn hit_ratio(&self) -> Option<f64> {
+        let total = self.shared_hits + self.shared_misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.shared_hits as f64 / total as f64)
+        }
+    }
+}
+
+/// What a graceful drain hands back.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Final counter snapshot.
+    pub stats: ServerStats,
+    /// Final Prometheus text exposition of the server registry.
+    pub exposition: String,
+    /// JSONL trace of the server recorder (the `unet trace` format — feeds
+    /// the streaming analyzer).
+    pub trace: String,
+}
+
+struct Shared {
+    cache: SharedPlanCache,
+    recorder: Mutex<InMemoryRecorder>,
+    queue: BoundedQueue<TcpStream>,
+    shutdown: AtomicBool,
+    depth_seq: AtomicU64,
+    default_deadline_ms: u64,
+}
+
+/// A running server; construct with [`Server::start`], stop with
+/// [`Server::drain`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            cache: SharedPlanCache::new(),
+            recorder: Mutex::new(InMemoryRecorder::new()),
+            queue: BoundedQueue::new(cfg.queue_cap),
+            shutdown: AtomicBool::new(false),
+            depth_seq: AtomicU64::new(0),
+            default_deadline_ms: cfg.default_deadline_ms,
+        });
+        {
+            let mut rec = shared.recorder.lock().expect("recorder poisoned");
+            rec.gauge("serve.workers", workers as f64);
+            rec.gauge("serve.queue.cap", cfg.queue_cap as f64);
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some(stream) = shared.queue.pop() {
+                        serve_connection(&shared, stream);
+                    }
+                })
+            })
+            .collect();
+        Ok(Server { addr, shared, acceptor: Some(acceptor), workers: worker_handles })
+    }
+
+    /// The bound address (resolve port 0 through this).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        let rec = self.shared.recorder.lock().expect("recorder poisoned");
+        stats_of(&rec, &self.shared.cache)
+    }
+
+    /// Graceful drain: stop accepting, answer everything admitted or in
+    /// flight, join all threads, and return the final metrics.
+    pub fn drain(mut self) -> DrainReport {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let rec = self.shared.recorder.lock().expect("recorder poisoned");
+        let stats = stats_of(&rec, &self.shared.cache);
+        let meta = RunMeta {
+            command: "serve".to_string(),
+            guest: "-".to_string(),
+            host: "-".to_string(),
+            n: 0,
+            m: 0,
+            guest_steps: 0,
+        };
+        DrainReport {
+            stats,
+            exposition: exposition_of(&rec, &self.shared.cache),
+            trace: export(&rec, &meta, None),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Not drained: still stop the threads so tests that merely start a
+        // server cannot leak a spinning acceptor.
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.close();
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn stats_of(rec: &InMemoryRecorder, cache: &SharedPlanCache) -> ServerStats {
+    ServerStats {
+        admitted: rec.counter_value("serve.conns.admitted"),
+        rejected: rec.counter_value("serve.conns.rejected"),
+        completed: rec.counter_value("serve.requests.completed"),
+        shared_hits: cache.hits(),
+        shared_misses: cache.misses(),
+    }
+}
+
+fn exposition_of(rec: &InMemoryRecorder, cache: &SharedPlanCache) -> String {
+    let mut reg = MetricsRegistry::from_recorder(rec);
+    // The cache atomics are authoritative process totals (per-request
+    // recorder merges could lag mid-flight).
+    reg.set_counter("serve.cache.shared.hits", cache.hits());
+    reg.set_counter("serve.cache.shared.misses", cache.misses());
+    if let Some(ratio) = cache.hit_ratio() {
+        reg.set_gauge("serve.cache.hit_ratio", ratio);
+    }
+    reg.expose()
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                admit(shared, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    shared.queue.close();
+}
+
+fn admit(shared: &Shared, stream: TcpStream) {
+    match shared.queue.try_push(stream) {
+        Ok(depth) => {
+            let seq = shared.depth_seq.fetch_add(1, Ordering::Relaxed);
+            let mut rec = shared.recorder.lock().expect("recorder poisoned");
+            rec.counter("serve.conns.admitted", 1);
+            rec.sample("serve.queue.depth", seq, 0, depth as u64);
+        }
+        Err(mut stream) => {
+            {
+                let mut rec = shared.recorder.lock().expect("recorder poisoned");
+                rec.counter("serve.conns.rejected", 1);
+            }
+            let _ = writeln!(stream, "{}", overloaded_line(shared.queue.cap()));
+            let _ = stream.flush();
+        }
+    }
+}
+
+/// How long a worker waits on an idle connection before re-checking the
+/// shutdown flag. Bounds drain latency for open-but-quiet clients.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+fn serve_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match read_line_patient(&mut reader, &mut line, shared) {
+            LineRead::Line => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let started = Instant::now();
+                    let response = handle_request(shared, trimmed);
+                    if writeln!(writer, "{response}").and_then(|_| writer.flush()).is_err() {
+                        return;
+                    }
+                    let ms = started.elapsed().as_millis() as u64;
+                    let mut rec = shared.recorder.lock().expect("recorder poisoned");
+                    rec.counter("serve.requests.completed", 1);
+                    rec.histogram("serve.request.latency_ms", ms);
+                }
+                line.clear();
+            }
+            LineRead::Closed => return,
+        }
+    }
+}
+
+enum LineRead {
+    Line,
+    Closed,
+}
+
+/// Read one line, treating read timeouts as "check shutdown, keep waiting".
+/// A timeout mid-line keeps the partial data in `buf`, so slow writers are
+/// never corrupted; an EOF (or a drain while idle) closes the connection.
+fn read_line_patient<R: Read>(
+    reader: &mut BufReader<R>,
+    buf: &mut String,
+    shared: &Shared,
+) -> LineRead {
+    loop {
+        match reader.read_line(buf) {
+            Ok(0) => return LineRead::Closed,
+            Ok(_) => {
+                if buf.ends_with('\n') {
+                    return LineRead::Line;
+                }
+                // EOF after a partial line: serve it, next read sees EOF.
+                return if buf.is_empty() { LineRead::Closed } else { LineRead::Line };
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+                    // Idle connection during drain: close it. A partial
+                    // line means a request is mid-send; keep waiting so
+                    // drain never drops an in-flight request.
+                    return LineRead::Closed;
+                }
+            }
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+fn handle_request(shared: &Shared, line: &str) -> String {
+    let req = match parse_request(line) {
+        Ok(req) => req,
+        Err(msg) => return error_line("bad-request", &msg, None),
+    };
+    let id = req.id();
+    match req {
+        Request::Simulate(req) => handle_simulate(shared, &req),
+        Request::Analyze { trace, id } => handle_analyze(&trace, id),
+        Request::Metrics { .. } => {
+            let rec = shared.recorder.lock().expect("recorder poisoned");
+            let exposition = exposition_of(&rec, &shared.cache);
+            drop(rec);
+            result_line("metrics", id, vec![("exposition".to_string(), Value::Str(exposition))])
+        }
+    }
+}
+
+fn handle_simulate(shared: &Shared, req: &SimulateReq) -> String {
+    let guest = match parse_graph(&req.guest) {
+        Ok(g) => g,
+        Err(e) => return error_line("bad-spec", &format!("guest: {e}"), req.id),
+    };
+    let host = match parse_graph(&req.host) {
+        Ok(g) => g,
+        Err(e) => return error_line("bad-spec", &format!("host: {e}"), req.id),
+    };
+    let comp = GuestComputation::random(guest, req.seed);
+    let router = unet_core::routers::presets::bfs();
+    let deadline = req.deadline_ms.unwrap_or(shared.default_deadline_ms);
+    let token = CancelToken::with_deadline(Duration::from_millis(deadline));
+    let started = Instant::now();
+    let mut local = InMemoryRecorder::new();
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(&host)
+        .embedding(Embedding::block(comp.n(), host.n()))
+        .router(&router)
+        .steps(req.steps)
+        .seed(req.seed)
+        .threads(1)
+        .cache_policy(CachePolicy::Enabled)
+        .shared_cache(&shared.cache)
+        .cancel_token(token)
+        .recorder(&mut local)
+        .run();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let shared_hit = local.counter_value("sim.cache.shared.hits") > 0;
+    // Fold the request's engine counters into the server-level registry
+    // (recorder counters accumulate, so sim.* become process totals).
+    {
+        let mut rec = shared.recorder.lock().expect("recorder poisoned");
+        for (name, v) in local.counters() {
+            rec.counter(name, v);
+        }
+    }
+    let run = match run {
+        Ok(run) => run,
+        Err(SimError::Cancelled) => {
+            return error_line(
+                "deadline-exceeded",
+                &format!("deadline of {deadline} ms passed at a phase boundary"),
+                req.id,
+            )
+        }
+        Err(e) => return error_line("sim-error", &e.to_string(), req.id),
+    };
+    if let Err(e) = run.verify(&comp, &host, req.steps) {
+        return error_line("verify-failed", &e.to_string(), req.id);
+    }
+    result_line(
+        "simulate",
+        req.id,
+        vec![
+            ("guest".to_string(), Value::Str(req.guest.clone())),
+            ("host".to_string(), Value::Str(req.host.clone())),
+            ("steps".to_string(), Value::UInt(req.steps as u64)),
+            ("host_steps".to_string(), Value::UInt(run.protocol.host_steps() as u64)),
+            ("comm_steps".to_string(), Value::UInt(run.comm_steps as u64)),
+            ("compute_steps".to_string(), Value::UInt(run.compute_steps as u64)),
+            ("slowdown".to_string(), Value::Float(run.slowdown())),
+            ("inefficiency".to_string(), Value::Float(run.inefficiency())),
+            ("shared_cache_hit".to_string(), Value::Bool(shared_hit)),
+            ("verified".to_string(), Value::Bool(true)),
+            ("wall_ms".to_string(), Value::Float(wall_ms)),
+        ],
+    )
+}
+
+fn handle_analyze(trace: &[String], id: Option<u64>) -> String {
+    let mut analyzer = TraceAnalyzer::new();
+    for (i, line) in trace.iter().enumerate() {
+        if let Err(e) = analyzer.feed_line(line, i + 1) {
+            return error_line("bad-trace", &e, id);
+        }
+    }
+    let analysis = match analyzer.finish() {
+        Ok(a) => a,
+        Err(e) => return error_line("bad-trace", &e, id),
+    };
+    let exposition = MetricsRegistry::from_analysis(&analysis).expose();
+    result_line(
+        "analyze",
+        id,
+        vec![
+            ("lines".to_string(), Value::UInt(trace.len() as u64)),
+            ("exposition".to_string(), Value::Str(exposition)),
+        ],
+    )
+}

@@ -1,0 +1,35 @@
+//! Minimal SIGTERM-to-flag plumbing for graceful drain.
+//!
+//! No `libc` crate: on Unix we call the C library's `signal` symbol
+//! directly (std already links it) and the handler does nothing but store
+//! into a static `AtomicBool` — the only thing that is async-signal-safe
+//! anyway. On other platforms installation is a no-op and the flag simply
+//! never trips (stdin-close remains the drain trigger there).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_term(_sig: i32) {
+    TERM.store(true, Ordering::SeqCst);
+}
+
+/// Install a SIGTERM handler that sets a process-global flag; returns the
+/// flag. Safe to call more than once.
+pub fn install_sigterm_flag() -> &'static AtomicBool {
+    #[cfg(unix)]
+    unsafe {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        const SIGTERM: i32 = 15;
+        signal(SIGTERM, on_term as extern "C" fn(i32) as *const () as usize);
+    }
+    &TERM
+}
+
+/// Has SIGTERM been received since [`install_sigterm_flag`]?
+pub fn sigterm_received() -> bool {
+    TERM.load(Ordering::SeqCst)
+}

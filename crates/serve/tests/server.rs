@@ -1,0 +1,233 @@
+//! End-to-end tests of the serving layer: admission control, deadlines,
+//! graceful drain, shared-cache behaviour, and the metrics round trip.
+
+use unet_obs::json::Value;
+use unet_obs::{MetricsRegistry, TraceAnalyzer};
+use unet_serve::client::request_line;
+use unet_serve::loadgen::{self, LoadgenConfig};
+use unet_serve::protocol::{
+    analyze_request_line, metrics_request_line, parse_response, simulate_request_line, Response,
+    SimulateReq,
+};
+use unet_serve::{ServeConfig, Server};
+
+fn sim_req(seed: u64) -> SimulateReq {
+    SimulateReq {
+        guest: "ring:24".into(),
+        host: "torus:3x3".into(),
+        steps: 3,
+        seed,
+        deadline_ms: None,
+        id: Some(seed),
+    }
+}
+
+fn start(workers: usize, queue_cap: usize) -> Server {
+    Server::start(ServeConfig { workers, queue_cap, ..ServeConfig::default() })
+        .expect("bind on 127.0.0.1:0")
+}
+
+#[test]
+fn simulate_request_round_trips_and_verifies() {
+    let server = start(2, 8);
+    let addr = server.addr().to_string();
+    let resp = request_line(&addr, &simulate_request_line(&sim_req(7))).expect("round trip");
+    match parse_response(&resp).expect("valid response") {
+        Response::Result(v) => {
+            assert_eq!(v.get("req").and_then(Value::as_str), Some("simulate"));
+            assert_eq!(v.get("id").and_then(Value::as_u64), Some(7));
+            assert_eq!(v.get("verified"), Some(&Value::Bool(true)));
+            assert!(v.get("slowdown").and_then(Value::as_f64).unwrap() >= 1.0);
+            assert!(v.get("host_steps").and_then(Value::as_u64).unwrap() > 0);
+        }
+        other => panic!("expected result, got {other:?}"),
+    }
+    let report = server.drain();
+    assert_eq!(report.stats.admitted, 1);
+    assert_eq!(report.stats.completed, 1);
+    assert_eq!(report.stats.rejected, 0);
+}
+
+#[test]
+fn bad_specs_and_bad_requests_get_typed_errors() {
+    let server = start(1, 8);
+    let addr = server.addr().to_string();
+    let mut bad_spec = sim_req(1);
+    bad_spec.guest = "blah:3".into();
+    let resp = request_line(&addr, &simulate_request_line(&bad_spec)).expect("io");
+    match parse_response(&resp).expect("valid") {
+        Response::Error { code, message, id } => {
+            assert_eq!(code, "bad-spec");
+            assert!(message.contains("unknown graph family"));
+            assert_eq!(id, Some(1));
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    let resp = request_line(&addr, "this is not json").expect("io");
+    match parse_response(&resp).expect("valid") {
+        Response::Error { code, .. } => assert_eq!(code, "bad-request"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    server.drain();
+}
+
+#[test]
+fn zero_queue_cap_rejects_with_typed_overloaded() {
+    let server = start(1, 0);
+    let addr = server.addr().to_string();
+    let resp = request_line(&addr, &metrics_request_line(None)).expect("rejection is a response");
+    assert_eq!(parse_response(&resp).expect("valid"), Response::Overloaded { queue_cap: 0 });
+    let report = server.drain();
+    assert_eq!(report.stats.rejected, 1);
+    assert_eq!(report.stats.admitted, 0);
+}
+
+#[test]
+fn zero_deadline_is_cancelled_at_a_phase_boundary() {
+    let server = start(1, 8);
+    let addr = server.addr().to_string();
+    let mut req = sim_req(3);
+    req.deadline_ms = Some(0);
+    let resp = request_line(&addr, &simulate_request_line(&req)).expect("io");
+    match parse_response(&resp).expect("valid") {
+        Response::Error { code, .. } => assert_eq!(code, "deadline-exceeded"),
+        other => panic!("expected deadline error, got {other:?}"),
+    }
+    server.drain();
+}
+
+#[test]
+fn repeated_workload_hits_shared_cache_and_drains_clean() {
+    let server = start(2, 32);
+    let addr = server.addr().to_string();
+    let report = loadgen::run(&LoadgenConfig {
+        addr,
+        clients: 2,
+        requests_per_client: 8,
+        guest: "ring:24".into(),
+        host: "torus:3x3".into(),
+        steps: 3,
+        seed: 7,
+        deadline_ms: None,
+        warmup: true,
+    })
+    .expect("loadgen run");
+    assert_eq!(report.sent, 17, "warm-up + 2 clients x 8");
+    assert_eq!(report.completed, 17, "nothing rejected or errored");
+    assert_eq!(report.rejected, 0);
+    assert_eq!(report.errors, 0);
+    assert!(report.percentile_ms(99.0).is_some());
+
+    let drained = server.drain();
+    // Zero dropped in-flight requests across the drain.
+    assert_eq!(drained.stats.completed, 17);
+    assert_eq!(drained.stats.admitted, 3, "warm-up + one connection per client");
+    // One workload, one compile: everything after the warm-up hits.
+    assert_eq!(drained.stats.shared_misses, 1);
+    assert_eq!(drained.stats.shared_hits, 16);
+    assert!(drained.stats.hit_ratio().unwrap() > 0.9, "route-plan cache hit ratio > 0.9");
+}
+
+#[test]
+fn responses_survive_a_drain_started_after_send() {
+    // A request answered while the server drains must still reach the
+    // client: send, drain, *then* read.
+    use std::io::{BufRead, BufReader, Write};
+    let server = start(1, 8);
+    let addr = server.addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    writeln!(stream, "{}", simulate_request_line(&sim_req(5))).expect("send");
+    stream.flush().expect("flush");
+    // Wait until the request is admitted so drain cannot race the accept.
+    while server.stats().admitted == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let report = server.drain();
+    assert_eq!(report.stats.completed, 1, "in-flight request answered during drain");
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).expect("response readable after drain");
+    assert!(matches!(parse_response(response.trim()), Ok(Response::Result(_))));
+}
+
+#[test]
+fn metrics_and_analyze_requests_expose_prometheus_text() {
+    let server = start(2, 8);
+    let addr = server.addr().to_string();
+    request_line(&addr, &simulate_request_line(&sim_req(2))).expect("simulate");
+    let resp = request_line(&addr, &metrics_request_line(Some(9))).expect("metrics");
+    let exposition = match parse_response(&resp).expect("valid") {
+        Response::Result(v) => v.get("exposition").and_then(Value::as_str).unwrap().to_string(),
+        other => panic!("expected result, got {other:?}"),
+    };
+    assert!(exposition.contains("# TYPE unet_serve_conns_admitted counter"));
+    assert!(exposition.contains("unet_sim_guest_steps 3"));
+    assert!(exposition.contains("unet_serve_cache_shared_misses 1"));
+
+    // analyze: round-trip a trace through the wire protocol.
+    let trace: Vec<String> = {
+        use unet_obs::trace::{export, RunMeta};
+        use unet_obs::{InMemoryRecorder, Recorder};
+        let mut rec = InMemoryRecorder::new();
+        rec.counter("sim.cache.hits", 4);
+        let meta = RunMeta {
+            command: "t".into(),
+            guest: "g".into(),
+            host: "h".into(),
+            n: 1,
+            m: 1,
+            guest_steps: 1,
+        };
+        export(&rec, &meta, None).lines().map(str::to_string).collect()
+    };
+    let resp = request_line(&addr, &analyze_request_line(&trace, None)).expect("analyze");
+    match parse_response(&resp).expect("valid") {
+        Response::Result(v) => {
+            assert_eq!(v.get("lines").and_then(Value::as_u64), Some(trace.len() as u64));
+            let expo = v.get("exposition").and_then(Value::as_str).unwrap();
+            assert!(expo.contains("unet_sim_cache_hits 4"));
+        }
+        other => panic!("expected result, got {other:?}"),
+    }
+    // Malformed trace lines surface as typed bad-trace errors.
+    let resp =
+        request_line(&addr, &analyze_request_line(&["not json".to_string()], Some(3))).expect("io");
+    match parse_response(&resp).expect("valid") {
+        Response::Error { code, message, id } => {
+            assert_eq!(code, "bad-trace");
+            assert!(message.contains("line 1"));
+            assert_eq!(id, Some(3));
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    server.drain();
+}
+
+#[test]
+fn drained_exposition_parses_back_through_the_streaming_analyzer() {
+    // Satellite: a MetricsRegistry built from a live serve run must parse
+    // back with the analyzer's line discipline — the drain trace is valid
+    // JSONL and from_analysis reproduces the server counters.
+    let server = start(1, 8);
+    let addr = server.addr().to_string();
+    for seed in 0..3 {
+        request_line(&addr, &simulate_request_line(&sim_req(seed))).expect("simulate");
+    }
+    let report = server.drain();
+    assert_eq!(report.stats.completed, 3);
+
+    let mut analyzer = TraceAnalyzer::new();
+    for (i, line) in report.trace.lines().enumerate() {
+        analyzer.feed_line(line, i + 1).expect("drain trace is valid JSONL");
+    }
+    let analysis = analyzer.finish().expect("complete trace");
+    let reg = MetricsRegistry::from_analysis(&analysis);
+    assert_eq!(reg.counter("serve.requests.completed"), Some(3));
+    assert_eq!(reg.counter("serve.conns.admitted"), Some(3));
+    assert_eq!(reg.counter("sim.guest_steps"), Some(9), "3 runs x 3 steps merged");
+    // The re-derived exposition carries the same server series the live
+    // one did (the live one additionally overlays cache atomics).
+    let expo = reg.expose();
+    assert!(expo.contains("unet_serve_requests_completed 3"));
+    assert!(report.exposition.contains("unet_serve_requests_completed 3"));
+    assert!(report.exposition.contains("unet_serve_cache_hit_ratio"));
+}

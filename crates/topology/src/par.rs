@@ -90,12 +90,23 @@ where
 ///    `UNET_THREADS=2` to stay within a cgroup quota).
 ///
 /// An unset, empty, or unparsable `UNET_THREADS` falls back to the capped
-/// default; `UNET_THREADS=0` is treated as unset.
+/// default; `UNET_THREADS=0` is treated as unset. An empty or unparsable
+/// value additionally gets a one-line stderr warning naming the bad value
+/// (once per process), so a typo'd override fails loudly instead of
+/// silently running at the default width.
 pub fn default_threads() -> usize {
     if let Ok(raw) = std::env::var("UNET_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n > 0 {
-                return n;
+        match raw.trim().parse::<usize>() {
+            Ok(0) => {} // documented: zero means "unset", no warning
+            Ok(n) => return n,
+            Err(_) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring unparsable UNET_THREADS={raw:?}; \
+                         falling back to the default thread count"
+                    );
+                });
             }
         }
     }

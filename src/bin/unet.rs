@@ -15,6 +15,8 @@
 //! unet metrics  <trace-file | g h T>          Prometheus-style metrics exposition
 //! unet faults   <guest> <host> <T> [opts]     degraded run under crash-stop faults
 //! unet bench    run|diff|list [opts]          experiment registry + regression gate
+//! unet serve    [opts]                        long-running simulation server (unet-serve/1)
+//! unet request  <addr> <kind> [args]          one-shot client for a running server
 //! ```
 //!
 //! Graph specs: `torus:8x8`, `butterfly:4`, `random:256x4:7`, … (see
@@ -64,7 +66,12 @@ const USAGE: &str = "usage:
   unet faults   <guest-spec> <host-spec> <steps> [--rate R] [--at T0] [--seed S] [--out FILE]
   unet bench    run  [--quick] [--filter IDS] [--out FILE] [--resume] [--threads N]
   unet bench    diff <baseline-BENCH.json> [--full] [--filter IDS] [--threads N]
-  unet bench    list";
+  unet bench    list
+  unet serve    [--addr A] [--workers N] [--queue N] [--deadline-ms MS]
+  unet request  <addr> simulate <guest-spec> <host-spec> <steps>
+                [--seed S] [--deadline-ms MS] [--raw]
+  unet request  <addr> analyze <trace-file> [--raw]
+  unet request  <addr> metrics [--raw]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -81,6 +88,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "metrics" => metrics_cmd(&args[1..]),
         "faults" => faults_cmd(&args[1..]),
         "bench" => bench_cmd(&args[1..]),
+        "serve" => serve_cmd(&args[1..]),
+        "request" => request_cmd(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -400,25 +409,39 @@ fn report_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `{path}: line N: {err}` — the one line-number formatting every
+/// malformed-JSONL exit path shares (`analyze`, `metrics`, and the
+/// `request analyze` file reader).
+fn trace_line_err(path: &str, lno: usize, err: impl std::fmt::Display) -> String {
+    format!("{path}: line {lno}: {err}")
+}
+
+/// Stream a JSONL trace file through the bounded-memory analyzer. The
+/// trace is read line by line — a multi-million-event trace is never
+/// materialized in memory — and malformed or truncated input is a hard
+/// error naming the offending line via [`trace_line_err`].
+fn analyze_file(path: &str) -> Result<universal_networks::obs::analysis::Analysis, String> {
+    use std::io::{BufRead, BufReader};
+    use universal_networks::obs::analysis::TraceAnalyzer;
+    let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let mut analyzer = TraceAnalyzer::new();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| trace_line_err(path, i + 1, e))?;
+        analyzer.feed_line(&line, i + 1).map_err(|e| format!("{path}: {e}"))?;
+    }
+    analyzer.finish().map_err(|e| format!("{path}: {e}"))
+}
+
 /// Stream a JSONL trace through the bounded-memory analyzer and print the
 /// congestion / critical-path report (human by default, `--markdown` for
-/// GFM). The trace is read line by line — a multi-million-event trace is
-/// never materialized in memory. Malformed or truncated input is a hard
-/// error naming the offending line.
+/// GFM).
 fn analyze_cmd(args: &[String]) -> Result<(), String> {
-    use std::io::{BufRead, BufReader};
-    use universal_networks::obs::analysis::{render, TraceAnalyzer};
+    use universal_networks::obs::analysis::render;
 
     let pos = positionals(args, &["--top"]);
     let path = pos.first().ok_or("missing trace file")?;
     let top: usize = flag(args, "--top").map_or(Ok(5), |s| s.parse().map_err(|_| "bad --top"))?;
-    let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let mut analyzer = TraceAnalyzer::new();
-    for (i, line) in BufReader::new(file).lines().enumerate() {
-        let line = line.map_err(|e| format!("{path}: line {}: {e}", i + 1))?;
-        analyzer.feed_line(&line, i + 1).map_err(|e| format!("{path}: {e}"))?;
-    }
-    let analysis = analyzer.finish().map_err(|e| format!("{path}: {e}"))?;
+    let analysis = analyze_file(path)?;
     print!("{}", render(&analysis, top, has_flag(args, "--markdown")));
     Ok(())
 }
@@ -429,21 +452,11 @@ fn analyze_cmd(args: &[String]) -> Result<(), String> {
 /// instrumented simulation through `Simulation::builder()` and exposes the
 /// live recorder.
 fn metrics_cmd(args: &[String]) -> Result<(), String> {
-    use std::io::{BufRead, BufReader};
-    use universal_networks::obs::analysis::TraceAnalyzer;
     use universal_networks::obs::{InMemoryRecorder, MetricsRegistry};
 
     let pos = positionals(args, &["--seed"]);
     let reg = match pos.as_slice() {
-        [path] => {
-            let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
-            let mut analyzer = TraceAnalyzer::new();
-            for (i, line) in BufReader::new(file).lines().enumerate() {
-                let line = line.map_err(|e| format!("{path}: line {}: {e}", i + 1))?;
-                analyzer.feed_line(&line, i + 1).map_err(|e| format!("{path}: {e}"))?;
-            }
-            MetricsRegistry::from_analysis(&analyzer.finish().map_err(|e| format!("{path}: {e}"))?)
-        }
+        [path] => MetricsRegistry::from_analysis(&analyze_file(path)?),
         [guest_spec, host_spec, steps] => {
             let steps: u32 = steps.parse().map_err(|_| "bad steps")?;
             let seed: u64 =
@@ -552,6 +565,138 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
             }
         }
         other => Err(format!("unknown bench subcommand {other:?} (run | diff | list)")),
+    }
+}
+
+/// Run the long-running simulation server (`unet-serve/1`). Prints the
+/// bound address on stdout and then blocks; SIGTERM or stdin reaching EOF
+/// triggers a graceful drain — stop accepting, answer everything in
+/// flight, then print the final Prometheus exposition on stdout and a
+/// one-line stats summary on stderr.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use universal_networks::serve::{signal, ServeConfig, Server};
+
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        addr: flag(args, "--addr").unwrap_or(defaults.addr),
+        workers: flag(args, "--workers")
+            .map_or(Ok(defaults.workers), |s| s.parse().map_err(|_| "bad --workers"))?,
+        queue_cap: flag(args, "--queue")
+            .map_or(Ok(defaults.queue_cap), |s| s.parse().map_err(|_| "bad --queue"))?,
+        default_deadline_ms: flag(args, "--deadline-ms")
+            .map_or(Ok(defaults.default_deadline_ms), |s| {
+                s.parse().map_err(|_| "bad --deadline-ms")
+            })?,
+    };
+    let server = Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
+    println!("unet-serve/1 listening on {}", server.addr());
+    {
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+    }
+
+    let term = signal::install_sigterm_flag();
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+    {
+        let stdin_closed = Arc::clone(&stdin_closed);
+        std::thread::spawn(move || {
+            // Block until stdin reaches EOF (pipe closed, ctrl-d); any
+            // content arriving before that is ignored.
+            use std::io::Read;
+            let mut sink = [0u8; 4096];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stdin_closed.store(true, Ordering::SeqCst);
+        });
+    }
+    while !term.load(Ordering::SeqCst) && !stdin_closed.load(Ordering::SeqCst) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    let report = server.drain();
+    eprintln!(
+        "drained: {} conns admitted, {} rejected, {} requests completed, cache hit ratio {}",
+        report.stats.admitted,
+        report.stats.rejected,
+        report.stats.completed,
+        report.stats.hit_ratio().map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+    );
+    print!("{}", report.exposition);
+    Ok(())
+}
+
+/// One-shot client for a running `unet serve`: build a `unet-serve/1`
+/// request line, send it, render the response. `--raw` prints the raw JSON
+/// response line verbatim and always exits 0 — even for `overloaded` — so
+/// scripts can branch on `\"kind\"` themselves; without it, error and
+/// overloaded responses map to a non-zero exit.
+fn request_cmd(args: &[String]) -> Result<(), String> {
+    use universal_networks::obs::json::Value;
+    use universal_networks::serve::client::request_line;
+    use universal_networks::serve::protocol::{
+        analyze_request_line, metrics_request_line, parse_response, simulate_request_line,
+        Response, SimulateReq,
+    };
+
+    let pos = positionals(args, &["--seed", "--deadline-ms"]);
+    let (addr, kind) = match pos.as_slice() {
+        [addr, kind, ..] => (addr.as_str(), kind.as_str()),
+        _ => return Err("usage: unet request <addr> simulate|analyze|metrics [args]".into()),
+    };
+    let line = match (kind, &pos[2..]) {
+        ("simulate", [guest, host, steps]) => {
+            let steps: u32 = steps.parse().map_err(|_| "bad steps")?;
+            let seed: u64 =
+                flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
+            let deadline_ms = flag(args, "--deadline-ms")
+                .map(|s| s.parse::<u64>().map_err(|_| "bad --deadline-ms"))
+                .transpose()?;
+            simulate_request_line(&SimulateReq {
+                guest: (*guest).clone(),
+                host: (*host).clone(),
+                steps,
+                seed,
+                deadline_ms,
+                id: None,
+            })
+        }
+        ("analyze", [path]) => {
+            // Reuse the canonical `{path}: line N` formatting on read
+            // errors so a broken trace file fails the same way here as in
+            // `unet analyze`.
+            use std::io::{BufRead, BufReader};
+            let file = std::fs::File::open(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let mut lines = Vec::new();
+            for (i, line) in BufReader::new(file).lines().enumerate() {
+                lines.push(line.map_err(|e| trace_line_err(path, i + 1, e))?);
+            }
+            analyze_request_line(&lines, None)
+        }
+        ("metrics", []) => metrics_request_line(None),
+        _ => return Err(format!("bad arguments for request kind {kind:?} (see usage)")),
+    };
+    let resp = request_line(addr, &line).map_err(|e| format!("{addr}: {e}"))?;
+    if has_flag(args, "--raw") {
+        println!("{resp}");
+        return Ok(());
+    }
+    match parse_response(&resp).map_err(|e| format!("{addr}: bad response: {e}"))? {
+        Response::Result(v) => {
+            // Exposition-bearing results (metrics, analyze) print the
+            // Prometheus text; simulate results print the JSON payload.
+            if let Some(expo) = v.get("exposition").and_then(Value::as_str) {
+                print!("{expo}");
+            } else {
+                println!("{}", v.to_json());
+            }
+            Ok(())
+        }
+        Response::Error { code, message, .. } => Err(format!("{code}: {message}")),
+        Response::Overloaded { queue_cap } => {
+            Err(format!("server overloaded (queue cap {queue_cap})"))
+        }
     }
 }
 

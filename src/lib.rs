@@ -27,11 +27,15 @@
 //! * [`mod@bench`] — the declarative experiment registry behind `unet bench`:
 //!   parameter grids, sharded sweeps into versioned `BENCH.json`
 //!   artifacts, and the shape-predicate regression gate (`unet bench
-//!   diff`).
+//!   diff`);
+//! * [`serve`] — simulation-as-a-service: the `unet-serve/1` TCP server
+//!   behind `unet serve` (admission control, shared route-plan cache,
+//!   request deadlines, graceful drain) plus its wire protocol, one-shot
+//!   client, and deterministic closed-loop load generator.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour.
 
-pub mod spec;
+pub use unet_core::spec;
 
 /// Compiles and runs every `rust` block in `README.md` as a doctest, so the
 /// README's quickstart and engine-API examples can never drift from the
@@ -47,6 +51,7 @@ pub use unet_lowerbound as lowerbound;
 pub use unet_obs as obs;
 pub use unet_pebble as pebble;
 pub use unet_routing as routing;
+pub use unet_serve as serve;
 pub use unet_topology as topology;
 
 /// Everything most programs need.

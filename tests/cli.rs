@@ -228,6 +228,100 @@ fn bench_diff_rejects_missing_baseline_file() {
 }
 
 #[test]
+fn unparsable_unet_threads_warns_on_stderr_naming_the_value() {
+    let run = |threads: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_unet"))
+            .args(["bench", "list"])
+            .env("UNET_THREADS", threads)
+            .output()
+            .expect("binary runs");
+        (out.status.success(), String::from_utf8_lossy(&out.stderr).into_owned())
+    };
+    // A typo'd override warns once, naming the bad value, and still runs.
+    let (ok, stderr) = run("lots");
+    assert!(ok, "fallback keeps the command working: {stderr}");
+    assert!(stderr.contains("UNET_THREADS=\"lots\""), "must name the bad value: {stderr}");
+    assert_eq!(stderr.matches("UNET_THREADS").count(), 1, "warn once per process: {stderr}");
+    // A valid override and the documented zero-means-unset stay silent.
+    for quiet in ["3", "0"] {
+        let (ok, stderr) = run(quiet);
+        assert!(ok);
+        assert!(!stderr.contains("UNET_THREADS"), "{quiet:?} must not warn: {stderr}");
+    }
+}
+
+#[test]
+fn serve_request_round_trip_and_graceful_drain() {
+    use std::io::{BufRead, BufReader, Read};
+    use std::process::Stdio;
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_unet"))
+        .args(["serve", "--workers", "2", "--queue", "8"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("server starts");
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner");
+    assert!(banner.starts_with("unet-serve/1 listening on "), "{banner}");
+    let addr = banner.trim().rsplit(' ').next().unwrap().to_string();
+
+    let (ok, stdout1, stderr1) =
+        unet(&["request", &addr, "simulate", "ring:24", "torus:3x3", "3", "--seed", "5"]);
+    assert!(ok, "stderr: {stderr1}");
+    assert!(stdout1.contains("\"verified\":true"), "{stdout1}");
+    let (ok2, stdout2, _) = unet(&["request", &addr, "metrics"]);
+    assert!(ok2);
+    assert!(stdout2.contains("# TYPE unet_serve_conns_admitted counter"), "{stdout2}");
+
+    // Closing stdin triggers the graceful drain: exit 0, final exposition
+    // on stdout, stats line on stderr.
+    drop(server.stdin.take());
+    let out = server.wait_with_output().expect("server exits");
+    assert!(out.status.success(), "drain must exit 0");
+    let mut rest = String::new();
+    stdout.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("unet_serve_requests_completed 2"), "{rest}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("drained: 2 conns admitted"), "{stderr}");
+}
+
+#[test]
+fn request_raw_surfaces_typed_overloaded_with_exit_zero() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    // --queue 0 rejects every connection with the typed response.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_unet"))
+        .args(["serve", "--workers", "1", "--queue", "0"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("server starts");
+    let mut stdout = BufReader::new(server.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).expect("banner");
+    let addr = banner.trim().rsplit(' ').next().unwrap().to_string();
+
+    // --raw passes the wire response through verbatim and exits 0 so
+    // scripts can grep the kind themselves.
+    let (ok, stdout_raw, _) = unet(&["request", &addr, "metrics", "--raw"]);
+    assert!(ok, "--raw never maps responses to exit codes");
+    assert!(stdout_raw.contains("\"kind\":\"overloaded\""), "{stdout_raw}");
+    // Without --raw, overload is a hard error naming the queue bound.
+    let (ok2, _, stderr2) = unet(&["request", &addr, "metrics"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("overloaded"), "{stderr2}");
+    assert!(stderr2.contains("queue cap 0"), "{stderr2}");
+
+    drop(server.stdin.take());
+    assert!(server.wait().expect("server exits").success());
+}
+
+#[test]
 fn bad_usage_fails_with_usage_text() {
     let (ok, _, stderr) = unet(&["frobnicate"]);
     assert!(!ok);
