@@ -15,8 +15,7 @@
 //! in parallel shards ([`unet_topology::par`]) and resumed rows merge
 //! deterministically. (This is why the registry drives the
 //! `Simulation::builder()` engine with an explicit per-row seed rather
-//! than the deprecated `EmbeddingSimulator` wrappers, which thread one RNG
-//! through a whole sweep.)
+//! than threading one RNG through a whole sweep.)
 
 use std::time::Instant;
 use unet_core::prelude::{bounds, presets, Embedding, Simulation};
@@ -121,7 +120,7 @@ pub struct Experiment {
 
 /// The full registry, in canonical order.
 pub fn registry() -> Vec<Experiment> {
-    vec![e1(), e2(), e16(), e17(), e18(), e19()]
+    vec![e1(), e2(), e16(), e17(), e18(), e19(), e20()]
 }
 
 /// The registry's base seed, recorded in the artifact header; every row
@@ -768,6 +767,7 @@ fn e19() -> Experiment {
                 addr: server.addr().to_string(),
                 clients: p.u64("clients") as usize,
                 requests_per_client: p.u64("requests_per_client") as usize,
+                batch: 1,
                 guest: format!("ring:{}", p.u64("guest_n")),
                 host: format!("butterfly:{}", p.u64("dim")),
                 steps: p.u64("guest_steps") as u32,
@@ -823,6 +823,147 @@ fn e19() -> Experiment {
     }
 }
 
+// --- E20: batched execution, offered load x batch size ------------------
+
+struct E20Sizes {
+    guest_n: usize,
+    dim: usize,
+    steps: u32,
+    items_per_client: u64,
+}
+
+fn e20_sizes(quick: bool) -> E20Sizes {
+    if quick {
+        E20Sizes { guest_n: 96, dim: 3, steps: 4, items_per_client: 8 }
+    } else {
+        E20Sizes { guest_n: 192, dim: 4, steps: 4, items_per_client: 16 }
+    }
+}
+
+/// `(label, clients, batch)` at a fixed four-worker pool. Each client
+/// issues the same number of simulate *items*; the batch size only changes
+/// how many ride one round trip, so `c1-b4` vs `c1-b1` isolates the win
+/// from batched dispatch at equal workers and equal offered load.
+const E20_CONFIGS: [(&str, u64, u64); 4] =
+    [("c1-b1", 1, 1), ("c1-b4", 1, 4), ("c4-b1", 4, 1), ("c4-b4", 4, 4)];
+
+/// Worker-pool size shared by every E20 row.
+const E20_WORKERS: usize = 4;
+
+fn e20() -> Experiment {
+    Experiment {
+        id: "E20",
+        title: "Serving layer: batched execution across offered load x batch size",
+        claim: "Engineering claim on unet-serve/2: grouping simulate items into batch \
+                requests lets the worker pool execute them concurrently, so at equal \
+                workers and equal offered load, batch >= 4 beats batch = 1 on wall time \
+                per item; cold batches coalesce their route-plan build through the \
+                single-flight cache (batchmates counted as followers), p99 round-trip \
+                latency stays under the request deadline, and no item is lost",
+        grid_keys: &["config"],
+        meta: |quick| {
+            let s = e20_sizes(quick);
+            vec![
+                ("guest".into(), Value::Str(format!("ring:{}", s.guest_n))),
+                ("host".into(), Value::Str(format!("butterfly:{}", s.dim))),
+                ("guest_steps".into(), Value::UInt(s.steps as u64)),
+                ("items_per_client".into(), Value::UInt(s.items_per_client)),
+                ("workers".into(), Value::UInt(E20_WORKERS as u64)),
+                ("protocol".into(), Value::Str(unet_serve::PROTOCOL.into())),
+            ]
+        },
+        grid: |quick| {
+            let s = e20_sizes(quick);
+            E20_CONFIGS
+                .iter()
+                .map(|&(label, clients, batch)| {
+                    GridPoint::new(vec![
+                        ("config", Value::Str(label.into())),
+                        ("clients", Value::UInt(clients)),
+                        ("batch", Value::UInt(batch)),
+                        ("guest_n", Value::UInt(s.guest_n as u64)),
+                        ("dim", Value::UInt(s.dim as u64)),
+                        ("guest_steps", Value::UInt(s.steps as u64)),
+                        ("items_per_client", Value::UInt(s.items_per_client)),
+                        // One seed everywhere: one fingerprint, one plan
+                        // compile, coalesced by the single-flight layer.
+                        ("seed", Value::UInt(0xE20)),
+                    ])
+                })
+                .collect()
+        },
+        run: |p| {
+            let batch = p.u64("batch") as usize;
+            let clients = p.u64("clients") as usize;
+            let items = p.u64("items_per_client") * p.u64("clients");
+            let deadline_ms = ServeConfig::default().default_deadline_ms;
+            let server = Server::start(ServeConfig {
+                workers: E20_WORKERS,
+                queue_cap: 64,
+                ..ServeConfig::default()
+            })
+            .expect("bind 127.0.0.1:0");
+            // No warm-up: the cold first batch is part of the claim — its
+            // plan build must coalesce, not multiply.
+            let report = loadgen::run(&LoadgenConfig {
+                addr: server.addr().to_string(),
+                clients,
+                requests_per_client: (p.u64("items_per_client") as usize) / batch,
+                batch,
+                guest: format!("ring:{}", p.u64("guest_n")),
+                host: format!("butterfly:{}", p.u64("dim")),
+                steps: p.u64("guest_steps") as u32,
+                seed: p.u64("seed"),
+                deadline_ms: None,
+                warmup: false,
+            })
+            .expect("loadgen against a live server");
+            let drained = server.drain();
+            assert_eq!(report.sent as u64, items, "grid arithmetic covers every item");
+            assert_eq!(report.errors, 0, "no error responses at this load");
+            // Every cold batchmate must have ridden the leader's build.
+            let followers_floor = if batch > 1 { batch as u64 - 1 } else { 0 };
+            obj(vec![
+                ("config", Value::Str(p.str("config").into())),
+                ("workers", Value::UInt(E20_WORKERS as u64)),
+                ("clients", Value::UInt(clients as u64)),
+                ("batch", Value::UInt(batch as u64)),
+                ("items", Value::UInt(items)),
+                ("completed", Value::UInt(report.completed as u64)),
+                ("ms_per_item", Value::Float(report.wall_ms / items.max(1) as f64)),
+                ("p99_ms", Value::Float(report.percentile_ms(99.0).unwrap_or(0.0))),
+                ("p99_cap_ms", Value::Float(deadline_ms as f64)),
+                ("throughput_rps", Value::Float(report.throughput_rps())),
+                ("singleflight_followers", Value::UInt(drained.stats.singleflight_followers)),
+                ("followers_floor", Value::UInt(followers_floor)),
+                ("wall_ms", Value::Float(report.wall_ms)),
+            ])
+        },
+        shapes: || {
+            vec![
+                // The tentpole claim: at equal workers and equal offered
+                // load, batched dispatch beats one-at-a-time round trips
+                // (loose factor, skipped below the timing-noise floor).
+                Shape::SpeedupOrdering {
+                    key: "config",
+                    fast: "c1-b4",
+                    slow: "c1-b1",
+                    wall: "ms_per_item",
+                    factor: 1.75,
+                    min_wall_ms: 2.0,
+                },
+                // Round-trip p99 stays under the request deadline.
+                Shape::AtLeastColumn { y: "p99_cap_ms", floor: "p99_ms" },
+                // Cold batchmates coalesce: each batch's plan build is
+                // shared, counted via the single-flight follower counter.
+                Shape::AtLeastColumn { y: "singleflight_followers", floor: "followers_floor" },
+                // No item lost: every spec sent came back answered.
+                Shape::AtLeastColumn { y: "completed", floor: "items" },
+            ]
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -831,7 +972,7 @@ mod tests {
     fn registry_is_canonical() {
         let reg = registry();
         let ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
-        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18", "E19"]);
+        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18", "E19", "E20"]);
         for exp in &reg {
             assert!(!(exp.shapes)().is_empty(), "{} has no shape predicates", exp.id);
             for quick in [true, false] {
@@ -920,6 +1061,34 @@ mod tests {
         for shape in (exp.shapes)() {
             shape.check(&rows).unwrap_or_else(|v| panic!("E19: {v}"));
         }
+    }
+
+    #[test]
+    fn e20_batches_coalesce_and_lose_no_item() {
+        let exp = e20();
+        let grid = (exp.grid)(true);
+        let rows: Vec<Value> = grid.iter().map(|p| (exp.run)(p)).collect();
+        for (p, row) in grid.iter().zip(&rows) {
+            assert_eq!(
+                row_key(row, exp.grid_keys).as_deref(),
+                Some(p.key(exp.grid_keys).as_str()),
+                "E20: row does not embed its grid point"
+            );
+        }
+        // The wall-time ordering shape may be skipped under the noise
+        // floor, but the follower and completeness claims are exact.
+        for shape in (exp.shapes)() {
+            shape.check(&rows).unwrap_or_else(|v| panic!("E20: {v}"));
+        }
+        let b4 = rows
+            .iter()
+            .find(|r| r.get("config").and_then(Value::as_str) == Some("c1-b4"))
+            .expect("c1-b4 row");
+        assert!(
+            b4.get("singleflight_followers").and_then(Value::as_u64).unwrap() >= 3,
+            "a cold batch of 4 must ride one plan build: {}",
+            b4.to_json()
+        );
     }
 
     #[test]

@@ -18,18 +18,44 @@
 //! would have compiled identical plans anyway, keeping the bit-for-bit
 //! guarantee of `Simulation::builder` intact.
 //!
+//! # Single-flight compilation
+//!
+//! Concurrent runs of the *same* workload used to race: each saw a cold
+//! cache, each compiled the identical plan, and the first writer won. The
+//! cache now hands out **build leases**: the first run to miss becomes the
+//! leader (`Acquire::Lead`) and must publish the compiled plan (or drop
+//! the lease on failure); every other run blocks on the slot and wakes to a
+//! plain hit the moment the plan lands. A leader that is cancelled or errors
+//! before publishing releases the lease on drop and a blocked follower is
+//! promoted to the new leader, so a dying request can never wedge the
+//! workload. Followers poll their own [`CancelToken`] while waiting, so
+//! per-request deadlines hold even when the wait is on someone else's build.
+//!
 //! Sharing is observable only through counters: engine runs that pre-seed
 //! from (or publish to) a shared cache emit `sim.cache.shared.hits` /
-//! `sim.cache.shared.misses`, and the cache itself keeps process totals for
-//! the server's `metrics` endpoint.
+//! `sim.cache.shared.misses`, and the cache itself keeps process totals —
+//! including [`singleflight_followers`](SharedPlanCache::singleflight_followers),
+//! the number of runs that reused an in-flight (or same-micro-batch) build
+//! instead of compiling — for the server's `metrics` endpoint.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
+use crate::cancel::CancelToken;
 use crate::embedding::Embedding;
+use crate::error::SimError;
 use crate::simulate::CachedComm;
+use rand::Rng;
+use unet_topology::util::seeded_rng;
 use unet_topology::Graph;
+
+struct CacheState {
+    entries: HashMap<u64, CachedComm>,
+    /// Keys currently held by a build lease (a leader is compiling them).
+    building: HashSet<u64>,
+}
 
 /// A thread-safe route-plan cache shared across simulation runs.
 ///
@@ -39,11 +65,88 @@ use unet_topology::Graph;
 /// never evicted: the key space is the set of distinct workloads a process
 /// serves, which is bounded in practice and tiny in memory (one
 /// [`RoutePlan`](unet_routing::plan::RoutePlan) skeleton per workload).
-#[derive(Debug, Default)]
 pub struct SharedPlanCache {
-    entries: Mutex<HashMap<u64, CachedComm>>,
+    state: Mutex<CacheState>,
+    ready: Condvar,
     hits: AtomicU64,
     misses: AtomicU64,
+    followers: AtomicU64,
+}
+
+impl Default for SharedPlanCache {
+    fn default() -> Self {
+        SharedPlanCache {
+            state: Mutex::new(CacheState { entries: HashMap::new(), building: HashSet::new() }),
+            ready: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            followers: AtomicU64::new(0),
+        }
+    }
+}
+
+impl std::fmt::Debug for SharedPlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedPlanCache")
+            .field("len", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("singleflight_followers", &self.singleflight_followers())
+            .finish()
+    }
+}
+
+/// How often a blocked follower re-checks its cancel token while the leader
+/// compiles. Plans compile in microseconds-to-milliseconds, so this bounds
+/// cancellation latency without busy-waiting.
+const FOLLOWER_POLL: Duration = Duration::from_millis(5);
+
+/// What [`SharedPlanCache::acquire`] hands back: either the cached plan or
+/// a build lease obligating the caller to compile and publish it.
+pub(crate) enum Acquire<'a> {
+    /// The plan was cached (possibly published by a leader the caller
+    /// waited on); counted as a hit.
+    Hit(CachedComm),
+    /// The caller is the build leader for this key; counted as a miss.
+    /// Publish through the guard, or drop it to pass leadership on.
+    Lead(LeadGuard<'a>),
+}
+
+/// A build lease for one cache key (see `Acquire::Lead`). Dropping the
+/// guard without [`publish`](LeadGuard::publish)ing releases the lease and
+/// wakes the waiting followers so one of them can take over.
+pub(crate) struct LeadGuard<'a> {
+    cache: &'a SharedPlanCache,
+    key: u64,
+    published: bool,
+}
+
+impl LeadGuard<'_> {
+    /// Publish the freshly compiled plan and wake every follower. First
+    /// writer wins — concurrent compilations of the same workload produce
+    /// identical plans (the key covers every input), so keeping the
+    /// incumbent is safe.
+    pub(crate) fn publish(&mut self, plan: CachedComm) {
+        let mut st = self.cache.state.lock().expect("plan cache poisoned");
+        st.entries.entry(self.key).or_insert(plan);
+        st.building.remove(&self.key);
+        self.published = true;
+        drop(st);
+        self.cache.ready.notify_all();
+    }
+}
+
+impl Drop for LeadGuard<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            // Leader failed (error, cancellation, or a run that never
+            // compiled a plan): release the lease so a follower can lead.
+            let mut st = self.cache.state.lock().expect("plan cache poisoned");
+            st.building.remove(&self.key);
+            drop(st);
+            self.cache.ready.notify_all();
+        }
+    }
 }
 
 impl SharedPlanCache {
@@ -54,12 +157,21 @@ impl SharedPlanCache {
 
     /// Number of distinct workload plans currently cached.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("plan cache poisoned").len()
+        self.state.lock().expect("plan cache poisoned").entries.len()
     }
 
     /// Is the cache empty?
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Is a plan for this workload fingerprint already published?
+    ///
+    /// A pure peek: no counters move. Schedulers use this to decide whether
+    /// a micro-batch is cold (its members will coalesce onto one build)
+    /// before dispatching it.
+    pub fn contains(&self, key: u64) -> bool {
+        self.state.lock().expect("plan cache poisoned").entries.contains_key(&key)
     }
 
     /// Process-total lookups that found a plan.
@@ -70,6 +182,25 @@ impl SharedPlanCache {
     /// Process-total lookups that had to compile.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Process-total runs that reused another request's plan build instead
+    /// of compiling: followers that blocked on an in-flight build lease,
+    /// plus coalesced micro-batch members accounted via
+    /// [`note_singleflight_followers`](Self::note_singleflight_followers).
+    pub fn singleflight_followers(&self) -> u64 {
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    /// Credit `n` coalesced runs to the single-flight counter.
+    ///
+    /// For schedulers that dispatch same-fingerprint micro-batches
+    /// leader-first: the followers then resolve as plain hits (the plan is
+    /// already published when they run), so the slot never sees them wait —
+    /// this keeps the counter meaning "runs that avoided a plan build by
+    /// riding someone else's", however the coalescing happened.
+    pub fn note_singleflight_followers(&self, n: u64) {
+        self.followers.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Fraction of lookups served from the cache (`None` before the first
@@ -84,9 +215,50 @@ impl SharedPlanCache {
         }
     }
 
-    /// Clone out the plan for `key`, counting a hit or miss.
+    /// Look up `key`, entering the single-flight discipline on a miss: the
+    /// first run in becomes the leader (gets a [`LeadGuard`] and a counted
+    /// miss), later runs block until the plan is published and then count a
+    /// hit plus a follower. Waiting runs poll `cancel` and bail with
+    /// [`SimError::Cancelled`] when their own deadline trips first.
+    pub(crate) fn acquire(
+        &self,
+        key: u64,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Acquire<'_>, SimError> {
+        let mut st = self.state.lock().expect("plan cache poisoned");
+        let mut waited = false;
+        loop {
+            if let Some(entry) = st.entries.get(&key) {
+                let entry = entry.clone();
+                drop(st);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                if waited {
+                    self.followers.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(Acquire::Hit(entry));
+            }
+            if !st.building.contains(&key) {
+                st.building.insert(key);
+                drop(st);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                return Ok(Acquire::Lead(LeadGuard { cache: self, key, published: false }));
+            }
+            if cancel.is_some_and(CancelToken::is_cancelled) {
+                return Err(SimError::Cancelled);
+            }
+            waited = true;
+            let (guard, _) =
+                self.ready.wait_timeout(st, FOLLOWER_POLL).expect("plan cache poisoned");
+            st = guard;
+        }
+    }
+
+    /// Clone out the plan for `key`, counting a hit or miss. Bypasses the
+    /// single-flight slot (no lease is taken) — kept for callers that only
+    /// ever read.
+    #[cfg(test)]
     pub(crate) fn get(&self, key: u64) -> Option<CachedComm> {
-        let got = self.entries.lock().expect("plan cache poisoned").get(&key).cloned();
+        let got = self.state.lock().expect("plan cache poisoned").entries.get(&key).cloned();
         match got {
             Some(c) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -99,12 +271,34 @@ impl SharedPlanCache {
         }
     }
 
-    /// Publish a freshly compiled plan. First writer wins — concurrent
-    /// compilations of the same workload produce identical plans (the key
-    /// covers every input), so keeping the incumbent is safe.
+    /// Publish a plan without holding a lease (first writer wins).
+    #[cfg(test)]
     pub(crate) fn insert_if_absent(&self, key: u64, plan: CachedComm) {
-        self.entries.lock().expect("plan cache poisoned").entry(key).or_insert(plan);
+        let mut st = self.state.lock().expect("plan cache poisoned");
+        st.entries.entry(key).or_insert(plan);
+        drop(st);
+        self.ready.notify_all();
     }
+}
+
+/// The workload fingerprint a [`Simulation::builder`](crate::Simulation)
+/// run with [`seed`](crate::SimulationBuilder::seed)`(seed)` uses as its
+/// [`SharedPlanCache`] key.
+///
+/// The builder derives one per-run *route seed* from the run seed and
+/// fingerprints `(guest, host, embedding, router name, route seed)`; this
+/// function performs the identical derivation, so schedulers can group
+/// requests that will share a plan **before** running them (the `unet-serve`
+/// batching layer keys its micro-batches on this).
+pub fn workload_fingerprint(
+    guest: &Graph,
+    host: &Graph,
+    embedding: &Embedding,
+    router_name: &str,
+    seed: u64,
+) -> u64 {
+    let route_seed: u64 = seeded_rng(seed).gen();
+    plan_fingerprint(guest, host, embedding, router_name, route_seed)
 }
 
 /// FNV-1a over every input the compiled communication plan depends on.
@@ -179,5 +373,91 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.hit_ratio(), Some(0.5));
+    }
+
+    #[test]
+    fn workload_fingerprint_matches_builder_derivation() {
+        use rand::Rng;
+        let guest = ring(8);
+        let host = torus(2, 2);
+        let emb = Embedding::block(8, 4);
+        let route_seed: u64 = seeded_rng(42).gen();
+        assert_eq!(
+            workload_fingerprint(&guest, &host, &emb, "bfs", 42),
+            plan_fingerprint(&guest, &host, &emb, "bfs", route_seed),
+        );
+        assert_ne!(
+            workload_fingerprint(&guest, &host, &emb, "bfs", 42),
+            workload_fingerprint(&guest, &host, &emb, "bfs", 43),
+        );
+    }
+
+    #[test]
+    fn first_acquire_leads_then_followers_hit() {
+        let cache = SharedPlanCache::new();
+        let lead = match cache.acquire(9, None).expect("no cancel") {
+            Acquire::Lead(g) => g,
+            Acquire::Hit(_) => panic!("cold cache cannot hit"),
+        };
+        assert!(!cache.contains(9), "lease does not publish");
+        let mut lead = lead;
+        lead.publish(CachedComm::default());
+        assert!(cache.contains(9));
+        match cache.acquire(9, None).expect("no cancel") {
+            Acquire::Hit(_) => {}
+            Acquire::Lead(_) => panic!("published key cannot lead"),
+        }
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Never waited: not a single-flight follower.
+        assert_eq!(cache.singleflight_followers(), 0);
+    }
+
+    #[test]
+    fn dropped_lease_promotes_the_next_acquirer() {
+        let cache = SharedPlanCache::new();
+        let lead = match cache.acquire(5, None).expect("acquire") {
+            Acquire::Lead(g) => g,
+            Acquire::Hit(_) => panic!("cold cache cannot hit"),
+        };
+        drop(lead); // leader dies before publishing
+        match cache.acquire(5, None).expect("acquire") {
+            Acquire::Lead(_) => {}
+            Acquire::Hit(_) => panic!("nothing was published"),
+        }
+        assert_eq!(cache.misses(), 2, "both acquisitions were misses");
+    }
+
+    #[test]
+    fn follower_blocks_until_publish_and_is_counted() {
+        use std::sync::Arc;
+        let cache = Arc::new(SharedPlanCache::new());
+        let mut lead = match cache.acquire(3, None).expect("acquire") {
+            Acquire::Lead(g) => g,
+            Acquire::Hit(_) => panic!("cold cache cannot hit"),
+        };
+        let follower = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || matches!(cache.acquire(3, None), Ok(Acquire::Hit(_))))
+        };
+        // Give the follower time to block on the lease.
+        std::thread::sleep(Duration::from_millis(20));
+        lead.publish(CachedComm::default());
+        assert!(follower.join().expect("follower thread"), "follower resolves to a hit");
+        assert_eq!(cache.singleflight_followers(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn waiting_follower_honors_its_own_cancel_token() {
+        use std::sync::Arc;
+        use std::time::Duration;
+        let cache = Arc::new(SharedPlanCache::new());
+        let _lead = match cache.acquire(1, None).expect("acquire") {
+            Acquire::Lead(g) => g,
+            Acquire::Hit(_) => panic!("cold cache cannot hit"),
+        };
+        let token = CancelToken::with_deadline(Duration::from_millis(10));
+        let cancelled = matches!(cache.acquire(1, Some(&token)), Err(SimError::Cancelled));
+        assert!(cancelled, "deadline should fire while waiting");
     }
 }

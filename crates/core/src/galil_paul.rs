@@ -195,12 +195,11 @@ impl Router for GalilPaulRouterWith {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use crate::embedding::Embedding;
     use crate::guest::GuestComputation;
-    use crate::simulate::EmbeddingSimulator;
+    use crate::sim::Simulation;
     use unet_topology::generators::{hypercube, ring};
     use unet_topology::util::seeded_rng;
 
@@ -287,8 +286,14 @@ mod tests {
         let host = hypercube(3);
         let comp = GuestComputation::random(guest.clone(), 77);
         let router = GalilPaulRouter { k: 3 };
-        let sim = EmbeddingSimulator { embedding: Embedding::block(16, 8), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(3));
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(16, 8))
+            .router(&router)
+            .steps(2)
+            .run_with_rng(&mut seeded_rng(3))
+            .expect("valid configuration");
         unet_pebble::check(&guest, &host, &run.protocol).expect("verify");
         assert_eq!(run.final_states, comp.run_final(2));
     }

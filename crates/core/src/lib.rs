@@ -63,14 +63,14 @@ pub mod spec;
 pub mod treesim;
 pub mod verify;
 
-pub use cache::SharedPlanCache;
+pub use cache::{workload_fingerprint, SharedPlanCache};
 pub use cancel::CancelToken;
 pub use embedding::Embedding;
 pub use error::SimError;
 pub use guest::GuestComputation;
 pub use routers::Router;
 pub use sim::{CachePolicy, Simulation, SimulationBuilder};
-pub use simulate::{EmbeddingSimulator, SimulationRun};
+pub use simulate::SimulationRun;
 pub use verify::{verify_run, VerifiedRun, VerifyError};
 
 /// Glob-import surface.
@@ -83,6 +83,6 @@ pub mod prelude {
     pub use crate::guest::GuestComputation;
     pub use crate::routers::{presets, Router};
     pub use crate::sim::{CachePolicy, Simulation, SimulationBuilder};
-    pub use crate::simulate::{EmbeddingSimulator, SimulationRun};
+    pub use crate::simulate::SimulationRun;
     pub use crate::verify::{verify_run, VerifiedRun};
 }

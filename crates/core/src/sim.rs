@@ -42,7 +42,7 @@ use crate::embedding::Embedding;
 use crate::error::SimError;
 use crate::guest::GuestComputation;
 use crate::routers::Router;
-use crate::simulate::{run_engine, EngineConfig, RouteRngMode, SimulationRun};
+use crate::simulate::{run_engine, EngineConfig, SimulationRun};
 use rand::rngs::StdRng;
 use rand::Rng;
 use unet_obs::{NoopRecorder, Recorder};
@@ -219,13 +219,13 @@ impl<'a, REC: Recorder> SimulationBuilder<'a, REC> {
         let cfg = EngineConfig {
             threads,
             cache: self.cache == CachePolicy::Enabled,
-            route_rng: RouteRngMode::PerPhase(route_seed),
+            route_seed,
             shared: self.shared,
             cancel: cancel.as_ref(),
         };
         match self.recorder {
-            Some(rec) => run_engine(&embedding, router, comp, host, steps, &cfg, rng, rec),
-            None => run_engine(&embedding, router, comp, host, steps, &cfg, rng, &mut NoopRecorder),
+            Some(rec) => run_engine(&embedding, router, comp, host, steps, &cfg, rec),
+            None => run_engine(&embedding, router, comp, host, steps, &cfg, &mut NoopRecorder),
         }
     }
 }
@@ -494,22 +494,23 @@ mod tests {
     }
 
     #[test]
-    fn wrapper_and_builder_agree_for_deterministic_routers() {
-        // The deprecated wrapper threads the RNG; the builder derives a
-        // route seed. For a deterministic router both produce the same
-        // schedule, so the protocols must be identical.
-        #![allow(deprecated)]
+    fn run_with_rng_draws_exactly_one_route_seed() {
+        // The documented contract callers like the audit pipeline rely on:
+        // `run_with_rng` consumes one u64 and nothing else, so the emitted
+        // protocol only depends on that draw — a fresh rng at the same
+        // position produces the identical run.
+        use rand::Rng;
         let guest = ring(12);
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest, 3);
         let router = presets::bfs();
-        let legacy = crate::simulate::EmbeddingSimulator {
-            embedding: Embedding::block(12, 4),
-            router: &router,
-        }
-        .simulate(&comp, &host, 3, &mut seeded_rng(9));
-        let new = base(&comp, &host, &router).run().expect("builder run");
-        assert_eq!(legacy.protocol, new.protocol);
-        assert_eq!(legacy.final_states, new.final_states);
+        let mut rng = seeded_rng(9);
+        let a = base(&comp, &host, &router).run_with_rng(&mut rng).expect("first run");
+        let after: u64 = rng.gen();
+        let mut replay = seeded_rng(9);
+        let b = base(&comp, &host, &router).run_with_rng(&mut replay).expect("replay run");
+        assert_eq!(replay.gen::<u64>(), after, "exactly one draw consumed");
+        assert_eq!(a.protocol, b.protocol);
+        assert_eq!(a.final_states, b.final_states);
     }
 }

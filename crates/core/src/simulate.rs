@@ -22,18 +22,19 @@
 //!   host-side state computation shards by node range, both on
 //!   [`unet_topology::par`] with order-preserving merges.
 //!
-//! The public front door is [`crate::sim::Simulation`]; the
-//! [`EmbeddingSimulator`] entry points are kept as deprecated wrappers that
-//! reproduce the legacy sequential behaviour exactly (including its panics).
+//! The public front door is [`crate::sim::Simulation`]. (The legacy
+//! `EmbeddingSimulator` wrappers, deprecated since the builder landed, are
+//! gone; the builder's fixed per-run route seed subsumes their threaded-RNG
+//! mode for every deterministic router and makes randomized routers
+//! cacheable besides.)
 
-use crate::cache::{plan_fingerprint, SharedPlanCache};
+use crate::cache::{plan_fingerprint, Acquire, LeadGuard, SharedPlanCache};
 use crate::cancel::CancelToken;
 use crate::embedding::Embedding;
 use crate::error::SimError;
 use crate::guest::{transition, GuestComputation};
 use crate::routers::Router;
-use rand::rngs::StdRng;
-use unet_obs::{edge_key, NoopRecorder, Recorder};
+use unet_obs::{edge_key, Recorder};
 use unet_pebble::protocol::{Op, Pebble, Protocol, ProtocolBuilder};
 use unet_routing::packet::Transfer;
 use unet_routing::plan::{extract_plan, PlanCache, RoutePlan};
@@ -68,30 +69,19 @@ impl SimulationRun {
     }
 }
 
-/// Where the router's randomness comes from.
-///
-/// The legacy API threaded one `StdRng` through every communication phase,
-/// so a randomized router (Valiant) drew a *different* schedule each step —
-/// correct, but inherently uncacheable. The builder API instead fixes one
-/// route seed per run: every phase sees an identically seeded generator, the
-/// schedule becomes step-invariant, and the route-plan cache is pure
-/// memoization (cached and uncached runs are bit-for-bit identical even for
-/// randomized routers).
-#[derive(Debug, Clone, Copy)]
-pub(crate) enum RouteRngMode {
-    /// Legacy: consume the caller's RNG stream each phase.
-    Threaded,
-    /// Deterministic: reseed a fresh generator with this seed each phase.
-    PerPhase(u64),
-}
-
 /// Execution knobs threaded through the engine core (see
 /// [`crate::sim::SimulationBuilder`] for the public surface).
+///
+/// `route_seed` fixes the router's randomness per run: every communication
+/// phase sees an identically seeded generator, the schedule becomes
+/// step-invariant, and the route-plan cache is pure memoization (cached and
+/// uncached runs are bit-for-bit identical even for randomized routers).
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct EngineConfig<'e> {
     pub threads: usize,
     pub cache: bool,
-    pub route_rng: RouteRngMode,
+    /// Seed for the per-phase route RNG (drawn once by the builder).
+    pub route_seed: u64,
     /// Cross-run plan cache to pre-seed from / publish to (serve workers).
     pub shared: Option<&'e SharedPlanCache>,
     /// Cooperative cancellation, checked at phase boundaries.
@@ -161,8 +151,7 @@ pub fn advance_states(comp: &GuestComputation, prev_states: &[u64], threads: usi
     })
 }
 
-/// The engine core shared by the builder API and the deprecated wrappers.
-#[allow(clippy::too_many_arguments)]
+/// The engine core behind [`crate::sim::SimulationBuilder::run`].
 pub(crate) fn run_engine<REC: Recorder>(
     embedding: &Embedding,
     router: &dyn Router,
@@ -170,7 +159,6 @@ pub(crate) fn run_engine<REC: Recorder>(
     host: &Graph,
     steps: u32,
     cfg: &EngineConfig<'_>,
-    rng: &mut StdRng,
     rec: &mut REC,
 ) -> Result<SimulationRun, SimError> {
     let n = comp.n();
@@ -202,27 +190,28 @@ pub(crate) fn run_engine<REC: Recorder>(
     let mut cache: PlanCache<CachedComm> = PlanCache::new();
 
     // Cross-run sharing: pre-seed the per-run cache from the process-wide
-    // one when the workload fingerprint matches, and remember the key so a
-    // freshly compiled plan gets published after the run. Only meaningful
-    // under a per-run route seed — the legacy threaded-RNG mode draws a
-    // different schedule every phase and is inherently unshareable.
-    let shared_key = match (cfg.shared, cfg.cache, cfg.route_rng) {
-        (Some(shared), true, RouteRngMode::PerPhase(seed)) => {
-            let key = plan_fingerprint(&comp.graph, host, embedding, router.name(), seed);
-            match shared.get(key) {
-                Some(entry) => {
+    // one when the workload fingerprint matches. A miss takes the
+    // single-flight build lease: concurrent runs of the same workload block
+    // on this run's compile instead of duplicating it, and get woken the
+    // moment `publish` fires below (right after the gt = 2 compile, not at
+    // the end of the run). If this run errors or is cancelled before
+    // compiling, dropping the lease promotes a blocked follower to leader.
+    let mut lease: Option<LeadGuard<'_>> = None;
+    if cfg.cache {
+        if let Some(shared) = cfg.shared {
+            let key = plan_fingerprint(&comp.graph, host, embedding, router.name(), cfg.route_seed);
+            match shared.acquire(key, cfg.cancel)? {
+                Acquire::Hit(entry) => {
                     rec.counter("sim.cache.shared.hits", 1);
                     cache.store(0, entry);
-                    None
                 }
-                None => {
+                Acquire::Lead(guard) => {
                     rec.counter("sim.cache.shared.misses", 1);
-                    Some((shared, key))
+                    lease = Some(guard);
                 }
             }
         }
-        _ => None,
-    };
+    }
 
     let mut prev_states: Vec<u64> = comp.init.clone();
     // Global communication-round index across the whole run: the time
@@ -265,14 +254,12 @@ pub(crate) fn run_engine<REC: Recorder>(
                     RoutePlan::default()
                 } else {
                     let prob = RoutingProblem::new(m, pairs);
-                    let out = match cfg.route_rng {
-                        RouteRngMode::Threaded => {
-                            router.route_recorded(host, &prob, rng, &mut *rec)
-                        }
-                        RouteRngMode::PerPhase(seed) => {
-                            router.route_recorded(host, &prob, &mut seeded_rng(seed), &mut *rec)
-                        }
-                    };
+                    let out = router.route_recorded(
+                        host,
+                        &prob,
+                        &mut seeded_rng(cfg.route_seed),
+                        &mut *rec,
+                    );
                     extract_plan(&out.transfers)
                 };
                 let payloads: Vec<Pebble> =
@@ -285,7 +272,14 @@ pub(crate) fn run_engine<REC: Recorder>(
                 }
                 comm_steps += replay_plan(&mut builder, &plan, &payloads);
                 if cfg.cache {
-                    cache.store(0, CachedComm { guests, pair_count, plan });
+                    let entry = CachedComm { guests, pair_count, plan };
+                    // Publish to the shared cache the moment the plan
+                    // exists: single-flight followers wake here and replay
+                    // it while this run is still simulating.
+                    if let Some(mut guard) = lease.take() {
+                        guard.publish(entry.clone());
+                    }
+                    cache.store(0, entry);
                 }
             }
         } else {
@@ -313,12 +307,6 @@ pub(crate) fn run_engine<REC: Recorder>(
         prev_states = advance_states(comp, &prev_states, cfg.threads);
         rec.span_end("sim.compute");
     }
-    // Publish the freshly compiled plan for later runs of this workload.
-    if let Some((shared, key)) = shared_key {
-        if let Some(c) = cache.peek() {
-            shared.insert_if_absent(key, c.clone());
-        }
-    }
     rec.counter("sim.guest_steps", steps as u64);
     rec.counter("sim.comm_steps", comm_steps as u64);
     rec.counter("sim.compute_steps", compute_steps as u64);
@@ -333,75 +321,6 @@ pub(crate) fn run_engine<REC: Recorder>(
         comm_steps,
         compute_steps,
     })
-}
-
-/// The static-embedding universal simulator of Theorem 2.1.
-///
-/// Deprecated front door: prefer [`crate::sim::Simulation::builder`], which
-/// validates instead of panicking, exposes the thread/cache knobs, and makes
-/// randomized routers cache-compatible via a fixed per-run route seed. The
-/// methods here reproduce the legacy behaviour **exactly** (sequential,
-/// uncached, RNG threaded through every phase) so existing callers see
-/// byte-identical protocols.
-pub struct EmbeddingSimulator<'r> {
-    /// The guest→host placement.
-    pub embedding: Embedding,
-    /// The host's routing strategy.
-    pub router: &'r dyn Router,
-}
-
-#[allow(deprecated)]
-impl EmbeddingSimulator<'_> {
-    /// Simulate `steps` guest steps of `comp` on `host`.
-    ///
-    /// # Panics
-    /// Panics if sizes disagree (`embedding.n() == comp.n()`,
-    /// `embedding.m == host.n()`) or `steps == 0`.
-    #[deprecated(since = "0.2.0", note = "use `Simulation::builder()` and handle `SimError`")]
-    pub fn simulate(
-        &self,
-        comp: &GuestComputation,
-        host: &Graph,
-        steps: u32,
-        rng: &mut StdRng,
-    ) -> SimulationRun {
-        self.simulate_recorded(comp, host, steps, rng, &mut NoopRecorder)
-    }
-
-    /// [`EmbeddingSimulator::simulate`] with instrumentation. Per guest
-    /// step it brackets the two phases with `sim.comm` / `sim.compute`
-    /// spans and samples the induced routing-problem size; the router's own
-    /// `route` span and metrics nest under `sim.comm`. Run totals land in
-    /// `sim.*` counters and the `sim.load` gauge.
-    ///
-    /// `simulate` is exactly this with [`NoopRecorder`], so the
-    /// uninstrumented path monomorphizes all of it away.
-    #[deprecated(since = "0.2.0", note = "use `Simulation::builder()` and handle `SimError`")]
-    pub fn simulate_recorded<REC: Recorder>(
-        &self,
-        comp: &GuestComputation,
-        host: &Graph,
-        steps: u32,
-        rng: &mut StdRng,
-        rec: &mut REC,
-    ) -> SimulationRun {
-        // Legacy contract: panic, with the historical messages, rather than
-        // return. New code should use the builder and get `SimError`.
-        assert_eq!(self.embedding.n(), comp.n(), "embedding covers every guest");
-        assert_eq!(self.embedding.m, host.n(), "embedding targets this host");
-        assert!(steps >= 1, "simulate at least one guest step");
-        let cfg = EngineConfig {
-            threads: 1,
-            cache: false,
-            route_rng: RouteRngMode::Threaded,
-            shared: None,
-            cancel: None,
-        };
-        match run_engine(&self.embedding, self.router, comp, host, steps, &cfg, rng, rec) {
-            Ok(run) => run,
-            Err(e) => panic!("{e}"),
-        }
-    }
 }
 
 /// Replay an extracted [`RoutePlan`] into pebble protocol steps with the
@@ -446,13 +365,32 @@ pub fn emit_transfers(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::routers::presets;
+    use crate::sim::Simulation;
     use unet_pebble::check;
     use unet_topology::generators::{mesh, random_regular, ring, torus};
     use unet_topology::util::seeded_rng;
+
+    fn run(
+        comp: &GuestComputation,
+        host: &Graph,
+        embedding: Embedding,
+        router: &dyn Router,
+        steps: u32,
+        seed: u64,
+    ) -> SimulationRun {
+        Simulation::builder()
+            .guest(comp)
+            .host(host)
+            .embedding(embedding)
+            .router(router)
+            .steps(steps)
+            .seed(seed)
+            .run()
+            .expect("valid configuration")
+    }
 
     /// End-to-end: guest ring(12) on torus(2,2) host via BFS routing;
     /// protocol must check and states must match direct execution.
@@ -462,8 +400,7 @@ mod tests {
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest.clone(), 99);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(12, 4), router: &router };
-        let run = sim.simulate(&comp, &host, 3, &mut seeded_rng(1));
+        let run = run(&comp, &host, Embedding::block(12, 4), &router, 3, 1);
         // Pebble-game certification.
         let trace = check(&guest, &host, &run.protocol).expect("protocol must verify");
         assert_eq!(trace.host_steps, run.protocol.host_steps());
@@ -480,8 +417,7 @@ mod tests {
         let host = mesh(3, 3);
         let comp = GuestComputation::random(guest.clone(), 5);
         let router = presets::mesh_xy(3, 3);
-        let sim = EmbeddingSimulator { embedding: Embedding::block(24, 9), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(2));
+        let run = run(&comp, &host, Embedding::block(24, 9), &router, 2, 2);
         check(&guest, &host, &run.protocol).expect("verify");
         assert_eq!(run.final_states, comp.run_final(2));
     }
@@ -493,8 +429,7 @@ mod tests {
         let host = torus(4, 4);
         let comp = GuestComputation::random(guest.clone(), 1);
         let router = presets::torus_xy(4, 4);
-        let sim = EmbeddingSimulator { embedding: Embedding::block(8, 16), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(3));
+        let run = run(&comp, &host, Embedding::block(8, 16), &router, 2, 3);
         check(&guest, &host, &run.protocol).expect("verify");
         assert_eq!(run.final_states, comp.run_final(2));
     }
@@ -507,8 +442,7 @@ mod tests {
         let host = torus(3, 3);
         let comp = GuestComputation::random(guest.clone(), 2);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(9, 9), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(4));
+        let run = run(&comp, &host, Embedding::block(9, 9), &router, 2, 4);
         check(&guest, &host, &run.protocol).expect("verify");
         assert_eq!(run.final_states, comp.run_final(2));
     }
@@ -519,11 +453,7 @@ mod tests {
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest.clone(), 3);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator {
-            embedding: Embedding::random(16, 4, &mut seeded_rng(5)),
-            router: &router,
-        };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(6));
+        let run = run(&comp, &host, Embedding::random(16, 4, &mut seeded_rng(5)), &router, 2, 6);
         check(&guest, &host, &run.protocol).expect("verify");
         assert_eq!(run.final_states, comp.run_final(2));
     }
@@ -535,11 +465,19 @@ mod tests {
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest.clone(), 99);
         let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(12, 4), router: &router };
-        let plain = sim.simulate(&comp, &host, 3, &mut seeded_rng(1));
+        let plain = run(&comp, &host, Embedding::block(12, 4), &router, 3, 1);
         let mut rec = InMemoryRecorder::new();
-        let recorded = sim.simulate_recorded(&comp, &host, 3, &mut seeded_rng(1), &mut rec);
-        // Instrumentation must not perturb the run (same RNG stream).
+        let recorded = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(12, 4))
+            .router(&router)
+            .steps(3)
+            .seed(1)
+            .recorder(&mut rec)
+            .run()
+            .expect("recorded run");
+        // Instrumentation must not perturb the run (same route seed).
         assert_eq!(plain.final_states, recorded.final_states);
         assert_eq!(plain.comm_steps, recorded.comm_steps);
         assert_eq!(plain.compute_steps, recorded.compute_steps);
@@ -558,9 +496,9 @@ mod tests {
         assert_eq!(rec.counter_value("sim.compute_steps"), recorded.compute_steps as u64);
         // One routing-problem-size sample per guest step.
         assert_eq!(rec.histogram_data("sim.routing_problem_size").unwrap().count, 3);
-        // The legacy wrapper runs uncached: no hits, and no lookups either.
-        assert_eq!(rec.counter_value("sim.cache.hits"), 0);
-        assert_eq!(rec.counter_value("sim.cache.misses"), 0);
+        // Per-run cache: gt=2 compiles, gt=3 replays.
+        assert_eq!(rec.counter_value("sim.cache.hits"), 1);
+        assert_eq!(rec.counter_value("sim.cache.misses"), 1);
     }
 
     #[test]
@@ -572,17 +510,6 @@ mod tests {
             size_of::<SimulationRun>(),
             size_of::<Protocol>() + size_of::<Vec<u64>>() + 2 * size_of::<usize>()
         );
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one")]
-    fn zero_steps_rejected() {
-        let guest = ring(4);
-        let host = torus(2, 2);
-        let comp = GuestComputation::random(guest, 1);
-        let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(4, 4), router: &router };
-        sim.simulate(&comp, &host, 0, &mut seeded_rng(0));
     }
 
     #[test]

@@ -88,23 +88,33 @@ pub fn verify_run(
 }
 
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::embedding::Embedding;
     use crate::routers::presets;
-    use crate::simulate::EmbeddingSimulator;
+    use crate::sim::Simulation;
     use unet_topology::generators::{ring, torus};
     use unet_topology::util::seeded_rng;
+    use unet_topology::Graph;
+
+    fn run_ring8(comp: &GuestComputation, host: &Graph) -> SimulationRun {
+        let router = presets::bfs();
+        Simulation::builder()
+            .guest(comp)
+            .host(host)
+            .embedding(Embedding::block(8, 4))
+            .router(&router)
+            .steps(2)
+            .run_with_rng(&mut seeded_rng(1))
+            .expect("valid configuration")
+    }
 
     #[test]
     fn verified_run_bundles_metrics() {
         let guest = ring(8);
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest, 1);
-        let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(8, 4), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(1));
+        let run = run_ring8(&comp, &host);
         let v = verify_run(&comp, &host, &run, 2).expect("verifies");
         assert_eq!(v.metrics.guest_n, 8);
         assert_eq!(v.metrics.host_m, 4);
@@ -117,9 +127,7 @@ mod tests {
         let guest = ring(8);
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest, 1);
-        let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(8, 4), router: &router };
-        let mut run = sim.simulate(&comp, &host, 2, &mut seeded_rng(1));
+        let mut run = run_ring8(&comp, &host);
         run.final_states[3] ^= 1; // corrupt
         match verify_run(&comp, &host, &run, 2) {
             Err(VerifyError::WrongStates { node: 3, .. }) => {}
@@ -132,9 +140,7 @@ mod tests {
         let guest = ring(8);
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest, 1);
-        let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(8, 4), router: &router };
-        let mut run = sim.simulate(&comp, &host, 2, &mut seeded_rng(1));
+        let mut run = run_ring8(&comp, &host);
         assert!(run.verify(&comp, &host, 2).is_ok());
         run.final_states[0] ^= 1;
         match run.verify(&comp, &host, 2) {
@@ -148,9 +154,7 @@ mod tests {
         let guest = ring(8);
         let host = torus(2, 2);
         let comp = GuestComputation::random(guest, 1);
-        let router = presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(8, 4), router: &router };
-        let mut run = sim.simulate(&comp, &host, 2, &mut seeded_rng(1));
+        let mut run = run_ring8(&comp, &host);
         // Drop the last host step (removes final generations).
         run.protocol.steps.pop();
         assert!(matches!(verify_run(&comp, &host, &run, 2), Err(VerifyError::Protocol(_))));

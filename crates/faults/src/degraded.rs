@@ -1,7 +1,7 @@
 //! Degraded-mode universal simulation: the Theorem 2.1 engine surviving
 //! crash-stop host faults.
 //!
-//! The healthy [`EmbeddingSimulator`](unet_core::EmbeddingSimulator) fixes a
+//! The healthy [`Simulation`](unet_core::Simulation) engine fixes a
 //! static embedding and alternates communication and computation phases.
 //! This simulator runs the same phases against a [`FaultyView`], applying
 //! fault events at guest-step boundaries:

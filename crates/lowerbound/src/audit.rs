@@ -13,7 +13,7 @@ use crate::g0::G0;
 use crate::wavefront::{audit as wavefront_audit, WavefrontAudit};
 use rand::rngs::StdRng;
 use unet_core::routers::Router;
-use unet_core::{Embedding, EmbeddingSimulator, GuestComputation};
+use unet_core::{Embedding, GuestComputation, Simulation};
 use unet_pebble::analysis::{heavy_host_bound, heavy_hosts, metrics, SimulationMetrics};
 use unet_pebble::fragment::{extract_fragment, GeneratorChoice};
 use unet_topology::util::isqrt;
@@ -62,7 +62,6 @@ impl AuditReport {
 /// `m·s ≥ α·n·log m` consistency check (use something ≤ 1; measured
 /// simulations sit well above the shape).
 #[allow(clippy::too_many_arguments)] // the audit takes the whole scenario by design
-#[allow(deprecated)] // stays on the legacy wrapper: audits pin its exact rng threading
 pub fn run_audit(
     g0: &G0,
     guest: &Graph,
@@ -78,8 +77,14 @@ pub fn run_audit(
         "guest must contain G0 (sample it with random_supergraph)"
     );
     let comp = GuestComputation::random(guest.clone(), 0xdead_beef);
-    let sim = EmbeddingSimulator { embedding, router };
-    let run = sim.simulate(&comp, host, steps, rng);
+    let run = Simulation::builder()
+        .guest(&comp)
+        .host(host)
+        .embedding(embedding)
+        .router(router)
+        .steps(steps)
+        .run_with_rng(rng)
+        .expect("audit scenario is a valid simulation");
     let verified = unet_core::verify_run(&comp, host, &run, steps).expect("simulation certifies");
     let trace = verified.trace;
     let mets = metrics(&trace);
@@ -131,7 +136,6 @@ pub fn run_audit(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use crate::g0::build_g0;
@@ -174,11 +178,14 @@ mod tests {
         let host = torus(9, 9);
         let comp = unet_core::GuestComputation::random(guest.clone(), 5);
         let router = unet_core::routers::presets::torus_xy(9, 9);
-        let sim = unet_core::EmbeddingSimulator {
-            embedding: Embedding::grid_tiles(18, 9),
-            router: &router,
-        };
-        let run = sim.simulate(&comp, &host, 4, &mut seeded_rng(38));
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::grid_tiles(18, 9))
+            .router(&router)
+            .steps(4)
+            .run_with_rng(&mut seeded_rng(38))
+            .expect("valid configuration");
         let trace = unet_pebble::check(&guest, &host, &run.protocol).unwrap();
         let n = 324usize;
         let threshold = n / isqrt(81); // 36
@@ -188,11 +195,14 @@ mod tests {
         assert!(frac > 0.9, "small-D fraction {frac} too low");
         // And the transit-custody regime genuinely destroys it: the same
         // guest under a *random* embedding loses locality.
-        let sim2 = unet_core::EmbeddingSimulator {
-            embedding: Embedding::random(324, 81, &mut seeded_rng(39)),
-            router: &router,
-        };
-        let run2 = sim2.simulate(&comp, &host, 4, &mut seeded_rng(40));
+        let run2 = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::random(324, 81, &mut seeded_rng(39)))
+            .router(&router)
+            .steps(4)
+            .run_with_rng(&mut seeded_rng(40))
+            .expect("valid configuration");
         let trace2 = unet_pebble::check(&guest, &host, &run2.protocol).unwrap();
         let frag2 = extract_fragment(&trace2, 2, GeneratorChoice::LightestHost).unwrap();
         let frac2 = frag2.small_d_count(threshold) as f64 / n as f64;

@@ -227,15 +227,27 @@ impl AveragingAnalysis {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use crate::g0::build_g0;
-    use unet_core::{Embedding, EmbeddingSimulator, GuestComputation};
+    use unet_core::{Embedding, GuestComputation, Simulation, SimulationRun};
     use unet_pebble::analysis::tree_weight;
     use unet_pebble::check;
     use unet_topology::generators::{random_supergraph, torus};
     use unet_topology::util::seeded_rng;
+    use unet_topology::Graph;
+
+    fn run_block36(comp: &GuestComputation, host: &Graph, steps: u32, seed: u64) -> SimulationRun {
+        let router = unet_core::routers::presets::bfs();
+        Simulation::builder()
+            .guest(comp)
+            .host(host)
+            .embedding(Embedding::block(36, 4))
+            .router(&router)
+            .steps(steps)
+            .run_with_rng(&mut seeded_rng(seed))
+            .expect("valid configuration")
+    }
 
     #[test]
     fn canonical_trees_match_paper_bounds() {
@@ -258,10 +270,8 @@ mod tests {
         let guest = random_supergraph(&g0.graph, 12, &mut rng);
         let comp = GuestComputation::random(guest.clone(), 1);
         let host = torus(2, 2);
-        let router = unet_core::routers::presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
         let t = 4u32;
-        let run = sim.simulate(&comp, &host, t, &mut seeded_rng(4));
+        let run = run_block36(&comp, &host, t, 4);
         let trace = check(&guest, &host, &run.protocol).unwrap();
         let canon = canonical_trees(g0.block_side);
         for block in &g0.blocks {
@@ -280,10 +290,8 @@ mod tests {
         let guest = random_supergraph(&g0.graph, 12, &mut rng);
         let comp = GuestComputation::random(guest.clone(), 2);
         let host = torus(2, 2);
-        let router = unet_core::routers::presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
         let t = 6u32;
-        let run = sim.simulate(&comp, &host, t, &mut seeded_rng(6));
+        let run = run_block36(&comp, &host, t, 6);
         let trace = check(&guest, &host, &run.protocol).unwrap();
         let analysis = analyze(&trace, &g0);
         assert!(analysis.z_s_large_enough, "Z_S too small: {:?}", analysis.z_s);
@@ -301,9 +309,7 @@ mod tests {
         let guest = random_supergraph(&g0.graph, 12, &mut rng);
         let comp = GuestComputation::random(guest.clone(), 2);
         let host = torus(2, 2);
-        let router = unet_core::routers::presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
-        let run = sim.simulate(&comp, &host, 2, &mut seeded_rng(8));
+        let run = run_block36(&comp, &host, 2, 8);
         let trace = check(&guest, &host, &run.protocol).unwrap();
         analyze(&trace, &g0);
     }

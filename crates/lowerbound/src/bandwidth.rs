@@ -13,7 +13,7 @@
 //! ```
 //!
 //! over every host bipartition. The bound is *falsifiable against our
-//! engine*: every measured run of `EmbeddingSimulator` must satisfy it
+//! engine*: every measured [`Simulation`](unet_core::Simulation) run must satisfy it
 //! (tested). It does **not** apply to redundant/dynamic simulations —
 //! flooding crosses no cut at all — which is precisely the paper's point
 //! about why bandwidth arguments cannot prove Theorem 3.1.
@@ -100,7 +100,6 @@ fn _assert_node_type(v: Node) -> Node {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use unet_core::prelude::*;
@@ -127,8 +126,14 @@ mod tests {
         let comp = GuestComputation::random(guest.clone(), 12);
         let router = presets::torus_xy(4, 4);
         let e = Embedding::block(64, 16);
-        let sim = EmbeddingSimulator { embedding: e.clone(), router: &router };
-        let run = sim.simulate(&comp, &host, 3, &mut rng);
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(e.clone())
+            .router(&router)
+            .steps(3)
+            .run_with_rng(&mut rng)
+            .expect("valid configuration");
         verify_run(&comp, &host, &run, 3).unwrap();
         let (bound, side) = best_bandwidth_bound(&guest, &host, &e, 4, &mut rng);
         assert!(bound > 1.0, "expander on torus must beat the trivial bound");

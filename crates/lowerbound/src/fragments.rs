@@ -94,12 +94,11 @@ impl CanonicalTrees {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
     use crate::averaging::analyze;
     use crate::g0::build_g0;
-    use unet_core::{Embedding, EmbeddingSimulator, GuestComputation};
+    use unet_core::{Embedding, GuestComputation, Simulation};
     use unet_pebble::check;
     use unet_topology::generators::{random_supergraph, torus};
     use unet_topology::util::seeded_rng;
@@ -112,8 +111,14 @@ mod tests {
         let comp = GuestComputation::random(guest.clone(), 4);
         let host = torus(2, 2);
         let router = unet_core::routers::presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(36, 4), router: &router };
-        let run = sim.simulate(&comp, &host, 6, &mut seeded_rng(22));
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(36, 4))
+            .router(&router)
+            .steps(6)
+            .run_with_rng(&mut seeded_rng(22))
+            .expect("valid configuration");
         let trace = check(&guest, &host, &run.protocol).unwrap();
         let analysis = analyze(&trace, &g0);
         let costs = fragment_costs(&trace, &g0, &analysis, host.max_degree());

@@ -161,10 +161,9 @@ pub fn audit(guest: &Graph, trace: &Trace, alpha: f64, beta: f64) -> WavefrontAu
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // exercises the legacy wrapper entry points
 mod tests {
     use super::*;
-    use unet_core::{Embedding, EmbeddingSimulator, GuestComputation};
+    use unet_core::{Embedding, GuestComputation, Simulation};
     use unet_pebble::check;
     use unet_topology::generators::{random_hamiltonian_union, torus};
     use unet_topology::util::seeded_rng;
@@ -175,8 +174,14 @@ mod tests {
         let comp = GuestComputation::random(guest.clone(), 3);
         let host = torus(2, 2);
         let router = unet_core::routers::presets::bfs();
-        let sim = EmbeddingSimulator { embedding: Embedding::block(24, 4), router: &router };
-        let run = sim.simulate(&comp, &host, 4, &mut seeded_rng(10));
+        let run = Simulation::builder()
+            .guest(&comp)
+            .host(&host)
+            .embedding(Embedding::block(24, 4))
+            .router(&router)
+            .steps(4)
+            .run_with_rng(&mut seeded_rng(10))
+            .expect("valid configuration");
         let trace = check(&guest, &host, &run.protocol).unwrap();
         (guest, trace)
     }

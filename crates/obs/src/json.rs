@@ -48,6 +48,14 @@ impl Value {
         }
     }
 
+    /// Boolean content, if a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
     /// Value as `u64` (exact integers only).
     pub fn as_u64(&self) -> Option<u64> {
         match *self {

@@ -5,7 +5,7 @@
 //! crate gives those numbers a first-class home:
 //!
 //! * [`Recorder`] — span/counter/gauge/histogram primitives that the hot
-//!   subsystems (`EmbeddingSimulator::simulate`, `packet::route`,
+//!   subsystems (`Simulation::builder()` runs, `packet::route`,
 //!   `pebble::check`) are generic over;
 //! * [`NoopRecorder`] — the default; a zero-sized type whose methods
 //!   monomorphize to nothing, so uninstrumented callers pay nothing;

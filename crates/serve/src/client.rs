@@ -1,14 +1,332 @@
-//! One-shot request helper (the `unet request` CLI and tests use this).
+//! The typed client: a persistent connection with timeouts, typed
+//! responses per request kind, and `overloaded`-aware retries.
+//!
+//! ```
+//! use unet_serve::{Server, ServeConfig};
+//! use unet_serve::client::Client;
+//! use unet_serve::protocol::SimulateReq;
+//!
+//! let server = Server::start(ServeConfig::default()).expect("bind");
+//! let mut client = Client::connect(&server.addr().to_string())
+//!     .expect("connect")
+//!     .timeout(std::time::Duration::from_secs(30))
+//!     .retries(2);
+//! let spec = SimulateReq {
+//!     guest: "ring:12".into(), host: "torus:2x2".into(),
+//!     steps: 2, seed: 7, deadline_ms: None, id: None,
+//! };
+//! let one = client.simulate(&spec).expect("simulate");
+//! assert!(one.verified && one.slowdown >= 1.0);
+//! let many = client.simulate_batch(&[spec.clone(), spec], None).expect("batch");
+//! assert!(many.iter().all(|item| item.is_ok()));
+//! drop(client);
+//! server.drain();
+//! ```
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+use crate::protocol::{
+    analyze_request_line, batch_request_line, metrics_request_line, parse_response,
+    simulate_request_line, Response, SimulateReq,
+};
+use unet_obs::json::Value;
+
+/// A typed `error` response from the server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerError {
+    /// Machine-readable failure code (`bad-spec`, `deadline-exceeded`, …).
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection could not be established or the round trip died.
+    Io(std::io::Error),
+    /// The server answered with something the protocol module rejects.
+    Protocol(String),
+    /// The server answered with a typed `error` response.
+    Server(ServerError),
+    /// Every retry hit a full admission queue.
+    Overloaded {
+        /// The server's configured queue bound.
+        queue_cap: u64,
+        /// The server's last wait hint.
+        retry_after_ms: Option<u64>,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Server(e) => write!(f, "server: {e}"),
+            ClientError::Overloaded { queue_cap, .. } => {
+                write!(f, "overloaded: admission queue full (cap {queue_cap})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// The typed payload of one successful `simulate` (or batch member).
+#[derive(Debug, Clone)]
+pub struct SimulateResult {
+    /// Measured slowdown (host steps per guest step).
+    pub slowdown: f64,
+    /// Inefficiency `k = s·m/n`.
+    pub inefficiency: f64,
+    /// Total host steps of the certified protocol.
+    pub host_steps: u64,
+    /// Communication-phase host steps.
+    pub comm_steps: u64,
+    /// Compute-phase host steps.
+    pub compute_steps: u64,
+    /// The run reused a route plan from the shared cache.
+    pub shared_cache_hit: bool,
+    /// The run was certified (always true in a `result`).
+    pub verified: bool,
+    /// Server-side wall time in milliseconds.
+    pub wall_ms: f64,
+    /// The full payload object, for fields this struct does not name.
+    pub raw: Value,
+}
+
+impl SimulateResult {
+    fn from_value(v: Value) -> Result<SimulateResult, ClientError> {
+        let f = |name: &str| v.get(name).and_then(Value::as_f64);
+        let u = |name: &str| v.get(name).and_then(Value::as_u64);
+        let ok = (|| {
+            Some(SimulateResult {
+                slowdown: f("slowdown")?,
+                inefficiency: f("inefficiency")?,
+                host_steps: u("host_steps")?,
+                comm_steps: u("comm_steps")?,
+                compute_steps: u("compute_steps")?,
+                shared_cache_hit: v.get("shared_cache_hit").and_then(Value::as_bool)?,
+                verified: v.get("verified").and_then(Value::as_bool)?,
+                wall_ms: f("wall_ms")?,
+                raw: v.clone(),
+            })
+        })();
+        ok.ok_or_else(|| {
+            ClientError::Protocol(format!("incomplete simulate payload: {}", v.to_json()))
+        })
+    }
+}
+
+/// How many times [`Client`] retries an `overloaded` rejection by default.
+const DEFAULT_RETRIES: u32 = 0;
+
+/// Upper bound on one retry sleep, so a wild server hint cannot park the
+/// client for minutes.
+const MAX_RETRY_SLEEP: Duration = Duration::from_secs(2);
+
+/// A persistent typed connection to a `unet-serve` server.
+///
+/// Construct with [`Client::connect`], shape with the builder-style
+/// [`timeout`](Client::timeout) / [`retries`](Client::retries), then call
+/// the typed request methods. The connection is kept open across calls and
+/// transparently re-established after an IO failure or an `overloaded`
+/// rejection (the retry honors the server's `retry_after_ms` hint).
+pub struct Client {
+    addr: String,
+    timeout: Option<Duration>,
+    retries: u32,
+    conn: Option<(TcpStream, BufReader<TcpStream>)>,
+}
+
+impl Client {
+    /// Connect eagerly to `addr` (host:port).
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let mut client =
+            Client { addr: addr.to_string(), timeout: None, retries: DEFAULT_RETRIES, conn: None };
+        client.ensure_conn()?;
+        Ok(client)
+    }
+
+    /// Set a read/write timeout for the connection (applies immediately).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        if let Some((stream, _)) = &self.conn {
+            let _ = stream.set_read_timeout(Some(timeout));
+            let _ = stream.set_write_timeout(Some(timeout));
+        }
+        self
+    }
+
+    /// Retry `overloaded` rejections up to `retries` times, sleeping the
+    /// server's `retry_after_ms` hint between attempts (default 0 — fail
+    /// fast).
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// The address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn ensure_conn(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            if let Some(t) = self.timeout {
+                let _ = stream.set_read_timeout(Some(t));
+                let _ = stream.set_write_timeout(Some(t));
+            }
+            let reader = BufReader::new(stream.try_clone()?);
+            self.conn = Some((stream, reader));
+        }
+        Ok(())
+    }
+
+    /// One raw line round trip (no retries, no response typing). The
+    /// connection is re-established once if the round trip dies.
+    pub fn request_raw(&mut self, line: &str) -> Result<String, ClientError> {
+        match self.round_trip_once(line) {
+            Ok(resp) => Ok(resp),
+            Err(ClientError::Io(_)) => {
+                // One reconnect: the server may have closed an idle
+                // connection between calls.
+                self.conn = None;
+                self.round_trip_once(line)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn round_trip_once(&mut self, line: &str) -> Result<String, ClientError> {
+        self.ensure_conn()?;
+        let result = (|| {
+            let (stream, reader) = self.conn.as_mut().expect("ensured above");
+            writeln!(stream, "{line}")?;
+            stream.flush()?;
+            let mut response = String::new();
+            let n = reader.read_line(&mut response)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection without responding",
+                ));
+            }
+            Ok(response.trim_end().to_string())
+        })();
+        if result.is_err() {
+            self.conn = None;
+        }
+        result.map_err(ClientError::Io)
+    }
+
+    /// Send a pre-built request `line`, classify the response, and retry
+    /// `overloaded` rejections per the configured budget. The typed
+    /// methods ([`simulate`](Client::simulate) etc.) are the usual entry
+    /// points; this one serves callers that build request lines
+    /// themselves.
+    pub fn request_typed_line(&mut self, line: &str) -> Result<Value, ClientError> {
+        let mut attempts_left = self.retries;
+        loop {
+            let raw = self.request_raw(line)?;
+            match parse_response(&raw).map_err(ClientError::Protocol)? {
+                Response::Result(v) => return Ok(v),
+                Response::Error { code, message, .. } => {
+                    return Err(ClientError::Server(ServerError { code, message }))
+                }
+                Response::Overloaded { queue_cap, retry_after_ms } => {
+                    // The server answered before reading our request and
+                    // will close; reconnect either way.
+                    self.conn = None;
+                    if attempts_left == 0 {
+                        return Err(ClientError::Overloaded { queue_cap, retry_after_ms });
+                    }
+                    attempts_left -= 1;
+                    let hint = Duration::from_millis(retry_after_ms.unwrap_or(10));
+                    std::thread::sleep(hint.min(MAX_RETRY_SLEEP));
+                }
+            }
+        }
+    }
+
+    /// Run one simulation and return its typed result.
+    pub fn simulate(&mut self, spec: &SimulateReq) -> Result<SimulateResult, ClientError> {
+        let v = self.request_typed_line(&simulate_request_line(spec))?;
+        SimulateResult::from_value(v)
+    }
+
+    /// Run a batch of simulations under one deadline. The outer `Result`
+    /// is the round trip; the inner per-item results isolate failures
+    /// (one bad spec fails only its own slot).
+    #[allow(clippy::type_complexity)]
+    pub fn simulate_batch(
+        &mut self,
+        specs: &[SimulateReq],
+        deadline_ms: Option<u64>,
+    ) -> Result<Vec<Result<SimulateResult, ServerError>>, ClientError> {
+        let v = self.request_typed_line(&batch_request_line(specs, deadline_ms, None))?;
+        let items = v
+            .get("items")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| ClientError::Protocol("batch result without `items`".into()))?;
+        items
+            .iter()
+            .map(|item| match item.get("ok").and_then(Value::as_bool) {
+                Some(true) => SimulateResult::from_value(item.clone()).map(Ok),
+                Some(false) => Ok(Err(ServerError {
+                    code: item.get("code").and_then(Value::as_str).unwrap_or("unknown").to_string(),
+                    message: item.get("message").and_then(Value::as_str).unwrap_or("").to_string(),
+                })),
+                None => Err(ClientError::Protocol(format!(
+                    "batch item without `ok`: {}",
+                    item.to_json()
+                ))),
+            })
+            .collect()
+    }
+
+    /// Aggregate trace lines with the server's streaming analyzer and
+    /// return the metrics exposition it produced.
+    pub fn analyze(&mut self, trace: &[String]) -> Result<String, ClientError> {
+        let v = self.request_typed_line(&analyze_request_line(trace, None))?;
+        v.get("exposition")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("analyze result without `exposition`".into()))
+    }
+
+    /// Fetch the server's live Prometheus exposition.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let v = self.request_typed_line(&metrics_request_line(None))?;
+        v.get("exposition")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics result without `exposition`".into()))
+    }
+}
 
 /// Connect to `addr`, send one request line, and read one response line.
 ///
 /// The connection is closed afterwards — scripting-friendly, at the cost of
-/// a connect per request (the load generator keeps connections open
-/// instead). An empty response (server closed without answering) is an
-/// `UnexpectedEof` error.
+/// a connect per request. An empty response (server closed without
+/// answering) is an `UnexpectedEof` error.
+#[deprecated(since = "0.2.0", note = "use `Client::connect(addr)` and its typed methods")]
 pub fn request_line(addr: &str, line: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     writeln!(stream, "{line}")?;

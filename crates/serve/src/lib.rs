@@ -7,32 +7,41 @@
 //! metric aggregates) alive across requests:
 //!
 //! * [`protocol`] — the versioned newline-delimited JSON wire format
-//!   (`unet-serve/1`): `simulate` / `analyze` / `metrics` requests,
-//!   `result` / `error` / `overloaded` responses;
+//!   (`unet-serve/2`, with a `/1` compatibility reader): `simulate` /
+//!   `batch` / `analyze` / `metrics` requests, `result` / `error` /
+//!   `overloaded` responses;
 //! * [`queue`] — the bounded admission queue; a full queue produces a
-//!   typed `overloaded` rejection, never unbounded buffering;
-//! * [`server`] — acceptor + worker pool sharing one
-//!   [`SharedPlanCache`](unet_core::SharedPlanCache) (repeated guest/host
-//!   workloads skip route-plan compilation) and one metrics recorder;
-//!   per-request deadlines ride the engine's phase-boundary cancellation;
-//!   [`Server::drain`] answers everything in flight and flushes metrics;
+//!   typed `overloaded` rejection with a `retry_after_ms` hint, never
+//!   unbounded buffering;
+//! * [`server`] — acceptor + connection workers + batching executors.
+//!   Admitted requests are grouped by
+//!   [`workload_fingerprint`](unet_core::workload_fingerprint) into
+//!   micro-batches; a cold fingerprint builds its route plan exactly once
+//!   (single-flight, on the shared
+//!   [`SharedPlanCache`](unet_core::SharedPlanCache)) while batchmates and
+//!   racing misses reuse it; per-request deadlines ride the engine's
+//!   phase-boundary cancellation; [`Server::drain`] answers everything in
+//!   flight and flushes metrics;
 //! * [`loadgen`] — a deterministic closed-loop load generator for capacity
-//!   experiments (E19) and CI smoke tests;
-//! * [`client`] — one-shot request helper behind `unet request`;
+//!   experiments (E19/E20) and CI smoke tests;
+//! * [`client`] — the typed [`Client`] behind
+//!   `unet request`;
 //! * [`signal`] — SIGTERM-to-flag plumbing for graceful drain.
 //!
 //! ```
 //! use unet_serve::{Server, ServeConfig};
-//! use unet_serve::client::request_line;
-//! use unet_serve::protocol::{simulate_request_line, parse_response, Response, SimulateReq};
+//! use unet_serve::client::Client;
+//! use unet_serve::protocol::SimulateReq;
 //!
 //! let server = Server::start(ServeConfig::default()).expect("bind");
-//! let req = simulate_request_line(&SimulateReq {
+//! let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+//! let spec = SimulateReq {
 //!     guest: "ring:12".into(), host: "torus:2x2".into(),
-//!     steps: 2, seed: 7, deadline_ms: None, id: Some(1),
-//! });
-//! let resp = request_line(&server.addr().to_string(), &req).expect("round trip");
-//! assert!(matches!(parse_response(&resp), Ok(Response::Result(_))));
+//!     steps: 2, seed: 7, deadline_ms: None, id: None,
+//! };
+//! let result = client.simulate(&spec).expect("round trip");
+//! assert!(result.verified);
+//! drop(client);
 //! let report = server.drain();
 //! assert_eq!(report.stats.completed, 1);
 //! ```
@@ -46,6 +55,7 @@ pub mod queue;
 pub mod server;
 pub mod signal;
 
+pub use client::{Client, ClientError, ServerError, SimulateResult};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use protocol::{Request, Response, PROTOCOL};
+pub use protocol::{ProtoVersion, Request, Response, PROTOCOL, PROTOCOL_V1};
 pub use server::{DrainReport, ServeConfig, Server, ServerStats};

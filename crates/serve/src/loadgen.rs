@@ -1,22 +1,28 @@
 //! Deterministic closed-loop load generator.
 //!
 //! `clients` concurrent connections each issue `requests_per_client`
-//! identical `simulate` requests back-to-back (closed loop: the next
-//! request leaves only after the previous response arrives). The request
-//! *count* and workload are fully deterministic — only wall-clock latency
-//! varies — which is what the E19 offered-load sweep needs: saturation
-//! throughput ordered by worker count, with the shared route-plan cache
-//! absorbing every repeat of the workload.
+//! identical round trips back-to-back (closed loop: the next request
+//! leaves only after the previous response arrives). Each round trip
+//! carries `batch` simulate specs — 1 sends a plain `simulate` request,
+//! more sends one `batch` request — so offered load in *items* is
+//! `clients × requests_per_client × batch`. The item count and workload
+//! are fully deterministic — only wall-clock latency varies — which is
+//! what the E19/E20 offered-load sweeps need: saturation throughput
+//! ordered by worker count and batch size, with the shared route-plan
+//! cache absorbing every repeat of the workload.
 //!
 //! An optional warm-up request is issued before the clients start so the
 //! one unavoidable shared-cache miss happens deterministically up front
-//! (`hit_ratio = R·C / (R·C + 1)` on a repeated workload).
+//! (`hit_ratio = R·C / (R·C + 1)` on a repeated workload with `batch = 1`).
 
 use std::io;
 use std::time::Instant;
 
-use crate::client::request_line;
-use crate::protocol::{parse_response, simulate_request_line, Response, SimulateReq};
+use crate::client::Client;
+use crate::protocol::{
+    batch_request_line, parse_response, simulate_request_line, Response, SimulateReq,
+};
+use unet_obs::json::Value;
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -25,15 +31,18 @@ pub struct LoadgenConfig {
     pub addr: String,
     /// Concurrent closed-loop clients.
     pub clients: usize,
-    /// Requests each client issues.
+    /// Round trips each client issues.
     pub requests_per_client: usize,
+    /// Simulate specs per round trip (1 = plain `simulate` requests,
+    /// ≥ 2 = `batch` requests).
+    pub batch: usize,
     /// Guest graph spec.
     pub guest: String,
     /// Host graph spec.
     pub host: String,
-    /// Guest steps per request.
+    /// Guest steps per item.
     pub steps: u32,
-    /// Seed (identical across requests — that is the point: a repeated
+    /// Seed (identical across items — that is the point: a repeated
     /// workload exercises the shared plan cache).
     pub seed: u64,
     /// Per-request deadline override.
@@ -45,23 +54,24 @@ pub struct LoadgenConfig {
 /// What a load-generator run measured.
 #[derive(Debug, Clone)]
 pub struct LoadgenReport {
-    /// Requests issued (including the warm-up when enabled).
+    /// Simulate items issued (including the warm-up when enabled).
     pub sent: usize,
-    /// Requests answered with `result`.
+    /// Items answered successfully.
     pub completed: usize,
-    /// Requests rejected with `overloaded`.
+    /// Items rejected with `overloaded`.
     pub rejected: usize,
-    /// Requests answered with `error` or lost to I/O failures.
+    /// Items answered with `error` (or a failed batch slot) or lost to
+    /// I/O failures.
     pub errors: usize,
     /// Wall time of the measured (post-warm-up) phase in milliseconds.
     pub wall_ms: f64,
-    /// Per-request latencies in milliseconds, sorted ascending
-    /// (warm-up excluded).
+    /// Per-round-trip latencies in milliseconds, sorted ascending
+    /// (warm-up excluded). A batch round trip is one sample.
     pub latencies_ms: Vec<f64>,
 }
 
 impl LoadgenReport {
-    /// Mean request latency (`None` when nothing completed).
+    /// Mean round-trip latency (`None` when nothing completed).
     pub fn mean_ms(&self) -> Option<f64> {
         if self.latencies_ms.is_empty() {
             None
@@ -79,7 +89,7 @@ impl LoadgenReport {
         Some(self.latencies_ms[idx.min(self.latencies_ms.len() - 1)])
     }
 
-    /// Completed requests per second over the measured phase.
+    /// Completed items per second over the measured phase.
     pub fn throughput_rps(&self) -> f64 {
         if self.wall_ms <= 0.0 {
             0.0
@@ -98,49 +108,70 @@ struct ClientTally {
     latencies_ms: Vec<f64>,
 }
 
-fn run_client(addr: &str, line: &str, requests: usize) -> ClientTally {
-    use std::io::{BufRead, BufReader, Write};
-    let mut tally = ClientTally::default();
-    let mut conn: Option<(std::net::TcpStream, BufReader<std::net::TcpStream>)> = None;
-    for _ in 0..requests {
-        if conn.is_none() {
-            match std::net::TcpStream::connect(addr) {
-                Ok(stream) => match stream.try_clone() {
-                    Ok(read_half) => conn = Some((stream, BufReader::new(read_half))),
-                    Err(_) => {
-                        tally.errors += 1;
-                        continue;
+/// Classify one response line into per-item outcome counts.
+fn tally_response(tally: &mut ClientTally, response: &str, items: usize) -> TallyKind {
+    match parse_response(response.trim()) {
+        Ok(Response::Result(v)) => {
+            match v.get("items").and_then(Value::as_arr) {
+                Some(arr) => {
+                    for item in arr {
+                        if item.get("ok").and_then(Value::as_bool) == Some(true) {
+                            tally.completed += 1;
+                        } else {
+                            tally.errors += 1;
+                        }
                     }
-                },
+                }
+                None => tally.completed += items,
+            }
+            TallyKind::Result
+        }
+        Ok(Response::Overloaded { .. }) => {
+            tally.rejected += items;
+            TallyKind::Overloaded
+        }
+        Ok(Response::Error { .. }) | Err(_) => {
+            tally.errors += items;
+            TallyKind::Error
+        }
+    }
+}
+
+enum TallyKind {
+    Result,
+    Overloaded,
+    Error,
+}
+
+fn run_client(addr: &str, line: &str, requests: usize, items: usize) -> ClientTally {
+    let mut tally = ClientTally::default();
+    let mut client: Option<Client> = None;
+    for _ in 0..requests {
+        if client.is_none() {
+            match Client::connect(addr) {
+                Ok(c) => client = Some(c),
                 Err(_) => {
-                    tally.errors += 1;
+                    tally.errors += items;
                     continue;
                 }
             }
         }
-        let (stream, reader) = conn.as_mut().expect("connected above");
+        let conn = client.as_mut().expect("connected above");
         let started = Instant::now();
-        let mut response = String::new();
-        let io_ok = writeln!(stream, "{line}")
-            .and_then(|_| stream.flush())
-            .and_then(|_| reader.read_line(&mut response))
-            .map(|n| n > 0)
-            .unwrap_or(false);
-        if !io_ok {
-            tally.errors += 1;
-            conn = None; // reconnect and keep going
-            continue;
-        }
-        match parse_response(response.trim()) {
-            Ok(Response::Result(_)) => {
-                tally.completed += 1;
-                tally.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        match conn.request_raw(line) {
+            Ok(response) => match tally_response(&mut tally, &response, items) {
+                TallyKind::Result => {
+                    tally.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+                }
+                // The server answers overloaded before reading and drops
+                // the connection; reconnect and keep going.
+                TallyKind::Overloaded => client = None,
+                TallyKind::Error => {}
+            },
+            Err(_) => {
+                tally.errors += items;
+                client = None; // reconnect and keep going
             }
-            Ok(Response::Overloaded { .. }) => {
-                tally.rejected += 1;
-                conn = None; // the server dropped this connection
-            }
-            Ok(Response::Error { .. }) | Err(_) => tally.errors += 1,
         }
     }
     tally
@@ -148,20 +179,28 @@ fn run_client(addr: &str, line: &str, requests: usize) -> ClientTally {
 
 /// Run the closed loop and aggregate every client's tally.
 pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
-    let line = simulate_request_line(&SimulateReq {
+    let batch = cfg.batch.max(1);
+    let spec = SimulateReq {
         guest: cfg.guest.clone(),
         host: cfg.host.clone(),
         steps: cfg.steps,
         seed: cfg.seed,
         deadline_ms: cfg.deadline_ms,
         id: None,
-    });
+    };
+    let line = if batch == 1 {
+        simulate_request_line(&spec)
+    } else {
+        batch_request_line(&vec![spec.clone(); batch], cfg.deadline_ms, None)
+    };
     let mut sent = 0usize;
     let mut warm_completed = 0usize;
     let mut warm_errors = 0usize;
     if cfg.warmup {
         sent += 1;
-        match request_line(&cfg.addr, &line) {
+        let warm_line = simulate_request_line(&spec);
+        let outcome = Client::connect(&cfg.addr).and_then(|mut c| c.request_raw(&warm_line));
+        match outcome {
             Ok(resp) => match parse_response(resp.trim()) {
                 Ok(Response::Result(_)) => warm_completed += 1,
                 _ => warm_errors += 1,
@@ -175,14 +214,14 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
             .map(|_| {
                 let addr = &cfg.addr;
                 let line = &line;
-                s.spawn(move |_| run_client(addr, line, cfg.requests_per_client))
+                s.spawn(move |_| run_client(addr, line, cfg.requests_per_client, batch))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
     })
     .expect("loadgen scope");
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
-    sent += cfg.clients * cfg.requests_per_client;
+    sent += cfg.clients * cfg.requests_per_client * batch;
     let mut report = LoadgenReport {
         sent,
         completed: warm_completed,
@@ -235,5 +274,15 @@ mod tests {
         assert_eq!(report.percentile_ms(99.0), None);
         assert_eq!(report.mean_ms(), None);
         assert_eq!(report.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn batch_responses_tally_per_item() {
+        let mut tally = ClientTally::default();
+        let line = "{\"proto\":\"unet-serve/2\",\"kind\":\"result\",\"req\":\"batch\",\
+                    \"items\":[{\"ok\":true},{\"ok\":false,\"code\":\"bad-spec\",\
+                    \"message\":\"x\"},{\"ok\":true}]}";
+        assert!(matches!(tally_response(&mut tally, line, 3), TallyKind::Result));
+        assert_eq!((tally.completed, tally.errors, tally.rejected), (2, 1, 0));
     }
 }

@@ -1,34 +1,94 @@
-//! The `unet-serve/1` wire protocol.
+//! The `unet-serve/2` wire protocol (with a `unet-serve/1` compatibility
+//! reader).
 //!
 //! Newline-delimited JSON over TCP, one request and one response per line,
-//! versioned by a mandatory `proto` field. Three request kinds:
+//! versioned by a mandatory `proto` field. Four request kinds:
 //!
 //! ```text
-//! {"proto":"unet-serve/1","kind":"simulate","guest":"ring:24","host":"torus:3x3",
+//! {"proto":"unet-serve/2","kind":"simulate","guest":"ring:24","host":"torus:3x3",
 //!  "steps":3,"seed":7,"deadline_ms":5000,"id":1}
-//! {"proto":"unet-serve/1","kind":"analyze","trace":["<jsonl line>", ...],"id":2}
-//! {"proto":"unet-serve/1","kind":"metrics","id":3}
+//! {"proto":"unet-serve/2","kind":"batch","items":[{"guest":"ring:24",
+//!  "host":"torus:3x3","steps":3,"seed":7}, ...],"deadline_ms":5000,"id":2}
+//! {"proto":"unet-serve/2","kind":"analyze","trace":["<jsonl line>", ...],"id":3}
+//! {"proto":"unet-serve/2","kind":"metrics","id":4}
 //! ```
 //!
 //! and three response kinds:
 //!
 //! * `result` — the request succeeded; carries `req` (the request kind),
 //!   the echoed `id` if one was sent, and kind-specific payload fields
-//!   (`slowdown`, `exposition`, …);
-//! * `error` — carries a machine-readable `code`
-//!   (`bad-request`, `bad-spec`, `bad-trace`, `deadline-exceeded`,
-//!   `sim-error`, `verify-failed`) and a human `message`;
+//!   (`slowdown`, `exposition`, …). A `batch` result carries an `items`
+//!   array with one entry per submitted spec, **positionally aligned**:
+//!   `{"ok":true, ...payload}` for members that ran, `{"ok":false,
+//!   "code":..,"message":..}` for members that failed — one bad spec never
+//!   poisons its batchmates;
+//! * `error` — carries a machine-readable `code` (`bad-request`,
+//!   `bad-spec`, `bad-trace`, `deadline-exceeded`, `sim-error`,
+//!   `verify-failed`, `unsupported-protocol`) and a human `message`;
 //! * `overloaded` — the admission queue was full; the server rejected the
 //!   connection *before* queueing it (explicit backpressure, never
-//!   unbounded buffering). Carries the configured `queue_cap`.
+//!   unbounded buffering). Carries the configured `queue_cap` and a
+//!   `retry_after_ms` hint derived from queue depth and drain rate.
+//!
+//! ## Version negotiation
+//!
+//! The server reads both `unet-serve/1` and `unet-serve/2` requests and
+//! stamps each response with the version the request spoke, so a `/1`
+//! client keeps seeing well-formed `/1` lines. The `batch` kind is `/2`
+//! only. Unknown versions get a typed `unsupported-protocol` error, not a
+//! hangup. The one asymmetry: `overloaded` is emitted before the request
+//! line is read, so it is always stamped with the server-native version —
+//! clients of either version parse it (the fields are identical).
 //!
 //! Graph specifications are the same `family:params` strings the CLI takes
 //! everywhere else ([`unet_core::spec::parse_graph`]).
 
 use unet_obs::json::Value;
 
-/// The protocol version string every request and response carries.
-pub const PROTOCOL: &str = "unet-serve/1";
+/// The server-native protocol version every request and response carries.
+pub const PROTOCOL: &str = "unet-serve/2";
+
+/// The previous protocol version, still accepted by the compatibility
+/// reader and echoed back to `/1` clients.
+pub const PROTOCOL_V1: &str = "unet-serve/1";
+
+/// A protocol version spoken by a request (and echoed by its responses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtoVersion {
+    /// `unet-serve/1` — no `batch` kind, no `retry_after_ms`.
+    V1,
+    /// `unet-serve/2` — the current protocol.
+    V2,
+}
+
+impl ProtoVersion {
+    /// The wire string for this version.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ProtoVersion::V1 => PROTOCOL_V1,
+            ProtoVersion::V2 => PROTOCOL,
+        }
+    }
+}
+
+/// Why a request line failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The `proto` field named a version this server does not speak.
+    /// Becomes a typed `unsupported-protocol` error response.
+    UnsupportedProto(String),
+    /// The line was malformed (bad JSON, missing fields, unknown kind).
+    /// Becomes a `bad-request` error response.
+    Malformed(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::UnsupportedProto(m) | ParseError::Malformed(m) => write!(f, "{m}"),
+        }
+    }
+}
 
 /// A `simulate` request: run a guest spec on a host spec and certify it.
 #[derive(Debug, Clone, PartialEq)]
@@ -48,11 +108,26 @@ pub struct SimulateReq {
     pub id: Option<u64>,
 }
 
+/// A `batch` request: many simulate specs under one deadline, answered by
+/// one positionally-aligned result line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReq {
+    /// Per-item parse outcome: `Ok` specs run, `Err` items become
+    /// positional `{"ok":false,...}` entries without touching the rest.
+    pub items: Vec<Result<SimulateReq, String>>,
+    /// One deadline for the whole batch (server default when absent).
+    pub deadline_ms: Option<u64>,
+    /// Client correlation id, echoed in the response.
+    pub id: Option<u64>,
+}
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run and certify one simulation.
     Simulate(SimulateReq),
+    /// Run many simulations under one deadline (`/2` only).
+    Batch(BatchReq),
     /// Aggregate trace lines with the streaming analyzer.
     Analyze {
         /// JSONL trace lines (the `unet trace` format).
@@ -72,6 +147,7 @@ impl Request {
     pub fn kind(&self) -> &'static str {
         match self {
             Request::Simulate(_) => "simulate",
+            Request::Batch(_) => "batch",
             Request::Analyze { .. } => "analyze",
             Request::Metrics { .. } => "metrics",
         }
@@ -81,68 +157,106 @@ impl Request {
     pub fn id(&self) -> Option<u64> {
         match self {
             Request::Simulate(r) => r.id,
+            Request::Batch(b) => b.id,
             Request::Analyze { id, .. } | Request::Metrics { id } => *id,
         }
     }
 }
 
-/// Parse one request line. Errors are human-readable and become the
-/// `message` of a `bad-request` response.
-pub fn parse_request(line: &str) -> Result<Request, String> {
-    let v = unet_obs::json::parse(line)?;
-    match v.get("proto").and_then(Value::as_str) {
-        Some(PROTOCOL) => {}
-        Some(other) => return Err(format!("unsupported protocol {other:?} (want {PROTOCOL:?})")),
-        None => return Err(format!("missing `proto` field (want {PROTOCOL:?})")),
-    }
+fn parse_simulate_fields(v: &Value, id: Option<u64>) -> Result<SimulateReq, String> {
+    let field = |name: &str| {
+        v.get(name)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("simulate needs a string `{name}` field"))
+    };
+    let steps =
+        v.get("steps").and_then(Value::as_u64).ok_or("simulate needs an integer `steps` field")?;
+    let steps = u32::try_from(steps).map_err(|_| format!("steps {steps} exceeds u32::MAX"))?;
+    Ok(SimulateReq {
+        guest: field("guest")?,
+        host: field("host")?,
+        steps,
+        seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
+        deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
+        id,
+    })
+}
+
+/// Parse one request line, returning the protocol version it spoke so the
+/// response can be stamped to match. [`ParseError::UnsupportedProto`]
+/// deserves a typed `unsupported-protocol` response, never a hangup.
+pub fn parse_request(line: &str) -> Result<(ProtoVersion, Request), ParseError> {
+    let v = unet_obs::json::parse(line).map_err(ParseError::Malformed)?;
+    let ver = match v.get("proto").and_then(Value::as_str) {
+        Some(PROTOCOL) => ProtoVersion::V2,
+        Some(PROTOCOL_V1) => ProtoVersion::V1,
+        Some(other) => {
+            return Err(ParseError::UnsupportedProto(format!(
+            "unsupported protocol {other:?} (this server speaks {PROTOCOL:?} and {PROTOCOL_V1:?})"
+        )))
+        }
+        None => {
+            return Err(ParseError::Malformed(format!("missing `proto` field (want {PROTOCOL:?})")))
+        }
+    };
     let id = v.get("id").and_then(Value::as_u64);
-    match v.get("kind").and_then(Value::as_str) {
+    let req = match v.get("kind").and_then(Value::as_str) {
         Some("simulate") => {
-            let field = |name: &str| {
-                v.get(name)
-                    .and_then(Value::as_str)
-                    .map(str::to_string)
-                    .ok_or_else(|| format!("simulate needs a string `{name}` field"))
-            };
-            let steps = v
-                .get("steps")
-                .and_then(Value::as_u64)
-                .ok_or("simulate needs an integer `steps` field")?;
-            let steps =
-                u32::try_from(steps).map_err(|_| format!("steps {steps} exceeds u32::MAX"))?;
-            Ok(Request::Simulate(SimulateReq {
-                guest: field("guest")?,
-                host: field("host")?,
-                steps,
-                seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
+            Request::Simulate(parse_simulate_fields(&v, id).map_err(ParseError::Malformed)?)
+        }
+        Some("batch") => {
+            if ver == ProtoVersion::V1 {
+                return Err(ParseError::Malformed(format!(
+                    "the `batch` kind needs {PROTOCOL:?} (got {PROTOCOL_V1:?})"
+                )));
+            }
+            let arr = v
+                .get("items")
+                .and_then(Value::as_arr)
+                .ok_or_else(|| ParseError::Malformed("batch needs an `items` array".into()))?;
+            if arr.is_empty() {
+                return Err(ParseError::Malformed("batch `items` must be non-empty".into()));
+            }
+            let items = arr
+                .iter()
+                .map(|item| {
+                    let item_id = item.get("id").and_then(Value::as_u64);
+                    parse_simulate_fields(item, item_id)
+                })
+                .collect();
+            Request::Batch(BatchReq {
+                items,
                 deadline_ms: v.get("deadline_ms").and_then(Value::as_u64),
                 id,
-            }))
+            })
         }
         Some("analyze") => {
-            let arr = v
-                .get("trace")
-                .and_then(Value::as_arr)
-                .ok_or("analyze needs a `trace` array of JSONL lines")?;
+            let arr = v.get("trace").and_then(Value::as_arr).ok_or_else(|| {
+                ParseError::Malformed("analyze needs a `trace` array of JSONL lines".into())
+            })?;
             let trace = arr
                 .iter()
                 .map(|l| {
-                    l.as_str()
-                        .map(str::to_string)
-                        .ok_or_else(|| "analyze `trace` entries must all be strings".to_string())
+                    l.as_str().map(str::to_string).ok_or_else(|| {
+                        ParseError::Malformed("analyze `trace` entries must all be strings".into())
+                    })
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Request::Analyze { trace, id })
+            Request::Analyze { trace, id }
         }
-        Some("metrics") => Ok(Request::Metrics { id }),
-        Some(other) => Err(format!("unknown request kind {other:?}")),
-        None => Err("missing `kind` field".into()),
-    }
+        Some("metrics") => Request::Metrics { id },
+        Some(other) => {
+            return Err(ParseError::Malformed(format!("unknown request kind {other:?}")))
+        }
+        None => return Err(ParseError::Malformed("missing `kind` field".into())),
+    };
+    Ok((ver, req))
 }
 
-fn envelope(kind: &str, id: Option<u64>) -> Vec<(String, Value)> {
+fn envelope(ver: ProtoVersion, kind: &str, id: Option<u64>) -> Vec<(String, Value)> {
     let mut fields = vec![
-        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
+        ("proto".to_string(), Value::Str(ver.as_str().to_string())),
         ("kind".to_string(), Value::Str(kind.to_string())),
     ];
     if let Some(id) = id {
@@ -152,36 +266,58 @@ fn envelope(kind: &str, id: Option<u64>) -> Vec<(String, Value)> {
 }
 
 /// Build a `result` response line for request kind `req` with the given
-/// payload fields.
-pub fn result_line(req: &str, id: Option<u64>, payload: Vec<(String, Value)>) -> String {
-    let mut fields = envelope("result", id);
+/// payload fields, stamped with the version the request spoke.
+pub fn result_line(
+    ver: ProtoVersion,
+    req: &str,
+    id: Option<u64>,
+    payload: Vec<(String, Value)>,
+) -> String {
+    let mut fields = envelope(ver, "result", id);
     fields.push(("req".to_string(), Value::Str(req.to_string())));
     fields.extend(payload);
     Value::Obj(fields).to_json()
 }
 
-/// Build an `error` response line with a machine-readable `code`.
-pub fn error_line(code: &str, message: &str, id: Option<u64>) -> String {
-    let mut fields = envelope("error", id);
+/// Build an `error` response line with a machine-readable `code`, stamped
+/// with the version the request spoke.
+pub fn error_line(ver: ProtoVersion, code: &str, message: &str, id: Option<u64>) -> String {
+    let mut fields = envelope(ver, "error", id);
     fields.push(("code".to_string(), Value::Str(code.to_string())));
     fields.push(("message".to_string(), Value::Str(message.to_string())));
     Value::Obj(fields).to_json()
 }
 
+/// One entry of a batch `result`'s `items` array: the member ran and its
+/// payload follows, or it failed with a typed code and message.
+pub fn batch_item_value(outcome: Result<Vec<(String, Value)>, (String, String)>) -> Value {
+    match outcome {
+        Ok(payload) => {
+            let mut fields = vec![("ok".to_string(), Value::Bool(true))];
+            fields.extend(payload);
+            Value::Obj(fields)
+        }
+        Err((code, message)) => Value::Obj(vec![
+            ("ok".to_string(), Value::Bool(false)),
+            ("code".to_string(), Value::Str(code)),
+            ("message".to_string(), Value::Str(message)),
+        ]),
+    }
+}
+
 /// Build the typed backpressure rejection the acceptor sends when the
-/// admission queue is full.
-pub fn overloaded_line(queue_cap: usize) -> String {
-    let mut fields = envelope("overloaded", None);
+/// admission queue is full. Emitted before the request line is read, so it
+/// is stamped with the server-native version; the fields parse identically
+/// under both protocols.
+pub fn overloaded_line(queue_cap: usize, retry_after_ms: u64) -> String {
+    let mut fields = envelope(ProtoVersion::V2, "overloaded", None);
     fields.push(("queue_cap".to_string(), Value::UInt(queue_cap as u64)));
+    fields.push(("retry_after_ms".to_string(), Value::UInt(retry_after_ms)));
     Value::Obj(fields).to_json()
 }
 
-/// Build a `simulate` request line (the client/loadgen side of
-/// [`parse_request`]).
-pub fn simulate_request_line(req: &SimulateReq) -> String {
+fn simulate_fields(req: &SimulateReq) -> Vec<(String, Value)> {
     let mut fields = vec![
-        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
-        ("kind".to_string(), Value::Str("simulate".to_string())),
         ("guest".to_string(), Value::Str(req.guest.clone())),
         ("host".to_string(), Value::Str(req.host.clone())),
         ("steps".to_string(), Value::UInt(req.steps as u64)),
@@ -193,17 +329,51 @@ pub fn simulate_request_line(req: &SimulateReq) -> String {
     if let Some(id) = req.id {
         fields.push(("id".to_string(), Value::UInt(id)));
     }
+    fields
+}
+
+/// Build a `simulate` request line (the client/loadgen side of
+/// [`parse_request`]).
+pub fn simulate_request_line(req: &SimulateReq) -> String {
+    let mut fields = vec![
+        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
+        ("kind".to_string(), Value::Str("simulate".to_string())),
+    ];
+    fields.extend(simulate_fields(req));
+    Value::Obj(fields).to_json()
+}
+
+/// Build a `batch` request line: every spec's fields are inlined as one
+/// `items` entry; `deadline_ms` and `id` live on the envelope.
+pub fn batch_request_line(
+    items: &[SimulateReq],
+    deadline_ms: Option<u64>,
+    id: Option<u64>,
+) -> String {
+    let mut fields = vec![
+        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
+        ("kind".to_string(), Value::Str("batch".to_string())),
+        (
+            "items".to_string(),
+            Value::Arr(items.iter().map(|r| Value::Obj(simulate_fields(r))).collect()),
+        ),
+    ];
+    if let Some(d) = deadline_ms {
+        fields.push(("deadline_ms".to_string(), Value::UInt(d)));
+    }
+    if let Some(id) = id {
+        fields.push(("id".to_string(), Value::UInt(id)));
+    }
     Value::Obj(fields).to_json()
 }
 
 /// Build an `analyze` request line.
 pub fn analyze_request_line(trace: &[String], id: Option<u64>) -> String {
-    let fields = vec![
+    let mut fields = vec![
         ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
         ("kind".to_string(), Value::Str("analyze".to_string())),
         ("trace".to_string(), Value::Arr(trace.iter().map(|l| Value::Str(l.clone())).collect())),
     ];
-    let mut fields = fields;
     if let Some(id) = id {
         fields.push(("id".to_string(), Value::UInt(id)));
     }
@@ -240,15 +410,20 @@ pub enum Response {
     Overloaded {
         /// The server's configured queue bound.
         queue_cap: u64,
+        /// Suggested wait before retrying, derived from queue depth and
+        /// drain rate (absent in `/1` responses).
+        retry_after_ms: Option<u64>,
     },
 }
 
-/// Parse one response line.
+/// Parse one response line. Accepts responses of either protocol version
+/// (a retrying client may see a server-native `/2` `overloaded` even when
+/// it spoke `/1`).
 pub fn parse_response(line: &str) -> Result<Response, String> {
     let v = unet_obs::json::parse(line)?;
     match v.get("proto").and_then(Value::as_str) {
-        Some(PROTOCOL) => {}
-        _ => return Err(format!("response is not {PROTOCOL:?}: {line}")),
+        Some(PROTOCOL) | Some(PROTOCOL_V1) => {}
+        _ => return Err(format!("response is not {PROTOCOL:?} or {PROTOCOL_V1:?}: {line}")),
     }
     match v.get("kind").and_then(Value::as_str) {
         Some("result") => Ok(Response::Result(v)),
@@ -259,6 +434,7 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         }),
         Some("overloaded") => Ok(Response::Overloaded {
             queue_cap: v.get("queue_cap").and_then(Value::as_u64).unwrap_or(0),
+            retry_after_ms: v.get("retry_after_ms").and_then(Value::as_u64),
         }),
         other => Err(format!("unknown response kind {other:?}")),
     }
@@ -279,38 +455,117 @@ mod tests {
             id: Some(41),
         };
         let line = simulate_request_line(&req);
-        assert_eq!(parse_request(&line).unwrap(), Request::Simulate(req));
+        assert_eq!(parse_request(&line).unwrap(), (ProtoVersion::V2, Request::Simulate(req)));
+    }
+
+    #[test]
+    fn batch_round_trips_and_isolates_bad_items() {
+        let good = SimulateReq {
+            guest: "ring:24".into(),
+            host: "torus:3x3".into(),
+            steps: 3,
+            seed: 7,
+            deadline_ms: None,
+            id: None,
+        };
+        let line = batch_request_line(&[good.clone(), good.clone()], Some(5000), Some(9));
+        match parse_request(&line).unwrap() {
+            (ProtoVersion::V2, Request::Batch(b)) => {
+                assert_eq!(b.items, vec![Ok(good.clone()), Ok(good)]);
+                assert_eq!(b.deadline_ms, Some(5000));
+                assert_eq!(b.id, Some(9));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+        // A missing field in one item keeps its batchmates parseable.
+        let mixed = format!(
+            "{{\"proto\":{PROTOCOL:?},\"kind\":\"batch\",\"items\":[\
+             {{\"guest\":\"ring:8\",\"host\":\"torus:2x2\",\"steps\":2}},\
+             {{\"guest\":\"ring:8\",\"host\":\"torus:2x2\"}}]}}"
+        );
+        match parse_request(&mixed).unwrap() {
+            (_, Request::Batch(b)) => {
+                assert!(b.items[0].is_ok());
+                assert!(b.items[1].as_ref().unwrap_err().contains("steps"));
+            }
+            other => panic!("expected batch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_needs_v2_and_items() {
+        let v1 = format!(
+            "{{\"proto\":{PROTOCOL_V1:?},\"kind\":\"batch\",\"items\":[\
+             {{\"guest\":\"ring:8\",\"host\":\"torus:2x2\",\"steps\":2}}]}}"
+        );
+        match parse_request(&v1) {
+            Err(ParseError::Malformed(m)) => assert!(m.contains("batch")),
+            other => panic!("expected malformed, got {other:?}"),
+        }
+        let empty = format!("{{\"proto\":{PROTOCOL:?},\"kind\":\"batch\",\"items\":[]}}");
+        assert!(matches!(parse_request(&empty), Err(ParseError::Malformed(_))));
     }
 
     #[test]
     fn analyze_and_metrics_round_trip() {
         let trace = vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()];
         let line = analyze_request_line(&trace, Some(9));
-        assert_eq!(parse_request(&line).unwrap(), Request::Analyze { trace, id: Some(9) });
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            (ProtoVersion::V2, Request::Analyze { trace, id: Some(9) })
+        );
         let line = metrics_request_line(None);
-        assert_eq!(parse_request(&line).unwrap(), Request::Metrics { id: None });
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            (ProtoVersion::V2, Request::Metrics { id: None })
+        );
+    }
+
+    #[test]
+    fn v1_requests_still_parse_and_echo_v1() {
+        let line = format!("{{\"proto\":{PROTOCOL_V1:?},\"kind\":\"metrics\",\"id\":4}}");
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            (ProtoVersion::V1, Request::Metrics { id: Some(4) })
+        );
+        let resp = result_line(ProtoVersion::V1, "metrics", Some(4), vec![]);
+        assert!(resp.contains(PROTOCOL_V1));
+        assert!(parse_response(&resp).is_ok());
     }
 
     #[test]
     fn version_gate_and_errors_are_descriptive() {
-        assert!(parse_request("{}").unwrap_err().contains("proto"));
-        assert!(parse_request("{\"proto\":\"unet-serve/0\",\"kind\":\"metrics\"}")
-            .unwrap_err()
-            .contains("unsupported protocol"));
-        let nokind = format!("{{\"proto\":{:?}}}", PROTOCOL);
-        assert!(parse_request(&nokind).unwrap_err().contains("kind"));
-        let badkind = format!("{{\"proto\":{:?},\"kind\":\"frobnicate\"}}", PROTOCOL);
-        assert!(parse_request(&badkind).unwrap_err().contains("frobnicate"));
-        let nosteps = format!(
-            "{{\"proto\":{:?},\"kind\":\"simulate\",\"guest\":\"ring:4\",\"host\":\"ring:4\"}}",
-            PROTOCOL
+        assert!(
+            matches!(parse_request("{}"), Err(ParseError::Malformed(m)) if m.contains("proto"))
         );
-        assert!(parse_request(&nosteps).unwrap_err().contains("steps"));
+        match parse_request("{\"proto\":\"unet-serve/0\",\"kind\":\"metrics\"}") {
+            Err(ParseError::UnsupportedProto(m)) => assert!(m.contains("unsupported protocol")),
+            other => panic!("expected UnsupportedProto, got {other:?}"),
+        }
+        let nokind = format!("{{\"proto\":{PROTOCOL:?}}}");
+        assert!(
+            matches!(parse_request(&nokind), Err(ParseError::Malformed(m)) if m.contains("kind"))
+        );
+        let badkind = format!("{{\"proto\":{PROTOCOL:?},\"kind\":\"frobnicate\"}}");
+        assert!(
+            matches!(parse_request(&badkind), Err(ParseError::Malformed(m)) if m.contains("frobnicate"))
+        );
+        let nosteps = format!(
+            "{{\"proto\":{PROTOCOL:?},\"kind\":\"simulate\",\"guest\":\"ring:4\",\"host\":\"ring:4\"}}"
+        );
+        assert!(
+            matches!(parse_request(&nosteps), Err(ParseError::Malformed(m)) if m.contains("steps"))
+        );
     }
 
     #[test]
     fn response_lines_classify() {
-        let ok = result_line("simulate", Some(3), vec![("slowdown".into(), Value::Float(4.5))]);
+        let ok = result_line(
+            ProtoVersion::V2,
+            "simulate",
+            Some(3),
+            vec![("slowdown".into(), Value::Float(4.5))],
+        );
         match parse_response(&ok).unwrap() {
             Response::Result(v) => {
                 assert_eq!(v.get("req").and_then(Value::as_str), Some("simulate"));
@@ -319,7 +574,7 @@ mod tests {
             }
             other => panic!("expected result, got {other:?}"),
         }
-        let err = error_line("bad-spec", "unknown graph family \"blah\"", None);
+        let err = error_line(ProtoVersion::V2, "bad-spec", "unknown graph family \"blah\"", None);
         match parse_response(&err).unwrap() {
             Response::Error { code, message, id } => {
                 assert_eq!(code, "bad-spec");
@@ -329,8 +584,18 @@ mod tests {
             other => panic!("expected error, got {other:?}"),
         }
         assert_eq!(
-            parse_response(&overloaded_line(8)).unwrap(),
-            Response::Overloaded { queue_cap: 8 }
+            parse_response(&overloaded_line(8, 120)).unwrap(),
+            Response::Overloaded { queue_cap: 8, retry_after_ms: Some(120) }
         );
+    }
+
+    #[test]
+    fn batch_items_serialize_both_outcomes() {
+        let ok = batch_item_value(Ok(vec![("slowdown".into(), Value::Float(2.0))]));
+        assert_eq!(ok.get("ok").and_then(Value::as_bool), Some(true));
+        assert_eq!(ok.get("slowdown").and_then(Value::as_f64), Some(2.0));
+        let err = batch_item_value(Err(("bad-spec".into(), "nope".into())));
+        assert_eq!(err.get("ok").and_then(Value::as_bool), Some(false));
+        assert_eq!(err.get("code").and_then(Value::as_str), Some("bad-spec"));
     }
 }

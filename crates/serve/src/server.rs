@@ -4,58 +4,84 @@
 //!
 //! * **Acceptor thread** — polls a non-blocking [`TcpListener`]. Every
 //!   accepted connection goes through [`BoundedQueue::try_push`]; a full
-//!   queue turns into an immediate typed `overloaded` response (explicit
-//!   backpressure — the server never buffers unboundedly). Queue depth at
-//!   each admission flows through the same [`Recorder::sample`] hook the
-//!   routing loop uses for congestion series.
-//! * **Worker pool** — `workers` plain threads popping connections and
-//!   serving requests line-by-line. All workers share one process-wide
-//!   [`SharedPlanCache`], so repeated guest/host workloads skip route-plan
-//!   compilation entirely, and one [`InMemoryRecorder`] (behind a mutex)
-//!   accumulating server-level series: admissions/rejections/completions,
-//!   request-latency log₂-histograms, and every `sim.*` counter the engine
-//!   emitted on behalf of requests.
-//! * **Deadlines** — each `simulate` request runs under a
-//!   [`CancelToken::with_deadline`]; the engine checks it at phase
-//!   boundaries and the worker maps [`SimError::Cancelled`] to a
-//!   `deadline-exceeded` error response.
+//!   queue turns into an immediate typed `overloaded` response carrying a
+//!   `retry_after_ms` hint (explicit backpressure — the server never
+//!   buffers unboundedly). Queue depth at each admission flows through the
+//!   same [`Recorder::sample`] hook the routing loop uses for congestion
+//!   series.
+//! * **Connection workers** — `workers` plain threads popping connections
+//!   and reading requests line-by-line. Simulation work is never run on a
+//!   connection worker: each `simulate` (and each member of a `batch`)
+//!   becomes a `Job` on the central job queue, and the connection worker
+//!   blocks on the job's result slot.
+//! * **Batching executors** — `workers` threads popping the job queue.
+//!   A claim takes the head job **plus every queued job with the same
+//!   [`workload_fingerprint`]** (up to `max_batch`, waiting up to
+//!   `linger_ms` for stragglers) in one atomic sweep. If the fingerprint
+//!   is cold, the claim leader runs first — building and publishing the
+//!   route plan exactly once — and the `g − 1` batchmates it spared are
+//!   counted as single-flight followers before fanning out across idle
+//!   executors with the plan already warm. Independent misses that race a
+//!   leader block on the [`SharedPlanCache`] build slot instead of
+//!   recomputing, so a plan is built once per fingerprint no matter how
+//!   requests arrive. Batch sizes land in the `serve.batch.size` log₂
+//!   histogram.
+//! * **Deadlines** — each job runs under a [`CancelToken::with_deadline`];
+//!   the engine checks it at phase boundaries (and while waiting on a
+//!   build slot), and the executor maps [`SimError::Cancelled`] to a
+//!   `deadline-exceeded` error.
 //! * **Graceful drain** — [`Server::drain`] stops the acceptor, lets the
-//!   queue empty, answers every request already in flight (workers close
-//!   idle connections via a short read timeout once shutdown is flagged),
-//!   joins all threads, and returns the final metrics exposition plus a
-//!   JSONL trace of the server recorder. No admitted request is dropped.
+//!   connection queue empty, answers every request already in flight
+//!   (workers close idle connections via a short read timeout once
+//!   shutdown is flagged), then closes the job queue and joins the
+//!   executors last, so no blocked result slot is ever abandoned. No
+//!   admitted request is dropped.
 
+use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::protocol::{
-    error_line, overloaded_line, parse_request, result_line, Request, SimulateReq,
+    batch_item_value, error_line, overloaded_line, parse_request, result_line, BatchReq,
+    ParseError, ProtoVersion, Request, SimulateReq,
 };
 use crate::queue::BoundedQueue;
 use unet_core::cancel::CancelToken;
+use unet_core::routers::Router as _;
 use unet_core::spec::parse_graph;
-use unet_core::{CachePolicy, Embedding, GuestComputation, SharedPlanCache, SimError, Simulation};
+use unet_core::{
+    workload_fingerprint, CachePolicy, Embedding, GuestComputation, SharedPlanCache, SimError,
+    Simulation,
+};
 use unet_obs::json::Value;
 use unet_obs::trace::{export, RunMeta};
 use unet_obs::{InMemoryRecorder, MetricsRegistry, Recorder, TraceAnalyzer};
 use unet_topology::par::default_threads;
+use unet_topology::Graph;
 
 /// Server configuration (all fields have serviceable defaults).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks a free port (the default).
     pub addr: String,
-    /// Worker threads serving requests (default: [`default_threads`]).
+    /// Threads in each pool: connection workers and batching executors
+    /// (default: [`default_threads`]).
     pub workers: usize,
     /// Admission queue bound; 0 rejects every connection (default 64).
     pub queue_cap: usize,
     /// Deadline applied to `simulate` requests that do not carry their own
     /// `deadline_ms` (default 10 000 ms).
     pub default_deadline_ms: u64,
+    /// Largest same-fingerprint group one executor claims at once
+    /// (default 32; 1 disables grouping).
+    pub max_batch: usize,
+    /// How long a claim lingers for same-fingerprint stragglers before
+    /// running with what it has (default 0 — today's latency profile).
+    pub linger_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -65,6 +91,8 @@ impl Default for ServeConfig {
             workers: default_threads(),
             queue_cap: 64,
             default_deadline_ms: 10_000,
+            max_batch: 32,
+            linger_ms: 0,
         }
     }
 }
@@ -82,6 +110,9 @@ pub struct ServerStats {
     pub shared_hits: u64,
     /// Shared route-plan cache misses.
     pub shared_misses: u64,
+    /// Plan builds spared by single-flight coalescing (batchmates that
+    /// reused a claim leader's plan plus build-slot waiters).
+    pub singleflight_followers: u64,
 }
 
 impl ServerStats {
@@ -108,13 +139,175 @@ pub struct DrainReport {
     pub trace: String,
 }
 
+/// A simulate unit of work: parsed inputs, grouping fingerprint, and the
+/// slot its connection worker is blocked on.
+struct Job {
+    comp: GuestComputation,
+    host: Graph,
+    guest_spec: String,
+    host_spec: String,
+    steps: u32,
+    seed: u64,
+    fingerprint: u64,
+    deadline_ms: u64,
+    token: CancelToken,
+    slot: Arc<ResultSlot>,
+    /// Already claimed into a group and fanned out — never re-grouped.
+    grouped: bool,
+}
+
+/// A job's outcome: result payload fields, or a typed `(code, message)`.
+type SlotOutcome = Result<Vec<(String, Value)>, (String, String)>;
+
+/// One-shot rendezvous between a connection worker and an executor.
+struct ResultSlot {
+    state: Mutex<Option<SlotOutcome>>,
+    ready: Condvar,
+}
+
+impl ResultSlot {
+    fn new() -> Arc<ResultSlot> {
+        Arc::new(ResultSlot { state: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn put(&self, out: SlotOutcome) {
+        let mut state = self.state.lock().expect("slot poisoned");
+        *state = Some(out);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> SlotOutcome {
+        let mut state = self.state.lock().expect("slot poisoned");
+        loop {
+            if let Some(out) = state.take() {
+                return out;
+            }
+            state = self.ready.wait(state).expect("slot poisoned");
+        }
+    }
+}
+
+struct JobQueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// The central job queue. Grouping is atomic: [`pop_group`] removes the
+/// head and every queued same-fingerprint job under one lock, so a batch
+/// pushed with [`push_all`] can never be half-claimed by a racing
+/// executor.
+///
+/// [`pop_group`]: JobQueue::pop_group
+/// [`push_all`]: JobQueue::push_all
+struct JobQueue {
+    state: Mutex<JobQueueState>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    fn new() -> JobQueue {
+        JobQueue {
+            state: Mutex::new(JobQueueState { jobs: VecDeque::new(), closed: false }),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Enqueue a set of jobs in one critical section (a whole batch lands
+    /// before any executor can observe part of it).
+    fn push_all(&self, jobs: Vec<Job>) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.jobs.extend(jobs);
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Requeue fan-out members at the front so idle executors pick them up
+    /// before unrelated work.
+    fn push_front_all(&self, jobs: Vec<Job>) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        for job in jobs.into_iter().rev() {
+            state.jobs.push_front(job);
+        }
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Pop the head job plus every queued ungrouped job with the same
+    /// fingerprint, up to `max_batch`. Blocks while empty; `None` once
+    /// closed and empty. A `grouped` head is returned alone — it is a
+    /// fan-out member already accounted to its claim.
+    fn pop_group(&self, max_batch: usize) -> Option<Vec<Job>> {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            if let Some(head) = state.jobs.pop_front() {
+                if head.grouped {
+                    return Some(vec![head]);
+                }
+                let mut group = vec![head];
+                let fp = group[0].fingerprint;
+                let mut rest = VecDeque::with_capacity(state.jobs.len());
+                while let Some(job) = state.jobs.pop_front() {
+                    if group.len() < max_batch.max(1) && !job.grouped && job.fingerprint == fp {
+                        group.push(job);
+                    } else {
+                        rest.push_back(job);
+                    }
+                }
+                state.jobs = rest;
+                return Some(group);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("job queue poisoned");
+        }
+    }
+
+    /// Claim up to `want` more same-fingerprint jobs, waiting at most
+    /// `linger` for stragglers (best-effort: whatever arrived by then).
+    fn claim_lingering(&self, fp: u64, want: usize, linger: Duration) -> Vec<Job> {
+        let deadline = Instant::now() + linger;
+        let mut claimed = Vec::new();
+        let mut state = self.state.lock().expect("job queue poisoned");
+        loop {
+            let mut rest = VecDeque::with_capacity(state.jobs.len());
+            while let Some(job) = state.jobs.pop_front() {
+                if claimed.len() < want && !job.grouped && job.fingerprint == fp {
+                    claimed.push(job);
+                } else {
+                    rest.push_back(job);
+                }
+            }
+            state.jobs = rest;
+            let now = Instant::now();
+            if claimed.len() >= want || state.closed || now >= deadline {
+                return claimed;
+            }
+            let (next, _) =
+                self.ready.wait_timeout(state, deadline - now).expect("job queue poisoned");
+            state = next;
+        }
+    }
+
+    fn close(&self) {
+        let mut state = self.state.lock().expect("job queue poisoned");
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
 struct Shared {
     cache: SharedPlanCache,
     recorder: Mutex<InMemoryRecorder>,
     queue: BoundedQueue<TcpStream>,
+    jobs: JobQueue,
     shutdown: AtomicBool,
     depth_seq: AtomicU64,
     default_deadline_ms: u64,
+    max_batch: usize,
+    linger_ms: u64,
+    workers: usize,
 }
 
 /// A running server; construct with [`Server::start`], stop with
@@ -124,10 +317,12 @@ pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Bind, spawn the acceptor and worker pool, and return immediately.
+    /// Bind, spawn the acceptor, connection workers, and batching
+    /// executors, and return immediately.
     pub fn start(cfg: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
@@ -137,14 +332,19 @@ impl Server {
             cache: SharedPlanCache::new(),
             recorder: Mutex::new(InMemoryRecorder::new()),
             queue: BoundedQueue::new(cfg.queue_cap),
+            jobs: JobQueue::new(),
             shutdown: AtomicBool::new(false),
             depth_seq: AtomicU64::new(0),
             default_deadline_ms: cfg.default_deadline_ms,
+            max_batch: cfg.max_batch.max(1),
+            linger_ms: cfg.linger_ms,
+            workers,
         });
         {
             let mut rec = shared.recorder.lock().expect("recorder poisoned");
             rec.gauge("serve.workers", workers as f64);
             rec.gauge("serve.queue.cap", cfg.queue_cap as f64);
+            rec.gauge("serve.max_batch", shared.max_batch as f64);
         }
         let acceptor = {
             let shared = Arc::clone(&shared);
@@ -160,7 +360,19 @@ impl Server {
                 })
             })
             .collect();
-        Ok(Server { addr, shared, acceptor: Some(acceptor), workers: worker_handles })
+        let executor_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || executor_loop(&shared))
+            })
+            .collect();
+        Ok(Server {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            executors: executor_handles,
+        })
     }
 
     /// The bound address (resolve port 0 through this).
@@ -177,13 +389,7 @@ impl Server {
     /// Graceful drain: stop accepting, answer everything admitted or in
     /// flight, join all threads, and return the final metrics.
     pub fn drain(mut self) -> DrainReport {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        for h in self.workers.drain(..) {
-            let _ = h.join();
-        }
+        self.stop_threads();
         let rec = self.shared.recorder.lock().expect("recorder poisoned");
         let stats = stats_of(&rec, &self.shared.cache);
         let meta = RunMeta {
@@ -200,20 +406,30 @@ impl Server {
             trace: export(&rec, &meta, None),
         }
     }
-}
 
-impl Drop for Server {
-    fn drop(&mut self) {
-        // Not drained: still stop the threads so tests that merely start a
-        // server cannot leak a spinning acceptor.
+    /// Join order matters: connection workers first (they feed jobs and
+    /// block on slots), executors last (they fill the slots).
+    fn stop_threads(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.queue.close();
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.shared.jobs.close();
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Not drained: still stop the threads so tests that merely start a
+        // server cannot leak a spinning acceptor.
+        self.shared.queue.close();
+        self.stop_threads();
     }
 }
 
@@ -224,6 +440,7 @@ fn stats_of(rec: &InMemoryRecorder, cache: &SharedPlanCache) -> ServerStats {
         completed: rec.counter_value("serve.requests.completed"),
         shared_hits: cache.hits(),
         shared_misses: cache.misses(),
+        singleflight_followers: cache.singleflight_followers(),
     }
 }
 
@@ -233,6 +450,7 @@ fn exposition_of(rec: &InMemoryRecorder, cache: &SharedPlanCache) -> String {
     // recorder merges could lag mid-flight).
     reg.set_counter("serve.cache.shared.hits", cache.hits());
     reg.set_counter("serve.cache.shared.misses", cache.misses());
+    reg.set_counter("serve.planbuild_singleflight_followers", cache.singleflight_followers());
     if let Some(ratio) = cache.hit_ratio() {
         reg.set_gauge("serve.cache.hit_ratio", ratio);
     }
@@ -255,6 +473,20 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     shared.queue.close();
 }
 
+/// The `retry_after_ms` fallback before any request latency is measured.
+const RETRY_AFTER_FLOOR_MS: u64 = 100;
+
+/// Hint for a rejected client: the full queue must drain through `workers`
+/// parallel servers, each request costing about the measured mean latency.
+fn retry_after_hint(rec: &InMemoryRecorder, depth: usize, workers: usize) -> u64 {
+    let mean = rec
+        .histogram_data("serve.request.latency_ms")
+        .and_then(|h| h.mean())
+        .unwrap_or(RETRY_AFTER_FLOOR_MS as f64);
+    let rounds = depth.div_ceil(workers.max(1)).max(1);
+    ((mean * rounds as f64).ceil() as u64).max(1)
+}
+
 fn admit(shared: &Shared, stream: TcpStream) {
     match shared.queue.try_push(stream) {
         Ok(depth) => {
@@ -264,11 +496,12 @@ fn admit(shared: &Shared, stream: TcpStream) {
             rec.sample("serve.queue.depth", seq, 0, depth as u64);
         }
         Err(mut stream) => {
-            {
+            let retry_after = {
                 let mut rec = shared.recorder.lock().expect("recorder poisoned");
                 rec.counter("serve.conns.rejected", 1);
-            }
-            let _ = writeln!(stream, "{}", overloaded_line(shared.queue.cap()));
+                retry_after_hint(&rec, shared.queue.cap(), shared.workers)
+            };
+            let _ = writeln!(stream, "{}", overloaded_line(shared.queue.cap(), retry_after));
             let _ = stream.flush();
         }
     }
@@ -348,49 +581,182 @@ fn read_line_patient<R: Read>(
 }
 
 fn handle_request(shared: &Shared, line: &str) -> String {
-    let req = match parse_request(line) {
-        Ok(req) => req,
-        Err(msg) => return error_line("bad-request", &msg, None),
+    let (ver, req) = match parse_request(line) {
+        Ok(parsed) => parsed,
+        Err(ParseError::UnsupportedProto(msg)) => {
+            return error_line(ProtoVersion::V2, "unsupported-protocol", &msg, None)
+        }
+        Err(ParseError::Malformed(msg)) => {
+            return error_line(ProtoVersion::V2, "bad-request", &msg, None)
+        }
     };
-    let id = req.id();
     match req {
-        Request::Simulate(req) => handle_simulate(shared, &req),
-        Request::Analyze { trace, id } => handle_analyze(&trace, id),
-        Request::Metrics { .. } => {
+        Request::Simulate(req) => {
+            let outcome = match build_job(shared, &req, req.deadline_ms) {
+                Ok((job, slot)) => {
+                    shared.jobs.push_all(vec![job]);
+                    slot.wait()
+                }
+                Err(e) => Err(e),
+            };
+            match outcome {
+                Ok(payload) => result_line(ver, "simulate", req.id, payload),
+                Err((code, message)) => error_line(ver, &code, &message, req.id),
+            }
+        }
+        Request::Batch(batch) => handle_batch(shared, ver, batch),
+        Request::Analyze { trace, id } => handle_analyze(ver, &trace, id),
+        Request::Metrics { id } => {
             let rec = shared.recorder.lock().expect("recorder poisoned");
             let exposition = exposition_of(&rec, &shared.cache);
             drop(rec);
-            result_line("metrics", id, vec![("exposition".to_string(), Value::Str(exposition))])
+            result_line(
+                ver,
+                "metrics",
+                id,
+                vec![("exposition".to_string(), Value::Str(exposition))],
+            )
         }
     }
 }
 
-fn handle_simulate(shared: &Shared, req: &SimulateReq) -> String {
-    let guest = match parse_graph(&req.guest) {
-        Ok(g) => g,
-        Err(e) => return error_line("bad-spec", &format!("guest: {e}"), req.id),
-    };
-    let host = match parse_graph(&req.host) {
-        Ok(g) => g,
-        Err(e) => return error_line("bad-spec", &format!("host: {e}"), req.id),
-    };
+/// Parse one spec into a runnable [`Job`]. Parse failures surface as the
+/// item's own typed error, never touching its batchmates.
+fn build_job(
+    shared: &Shared,
+    req: &SimulateReq,
+    deadline_override: Option<u64>,
+) -> Result<(Job, Arc<ResultSlot>), (String, String)> {
+    let guest =
+        parse_graph(&req.guest).map_err(|e| ("bad-spec".to_string(), format!("guest: {e}")))?;
+    let host =
+        parse_graph(&req.host).map_err(|e| ("bad-spec".to_string(), format!("host: {e}")))?;
     let comp = GuestComputation::random(guest, req.seed);
+    let embedding = Embedding::block(comp.n(), host.n());
     let router = unet_core::routers::presets::bfs();
-    let deadline = req.deadline_ms.unwrap_or(shared.default_deadline_ms);
-    let token = CancelToken::with_deadline(Duration::from_millis(deadline));
+    let fingerprint = workload_fingerprint(&comp.graph, &host, &embedding, router.name(), req.seed);
+    let deadline_ms = deadline_override.unwrap_or(shared.default_deadline_ms);
+    let slot = ResultSlot::new();
+    let job = Job {
+        comp,
+        host,
+        guest_spec: req.guest.clone(),
+        host_spec: req.host.clone(),
+        steps: req.steps,
+        seed: req.seed,
+        fingerprint,
+        deadline_ms,
+        token: CancelToken::with_deadline(Duration::from_millis(deadline_ms)),
+        slot: Arc::clone(&slot),
+        grouped: false,
+    };
+    Ok((job, slot))
+}
+
+/// Serve one `batch` request: enqueue every parseable item in one atomic
+/// push (so an executor claims them as a group), then collect the
+/// positionally-aligned outcomes.
+fn handle_batch(shared: &Shared, ver: ProtoVersion, batch: BatchReq) -> String {
+    enum Pending {
+        Slot(Arc<ResultSlot>),
+        Failed(String, String),
+    }
+    let mut pending = Vec::with_capacity(batch.items.len());
+    let mut jobs = Vec::new();
+    for item in &batch.items {
+        match item {
+            Err(msg) => pending.push(Pending::Failed("bad-request".to_string(), msg.clone())),
+            Ok(spec) => {
+                let deadline = spec.deadline_ms.or(batch.deadline_ms);
+                match build_job(shared, spec, deadline) {
+                    Ok((job, slot)) => {
+                        jobs.push(job);
+                        pending.push(Pending::Slot(slot));
+                    }
+                    Err((code, msg)) => pending.push(Pending::Failed(code, msg)),
+                }
+            }
+        }
+    }
+    shared.jobs.push_all(jobs);
+    let items: Vec<Value> = pending
+        .into_iter()
+        .map(|p| {
+            batch_item_value(match p {
+                Pending::Slot(slot) => slot.wait(),
+                Pending::Failed(code, msg) => Err((code, msg)),
+            })
+        })
+        .collect();
+    result_line(ver, "batch", batch.id, vec![("items".to_string(), Value::Arr(items))])
+}
+
+/// The batching executor: claim a same-fingerprint group, run its leader
+/// first on a cold fingerprint (single plan build, followers spared), and
+/// fan the rest out across the pool with the plan warm.
+fn executor_loop(shared: &Shared) {
+    while let Some(mut group) = shared.jobs.pop_group(shared.max_batch) {
+        if group[0].grouped {
+            // A fan-out member: its claim already ran the leader and
+            // recorded the batch, so just execute.
+            let job = group.pop().expect("grouped claim is a singleton");
+            execute_job(shared, job);
+            continue;
+        }
+        if shared.linger_ms > 0 && group.len() < shared.max_batch {
+            let fp = group[0].fingerprint;
+            group.extend(shared.jobs.claim_lingering(
+                fp,
+                shared.max_batch - group.len(),
+                Duration::from_millis(shared.linger_ms),
+            ));
+        }
+        let g = group.len();
+        {
+            let mut rec = shared.recorder.lock().expect("recorder poisoned");
+            rec.histogram("serve.batch.size", g as u64);
+        }
+        let cold = !shared.cache.contains(group[0].fingerprint);
+        let mut rest: Vec<Job> = group.split_off(1);
+        for job in &mut rest {
+            job.grouped = true;
+        }
+        let leader = group.pop().expect("claims are non-empty");
+        if cold {
+            // Every batchmate was spared a redundant plan build by
+            // coalescing on the leader's single flight.
+            shared.cache.note_singleflight_followers((g - 1) as u64);
+            // Leader first: publish the plan, then fan out warm.
+            execute_job(shared, leader);
+            shared.jobs.push_front_all(rest);
+        } else {
+            // Plan already cached: fan out immediately, run the leader here.
+            shared.jobs.push_front_all(rest);
+            execute_job(shared, leader);
+        }
+    }
+}
+
+fn execute_job(shared: &Shared, job: Job) {
+    let outcome = simulate_outcome(shared, &job);
+    job.slot.put(outcome);
+}
+
+fn simulate_outcome(shared: &Shared, job: &Job) -> SlotOutcome {
+    let router = unet_core::routers::presets::bfs();
     let started = Instant::now();
     let mut local = InMemoryRecorder::new();
     let run = Simulation::builder()
-        .guest(&comp)
-        .host(&host)
-        .embedding(Embedding::block(comp.n(), host.n()))
+        .guest(&job.comp)
+        .host(&job.host)
+        .embedding(Embedding::block(job.comp.n(), job.host.n()))
         .router(&router)
-        .steps(req.steps)
-        .seed(req.seed)
+        .steps(job.steps)
+        .seed(job.seed)
         .threads(1)
         .cache_policy(CachePolicy::Enabled)
         .shared_cache(&shared.cache)
-        .cancel_token(token)
+        .cancel_token(job.token.clone())
         .recorder(&mut local)
         .run();
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
@@ -406,49 +772,45 @@ fn handle_simulate(shared: &Shared, req: &SimulateReq) -> String {
     let run = match run {
         Ok(run) => run,
         Err(SimError::Cancelled) => {
-            return error_line(
-                "deadline-exceeded",
-                &format!("deadline of {deadline} ms passed at a phase boundary"),
-                req.id,
-            )
+            return Err((
+                "deadline-exceeded".to_string(),
+                format!("deadline of {} ms passed at a phase boundary", job.deadline_ms),
+            ))
         }
-        Err(e) => return error_line("sim-error", &e.to_string(), req.id),
+        Err(e) => return Err(("sim-error".to_string(), e.to_string())),
     };
-    if let Err(e) = run.verify(&comp, &host, req.steps) {
-        return error_line("verify-failed", &e.to_string(), req.id);
+    if let Err(e) = run.verify(&job.comp, &job.host, job.steps) {
+        return Err(("verify-failed".to_string(), e.to_string()));
     }
-    result_line(
-        "simulate",
-        req.id,
-        vec![
-            ("guest".to_string(), Value::Str(req.guest.clone())),
-            ("host".to_string(), Value::Str(req.host.clone())),
-            ("steps".to_string(), Value::UInt(req.steps as u64)),
-            ("host_steps".to_string(), Value::UInt(run.protocol.host_steps() as u64)),
-            ("comm_steps".to_string(), Value::UInt(run.comm_steps as u64)),
-            ("compute_steps".to_string(), Value::UInt(run.compute_steps as u64)),
-            ("slowdown".to_string(), Value::Float(run.slowdown())),
-            ("inefficiency".to_string(), Value::Float(run.inefficiency())),
-            ("shared_cache_hit".to_string(), Value::Bool(shared_hit)),
-            ("verified".to_string(), Value::Bool(true)),
-            ("wall_ms".to_string(), Value::Float(wall_ms)),
-        ],
-    )
+    Ok(vec![
+        ("guest".to_string(), Value::Str(job.guest_spec.clone())),
+        ("host".to_string(), Value::Str(job.host_spec.clone())),
+        ("steps".to_string(), Value::UInt(job.steps as u64)),
+        ("host_steps".to_string(), Value::UInt(run.protocol.host_steps() as u64)),
+        ("comm_steps".to_string(), Value::UInt(run.comm_steps as u64)),
+        ("compute_steps".to_string(), Value::UInt(run.compute_steps as u64)),
+        ("slowdown".to_string(), Value::Float(run.slowdown())),
+        ("inefficiency".to_string(), Value::Float(run.inefficiency())),
+        ("shared_cache_hit".to_string(), Value::Bool(shared_hit)),
+        ("verified".to_string(), Value::Bool(true)),
+        ("wall_ms".to_string(), Value::Float(wall_ms)),
+    ])
 }
 
-fn handle_analyze(trace: &[String], id: Option<u64>) -> String {
+fn handle_analyze(ver: ProtoVersion, trace: &[String], id: Option<u64>) -> String {
     let mut analyzer = TraceAnalyzer::new();
     for (i, line) in trace.iter().enumerate() {
         if let Err(e) = analyzer.feed_line(line, i + 1) {
-            return error_line("bad-trace", &e, id);
+            return error_line(ver, "bad-trace", &e, id);
         }
     }
     let analysis = match analyzer.finish() {
         Ok(a) => a,
-        Err(e) => return error_line("bad-trace", &e, id),
+        Err(e) => return error_line(ver, "bad-trace", &e, id),
     };
     let exposition = MetricsRegistry::from_analysis(&analysis).expose();
     result_line(
+        ver,
         "analyze",
         id,
         vec![

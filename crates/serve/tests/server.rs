@@ -1,13 +1,14 @@
 //! End-to-end tests of the serving layer: admission control, deadlines,
-//! graceful drain, shared-cache behaviour, and the metrics round trip.
+//! graceful drain, shared-cache behaviour, batching, and the metrics
+//! round trip.
 
 use unet_obs::json::Value;
 use unet_obs::{MetricsRegistry, TraceAnalyzer};
-use unet_serve::client::request_line;
+use unet_serve::client::Client;
 use unet_serve::loadgen::{self, LoadgenConfig};
 use unet_serve::protocol::{
-    analyze_request_line, metrics_request_line, parse_response, simulate_request_line, Response,
-    SimulateReq,
+    analyze_request_line, batch_request_line, metrics_request_line, parse_response,
+    simulate_request_line, Response, SimulateReq, PROTOCOL_V1,
 };
 use unet_serve::{ServeConfig, Server};
 
@@ -27,11 +28,16 @@ fn start(workers: usize, queue_cap: usize) -> Server {
         .expect("bind on 127.0.0.1:0")
 }
 
+/// One raw round trip on a fresh connection.
+fn raw(addr: &str, line: &str) -> String {
+    Client::connect(addr).expect("connect").request_raw(line).expect("round trip")
+}
+
 #[test]
 fn simulate_request_round_trips_and_verifies() {
     let server = start(2, 8);
     let addr = server.addr().to_string();
-    let resp = request_line(&addr, &simulate_request_line(&sim_req(7))).expect("round trip");
+    let resp = raw(&addr, &simulate_request_line(&sim_req(7)));
     match parse_response(&resp).expect("valid response") {
         Response::Result(v) => {
             assert_eq!(v.get("req").and_then(Value::as_str), Some("simulate"));
@@ -49,12 +55,48 @@ fn simulate_request_round_trips_and_verifies() {
 }
 
 #[test]
+fn typed_client_returns_typed_results_and_errors() {
+    let server = start(2, 8);
+    let mut client = Client::connect(&server.addr().to_string())
+        .expect("connect")
+        .timeout(std::time::Duration::from_secs(30));
+    let result = client.simulate(&sim_req(7)).expect("simulate");
+    assert!(result.verified);
+    assert!(result.slowdown >= 1.0);
+    assert!(result.host_steps > 0);
+    let mut bad = sim_req(1);
+    bad.guest = "blah:3".into();
+    match client.simulate(&bad) {
+        Err(unet_serve::ClientError::Server(e)) => {
+            assert_eq!(e.code, "bad-spec");
+            assert!(e.message.contains("unknown graph family"));
+        }
+        other => panic!("expected typed server error, got {other:?}"),
+    }
+    // The connection survives the error and keeps serving.
+    assert!(client.simulate(&sim_req(7)).is_ok());
+    assert!(client.metrics().expect("metrics").contains("unet_serve_conns_admitted"));
+    drop(client);
+    server.drain();
+}
+
+#[test]
+#[allow(deprecated)] // the free function stays for one deprecation cycle
+fn deprecated_request_line_still_round_trips() {
+    let server = start(1, 8);
+    let addr = server.addr().to_string();
+    let resp = unet_serve::client::request_line(&addr, &metrics_request_line(None)).expect("io");
+    assert!(matches!(parse_response(&resp), Ok(Response::Result(_))));
+    server.drain();
+}
+
+#[test]
 fn bad_specs_and_bad_requests_get_typed_errors() {
     let server = start(1, 8);
     let addr = server.addr().to_string();
     let mut bad_spec = sim_req(1);
     bad_spec.guest = "blah:3".into();
-    let resp = request_line(&addr, &simulate_request_line(&bad_spec)).expect("io");
+    let resp = raw(&addr, &simulate_request_line(&bad_spec));
     match parse_response(&resp).expect("valid") {
         Response::Error { code, message, id } => {
             assert_eq!(code, "bad-spec");
@@ -63,7 +105,7 @@ fn bad_specs_and_bad_requests_get_typed_errors() {
         }
         other => panic!("expected error, got {other:?}"),
     }
-    let resp = request_line(&addr, "this is not json").expect("io");
+    let resp = raw(&addr, "this is not json");
     match parse_response(&resp).expect("valid") {
         Response::Error { code, .. } => assert_eq!(code, "bad-request"),
         other => panic!("expected error, got {other:?}"),
@@ -75,8 +117,11 @@ fn bad_specs_and_bad_requests_get_typed_errors() {
 fn zero_queue_cap_rejects_with_typed_overloaded() {
     let server = start(1, 0);
     let addr = server.addr().to_string();
-    let resp = request_line(&addr, &metrics_request_line(None)).expect("rejection is a response");
-    assert_eq!(parse_response(&resp).expect("valid"), Response::Overloaded { queue_cap: 0 });
+    let resp = raw(&addr, &metrics_request_line(None));
+    match parse_response(&resp).expect("valid") {
+        Response::Overloaded { queue_cap: 0, retry_after_ms: Some(hint) } => assert!(hint >= 1),
+        other => panic!("expected overloaded with retry hint, got {other:?}"),
+    }
     let report = server.drain();
     assert_eq!(report.stats.rejected, 1);
     assert_eq!(report.stats.admitted, 0);
@@ -88,7 +133,7 @@ fn zero_deadline_is_cancelled_at_a_phase_boundary() {
     let addr = server.addr().to_string();
     let mut req = sim_req(3);
     req.deadline_ms = Some(0);
-    let resp = request_line(&addr, &simulate_request_line(&req)).expect("io");
+    let resp = raw(&addr, &simulate_request_line(&req));
     match parse_response(&resp).expect("valid") {
         Response::Error { code, .. } => assert_eq!(code, "deadline-exceeded"),
         other => panic!("expected deadline error, got {other:?}"),
@@ -104,6 +149,7 @@ fn repeated_workload_hits_shared_cache_and_drains_clean() {
         addr,
         clients: 2,
         requests_per_client: 8,
+        batch: 1,
         guest: "ring:24".into(),
         host: "torus:3x3".into(),
         steps: 3,
@@ -129,6 +175,123 @@ fn repeated_workload_hits_shared_cache_and_drains_clean() {
 }
 
 #[test]
+fn batched_workload_coalesces_the_plan_build() {
+    let server = start(4, 32);
+    let addr = server.addr().to_string();
+    let report = loadgen::run(&LoadgenConfig {
+        addr: addr.clone(),
+        clients: 1,
+        requests_per_client: 2,
+        batch: 6,
+        guest: "ring:24".into(),
+        host: "torus:3x3".into(),
+        steps: 3,
+        seed: 11,
+        deadline_ms: None,
+        warmup: false,
+    })
+    .expect("loadgen run");
+    assert_eq!(report.sent, 12, "2 round trips x 6 items");
+    assert_eq!(report.completed, 12);
+    assert_eq!(report.errors, 0);
+    let drained = server.drain();
+    // One cold batch: one plan build, five spared followers; the second
+    // batch is all warm hits.
+    assert_eq!(drained.stats.shared_misses, 1, "plan built exactly once");
+    assert_eq!(drained.stats.shared_hits, 11);
+    assert!(
+        drained.stats.singleflight_followers >= 5,
+        "cold batchmates counted as followers, got {}",
+        drained.stats.singleflight_followers
+    );
+    assert!(drained.exposition.contains("unet_serve_planbuild_singleflight_followers"));
+    assert!(drained.exposition.contains("unet_serve_batch_size"));
+}
+
+#[test]
+fn mixed_fingerprint_batch_isolates_errors_per_item() {
+    let server = start(2, 8);
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let mut bad = sim_req(0);
+    bad.host = "nonsense:1".into();
+    let mut other_fp = sim_req(0);
+    other_fp.guest = "ring:12".into();
+    other_fp.host = "torus:2x2".into();
+    let items =
+        client.simulate_batch(&[sim_req(0), bad, other_fp], None).expect("batch round trip");
+    assert_eq!(items.len(), 3);
+    assert!(items[0].is_ok(), "good item unaffected: {:?}", items[0]);
+    match &items[1] {
+        Err(e) => {
+            assert_eq!(e.code, "bad-spec");
+            assert!(e.message.contains("unknown graph family"));
+        }
+        other => panic!("bad item should fail alone, got {other:?}"),
+    }
+    assert!(items[2].is_ok(), "different fingerprint unaffected: {:?}", items[2]);
+    drop(client);
+    let drained = server.drain();
+    assert_eq!(drained.stats.shared_misses, 2, "two fingerprints, two builds");
+}
+
+#[test]
+fn v1_client_gets_well_formed_v1_responses() {
+    let server = start(1, 8);
+    let addr = server.addr().to_string();
+    // Golden /1 request lines, byte-for-byte what a PR-6 client sends.
+    let golden_sim = format!(
+        "{{\"proto\":{PROTOCOL_V1:?},\"kind\":\"simulate\",\"guest\":\"ring:24\",\
+         \"host\":\"torus:3x3\",\"steps\":3,\"seed\":7,\"id\":41}}"
+    );
+    let resp = raw(&addr, &golden_sim);
+    let v = unet_obs::json::parse(&resp).expect("valid json");
+    assert_eq!(v.get("proto").and_then(Value::as_str), Some(PROTOCOL_V1), "stamped /1");
+    assert_eq!(v.get("kind").and_then(Value::as_str), Some("result"));
+    assert_eq!(v.get("id").and_then(Value::as_u64), Some(41));
+    assert_eq!(v.get("verified"), Some(&Value::Bool(true)));
+    let golden_metrics = format!("{{\"proto\":{PROTOCOL_V1:?},\"kind\":\"metrics\",\"id\":9}}");
+    let resp = raw(&addr, &golden_metrics);
+    let v = unet_obs::json::parse(&resp).expect("valid json");
+    assert_eq!(v.get("proto").and_then(Value::as_str), Some(PROTOCOL_V1));
+    assert_eq!(v.get("kind").and_then(Value::as_str), Some("result"));
+    // A /1 error is stamped /1 too.
+    let golden_bad = format!(
+        "{{\"proto\":{PROTOCOL_V1:?},\"kind\":\"simulate\",\"guest\":\"blah:3\",\
+         \"host\":\"torus:3x3\",\"steps\":3}}"
+    );
+    let resp = raw(&addr, &golden_bad);
+    let v = unet_obs::json::parse(&resp).expect("valid json");
+    assert_eq!(v.get("proto").and_then(Value::as_str), Some(PROTOCOL_V1));
+    assert_eq!(v.get("code").and_then(Value::as_str), Some("bad-spec"));
+    server.drain();
+}
+
+#[test]
+fn unknown_protocol_version_gets_typed_error_not_hangup() {
+    let server = start(1, 8);
+    let addr = server.addr().to_string();
+    let resp = raw(&addr, "{\"proto\":\"unet-serve/9\",\"kind\":\"metrics\"}");
+    match parse_response(&resp).expect("a typed response, not a hangup") {
+        Response::Error { code, message, .. } => {
+            assert_eq!(code, "unsupported-protocol");
+            assert!(message.contains("unet-serve/9"));
+        }
+        other => panic!("expected typed error, got {other:?}"),
+    }
+    // Batch under /1 is also a typed error.
+    let v1_batch = format!(
+        "{{\"proto\":{PROTOCOL_V1:?},\"kind\":\"batch\",\"items\":[\
+         {{\"guest\":\"ring:8\",\"host\":\"torus:2x2\",\"steps\":1}}]}}"
+    );
+    let resp = raw(&addr, &v1_batch);
+    match parse_response(&resp).expect("typed") {
+        Response::Error { code, .. } => assert_eq!(code, "bad-request"),
+        other => panic!("expected error, got {other:?}"),
+    }
+    server.drain();
+}
+
+#[test]
 fn responses_survive_a_drain_started_after_send() {
     // A request answered while the server drains must still reach the
     // client: send, drain, *then* read.
@@ -150,11 +313,38 @@ fn responses_survive_a_drain_started_after_send() {
 }
 
 #[test]
+fn batch_responses_survive_a_drain_started_after_send() {
+    use std::io::{BufRead, BufReader, Write};
+    let server = start(2, 8);
+    let addr = server.addr().to_string();
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    let line = batch_request_line(&[sim_req(5), sim_req(5), sim_req(6)], None, Some(77));
+    writeln!(stream, "{line}").expect("send");
+    stream.flush().expect("flush");
+    while server.stats().admitted == 0 {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let report = server.drain();
+    assert_eq!(report.stats.completed, 1, "the batch line answered during drain");
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).expect("response readable after drain");
+    match parse_response(response.trim()).expect("valid") {
+        Response::Result(v) => {
+            assert_eq!(v.get("id").and_then(Value::as_u64), Some(77));
+            let items = v.get("items").and_then(Value::as_arr).expect("items");
+            assert_eq!(items.len(), 3);
+            assert!(items.iter().all(|i| i.get("ok") == Some(&Value::Bool(true))));
+        }
+        other => panic!("expected batch result, got {other:?}"),
+    }
+}
+
+#[test]
 fn metrics_and_analyze_requests_expose_prometheus_text() {
     let server = start(2, 8);
     let addr = server.addr().to_string();
-    request_line(&addr, &simulate_request_line(&sim_req(2))).expect("simulate");
-    let resp = request_line(&addr, &metrics_request_line(Some(9))).expect("metrics");
+    raw(&addr, &simulate_request_line(&sim_req(2)));
+    let resp = raw(&addr, &metrics_request_line(Some(9)));
     let exposition = match parse_response(&resp).expect("valid") {
         Response::Result(v) => v.get("exposition").and_then(Value::as_str).unwrap().to_string(),
         other => panic!("expected result, got {other:?}"),
@@ -162,6 +352,7 @@ fn metrics_and_analyze_requests_expose_prometheus_text() {
     assert!(exposition.contains("# TYPE unet_serve_conns_admitted counter"));
     assert!(exposition.contains("unet_sim_guest_steps 3"));
     assert!(exposition.contains("unet_serve_cache_shared_misses 1"));
+    assert!(exposition.contains("unet_serve_planbuild_singleflight_followers"));
 
     // analyze: round-trip a trace through the wire protocol.
     let trace: Vec<String> = {
@@ -179,7 +370,7 @@ fn metrics_and_analyze_requests_expose_prometheus_text() {
         };
         export(&rec, &meta, None).lines().map(str::to_string).collect()
     };
-    let resp = request_line(&addr, &analyze_request_line(&trace, None)).expect("analyze");
+    let resp = raw(&addr, &analyze_request_line(&trace, None));
     match parse_response(&resp).expect("valid") {
         Response::Result(v) => {
             assert_eq!(v.get("lines").and_then(Value::as_u64), Some(trace.len() as u64));
@@ -189,8 +380,7 @@ fn metrics_and_analyze_requests_expose_prometheus_text() {
         other => panic!("expected result, got {other:?}"),
     }
     // Malformed trace lines surface as typed bad-trace errors.
-    let resp =
-        request_line(&addr, &analyze_request_line(&["not json".to_string()], Some(3))).expect("io");
+    let resp = raw(&addr, &analyze_request_line(&["not json".to_string()], Some(3)));
     match parse_response(&resp).expect("valid") {
         Response::Error { code, message, id } => {
             assert_eq!(code, "bad-trace");
@@ -204,13 +394,13 @@ fn metrics_and_analyze_requests_expose_prometheus_text() {
 
 #[test]
 fn drained_exposition_parses_back_through_the_streaming_analyzer() {
-    // Satellite: a MetricsRegistry built from a live serve run must parse
-    // back with the analyzer's line discipline — the drain trace is valid
-    // JSONL and from_analysis reproduces the server counters.
+    // A MetricsRegistry built from a live serve run must parse back with
+    // the analyzer's line discipline — the drain trace is valid JSONL and
+    // from_analysis reproduces the server counters.
     let server = start(1, 8);
     let addr = server.addr().to_string();
     for seed in 0..3 {
-        request_line(&addr, &simulate_request_line(&sim_req(seed))).expect("simulate");
+        raw(&addr, &simulate_request_line(&sim_req(seed)));
     }
     let report = server.drain();
     assert_eq!(report.stats.completed, 3);

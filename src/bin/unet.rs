@@ -15,8 +15,8 @@
 //! unet metrics  <trace-file | g h T>          Prometheus-style metrics exposition
 //! unet faults   <guest> <host> <T> [opts]     degraded run under crash-stop faults
 //! unet bench    run|diff|list [opts]          experiment registry + regression gate
-//! unet serve    [opts]                        long-running simulation server (unet-serve/1)
-//! unet request  <addr> <kind> [args]          one-shot client for a running server
+//! unet serve    [opts]                        long-running simulation server (unet-serve/2)
+//! unet request  <addr> <kind> [args]          typed client for a running server
 //! ```
 //!
 //! Graph specs: `torus:8x8`, `butterfly:4`, `random:256x4:7`, … (see
@@ -68,8 +68,11 @@ const USAGE: &str = "usage:
   unet bench    diff <baseline-BENCH.json> [--full] [--filter IDS] [--threads N]
   unet bench    list
   unet serve    [--addr A] [--workers N] [--queue N] [--deadline-ms MS]
+                [--max-batch N] [--linger-ms MS]
   unet request  <addr> simulate <guest-spec> <host-spec> <steps>
-                [--seed S] [--deadline-ms MS] [--raw]
+                [--seed S] [--deadline-ms MS] [--retries N] [--raw]
+  unet request  <addr> batch <guest,host,steps[,seed]>...
+                [--deadline-ms MS] [--retries N] [--raw]
   unet request  <addr> analyze <trace-file> [--raw]
   unet request  <addr> metrics [--raw]";
 
@@ -568,7 +571,7 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Run the long-running simulation server (`unet-serve/1`). Prints the
+/// Run the long-running simulation server (`unet-serve/2`). Prints the
 /// bound address on stdout and then blocks; SIGTERM or stdin reaching EOF
 /// triggers a graceful drain — stop accepting, answer everything in
 /// flight, then print the final Prometheus exposition on stdout and a
@@ -589,9 +592,13 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             .map_or(Ok(defaults.default_deadline_ms), |s| {
                 s.parse().map_err(|_| "bad --deadline-ms")
             })?,
+        max_batch: flag(args, "--max-batch")
+            .map_or(Ok(defaults.max_batch), |s| s.parse().map_err(|_| "bad --max-batch"))?,
+        linger_ms: flag(args, "--linger-ms")
+            .map_or(Ok(defaults.linger_ms), |s| s.parse().map_err(|_| "bad --linger-ms"))?,
     };
     let server = Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
-    println!("unet-serve/1 listening on {}", server.addr());
+    println!("unet-serve/2 listening on {}", server.addr());
     {
         use std::io::Write;
         std::io::stdout().flush().ok();
@@ -627,32 +634,58 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// One-shot client for a running `unet serve`: build a `unet-serve/1`
-/// request line, send it, render the response. `--raw` prints the raw JSON
-/// response line verbatim and always exits 0 — even for `overloaded` — so
-/// scripts can branch on `\"kind\"` themselves; without it, error and
-/// overloaded responses map to a non-zero exit.
+/// Parse one `guest,host,steps[,seed]` batch-item spec.
+fn parse_batch_item(
+    spec: &str,
+    deadline_ms: Option<u64>,
+) -> Result<universal_networks::serve::protocol::SimulateReq, String> {
+    use universal_networks::serve::protocol::SimulateReq;
+    let parts: Vec<&str> = spec.split(',').collect();
+    match parts.as_slice() {
+        [guest, host, steps] | [guest, host, steps, _] => Ok(SimulateReq {
+            guest: guest.to_string(),
+            host: host.to_string(),
+            steps: steps.parse().map_err(|_| format!("bad steps in batch item {spec:?}"))?,
+            seed: parts
+                .get(3)
+                .map_or(Ok(0), |s| s.parse().map_err(|_| format!("bad seed in {spec:?}")))?,
+            deadline_ms,
+            id: None,
+        }),
+        _ => Err(format!("bad batch item {spec:?} (want guest,host,steps[,seed])")),
+    }
+}
+
+/// Typed client for a running `unet serve`: build a `unet-serve/2` request
+/// line, send it over a [`Client`](universal_networks::serve::Client)
+/// connection, render the response. `--raw` prints the raw JSON response
+/// line verbatim and always exits 0 — even for `overloaded` — so scripts
+/// can branch on `\"kind\"` themselves; without it, error and overloaded
+/// responses map to a non-zero exit. `--retries N` re-sends after an
+/// `overloaded` rejection, sleeping the server's `retry_after_ms` hint.
 fn request_cmd(args: &[String]) -> Result<(), String> {
     use universal_networks::obs::json::Value;
-    use universal_networks::serve::client::request_line;
     use universal_networks::serve::protocol::{
-        analyze_request_line, metrics_request_line, parse_response, simulate_request_line,
-        Response, SimulateReq,
+        analyze_request_line, batch_request_line, metrics_request_line, parse_response,
+        simulate_request_line, SimulateReq,
     };
+    use universal_networks::serve::{Client, ClientError, Response};
 
-    let pos = positionals(args, &["--seed", "--deadline-ms"]);
+    let pos = positionals(args, &["--seed", "--deadline-ms", "--retries"]);
     let (addr, kind) = match pos.as_slice() {
         [addr, kind, ..] => (addr.as_str(), kind.as_str()),
-        _ => return Err("usage: unet request <addr> simulate|analyze|metrics [args]".into()),
+        _ => return Err("usage: unet request <addr> simulate|batch|analyze|metrics [args]".into()),
     };
+    let deadline_ms = flag(args, "--deadline-ms")
+        .map(|s| s.parse::<u64>().map_err(|_| "bad --deadline-ms"))
+        .transpose()?;
+    let retries: u32 =
+        flag(args, "--retries").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --retries"))?;
     let line = match (kind, &pos[2..]) {
         ("simulate", [guest, host, steps]) => {
             let steps: u32 = steps.parse().map_err(|_| "bad steps")?;
             let seed: u64 =
                 flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
-            let deadline_ms = flag(args, "--deadline-ms")
-                .map(|s| s.parse::<u64>().map_err(|_| "bad --deadline-ms"))
-                .transpose()?;
             simulate_request_line(&SimulateReq {
                 guest: (*guest).clone(),
                 host: (*host).clone(),
@@ -661,6 +694,11 @@ fn request_cmd(args: &[String]) -> Result<(), String> {
                 deadline_ms,
                 id: None,
             })
+        }
+        ("batch", items) if !items.is_empty() => {
+            let specs: Vec<SimulateReq> =
+                items.iter().map(|s| parse_batch_item(s, None)).collect::<Result<_, String>>()?;
+            batch_request_line(&specs, deadline_ms, None)
         }
         ("analyze", [path]) => {
             // Reuse the canonical `{path}: line N` formatting on read
@@ -677,12 +715,33 @@ fn request_cmd(args: &[String]) -> Result<(), String> {
         ("metrics", []) => metrics_request_line(None),
         _ => return Err(format!("bad arguments for request kind {kind:?} (see usage)")),
     };
-    let resp = request_line(addr, &line).map_err(|e| format!("{addr}: {e}"))?;
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c.retries(retries),
+        Err(e) => return Err(format!("{addr}: {e}")),
+    };
+    let resp = client.request_raw(&line).map_err(|e| format!("{addr}: {e}"))?;
     if has_flag(args, "--raw") {
         println!("{resp}");
         return Ok(());
     }
-    match parse_response(&resp).map_err(|e| format!("{addr}: bad response: {e}"))? {
+    // Overloaded retries only make sense once we interpret the response;
+    // re-send through the typed path when a budget was given.
+    let mut parsed = parse_response(&resp).map_err(|e| format!("{addr}: bad response: {e}"))?;
+    if retries > 0 {
+        if let Response::Overloaded { .. } = parsed {
+            parsed = match client.request_typed_line(&line) {
+                Ok(v) => Response::Result(v),
+                Err(ClientError::Server(e)) => {
+                    Response::Error { code: e.code, message: e.message, id: None }
+                }
+                Err(ClientError::Overloaded { queue_cap, retry_after_ms }) => {
+                    Response::Overloaded { queue_cap, retry_after_ms }
+                }
+                Err(e) => return Err(format!("{addr}: {e}")),
+            };
+        }
+    }
+    match parsed {
         Response::Result(v) => {
             // Exposition-bearing results (metrics, analyze) print the
             // Prometheus text; simulate results print the JSON payload.
@@ -694,9 +753,10 @@ fn request_cmd(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Response::Error { code, message, .. } => Err(format!("{code}: {message}")),
-        Response::Overloaded { queue_cap } => {
-            Err(format!("server overloaded (queue cap {queue_cap})"))
-        }
+        Response::Overloaded { queue_cap, retry_after_ms } => Err(format!(
+            "server overloaded (queue cap {queue_cap}, retry after {} ms)",
+            retry_after_ms.unwrap_or(0)
+        )),
     }
 }
 

@@ -1,0 +1,156 @@
+//! Batched execution must be observationally equivalent to per-request
+//! execution: the same specs sent as one `batch` request produce the same
+//! stats — bit-for-bit, wall time aside — as sending them one at a time
+//! to a fresh server, including the shared-cache hit pattern (the first
+//! occurrence of each workload fingerprint is the one plan build), error
+//! isolation (a bad spec fails only its own slot), and mid-batch
+//! cancellation (an expired deadline cancels only its own item).
+
+use proptest::prelude::*;
+use universal_networks::serve::client::Client;
+use universal_networks::serve::protocol::SimulateReq;
+use universal_networks::serve::{ClientError, ServeConfig, Server, SimulateResult};
+
+const GUESTS: [&str; 3] = ["ring:12", "ring:16", "ring:24"];
+const HOSTS: [&str; 2] = ["torus:2x2", "torus:3x3"];
+
+fn spec(guest_i: usize, host_i: usize, steps: u32, seed: u64) -> SimulateReq {
+    SimulateReq {
+        guest: GUESTS[guest_i % GUESTS.len()].into(),
+        host: HOSTS[host_i % HOSTS.len()].into(),
+        steps,
+        seed,
+        deadline_ms: None,
+        id: None,
+    }
+}
+
+fn fresh_server() -> Server {
+    Server::start(ServeConfig { workers: 2, queue_cap: 32, ..ServeConfig::default() })
+        .expect("bind 127.0.0.1:0")
+}
+
+/// The deterministic projection of a result: every stat except wall time.
+fn stats(r: &SimulateResult) -> (u64, u64, u64, f64, f64, bool, bool) {
+    (
+        r.host_steps,
+        r.comm_steps,
+        r.compute_steps,
+        r.slowdown,
+        r.inefficiency,
+        r.shared_cache_hit,
+        r.verified,
+    )
+}
+
+/// Run each spec as its own `simulate` request against a fresh server, in
+/// order — the reference execution a batch must reproduce.
+fn run_per_request(specs: &[SimulateReq]) -> Vec<Result<SimulateResult, (String, String)>> {
+    let server = fresh_server();
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let out = specs
+        .iter()
+        .map(|s| match client.simulate(s) {
+            Ok(r) => Ok(r),
+            Err(ClientError::Server(e)) => Err((e.code, e.message)),
+            Err(e) => panic!("per-request transport failed: {e}"),
+        })
+        .collect();
+    drop(client);
+    server.drain();
+    out
+}
+
+/// Run the same specs as one `batch` request against a fresh server.
+fn run_batched(specs: &[SimulateReq]) -> Vec<Result<SimulateResult, (String, String)>> {
+    let server = fresh_server();
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let out = client
+        .simulate_batch(specs, None)
+        .expect("batch round trip")
+        .into_iter()
+        .map(|item| item.map_err(|e| (e.code, e.message)))
+        .collect();
+    drop(client);
+    server.drain();
+    out
+}
+
+fn assert_equivalent(specs: &[SimulateReq]) {
+    let solo = run_per_request(specs);
+    let batched = run_batched(specs);
+    assert_eq!(solo.len(), batched.len());
+    for (i, (s, b)) in solo.iter().zip(&batched).enumerate() {
+        match (s, b) {
+            (Ok(sr), Ok(br)) => assert_eq!(
+                stats(sr),
+                stats(br),
+                "item {i} ({} on {}): batched stats diverge from per-request",
+                specs[i].guest,
+                specs[i].host
+            ),
+            (Err(se), Err(be)) => {
+                assert_eq!(se.0, be.0, "item {i}: error codes diverge");
+            }
+            _ => panic!("item {i}: one side succeeded, the other failed: {s:?} vs {b:?}"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random workload mixes — duplicate fingerprints and all — come back
+    /// with identical stats whether batched or sent one at a time.
+    #[test]
+    fn batched_equals_per_request(
+        items in prop::collection::vec((0usize..3, 0usize..2, 1u32..4, 0u64..3), 1..6),
+    ) {
+        let specs: Vec<SimulateReq> =
+            items.iter().map(|&(g, h, t, s)| spec(g, h, t, s)).collect();
+        assert_equivalent(&specs);
+    }
+}
+
+#[test]
+fn repeated_fingerprint_hit_pattern_matches() {
+    // Three copies of one workload plus one distinct: exactly the first
+    // occurrence of each fingerprint misses, batched or not.
+    let specs = vec![spec(0, 0, 2, 7), spec(0, 0, 2, 7), spec(1, 1, 2, 7), spec(0, 0, 2, 7)];
+    let batched = run_batched(&specs);
+    let hits: Vec<bool> =
+        batched.iter().map(|r| r.as_ref().expect("all valid").shared_cache_hit).collect();
+    assert_eq!(hits, [false, true, false, true], "leader-first coalescing per fingerprint");
+    assert_equivalent(&specs);
+}
+
+#[test]
+fn bad_spec_mid_batch_isolates_like_per_request() {
+    let mut bad = spec(0, 0, 2, 1);
+    bad.guest = "blah:9".into();
+    let specs = vec![spec(0, 0, 2, 1), bad, spec(1, 1, 2, 1)];
+    assert_equivalent(&specs);
+}
+
+#[test]
+fn expired_deadline_mid_batch_cancels_only_its_item() {
+    let mut doomed = spec(1, 1, 3, 5);
+    doomed.deadline_ms = Some(0);
+    let specs = vec![spec(0, 0, 2, 5), doomed, spec(0, 0, 2, 5)];
+    let solo = run_per_request(&specs);
+    let batched = run_batched(&specs);
+    for (label, side) in [("per-request", &solo), ("batched", &batched)] {
+        assert!(side[0].is_ok(), "{label}: item 0 unaffected");
+        assert_eq!(
+            side[1].as_ref().err().map(|e| e.0.as_str()),
+            Some("deadline-exceeded"),
+            "{label}: expired item cancelled"
+        );
+        assert!(side[2].is_ok(), "{label}: item 2 unaffected");
+    }
+    assert_eq!(
+        stats(solo[2].as_ref().unwrap()),
+        stats(batched[2].as_ref().unwrap()),
+        "survivors keep bit-for-bit stats"
+    );
+}

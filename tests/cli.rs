@@ -265,13 +265,18 @@ fn serve_request_round_trip_and_graceful_drain() {
     let mut stdout = BufReader::new(server.stdout.take().unwrap());
     let mut banner = String::new();
     stdout.read_line(&mut banner).expect("banner");
-    assert!(banner.starts_with("unet-serve/1 listening on "), "{banner}");
+    assert!(banner.starts_with("unet-serve/2 listening on "), "{banner}");
     let addr = banner.trim().rsplit(' ').next().unwrap().to_string();
 
     let (ok, stdout1, stderr1) =
         unet(&["request", &addr, "simulate", "ring:24", "torus:3x3", "3", "--seed", "5"]);
     assert!(ok, "stderr: {stderr1}");
     assert!(stdout1.contains("\"verified\":true"), "{stdout1}");
+    // A batch ride: two items, one round trip, per-item payloads.
+    let (okb, stdoutb, stderrb) =
+        unet(&["request", &addr, "batch", "ring:24,torus:3x3,3,5", "ring:12,torus:2x2,2"]);
+    assert!(okb, "stderr: {stderrb}");
+    assert_eq!(stdoutb.matches("\"ok\":true").count(), 2, "{stdoutb}");
     let (ok2, stdout2, _) = unet(&["request", &addr, "metrics"]);
     assert!(ok2);
     assert!(stdout2.contains("# TYPE unet_serve_conns_admitted counter"), "{stdout2}");
@@ -283,9 +288,9 @@ fn serve_request_round_trip_and_graceful_drain() {
     assert!(out.status.success(), "drain must exit 0");
     let mut rest = String::new();
     stdout.read_to_string(&mut rest).unwrap();
-    assert!(rest.contains("unet_serve_requests_completed 2"), "{rest}");
+    assert!(rest.contains("unet_serve_requests_completed 3"), "{rest}");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("drained: 2 conns admitted"), "{stderr}");
+    assert!(stderr.contains("drained: 3 conns admitted"), "{stderr}");
 }
 
 #[test]
