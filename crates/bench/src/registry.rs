@@ -30,6 +30,7 @@ use unet_routing::butterfly::{GreedyButterfly, ValiantButterfly};
 use unet_routing::greedy::DimensionOrder;
 use unet_routing::PathSelector;
 use unet_serve::loadgen::{self, LoadgenConfig};
+use unet_serve::router::{Router as ShardRouter, ShardConfig};
 use unet_serve::{ServeConfig, Server};
 use unet_topology::generators::{butterfly, torus};
 use unet_topology::util::seeded_rng;
@@ -120,7 +121,7 @@ pub struct Experiment {
 
 /// The full registry, in canonical order.
 pub fn registry() -> Vec<Experiment> {
-    vec![e1(), e2(), e16(), e17(), e18(), e19(), e20()]
+    vec![e1(), e2(), e16(), e17(), e18(), e19(), e20(), e21()]
 }
 
 /// The registry's base seed, recorded in the artifact header; every row
@@ -774,6 +775,7 @@ fn e19() -> Experiment {
                 seed: p.u64("seed"),
                 deadline_ms: None,
                 warmup: true,
+                shards: 1,
             })
             .expect("loadgen against a live server");
             let drained = server.drain();
@@ -916,6 +918,7 @@ fn e20() -> Experiment {
                 seed: p.u64("seed"),
                 deadline_ms: None,
                 warmup: false,
+                shards: 1,
             })
             .expect("loadgen against a live server");
             let drained = server.drain();
@@ -964,6 +967,192 @@ fn e20() -> Experiment {
     }
 }
 
+// --- E21: sharded serving tier, fingerprint-affine scale-out ------------
+
+struct E21Sizes {
+    guest_n: usize,
+    dim: usize,
+    steps: u32,
+    clients: u64,
+    requests: u64,
+}
+
+fn e21_sizes(quick: bool) -> E21Sizes {
+    if quick {
+        E21Sizes { guest_n: 96, dim: 3, steps: 4, clients: 4, requests: 4 }
+    } else {
+        E21Sizes { guest_n: 192, dim: 4, steps: 4, clients: 8, requests: 8 }
+    }
+}
+
+/// `(label, shards)` — one `unet shard` deployment per row, every backend
+/// with one worker so the shard count is the only parallelism knob.
+const E21_CONFIGS: [(&str, u64); 3] = [("s1", 1), ("s2", 2), ("s4", 4)];
+
+/// Cores available when a row is measured — recorded *into the row* so the
+/// wall-clock scaling gate arms itself only where shards truly run in
+/// parallel (a committed single-core artifact stays honest on any checker).
+fn cores_now() -> u64 {
+    std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1)
+}
+
+fn e21() -> Experiment {
+    Experiment {
+        id: "E21",
+        title: "Sharded serving tier: fingerprint-affine scale-out across backend shards",
+        claim: "Engineering claim on unet shard: consistent-hashing workload fingerprints \
+                to backend shards preserves plan-cache locality through scale-out — each \
+                shard absorbs exactly its share of a balanced closed-loop workload with \
+                one cold compile, the global hit ratio stays within 5% of the \
+                single-shard ratio for the same workload set, zero requests are lost or \
+                failed over, and (given one core per shard plus one for the router) \
+                4 shards sustain at least 3x the single-shard offered load",
+        grid_keys: &["config"],
+        meta: |quick| {
+            let s = e21_sizes(quick);
+            vec![
+                ("guest".into(), Value::Str(format!("ring:{}", s.guest_n))),
+                ("host".into(), Value::Str(format!("butterfly:{}", s.dim))),
+                ("guest_steps".into(), Value::UInt(s.steps as u64)),
+                ("clients".into(), Value::UInt(s.clients)),
+                ("requests_per_client".into(), Value::UInt(s.requests)),
+                ("workers_per_shard".into(), Value::UInt(1)),
+                ("protocol".into(), Value::Str(unet_serve::PROTOCOL.into())),
+            ]
+        },
+        grid: |quick| {
+            let s = e21_sizes(quick);
+            E21_CONFIGS
+                .iter()
+                .map(|&(label, shards)| {
+                    GridPoint::new(vec![
+                        ("config", Value::Str(label.into())),
+                        ("shards", Value::UInt(shards)),
+                        ("clients", Value::UInt(s.clients)),
+                        ("guest_n", Value::UInt(s.guest_n as u64)),
+                        ("dim", Value::UInt(s.dim as u64)),
+                        ("guest_steps", Value::UInt(s.steps as u64)),
+                        ("requests_per_client", Value::UInt(s.requests)),
+                        // Base seed; the load generator searches upward from
+                        // it for one fingerprint per shard, so every shard
+                        // sees exactly one distinct workload.
+                        ("seed", Value::UInt(0xE21)),
+                    ])
+                })
+                .collect()
+        },
+        run: |p| {
+            let shards = p.u64("shards") as usize;
+            let clients = p.u64("clients") as usize;
+            let requests = p.u64("requests_per_client");
+            let deadline_ms = ServeConfig::default().default_deadline_ms;
+            // One worker per backend: the shard count is the only
+            // parallelism in the row. Everything runs in-process on
+            // ephemeral ports, like E19/E20.
+            let backends: Vec<Server> = (0..shards)
+                .map(|_| {
+                    Server::start(ServeConfig {
+                        workers: 1,
+                        queue_cap: 64,
+                        ..ServeConfig::default()
+                    })
+                    .expect("bind backend on 127.0.0.1:0")
+                })
+                .collect();
+            let router = ShardRouter::start(ShardConfig {
+                backends: backends.iter().map(|b| b.addr().to_string()).collect(),
+                workers: clients.max(2),
+                ..ShardConfig::default()
+            })
+            .expect("bind router on 127.0.0.1:0");
+            let report = loadgen::run(&LoadgenConfig {
+                addr: router.addr().to_string(),
+                clients,
+                requests_per_client: requests as usize,
+                batch: 1,
+                guest: format!("ring:{}", p.u64("guest_n")),
+                host: format!("butterfly:{}", p.u64("dim")),
+                steps: p.u64("guest_steps") as u32,
+                seed: p.u64("seed"),
+                deadline_ms: None,
+                warmup: true,
+                shards,
+            })
+            .expect("loadgen against a live router");
+            let router_drained = router.drain();
+            let backend_drains: Vec<_> = backends.into_iter().map(Server::drain).collect();
+            assert_eq!(report.completed, report.sent, "closed loop loses no request");
+            assert_eq!(report.errors, 0, "no error responses at this load");
+            // Per-shard simulate executions, counted by the one signal the
+            // prober's metrics probes cannot inflate: plan-cache touches.
+            let executed: Vec<u64> = backend_drains
+                .iter()
+                .map(|d| d.stats.shared_hits + d.stats.shared_misses)
+                .collect();
+            let min_shard = executed.iter().copied().min().unwrap_or(0);
+            let hits: u64 = backend_drains.iter().map(|d| d.stats.shared_hits).sum();
+            let misses: u64 = backend_drains.iter().map(|d| d.stats.shared_misses).sum();
+            let hit_ratio = hits as f64 / (hits + misses).max(1) as f64;
+            // The single-shard ratio for the same N distinct workloads is
+            // C·R/(C·R + N) — one cold compile per workload either way.
+            // Affinity means sharding adds no misses beyond that; 0.95 is
+            // slack for a failover-induced recompile.
+            let cr = (clients as u64 * requests) as f64;
+            let single_shard_ratio = cr / (cr + shards as f64);
+            obj(vec![
+                ("config", Value::Str(p.str("config").into())),
+                ("shards", Value::UInt(shards as u64)),
+                ("clients", Value::UInt(clients as u64)),
+                ("requests", Value::UInt(report.sent as u64)),
+                ("completed", Value::UInt(report.completed as u64)),
+                ("min_shard_executed", Value::UInt(min_shard)),
+                // Exact per-shard share of the measured phase: the seed
+                // search pins one workload per shard and clients spread
+                // round-robin, so balance is arithmetic, not stochastic.
+                ("balance_floor", Value::UInt(clients as u64 / shards as u64 * requests)),
+                ("hit_ratio", Value::Float(hit_ratio)),
+                ("hit_ratio_floor", Value::Float(0.95 * single_shard_ratio)),
+                ("failovers", Value::UInt(router_drained.stats.failovers)),
+                ("failover_cap", Value::UInt(0)),
+                ("p99_ms", Value::Float(report.percentile_ms(99.0).unwrap_or(0.0))),
+                ("p99_cap_ms", Value::Float(deadline_ms as f64)),
+                ("ms_per_req", Value::Float(report.wall_ms / report.sent.max(1) as f64)),
+                ("throughput_rps", Value::Float(report.throughput_rps())),
+                ("wall_ms", Value::Float(report.wall_ms)),
+                ("cores", Value::UInt(cores_now())),
+                ("cores_needed", Value::UInt(shards as u64 + 1)),
+            ])
+        },
+        shapes: || {
+            vec![
+                // The scale-out claim, armed only where the shards can
+                // actually run in parallel (cores recorded per row).
+                Shape::ThroughputScaling {
+                    key: "config",
+                    fast: "s4",
+                    slow: "s1",
+                    throughput: "throughput_rps",
+                    factor: 3.0,
+                    cores: "cores",
+                    cores_needed: "cores_needed",
+                },
+                // Affinity keeps every shard's cache warm: the global hit
+                // ratio stays within 5% of the single-shard ratio.
+                Shape::AtLeastColumn { y: "hit_ratio", floor: "hit_ratio_floor" },
+                // The balanced workload lands exactly (C/N)·R measured
+                // requests on every shard — machine-independent.
+                Shape::AtLeastColumn { y: "min_shard_executed", floor: "balance_floor" },
+                // Healthy backends: nothing failed over.
+                Shape::AtLeastColumn { y: "failover_cap", floor: "failovers" },
+                // Below the knee nothing times out.
+                Shape::AtLeastColumn { y: "p99_cap_ms", floor: "p99_ms" },
+                // Zero lost requests through the router and the drain.
+                Shape::AtLeastColumn { y: "completed", floor: "requests" },
+            ]
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -972,7 +1161,7 @@ mod tests {
     fn registry_is_canonical() {
         let reg = registry();
         let ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
-        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18", "E19", "E20"]);
+        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18", "E19", "E20", "E21"]);
         for exp in &reg {
             assert!(!(exp.shapes)().is_empty(), "{} has no shape predicates", exp.id);
             for quick in [true, false] {
@@ -1089,6 +1278,40 @@ mod tests {
             "a cold batch of 4 must ride one plan build: {}",
             b4.to_json()
         );
+    }
+
+    #[test]
+    fn e21_shards_stay_balanced_warm_and_lossless() {
+        let exp = e21();
+        let grid = (exp.grid)(true);
+        let rows: Vec<Value> = grid.iter().map(|p| (exp.run)(p)).collect();
+        for (p, row) in grid.iter().zip(&rows) {
+            assert_eq!(
+                row_key(row, exp.grid_keys).as_deref(),
+                Some(p.key(exp.grid_keys).as_str()),
+                "E21: row does not embed its grid point"
+            );
+        }
+        // The throughput-scaling shape may disarm on a small machine, but
+        // balance, hit ratio, failover and completeness gates are exact.
+        for shape in (exp.shapes)() {
+            shape.check(&rows).unwrap_or_else(|v| panic!("E21: {v}"));
+        }
+        let s4 = rows
+            .iter()
+            .find(|r| r.get("config").and_then(Value::as_str) == Some("s4"))
+            .expect("s4 row");
+        assert_eq!(
+            s4.get("failovers").and_then(Value::as_u64),
+            Some(0),
+            "healthy shards never fail over: {}",
+            s4.to_json()
+        );
+        // Affinity held: exactly one cold compile per shard, so the global
+        // ratio equals the single-shard ideal for the same workload set.
+        let ratio = s4.get("hit_ratio").and_then(Value::as_f64).unwrap();
+        let floor = s4.get("hit_ratio_floor").and_then(Value::as_f64).unwrap();
+        assert!(ratio >= floor, "sharded hit ratio {ratio} under floor {floor}");
     }
 
     #[test]

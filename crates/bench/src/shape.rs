@@ -105,6 +105,33 @@ pub enum Shape {
         /// Skip the check when `wall(slow)` is below this (milliseconds).
         min_wall_ms: f64,
     },
+    /// The row whose `key` column equals `fast` must have
+    /// `throughput ≥ factor · throughput(slow)` — the scale-out claim of
+    /// E21 (4 shards sustain ≥ 3× the offered load of 1 shard at equal
+    /// per-shard workers). Wall-clock scaling only exists when the shards
+    /// actually run in parallel, so the check is skipped unless the fast
+    /// row's `cores` column (recorded at measurement time from
+    /// `available_parallelism`) is at least its `cores_needed` column —
+    /// on a single-core CI runner the machine-independent E21 gates
+    /// (per-shard balance, hit-ratio floor, zero failovers) still run,
+    /// while this predicate arms itself automatically on real hardware.
+    ThroughputScaling {
+        /// Column identifying configurations (e.g. `config`).
+        key: &'static str,
+        /// Key value of the configuration that must scale.
+        fast: &'static str,
+        /// Key value of the baseline configuration.
+        slow: &'static str,
+        /// Column holding the throughput measurement (higher is better).
+        throughput: &'static str,
+        /// Required ratio: throughput(fast) ≥ factor × throughput(slow).
+        factor: f64,
+        /// Column holding the cores available when the row was measured.
+        cores: &'static str,
+        /// Column holding the cores the fast configuration needs for its
+        /// shards to truly run in parallel.
+        cores_needed: &'static str,
+    },
     /// E17's cache-counter consistency: rows with `cache = true` must
     /// report exactly one miss (the cold comm phase) and at least one hit
     /// (the replays); rows with `cache = false` must report zero of both.
@@ -156,6 +183,9 @@ impl Shape {
             Shape::MonotoneInLog { x, y } => format!("{y} non-decreasing in {x}"),
             Shape::SpeedupOrdering { fast, slow, factor, .. } => {
                 format!("wall({fast}) <= {factor}*wall({slow})")
+            }
+            Shape::ThroughputScaling { fast, slow, factor, .. } => {
+                format!("throughput({fast}) >= {factor}*throughput({slow}) when cores allow")
             }
             Shape::CacheCounters { .. } => "cache counters consistent".into(),
         }
@@ -263,6 +293,36 @@ impl Shape {
                 if fw > factor * sw {
                     return fail(format!(
                         "{fast} took {fw:.1} ms vs {slow} {sw:.1} ms — speedup ordering lost"
+                    ));
+                }
+                Ok(())
+            }
+            Shape::ThroughputScaling {
+                key,
+                fast,
+                slow,
+                throughput,
+                factor,
+                cores,
+                cores_needed,
+            } => {
+                let find = |label: &str| {
+                    rows.iter().find(|r| r.get(key).and_then(Value::as_str) == Some(label))
+                };
+                let (Some(fr), Some(sr)) = (find(fast), find(slow)) else {
+                    return fail(format!("rows for {fast:?} and {slow:?} not both present"));
+                };
+                // Schema first: the columns must exist even when the
+                // predicate ends up disarmed, so drift cannot hide.
+                let (ft, st) = (num(fr, throughput, self)?, num(sr, throughput, self)?);
+                let (have, need) = (num(fr, cores, self)?, num(fr, cores_needed, self)?);
+                if have < need {
+                    return Ok(()); // shards are time-sliced, not parallel
+                }
+                if ft < factor * st {
+                    return fail(format!(
+                        "{fast} sustained {ft:.1} items/s vs {slow} {st:.1} items/s on \
+                         {have} cores — scale-out lost ({factor}x required)"
                     ));
                 }
                 Ok(())
@@ -429,6 +489,46 @@ mod tests {
         shape.check(&tiny).expect("noise floor guard");
         // A missing configuration is a schema violation, not a pass.
         assert!(shape.check(&good[..1]).is_err());
+    }
+
+    #[test]
+    fn throughput_scaling_armed_only_when_cores_allow() {
+        let shape = Shape::ThroughputScaling {
+            key: "config",
+            fast: "s4",
+            slow: "s1",
+            throughput: "throughput_rps",
+            factor: 3.0,
+            cores: "cores",
+            cores_needed: "cores_needed",
+        };
+        let rows = |fast_tp: f64, cores: u64| {
+            vec![
+                row(&[
+                    ("config", Value::Str("s1".into())),
+                    ("throughput_rps", Value::Float(100.0)),
+                    ("cores", Value::UInt(cores)),
+                    ("cores_needed", Value::UInt(1)),
+                ]),
+                row(&[
+                    ("config", Value::Str("s4".into())),
+                    ("throughput_rps", Value::Float(fast_tp)),
+                    ("cores", Value::UInt(cores)),
+                    ("cores_needed", Value::UInt(4)),
+                ]),
+            ]
+        };
+        shape.check(&rows(350.0, 8)).expect("3.5x on 8 cores passes");
+        assert!(shape.check(&rows(150.0, 8)).is_err(), "1.5x on 8 cores fails the 3x gate");
+        shape.check(&rows(150.0, 1)).expect("time-sliced single-core runner is skipped");
+        // Missing rows or columns are schema violations even when the
+        // predicate would be disarmed.
+        assert!(shape.check(&rows(350.0, 8)[..1]).is_err());
+        let no_cores = vec![
+            row(&[("config", Value::Str("s1".into())), ("throughput_rps", Value::Float(1.0))]),
+            row(&[("config", Value::Str("s4".into())), ("throughput_rps", Value::Float(9.0))]),
+        ];
+        assert!(shape.check(&no_cores).is_err(), "cores columns must exist");
     }
 
     #[test]

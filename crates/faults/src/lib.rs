@@ -18,7 +18,7 @@
 //!   representatives), emitting ordinary pebble protocols that
 //!   `unet_pebble::check` certifies end-to-end.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod degraded;
 pub mod plan;

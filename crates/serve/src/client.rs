@@ -137,8 +137,23 @@ impl SimulateResult {
 const DEFAULT_RETRIES: u32 = 0;
 
 /// Upper bound on one retry sleep, so a wild server hint cannot park the
-/// client for minutes.
-const MAX_RETRY_SLEEP: Duration = Duration::from_secs(2);
+/// client for minutes. [`retry_sleep`] clamps every hint to this.
+pub const MAX_RETRY_SLEEP: Duration = Duration::from_secs(2);
+
+/// How many connect attempts [`Client`] makes when (re)establishing a
+/// connection, so a router restart window does not surface as an IO error.
+const RECONNECT_ATTEMPTS: u32 = 3;
+
+/// Pause between reconnect attempts.
+const RECONNECT_PAUSE: Duration = Duration::from_millis(25);
+
+/// The duration the client sleeps for a server `retry_after_ms` hint:
+/// the hint itself (10 ms when the server sent none), clamped to
+/// [`MAX_RETRY_SLEEP`]. Exposed so tests can check the cap without
+/// standing up an overloaded server.
+pub fn retry_sleep(retry_after_ms: Option<u64>) -> Duration {
+    Duration::from_millis(retry_after_ms.unwrap_or(10)).min(MAX_RETRY_SLEEP)
+}
 
 /// A persistent typed connection to a `unet-serve` server.
 ///
@@ -188,7 +203,21 @@ impl Client {
 
     fn ensure_conn(&mut self) -> Result<(), ClientError> {
         if self.conn.is_none() {
-            let stream = TcpStream::connect(&self.addr)?;
+            // A few attempts with short pauses ride out a router or server
+            // restart window transparently instead of failing the call.
+            let mut attempt = 0;
+            let stream = loop {
+                match TcpStream::connect(&self.addr) {
+                    Ok(s) => break s,
+                    Err(e) => {
+                        attempt += 1;
+                        if attempt >= RECONNECT_ATTEMPTS {
+                            return Err(ClientError::Io(e));
+                        }
+                        std::thread::sleep(RECONNECT_PAUSE);
+                    }
+                }
+            };
             if let Some(t) = self.timeout {
                 let _ = stream.set_read_timeout(Some(t));
                 let _ = stream.set_write_timeout(Some(t));
@@ -258,8 +287,7 @@ impl Client {
                         return Err(ClientError::Overloaded { queue_cap, retry_after_ms });
                     }
                     attempts_left -= 1;
-                    let hint = Duration::from_millis(retry_after_ms.unwrap_or(10));
-                    std::thread::sleep(hint.min(MAX_RETRY_SLEEP));
+                    std::thread::sleep(retry_sleep(retry_after_ms));
                 }
             }
         }
@@ -319,26 +347,4 @@ impl Client {
             .map(str::to_string)
             .ok_or_else(|| ClientError::Protocol("metrics result without `exposition`".into()))
     }
-}
-
-/// Connect to `addr`, send one request line, and read one response line.
-///
-/// The connection is closed afterwards — scripting-friendly, at the cost of
-/// a connect per request. An empty response (server closed without
-/// answering) is an `UnexpectedEof` error.
-#[deprecated(since = "0.2.0", note = "use `Client::connect(addr)` and its typed methods")]
-pub fn request_line(addr: &str, line: &str) -> std::io::Result<String> {
-    let mut stream = TcpStream::connect(addr)?;
-    writeln!(stream, "{line}")?;
-    stream.flush()?;
-    let mut reader = BufReader::new(stream);
-    let mut response = String::new();
-    let n = reader.read_line(&mut response)?;
-    if n == 0 {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::UnexpectedEof,
-            "server closed the connection without responding",
-        ));
-    }
-    Ok(response.trim_end().to_string())
 }

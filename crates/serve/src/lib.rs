@@ -26,7 +26,13 @@
 //!   experiments (E19/E20) and CI smoke tests;
 //! * [`client`] — the typed [`Client`] behind
 //!   `unet request`;
-//! * [`signal`] — SIGTERM-to-flag plumbing for graceful drain.
+//! * [`ring`] — the consistent-hash ring that maps workload fingerprints
+//!   to shards (and gives the failover order when one dies);
+//! * [`router`] — the sharding front-end behind `unet shard`:
+//!   fingerprint-affine forwarding to N backend servers, per-backend
+//!   health with ejection and backoff reinstatement, batch
+//!   split/re-merge, and `shard`-labelled aggregated metrics;
+//! * [`signal`] — SIGTERM/SIGINT-to-flag plumbing for graceful drain.
 //!
 //! ```
 //! use unet_serve::{Server, ServeConfig};
@@ -52,10 +58,14 @@ pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
+pub mod ring;
+pub mod router;
 pub mod server;
 pub mod signal;
 
 pub use client::{Client, ClientError, ServerError, SimulateResult};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
 pub use protocol::{ProtoVersion, Request, Response, PROTOCOL, PROTOCOL_V1};
+pub use ring::Ring;
+pub use router::{Router, RouterDrainReport, RouterStats, ShardConfig};
 pub use server::{DrainReport, ServeConfig, Server, ServerStats};

@@ -14,6 +14,16 @@
 //! An optional warm-up request is issued before the clients start so the
 //! one unavoidable shared-cache miss happens deterministically up front
 //! (`hit_ratio = R·C / (R·C + 1)` on a repeated workload with `batch = 1`).
+//!
+//! When driving a `unet shard` router, set [`LoadgenConfig::shards`] to
+//! the ring size: the generator derives one seed per shard — the smallest
+//! seeds at or above `seed` whose workload fingerprints home to each shard
+//! on the same [`Ring`] the router uses — and spreads
+//! clients round-robin across those seeds. Offered load is then *exactly*
+//! balanced per shard (no stochastic consistent-hash skew), each shard's
+//! plan cache sees exactly one distinct workload, and the warm-up issues
+//! one request per seed so every shard's unavoidable miss happens up
+//! front: `hit_ratio = R·C / (R·C + N)` globally for `N` shards.
 
 use std::io;
 use std::time::Instant;
@@ -22,6 +32,8 @@ use crate::client::Client;
 use crate::protocol::{
     batch_request_line, parse_response, simulate_request_line, Response, SimulateReq,
 };
+use crate::ring::Ring;
+use crate::router::simulate_fingerprint;
 use unet_obs::json::Value;
 
 /// Load-generator configuration.
@@ -47,8 +59,14 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Per-request deadline override.
     pub deadline_ms: Option<u64>,
-    /// Issue one warm-up request before the clients start.
+    /// Issue one warm-up request before the clients start (one per
+    /// distinct seed when `shards > 1`).
     pub warmup: bool,
+    /// Ring size of the `unet shard` router being driven (1 = a plain
+    /// server). Values above 1 switch the generator to one
+    /// fingerprint-searched seed per shard with clients spread
+    /// round-robin, so per-shard offered load is exactly balanced.
+    pub shards: usize,
 }
 
 /// What a load-generator run measured.
@@ -177,43 +195,91 @@ fn run_client(addr: &str, line: &str, requests: usize, items: usize) -> ClientTa
     tally
 }
 
-/// Run the closed loop and aggregate every client's tally.
-pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
-    let batch = cfg.batch.max(1);
-    let spec = SimulateReq {
+/// The spec a client driving seed `seed` repeats.
+fn spec_for_seed(cfg: &LoadgenConfig, seed: u64) -> SimulateReq {
+    SimulateReq {
         guest: cfg.guest.clone(),
         host: cfg.host.clone(),
         steps: cfg.steps,
-        seed: cfg.seed,
+        seed,
         deadline_ms: cfg.deadline_ms,
         id: None,
-    };
-    let line = if batch == 1 {
-        simulate_request_line(&spec)
-    } else {
-        batch_request_line(&vec![spec.clone(); batch], cfg.deadline_ms, None)
-    };
+    }
+}
+
+/// One seed per shard, indexed by home shard: the smallest seeds at or
+/// above `cfg.seed` whose workload fingerprints land on each shard of
+/// `Ring::new(shards)`. Deterministic (pure search, no clock or RNG), so
+/// repeated runs offer the identical per-shard workload. Expected search
+/// length is `N·H_N` seeds for `N` shards — a handful. Falls back to
+/// `cfg.seed` everywhere if the spec cannot be fingerprinted (the run
+/// will produce typed errors regardless of placement).
+fn seeds_for_shards(cfg: &LoadgenConfig, shards: usize) -> Vec<u64> {
+    if shards <= 1 {
+        return vec![cfg.seed];
+    }
+    let ring = Ring::new(shards);
+    let mut seeds: Vec<Option<u64>> = vec![None; shards];
+    let mut found = 0usize;
+    for delta in 0..100_000u64 {
+        let seed = cfg.seed.wrapping_add(delta);
+        match simulate_fingerprint(&spec_for_seed(cfg, seed)) {
+            Ok(fp) => {
+                let shard = ring.shard_of(fp);
+                if seeds[shard].is_none() {
+                    seeds[shard] = Some(seed);
+                    found += 1;
+                    if found == shards {
+                        break;
+                    }
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    seeds.into_iter().map(|s| s.unwrap_or(cfg.seed)).collect()
+}
+
+/// Run the closed loop and aggregate every client's tally.
+pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    let batch = cfg.batch.max(1);
+    let seeds = seeds_for_shards(cfg, cfg.shards.max(1));
+    let lines: Vec<String> = seeds
+        .iter()
+        .map(|&seed| {
+            let spec = spec_for_seed(cfg, seed);
+            if batch == 1 {
+                simulate_request_line(&spec)
+            } else {
+                batch_request_line(&vec![spec; batch], cfg.deadline_ms, None)
+            }
+        })
+        .collect();
     let mut sent = 0usize;
     let mut warm_completed = 0usize;
     let mut warm_errors = 0usize;
     if cfg.warmup {
-        sent += 1;
-        let warm_line = simulate_request_line(&spec);
-        let outcome = Client::connect(&cfg.addr).and_then(|mut c| c.request_raw(&warm_line));
-        match outcome {
-            Ok(resp) => match parse_response(resp.trim()) {
-                Ok(Response::Result(_)) => warm_completed += 1,
-                _ => warm_errors += 1,
-            },
-            Err(_) => warm_errors += 1,
+        // One warm-up per distinct seed: every shard takes its one
+        // unavoidable plan-cache miss before the measured phase starts.
+        for &seed in &seeds {
+            sent += 1;
+            let warm_line = simulate_request_line(&spec_for_seed(cfg, seed));
+            let outcome = Client::connect(&cfg.addr).and_then(|mut c| c.request_raw(&warm_line));
+            match outcome {
+                Ok(resp) => match parse_response(resp.trim()) {
+                    Ok(Response::Result(_)) => warm_completed += 1,
+                    _ => warm_errors += 1,
+                },
+                Err(_) => warm_errors += 1,
+            }
         }
     }
     let started = Instant::now();
     let tallies: Vec<ClientTally> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = (0..cfg.clients)
-            .map(|_| {
+            .map(|i| {
                 let addr = &cfg.addr;
-                let line = &line;
+                let line = &lines[i % lines.len()];
                 s.spawn(move |_| run_client(addr, line, cfg.requests_per_client, batch))
             })
             .collect();
@@ -274,6 +340,37 @@ mod tests {
         assert_eq!(report.percentile_ms(99.0), None);
         assert_eq!(report.mean_ms(), None);
         assert_eq!(report.throughput_rps(), 0.0);
+    }
+
+    #[test]
+    fn shard_seed_search_balances_every_shard() {
+        let cfg = LoadgenConfig {
+            addr: String::new(),
+            clients: 8,
+            requests_per_client: 4,
+            batch: 1,
+            guest: "ring:12".into(),
+            host: "torus:2x2".into(),
+            steps: 2,
+            seed: 0xE21,
+            deadline_ms: None,
+            warmup: true,
+            shards: 4,
+        };
+        let seeds = seeds_for_shards(&cfg, 4);
+        assert_eq!(seeds.len(), 4);
+        let ring = Ring::new(4);
+        for (shard, &seed) in seeds.iter().enumerate() {
+            let fp = simulate_fingerprint(&spec_for_seed(&cfg, seed)).expect("fingerprintable");
+            assert_eq!(ring.shard_of(fp), shard, "seed {seed} homes to its shard");
+        }
+        let mut distinct = seeds.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4, "one distinct seed per shard: {seeds:?}");
+        // Deterministic and degenerate-safe.
+        assert_eq!(seeds, seeds_for_shards(&cfg, 4));
+        assert_eq!(seeds_for_shards(&cfg, 1), vec![0xE21]);
     }
 
     #[test]

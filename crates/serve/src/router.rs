@@ -1,0 +1,902 @@
+//! The sharding front-end behind `unet shard`: fingerprint-affine routing
+//! across a pool of backend `unet serve` shards.
+//!
+//! The paper routes arbitrary guest workloads onto a fixed host with
+//! bounded slowdown; this module mirrors that one level up, routing
+//! arbitrary request streams across a fixed pool of backend processes with
+//! bounded tail latency. The design constraints, front to back:
+//!
+//! * **Fingerprint affinity** — every `simulate` request (and every member
+//!   of a `batch`) is keyed by the same
+//!   [`workload_fingerprint`] the backends
+//!   use as their [`SharedPlanCache`](unet_core::SharedPlanCache) key, and
+//!   the [`Ring`] consistent-hashes it to a home shard. Repeats of a
+//!   workload always land on the shard that already compiled its route
+//!   plan, so cache hit ratios and single-flight coalescing survive the
+//!   scale-out unchanged.
+//! * **Batch splitting** — a `batch` request is split by fingerprint into
+//!   one sub-batch per home shard, the sub-batches are forwarded
+//!   concurrently, and the positionally aligned results are re-merged into
+//!   one response in the original item order.
+//! * **Health and failover** — a prober thread issues periodic `metrics`
+//!   probes; [`ShardConfig::eject_after`] consecutive failures eject a
+//!   backend, and ejected backends are re-probed under exponential backoff
+//!   until they answer again. A request whose backend dies mid-flight (or
+//!   answers `overloaded`) retries on the next shard in ring order, so a
+//!   dead shard's keys spill onto its ring successor and nowhere else.
+//! * **Aggregated metrics** — a `metrics` request fans out to every healthy
+//!   backend and merges the expositions under a `shard` label (the
+//!   router's own counters appear as `shard="router"`).
+//!
+//! # Operating a sharded deployment
+//!
+//! The runbook below is executable: start two shards and a router, route
+//! traffic through it, drain one shard mid-deployment, and watch the ring
+//! fail over to the survivor with zero lost requests.
+//!
+//! ```
+//! use unet_serve::{Server, ServeConfig};
+//! use unet_serve::router::{Router, ShardConfig};
+//! use unet_serve::client::Client;
+//! use unet_serve::protocol::SimulateReq;
+//!
+//! // 1. Start the backend shards (in production: `unet serve`, or let
+//! //    `unet shard --shards N` spawn and supervise them).
+//! let shard_a = Server::start(ServeConfig::default()).expect("bind shard a");
+//! let shard_b = Server::start(ServeConfig::default()).expect("bind shard b");
+//!
+//! // 2. Start the router in front of them (`unet shard --backend ...`).
+//! let router = Router::start(ShardConfig {
+//!     backends: vec![shard_a.addr().to_string(), shard_b.addr().to_string()],
+//!     ..ShardConfig::default()
+//! })
+//! .expect("bind router");
+//!
+//! // 3. Clients talk to the router exactly as they would to one server.
+//! let mut client = Client::connect(&router.addr().to_string()).expect("connect");
+//! let spec = SimulateReq {
+//!     guest: "ring:12".into(), host: "torus:2x2".into(),
+//!     steps: 2, seed: 7, deadline_ms: None, id: None,
+//! };
+//! let before = client.simulate(&spec).expect("routed to the home shard");
+//!
+//! // 4. Drain one shard. Its in-flight requests are answered by the
+//! //    drain; everything after fails over to the ring successor.
+//! shard_a.drain();
+//! let after = client.simulate(&spec).expect("absorbed by the surviving shard");
+//! assert_eq!(before.host_steps, after.host_steps, "failover preserves results");
+//!
+//! // 5. Observe the deployment: the aggregated exposition labels every
+//! //    series with the shard that produced it.
+//! let exposition = client.metrics().expect("aggregated metrics");
+//! assert!(exposition.contains("shard=\""), "series carry shard labels");
+//!
+//! drop(client);
+//! router.drain();
+//! shard_b.drain();
+//! ```
+
+use std::collections::BTreeMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::client::Client;
+use crate::protocol::{
+    batch_item_value, batch_request_line, error_line, metrics_request_line, overloaded_line,
+    parse_request, parse_response, result_line, ProtoVersion, Request, Response, SimulateReq,
+};
+use crate::queue::BoundedQueue;
+use crate::ring::Ring;
+use crate::server::{read_line_patient, retry_after_hint, LineRead, IDLE_POLL};
+use unet_core::routers::Router as _;
+use unet_core::spec::parse_graph;
+use unet_core::{workload_fingerprint, Embedding};
+use unet_obs::json::Value;
+use unet_obs::{InMemoryRecorder, MetricsRegistry, Recorder};
+use unet_topology::par::default_threads;
+
+/// Router configuration (all fields except `backends` have serviceable
+/// defaults; `backends` must name at least one `unet serve` address).
+#[derive(Debug, Clone)]
+pub struct ShardConfig {
+    /// Bind address of the router; port 0 picks a free port (the default).
+    pub addr: String,
+    /// Connection workers. Each worker carries one client request at a
+    /// time end-to-end (including the forwarded round trip), so this
+    /// bounds the router's concurrency — size it at or above the expected
+    /// number of concurrent closed-loop clients.
+    pub workers: usize,
+    /// Admission queue bound; 0 rejects every connection (default 64).
+    pub queue_cap: usize,
+    /// Backend shard addresses, in ring order. Position in this vector is
+    /// the shard's identity (the `shard` metrics label and ring index).
+    pub backends: Vec<String>,
+    /// Concurrent connections the router opens per backend (default 1).
+    /// A forward beyond this bound waits for a slot instead of dialing:
+    /// a backend `unet serve` dedicates one connection worker to each
+    /// accepted connection for its lifetime, so dialing more connections
+    /// than the backend has workers would park requests on sockets no
+    /// worker will ever read — a deadlock, not a slowdown. Raise this to
+    /// the backend's `--workers` for per-shard connection concurrency;
+    /// `batch` requests already exploit backend executor parallelism
+    /// over a single connection.
+    pub backend_conns: usize,
+    /// How often the prober issues `metrics` probes (default 100 ms).
+    pub probe_interval_ms: u64,
+    /// Consecutive failures (probes or forwards) before a backend is
+    /// ejected from rotation (default 3).
+    pub eject_after: u32,
+    /// Cap on the exponential reinstatement backoff (default 5 000 ms;
+    /// the backoff starts at 100 ms and doubles per failed re-probe).
+    pub max_backoff_ms: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: default_threads(),
+            queue_cap: 64,
+            backends: Vec::new(),
+            backend_conns: 1,
+            probe_interval_ms: 100,
+            eject_after: 3,
+            max_backoff_ms: 5_000,
+        }
+    }
+}
+
+/// Counter snapshot of a running (or drained) router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Requests forwarded to a backend (first attempts, not retries).
+    pub forwarded: u64,
+    /// Requests answered to clients (any response kind except the
+    /// router's own `overloaded` admission rejection).
+    pub completed: u64,
+    /// Forwards that had to retry on a ring successor (backend dead or
+    /// overloaded mid-request).
+    pub failovers: u64,
+    /// `overloaded` rejections from one shard absorbed by a healthier
+    /// ring successor.
+    pub overloads_absorbed: u64,
+    /// Backends ejected after consecutive failures.
+    pub ejected: u64,
+    /// Ejected backends reinstated after a successful re-probe.
+    pub reinstated: u64,
+    /// Configured backend count.
+    pub backends: u64,
+    /// Backends currently in rotation.
+    pub healthy: u64,
+}
+
+/// What a router drain hands back.
+#[derive(Debug, Clone)]
+pub struct RouterDrainReport {
+    /// Final counter snapshot.
+    pub stats: RouterStats,
+    /// Final Prometheus exposition of the router's own registry (backend
+    /// registries are live-aggregated by the `metrics` request kind, not
+    /// replayed here).
+    pub exposition: String,
+}
+
+/// Reinstatement backoff starts here and doubles per failed re-probe.
+const BACKOFF_BASE: Duration = Duration::from_millis(100);
+
+/// Reinstatement backoff state of one ejected backend.
+struct Backoff {
+    /// Doublings applied so far.
+    exp: u32,
+    /// Earliest instant the prober may re-probe.
+    until: Instant,
+}
+
+/// Connection slots of one backend. `idle + in_use` never exceeds the
+/// configured `backend_conns`, so the router can never open more
+/// connections than the backend has workers to read them (see
+/// [`ShardConfig::backend_conns`]).
+struct ConnPool {
+    /// Open connections checked in between forwards.
+    idle: Vec<Client>,
+    /// Slots currently carrying a forward (connection held or dialing).
+    in_use: usize,
+}
+
+/// One backend shard: its address, its bounded connection-slot pool, and
+/// its health state.
+struct Backend {
+    addr: String,
+    conns: Mutex<ConnPool>,
+    /// Signaled whenever a slot is released.
+    slot_freed: Condvar,
+    healthy: AtomicBool,
+    consecutive_failures: AtomicU32,
+    backoff: Mutex<Backoff>,
+}
+
+struct RouterShared {
+    backends: Vec<Backend>,
+    ring: Ring,
+    recorder: Mutex<InMemoryRecorder>,
+    queue: BoundedQueue<TcpStream>,
+    shutdown: AtomicBool,
+    depth_seq: AtomicU64,
+    workers: usize,
+    conn_limit: usize,
+    eject_after: u32,
+    max_backoff: Duration,
+}
+
+/// A running shard router; construct with [`Router::start`], stop with
+/// [`Router::drain`].
+pub struct Router {
+    addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl Router {
+    /// Bind, spawn the acceptor, connection workers, and health prober,
+    /// and return immediately. Fails if `cfg.backends` is empty.
+    pub fn start(cfg: ShardConfig) -> std::io::Result<Router> {
+        if cfg.backends.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a shard router needs at least one --backend address",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let workers = cfg.workers.max(1);
+        let now = Instant::now();
+        let backends: Vec<Backend> = cfg
+            .backends
+            .iter()
+            .map(|addr| Backend {
+                addr: addr.clone(),
+                conns: Mutex::new(ConnPool { idle: Vec::new(), in_use: 0 }),
+                slot_freed: Condvar::new(),
+                healthy: AtomicBool::new(true),
+                consecutive_failures: AtomicU32::new(0),
+                backoff: Mutex::new(Backoff { exp: 0, until: now }),
+            })
+            .collect();
+        let shared = Arc::new(RouterShared {
+            ring: Ring::new(backends.len()),
+            backends,
+            recorder: Mutex::new(InMemoryRecorder::new()),
+            queue: BoundedQueue::new(cfg.queue_cap),
+            shutdown: AtomicBool::new(false),
+            depth_seq: AtomicU64::new(0),
+            workers,
+            conn_limit: cfg.backend_conns.max(1),
+            eject_after: cfg.eject_after.max(1),
+            max_backoff: Duration::from_millis(cfg.max_backoff_ms.max(1)),
+        });
+        {
+            let mut rec = shared.recorder.lock().expect("recorder poisoned");
+            rec.gauge("shard.workers", workers as f64);
+            rec.gauge("shard.queue.cap", cfg.queue_cap as f64);
+            rec.gauge("shard.backends", shared.backends.len() as f64);
+        }
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &shared))
+        };
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    while let Some(stream) = shared.queue.pop() {
+                        serve_router_connection(&shared, stream);
+                    }
+                })
+            })
+            .collect();
+        let prober = {
+            let shared = Arc::clone(&shared);
+            let interval = Duration::from_millis(cfg.probe_interval_ms.max(1));
+            std::thread::spawn(move || probe_loop(&shared, interval))
+        };
+        Ok(Router {
+            addr,
+            shared,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+            prober: Some(prober),
+        })
+    }
+
+    /// The bound address (resolve port 0 through this).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counter snapshot.
+    pub fn stats(&self) -> RouterStats {
+        let rec = self.shared.recorder.lock().expect("recorder poisoned");
+        router_stats_of(&rec, &self.shared)
+    }
+
+    /// Graceful drain: stop accepting, answer everything admitted or in
+    /// flight, join all threads, and return the final counters. The
+    /// backends are left running — draining them is their owner's call
+    /// (the `unet shard` CLI drains the shards it spawned itself).
+    pub fn drain(mut self) -> RouterDrainReport {
+        self.stop_threads();
+        let rec = self.shared.recorder.lock().expect("recorder poisoned");
+        RouterDrainReport {
+            stats: router_stats_of(&rec, &self.shared),
+            // Labeled `shard="router"` like the live aggregation, so drain
+            // output concatenates cleanly with backend expositions in one
+            // scrape namespace.
+            exposition: merge_expositions(&[(
+                "router".to_string(),
+                router_exposition_of(&rec, &self.shared),
+            )]),
+        }
+    }
+
+    /// Join order matters: acceptor first (it feeds the queue), workers
+    /// next (they answer in-flight requests), prober last.
+    fn stop_threads(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(h) = self.prober.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        // Not drained: still stop the threads so tests that merely start a
+        // router cannot leak a spinning acceptor or prober.
+        self.shared.queue.close();
+        self.stop_threads();
+    }
+}
+
+fn router_stats_of(rec: &InMemoryRecorder, shared: &RouterShared) -> RouterStats {
+    RouterStats {
+        forwarded: rec.counter_value("shard.requests.forwarded"),
+        completed: rec.counter_value("shard.requests.completed"),
+        failovers: rec.counter_value("shard.failovers"),
+        overloads_absorbed: rec.counter_value("shard.overloads.absorbed"),
+        ejected: rec.counter_value("shard.backends.ejected"),
+        reinstated: rec.counter_value("shard.backends.reinstated"),
+        backends: shared.backends.len() as u64,
+        healthy: shared.backends.iter().filter(|b| b.healthy.load(Ordering::SeqCst)).count() as u64,
+    }
+}
+
+/// The router's own registry, unlabeled — `handle_metrics` and
+/// [`Router::drain`] both label it `shard="router"` when they emit it.
+fn router_exposition_of(rec: &InMemoryRecorder, shared: &RouterShared) -> String {
+    let mut reg = MetricsRegistry::from_recorder(rec);
+    reg.set_gauge(
+        "shard.backends.healthy",
+        shared.backends.iter().filter(|b| b.healthy.load(Ordering::SeqCst)).count() as f64,
+    );
+    reg.expose()
+}
+
+fn accept_loop(listener: &TcpListener, shared: &RouterShared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                admit(shared, stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    shared.queue.close();
+}
+
+fn admit(shared: &RouterShared, stream: TcpStream) {
+    match shared.queue.try_push(stream) {
+        Ok(depth) => {
+            let seq = shared.depth_seq.fetch_add(1, Ordering::Relaxed);
+            let mut rec = shared.recorder.lock().expect("recorder poisoned");
+            rec.counter("shard.conns.admitted", 1);
+            rec.sample("shard.queue.depth", seq, 0, depth as u64);
+        }
+        Err(mut stream) => {
+            let retry_after = {
+                let mut rec = shared.recorder.lock().expect("recorder poisoned");
+                rec.counter("shard.conns.rejected", 1);
+                retry_after_hint(&rec, shared.queue.cap(), shared.workers)
+            };
+            let _ = writeln!(stream, "{}", overloaded_line(shared.queue.cap(), retry_after));
+            let _ = stream.flush();
+        }
+    }
+}
+
+fn serve_router_connection(shared: &RouterShared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(IDLE_POLL));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match read_line_patient(&mut reader, &mut line, &shared.shutdown) {
+            LineRead::Line => {
+                let trimmed = line.trim();
+                if !trimmed.is_empty() {
+                    let started = Instant::now();
+                    let response = route_request(shared, trimmed);
+                    if writeln!(writer, "{response}").and_then(|_| writer.flush()).is_err() {
+                        return;
+                    }
+                    let ms = started.elapsed().as_millis() as u64;
+                    let mut rec = shared.recorder.lock().expect("recorder poisoned");
+                    rec.counter("shard.requests.completed", 1);
+                    // Same histogram name as the server so the shared
+                    // `retry_after_hint` shape applies at the router too.
+                    rec.histogram("serve.request.latency_ms", ms);
+                }
+                line.clear();
+            }
+            LineRead::Closed => return,
+        }
+    }
+}
+
+/// The [`SharedPlanCache`](unet_core::SharedPlanCache) key this spec's
+/// simulation will use, derived without running anything — the identical
+/// `(guest, host, embedding, router, seed)` fingerprint the server's
+/// `build_job` computes, so the front-end router and the backend batching
+/// executors agree on workload identity byte for byte.
+pub fn simulate_fingerprint(req: &SimulateReq) -> Result<u64, String> {
+    let guest = parse_graph(&req.guest).map_err(|e| format!("guest: {e}"))?;
+    let host = parse_graph(&req.host).map_err(|e| format!("host: {e}"))?;
+    let embedding = Embedding::block(guest.n(), host.n());
+    let router = unet_core::routers::presets::bfs();
+    Ok(workload_fingerprint(&guest, &host, &embedding, router.name(), req.seed))
+}
+
+/// The home shard of a spec under `ring`, with unfingerprintable specs
+/// (unknown graph family, zero nodes, …) pinned deterministically to the
+/// ring's shard for key 0 — any backend will answer them with the same
+/// typed `bad-spec` error, so placement only needs to be stable.
+fn shard_of_spec(ring: &Ring, req: &SimulateReq) -> usize {
+    match simulate_fingerprint(req) {
+        Ok(fp) => ring.shard_of(fp),
+        Err(_) => ring.shard_of(0),
+    }
+}
+
+/// Outcome of one forward attempt to one backend.
+enum ForwardOutcome {
+    /// The backend answered (any kind except `overloaded`).
+    Response(String),
+    /// The backend rejected the connection with `overloaded`; the raw
+    /// line is kept so it can pass through if every shard is saturated.
+    Overloaded(String),
+}
+
+/// One round trip to backend `i`: acquire a connection slot (reusing an
+/// idle connection, dialing if under [`ShardConfig::backend_conns`], or
+/// waiting for a release), forward the line, and classify. An `overloaded`
+/// answer closes the backend side, so the connection is dropped rather
+/// than checked back in; a transport error likewise burns the connection.
+fn try_forward(shared: &RouterShared, i: usize, line: &str) -> Result<ForwardOutcome, ()> {
+    let backend = &shared.backends[i];
+    let reused = {
+        let mut pool = backend.conns.lock().expect("pool poisoned");
+        loop {
+            if let Some(c) = pool.idle.pop() {
+                pool.in_use += 1;
+                break Some(c);
+            }
+            if pool.in_use < shared.conn_limit {
+                pool.in_use += 1;
+                break None;
+            }
+            // Every slot is mid-forward; its holder always releases (the
+            // backend answers, rejects, or the transport errors out).
+            pool = backend.slot_freed.wait(pool).expect("pool poisoned");
+        }
+    };
+    let outcome = match reused.map_or_else(|| Client::connect(&backend.addr).ok(), Some) {
+        None => Err(()),
+        Some(mut client) => match client.request_raw(line) {
+            Ok(resp) if matches!(parse_response(&resp), Ok(Response::Overloaded { .. })) => {
+                Ok((ForwardOutcome::Overloaded(resp), None))
+            }
+            Ok(resp) => Ok((ForwardOutcome::Response(resp), Some(client))),
+            Err(_) => Err(()),
+        },
+    };
+    let mut pool = backend.conns.lock().expect("pool poisoned");
+    pool.in_use -= 1;
+    let outcome = outcome.map(|(outcome, keep)| {
+        pool.idle.extend(keep);
+        outcome
+    });
+    drop(pool);
+    backend.slot_freed.notify_one();
+    outcome
+}
+
+/// Note a failed probe or forward; ejects the backend after
+/// `eject_after` consecutive failures and arms the reinstatement backoff.
+fn record_failure(shared: &RouterShared, i: usize) {
+    let backend = &shared.backends[i];
+    let failures = backend.consecutive_failures.fetch_add(1, Ordering::SeqCst) + 1;
+    if failures >= shared.eject_after && backend.healthy.swap(false, Ordering::SeqCst) {
+        let mut backoff = backend.backoff.lock().expect("backoff poisoned");
+        let wait = BACKOFF_BASE
+            .checked_mul(1u32 << backoff.exp.min(16))
+            .unwrap_or(shared.max_backoff)
+            .min(shared.max_backoff);
+        backoff.until = Instant::now() + wait;
+        backoff.exp = backoff.exp.saturating_add(1);
+        drop(backoff);
+        // A dead backend's pooled connections are dead too.
+        backend.conns.lock().expect("pool poisoned").idle.clear();
+        let mut rec = shared.recorder.lock().expect("recorder poisoned");
+        rec.counter("shard.backends.ejected", 1);
+    }
+}
+
+/// Note a successful probe or forward; resets the failure streak and
+/// reinstates the backend if it was ejected (a live answer is better
+/// evidence than any probe).
+fn record_success(shared: &RouterShared, i: usize) {
+    let backend = &shared.backends[i];
+    backend.consecutive_failures.store(0, Ordering::SeqCst);
+    if !backend.healthy.swap(true, Ordering::SeqCst) {
+        backend.backoff.lock().expect("backoff poisoned").exp = 0;
+        let mut rec = shared.recorder.lock().expect("recorder poisoned");
+        rec.counter("shard.backends.reinstated", 1);
+    }
+}
+
+/// Forward `line` along the failover order of `fingerprint` (ring
+/// successor order; plain index order for unkeyed requests), skipping
+/// ejected backends on the first pass and trying them anyway if nothing
+/// healthy remains. Bounded: every backend is attempted at most once.
+fn forward_with_failover(
+    shared: &RouterShared,
+    fingerprint: Option<u64>,
+    line: &str,
+    ver: ProtoVersion,
+    id: Option<u64>,
+) -> String {
+    let order = match fingerprint {
+        Some(fp) => shared.ring.successors(fp),
+        None => (0..shared.backends.len()).collect(),
+    };
+    {
+        let mut rec = shared.recorder.lock().expect("recorder poisoned");
+        rec.counter("shard.requests.forwarded", 1);
+    }
+    let mut last_overloaded: Option<String> = None;
+    let mut attempts = 0u64;
+    for pass in 0..2 {
+        for &i in &order {
+            let healthy = shared.backends[i].healthy.load(Ordering::SeqCst);
+            // Pass 0 trusts the health view; pass 1 is the last resort
+            // when every shard is ejected — try them anyway rather than
+            // failing a request on stale health data.
+            if (pass == 0) != healthy {
+                continue;
+            }
+            attempts += 1;
+            match try_forward(shared, i, line) {
+                Ok(ForwardOutcome::Response(resp)) => {
+                    record_success(shared, i);
+                    if attempts > 1 {
+                        let mut rec = shared.recorder.lock().expect("recorder poisoned");
+                        rec.counter("shard.failovers", 1);
+                        if last_overloaded.is_some() {
+                            rec.counter("shard.overloads.absorbed", 1);
+                        }
+                    }
+                    return resp;
+                }
+                Ok(ForwardOutcome::Overloaded(resp)) => {
+                    // Saturation is not sickness: an overloaded shard is
+                    // alive and explicitly shedding, so it keeps its
+                    // health but loses this request to a ring successor.
+                    last_overloaded = Some(resp);
+                }
+                Err(()) => record_failure(shared, i),
+            }
+        }
+    }
+    if let Some(resp) = last_overloaded {
+        // Every shard is saturated: pass the typed backpressure through
+        // so the client's `retry_after_ms` loop takes over.
+        return resp;
+    }
+    error_line(ver, "unavailable", "no backend shard answered (all ejected or unreachable)", id)
+}
+
+/// Dispatch one client line. Requests the router does not add value to
+/// (`analyze`, malformed lines, unsupported protocol versions) are
+/// forwarded verbatim so the backend produces the exact response a
+/// single-server deployment would.
+fn route_request(shared: &RouterShared, line: &str) -> String {
+    match parse_request(line) {
+        Ok((ver, Request::Metrics { id })) => handle_metrics(shared, ver, id),
+        Ok((ver, Request::Batch(batch))) => handle_batch(shared, ver, batch),
+        Ok((ver, Request::Simulate(req))) => {
+            let fp = simulate_fingerprint(&req).ok();
+            forward_with_failover(shared, fp.or(Some(0)), line, ver, req.id)
+        }
+        Ok((ver, Request::Analyze { id, .. })) => {
+            forward_with_failover(shared, None, line, ver, id)
+        }
+        // The backends speak the identical protocol module: forwarding a
+        // bad line returns the same typed `bad-request` /
+        // `unsupported-protocol` error a single server would emit.
+        Err(_) => forward_with_failover(shared, None, line, ProtoVersion::V2, None),
+    }
+}
+
+/// Serve one `batch` by splitting it into per-home-shard sub-batches,
+/// forwarding them concurrently, and re-merging the positionally aligned
+/// results into the original item order.
+fn handle_batch(
+    shared: &RouterShared,
+    ver: ProtoVersion,
+    batch: crate::protocol::BatchReq,
+) -> String {
+    let mut slots: Vec<Option<Value>> = vec![None; batch.items.len()];
+    // shard -> (original positions, specs), in deterministic shard order.
+    let mut groups: BTreeMap<usize, (Vec<usize>, Vec<SimulateReq>)> = BTreeMap::new();
+    for (idx, item) in batch.items.iter().enumerate() {
+        match item {
+            Err(msg) => {
+                // Same positional error a single server emits for an
+                // unparseable batch member.
+                slots[idx] = Some(batch_item_value(Err(("bad-request".to_string(), msg.clone()))));
+            }
+            Ok(spec) => {
+                let shard = shard_of_spec(&shared.ring, spec);
+                let entry = groups.entry(shard).or_default();
+                entry.0.push(idx);
+                entry.1.push(spec.clone());
+            }
+        }
+    }
+    let deadline_ms = batch.deadline_ms;
+    let forwarded: Vec<(Vec<usize>, String)> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_values()
+            .map(|(idxs, specs)| {
+                s.spawn(move |_| {
+                    let sub_line = batch_request_line(&specs, deadline_ms, None);
+                    let fp = simulate_fingerprint(&specs[0]).ok().or(Some(0));
+                    let resp = forward_with_failover(shared, fp, &sub_line, ProtoVersion::V2, None);
+                    (idxs, resp)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("sub-batch forwarder panicked")).collect()
+    })
+    .expect("batch forward scope");
+    for (idxs, resp) in forwarded {
+        let items: Vec<Value> = match parse_response(&resp) {
+            Ok(Response::Result(v)) => {
+                v.get("items").and_then(Value::as_arr).map(<[Value]>::to_vec).unwrap_or_default()
+            }
+            Ok(Response::Error { code, message, .. }) => {
+                vec![batch_item_value(Err((code, message))); idxs.len()]
+            }
+            Ok(Response::Overloaded { queue_cap, retry_after_ms }) => {
+                let msg = format!(
+                    "every shard is overloaded (queue cap {queue_cap}, retry after {} ms)",
+                    retry_after_ms.unwrap_or(0)
+                );
+                vec![batch_item_value(Err(("overloaded".to_string(), msg))); idxs.len()]
+            }
+            Err(e) => vec![batch_item_value(Err(("unavailable".to_string(), e))); idxs.len()],
+        };
+        for (slot, item) in idxs.into_iter().zip(items) {
+            slots[slot] = Some(item);
+        }
+    }
+    let items: Vec<Value> = slots
+        .into_iter()
+        .map(|s| {
+            s.unwrap_or_else(|| {
+                batch_item_value(Err((
+                    "unavailable".to_string(),
+                    "shard returned a short batch".to_string(),
+                )))
+            })
+        })
+        .collect();
+    result_line(ver, "batch", batch.id, vec![("items".to_string(), Value::Arr(items))])
+}
+
+/// Serve `metrics` by fanning out to every healthy backend and merging
+/// the expositions under a `shard` label; the router's own registry rides
+/// along as `shard="router"`.
+fn handle_metrics(shared: &RouterShared, ver: ProtoVersion, id: Option<u64>) -> String {
+    let mut sections: Vec<(String, String)> = Vec::new();
+    let probe = metrics_request_line(None);
+    for (i, backend) in shared.backends.iter().enumerate() {
+        if !backend.healthy.load(Ordering::SeqCst) {
+            continue;
+        }
+        if let Ok(ForwardOutcome::Response(resp)) = try_forward(shared, i, &probe) {
+            if let Ok(Response::Result(v)) = parse_response(&resp) {
+                if let Some(expo) = v.get("exposition").and_then(Value::as_str) {
+                    sections.push((i.to_string(), expo.to_string()));
+                }
+            }
+        }
+    }
+    let own = {
+        let rec = shared.recorder.lock().expect("recorder poisoned");
+        router_exposition_of(&rec, shared)
+    };
+    sections.push(("router".to_string(), own));
+    result_line(
+        ver,
+        "metrics",
+        id,
+        vec![("exposition".to_string(), Value::Str(merge_expositions(&sections)))],
+    )
+}
+
+/// Merge per-shard Prometheus expositions into one: every series gains a
+/// `shard="<label>"` label, families keep one `# TYPE` header (the first
+/// seen wins), and output order is deterministic — families sorted by
+/// name, series within a family in section order.
+pub fn merge_expositions(sections: &[(String, String)]) -> String {
+    // family -> (type, series lines in arrival order)
+    let mut families: BTreeMap<String, (String, Vec<String>)> = BTreeMap::new();
+    for (label, exposition) in sections {
+        for line in exposition.lines() {
+            if let Some(header) = line.strip_prefix("# TYPE ") {
+                let mut parts = header.splitn(2, ' ');
+                let (Some(name), Some(kind)) = (parts.next(), parts.next()) else { continue };
+                families.entry(name.to_string()).or_insert_with(|| (kind.to_string(), Vec::new()));
+            } else if !line.trim().is_empty() && !line.starts_with('#') {
+                let mut parts = line.rsplitn(2, ' ');
+                let (Some(value), Some(series)) = (parts.next(), parts.next()) else { continue };
+                let name = series.split('{').next().unwrap_or(series).to_string();
+                let labeled = match series.find('{') {
+                    Some(brace) => {
+                        format!("{}{{shard=\"{label}\",{}", &series[..brace], &series[brace + 1..])
+                    }
+                    None => format!("{series}{{shard=\"{label}\"}}"),
+                };
+                families
+                    .entry(name)
+                    .or_insert_with(|| ("untyped".to_string(), Vec::new()))
+                    .1
+                    .push(format!("{labeled} {value}"));
+            }
+        }
+    }
+    let mut out = String::new();
+    for (name, (kind, series)) in &families {
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        for line in series {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// The health prober: periodic `metrics` probes keep the failure streaks
+/// honest, and ejected backends are re-probed once their backoff expires.
+fn probe_loop(shared: &RouterShared, interval: Duration) {
+    let probe = metrics_request_line(None);
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        // Sleep in short slices so drain is never blocked on a probe gap.
+        let mut slept = Duration::ZERO;
+        while slept < interval && !shared.shutdown.load(Ordering::SeqCst) {
+            let slice = IDLE_POLL.min(interval - slept);
+            std::thread::sleep(slice);
+            slept += slice;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        for (i, backend) in shared.backends.iter().enumerate() {
+            let healthy = backend.healthy.load(Ordering::SeqCst);
+            if !healthy {
+                let due = backend.backoff.lock().expect("backoff poisoned").until;
+                if Instant::now() < due {
+                    continue;
+                }
+            }
+            match try_forward(shared, i, &probe) {
+                Ok(ForwardOutcome::Response(_)) => record_success(shared, i),
+                // An overloaded admission queue is load, not death.
+                Ok(ForwardOutcome::Overloaded(_)) => {
+                    backend.consecutive_failures.store(0, Ordering::SeqCst);
+                }
+                Err(()) => {
+                    if healthy {
+                        record_failure(shared, i);
+                    } else {
+                        // Still down: double the backoff and re-arm.
+                        let mut backoff = backend.backoff.lock().expect("backoff poisoned");
+                        let wait = BACKOFF_BASE
+                            .checked_mul(1u32 << backoff.exp.min(16))
+                            .unwrap_or(shared.max_backoff)
+                            .min(shared.max_backoff);
+                        backoff.until = Instant::now() + wait;
+                        backoff.exp = backoff.exp.saturating_add(1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_expositions_label_every_series_and_keep_one_header() {
+        let a = "# TYPE unet_serve_conns_admitted counter\nunet_serve_conns_admitted 3\n";
+        let b = "# TYPE unet_serve_conns_admitted counter\nunet_serve_conns_admitted 5\n\
+                 # TYPE unet_phase_seconds_total counter\n\
+                 unet_phase_seconds_total{phase=\"sim.comm\"} 0.25\n";
+        let merged = merge_expositions(&[("0".into(), a.into()), ("1".into(), b.into())]);
+        assert_eq!(
+            merged.matches("# TYPE unet_serve_conns_admitted counter").count(),
+            1,
+            "one header per family:\n{merged}"
+        );
+        assert!(merged.contains("unet_serve_conns_admitted{shard=\"0\"} 3"), "{merged}");
+        assert!(merged.contains("unet_serve_conns_admitted{shard=\"1\"} 5"), "{merged}");
+        assert!(
+            merged.contains("unet_phase_seconds_total{shard=\"1\",phase=\"sim.comm\"} 0.25"),
+            "existing labels keep their places:\n{merged}"
+        );
+        // Deterministic: same input, same bytes.
+        assert_eq!(merged, merge_expositions(&[("0".into(), a.into()), ("1".into(), b.into())]));
+    }
+
+    #[test]
+    fn fingerprint_matches_across_identical_specs_and_separates_seeds() {
+        let spec = |seed| SimulateReq {
+            guest: "ring:12".into(),
+            host: "torus:2x2".into(),
+            steps: 2,
+            seed,
+            deadline_ms: None,
+            id: None,
+        };
+        assert_eq!(simulate_fingerprint(&spec(7)), simulate_fingerprint(&spec(7)));
+        assert_ne!(
+            simulate_fingerprint(&spec(7)).unwrap(),
+            simulate_fingerprint(&spec(8)).unwrap()
+        );
+        let mut bad = spec(7);
+        bad.guest = "blah:9".into();
+        assert!(simulate_fingerprint(&bad).is_err());
+    }
+}

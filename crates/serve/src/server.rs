@@ -474,11 +474,13 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 }
 
 /// The `retry_after_ms` fallback before any request latency is measured.
-const RETRY_AFTER_FLOOR_MS: u64 = 100;
+pub(crate) const RETRY_AFTER_FLOOR_MS: u64 = 100;
 
 /// Hint for a rejected client: the full queue must drain through `workers`
 /// parallel servers, each request costing about the measured mean latency.
-fn retry_after_hint(rec: &InMemoryRecorder, depth: usize, workers: usize) -> u64 {
+/// Shared with the shard router, which applies the same backpressure shape
+/// at its own admission queue.
+pub(crate) fn retry_after_hint(rec: &InMemoryRecorder, depth: usize, workers: usize) -> u64 {
     let mean = rec
         .histogram_data("serve.request.latency_ms")
         .and_then(|h| h.mean())
@@ -508,8 +510,9 @@ fn admit(shared: &Shared, stream: TcpStream) {
 }
 
 /// How long a worker waits on an idle connection before re-checking the
-/// shutdown flag. Bounds drain latency for open-but-quiet clients.
-const IDLE_POLL: Duration = Duration::from_millis(50);
+/// shutdown flag. Bounds drain latency for open-but-quiet clients. The
+/// shard router's connection workers poll on the same cadence.
+pub(crate) const IDLE_POLL: Duration = Duration::from_millis(50);
 
 fn serve_connection(shared: &Shared, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(IDLE_POLL));
@@ -520,7 +523,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        match read_line_patient(&mut reader, &mut line, shared) {
+        match read_line_patient(&mut reader, &mut line, &shared.shutdown) {
             LineRead::Line => {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
@@ -541,7 +544,7 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
     }
 }
 
-enum LineRead {
+pub(crate) enum LineRead {
     Line,
     Closed,
 }
@@ -549,10 +552,11 @@ enum LineRead {
 /// Read one line, treating read timeouts as "check shutdown, keep waiting".
 /// A timeout mid-line keeps the partial data in `buf`, so slow writers are
 /// never corrupted; an EOF (or a drain while idle) closes the connection.
-fn read_line_patient<R: Read>(
+/// Shared with the shard router's connection workers.
+pub(crate) fn read_line_patient<R: Read>(
     reader: &mut BufReader<R>,
     buf: &mut String,
-    shared: &Shared,
+    shutdown: &AtomicBool,
 ) -> LineRead {
     loop {
         match reader.read_line(buf) {
@@ -568,7 +572,7 @@ fn read_line_patient<R: Read>(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if shared.shutdown.load(Ordering::SeqCst) && buf.is_empty() {
+                if shutdown.load(Ordering::SeqCst) && buf.is_empty() {
                     // Idle connection during drain: close it. A partial
                     // line means a request is mid-send; keep waiting so
                     // drain never drops an in-flight request.

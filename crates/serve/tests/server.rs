@@ -81,16 +81,6 @@ fn typed_client_returns_typed_results_and_errors() {
 }
 
 #[test]
-#[allow(deprecated)] // the free function stays for one deprecation cycle
-fn deprecated_request_line_still_round_trips() {
-    let server = start(1, 8);
-    let addr = server.addr().to_string();
-    let resp = unet_serve::client::request_line(&addr, &metrics_request_line(None)).expect("io");
-    assert!(matches!(parse_response(&resp), Ok(Response::Result(_))));
-    server.drain();
-}
-
-#[test]
 fn bad_specs_and_bad_requests_get_typed_errors() {
     let server = start(1, 8);
     let addr = server.addr().to_string();
@@ -156,6 +146,7 @@ fn repeated_workload_hits_shared_cache_and_drains_clean() {
         seed: 7,
         deadline_ms: None,
         warmup: true,
+        shards: 1,
     })
     .expect("loadgen run");
     assert_eq!(report.sent, 17, "warm-up + 2 clients x 8");
@@ -189,6 +180,7 @@ fn batched_workload_coalesces_the_plan_build() {
         seed: 11,
         deadline_ms: None,
         warmup: false,
+        shards: 1,
     })
     .expect("loadgen run");
     assert_eq!(report.sent, 12, "2 round trips x 6 items");

@@ -16,6 +16,7 @@
 //! unet faults   <guest> <host> <T> [opts]     degraded run under crash-stop faults
 //! unet bench    run|diff|list [opts]          experiment registry + regression gate
 //! unet serve    [opts]                        long-running simulation server (unet-serve/2)
+//! unet shard    [opts]                        fingerprint-affine router over N backend servers
 //! unet request  <addr> <kind> [args]          typed client for a running server
 //! ```
 //!
@@ -69,6 +70,9 @@ const USAGE: &str = "usage:
   unet bench    list
   unet serve    [--addr A] [--workers N] [--queue N] [--deadline-ms MS]
                 [--max-batch N] [--linger-ms MS]
+  unet shard    (--shards N | --backend ADDR ...) [--addr A] [--workers N]
+                [--queue N] [--backend-workers N] [--backend-conns N]
+                [--probe-ms MS] [--eject-after N]
   unet request  <addr> simulate <guest-spec> <host-spec> <steps>
                 [--seed S] [--deadline-ms MS] [--retries N] [--raw]
   unet request  <addr> batch <guest,host,steps[,seed]>...
@@ -92,6 +96,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "faults" => faults_cmd(&args[1..]),
         "bench" => bench_cmd(&args[1..]),
         "serve" => serve_cmd(&args[1..]),
+        "shard" => shard_cmd(&args[1..]),
         "request" => request_cmd(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -103,6 +108,20 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Every value of a repeatable flag (`--backend a --backend b` → `[a, b]`).
+fn flag_values(args: &[String], name: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            if let Some(v) = it.next() {
+                out.push(v.clone());
+            }
+        }
+    }
+    out
 }
 
 /// Positional arguments: everything that is not a flag or the value of one
@@ -630,6 +649,139 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         report.stats.completed,
         report.stats.hit_ratio().map_or_else(|| "-".into(), |r| format!("{r:.3}")),
     );
+    print!("{}", report.exposition);
+    Ok(())
+}
+
+/// `unet shard` — the fingerprint-affine front-end router. `--shards N`
+/// spawns and supervises N backend `unet serve` child processes on
+/// ephemeral ports (their graceful drain rides the child-stdin pipe);
+/// `--backend ADDR` (repeatable) attaches externally managed ones. Prints
+/// the bound address on stdout and blocks; SIGTERM, SIGINT, or stdin EOF
+/// drains the router first (answer everything in flight), then the
+/// spawned backends, then prints the router's final exposition.
+fn shard_cmd(args: &[String]) -> Result<(), String> {
+    use std::io::{BufRead, BufReader, Write};
+    use std::process::{Child, Command, Stdio};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use universal_networks::serve::router::{Router, ShardConfig};
+    use universal_networks::serve::signal;
+
+    let defaults = ShardConfig::default();
+    let spawn_n: usize =
+        flag(args, "--shards").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --shards"))?;
+    let mut backends = flag_values(args, "--backend");
+    if spawn_n > 0 && !backends.is_empty() {
+        return Err("use either --shards (spawn) or --backend (attach), not both".into());
+    }
+    if spawn_n == 0 && backends.is_empty() {
+        return Err("need --shards N (spawn backends) or --backend ADDR (attach)".into());
+    }
+    let backend_workers: usize = flag(args, "--backend-workers")
+        .map_or(Ok(1), |s| s.parse().map_err(|_| "bad --backend-workers"))?;
+
+    let mut children: Vec<Child> = Vec::new();
+    if spawn_n > 0 {
+        let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+        for i in 0..spawn_n {
+            let mut child = Command::new(&exe)
+                .args(["serve", "--addr", "127.0.0.1:0", "--workers", &backend_workers.to_string()])
+                .stdin(Stdio::piped())
+                .stdout(Stdio::piped())
+                .stderr(Stdio::null())
+                .spawn()
+                .map_err(|e| format!("spawn backend {i}: {e}"))?;
+            let mut reader = BufReader::new(child.stdout.take().expect("stdout piped"));
+            let mut banner = String::new();
+            reader.read_line(&mut banner).map_err(|e| format!("backend {i} banner: {e}"))?;
+            let addr = banner
+                .trim()
+                .rsplit(' ')
+                .next()
+                .filter(|a| a.contains(':'))
+                .ok_or_else(|| format!("backend {i} printed no address: {banner:?}"))?
+                .to_string();
+            // Keep the child's stdout pipe drained (its final exposition
+            // arrives there at drain time) so it can never fill and block.
+            std::thread::spawn(move || {
+                let mut sink = String::new();
+                while matches!(reader.read_line(&mut sink), Ok(n) if n > 0) {
+                    sink.clear();
+                }
+            });
+            backends.push(addr);
+            children.push(child);
+        }
+    }
+
+    let cfg = ShardConfig {
+        addr: flag(args, "--addr").unwrap_or(defaults.addr),
+        workers: flag(args, "--workers")
+            .map_or(Ok(defaults.workers), |s| s.parse().map_err(|_| "bad --workers"))?,
+        queue_cap: flag(args, "--queue")
+            .map_or(Ok(defaults.queue_cap), |s| s.parse().map_err(|_| "bad --queue"))?,
+        backends,
+        // Spawned backends have a known worker count, so match the
+        // connection bound to it; attached backends default to the safe
+        // single connection unless the operator says otherwise.
+        backend_conns: flag(args, "--backend-conns").map_or(
+            Ok(if spawn_n > 0 { backend_workers } else { defaults.backend_conns }),
+            |s| s.parse().map_err(|_| "bad --backend-conns"),
+        )?,
+        probe_interval_ms: flag(args, "--probe-ms")
+            .map_or(Ok(defaults.probe_interval_ms), |s| s.parse().map_err(|_| "bad --probe-ms"))?,
+        eject_after: flag(args, "--eject-after")
+            .map_or(Ok(defaults.eject_after), |s| s.parse().map_err(|_| "bad --eject-after"))?,
+        max_backoff_ms: defaults.max_backoff_ms,
+    };
+    let router = Router::start(cfg).map_err(|e| format!("bind: {e}"))?;
+    println!("unet-shard listening on {} ({} backends)", router.addr(), router.stats().backends);
+    std::io::stdout().flush().ok();
+
+    let term = signal::install_sigterm_flag();
+    let int = signal::install_sigint_flag();
+    let stdin_closed = Arc::new(AtomicBool::new(false));
+    {
+        let stdin_closed = Arc::clone(&stdin_closed);
+        std::thread::spawn(move || {
+            use std::io::Read;
+            let mut sink = [0u8; 4096];
+            let mut stdin = std::io::stdin();
+            while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+            stdin_closed.store(true, Ordering::SeqCst);
+        });
+    }
+    while !term.load(Ordering::SeqCst)
+        && !int.load(Ordering::SeqCst)
+        && !stdin_closed.load(Ordering::SeqCst)
+    {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+
+    let report = router.drain();
+    eprintln!(
+        "drained: {} forwarded, {} completed, {} failovers, {} overloads absorbed, \
+         {}/{} backends healthy",
+        report.stats.forwarded,
+        report.stats.completed,
+        report.stats.failovers,
+        report.stats.overloads_absorbed,
+        report.stats.healthy,
+        report.stats.backends,
+    );
+    // Supervised children drain in turn: closing a child's stdin is its
+    // graceful-drain trigger (same contract as running `unet serve` under
+    // a pipe), then reap every exit status.
+    for child in &mut children {
+        drop(child.stdin.take());
+    }
+    for (i, mut child) in children.into_iter().enumerate() {
+        match child.wait() {
+            Ok(status) => eprintln!("backend {i} exited: {status}"),
+            Err(e) => eprintln!("backend {i} wait failed: {e}"),
+        }
+    }
     print!("{}", report.exposition);
     Ok(())
 }
