@@ -121,7 +121,7 @@ pub struct Experiment {
 
 /// The full registry, in canonical order.
 pub fn registry() -> Vec<Experiment> {
-    vec![e1(), e2(), e16(), e17(), e18(), e19(), e20(), e21()]
+    vec![e1(), e2(), e16(), e17(), e18(), e19(), e20(), e21(), e22()]
 }
 
 /// The registry's base seed, recorded in the artifact header; every row
@@ -856,7 +856,7 @@ fn e20() -> Experiment {
     Experiment {
         id: "E20",
         title: "Serving layer: batched execution across offered load x batch size",
-        claim: "Engineering claim on unet-serve/2: grouping simulate items into batch \
+        claim: "Engineering claim on unet-serve/3: grouping simulate items into batch \
                 requests lets the worker pool execute them concurrently, so at equal \
                 workers and equal offered load, batch >= 4 beats batch = 1 on wall time \
                 per item; cold batches coalesce their route-plan build through the \
@@ -1153,6 +1153,147 @@ fn e21() -> Experiment {
     }
 }
 
+// --- E22: request tracing, stage-span accounting under offered load -----
+
+struct E22Sizes {
+    guest_n: usize,
+    dim: usize,
+    steps: u32,
+    requests: u64,
+}
+
+fn e22_sizes(quick: bool) -> E22Sizes {
+    // Step counts are chosen so the simulate span dwarfs the fixed
+    // per-request residue the spans cannot cover (the wire, syscalls, and
+    // the client's own parse) — the 95% accounting gate needs service
+    // time, not load.
+    if quick {
+        E22Sizes { guest_n: 96, dim: 3, steps: 256, requests: 4 }
+    } else {
+        E22Sizes { guest_n: 192, dim: 4, steps: 64, requests: 12 }
+    }
+}
+
+/// `(label, clients, queue_share_floor)` — closed-loop offered load against
+/// a one-worker server. `c1` is below capacity (no queue to speak of);
+/// `c4` offers 4x the service rate, so nearly every request spends most of
+/// its life in `queue_wait` — the dominance floor arms only there.
+const E22_CONFIGS: [(&str, u64, f64); 3] = [("c1", 1, 0.0), ("c2", 2, 0.0), ("c4", 4, 0.5)];
+
+fn e22() -> Experiment {
+    Experiment {
+        id: "E22",
+        title: "Request tracing: stage spans account for end-to-end latency",
+        claim: "Engineering claim on unet-serve/3 tracing: the per-request stage spans \
+                the server returns (accept, queue_wait, batch_linger, singleflight_wait, \
+                plan_build, simulate) account for at least 95% of the client-measured \
+                end-to-end latency on every offered-load point, queue_wait becomes the \
+                dominant stage once the closed-loop load crosses the one-worker \
+                capacity, and the tail sampler keeps at least one request record \
+                through the drain at the default head-sampling rate",
+        grid_keys: &["config"],
+        meta: |quick| {
+            let s = e22_sizes(quick);
+            vec![
+                ("guest".into(), Value::Str(format!("ring:{}", s.guest_n))),
+                ("host".into(), Value::Str(format!("butterfly:{}", s.dim))),
+                ("guest_steps".into(), Value::UInt(s.steps as u64)),
+                ("requests_per_client".into(), Value::UInt(s.requests)),
+                ("workers".into(), Value::UInt(1)),
+                ("protocol".into(), Value::Str(unet_serve::PROTOCOL.into())),
+            ]
+        },
+        grid: |quick| {
+            let s = e22_sizes(quick);
+            E22_CONFIGS
+                .iter()
+                .map(|&(label, clients, queue_floor)| {
+                    GridPoint::new(vec![
+                        ("config", Value::Str(label.into())),
+                        ("clients", Value::UInt(clients)),
+                        ("queue_share_floor", Value::Float(queue_floor)),
+                        ("guest_n", Value::UInt(s.guest_n as u64)),
+                        ("dim", Value::UInt(s.dim as u64)),
+                        ("guest_steps", Value::UInt(s.steps as u64)),
+                        ("requests_per_client", Value::UInt(s.requests)),
+                        // One seed for every client: one repeated workload,
+                        // so plan_build shows up exactly once per row.
+                        ("seed", Value::UInt(0xE22)),
+                    ])
+                })
+                .collect()
+        },
+        run: |p| {
+            let clients = p.u64("clients") as usize;
+            // One executor, but a connection worker per client: every
+            // connection is served concurrently, so the client count alone
+            // decides whether the row sits below or beyond capacity and
+            // the excess shows up as job-queue wait, not connection wait.
+            let server = Server::start(ServeConfig {
+                workers: 1,
+                conn_workers: Some(8),
+                queue_cap: 64,
+                ..ServeConfig::default()
+            })
+            .expect("bind 127.0.0.1:0");
+            let report = loadgen::run(&LoadgenConfig {
+                addr: server.addr().to_string(),
+                clients,
+                requests_per_client: p.u64("requests_per_client") as usize,
+                batch: 1,
+                guest: format!("ring:{}", p.u64("guest_n")),
+                host: format!("butterfly:{}", p.u64("dim")),
+                steps: p.u64("guest_steps") as u32,
+                seed: p.u64("seed"),
+                deadline_ms: None,
+                warmup: true,
+                shards: 1,
+            })
+            .expect("loadgen against a live server");
+            let drained = server.drain();
+            assert_eq!(report.completed, report.sent, "closed loop loses no request");
+            assert_eq!(report.errors, 0, "no error responses at this load");
+            // The drained trace is the tail sampler's verdict: at the
+            // default head rate with slow-tail keeps, a loaded row must
+            // flush at least one request record.
+            let sampled = unet_obs::trace::parse_trace(&drained.trace)
+                .map(|doc| doc.requests.len() as u64)
+                .unwrap_or(0);
+            obj(vec![
+                ("config", Value::Str(p.str("config").into())),
+                ("clients", Value::UInt(clients as u64)),
+                ("requests", Value::UInt(report.sent as u64)),
+                ("completed", Value::UInt(drained.stats.completed)),
+                ("span_coverage", Value::Float(report.span_coverage().unwrap_or(0.0))),
+                ("coverage_floor", Value::Float(0.95)),
+                ("queue_share", Value::Float(report.stage_share("queue_wait").unwrap_or(0.0))),
+                ("queue_share_floor", Value::Float(p.f64("queue_share_floor"))),
+                ("sampled_requests", Value::UInt(sampled)),
+                ("sampled_floor", Value::UInt(1)),
+                ("ms_per_req", Value::Float(report.wall_ms / report.sent.max(1) as f64)),
+                ("wall_ms", Value::Float(report.wall_ms)),
+            ])
+        },
+        shapes: || {
+            vec![
+                // The accounting claim: the server-side stage spans explain
+                // (almost) all of the latency the client observed — the
+                // wire, syscalls, and client parse are the only residue.
+                Shape::AtLeastColumn { y: "span_coverage", floor: "coverage_floor" },
+                // Past the knee the request's life is the queue: queue_wait
+                // is the dominant stage on the over-capacity row (the floor
+                // is 0 below the knee, so under-loaded rows gate trivially).
+                Shape::AtLeastColumn { y: "queue_share", floor: "queue_share_floor" },
+                // Tail sampling never goes dark: every row flushes at least
+                // one request record through the drain.
+                Shape::AtLeastColumn { y: "sampled_requests", floor: "sampled_floor" },
+                // Zero lost requests, same closed-loop contract as E19.
+                Shape::AtLeastColumn { y: "completed", floor: "requests" },
+            ]
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1161,7 +1302,7 @@ mod tests {
     fn registry_is_canonical() {
         let reg = registry();
         let ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
-        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18", "E19", "E20", "E21"]);
+        assert_eq!(ids, ["E1", "E2", "E16", "E17", "E18", "E19", "E20", "E21", "E22"]);
         for exp in &reg {
             assert!(!(exp.shapes)().is_empty(), "{} has no shape predicates", exp.id);
             for quick in [true, false] {
@@ -1312,6 +1453,31 @@ mod tests {
         let ratio = s4.get("hit_ratio").and_then(Value::as_f64).unwrap();
         let floor = s4.get("hit_ratio_floor").and_then(Value::as_f64).unwrap();
         assert!(ratio >= floor, "sharded hit ratio {ratio} under floor {floor}");
+    }
+
+    #[test]
+    fn e22_spans_account_for_latency_and_queueing_dominates_past_the_knee() {
+        let exp = e22();
+        let grid = (exp.grid)(true);
+        let rows: Vec<Value> = grid.iter().map(|p| (exp.run)(p)).collect();
+        for (p, row) in grid.iter().zip(&rows) {
+            assert_eq!(
+                row_key(row, exp.grid_keys).as_deref(),
+                Some(p.key(exp.grid_keys).as_str()),
+                "E22: row does not embed its grid point"
+            );
+        }
+        // Coverage, queue dominance, sampling, and completeness gates are
+        // all machine-independent ratios or exact counts — none disarm.
+        for shape in (exp.shapes)() {
+            shape.check(&rows).unwrap_or_else(|v| panic!("E22: {v}"));
+        }
+        let c4 = rows
+            .iter()
+            .find(|r| r.get("config").and_then(Value::as_str) == Some("c4"))
+            .expect("c4 row");
+        let queue = c4.get("queue_share").and_then(Value::as_f64).unwrap();
+        assert!(queue >= 0.5, "past the knee the queue is the request's life: {}", c4.to_json());
     }
 
     #[test]

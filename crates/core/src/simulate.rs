@@ -200,7 +200,13 @@ pub(crate) fn run_engine<REC: Recorder>(
     if cfg.cache {
         if let Some(shared) = cfg.shared {
             let key = plan_fingerprint(&comp.graph, host, embedding, router.name(), cfg.route_seed);
-            match shared.acquire(key, cfg.cancel)? {
+            // Time the acquire: an instant hit or a fresh lease is ~0, a
+            // single-flight follower blocked on another run's compile shows
+            // its real wait here (`singleflight_wait` in request spans).
+            let acquire_started = std::time::Instant::now();
+            let acquired = shared.acquire(key, cfg.cancel)?;
+            rec.histogram("sim.plan.acquire_us", acquire_started.elapsed().as_micros() as u64);
+            match acquired {
                 Acquire::Hit(entry) => {
                     rec.counter("sim.cache.shared.hits", 1);
                     cache.store(0, entry);
@@ -247,6 +253,7 @@ pub(crate) fn run_engine<REC: Recorder>(
                 }
                 comm_steps += replay_plan(&mut builder, &c.plan, &payloads);
             } else {
+                let build_started = std::time::Instant::now();
                 let (pairs, guests) = induced_pairs(comp, f, cfg.threads);
                 rec.histogram("sim.routing_problem_size", pairs.len() as u64);
                 let pair_count = pairs.len();
@@ -262,6 +269,9 @@ pub(crate) fn run_engine<REC: Recorder>(
                     );
                     extract_plan(&out.transfers)
                 };
+                // Pair extraction through route + plan extraction is the
+                // plan build (`plan_build` in request spans).
+                rec.histogram("sim.plan.build_us", build_started.elapsed().as_micros() as u64);
                 let payloads: Vec<Pebble> =
                     guests.iter().map(|&u| Pebble::new(u, gt - 1)).collect();
                 for round in &plan.rounds {

@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 
 use crate::json::{parse, Value};
 use crate::recorder::{unpack_edge_key, Histogram};
-use crate::trace::{self, FaultOp, RunMeta, RunSummary, SampleRecord, SCHEMA};
+use crate::trace::{self, FaultOp, RequestRecord, RunMeta, RunSummary, SampleRecord, SCHEMA};
 
 /// Per-step aggregate of one sample series.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -98,6 +98,52 @@ impl SeriesSummary {
     }
 }
 
+/// Bounded aggregate over the trace's sampled `request` records: where
+/// traced requests spent their time, by stage — never the records
+/// themselves, so a million-request trace costs `O(distinct stages)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RequestAgg {
+    /// Sampled request records seen.
+    pub count: u64,
+    /// Of those, how many errored (`ok == false`).
+    pub errors: u64,
+    /// Sum of end-to-end latencies, milliseconds.
+    pub e2e_ms_total: f64,
+    /// Slowest sampled request, milliseconds.
+    pub e2e_ms_max: f64,
+    /// `(total ms, occurrences)` per stage name.
+    pub stage_totals: BTreeMap<String, (f64, u64)>,
+    /// Kept records per sample reason (`head` / `error` / `slow`).
+    pub by_reason: BTreeMap<&'static str, u64>,
+}
+
+impl RequestAgg {
+    fn add(&mut self, r: &RequestRecord) {
+        self.count += 1;
+        if !r.ok {
+            self.errors += 1;
+        }
+        self.e2e_ms_total += r.e2e_ms;
+        self.e2e_ms_max = self.e2e_ms_max.max(r.e2e_ms);
+        for s in &r.stages {
+            let t = self.stage_totals.entry(s.stage.clone()).or_insert((0.0, 0));
+            t.0 += s.ms;
+            t.1 += 1;
+        }
+        *self.by_reason.entry(r.sampled.as_str()).or_insert(0) += 1;
+    }
+
+    /// Stages ranked by total time, ties broken by name (deterministic).
+    pub fn stages_ranked(&self) -> Vec<(&str, f64, u64)> {
+        let mut v: Vec<(&str, f64, u64)> =
+            self.stage_totals.iter().map(|(k, &(ms, n))| (k.as_str(), ms, n)).collect();
+        v.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+        });
+        v
+    }
+}
+
 /// One segment of the extracted critical path.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PathSegment {
@@ -130,6 +176,9 @@ pub struct Analysis {
     pub span_totals: BTreeMap<String, (u64, u64)>,
     /// Fault events per op name (`inject` / `repair` / `remap`).
     pub fault_counts: BTreeMap<&'static str, u64>,
+    /// Per-stage aggregate over sampled request records (empty for
+    /// pre-`/4` traces).
+    pub requests: RequestAgg,
     /// Critical path: the longest top-level span and, at every level, its
     /// longest direct child. Empty when the trace has no spans.
     pub critical_path: Vec<PathSegment>,
@@ -175,6 +224,7 @@ pub struct TraceAnalyzer {
     series: BTreeMap<String, SeriesSummary>,
     span_totals: BTreeMap<String, (u64, u64)>,
     fault_counts: BTreeMap<&'static str, u64>,
+    requests: RequestAgg,
     stack: Vec<Frame>,
     last_ns: u64,
     /// Longest completed top-level span: duration + chain.
@@ -238,6 +288,11 @@ impl TraceAnalyzer {
                 let op = FaultOp::parse(&op_name)
                     .ok_or_else(|| format!("line {lno}: bad fault op {op_name:?}"))?;
                 *self.fault_counts.entry(op.as_str()).or_insert(0) += 1;
+                Ok(())
+            }
+            Some("request") => {
+                let r = trace::parse_request(&v, lno)?;
+                self.requests.add(&r);
                 Ok(())
             }
             Some("summary") => {
@@ -336,6 +391,7 @@ impl TraceAnalyzer {
             series: self.series,
             span_totals: self.span_totals,
             fault_counts: self.fault_counts,
+            requests: self.requests,
             critical_path,
             lines: self.lines,
         })
@@ -351,6 +407,8 @@ impl TraceAnalyzer {
             + self.histograms.len()
             + self.span_totals.len()
             + self.stack.len()
+            + self.requests.stage_totals.len()
+            + self.requests.by_reason.len()
             + self.series.values().map(|s| s.steps.len() + s.keys.len()).sum::<usize>()
     }
 }
@@ -482,6 +540,38 @@ pub fn render(a: &Analysis, top_k: usize, markdown: bool) -> String {
                 fmt_ns(seg.ns),
                 pct
             ));
+        }
+    }
+
+    if a.requests.count > 0 {
+        h(&mut out, "Request stages");
+        let r = &a.requests;
+        let mean = r.e2e_ms_total / r.count as f64;
+        out.push_str(&format!(
+            "{} sampled requests ({} errors), mean e2e {:.2}ms, max {:.2}ms\n",
+            r.count, r.errors, mean, r.e2e_ms_max
+        ));
+        let reasons: Vec<String> =
+            r.by_reason.iter().map(|(why, n)| format!("{why}:{n}")).collect();
+        out.push_str(&format!("kept by: {}\n", reasons.join(" ")));
+        if markdown {
+            out.push_str("\n| stage | total ms | spans | ms/request |\n|---|---:|---:|---:|\n");
+            for (stage, ms, n) in r.stages_ranked() {
+                out.push_str(&format!(
+                    "| {stage} | {ms:.2} | {n} | {:.3} |\n",
+                    ms / r.count as f64
+                ));
+            }
+        } else {
+            for (stage, ms, n) in r.stages_ranked() {
+                out.push_str(&format!(
+                    "  {:<18} total {:>10.2}ms   spans {:<6} {:>8.3}ms/req\n",
+                    stage,
+                    ms,
+                    n,
+                    ms / r.count as f64
+                ));
+            }
         }
     }
 
@@ -671,6 +761,46 @@ mod tests {
         // totals reflect full aggregation, not truncation.
         let total: u64 = s.keys.values().map(|k| k.total).sum();
         assert!(total >= STEPS * KEYS * REPS);
+    }
+
+    #[test]
+    fn request_records_aggregate_by_stage() {
+        let req = |id: &str, ok: bool, e2e: f64, q: f64, sim: f64| {
+            format!(
+                "{{\"type\":\"request\",\"trace_id\":\"{id}\",\"kind\":\"simulate\",\"ok\":{ok},\"e2e_ms\":{e2e},\"sampled\":\"{}\",\"stages\":[[\"queue_wait\",{q}],[\"simulate\",{sim}]]}}",
+                if ok { "head" } else { "error" }
+            )
+        };
+        let text = [
+            meta_line(),
+            req("0000000000000001", true, 10.0, 2.0, 8.0),
+            req("0000000000000002", true, 20.0, 12.0, 8.0),
+            req("0000000000000003", false, 5.0, 1.0, 4.0),
+        ]
+        .join("\n");
+        let a = analyze_str(&text).expect("analyzes");
+        assert_eq!(a.requests.count, 3);
+        assert_eq!(a.requests.errors, 1);
+        assert_eq!(a.requests.e2e_ms_max, 20.0);
+        assert_eq!(a.requests.stage_totals["queue_wait"], (15.0, 3));
+        assert_eq!(a.requests.stage_totals["simulate"], (20.0, 3));
+        assert_eq!(a.requests.by_reason["head"], 2);
+        assert_eq!(a.requests.by_reason["error"], 1);
+        // Ranked: simulate (20ms) before queue_wait (15ms).
+        let ranked: Vec<&str> = a.requests.stages_ranked().iter().map(|&(s, ..)| s).collect();
+        assert_eq!(ranked, vec!["simulate", "queue_wait"]);
+        for md in [false, true] {
+            let out = render(&a, 5, md);
+            assert!(out.contains("Request stages"), "{out}");
+            assert!(out.contains("queue_wait"), "{out}");
+        }
+        // A malformed request record still fails with its line number.
+        let mut bad = TraceAnalyzer::new();
+        bad.feed_line(&meta_line(), 1).unwrap();
+        let err = bad
+            .feed_line("{\"type\":\"request\",\"trace_id\":\"x\",\"kind\":\"k\",\"ok\":true,\"e2e_ms\":1.0,\"sampled\":\"nope\",\"stages\":[]}", 2)
+            .unwrap_err();
+        assert!(err.contains("line 2") && err.contains("bad sample reason"), "{err}");
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!   edges/nodes, queue-depth percentiles, critical-path extraction;
 //! * [`metrics`] — the [`metrics::MetricsRegistry`]: one place for every
 //!   counter/gauge/phase-timing a run produced, with Prometheus-style
-//!   text exposition (`unet metrics`);
+//!   text exposition (`unet metrics`) and per-series exemplar trace ids;
+//! * [`tailsample`] — the [`TailSampler`] deciding which per-request
+//!   stage records ([`trace::RequestRecord`]) are worth keeping: all
+//!   errors, a deterministic head sample, and the slowest tail;
 //! * [`json`] — the dependency-free JSON reader/writer underneath.
 //!
 //! This crate is dependency-free by design: every other crate in the
@@ -30,6 +33,7 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod tailsample;
 pub mod trace;
 
 pub use analysis::{Analysis, TraceAnalyzer};
@@ -37,3 +41,4 @@ pub use metrics::MetricsRegistry;
 pub use recorder::{
     edge_key, unpack_edge_key, Histogram, InMemoryRecorder, NoopRecorder, Recorder,
 };
+pub use tailsample::TailSampler;

@@ -22,6 +22,14 @@
 //! `unet_phase_completions_total` families labelled by phase. Histograms
 //! surface as `_count` / `_sum` / `_max` gauges (the full log₂ buckets
 //! stay in the trace; the exposition carries the headline aggregates).
+//!
+//! A metric can carry an **exemplar** — one concrete `trace_id` plus the
+//! observed value that produced it — linking the aggregate back to a
+//! traced request (`unet trace-requests` resolves the id to a waterfall).
+//! Exemplars are emitted as their own `# EXEMPLAR name{trace_id="…"} v`
+//! comment line right after the metric, so the plain text exposition
+//! format stays parseable by readers that only understand `name value`
+//! lines.
 
 use std::collections::BTreeMap;
 
@@ -42,6 +50,8 @@ pub struct MetricsRegistry {
     metrics: BTreeMap<String, Metric>,
     /// `phase -> (seconds, completions)`, labelled exposition family.
     phases: BTreeMap<String, (f64, u64)>,
+    /// `sanitized metric name -> (trace_id, observed value)`.
+    exemplars: BTreeMap<String, (String, f64)>,
 }
 
 fn sanitize(name: &str) -> String {
@@ -112,6 +122,18 @@ impl MetricsRegistry {
         self.phases.insert(phase.to_string(), (seconds, completions));
     }
 
+    /// Attach an exemplar to a metric by its *recorder* name: one traced
+    /// request's id and the value it observed. Later calls overwrite —
+    /// callers typically keep the slowest sampled request per series.
+    pub fn set_exemplar(&mut self, name: &str, trace_id: &str, value: f64) {
+        self.exemplars.insert(sanitize(name), (trace_id.to_string(), value));
+    }
+
+    /// The exemplar attached to a metric, by its *recorder* name.
+    pub fn exemplar(&self, name: &str) -> Option<(&str, f64)> {
+        self.exemplars.get(&sanitize(name)).map(|(id, v)| (id.as_str(), *v))
+    }
+
     fn ingest_histogram(&mut self, name: &str, h: &Histogram) {
         self.set_counter(&format!("{name}.count"), h.count);
         self.set_counter(&format!("{name}.sum"), u64::try_from(h.sum).unwrap_or(u64::MAX));
@@ -162,6 +184,10 @@ impl MetricsRegistry {
                 Metric::Gauge(v) => {
                     out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
                 }
+            }
+            if let Some((trace_id, v)) = self.exemplars.get(name) {
+                let trace_id = escape_label(trace_id);
+                out.push_str(&format!("# EXEMPLAR {name}{{trace_id=\"{trace_id}\"}} {v}\n"));
             }
         }
         if !self.phases.is_empty() {
@@ -275,6 +301,41 @@ mod tests {
         let odd = text.find("odd\\\"phase").unwrap();
         let comm = text.find("phase=\"sim.comm\"").unwrap();
         assert!(odd < comm, "phases sort lexicographically:\n{text}");
+    }
+
+    #[test]
+    fn exemplars_ride_their_metric_and_stay_comment_shaped() {
+        let mut reg = MetricsRegistry::new();
+        reg.set_counter("serve.request.latency_ms.count", 10);
+        reg.set_exemplar("serve.request.latency_ms.count", "00000000c0ffee42", 87.5);
+        assert_eq!(
+            reg.exemplar("serve.request.latency_ms.count"),
+            Some(("00000000c0ffee42", 87.5))
+        );
+        // Overwrite keeps the latest.
+        reg.set_exemplar("serve.request.latency_ms.count", "deadbeefdeadbeef", 99.0);
+        let text = reg.expose();
+        assert!(
+            text.contains(
+                "# EXEMPLAR unet_serve_request_latency_ms_count{trace_id=\"deadbeefdeadbeef\"} 99\n"
+            ),
+            "{text}"
+        );
+        // The exemplar line follows its metric line immediately.
+        let metric = text.find("unet_serve_request_latency_ms_count 10").unwrap();
+        let exemplar = text.find("# EXEMPLAR").unwrap();
+        assert!(exemplar > metric, "{text}");
+        // Every non-comment line still parses as `name value` — exemplars
+        // hide behind `#` for readers that only speak the plain format.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            assert!(parts.next().unwrap().parse::<f64>().is_ok(), "bad line: {line}");
+        }
+        // An exemplar for an unregistered metric is queryable but never
+        // emitted (nothing to attach it to).
+        let mut orphan = MetricsRegistry::new();
+        orphan.set_exemplar("ghost.metric", "ab", 1.0);
+        assert!(!orphan.expose().contains("EXEMPLAR"));
     }
 
     #[test]

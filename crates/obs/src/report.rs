@@ -148,6 +148,43 @@ pub fn render(doc: &TraceDoc) -> String {
         }
     }
 
+    if !doc.requests.is_empty() {
+        out.push_str("\nrequest stages\n");
+        // Bounded aggregate over the sampled request records: total time
+        // per stage, scaled against summed end-to-end time.
+        let mut stages: Vec<(String, f64, u64)> = Vec::new();
+        let mut e2e_total = 0.0;
+        let mut errors = 0u64;
+        for r in &doc.requests {
+            e2e_total += r.e2e_ms;
+            errors += u64::from(!r.ok);
+            for s in &r.stages {
+                match stages.iter_mut().find(|(k, ..)| *k == s.stage) {
+                    Some(t) => {
+                        t.1 += s.ms;
+                        t.2 += 1;
+                    }
+                    None => stages.push((s.stage.clone(), s.ms, 1)),
+                }
+            }
+        }
+        stages.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0))
+        });
+        out.push_str(&format!(
+            "  {} sampled requests, {} errors, e2e total {:.2} ms\n",
+            doc.requests.len(),
+            errors,
+            e2e_total
+        ));
+        for (stage, ms, n) in stages {
+            out.push_str(&format!(
+                "  {stage:<28} {ms:>10.2} ms  ×{n:<6} {:>5.1}% of e2e\n",
+                ms * 100.0 / e2e_total.max(f64::MIN_POSITIVE)
+            ));
+        }
+    }
+
     if !doc.counters.is_empty() {
         out.push_str("\ncounters\n");
         for (name, v) in &doc.counters {
@@ -170,6 +207,94 @@ pub fn render(doc: &TraceDoc) -> String {
             for line in hist_chart(h) {
                 out.push_str(&line);
                 out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Render per-request waterfalls for the sampled request records of one or
+/// more traces, merged by `trace_id` — the body of `unet trace-requests`.
+///
+/// `sources` pairs a label (usually the trace file path) with its parsed
+/// doc; a request that crossed several tiers (router + backend) shows one
+/// block per tier under a single `trace` heading, in source order.
+/// `only` restricts output to the named trace ids (empty = all, ordered
+/// by the slowest tier's `e2e_ms`, descending). `markdown` switches from
+/// the scaled ASCII bars to GFM tables.
+pub fn render_waterfalls(
+    sources: &[(String, TraceDoc)],
+    only: &[String],
+    markdown: bool,
+) -> String {
+    use crate::trace::RequestRecord;
+    // (tier command, source label, record) — one row per tier a request crossed.
+    type TierRow<'a> = (&'a str, &'a str, &'a RequestRecord);
+    // trace_id -> tier rows, merged across files.
+    let mut groups: Vec<(&str, Vec<TierRow>)> = Vec::new();
+    for (label, doc) in sources {
+        for r in &doc.requests {
+            if !only.is_empty() && !only.contains(&r.trace_id) {
+                continue;
+            }
+            match groups.iter_mut().find(|(id, _)| *id == r.trace_id) {
+                Some((_, rows)) => rows.push((&doc.meta.command, label, r)),
+                None => groups.push((&r.trace_id, vec![(&doc.meta.command, label, r)])),
+            }
+        }
+    }
+    // Slowest requests first: the records a reader is hunting for.
+    groups.sort_by(|a, b| {
+        let peak = |rows: &[TierRow]| rows.iter().map(|(.., r)| r.e2e_ms).fold(0.0f64, f64::max);
+        peak(&b.1).partial_cmp(&peak(&a.1)).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(b.0))
+    });
+    let mut out = String::new();
+    if groups.is_empty() {
+        out.push_str(if only.is_empty() {
+            "no sampled request records in the given trace(s)\n"
+        } else {
+            "no sampled request records match the requested trace id(s)\n"
+        });
+        return out;
+    }
+    for (trace_id, rows) in groups {
+        if markdown {
+            out.push_str(&format!("### trace `{trace_id}`\n\n"));
+            out.push_str("| tier | kind | outcome | sampled | stage | ms |\n");
+            out.push_str("|---|---|---|---|---|---:|\n");
+            for (tier, label, r) in rows {
+                let outcome = if r.ok { "ok" } else { "error" };
+                out.push_str(&format!(
+                    "| {tier} ({label}) | {} | {outcome} | {} | e2e | {:.3} |\n",
+                    r.kind,
+                    r.sampled.as_str(),
+                    r.e2e_ms
+                ));
+                for s in &r.stages {
+                    out.push_str(&format!("| | | | | {} | {:.3} |\n", s.stage, s.ms));
+                }
+            }
+            out.push('\n');
+        } else {
+            const WIDTH: usize = 24;
+            out.push_str(&format!("trace {trace_id}\n"));
+            let peak = rows
+                .iter()
+                .flat_map(|(.., r)| r.stages.iter().map(|s| s.ms))
+                .fold(0.0f64, f64::max)
+                .max(f64::MIN_POSITIVE);
+            for (tier, label, r) in rows {
+                let outcome = if r.ok { "ok" } else { "ERROR" };
+                out.push_str(&format!(
+                    "  {tier:<8} {:<10} {outcome:<5} e2e {:>9.3} ms  [{}]  ({label})\n",
+                    r.kind,
+                    r.e2e_ms,
+                    r.sampled.as_str()
+                ));
+                for s in &r.stages {
+                    let bar = "#".repeat(((s.ms / peak) * WIDTH as f64).ceil() as usize);
+                    out.push_str(&format!("    {:<24} {:>9.3} ms  {bar}\n", s.stage, s.ms));
+                }
             }
         }
     }
@@ -283,6 +408,104 @@ mod tests {
         assert!(inject < repair, "timeline must be sorted by time");
         assert!(text.contains("node:7"));
         assert!(text.contains("link:1-2"));
+    }
+
+    #[test]
+    fn request_stage_section_rendered_from_request_records() {
+        use crate::trace::{export_full, RequestRecord, SampleReason, StageSpan};
+        let rec = InMemoryRecorder::new();
+        let meta = RunMeta {
+            command: "serve".into(),
+            guest: "-".into(),
+            host: "-".into(),
+            n: 0,
+            m: 0,
+            guest_steps: 0,
+        };
+        let requests = vec![RequestRecord {
+            trace_id: "00000000000000aa".into(),
+            kind: "simulate".into(),
+            ok: true,
+            e2e_ms: 10.0,
+            sampled: SampleReason::Head,
+            stages: vec![
+                StageSpan { stage: "queue_wait".into(), ms: 2.0 },
+                StageSpan { stage: "simulate".into(), ms: 7.5 },
+            ],
+        }];
+        let doc = parse_trace(&export_full(&rec, &meta, &[], &requests, None)).unwrap();
+        let text = render(&doc);
+        assert!(text.contains("request stages"), "{text}");
+        assert!(text.contains("1 sampled requests, 0 errors"), "{text}");
+        // Ranked by total time: simulate before queue_wait.
+        assert!(text.find("simulate ").unwrap() < text.find("queue_wait").unwrap(), "{text}");
+        // Request-free docs have no section.
+        assert!(!render(&sample_doc()).contains("request stages"));
+    }
+
+    #[test]
+    fn waterfalls_merge_tiers_by_trace_id_across_files() {
+        use crate::trace::{export_full, RequestRecord, SampleReason, StageSpan};
+        let rec = InMemoryRecorder::new();
+        let meta = |command: &str| RunMeta {
+            command: command.into(),
+            guest: "-".into(),
+            host: "-".into(),
+            n: 0,
+            m: 0,
+            guest_steps: 0,
+        };
+        let record = |trace_id: &str, ok: bool, e2e_ms: f64, stage: &str, ms: f64| RequestRecord {
+            trace_id: trace_id.into(),
+            kind: "simulate".into(),
+            ok,
+            e2e_ms,
+            sampled: if ok { SampleReason::Head } else { SampleReason::Error },
+            stages: vec![StageSpan { stage: stage.into(), ms }],
+        };
+        let router = parse_trace(&export_full(
+            &rec,
+            &meta("shard"),
+            &[],
+            &[record("00000000000000aa", true, 12.0, "forward", 11.5)],
+            None,
+        ))
+        .unwrap();
+        let backend = parse_trace(&export_full(
+            &rec,
+            &meta("serve"),
+            &[],
+            &[
+                record("00000000000000aa", true, 11.0, "simulate", 10.0),
+                record("00000000000000bb", false, 40.0, "queue_wait", 39.0),
+            ],
+            None,
+        ))
+        .unwrap();
+        let sources =
+            vec![("router.jsonl".to_string(), router), ("backend.jsonl".to_string(), backend)];
+        let text = render_waterfalls(&sources, &[], false);
+        // Both tiers appear under one heading for the shared id.
+        let heading = text.find("trace 00000000000000aa").expect("merged trace heading");
+        assert_eq!(text.matches("trace 00000000000000aa").count(), 1, "{text}");
+        assert!(text.contains("shard"), "{text}");
+        assert!(text.contains("serve"), "{text}");
+        assert!(text.contains("forward"), "{text}");
+        // Slowest trace first: bb (40 ms, an error) precedes aa (12 ms).
+        let slow = text.find("trace 00000000000000bb").expect("slow trace heading");
+        assert!(slow < heading, "slowest-first ordering:\n{text}");
+        assert!(text.contains("ERROR"), "{text}");
+        // The filter keeps only the named id.
+        let only = render_waterfalls(&sources, &["00000000000000bb".to_string()], false);
+        assert!(!only.contains("00000000000000aa"), "{only}");
+        assert!(only.contains("00000000000000bb"), "{only}");
+        // Markdown mode emits a table per trace.
+        let md = render_waterfalls(&sources, &[], true);
+        assert!(md.contains("### trace `00000000000000aa`"), "{md}");
+        assert!(md.contains("| tier | kind | outcome | sampled | stage | ms |"), "{md}");
+        // Unmatched filters say so instead of printing nothing.
+        let none = render_waterfalls(&sources, &["ffffffffffffffff".to_string()], false);
+        assert!(none.contains("no sampled request records"), "{none}");
     }
 
     #[test]

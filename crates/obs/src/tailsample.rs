@@ -1,0 +1,227 @@
+//! Tail sampling for per-request trace records.
+//!
+//! Recording a [`RequestRecord`] for *every* request would make the trace
+//! artifact grow linearly with traffic, which is exactly what keeps most
+//! tracing systems turned off in production. The [`TailSampler`] keeps the
+//! records that carry information and drops the rest, with three rules
+//! applied in order:
+//!
+//! 1. **errors are always kept** — a failed request is the record you will
+//!    be looking for;
+//! 2. **a deterministic head sample** of the successes is kept (default
+//!    [`DEFAULT_HEAD_PERMILLE`]‰, keyed by an FNV hash of the trace id, so
+//!    the same request is kept or dropped on every tier it crosses);
+//! 3. **the slowest requests are always kept** — a bounded buffer retains
+//!    the top ~1% by end-to-end latency (at least
+//!    [`TAIL_KEEP_MIN`]), so the p99 tail survives even at a 0‰ head rate.
+//!
+//! The decision for rules 1–2 is **stateless and trace-id-deterministic**:
+//! every tier that sees the same request makes the same call, which is how
+//! one `trace_id` ends up with both router and backend records in the
+//! merged waterfall without any cross-process coordination. Rule 3 is
+//! per-process (each tier keeps its own slowest), which is what "tail
+//! sampling" means here — the decision is made *after* the latency is
+//! known.
+//!
+//! Memory is bounded: at most [`MAX_KEPT`] head/error records plus the
+//! slow buffer are retained; overflow increments [`TailSampler::dropped`]
+//! rather than growing without bound.
+
+use crate::trace::{RequestRecord, SampleReason};
+
+/// Default head-sampling rate, per mille of successful requests.
+pub const DEFAULT_HEAD_PERMILLE: u32 = 100;
+
+/// The slow buffer never shrinks below this many slots, so small runs
+/// still keep their slowest request.
+pub const TAIL_KEEP_MIN: usize = 4;
+
+/// Hard cap on retained head/error records (the slow buffer is capped
+/// separately at 1% of offered requests, itself capped at this).
+pub const MAX_KEPT: usize = 4096;
+
+/// FNV-1a of a trace id — the deterministic head-sampling coin.
+fn trace_hash(trace_id: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in trace_id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Would a head sampler at `head_permille`‰ keep this trace id? Exposed so
+/// callers can skip building the stage list for requests that can only be
+/// kept by the slow rule.
+pub fn head_sampled(trace_id: &str, head_permille: u32) -> bool {
+    (trace_hash(trace_id) % 1000) < head_permille as u64
+}
+
+/// A bounded tail sampler over [`RequestRecord`]s. See the module docs
+/// for the three keep rules.
+#[derive(Debug)]
+pub struct TailSampler {
+    head_permille: u32,
+    offered: u64,
+    dropped: u64,
+    kept: Vec<RequestRecord>,
+    /// Slow candidates, sorted ascending by `e2e_ms` so index 0 is the
+    /// eviction victim.
+    slow: Vec<RequestRecord>,
+}
+
+impl TailSampler {
+    /// A sampler keeping `head_permille`‰ of successes (plus all errors
+    /// and the slow tail).
+    pub fn new(head_permille: u32) -> TailSampler {
+        TailSampler {
+            head_permille: head_permille.min(1000),
+            offered: 0,
+            dropped: 0,
+            kept: Vec::new(),
+            slow: Vec::new(),
+        }
+    }
+
+    /// Requests offered so far.
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Head/error records dropped to the [`MAX_KEPT`] memory cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Records currently retained (head + error + slow buffer).
+    pub fn retained(&self) -> usize {
+        self.kept.len() + self.slow.len()
+    }
+
+    /// Capacity of the slow buffer right now: ~1% of offered, at least
+    /// [`TAIL_KEEP_MIN`], at most [`MAX_KEPT`].
+    fn tail_cap(&self) -> usize {
+        ((self.offered / 100) as usize).clamp(TAIL_KEEP_MIN, MAX_KEPT)
+    }
+
+    /// Offer a record; the sampler stamps its `sampled` reason and decides
+    /// whether it is retained. Returns `true` when the record is currently
+    /// retained (a slow-buffer keep may still be evicted by a later,
+    /// slower request).
+    pub fn offer(&mut self, mut rec: RequestRecord) -> bool {
+        self.offered += 1;
+        if !rec.ok || head_sampled(&rec.trace_id, self.head_permille) {
+            rec.sampled = if rec.ok { SampleReason::Head } else { SampleReason::Error };
+            if self.kept.len() >= MAX_KEPT {
+                self.dropped += 1;
+                return false;
+            }
+            self.kept.push(rec);
+            return true;
+        }
+        rec.sampled = SampleReason::Slow;
+        let cap = self.tail_cap();
+        if self.slow.len() < cap {
+            let at = self.slow.partition_point(|r| r.e2e_ms <= rec.e2e_ms);
+            self.slow.insert(at, rec);
+            return true;
+        }
+        if self.slow.first().is_some_and(|min| rec.e2e_ms > min.e2e_ms) {
+            self.slow.remove(0);
+            let at = self.slow.partition_point(|r| r.e2e_ms <= rec.e2e_ms);
+            self.slow.insert(at, rec);
+            return true;
+        }
+        false
+    }
+
+    /// Take every retained record: head/error keeps in arrival order, then
+    /// the slow buffer slowest-first. Resets the sampler.
+    pub fn drain(&mut self) -> Vec<RequestRecord> {
+        let mut out = std::mem::take(&mut self.kept);
+        let mut slow = std::mem::take(&mut self.slow);
+        slow.reverse(); // ascending storage → slowest first
+        out.extend(slow);
+        self.offered = 0;
+        self.dropped = 0;
+        out
+    }
+}
+
+impl Default for TailSampler {
+    fn default() -> Self {
+        TailSampler::new(DEFAULT_HEAD_PERMILLE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(trace_id: &str, ok: bool, e2e_ms: f64) -> RequestRecord {
+        RequestRecord {
+            trace_id: trace_id.into(),
+            kind: "simulate".into(),
+            ok,
+            e2e_ms,
+            sampled: SampleReason::Head,
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn errors_are_always_kept() {
+        let mut s = TailSampler::new(0);
+        assert!(s.offer(rec("aaaaaaaaaaaaaaaa", false, 1.0)));
+        let kept = s.drain();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].sampled, SampleReason::Error);
+    }
+
+    #[test]
+    fn head_sampling_is_deterministic_per_trace_id() {
+        let mut a = TailSampler::new(500);
+        let mut b = TailSampler::new(500);
+        let ids: Vec<String> = (0..200).map(|i| format!("{i:016x}")).collect();
+        let kept_a: Vec<bool> = ids.iter().map(|id| a.offer(rec(id, true, 1.0))).collect();
+        let kept_b: Vec<bool> = ids.iter().map(|id| b.offer(rec(id, true, 1.0))).collect();
+        assert_eq!(kept_a, kept_b, "same coin on every tier");
+        let heads = kept_a.iter().filter(|&&k| k).count();
+        // 500‰ over 200 ids: the FNV coin is not pathological.
+        assert!((50..150).contains(&heads), "head keeps way off rate: {heads}");
+        for r in a.drain() {
+            if r.sampled == SampleReason::Head {
+                assert!(head_sampled(&r.trace_id, 500));
+            }
+        }
+    }
+
+    #[test]
+    fn slowest_requests_survive_a_zero_head_rate() {
+        let mut s = TailSampler::new(0);
+        for i in 0..1000u32 {
+            // Find ids the head coin would NOT keep even at the default
+            // rate — irrelevant at 0‰, but keeps the fixture honest.
+            s.offer(rec(&format!("{i:016x}"), true, i as f64));
+        }
+        let kept = s.drain();
+        assert!(!kept.is_empty(), "tail keeps the slow end");
+        assert!(kept.len() <= 1000 / 100 + TAIL_KEEP_MIN, "bounded: {}", kept.len());
+        assert!(kept.iter().all(|r| r.sampled == SampleReason::Slow));
+        assert_eq!(kept[0].e2e_ms, 999.0, "slowest first");
+        // Every kept record is slower than every dropped one.
+        let min_kept = kept.iter().map(|r| r.e2e_ms).fold(f64::INFINITY, f64::min);
+        assert!(min_kept >= (1000 - kept.len()) as f64 - 0.5);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_error_floods() {
+        let mut s = TailSampler::new(1000);
+        for i in 0..(MAX_KEPT as u32 + 100) {
+            s.offer(rec(&format!("{i:016x}"), i % 2 == 0, 1.0));
+        }
+        assert!(s.retained() <= MAX_KEPT + MAX_KEPT / 100 + TAIL_KEEP_MIN);
+        assert_eq!(s.dropped(), 100);
+        assert_eq!(s.offered(), MAX_KEPT as u64 + 100);
+    }
+}

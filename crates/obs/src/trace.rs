@@ -6,13 +6,14 @@
 //! gauge / histogram aggregates and the final `summary` close the file:
 //!
 //! ```text
-//! {"type":"meta","schema":"unet-trace/3","command":"simulate","guest":"ring:12","host":"torus:2x2","n":12,"m":4,"guest_steps":3}
+//! {"type":"meta","schema":"unet-trace/4","command":"simulate","guest":"ring:12","host":"torus:2x2","n":12,"m":4,"guest_steps":3}
 //! {"type":"span","op":"start","name":"sim.comm","ns":1200}
 //! {"type":"span","op":"end","name":"sim.comm","ns":58000}
 //! {"type":"counter","name":"route.transfers","value":831}
 //! {"type":"gauge","name":"sim.load","value":3.0}
 //! {"type":"hist","name":"route.queue_occupancy","count":96,"sum":310,"min":1,"max":9,"buckets":[[1,40],[2,30],[3,20],[4,6]]}
 //! {"type":"sample","name":"route.edge_util","step":4,"key":12884901893,"value":2}
+//! {"type":"request","trace_id":"00000000c0ffee42","kind":"simulate","ok":true,"e2e_ms":12.5,"sampled":"head","stages":[["queue_wait",1.5],["simulate",10.0]]}
 //! {"type":"summary","host_steps":61,"comm_steps":40,"compute_steps":21,"slowdown":20.3,"inefficiency":6.8,"wall_ms":1.9}
 //! ```
 //!
@@ -22,22 +23,25 @@
 //! and timestamps must be non-decreasing.
 //!
 //! Schema history: `unet-trace/1` was the original record set, `/2` added
-//! `fault` records, and `/3` adds per-step `sample` records (edge
+//! `fault` records, `/3` added per-step `sample` records (edge
 //! utilization and queue depth, keyed by [`crate::recorder::edge_key`] or
-//! node id). All three are accepted by [`parse_trace`]; writers always
-//! emit the current [`SCHEMA`]. A `/1` or `/2` trace simply has no
-//! `sample` lines — readers see empty congestion series.
+//! node id), and `/4` adds per-request `request` records (one traced
+//! request's stage spans through the serving tier). All four are accepted
+//! by [`parse_trace`]; writers always emit the current [`SCHEMA`]. An
+//! older trace simply has no `sample` / `request` lines — readers see
+//! empty congestion series and an empty request table.
 
 use crate::json::{parse, Value};
 use crate::recorder::{Histogram, InMemoryRecorder, SpanEvent};
 
 /// Trace schema identifier written into `meta` lines.
-pub const SCHEMA: &str = "unet-trace/3";
+pub const SCHEMA: &str = "unet-trace/4";
 
 /// Older schema versions [`parse_trace`] still reads. `/1` is the original
-/// record set; `/2` added `fault` records without changing any existing
-/// record shape. Neither carries `sample` records.
-pub const LEGACY_SCHEMAS: [&str; 2] = ["unet-trace/1", "unet-trace/2"];
+/// record set; `/2` added `fault` records and `/3` added `sample` records
+/// without changing any existing record shape. None carries `request`
+/// records.
+pub const LEGACY_SCHEMAS: [&str; 3] = ["unet-trace/1", "unet-trace/2", "unet-trace/3"];
 
 /// Identity of a traced run.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -140,6 +144,89 @@ pub struct SampleRecord {
     pub value: u64,
 }
 
+/// One named stage of a traced request, with its measured duration.
+///
+/// Stage names are the serving tier's fixed vocabulary — backend-side
+/// `accept`, `queue_wait`, `batch_linger`, `singleflight_wait`,
+/// `plan_build`, `simulate`, `serialize` and router-side `forward`,
+/// `retry`, `failover` — but readers treat them as opaque strings so the
+/// vocabulary can grow without another schema bump.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSpan {
+    /// Stage name (e.g. `"queue_wait"`).
+    pub stage: String,
+    /// Wall time spent in the stage, milliseconds.
+    pub ms: f64,
+}
+
+/// Why the tail sampler kept a request record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleReason {
+    /// Head-sampled: the deterministic per-trace coin came up heads.
+    Head,
+    /// Always kept: the request errored.
+    Error,
+    /// Always kept: among the slowest requests seen (the p99 tail).
+    Slow,
+}
+
+impl SampleReason {
+    /// Wire name of the reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SampleReason::Head => "head",
+            SampleReason::Error => "error",
+            SampleReason::Slow => "slow",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "head" => Some(SampleReason::Head),
+            "error" => Some(SampleReason::Error),
+            "slow" => Some(SampleReason::Slow),
+            _ => None,
+        }
+    }
+}
+
+/// One traced request through the serving tier — the `unet-trace/4` record
+/// `{"type":"request","trace_id":...,"kind":...,"ok":...,"e2e_ms":...,
+/// "sampled":...,"stages":[["queue_wait",1.5],...]}`. The schema addition
+/// is backwards-compatible: readers of older traces see no `request`
+/// lines at all.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// The request's end-to-end trace id, 16 lowercase hex digits,
+    /// identical on every tier the request crossed.
+    pub trace_id: String,
+    /// Request kind as seen by the recording tier, e.g. `"simulate"`,
+    /// `"batch"`, or the router's `"forward"`.
+    pub kind: String,
+    /// Did the request produce a `result` response?
+    pub ok: bool,
+    /// End-to-end latency measured by the recording tier, milliseconds.
+    pub e2e_ms: f64,
+    /// Why the tail sampler kept this record.
+    pub sampled: SampleReason,
+    /// Stage spans in chronological order.
+    pub stages: Vec<StageSpan>,
+}
+
+impl RequestRecord {
+    /// Duration of the named stage, if recorded.
+    pub fn stage_ms(&self, stage: &str) -> Option<f64> {
+        self.stages.iter().find(|s| s.stage == stage).map(|s| s.ms)
+    }
+
+    /// Sum of all stage durations — the span-accounting numerator E22
+    /// checks against `e2e_ms`.
+    pub fn stage_total_ms(&self) -> f64 {
+        self.stages.iter().map(|s| s.ms).sum()
+    }
+}
+
 /// An owned span event from a parsed trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceSpan {
@@ -177,6 +264,9 @@ pub struct TraceDoc {
     /// Time-series sample points, in file order (empty for `/1`//`2`
     /// traces).
     pub samples: Vec<SampleRecord>,
+    /// Sampled per-request stage records, in file order (empty for
+    /// pre-`/4` traces).
+    pub requests: Vec<RequestRecord>,
     /// The `summary` record, if present.
     pub summary: Option<RunSummary>,
 }
@@ -195,6 +285,14 @@ impl TraceDoc {
     /// All sample points of the named series, in file order.
     pub fn samples_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SampleRecord> {
         self.samples.iter().filter(move |s| s.name == name)
+    }
+
+    /// All request records carrying the given trace id, in file order.
+    pub fn requests_for<'a>(
+        &'a self,
+        trace_id: &'a str,
+    ) -> impl Iterator<Item = &'a RequestRecord> {
+        self.requests.iter().filter(move |r| r.trace_id == trace_id)
     }
 
     /// `(name, total ns, completions)` per span name, by replaying the
@@ -233,6 +331,21 @@ pub fn export_with_faults(
     rec: &InMemoryRecorder,
     meta: &RunMeta,
     faults: &[FaultRecord],
+    summary: Option<&RunSummary>,
+) -> String {
+    export_full(rec, meta, faults, &[], summary)
+}
+
+/// [`export_with_faults`] plus the sampled per-request stage records,
+/// emitted after the fault timeline and before the summary. The serving
+/// tier's drain path uses this; an empty `requests` slice keeps the output
+/// byte-identical to the plain exports (the `/4` schema addition is
+/// strictly backwards-compatible).
+pub fn export_full(
+    rec: &InMemoryRecorder,
+    meta: &RunMeta,
+    faults: &[FaultRecord],
+    requests: &[RequestRecord],
     summary: Option<&RunSummary>,
 ) -> String {
     debug_assert!(rec.open_spans().is_empty(), "exporting with open spans: {:?}", rec.open_spans());
@@ -299,6 +412,10 @@ pub fn export_with_faults(
         out.push_str(&line.to_json());
         out.push('\n');
     }
+    for r in requests {
+        out.push_str(&request_value(r).to_json());
+        out.push('\n');
+    }
     if let Some(s) = summary {
         out.push_str(&summary_value(s).to_json());
         out.push('\n');
@@ -338,6 +455,23 @@ fn hist_value(name: &str, h: &Histogram) -> Value {
         ("min".into(), Value::UInt(if h.count == 0 { 0 } else { h.min })),
         ("max".into(), Value::UInt(h.max)),
         ("buckets".into(), Value::Arr(buckets)),
+    ])
+}
+
+fn request_value(r: &RequestRecord) -> Value {
+    let stages: Vec<Value> = r
+        .stages
+        .iter()
+        .map(|s| Value::Arr(vec![Value::Str(s.stage.clone()), Value::Float(s.ms)]))
+        .collect();
+    Value::Obj(vec![
+        ("type".into(), Value::Str("request".into())),
+        ("trace_id".into(), Value::Str(r.trace_id.clone())),
+        ("kind".into(), Value::Str(r.kind.clone())),
+        ("ok".into(), Value::Bool(r.ok)),
+        ("e2e_ms".into(), Value::Float(r.e2e_ms)),
+        ("sampled".into(), Value::Str(r.sampled.as_str().into())),
+        ("stages".into(), Value::Arr(stages)),
     ])
 }
 
@@ -448,6 +582,41 @@ pub(crate) fn parse_sample(v: &Value, lno: usize) -> Result<SampleRecord, String
     })
 }
 
+/// Parse a `request` record, validating the sample reason and the
+/// `[stage, ms]` pair structure.
+pub(crate) fn parse_request(v: &Value, lno: usize) -> Result<RequestRecord, String> {
+    let reason_name = field_str(v, "sampled", lno)?;
+    let sampled = SampleReason::parse(&reason_name)
+        .ok_or_else(|| format!("line {lno}: bad sample reason {reason_name:?}"))?;
+    let ok = v
+        .get("ok")
+        .and_then(Value::as_bool)
+        .ok_or_else(|| format!("line {lno}: missing/invalid bool field \"ok\""))?;
+    let stage_arr = v
+        .get("stages")
+        .and_then(Value::as_arr)
+        .ok_or_else(|| format!("line {lno}: missing stages array"))?;
+    let mut stages = Vec::with_capacity(stage_arr.len());
+    for s in stage_arr {
+        let pair = s
+            .as_arr()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| format!("line {lno}: stage entries must be [name, ms] pairs"))?;
+        let stage =
+            pair[0].as_str().ok_or_else(|| format!("line {lno}: bad stage name"))?.to_string();
+        let ms = pair[1].as_f64().ok_or_else(|| format!("line {lno}: bad stage duration"))?;
+        stages.push(StageSpan { stage, ms });
+    }
+    Ok(RequestRecord {
+        trace_id: field_str(v, "trace_id", lno)?,
+        kind: field_str(v, "kind", lno)?,
+        ok,
+        e2e_ms: field_f64(v, "e2e_ms", lno)?,
+        sampled,
+        stages,
+    })
+}
+
 /// Parse and validate a JSONL trace: every line must be valid JSON of a
 /// known record type, the first line must be a `meta` record with the
 /// expected schema, span events must balance (stack discipline with
@@ -469,6 +638,7 @@ pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
         histograms: Vec::new(),
         faults: Vec::new(),
         samples: Vec::new(),
+        requests: Vec::new(),
         summary: None,
     };
     let mut stack: Vec<String> = Vec::new();
@@ -510,6 +680,7 @@ pub fn parse_trace(text: &str) -> Result<TraceDoc, String> {
             }
             Some("hist") => doc.histograms.push(parse_hist(&v, lno)?),
             Some("sample") => doc.samples.push(parse_sample(&v, lno)?),
+            Some("request") => doc.requests.push(parse_request(&v, lno)?),
             Some("fault") => {
                 let op_name = field_str(&v, "op", lno)?;
                 let op = FaultOp::parse(&op_name)
@@ -670,8 +841,8 @@ mod tests {
         rec.sample("route.edge_util", 0, edge_key(3, 5), 1);
         rec.sample("route.queue_depth", 1, 5, 4);
         let text = export(&rec, &sample_meta(), None);
-        assert!(text.lines().next().unwrap().contains("unet-trace/3"));
-        let doc = parse_trace(&text).expect("v3 trace validates");
+        assert!(text.lines().next().unwrap().contains("unet-trace/4"));
+        let doc = parse_trace(&text).expect("v4 trace validates");
         let util: Vec<_> = doc.samples_named("route.edge_util").collect();
         assert_eq!(util.len(), 1, "aggregated to one (step, key) cell");
         assert_eq!((util[0].step, util[0].key, util[0].value), (0, edge_key(3, 5), 2));
@@ -691,6 +862,79 @@ mod tests {
             assert!(legacy_doc.samples.is_empty());
             assert_eq!(legacy_doc.counter("route.transfers"), doc.counter("route.transfers"));
         }
+    }
+
+    fn sample_requests() -> Vec<RequestRecord> {
+        vec![
+            RequestRecord {
+                trace_id: "00000000c0ffee42".into(),
+                kind: "simulate".into(),
+                ok: true,
+                e2e_ms: 12.5,
+                sampled: SampleReason::Head,
+                stages: vec![
+                    StageSpan { stage: "accept".into(), ms: 0.25 },
+                    StageSpan { stage: "queue_wait".into(), ms: 1.5 },
+                    StageSpan { stage: "simulate".into(), ms: 10.0 },
+                    StageSpan { stage: "serialize".into(), ms: 0.5 },
+                ],
+            },
+            RequestRecord {
+                trace_id: "deadbeefdeadbeef".into(),
+                kind: "forward".into(),
+                ok: false,
+                e2e_ms: 3.0,
+                sampled: SampleReason::Error,
+                stages: vec![StageSpan { stage: "forward".into(), ms: 3.0 }],
+            },
+        ]
+    }
+
+    #[test]
+    fn request_records_round_trip() {
+        let rec = sample_recorder();
+        let requests = sample_requests();
+        let text = export_full(&rec, &sample_meta(), &[], &requests, None);
+        let doc = parse_trace(&text).expect("trace with request records validates");
+        assert_eq!(doc.requests, requests);
+        let kept: Vec<_> = doc.requests_for("00000000c0ffee42").collect();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].stage_ms("queue_wait"), Some(1.5));
+        assert!((kept[0].stage_total_ms() - 12.25).abs() < 1e-9);
+        // Request-free export stays byte-identical to the older writers
+        // (schema addition is strictly backwards-compatible).
+        assert_eq!(
+            export(&rec, &sample_meta(), None),
+            export_full(&rec, &sample_meta(), &[], &[], None)
+        );
+        // Bad reasons and malformed stage pairs are rejected.
+        let meta_line = text.lines().next().unwrap();
+        let bad_reason = format!(
+            "{meta_line}\n{{\"type\":\"request\",\"trace_id\":\"ab\",\"kind\":\"simulate\",\"ok\":true,\"e2e_ms\":1.0,\"sampled\":\"vibes\",\"stages\":[]}}\n"
+        );
+        assert!(parse_trace(&bad_reason).unwrap_err().contains("bad sample reason"));
+        let bad_stage = format!(
+            "{meta_line}\n{{\"type\":\"request\",\"trace_id\":\"ab\",\"kind\":\"simulate\",\"ok\":true,\"e2e_ms\":1.0,\"sampled\":\"head\",\"stages\":[[\"queue_wait\"]]}}\n"
+        );
+        assert!(parse_trace(&bad_stage).unwrap_err().contains("[name, ms] pairs"));
+    }
+
+    #[test]
+    fn v3_migration_fixture_parses_with_identical_aggregates() {
+        // The PR 5 pattern: a trace written by the previous schema version
+        // (samples, no request records) must parse through the current
+        // reader with identical aggregates.
+        use crate::recorder::edge_key;
+        let mut rec = sample_recorder();
+        rec.sample("route.edge_util", 0, edge_key(3, 5), 2);
+        let current = export(&rec, &sample_meta(), None);
+        let v3_fixture = current.replace(SCHEMA, "unet-trace/3");
+        let doc = parse_trace(&v3_fixture).expect("v3 fixture parses");
+        let now = parse_trace(&current).expect("current parses");
+        assert!(doc.requests.is_empty(), "a /3 trace has no request records");
+        assert_eq!(doc.counters, now.counters);
+        assert_eq!(doc.samples, now.samples);
+        assert_eq!(doc.span_totals(), now.span_totals());
     }
 
     #[test]

@@ -28,7 +28,7 @@ use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::protocol::{
-    analyze_request_line, batch_request_line, metrics_request_line, parse_response,
+    analyze_request_line, batch_request_line, gen_trace_id, metrics_request_line, parse_response,
     simulate_request_line, Response, SimulateReq,
 };
 use unet_obs::json::Value;
@@ -106,6 +106,18 @@ pub struct SimulateResult {
     pub verified: bool,
     /// Server-side wall time in milliseconds.
     pub wall_ms: f64,
+    /// The trace id this request ran under (client-assigned, echoed by
+    /// `/3` servers in the payload).
+    pub trace_id: Option<String>,
+    /// Server-reported stage breakdown (`queue_wait`, `simulate`, …) in
+    /// milliseconds, in the server's span order. Empty from pre-`/3`
+    /// servers.
+    pub stages: Vec<(String, f64)>,
+    /// Client-measured end-to-end latency of the round trip that carried
+    /// this result, in milliseconds (the whole batch's round trip for a
+    /// batch member). Includes queueing, the wire, and parsing — what a
+    /// caller would see timing the call itself.
+    pub e2e_ms: f64,
     /// The full payload object, for fields this struct does not name.
     pub raw: Value,
 }
@@ -114,6 +126,14 @@ impl SimulateResult {
     fn from_value(v: Value) -> Result<SimulateResult, ClientError> {
         let f = |name: &str| v.get(name).and_then(Value::as_f64);
         let u = |name: &str| v.get(name).and_then(Value::as_u64);
+        let stages = match v.get("stages") {
+            Some(Value::Obj(fields)) => fields
+                .iter()
+                .filter_map(|(stage, ms)| ms.as_f64().map(|ms| (stage.clone(), ms)))
+                .collect(),
+            _ => Vec::new(),
+        };
+        let trace_id = v.get("trace_id").and_then(Value::as_str).map(str::to_string);
         let ok = (|| {
             Some(SimulateResult {
                 slowdown: f("slowdown")?,
@@ -124,6 +144,9 @@ impl SimulateResult {
                 shared_cache_hit: v.get("shared_cache_hit").and_then(Value::as_bool)?,
                 verified: v.get("verified").and_then(Value::as_bool)?,
                 wall_ms: f("wall_ms")?,
+                trace_id,
+                stages,
+                e2e_ms: 0.0,
                 raw: v.clone(),
             })
         })();
@@ -218,6 +241,10 @@ impl Client {
                     }
                 }
             };
+            // Small-line request/response ping-pong: leaving Nagle on
+            // costs a delayed-ACK stall per request on a kept-alive
+            // connection (the E22 span-accounting gate catches this).
+            let _ = stream.set_nodelay(true);
             if let Some(t) = self.timeout {
                 let _ = stream.set_read_timeout(Some(t));
                 let _ = stream.set_write_timeout(Some(t));
@@ -293,10 +320,21 @@ impl Client {
         }
     }
 
-    /// Run one simulation and return its typed result.
+    /// Run one simulation and return its typed result. The client assigns
+    /// a fresh `trace_id` (the request's first ingress), so the result's
+    /// [`trace_id`](SimulateResult::trace_id) and client-measured
+    /// [`e2e_ms`](SimulateResult::e2e_ms) are always populated; the
+    /// server-side [`stages`](SimulateResult::stages) breakdown rides the
+    /// `/3` payload.
     pub fn simulate(&mut self, spec: &SimulateReq) -> Result<SimulateResult, ClientError> {
-        let v = self.request_typed_line(&simulate_request_line(spec))?;
-        SimulateResult::from_value(v)
+        let trace_id = gen_trace_id();
+        let started = std::time::Instant::now();
+        let v = self.request_typed_line(&simulate_request_line(spec, Some(&trace_id)))?;
+        let e2e_ms = started.elapsed().as_secs_f64() * 1e3;
+        let mut result = SimulateResult::from_value(v)?;
+        result.e2e_ms = e2e_ms;
+        result.trace_id.get_or_insert(trace_id);
+        Ok(result)
     }
 
     /// Run a batch of simulations under one deadline. The outer `Result`
@@ -308,7 +346,15 @@ impl Client {
         specs: &[SimulateReq],
         deadline_ms: Option<u64>,
     ) -> Result<Vec<Result<SimulateResult, ServerError>>, ClientError> {
-        let v = self.request_typed_line(&batch_request_line(specs, deadline_ms, None))?;
+        let trace_id = gen_trace_id();
+        let started = std::time::Instant::now();
+        let v = self.request_typed_line(&batch_request_line(
+            specs,
+            deadline_ms,
+            None,
+            Some(&trace_id),
+        ))?;
+        let e2e_ms = started.elapsed().as_secs_f64() * 1e3;
         let items = v
             .get("items")
             .and_then(Value::as_arr)
@@ -316,7 +362,11 @@ impl Client {
         items
             .iter()
             .map(|item| match item.get("ok").and_then(Value::as_bool) {
-                Some(true) => SimulateResult::from_value(item.clone()).map(Ok),
+                Some(true) => SimulateResult::from_value(item.clone()).map(|mut r| {
+                    r.e2e_ms = e2e_ms;
+                    r.trace_id.get_or_insert_with(|| trace_id.clone());
+                    Ok(r)
+                }),
                 Some(false) => Ok(Err(ServerError {
                     code: item.get("code").and_then(Value::as_str).unwrap_or("unknown").to_string(),
                     message: item.get("message").and_then(Value::as_str).unwrap_or("").to_string(),
@@ -332,7 +382,8 @@ impl Client {
     /// Aggregate trace lines with the server's streaming analyzer and
     /// return the metrics exposition it produced.
     pub fn analyze(&mut self, trace: &[String]) -> Result<String, ClientError> {
-        let v = self.request_typed_line(&analyze_request_line(trace, None))?;
+        let v =
+            self.request_typed_line(&analyze_request_line(trace, None, Some(&gen_trace_id())))?;
         v.get("exposition")
             .and_then(Value::as_str)
             .map(str::to_string)
@@ -341,7 +392,7 @@ impl Client {
 
     /// Fetch the server's live Prometheus exposition.
     pub fn metrics(&mut self) -> Result<String, ClientError> {
-        let v = self.request_typed_line(&metrics_request_line(None))?;
+        let v = self.request_typed_line(&metrics_request_line(None, Some(&gen_trace_id())))?;
         v.get("exposition")
             .and_then(Value::as_str)
             .map(str::to_string)

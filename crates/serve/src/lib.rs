@@ -7,9 +7,10 @@
 //! metric aggregates) alive across requests:
 //!
 //! * [`protocol`] — the versioned newline-delimited JSON wire format
-//!   (`unet-serve/2`, with a `/1` compatibility reader): `simulate` /
-//!   `batch` / `analyze` / `metrics` requests, `result` / `error` /
-//!   `overloaded` responses;
+//!   (`unet-serve/3`, with `/2` and `/1` compatibility readers):
+//!   `simulate` / `batch` / `analyze` / `metrics` requests, `result` /
+//!   `error` / `overloaded` responses, and a per-request `trace` context
+//!   that threads one `trace_id` from client through router to backend;
 //! * [`queue`] — the bounded admission queue; a full queue produces a
 //!   typed `overloaded` rejection with a `retry_after_ms` hint, never
 //!   unbounded buffering;
@@ -20,8 +21,9 @@
 //!   (single-flight, on the shared
 //!   [`SharedPlanCache`](unet_core::SharedPlanCache)) while batchmates and
 //!   racing misses reuse it; per-request deadlines ride the engine's
-//!   phase-boundary cancellation; [`Server::drain`] answers everything in
-//!   flight and flushes metrics;
+//!   phase-boundary cancellation; every request records stage spans
+//!   (`accept` → `queue_wait` → … → `serialize`) into a tail-sampled
+//!   trace that [`Server::drain`] flushes alongside the metrics;
 //! * [`loadgen`] — a deterministic closed-loop load generator for capacity
 //!   experiments (E19/E20) and CI smoke tests;
 //! * [`client`] — the typed [`Client`] behind
@@ -65,7 +67,7 @@ pub mod signal;
 
 pub use client::{Client, ClientError, ServerError, SimulateResult};
 pub use loadgen::{LoadgenConfig, LoadgenReport};
-pub use protocol::{ProtoVersion, Request, Response, PROTOCOL, PROTOCOL_V1};
+pub use protocol::{ProtoVersion, Request, Response, PROTOCOL, PROTOCOL_V1, PROTOCOL_V2};
 pub use ring::Ring;
 pub use router::{Router, RouterDrainReport, RouterStats, ShardConfig};
 pub use server::{DrainReport, ServeConfig, Server, ServerStats};

@@ -28,13 +28,10 @@
 use std::io;
 use std::time::Instant;
 
-use crate::client::Client;
-use crate::protocol::{
-    batch_request_line, parse_response, simulate_request_line, Response, SimulateReq,
-};
+use crate::client::{Client, ClientError};
+use crate::protocol::{parse_response, simulate_request_line, Response, SimulateReq};
 use crate::ring::Ring;
 use crate::router::simulate_fingerprint;
-use unet_obs::json::Value;
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -84,8 +81,15 @@ pub struct LoadgenReport {
     /// Wall time of the measured (post-warm-up) phase in milliseconds.
     pub wall_ms: f64,
     /// Per-round-trip latencies in milliseconds, sorted ascending
-    /// (warm-up excluded). A batch round trip is one sample.
+    /// (warm-up excluded). A batch round trip is one sample. These are
+    /// the typed client's own end-to-end measurements
+    /// ([`SimulateResult::e2e_ms`](crate::client::SimulateResult::e2e_ms)),
+    /// not a second stopwatch around the socket.
     pub latencies_ms: Vec<f64>,
+    /// Server-reported stage-span totals in milliseconds, summed across
+    /// every successful plain-`simulate` round trip, in first-seen stage
+    /// order. Empty when driving a pre-`/3` server or a batched loop.
+    pub stage_totals_ms: Vec<(String, f64)>,
 }
 
 impl LoadgenReport {
@@ -115,6 +119,37 @@ impl LoadgenReport {
             self.completed as f64 / (self.wall_ms / 1e3)
         }
     }
+
+    /// Total milliseconds attributed to `stage` across the run.
+    pub fn stage_total_ms(&self, stage: &str) -> f64 {
+        self.stage_totals_ms.iter().find(|(s, _)| s == stage).map_or(0.0, |(_, ms)| *ms)
+    }
+
+    /// Fraction of the summed client-measured latency that the server's
+    /// stage spans account for (`None` without latency samples). The
+    /// E22 span-accounting gate: close to 1.0 means the waterfall
+    /// explains the latency a caller actually saw; the remainder is the
+    /// wire and client-side overhead.
+    pub fn span_coverage(&self) -> Option<f64> {
+        let e2e: f64 = self.latencies_ms.iter().sum();
+        if e2e <= 0.0 {
+            return None;
+        }
+        let spans: f64 = self.stage_totals_ms.iter().map(|(_, ms)| ms).sum();
+        Some(spans / e2e)
+    }
+
+    /// `stage`'s share of the total stage-span time (`None` when no
+    /// stages were reported). `queue_wait`'s share crossing 0.5 is the
+    /// E22 signature of offered load passing capacity.
+    pub fn stage_share(&self, stage: &str) -> Option<f64> {
+        let total: f64 = self.stage_totals_ms.iter().map(|(_, ms)| ms).sum();
+        if total <= 0.0 {
+            None
+        } else {
+            Some(self.stage_total_ms(stage) / total)
+        }
+    }
 }
 
 /// Outcome counters of a single client's closed loop.
@@ -124,44 +159,24 @@ struct ClientTally {
     rejected: usize,
     errors: usize,
     latencies_ms: Vec<f64>,
+    stage_totals_ms: Vec<(String, f64)>,
 }
 
-/// Classify one response line into per-item outcome counts.
-fn tally_response(tally: &mut ClientTally, response: &str, items: usize) -> TallyKind {
-    match parse_response(response.trim()) {
-        Ok(Response::Result(v)) => {
-            match v.get("items").and_then(Value::as_arr) {
-                Some(arr) => {
-                    for item in arr {
-                        if item.get("ok").and_then(Value::as_bool) == Some(true) {
-                            tally.completed += 1;
-                        } else {
-                            tally.errors += 1;
-                        }
-                    }
-                }
-                None => tally.completed += items,
+impl ClientTally {
+    fn add_stages(&mut self, stages: &[(String, f64)]) {
+        for (stage, ms) in stages {
+            match self.stage_totals_ms.iter_mut().find(|(s, _)| s == stage) {
+                Some(slot) => slot.1 += ms,
+                None => self.stage_totals_ms.push((stage.clone(), *ms)),
             }
-            TallyKind::Result
-        }
-        Ok(Response::Overloaded { .. }) => {
-            tally.rejected += items;
-            TallyKind::Overloaded
-        }
-        Ok(Response::Error { .. }) | Err(_) => {
-            tally.errors += items;
-            TallyKind::Error
         }
     }
 }
 
-enum TallyKind {
-    Result,
-    Overloaded,
-    Error,
-}
-
-fn run_client(addr: &str, line: &str, requests: usize, items: usize) -> ClientTally {
+/// One client's closed loop, on the typed [`Client`]: latency samples are
+/// the client's own `e2e_ms` (no second stopwatch here) and the
+/// server-reported stage spans accumulate into the tally.
+fn run_client(addr: &str, spec: &SimulateReq, batch: usize, requests: usize) -> ClientTally {
     let mut tally = ClientTally::default();
     let mut client: Option<Client> = None;
     for _ in 0..requests {
@@ -169,26 +184,58 @@ fn run_client(addr: &str, line: &str, requests: usize, items: usize) -> ClientTa
             match Client::connect(addr) {
                 Ok(c) => client = Some(c),
                 Err(_) => {
-                    tally.errors += items;
+                    tally.errors += batch;
                     continue;
                 }
             }
         }
         let conn = client.as_mut().expect("connected above");
-        let started = Instant::now();
-        match conn.request_raw(line) {
-            Ok(response) => match tally_response(&mut tally, &response, items) {
-                TallyKind::Result => {
-                    tally.latencies_ms.push(started.elapsed().as_secs_f64() * 1e3);
+        if batch == 1 {
+            match conn.simulate(spec) {
+                Ok(res) => {
+                    tally.completed += 1;
+                    tally.latencies_ms.push(res.e2e_ms);
+                    tally.add_stages(&res.stages);
                 }
+                Err(ClientError::Server(_)) => tally.errors += 1,
                 // The server answers overloaded before reading and drops
                 // the connection; reconnect and keep going.
-                TallyKind::Overloaded => client = None,
-                TallyKind::Error => {}
-            },
-            Err(_) => {
-                tally.errors += items;
-                client = None; // reconnect and keep going
+                Err(ClientError::Overloaded { .. }) => {
+                    tally.rejected += 1;
+                    client = None;
+                }
+                Err(_) => {
+                    tally.errors += 1;
+                    client = None; // reconnect and keep going
+                }
+            }
+        } else {
+            match conn.simulate_batch(&vec![spec.clone(); batch], spec.deadline_ms) {
+                Ok(items) => {
+                    let mut e2e = None;
+                    for item in items {
+                        match item {
+                            Ok(res) => {
+                                tally.completed += 1;
+                                e2e = Some(res.e2e_ms);
+                            }
+                            Err(_) => tally.errors += 1,
+                        }
+                    }
+                    // One sample per batch round trip with a completion.
+                    if let Some(e2e_ms) = e2e {
+                        tally.latencies_ms.push(e2e_ms);
+                    }
+                }
+                Err(ClientError::Server(_)) => tally.errors += batch,
+                Err(ClientError::Overloaded { .. }) => {
+                    tally.rejected += batch;
+                    client = None;
+                }
+                Err(_) => {
+                    tally.errors += batch;
+                    client = None;
+                }
             }
         }
     }
@@ -244,17 +291,7 @@ fn seeds_for_shards(cfg: &LoadgenConfig, shards: usize) -> Vec<u64> {
 pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
     let batch = cfg.batch.max(1);
     let seeds = seeds_for_shards(cfg, cfg.shards.max(1));
-    let lines: Vec<String> = seeds
-        .iter()
-        .map(|&seed| {
-            let spec = spec_for_seed(cfg, seed);
-            if batch == 1 {
-                simulate_request_line(&spec)
-            } else {
-                batch_request_line(&vec![spec; batch], cfg.deadline_ms, None)
-            }
-        })
-        .collect();
+    let specs: Vec<SimulateReq> = seeds.iter().map(|&seed| spec_for_seed(cfg, seed)).collect();
     let mut sent = 0usize;
     let mut warm_completed = 0usize;
     let mut warm_errors = 0usize;
@@ -263,7 +300,7 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         // unavoidable plan-cache miss before the measured phase starts.
         for &seed in &seeds {
             sent += 1;
-            let warm_line = simulate_request_line(&spec_for_seed(cfg, seed));
+            let warm_line = simulate_request_line(&spec_for_seed(cfg, seed), None);
             let outcome = Client::connect(&cfg.addr).and_then(|mut c| c.request_raw(&warm_line));
             match outcome {
                 Ok(resp) => match parse_response(resp.trim()) {
@@ -279,8 +316,8 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|i| {
                 let addr = &cfg.addr;
-                let line = &lines[i % lines.len()];
-                s.spawn(move |_| run_client(addr, line, cfg.requests_per_client, batch))
+                let spec = &specs[i % specs.len()];
+                s.spawn(move |_| run_client(addr, spec, batch, cfg.requests_per_client))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("client panicked")).collect()
@@ -295,12 +332,19 @@ pub fn run(cfg: &LoadgenConfig) -> io::Result<LoadgenReport> {
         errors: warm_errors,
         wall_ms,
         latencies_ms: Vec::new(),
+        stage_totals_ms: Vec::new(),
     };
     for t in tallies {
         report.completed += t.completed;
         report.rejected += t.rejected;
         report.errors += t.errors;
         report.latencies_ms.extend(t.latencies_ms);
+        for (stage, ms) in t.stage_totals_ms {
+            match report.stage_totals_ms.iter_mut().find(|(s, _)| *s == stage) {
+                Some(slot) => slot.1 += ms,
+                None => report.stage_totals_ms.push((stage, ms)),
+            }
+        }
     }
     report.latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     Ok(report)
@@ -319,6 +363,7 @@ mod tests {
             errors: 0,
             wall_ms: 100.0,
             latencies_ms: vec![1.0, 2.0, 3.0, 10.0],
+            stage_totals_ms: Vec::new(),
         };
         assert_eq!(report.percentile_ms(0.0), Some(1.0));
         assert_eq!(report.percentile_ms(50.0), Some(3.0));
@@ -336,10 +381,13 @@ mod tests {
             errors: 0,
             wall_ms: 0.0,
             latencies_ms: Vec::new(),
+            stage_totals_ms: Vec::new(),
         };
         assert_eq!(report.percentile_ms(99.0), None);
         assert_eq!(report.mean_ms(), None);
         assert_eq!(report.throughput_rps(), 0.0);
+        assert_eq!(report.span_coverage(), None);
+        assert_eq!(report.stage_share("queue_wait"), None);
     }
 
     #[test]
@@ -374,12 +422,30 @@ mod tests {
     }
 
     #[test]
-    fn batch_responses_tally_per_item() {
+    fn stage_totals_accumulate_and_expose_coverage() {
         let mut tally = ClientTally::default();
-        let line = "{\"proto\":\"unet-serve/2\",\"kind\":\"result\",\"req\":\"batch\",\
-                    \"items\":[{\"ok\":true},{\"ok\":false,\"code\":\"bad-spec\",\
-                    \"message\":\"x\"},{\"ok\":true}]}";
-        assert!(matches!(tally_response(&mut tally, line, 3), TallyKind::Result));
-        assert_eq!((tally.completed, tally.errors, tally.rejected), (2, 1, 0));
+        tally.add_stages(&[("queue_wait".into(), 6.0), ("simulate".into(), 2.0)]);
+        tally.add_stages(&[("queue_wait".into(), 4.0), ("serialize".into(), 0.5)]);
+        assert_eq!(
+            tally.stage_totals_ms,
+            vec![
+                ("queue_wait".to_string(), 10.0),
+                ("simulate".to_string(), 2.0),
+                ("serialize".to_string(), 0.5)
+            ]
+        );
+        let report = LoadgenReport {
+            sent: 2,
+            completed: 2,
+            rejected: 0,
+            errors: 0,
+            wall_ms: 20.0,
+            latencies_ms: vec![5.0, 20.0],
+            stage_totals_ms: tally.stage_totals_ms,
+        };
+        assert_eq!(report.stage_total_ms("queue_wait"), 10.0);
+        assert_eq!(report.stage_total_ms("unknown"), 0.0);
+        assert_eq!(report.span_coverage(), Some(12.5 / 25.0));
+        assert_eq!(report.stage_share("queue_wait"), Some(10.0 / 12.5));
     }
 }

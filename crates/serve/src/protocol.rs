@@ -1,16 +1,16 @@
-//! The `unet-serve/2` wire protocol (with a `unet-serve/1` compatibility
-//! reader).
+//! The `unet-serve/3` wire protocol (with `unet-serve/2` and
+//! `unet-serve/1` compatibility readers).
 //!
 //! Newline-delimited JSON over TCP, one request and one response per line,
 //! versioned by a mandatory `proto` field. Four request kinds:
 //!
 //! ```text
-//! {"proto":"unet-serve/2","kind":"simulate","guest":"ring:24","host":"torus:3x3",
-//!  "steps":3,"seed":7,"deadline_ms":5000,"id":1}
-//! {"proto":"unet-serve/2","kind":"batch","items":[{"guest":"ring:24",
+//! {"proto":"unet-serve/3","kind":"simulate","guest":"ring:24","host":"torus:3x3",
+//!  "steps":3,"seed":7,"deadline_ms":5000,"id":1,"trace":{"id":"00000000c0ffee42"}}
+//! {"proto":"unet-serve/3","kind":"batch","items":[{"guest":"ring:24",
 //!  "host":"torus:3x3","steps":3,"seed":7}, ...],"deadline_ms":5000,"id":2}
-//! {"proto":"unet-serve/2","kind":"analyze","trace":["<jsonl line>", ...],"id":3}
-//! {"proto":"unet-serve/2","kind":"metrics","id":4}
+//! {"proto":"unet-serve/3","kind":"analyze","trace_lines":["<jsonl line>", ...],"id":3}
+//! {"proto":"unet-serve/3","kind":"metrics","id":4}
 //! ```
 //!
 //! and three response kinds:
@@ -32,13 +32,21 @@
 //!
 //! ## Version negotiation
 //!
-//! The server reads both `unet-serve/1` and `unet-serve/2` requests and
-//! stamps each response with the version the request spoke, so a `/1`
-//! client keeps seeing well-formed `/1` lines. The `batch` kind is `/2`
-//! only. Unknown versions get a typed `unsupported-protocol` error, not a
-//! hangup. The one asymmetry: `overloaded` is emitted before the request
-//! line is read, so it is always stamped with the server-native version —
-//! clients of either version parse it (the fields are identical).
+//! The server reads `unet-serve/1`, `/2`, and `/3` requests and stamps
+//! each response with the version the request spoke, so a `/1` client
+//! keeps seeing well-formed `/1` lines. The `batch` kind is `/2`+. `/3`
+//! adds the **trace context**: an optional `"trace":{"id":"<16 hex>"}`
+//! object on any request, carrying the distributed trace id assigned at
+//! first ingress (client, router, or server — whoever sees the request
+//! first calls [`gen_trace_id`]). Because `/1` and `/2` used the `trace`
+//! key for the analyze payload, `/3` renames that payload to
+//! `trace_lines`; the reader still accepts an *array* under `trace` from
+//! older clients (the context is always an object, so the two never
+//! collide). Unknown versions get a typed `unsupported-protocol` error,
+//! not a hangup. The one asymmetry: `overloaded` is emitted before the
+//! request line is read, so it is always stamped with the server-native
+//! version — clients of every version parse it (the fields are
+//! identical).
 //!
 //! Graph specifications are the same `family:params` strings the CLI takes
 //! everywhere else ([`unet_core::spec::parse_graph`]).
@@ -46,9 +54,13 @@
 use unet_obs::json::Value;
 
 /// The server-native protocol version every request and response carries.
-pub const PROTOCOL: &str = "unet-serve/2";
+pub const PROTOCOL: &str = "unet-serve/3";
 
-/// The previous protocol version, still accepted by the compatibility
+/// The `/2` protocol version, still accepted by the compatibility reader
+/// and echoed back to `/2` clients.
+pub const PROTOCOL_V2: &str = "unet-serve/2";
+
+/// The original protocol version, still accepted by the compatibility
 /// reader and echoed back to `/1` clients.
 pub const PROTOCOL_V1: &str = "unet-serve/1";
 
@@ -57,8 +69,10 @@ pub const PROTOCOL_V1: &str = "unet-serve/1";
 pub enum ProtoVersion {
     /// `unet-serve/1` — no `batch` kind, no `retry_after_ms`.
     V1,
-    /// `unet-serve/2` — the current protocol.
+    /// `unet-serve/2` — adds `batch` and `retry_after_ms`.
     V2,
+    /// `unet-serve/3` — adds the `trace` context and per-stage timings.
+    V3,
 }
 
 impl ProtoVersion {
@@ -66,9 +80,34 @@ impl ProtoVersion {
     pub fn as_str(self) -> &'static str {
         match self {
             ProtoVersion::V1 => PROTOCOL_V1,
-            ProtoVersion::V2 => PROTOCOL,
+            ProtoVersion::V2 => PROTOCOL_V2,
+            ProtoVersion::V3 => PROTOCOL,
         }
     }
+}
+
+/// Mint a fresh 16-hex-digit trace id: a process-global counter FNV-mixed
+/// with the wall clock, so ids are unique within a process and almost
+/// surely unique across the tier without any coordination.
+pub fn gen_trace_id() -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in n.to_le_bytes().into_iter().chain(nanos.to_le_bytes()) {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// The wire form of the trace context: `"trace":{"id":"<trace_id>"}`.
+pub fn trace_field(trace_id: &str) -> (String, Value) {
+    ("trace".to_string(), Value::Obj(vec![("id".to_string(), Value::Str(trace_id.to_string()))]))
 }
 
 /// Why a request line failed to parse.
@@ -183,22 +222,36 @@ fn parse_simulate_fields(v: &Value, id: Option<u64>) -> Result<SimulateReq, Stri
     })
 }
 
-/// Parse one request line, returning the protocol version it spoke so the
-/// response can be stamped to match. [`ParseError::UnsupportedProto`]
-/// deserves a typed `unsupported-protocol` response, never a hangup.
-pub fn parse_request(line: &str) -> Result<(ProtoVersion, Request), ParseError> {
+/// Parse one request line, returning the protocol version it spoke (so
+/// the response can be stamped to match) and the trace context's id when
+/// the client sent one. [`ParseError::UnsupportedProto`] deserves a typed
+/// `unsupported-protocol` response, never a hangup.
+pub fn parse_request(line: &str) -> Result<(ProtoVersion, Option<String>, Request), ParseError> {
     let v = unet_obs::json::parse(line).map_err(ParseError::Malformed)?;
     let ver = match v.get("proto").and_then(Value::as_str) {
-        Some(PROTOCOL) => ProtoVersion::V2,
+        Some(PROTOCOL) => ProtoVersion::V3,
+        Some(PROTOCOL_V2) => ProtoVersion::V2,
         Some(PROTOCOL_V1) => ProtoVersion::V1,
         Some(other) => {
             return Err(ParseError::UnsupportedProto(format!(
-            "unsupported protocol {other:?} (this server speaks {PROTOCOL:?} and {PROTOCOL_V1:?})"
-        )))
+                "unsupported protocol {other:?} (this server speaks {PROTOCOL:?}, \
+                 {PROTOCOL_V2:?}, and {PROTOCOL_V1:?})"
+            )))
         }
         None => {
             return Err(ParseError::Malformed(format!("missing `proto` field (want {PROTOCOL:?})")))
         }
+    };
+    // The trace context is always an object; /1 and /2 analyze requests
+    // put their JSONL payload under the same key as an *array*, which
+    // `Value::get` on a non-object simply misses.
+    let trace_id = match v.get("trace") {
+        Some(t) if t.as_arr().is_none() => {
+            Some(t.get("id").and_then(Value::as_str).map(str::to_string).ok_or_else(|| {
+                ParseError::Malformed("`trace` context needs a string `id` field".into())
+            })?)
+        }
+        _ => None,
     };
     let id = v.get("id").and_then(Value::as_u64);
     let req = match v.get("kind").and_then(Value::as_str) {
@@ -208,7 +261,7 @@ pub fn parse_request(line: &str) -> Result<(ProtoVersion, Request), ParseError> 
         Some("batch") => {
             if ver == ProtoVersion::V1 {
                 return Err(ParseError::Malformed(format!(
-                    "the `batch` kind needs {PROTOCOL:?} (got {PROTOCOL_V1:?})"
+                    "the `batch` kind needs {PROTOCOL_V2:?} or newer (got {PROTOCOL_V1:?})"
                 )));
             }
             let arr = v
@@ -232,14 +285,24 @@ pub fn parse_request(line: &str) -> Result<(ProtoVersion, Request), ParseError> 
             })
         }
         Some("analyze") => {
-            let arr = v.get("trace").and_then(Value::as_arr).ok_or_else(|| {
-                ParseError::Malformed("analyze needs a `trace` array of JSONL lines".into())
-            })?;
+            let arr = v
+                .get("trace_lines")
+                .and_then(Value::as_arr)
+                .or_else(|| v.get("trace").and_then(Value::as_arr))
+                .ok_or_else(|| {
+                    ParseError::Malformed(
+                        "analyze needs a `trace_lines` array of JSONL lines \
+                         (`trace` in /1 and /2)"
+                            .into(),
+                    )
+                })?;
             let trace = arr
                 .iter()
                 .map(|l| {
                     l.as_str().map(str::to_string).ok_or_else(|| {
-                        ParseError::Malformed("analyze `trace` entries must all be strings".into())
+                        ParseError::Malformed(
+                            "analyze `trace_lines` entries must all be strings".into(),
+                        )
                     })
                 })
                 .collect::<Result<Vec<_>, _>>()?;
@@ -251,7 +314,7 @@ pub fn parse_request(line: &str) -> Result<(ProtoVersion, Request), ParseError> 
         }
         None => return Err(ParseError::Malformed("missing `kind` field".into())),
     };
-    Ok((ver, req))
+    Ok((ver, trace_id, req))
 }
 
 fn envelope(ver: ProtoVersion, kind: &str, id: Option<u64>) -> Vec<(String, Value)> {
@@ -308,9 +371,9 @@ pub fn batch_item_value(outcome: Result<Vec<(String, Value)>, (String, String)>)
 /// Build the typed backpressure rejection the acceptor sends when the
 /// admission queue is full. Emitted before the request line is read, so it
 /// is stamped with the server-native version; the fields parse identically
-/// under both protocols.
+/// under every protocol version.
 pub fn overloaded_line(queue_cap: usize, retry_after_ms: u64) -> String {
-    let mut fields = envelope(ProtoVersion::V2, "overloaded", None);
+    let mut fields = envelope(ProtoVersion::V3, "overloaded", None);
     fields.push(("queue_cap".to_string(), Value::UInt(queue_cap as u64)));
     fields.push(("retry_after_ms".to_string(), Value::UInt(retry_after_ms)));
     Value::Obj(fields).to_json()
@@ -332,32 +395,40 @@ fn simulate_fields(req: &SimulateReq) -> Vec<(String, Value)> {
     fields
 }
 
-/// Build a `simulate` request line (the client/loadgen side of
-/// [`parse_request`]).
-pub fn simulate_request_line(req: &SimulateReq) -> String {
+fn request_envelope(kind: &str, trace_id: Option<&str>) -> Vec<(String, Value)> {
     let mut fields = vec![
         ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
-        ("kind".to_string(), Value::Str("simulate".to_string())),
+        ("kind".to_string(), Value::Str(kind.to_string())),
     ];
+    if let Some(t) = trace_id {
+        fields.push(trace_field(t));
+    }
+    fields
+}
+
+/// Build a `simulate` request line (the client/loadgen side of
+/// [`parse_request`]). Pass a trace id to propagate an existing trace
+/// context; `None` lets the server assign one at ingress.
+pub fn simulate_request_line(req: &SimulateReq, trace_id: Option<&str>) -> String {
+    let mut fields = request_envelope("simulate", trace_id);
     fields.extend(simulate_fields(req));
     Value::Obj(fields).to_json()
 }
 
 /// Build a `batch` request line: every spec's fields are inlined as one
-/// `items` entry; `deadline_ms` and `id` live on the envelope.
+/// `items` entry; `deadline_ms`, `id`, and the trace context live on the
+/// envelope.
 pub fn batch_request_line(
     items: &[SimulateReq],
     deadline_ms: Option<u64>,
     id: Option<u64>,
+    trace_id: Option<&str>,
 ) -> String {
-    let mut fields = vec![
-        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
-        ("kind".to_string(), Value::Str("batch".to_string())),
-        (
-            "items".to_string(),
-            Value::Arr(items.iter().map(|r| Value::Obj(simulate_fields(r))).collect()),
-        ),
-    ];
+    let mut fields = request_envelope("batch", trace_id);
+    fields.push((
+        "items".to_string(),
+        Value::Arr(items.iter().map(|r| Value::Obj(simulate_fields(r))).collect()),
+    ));
     if let Some(d) = deadline_ms {
         fields.push(("deadline_ms".to_string(), Value::UInt(d)));
     }
@@ -368,12 +439,12 @@ pub fn batch_request_line(
 }
 
 /// Build an `analyze` request line.
-pub fn analyze_request_line(trace: &[String], id: Option<u64>) -> String {
-    let mut fields = vec![
-        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
-        ("kind".to_string(), Value::Str("analyze".to_string())),
-        ("trace".to_string(), Value::Arr(trace.iter().map(|l| Value::Str(l.clone())).collect())),
-    ];
+pub fn analyze_request_line(trace: &[String], id: Option<u64>, trace_id: Option<&str>) -> String {
+    let mut fields = request_envelope("analyze", trace_id);
+    fields.push((
+        "trace_lines".to_string(),
+        Value::Arr(trace.iter().map(|l| Value::Str(l.clone())).collect()),
+    ));
     if let Some(id) = id {
         fields.push(("id".to_string(), Value::UInt(id)));
     }
@@ -381,11 +452,8 @@ pub fn analyze_request_line(trace: &[String], id: Option<u64>) -> String {
 }
 
 /// Build a `metrics` request line.
-pub fn metrics_request_line(id: Option<u64>) -> String {
-    let mut fields = vec![
-        ("proto".to_string(), Value::Str(PROTOCOL.to_string())),
-        ("kind".to_string(), Value::Str("metrics".to_string())),
-    ];
+pub fn metrics_request_line(id: Option<u64>, trace_id: Option<&str>) -> String {
+    let mut fields = request_envelope("metrics", trace_id);
     if let Some(id) = id {
         fields.push(("id".to_string(), Value::UInt(id)));
     }
@@ -416,14 +484,18 @@ pub enum Response {
     },
 }
 
-/// Parse one response line. Accepts responses of either protocol version
-/// (a retrying client may see a server-native `/2` `overloaded` even when
-/// it spoke `/1`).
+/// Parse one response line. Accepts responses of every protocol version
+/// (a retrying client may see a server-native `/3` `overloaded` even when
+/// it spoke `/1` or `/2`).
 pub fn parse_response(line: &str) -> Result<Response, String> {
     let v = unet_obs::json::parse(line)?;
     match v.get("proto").and_then(Value::as_str) {
-        Some(PROTOCOL) | Some(PROTOCOL_V1) => {}
-        _ => return Err(format!("response is not {PROTOCOL:?} or {PROTOCOL_V1:?}: {line}")),
+        Some(PROTOCOL) | Some(PROTOCOL_V2) | Some(PROTOCOL_V1) => {}
+        _ => {
+            return Err(format!(
+                "response is not {PROTOCOL:?}, {PROTOCOL_V2:?}, or {PROTOCOL_V1:?}: {line}"
+            ))
+        }
     }
     match v.get("kind").and_then(Value::as_str) {
         Some("result") => Ok(Response::Result(v)),
@@ -454,8 +526,37 @@ mod tests {
             deadline_ms: Some(5000),
             id: Some(41),
         };
-        let line = simulate_request_line(&req);
-        assert_eq!(parse_request(&line).unwrap(), (ProtoVersion::V2, Request::Simulate(req)));
+        let line = simulate_request_line(&req, None);
+        assert_eq!(
+            parse_request(&line).unwrap(),
+            (ProtoVersion::V3, None, Request::Simulate(req.clone()))
+        );
+        // With a trace context the id comes back alongside the request.
+        let traced = simulate_request_line(&req, Some("00000000c0ffee42"));
+        assert_eq!(
+            parse_request(&traced).unwrap(),
+            (ProtoVersion::V3, Some("00000000c0ffee42".into()), Request::Simulate(req))
+        );
+    }
+
+    #[test]
+    fn trace_ids_are_sixteen_hex_and_unique() {
+        let a = gen_trace_id();
+        let b = gen_trace_id();
+        assert_ne!(a, b);
+        for t in [&a, &b] {
+            assert_eq!(t.len(), 16, "trace id {t:?} is not 16 chars");
+            assert!(t.chars().all(|c| c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn malformed_trace_context_is_rejected() {
+        let line =
+            format!("{{\"proto\":{PROTOCOL:?},\"kind\":\"metrics\",\"trace\":{{\"nope\":1}}}}");
+        assert!(
+            matches!(parse_request(&line), Err(ParseError::Malformed(m)) if m.contains("trace"))
+        );
     }
 
     #[test]
@@ -468,9 +569,9 @@ mod tests {
             deadline_ms: None,
             id: None,
         };
-        let line = batch_request_line(&[good.clone(), good.clone()], Some(5000), Some(9));
+        let line = batch_request_line(&[good.clone(), good.clone()], Some(5000), Some(9), None);
         match parse_request(&line).unwrap() {
-            (ProtoVersion::V2, Request::Batch(b)) => {
+            (ProtoVersion::V3, None, Request::Batch(b)) => {
                 assert_eq!(b.items, vec![Ok(good.clone()), Ok(good)]);
                 assert_eq!(b.deadline_ms, Some(5000));
                 assert_eq!(b.id, Some(9));
@@ -484,7 +585,7 @@ mod tests {
              {{\"guest\":\"ring:8\",\"host\":\"torus:2x2\"}}]}}"
         );
         match parse_request(&mixed).unwrap() {
-            (_, Request::Batch(b)) => {
+            (_, _, Request::Batch(b)) => {
                 assert!(b.items[0].is_ok());
                 assert!(b.items[1].as_ref().unwrap_err().contains("steps"));
             }
@@ -509,16 +610,51 @@ mod tests {
     #[test]
     fn analyze_and_metrics_round_trip() {
         let trace = vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()];
-        let line = analyze_request_line(&trace, Some(9));
+        let line = analyze_request_line(&trace, Some(9), None);
         assert_eq!(
             parse_request(&line).unwrap(),
-            (ProtoVersion::V2, Request::Analyze { trace, id: Some(9) })
+            (ProtoVersion::V3, None, Request::Analyze { trace, id: Some(9) })
         );
-        let line = metrics_request_line(None);
+        let line = metrics_request_line(None, None);
         assert_eq!(
             parse_request(&line).unwrap(),
-            (ProtoVersion::V2, Request::Metrics { id: None })
+            (ProtoVersion::V3, None, Request::Metrics { id: None })
         );
+    }
+
+    #[test]
+    fn v2_requests_still_parse_and_echo_v2() {
+        // Golden /2 lines, written out verbatim: the compatibility reader
+        // must keep accepting yesterday's wire format byte-for-byte.
+        let sim = "{\"proto\":\"unet-serve/2\",\"kind\":\"simulate\",\"guest\":\"ring:8\",\
+                   \"host\":\"torus:2x2\",\"steps\":2,\"seed\":3,\"id\":11}";
+        match parse_request(sim).unwrap() {
+            (ProtoVersion::V2, None, Request::Simulate(r)) => {
+                assert_eq!(r.guest, "ring:8");
+                assert_eq!(r.id, Some(11));
+            }
+            other => panic!("expected /2 simulate, got {other:?}"),
+        }
+        // /2 analyze still carries its JSONL payload under `trace` (an
+        // array — never mistaken for the /3 trace context object).
+        let ana = "{\"proto\":\"unet-serve/2\",\"kind\":\"analyze\",\
+                   \"trace\":[\"{\\\"a\\\":1}\"],\"id\":5}";
+        match parse_request(ana).unwrap() {
+            (ProtoVersion::V2, None, Request::Analyze { trace, id }) => {
+                assert_eq!(trace, vec!["{\"a\":1}".to_string()]);
+                assert_eq!(id, Some(5));
+            }
+            other => panic!("expected /2 analyze, got {other:?}"),
+        }
+        let batch = "{\"proto\":\"unet-serve/2\",\"kind\":\"batch\",\"items\":[\
+                     {\"guest\":\"ring:8\",\"host\":\"torus:2x2\",\"steps\":2}]}";
+        assert!(matches!(
+            parse_request(batch).unwrap(),
+            (ProtoVersion::V2, None, Request::Batch(_))
+        ));
+        let resp = result_line(ProtoVersion::V2, "metrics", Some(5), vec![]);
+        assert!(resp.contains(PROTOCOL_V2));
+        assert!(parse_response(&resp).is_ok());
     }
 
     #[test]
@@ -526,7 +662,7 @@ mod tests {
         let line = format!("{{\"proto\":{PROTOCOL_V1:?},\"kind\":\"metrics\",\"id\":4}}");
         assert_eq!(
             parse_request(&line).unwrap(),
-            (ProtoVersion::V1, Request::Metrics { id: Some(4) })
+            (ProtoVersion::V1, None, Request::Metrics { id: Some(4) })
         );
         let resp = result_line(ProtoVersion::V1, "metrics", Some(4), vec![]);
         assert!(resp.contains(PROTOCOL_V1));

@@ -86,8 +86,9 @@ use std::time::{Duration, Instant};
 
 use crate::client::Client;
 use crate::protocol::{
-    batch_item_value, batch_request_line, error_line, metrics_request_line, overloaded_line,
-    parse_request, parse_response, result_line, ProtoVersion, Request, Response, SimulateReq,
+    analyze_request_line, batch_item_value, batch_request_line, error_line, gen_trace_id,
+    metrics_request_line, overloaded_line, parse_request, parse_response, result_line,
+    simulate_request_line, ProtoVersion, Request, Response, SimulateReq,
 };
 use crate::queue::BoundedQueue;
 use crate::ring::Ring;
@@ -96,7 +97,9 @@ use unet_core::routers::Router as _;
 use unet_core::spec::parse_graph;
 use unet_core::{workload_fingerprint, Embedding};
 use unet_obs::json::Value;
-use unet_obs::{InMemoryRecorder, MetricsRegistry, Recorder};
+use unet_obs::tailsample::DEFAULT_HEAD_PERMILLE;
+use unet_obs::trace::{export_full, RequestRecord, RunMeta, SampleReason, StageSpan};
+use unet_obs::{InMemoryRecorder, MetricsRegistry, Recorder, TailSampler};
 use unet_topology::par::default_threads;
 
 /// Router configuration (all fields except `backends` have serviceable
@@ -133,6 +136,11 @@ pub struct ShardConfig {
     /// Cap on the exponential reinstatement backoff (default 5 000 ms;
     /// the backoff starts at 100 ms and doubles per failed re-probe).
     pub max_backoff_ms: u64,
+    /// Head-sampling rate for the router's per-request stage records, in
+    /// permille (default [`DEFAULT_HEAD_PERMILLE`]). The same trace id
+    /// hashes to the same coin on router and backends, so a head-sampled
+    /// request is kept on every tier.
+    pub head_sample_permille: u32,
 }
 
 impl Default for ShardConfig {
@@ -146,6 +154,7 @@ impl Default for ShardConfig {
             probe_interval_ms: 100,
             eject_after: 3,
             max_backoff_ms: 5_000,
+            head_sample_permille: DEFAULT_HEAD_PERMILLE,
         }
     }
 }
@@ -183,6 +192,11 @@ pub struct RouterDrainReport {
     /// registries are live-aggregated by the `metrics` request kind, not
     /// replayed here).
     pub exposition: String,
+    /// JSONL trace of the router recorder, including the tail-sampled
+    /// per-request stage records (`forward`, `retry`, `failover`, …) —
+    /// merge it with backend drain traces in `unet trace-requests` to see
+    /// one trace id's full waterfall across the tier.
+    pub trace: String,
 }
 
 /// Reinstatement backoff starts here and doubles per failed re-probe.
@@ -230,6 +244,11 @@ struct RouterShared {
     conn_limit: usize,
     eject_after: u32,
     max_backoff: Duration,
+    /// Tail-sampled per-request stage records, drained into the trace.
+    sampler: Mutex<TailSampler>,
+    /// Slowest request so far; its trace id rides the latency histogram's
+    /// `max` gauge as an exemplar.
+    latency_exemplar: Mutex<Option<(String, f64)>>,
 }
 
 /// A running shard router; construct with [`Router::start`], stop with
@@ -280,6 +299,8 @@ impl Router {
             conn_limit: cfg.backend_conns.max(1),
             eject_after: cfg.eject_after.max(1),
             max_backoff: Duration::from_millis(cfg.max_backoff_ms.max(1)),
+            sampler: Mutex::new(TailSampler::new(cfg.head_sample_permille)),
+            latency_exemplar: Mutex::new(None),
         });
         {
             let mut rec = shared.recorder.lock().expect("recorder poisoned");
@@ -332,7 +353,22 @@ impl Router {
     /// (the `unet shard` CLI drains the shards it spawned itself).
     pub fn drain(mut self) -> RouterDrainReport {
         self.stop_threads();
-        let rec = self.shared.recorder.lock().expect("recorder poisoned");
+        let (requests, dropped) = {
+            let mut sampler = self.shared.sampler.lock().expect("sampler poisoned");
+            let dropped = sampler.dropped();
+            (sampler.drain(), dropped)
+        };
+        let mut rec = self.shared.recorder.lock().expect("recorder poisoned");
+        rec.counter("shard.trace.requests_sampled", requests.len() as u64);
+        rec.counter("shard.trace.requests_dropped", dropped);
+        let meta = RunMeta {
+            command: "shard".to_string(),
+            guest: "-".to_string(),
+            host: "-".to_string(),
+            n: 0,
+            m: 0,
+            guest_steps: 0,
+        };
         RouterDrainReport {
             stats: router_stats_of(&rec, &self.shared),
             // Labeled `shard="router"` like the live aggregation, so drain
@@ -342,6 +378,7 @@ impl Router {
                 "router".to_string(),
                 router_exposition_of(&rec, &self.shared),
             )]),
+            trace: export_full(&rec, &meta, &[], &requests, None),
         }
     }
 
@@ -385,13 +422,32 @@ fn router_stats_of(rec: &InMemoryRecorder, shared: &RouterShared) -> RouterStats
 
 /// The router's own registry, unlabeled — `handle_metrics` and
 /// [`Router::drain`] both label it `shard="router"` when they emit it.
+/// The per-stage `shard.stage.*_us` histograms recorded by every handled
+/// request surface here as the router's stage breakdown.
 fn router_exposition_of(rec: &InMemoryRecorder, shared: &RouterShared) -> String {
     let mut reg = MetricsRegistry::from_recorder(rec);
     reg.set_gauge(
         "shard.backends.healthy",
         shared.backends.iter().filter(|b| b.healthy.load(Ordering::SeqCst)).count() as f64,
     );
+    let exemplar = shared.latency_exemplar.lock().expect("exemplar poisoned").clone();
+    if let Some((trace_id, ms)) = exemplar {
+        reg.set_exemplar("serve.request.latency_ms.max", &trace_id, ms);
+    }
     reg.expose()
+}
+
+/// The recorder histogram a stage span lands in (recorder names must be
+/// `'static`, so the fixed stage set maps to a fixed metric set).
+fn stage_metric(stage: &'static str) -> &'static str {
+    match stage {
+        "accept" => "shard.stage.accept_us",
+        "forward" => "shard.stage.forward_us",
+        "retry" => "shard.stage.retry_us",
+        "failover" => "shard.stage.failover_us",
+        "serialize" => "shard.stage.serialize_us",
+        _ => "shard.stage.other_us",
+    }
 }
 
 fn accept_loop(listener: &TcpListener, shared: &RouterShared) {
@@ -399,6 +455,9 @@ fn accept_loop(listener: &TcpListener, shared: &RouterShared) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
+                // Same small-line ping-pong as the backend server: Nagle
+                // plus delayed ACK would stall every follow-up request.
+                let _ = stream.set_nodelay(true);
                 admit(shared, stream);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -444,16 +503,44 @@ fn serve_router_connection(shared: &RouterShared, stream: TcpStream) {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
                     let started = Instant::now();
-                    let response = route_request(shared, trimmed);
-                    if writeln!(writer, "{response}").and_then(|_| writer.flush()).is_err() {
+                    let (response, mut info) = route_request(shared, trimmed);
+                    let write_started = Instant::now();
+                    let write_ok =
+                        writeln!(writer, "{response}").and_then(|_| writer.flush()).is_ok();
+                    info.stages.push(("serialize", write_started.elapsed().as_secs_f64() * 1e3));
+                    let e2e_ms = started.elapsed().as_secs_f64() * 1e3;
+                    {
+                        let mut rec = shared.recorder.lock().expect("recorder poisoned");
+                        rec.counter("shard.requests.completed", 1);
+                        // Same histogram name as the server so the shared
+                        // `retry_after_hint` shape applies at the router too.
+                        rec.histogram("serve.request.latency_ms", e2e_ms as u64);
+                        for &(stage, ms) in &info.stages {
+                            rec.histogram(stage_metric(stage), (ms * 1e3) as u64);
+                        }
+                    }
+                    {
+                        let mut ex = shared.latency_exemplar.lock().expect("exemplar poisoned");
+                        if ex.as_ref().is_none_or(|(_, ms)| e2e_ms >= *ms) {
+                            *ex = Some((info.trace_id.clone(), e2e_ms));
+                        }
+                    }
+                    let record = RequestRecord {
+                        trace_id: info.trace_id,
+                        kind: info.kind.to_string(),
+                        ok: info.ok,
+                        e2e_ms,
+                        sampled: SampleReason::Head,
+                        stages: info
+                            .stages
+                            .into_iter()
+                            .map(|(stage, ms)| StageSpan { stage: stage.to_string(), ms })
+                            .collect(),
+                    };
+                    shared.sampler.lock().expect("sampler poisoned").offer(record);
+                    if !write_ok {
                         return;
                     }
-                    let ms = started.elapsed().as_millis() as u64;
-                    let mut rec = shared.recorder.lock().expect("recorder poisoned");
-                    rec.counter("shard.requests.completed", 1);
-                    // Same histogram name as the server so the shared
-                    // `retry_after_hint` shape applies at the router too.
-                    rec.histogram("serve.request.latency_ms", ms);
                 }
                 line.clear();
             }
@@ -577,12 +664,17 @@ fn record_success(shared: &RouterShared, i: usize) {
 /// successor order; plain index order for unkeyed requests), skipping
 /// ejected backends on the first pass and trying them anyway if nothing
 /// healthy remains. Bounded: every backend is attempted at most once.
+///
+/// Attempt wall time lands in `spans`: the first attempt is the
+/// `forward` span; later attempts are `retry` when the previous shard
+/// shed the request (overload) and `failover` when it was unreachable.
 fn forward_with_failover(
     shared: &RouterShared,
     fingerprint: Option<u64>,
     line: &str,
     ver: ProtoVersion,
     id: Option<u64>,
+    spans: &mut Vec<(&'static str, f64)>,
 ) -> String {
     let order = match fingerprint {
         Some(fp) => shared.ring.successors(fp),
@@ -594,7 +686,10 @@ fn forward_with_failover(
     }
     let mut last_overloaded: Option<String> = None;
     let mut attempts = 0u64;
-    for pass in 0..2 {
+    let (mut forward_ms, mut retry_ms, mut failover_ms) = (0.0f64, 0.0f64, 0.0f64);
+    let mut next_is_retry = false;
+    let mut response: Option<String> = None;
+    'order: for pass in 0..2 {
         for &i in &order {
             let healthy = shared.backends[i].healthy.load(Ordering::SeqCst);
             // Pass 0 trusts the health view; pass 1 is the last resort
@@ -604,7 +699,17 @@ fn forward_with_failover(
                 continue;
             }
             attempts += 1;
-            match try_forward(shared, i, line) {
+            let attempt_started = Instant::now();
+            let outcome = try_forward(shared, i, line);
+            let attempt_ms = attempt_started.elapsed().as_secs_f64() * 1e3;
+            if attempts == 1 {
+                forward_ms += attempt_ms;
+            } else if next_is_retry {
+                retry_ms += attempt_ms;
+            } else {
+                failover_ms += attempt_ms;
+            }
+            match outcome {
                 Ok(ForwardOutcome::Response(resp)) => {
                     record_success(shared, i);
                     if attempts > 1 {
@@ -614,17 +719,34 @@ fn forward_with_failover(
                             rec.counter("shard.overloads.absorbed", 1);
                         }
                     }
-                    return resp;
+                    response = Some(resp);
+                    break 'order;
                 }
                 Ok(ForwardOutcome::Overloaded(resp)) => {
                     // Saturation is not sickness: an overloaded shard is
                     // alive and explicitly shedding, so it keeps its
                     // health but loses this request to a ring successor.
                     last_overloaded = Some(resp);
+                    next_is_retry = true;
                 }
-                Err(()) => record_failure(shared, i),
+                Err(()) => {
+                    record_failure(shared, i);
+                    next_is_retry = false;
+                }
             }
         }
+    }
+    if forward_ms > 0.0 {
+        spans.push(("forward", forward_ms));
+    }
+    if retry_ms > 0.0 {
+        spans.push(("retry", retry_ms));
+    }
+    if failover_ms > 0.0 {
+        spans.push(("failover", failover_ms));
+    }
+    if let Some(resp) = response {
+        return resp;
     }
     if let Some(resp) = last_overloaded {
         // Every shard is saturated: pass the typed backpressure through
@@ -634,35 +756,93 @@ fn forward_with_failover(
     error_line(ver, "unavailable", "no backend shard answered (all ejected or unreachable)", id)
 }
 
+/// What [`route_request`] learned about one request, for the connection
+/// loop's trace record and stage histograms.
+struct RouteInfo {
+    trace_id: String,
+    kind: &'static str,
+    ok: bool,
+    stages: Vec<(&'static str, f64)>,
+}
+
 /// Dispatch one client line. Requests the router does not add value to
 /// (`analyze`, malformed lines, unsupported protocol versions) are
 /// forwarded verbatim so the backend produces the exact response a
 /// single-server deployment would.
-fn route_request(shared: &RouterShared, line: &str) -> String {
-    match parse_request(line) {
-        Ok((ver, Request::Metrics { id })) => handle_metrics(shared, ver, id),
-        Ok((ver, Request::Batch(batch))) => handle_batch(shared, ver, batch),
-        Ok((ver, Request::Simulate(req))) => {
-            let fp = simulate_fingerprint(&req).ok();
-            forward_with_failover(shared, fp.or(Some(0)), line, ver, req.id)
-        }
-        Ok((ver, Request::Analyze { id, .. })) => {
-            forward_with_failover(shared, None, line, ver, id)
+///
+/// Trace ingress: a `/3` request that arrives without a trace context is
+/// re-lined with a router-assigned `trace_id` so the backend records its
+/// stage spans under the same id the router samples. `/1` and `/2` lines
+/// are forwarded byte-for-byte (adding a `trace` field would break the
+/// version echo), so the backend assigns its own id for those.
+fn route_request(shared: &RouterShared, line: &str) -> (String, RouteInfo) {
+    let parse_started = Instant::now();
+    let parsed = parse_request(line);
+    let accept_ms = parse_started.elapsed().as_secs_f64() * 1e3;
+    let mut stages = vec![("accept", accept_ms)];
+    let (response, trace_id, kind) = match parsed {
+        Ok((ver, wire_trace, req)) => {
+            let trace_id = wire_trace.clone().unwrap_or_else(gen_trace_id);
+            let inject = ver == ProtoVersion::V3 && wire_trace.is_none();
+            let (response, kind) = match req {
+                Request::Metrics { id } => (handle_metrics(shared, ver, id), "metrics"),
+                Request::Batch(batch) => {
+                    (handle_batch(shared, ver, batch, &trace_id, &mut stages), "batch")
+                }
+                Request::Simulate(req) => {
+                    let fp = simulate_fingerprint(&req).ok();
+                    let fwd = if inject {
+                        simulate_request_line(&req, Some(&trace_id))
+                    } else {
+                        line.to_string()
+                    };
+                    (
+                        forward_with_failover(
+                            shared,
+                            fp.or(Some(0)),
+                            &fwd,
+                            ver,
+                            req.id,
+                            &mut stages,
+                        ),
+                        "simulate",
+                    )
+                }
+                Request::Analyze { trace, id } => {
+                    let fwd = if inject {
+                        analyze_request_line(&trace, id, Some(&trace_id))
+                    } else {
+                        line.to_string()
+                    };
+                    (forward_with_failover(shared, None, &fwd, ver, id, &mut stages), "analyze")
+                }
+            };
+            (response, trace_id, kind)
         }
         // The backends speak the identical protocol module: forwarding a
         // bad line returns the same typed `bad-request` /
         // `unsupported-protocol` error a single server would emit.
-        Err(_) => forward_with_failover(shared, None, line, ProtoVersion::V2, None),
-    }
+        Err(_) => {
+            let response =
+                forward_with_failover(shared, None, line, ProtoVersion::V3, None, &mut stages);
+            (response, gen_trace_id(), "unparsed")
+        }
+    };
+    let ok = matches!(parse_response(&response), Ok(Response::Result(_)));
+    (response, RouteInfo { trace_id, kind, ok, stages })
 }
 
 /// Serve one `batch` by splitting it into per-home-shard sub-batches,
 /// forwarding them concurrently, and re-merging the positionally aligned
-/// results into the original item order.
+/// results into the original item order. Sub-batches run in parallel, so
+/// the batch's forward/retry/failover spans are the per-stage **max**
+/// across sub-batches — the critical path, not the sum.
 fn handle_batch(
     shared: &RouterShared,
     ver: ProtoVersion,
     batch: crate::protocol::BatchReq,
+    trace_id: &str,
+    stages: &mut Vec<(&'static str, f64)>,
 ) -> String {
     let mut slots: Vec<Option<Value>> = vec![None; batch.items.len()];
     // shard -> (original positions, specs), in deterministic shard order.
@@ -683,22 +863,42 @@ fn handle_batch(
         }
     }
     let deadline_ms = batch.deadline_ms;
-    let forwarded: Vec<(Vec<usize>, String)> = crossbeam::thread::scope(|s| {
+    // (original item indices, raw sub-batch response, forward-side spans).
+    type SubBatch = (Vec<usize>, String, Vec<(&'static str, f64)>);
+    let forwarded: Vec<SubBatch> = crossbeam::thread::scope(|s| {
         let handles: Vec<_> = groups
             .into_values()
             .map(|(idxs, specs)| {
                 s.spawn(move |_| {
-                    let sub_line = batch_request_line(&specs, deadline_ms, None);
+                    // Sub-batches always carry the router's trace_id so
+                    // every backend's spans merge under one waterfall.
+                    let sub_line = batch_request_line(&specs, deadline_ms, None, Some(trace_id));
                     let fp = simulate_fingerprint(&specs[0]).ok().or(Some(0));
-                    let resp = forward_with_failover(shared, fp, &sub_line, ProtoVersion::V2, None);
-                    (idxs, resp)
+                    let mut spans = Vec::new();
+                    let resp = forward_with_failover(
+                        shared,
+                        fp,
+                        &sub_line,
+                        ProtoVersion::V3,
+                        None,
+                        &mut spans,
+                    );
+                    (idxs, resp, spans)
                 })
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("sub-batch forwarder panicked")).collect()
     })
     .expect("batch forward scope");
-    for (idxs, resp) in forwarded {
+    for (_, _, spans) in &forwarded {
+        for &(stage, ms) in spans {
+            match stages.iter_mut().find(|(s, _)| *s == stage) {
+                Some(slot) => slot.1 = slot.1.max(ms),
+                None => stages.push((stage, ms)),
+            }
+        }
+    }
+    for (idxs, resp, _) in forwarded {
         let items: Vec<Value> = match parse_response(&resp) {
             Ok(Response::Result(v)) => {
                 v.get("items").and_then(Value::as_arr).map(<[Value]>::to_vec).unwrap_or_default()
@@ -738,7 +938,7 @@ fn handle_batch(
 /// along as `shard="router"`.
 fn handle_metrics(shared: &RouterShared, ver: ProtoVersion, id: Option<u64>) -> String {
     let mut sections: Vec<(String, String)> = Vec::new();
-    let probe = metrics_request_line(None);
+    let probe = metrics_request_line(None, None);
     for (i, backend) in shared.backends.iter().enumerate() {
         if !backend.healthy.load(Ordering::SeqCst) {
             continue;
@@ -767,38 +967,60 @@ fn handle_metrics(shared: &RouterShared, ver: ProtoVersion, id: Option<u64>) -> 
 /// Merge per-shard Prometheus expositions into one: every series gains a
 /// `shard="<label>"` label, families keep one `# TYPE` header (the first
 /// seen wins), and output order is deterministic — families sorted by
-/// name, series within a family in section order.
+/// name, series within a family in section order. `# EXEMPLAR` comment
+/// lines survive the merge with the same shard label so exemplar
+/// trace_ids stay addressable from the aggregated exposition.
 pub fn merge_expositions(sections: &[(String, String)]) -> String {
-    // family -> (type, series lines in arrival order)
-    let mut families: BTreeMap<String, (String, Vec<String>)> = BTreeMap::new();
+    /// Inject `shard="<label>"` as the first label of `series`.
+    fn shard_labeled(series: &str, label: &str) -> String {
+        match series.find('{') {
+            Some(brace) => {
+                format!("{}{{shard=\"{label}\",{}", &series[..brace], &series[brace + 1..])
+            }
+            None => format!("{series}{{shard=\"{label}\"}}"),
+        }
+    }
+    // family -> (type, series lines in arrival order, exemplar lines)
+    let mut families: BTreeMap<String, (String, Vec<String>, Vec<String>)> = BTreeMap::new();
     for (label, exposition) in sections {
         for line in exposition.lines() {
             if let Some(header) = line.strip_prefix("# TYPE ") {
                 let mut parts = header.splitn(2, ' ');
                 let (Some(name), Some(kind)) = (parts.next(), parts.next()) else { continue };
-                families.entry(name.to_string()).or_insert_with(|| (kind.to_string(), Vec::new()));
+                families
+                    .entry(name.to_string())
+                    .or_insert_with(|| (kind.to_string(), Vec::new(), Vec::new()));
+            } else if let Some(exemplar) = line.strip_prefix("# EXEMPLAR ") {
+                let mut parts = exemplar.rsplitn(2, ' ');
+                let (Some(value), Some(series)) = (parts.next(), parts.next()) else { continue };
+                let name = series.split('{').next().unwrap_or(series).to_string();
+                let labeled = shard_labeled(series, label);
+                families
+                    .entry(name)
+                    .or_insert_with(|| ("untyped".to_string(), Vec::new(), Vec::new()))
+                    .2
+                    .push(format!("# EXEMPLAR {labeled} {value}"));
             } else if !line.trim().is_empty() && !line.starts_with('#') {
                 let mut parts = line.rsplitn(2, ' ');
                 let (Some(value), Some(series)) = (parts.next(), parts.next()) else { continue };
                 let name = series.split('{').next().unwrap_or(series).to_string();
-                let labeled = match series.find('{') {
-                    Some(brace) => {
-                        format!("{}{{shard=\"{label}\",{}", &series[..brace], &series[brace + 1..])
-                    }
-                    None => format!("{series}{{shard=\"{label}\"}}"),
-                };
+                let labeled = shard_labeled(series, label);
                 families
                     .entry(name)
-                    .or_insert_with(|| ("untyped".to_string(), Vec::new()))
+                    .or_insert_with(|| ("untyped".to_string(), Vec::new(), Vec::new()))
                     .1
                     .push(format!("{labeled} {value}"));
             }
         }
     }
     let mut out = String::new();
-    for (name, (kind, series)) in &families {
+    for (name, (kind, series, exemplars)) in &families {
         out.push_str(&format!("# TYPE {name} {kind}\n"));
         for line in series {
+            out.push_str(line);
+            out.push('\n');
+        }
+        for line in exemplars {
             out.push_str(line);
             out.push('\n');
         }
@@ -809,7 +1031,7 @@ pub fn merge_expositions(sections: &[(String, String)]) -> String {
 /// The health prober: periodic `metrics` probes keep the failure streaks
 /// honest, and ejected backends are re-probed once their backoff expires.
 fn probe_loop(shared: &RouterShared, interval: Duration) {
-    let probe = metrics_request_line(None);
+    let probe = metrics_request_line(None, None);
     while !shared.shutdown.load(Ordering::SeqCst) {
         // Sleep in short slices so drain is never blocked on a probe gap.
         let mut slept = Duration::ZERO;

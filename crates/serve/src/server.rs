@@ -36,6 +36,15 @@
 //!   shutdown is flagged), then closes the job queue and joins the
 //!   executors last, so no blocked result slot is ever abandoned. No
 //!   admitted request is dropped.
+//! * **Request tracing** — every request gets a trace id at first ingress
+//!   (propagated from a `/3` client's trace context, else minted here) and
+//!   a stage-span breakdown: `accept` (parse), `queue_wait`,
+//!   `batch_linger`, `singleflight_wait`, `plan_build`, `simulate`,
+//!   `serialize`. `/3` responses carry `trace_id` and `stages` inline; a
+//!   [`TailSampler`] keeps every errored request, a deterministic head
+//!   sample, and the slowest tail as `request` records in the drain trace,
+//!   and the slowest request's trace id rides the latency histogram's
+//!   `max` gauge as an exemplar.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -46,8 +55,8 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crate::protocol::{
-    batch_item_value, error_line, overloaded_line, parse_request, result_line, BatchReq,
-    ParseError, ProtoVersion, Request, SimulateReq,
+    batch_item_value, error_line, gen_trace_id, overloaded_line, parse_request, result_line,
+    BatchReq, ParseError, ProtoVersion, Request, SimulateReq,
 };
 use crate::queue::BoundedQueue;
 use unet_core::cancel::CancelToken;
@@ -58,8 +67,9 @@ use unet_core::{
     Simulation,
 };
 use unet_obs::json::Value;
-use unet_obs::trace::{export, RunMeta};
-use unet_obs::{InMemoryRecorder, MetricsRegistry, Recorder, TraceAnalyzer};
+use unet_obs::tailsample::DEFAULT_HEAD_PERMILLE;
+use unet_obs::trace::{export_full, RequestRecord, RunMeta, SampleReason, StageSpan};
+use unet_obs::{InMemoryRecorder, MetricsRegistry, Recorder, TailSampler, TraceAnalyzer};
 use unet_topology::par::default_threads;
 use unet_topology::Graph;
 
@@ -68,8 +78,9 @@ use unet_topology::Graph;
 pub struct ServeConfig {
     /// Bind address; port 0 picks a free port (the default).
     pub addr: String,
-    /// Threads in each pool: connection workers and batching executors
-    /// (default: [`default_threads`]).
+    /// Threads in each pool: batching executors, and (unless
+    /// [`conn_workers`](ServeConfig::conn_workers) overrides it)
+    /// connection workers too (default: [`default_threads`]).
     pub workers: usize,
     /// Admission queue bound; 0 rejects every connection (default 64).
     pub queue_cap: usize,
@@ -82,6 +93,15 @@ pub struct ServeConfig {
     /// How long a claim lingers for same-fingerprint stragglers before
     /// running with what it has (default 0 — today's latency profile).
     pub linger_ms: u64,
+    /// Head-sampling rate for per-request stage records, in permille
+    /// (default [`DEFAULT_HEAD_PERMILLE`]). Errors and the slowest tail
+    /// are always kept regardless.
+    pub head_sample_permille: u32,
+    /// Connection-worker pool size override; `None` (the default) sizes
+    /// the pool to `workers`. Capacity experiments set this above
+    /// `workers` so every client connection is served concurrently while
+    /// the executor pool stays the bottleneck.
+    pub conn_workers: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +113,8 @@ impl Default for ServeConfig {
             default_deadline_ms: 10_000,
             max_batch: 32,
             linger_ms: 0,
+            head_sample_permille: DEFAULT_HEAD_PERMILLE,
+            conn_workers: None,
         }
     }
 }
@@ -154,14 +176,24 @@ struct Job {
     slot: Arc<ResultSlot>,
     /// Already claimed into a group and fanned out — never re-grouped.
     grouped: bool,
+    /// When the job entered the queue — the start of its `queue_wait` span.
+    enqueued_at: Instant,
 }
 
 /// A job's outcome: result payload fields, or a typed `(code, message)`.
 type SlotOutcome = Result<Vec<(String, Value)>, (String, String)>;
 
+/// What an executor hands back through the slot: the wire payload outcome
+/// plus the job's measured stage spans (`queue_wait`, `batch_linger`,
+/// `singleflight_wait`, `plan_build`, `simulate`) in milliseconds.
+struct JobOutcome {
+    payload: SlotOutcome,
+    stages: Vec<(&'static str, f64)>,
+}
+
 /// One-shot rendezvous between a connection worker and an executor.
 struct ResultSlot {
-    state: Mutex<Option<SlotOutcome>>,
+    state: Mutex<Option<JobOutcome>>,
     ready: Condvar,
 }
 
@@ -170,13 +202,13 @@ impl ResultSlot {
         Arc::new(ResultSlot { state: Mutex::new(None), ready: Condvar::new() })
     }
 
-    fn put(&self, out: SlotOutcome) {
+    fn put(&self, out: JobOutcome) {
         let mut state = self.state.lock().expect("slot poisoned");
         *state = Some(out);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> SlotOutcome {
+    fn wait(&self) -> JobOutcome {
         let mut state = self.state.lock().expect("slot poisoned");
         loop {
             if let Some(out) = state.take() {
@@ -308,6 +340,11 @@ struct Shared {
     max_batch: usize,
     linger_ms: u64,
     workers: usize,
+    /// Tail-sampled per-request stage records, drained into the trace.
+    sampler: Mutex<TailSampler>,
+    /// The slowest request seen so far: its trace id rides the latency
+    /// histogram's `max` gauge as an exemplar in the exposition.
+    latency_exemplar: Mutex<Option<(String, f64)>>,
 }
 
 /// A running server; construct with [`Server::start`], stop with
@@ -339,6 +376,8 @@ impl Server {
             max_batch: cfg.max_batch.max(1),
             linger_ms: cfg.linger_ms,
             workers,
+            sampler: Mutex::new(TailSampler::new(cfg.head_sample_permille)),
+            latency_exemplar: Mutex::new(None),
         });
         {
             let mut rec = shared.recorder.lock().expect("recorder poisoned");
@@ -350,7 +389,8 @@ impl Server {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(&listener, &shared))
         };
-        let worker_handles = (0..workers)
+        let conn_workers = cfg.conn_workers.unwrap_or(workers).max(1);
+        let worker_handles = (0..conn_workers)
             .map(|_| {
                 let shared = Arc::clone(&shared);
                 std::thread::spawn(move || {
@@ -390,7 +430,15 @@ impl Server {
     /// flight, join all threads, and return the final metrics.
     pub fn drain(mut self) -> DrainReport {
         self.stop_threads();
-        let rec = self.shared.recorder.lock().expect("recorder poisoned");
+        let (requests, dropped) = {
+            let mut sampler = self.shared.sampler.lock().expect("sampler poisoned");
+            let dropped = sampler.dropped();
+            (sampler.drain(), dropped)
+        };
+        let exemplar = self.shared.latency_exemplar.lock().expect("exemplar poisoned").clone();
+        let mut rec = self.shared.recorder.lock().expect("recorder poisoned");
+        rec.counter("serve.trace.requests_sampled", requests.len() as u64);
+        rec.counter("serve.trace.requests_dropped", dropped);
         let stats = stats_of(&rec, &self.shared.cache);
         let meta = RunMeta {
             command: "serve".to_string(),
@@ -402,8 +450,8 @@ impl Server {
         };
         DrainReport {
             stats,
-            exposition: exposition_of(&rec, &self.shared.cache),
-            trace: export(&rec, &meta, None),
+            exposition: exposition_of(&rec, &self.shared.cache, exemplar.as_ref()),
+            trace: export_full(&rec, &meta, &[], &requests, None),
         }
     }
 
@@ -444,7 +492,11 @@ fn stats_of(rec: &InMemoryRecorder, cache: &SharedPlanCache) -> ServerStats {
     }
 }
 
-fn exposition_of(rec: &InMemoryRecorder, cache: &SharedPlanCache) -> String {
+fn exposition_of(
+    rec: &InMemoryRecorder,
+    cache: &SharedPlanCache,
+    exemplar: Option<&(String, f64)>,
+) -> String {
     let mut reg = MetricsRegistry::from_recorder(rec);
     // The cache atomics are authoritative process totals (per-request
     // recorder merges could lag mid-flight).
@@ -454,6 +506,10 @@ fn exposition_of(rec: &InMemoryRecorder, cache: &SharedPlanCache) -> String {
     if let Some(ratio) = cache.hit_ratio() {
         reg.set_gauge("serve.cache.hit_ratio", ratio);
     }
+    if let Some((trace_id, ms)) = exemplar {
+        // The slowest request explains the histogram's max.
+        reg.set_exemplar("serve.request.latency_ms.max", trace_id, *ms);
+    }
     reg.expose()
 }
 
@@ -462,6 +518,10 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         match listener.accept() {
             Ok((stream, _)) => {
                 let _ = stream.set_nonblocking(false);
+                // The protocol is a ping-pong of small lines; without
+                // nodelay, Nagle + delayed ACK stall every request after
+                // the first on a persistent connection by tens of ms.
+                let _ = stream.set_nodelay(true);
                 admit(shared, stream);
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -480,13 +540,20 @@ pub(crate) const RETRY_AFTER_FLOOR_MS: u64 = 100;
 /// parallel servers, each request costing about the measured mean latency.
 /// Shared with the shard router, which applies the same backpressure shape
 /// at its own admission queue.
+///
+/// Before the first request latency lands (the zero-sample startup
+/// window), the hint is the bare floor — multiplying the floor by the
+/// drain rounds would tell the very first rejected clients to back off
+/// for seconds based on no evidence at all. A non-finite mean (possible
+/// only if the histogram is ever fed garbage) takes the same path.
 pub(crate) fn retry_after_hint(rec: &InMemoryRecorder, depth: usize, workers: usize) -> u64 {
-    let mean = rec
-        .histogram_data("serve.request.latency_ms")
-        .and_then(|h| h.mean())
-        .unwrap_or(RETRY_AFTER_FLOOR_MS as f64);
-    let rounds = depth.div_ceil(workers.max(1)).max(1);
-    ((mean * rounds as f64).ceil() as u64).max(1)
+    match rec.histogram_data("serve.request.latency_ms").and_then(|h| h.mean()) {
+        Some(mean) if mean.is_finite() => {
+            let rounds = depth.div_ceil(workers.max(1)).max(1);
+            ((mean * rounds as f64).ceil() as u64).max(1)
+        }
+        _ => RETRY_AFTER_FLOOR_MS,
+    }
 }
 
 fn admit(shared: &Shared, stream: TcpStream) {
@@ -528,14 +595,39 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                 let trimmed = line.trim();
                 if !trimmed.is_empty() {
                     let started = Instant::now();
-                    let response = handle_request(shared, trimmed);
-                    if writeln!(writer, "{response}").and_then(|_| writer.flush()).is_err() {
+                    let (response, mut info) = handle_request(shared, trimmed);
+                    let write_started = Instant::now();
+                    let write_ok =
+                        writeln!(writer, "{response}").and_then(|_| writer.flush()).is_ok();
+                    info.stages.push(("serialize", write_started.elapsed().as_secs_f64() * 1e3));
+                    let e2e_ms = started.elapsed().as_secs_f64() * 1e3;
+                    {
+                        let mut rec = shared.recorder.lock().expect("recorder poisoned");
+                        rec.counter("serve.requests.completed", 1);
+                        rec.histogram("serve.request.latency_ms", e2e_ms as u64);
+                    }
+                    {
+                        let mut ex = shared.latency_exemplar.lock().expect("exemplar poisoned");
+                        if ex.as_ref().is_none_or(|(_, ms)| e2e_ms >= *ms) {
+                            *ex = Some((info.trace_id.clone(), e2e_ms));
+                        }
+                    }
+                    let record = RequestRecord {
+                        trace_id: info.trace_id,
+                        kind: info.kind.to_string(),
+                        ok: info.ok,
+                        e2e_ms,
+                        sampled: SampleReason::Head,
+                        stages: info
+                            .stages
+                            .into_iter()
+                            .map(|(stage, ms)| StageSpan { stage: stage.to_string(), ms })
+                            .collect(),
+                    };
+                    shared.sampler.lock().expect("sampler poisoned").offer(record);
+                    if !write_ok {
                         return;
                     }
-                    let ms = started.elapsed().as_millis() as u64;
-                    let mut rec = shared.recorder.lock().expect("recorder poisoned");
-                    rec.counter("serve.requests.completed", 1);
-                    rec.histogram("serve.request.latency_ms", ms);
                 }
                 line.clear();
             }
@@ -584,44 +676,113 @@ pub(crate) fn read_line_patient<R: Read>(
     }
 }
 
-fn handle_request(shared: &Shared, line: &str) -> String {
-    let (ver, req) = match parse_request(line) {
+/// What one handled request looked like, for the request-span record its
+/// connection worker offers to the tail sampler.
+struct ReqInfo {
+    trace_id: String,
+    kind: &'static str,
+    ok: bool,
+    stages: Vec<(&'static str, f64)>,
+}
+
+/// The wire form of a stage-span list: `{"queue_wait":1.5,...}`.
+fn stages_value(stages: &[(&'static str, f64)]) -> Value {
+    Value::Obj(stages.iter().map(|&(s, ms)| (s.to_string(), Value::Float(ms))).collect())
+}
+
+fn handle_request(shared: &Shared, line: &str) -> (String, ReqInfo) {
+    let parse_started = Instant::now();
+    let parsed = parse_request(line);
+    let accept_ms = parse_started.elapsed().as_secs_f64() * 1e3;
+    let (ver, wire_trace, req) = match parsed {
         Ok(parsed) => parsed,
-        Err(ParseError::UnsupportedProto(msg)) => {
-            return error_line(ProtoVersion::V2, "unsupported-protocol", &msg, None)
-        }
-        Err(ParseError::Malformed(msg)) => {
-            return error_line(ProtoVersion::V2, "bad-request", &msg, None)
+        Err(e) => {
+            let info = ReqInfo {
+                trace_id: gen_trace_id(),
+                kind: "unparsed",
+                ok: false,
+                stages: vec![("accept", accept_ms)],
+            };
+            let line = match e {
+                ParseError::UnsupportedProto(msg) => {
+                    error_line(ProtoVersion::V3, "unsupported-protocol", &msg, None)
+                }
+                ParseError::Malformed(msg) => {
+                    error_line(ProtoVersion::V3, "bad-request", &msg, None)
+                }
+            };
+            return (line, info);
         }
     };
-    match req {
+    // First ingress: a /3 client (or the shard router) propagates its
+    // trace context; older clients get a server-assigned trace id.
+    let trace_id = wire_trace.unwrap_or_else(gen_trace_id);
+    let kind = req.kind();
+    let mut stages = vec![("accept", accept_ms)];
+    let (response, ok) = match req {
         Request::Simulate(req) => {
-            let outcome = match build_job(shared, &req, req.deadline_ms) {
+            // `accept` covers admission too: spec parsing, topology and
+            // computation construction, and fingerprinting all happen on
+            // the connection thread before the job reaches the queue.
+            let admit_started = Instant::now();
+            let built = build_job(shared, &req, req.deadline_ms);
+            // Close the span before the job becomes visible to workers, so
+            // `accept` never overlaps the worker-side spans.
+            stages[0].1 += admit_started.elapsed().as_secs_f64() * 1e3;
+            let outcome = match built {
                 Ok((job, slot)) => {
                     shared.jobs.push_all(vec![job]);
-                    slot.wait()
+                    let wait_started = Instant::now();
+                    let mut out = slot.wait();
+                    let wait_ms = wait_started.elapsed().as_secs_f64() * 1e3;
+                    // What the blocking wait cost beyond the worker's own
+                    // spans: the scheduler handoff into the worker and the
+                    // result handoff back. Without this span, condvar
+                    // wakeup latency is unaccounted end-to-end time.
+                    let worker_ms: f64 = out.stages.iter().map(|(_, ms)| ms).sum();
+                    let dispatch_ms = wait_ms - worker_ms;
+                    if dispatch_ms > 0.0 {
+                        out.stages.push(("dispatch", dispatch_ms));
+                    }
+                    out
                 }
-                Err(e) => Err(e),
+                Err(e) => JobOutcome { payload: Err(e), stages: Vec::new() },
             };
-            match outcome {
-                Ok(payload) => result_line(ver, "simulate", req.id, payload),
-                Err((code, message)) => error_line(ver, &code, &message, req.id),
+            stages.extend(outcome.stages);
+            match outcome.payload {
+                Ok(mut payload) => {
+                    if ver == ProtoVersion::V3 {
+                        payload.push(("trace_id".to_string(), Value::Str(trace_id.clone())));
+                        payload.push(("stages".to_string(), stages_value(&stages)));
+                    }
+                    (result_line(ver, "simulate", req.id, payload), true)
+                }
+                Err((code, message)) => (error_line(ver, &code, &message, req.id), false),
             }
         }
-        Request::Batch(batch) => handle_batch(shared, ver, batch),
+        Request::Batch(batch) => {
+            let (line, ok, batch_stages) = handle_batch(shared, ver, batch, &trace_id);
+            stages.extend(batch_stages);
+            (line, ok)
+        }
         Request::Analyze { trace, id } => handle_analyze(ver, &trace, id),
         Request::Metrics { id } => {
+            let exemplar = shared.latency_exemplar.lock().expect("exemplar poisoned").clone();
             let rec = shared.recorder.lock().expect("recorder poisoned");
-            let exposition = exposition_of(&rec, &shared.cache);
+            let exposition = exposition_of(&rec, &shared.cache, exemplar.as_ref());
             drop(rec);
-            result_line(
-                ver,
-                "metrics",
-                id,
-                vec![("exposition".to_string(), Value::Str(exposition))],
+            (
+                result_line(
+                    ver,
+                    "metrics",
+                    id,
+                    vec![("exposition".to_string(), Value::Str(exposition))],
+                ),
+                true,
             )
         }
-    }
+    };
+    (response, ReqInfo { trace_id, kind, ok, stages })
 }
 
 /// Parse one spec into a runnable [`Job`]. Parse failures surface as the
@@ -653,14 +814,23 @@ fn build_job(
         token: CancelToken::with_deadline(Duration::from_millis(deadline_ms)),
         slot: Arc::clone(&slot),
         grouped: false,
+        enqueued_at: Instant::now(),
     };
     Ok((job, slot))
 }
 
 /// Serve one `batch` request: enqueue every parseable item in one atomic
 /// push (so an executor claims them as a group), then collect the
-/// positionally-aligned outcomes.
-fn handle_batch(shared: &Shared, ver: ProtoVersion, batch: BatchReq) -> String {
+/// positionally-aligned outcomes. Returns the response line, whether every
+/// item succeeded, and the batch's stage spans (per-stage *maximum* across
+/// members — the members run in parallel, so the max approximates the
+/// critical path without over-counting the request's wall clock).
+fn handle_batch(
+    shared: &Shared,
+    ver: ProtoVersion,
+    batch: BatchReq,
+    trace_id: &str,
+) -> (String, bool, Vec<(&'static str, f64)>) {
     enum Pending {
         Slot(Arc<ResultSlot>),
         Failed(String, String),
@@ -683,16 +853,41 @@ fn handle_batch(shared: &Shared, ver: ProtoVersion, batch: BatchReq) -> String {
         }
     }
     shared.jobs.push_all(jobs);
+    let mut all_ok = true;
+    let mut stage_max: Vec<(&'static str, f64)> = Vec::new();
     let items: Vec<Value> = pending
         .into_iter()
         .map(|p| {
-            batch_item_value(match p {
-                Pending::Slot(slot) => slot.wait(),
+            let outcome = match p {
+                Pending::Slot(slot) => {
+                    let out = slot.wait();
+                    for (stage, ms) in out.stages {
+                        match stage_max.iter_mut().find(|(s, _)| *s == stage) {
+                            Some((_, acc)) => *acc = acc.max(ms),
+                            None => stage_max.push((stage, ms)),
+                        }
+                    }
+                    match out.payload {
+                        Ok(mut payload) => {
+                            if ver == ProtoVersion::V3 {
+                                payload.push((
+                                    "trace_id".to_string(),
+                                    Value::Str(trace_id.to_string()),
+                                ));
+                            }
+                            Ok(payload)
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
                 Pending::Failed(code, msg) => Err((code, msg)),
-            })
+            };
+            all_ok &= outcome.is_ok();
+            batch_item_value(outcome)
         })
         .collect();
-    result_line(ver, "batch", batch.id, vec![("items".to_string(), Value::Arr(items))])
+    let line = result_line(ver, "batch", batch.id, vec![("items".to_string(), Value::Arr(items))]);
+    (line, all_ok, stage_max)
 }
 
 /// The batching executor: claim a same-fingerprint group, run its leader
@@ -704,16 +899,19 @@ fn executor_loop(shared: &Shared) {
             // A fan-out member: its claim already ran the leader and
             // recorded the batch, so just execute.
             let job = group.pop().expect("grouped claim is a singleton");
-            execute_job(shared, job);
+            execute_job(shared, job, 0.0);
             continue;
         }
+        let mut linger_ms = 0.0;
         if shared.linger_ms > 0 && group.len() < shared.max_batch {
             let fp = group[0].fingerprint;
+            let linger_started = Instant::now();
             group.extend(shared.jobs.claim_lingering(
                 fp,
                 shared.max_batch - group.len(),
                 Duration::from_millis(shared.linger_ms),
             ));
+            linger_ms = linger_started.elapsed().as_secs_f64() * 1e3;
         }
         let g = group.len();
         {
@@ -731,22 +929,32 @@ fn executor_loop(shared: &Shared) {
             // coalescing on the leader's single flight.
             shared.cache.note_singleflight_followers((g - 1) as u64);
             // Leader first: publish the plan, then fan out warm.
-            execute_job(shared, leader);
+            execute_job(shared, leader, linger_ms);
             shared.jobs.push_front_all(rest);
         } else {
             // Plan already cached: fan out immediately, run the leader here.
             shared.jobs.push_front_all(rest);
-            execute_job(shared, leader);
+            execute_job(shared, leader, linger_ms);
         }
     }
 }
 
-fn execute_job(shared: &Shared, job: Job) {
-    let outcome = simulate_outcome(shared, &job);
-    job.slot.put(outcome);
+/// Run one job and fill its slot, assembling the job-side stage spans:
+/// `queue_wait` (enqueue to execution), `batch_linger` (the claim leader's
+/// straggler wait, when any), then the engine-side spans measured by
+/// [`simulate_outcome`].
+fn execute_job(shared: &Shared, job: Job, linger_ms: f64) {
+    let queue_wait_ms = job.enqueued_at.elapsed().as_secs_f64() * 1e3;
+    let (payload, engine_stages) = simulate_outcome(shared, &job);
+    let mut stages = vec![("queue_wait", queue_wait_ms)];
+    if linger_ms > 0.0 {
+        stages.push(("batch_linger", linger_ms));
+    }
+    stages.extend(engine_stages);
+    job.slot.put(JobOutcome { payload, stages });
 }
 
-fn simulate_outcome(shared: &Shared, job: &Job) -> SlotOutcome {
+fn simulate_outcome(shared: &Shared, job: &Job) -> (SlotOutcome, Vec<(&'static str, f64)>) {
     let router = unet_core::routers::presets::bfs();
     let started = Instant::now();
     let mut local = InMemoryRecorder::new();
@@ -763,8 +971,27 @@ fn simulate_outcome(shared: &Shared, job: &Job) -> SlotOutcome {
         .cancel_token(job.token.clone())
         .recorder(&mut local)
         .run();
+    // Verification replays the protocol against the guest/host contract —
+    // part of serving the request, so it happens inside the timed region
+    // the `simulate` span is carved from.
+    let verify_err =
+        run.as_ref().ok().and_then(|r| r.verify(&job.comp, &job.host, job.steps).err());
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
     let shared_hit = local.counter_value("sim.cache.shared.hits") > 0;
+    // Disjoint engine spans: the plan acquire (single-flight wait) and the
+    // plan build are carved out of the run's wall clock so a stage sum
+    // never double-counts.
+    let acquire_ms =
+        local.histogram_data("sim.plan.acquire_us").map_or(0.0, |h| h.sum as f64 / 1e3);
+    let build_ms = local.histogram_data("sim.plan.build_us").map_or(0.0, |h| h.sum as f64 / 1e3);
+    let mut stages: Vec<(&'static str, f64)> = Vec::new();
+    if acquire_ms > 0.0 {
+        stages.push(("singleflight_wait", acquire_ms));
+    }
+    if build_ms > 0.0 {
+        stages.push(("plan_build", build_ms));
+    }
+    stages.push(("simulate", (wall_ms - acquire_ms - build_ms).max(0.0)));
     // Fold the request's engine counters into the server-level registry
     // (recorder counters accumulate, so sim.* become process totals).
     {
@@ -776,17 +1003,20 @@ fn simulate_outcome(shared: &Shared, job: &Job) -> SlotOutcome {
     let run = match run {
         Ok(run) => run,
         Err(SimError::Cancelled) => {
-            return Err((
-                "deadline-exceeded".to_string(),
-                format!("deadline of {} ms passed at a phase boundary", job.deadline_ms),
-            ))
+            return (
+                Err((
+                    "deadline-exceeded".to_string(),
+                    format!("deadline of {} ms passed at a phase boundary", job.deadline_ms),
+                )),
+                stages,
+            )
         }
-        Err(e) => return Err(("sim-error".to_string(), e.to_string())),
+        Err(e) => return (Err(("sim-error".to_string(), e.to_string())), stages),
     };
-    if let Err(e) = run.verify(&job.comp, &job.host, job.steps) {
-        return Err(("verify-failed".to_string(), e.to_string()));
+    if let Some(e) = verify_err {
+        return (Err(("verify-failed".to_string(), e.to_string())), stages);
     }
-    Ok(vec![
+    let payload = vec![
         ("guest".to_string(), Value::Str(job.guest_spec.clone())),
         ("host".to_string(), Value::Str(job.host_spec.clone())),
         ("steps".to_string(), Value::UInt(job.steps as u64)),
@@ -798,22 +1028,23 @@ fn simulate_outcome(shared: &Shared, job: &Job) -> SlotOutcome {
         ("shared_cache_hit".to_string(), Value::Bool(shared_hit)),
         ("verified".to_string(), Value::Bool(true)),
         ("wall_ms".to_string(), Value::Float(wall_ms)),
-    ])
+    ];
+    (Ok(payload), stages)
 }
 
-fn handle_analyze(ver: ProtoVersion, trace: &[String], id: Option<u64>) -> String {
+fn handle_analyze(ver: ProtoVersion, trace: &[String], id: Option<u64>) -> (String, bool) {
     let mut analyzer = TraceAnalyzer::new();
     for (i, line) in trace.iter().enumerate() {
         if let Err(e) = analyzer.feed_line(line, i + 1) {
-            return error_line(ver, "bad-trace", &e, id);
+            return (error_line(ver, "bad-trace", &e, id), false);
         }
     }
     let analysis = match analyzer.finish() {
         Ok(a) => a,
-        Err(e) => return error_line(ver, "bad-trace", &e, id),
+        Err(e) => return (error_line(ver, "bad-trace", &e, id), false),
     };
     let exposition = MetricsRegistry::from_analysis(&analysis).expose();
-    result_line(
+    let line = result_line(
         ver,
         "analyze",
         id,
@@ -821,5 +1052,38 @@ fn handle_analyze(ver: ProtoVersion, trace: &[String], id: Option<u64>) -> Strin
             ("lines".to_string(), Value::UInt(trace.len() as u64)),
             ("exposition".to_string(), Value::Str(exposition)),
         ],
-    )
+    );
+    (line, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression: before any request latency lands, the hint used to be
+    /// the 100 ms floor *multiplied by the drain rounds* — the very first
+    /// rejected clients were told to back off for seconds based on no
+    /// measurement at all. The zero-sample window now reports the bare
+    /// floor.
+    #[test]
+    fn retry_after_hint_startup_window_reports_the_bare_floor() {
+        let rec = InMemoryRecorder::new();
+        assert_eq!(retry_after_hint(&rec, 64, 2), RETRY_AFTER_FLOOR_MS);
+        assert_eq!(retry_after_hint(&rec, 1024, 1), RETRY_AFTER_FLOOR_MS);
+        assert_eq!(retry_after_hint(&rec, 0, 4), RETRY_AFTER_FLOOR_MS);
+    }
+
+    #[test]
+    fn retry_after_hint_scales_with_measured_latency_and_depth() {
+        let mut rec = InMemoryRecorder::new();
+        rec.histogram("serve.request.latency_ms", 10);
+        // 8 queued through 2 workers = 4 rounds of ~10 ms each.
+        assert_eq!(retry_after_hint(&rec, 8, 2), 40);
+        // Depth 0 still suggests one round.
+        assert_eq!(retry_after_hint(&rec, 0, 2), 10);
+        // Sub-millisecond means still hint at least 1 ms.
+        let mut fast = InMemoryRecorder::new();
+        fast.histogram("serve.request.latency_ms", 0);
+        assert_eq!(retry_after_hint(&fast, 4, 4), 1);
+    }
 }

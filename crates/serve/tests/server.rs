@@ -8,7 +8,7 @@ use unet_serve::client::Client;
 use unet_serve::loadgen::{self, LoadgenConfig};
 use unet_serve::protocol::{
     analyze_request_line, batch_request_line, metrics_request_line, parse_response,
-    simulate_request_line, Response, SimulateReq, PROTOCOL_V1,
+    simulate_request_line, Response, SimulateReq, PROTOCOL_V1, PROTOCOL_V2,
 };
 use unet_serve::{ServeConfig, Server};
 
@@ -37,7 +37,7 @@ fn raw(addr: &str, line: &str) -> String {
 fn simulate_request_round_trips_and_verifies() {
     let server = start(2, 8);
     let addr = server.addr().to_string();
-    let resp = raw(&addr, &simulate_request_line(&sim_req(7)));
+    let resp = raw(&addr, &simulate_request_line(&sim_req(7), None));
     match parse_response(&resp).expect("valid response") {
         Response::Result(v) => {
             assert_eq!(v.get("req").and_then(Value::as_str), Some("simulate"));
@@ -86,7 +86,7 @@ fn bad_specs_and_bad_requests_get_typed_errors() {
     let addr = server.addr().to_string();
     let mut bad_spec = sim_req(1);
     bad_spec.guest = "blah:3".into();
-    let resp = raw(&addr, &simulate_request_line(&bad_spec));
+    let resp = raw(&addr, &simulate_request_line(&bad_spec, None));
     match parse_response(&resp).expect("valid") {
         Response::Error { code, message, id } => {
             assert_eq!(code, "bad-spec");
@@ -107,7 +107,7 @@ fn bad_specs_and_bad_requests_get_typed_errors() {
 fn zero_queue_cap_rejects_with_typed_overloaded() {
     let server = start(1, 0);
     let addr = server.addr().to_string();
-    let resp = raw(&addr, &metrics_request_line(None));
+    let resp = raw(&addr, &metrics_request_line(None, None));
     match parse_response(&resp).expect("valid") {
         Response::Overloaded { queue_cap: 0, retry_after_ms: Some(hint) } => assert!(hint >= 1),
         other => panic!("expected overloaded with retry hint, got {other:?}"),
@@ -123,7 +123,7 @@ fn zero_deadline_is_cancelled_at_a_phase_boundary() {
     let addr = server.addr().to_string();
     let mut req = sim_req(3);
     req.deadline_ms = Some(0);
-    let resp = raw(&addr, &simulate_request_line(&req));
+    let resp = raw(&addr, &simulate_request_line(&req, None));
     match parse_response(&resp).expect("valid") {
         Response::Error { code, .. } => assert_eq!(code, "deadline-exceeded"),
         other => panic!("expected deadline error, got {other:?}"),
@@ -270,6 +270,32 @@ fn unknown_protocol_version_gets_typed_error_not_hangup() {
         }
         other => panic!("expected typed error, got {other:?}"),
     }
+    // A future client (trace context and all) against this server: still a
+    // typed error naming the versions we do speak, and the connection
+    // stays open for a corrected request — never a hangup. This is
+    // exactly what a /3 client sees against a /2-era backend.
+    {
+        use std::io::{BufRead, BufReader, Write};
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let future = "{\"proto\":\"unet-serve/4\",\"kind\":\"metrics\",\
+                      \"trace\":{\"id\":\"deadbeefdeadbeef\"}}";
+        writeln!(stream, "{future}").expect("send");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("typed error, not a hangup");
+        match parse_response(resp.trim()).expect("parseable by an old client") {
+            Response::Error { code, message, .. } => {
+                assert_eq!(code, "unsupported-protocol");
+                assert!(message.contains("unet-serve/3"), "names supported versions: {message}");
+            }
+            other => panic!("expected typed error, got {other:?}"),
+        }
+        // Same connection, supported version: serves fine.
+        writeln!(stream, "{}", metrics_request_line(None, None)).expect("send");
+        resp.clear();
+        reader.read_line(&mut resp).expect("connection survived the version error");
+        assert!(matches!(parse_response(resp.trim()), Ok(Response::Result(_))));
+    }
     // Batch under /1 is also a typed error.
     let v1_batch = format!(
         "{{\"proto\":{PROTOCOL_V1:?},\"kind\":\"batch\",\"items\":[\
@@ -291,7 +317,7 @@ fn responses_survive_a_drain_started_after_send() {
     let server = start(1, 8);
     let addr = server.addr().to_string();
     let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
-    writeln!(stream, "{}", simulate_request_line(&sim_req(5))).expect("send");
+    writeln!(stream, "{}", simulate_request_line(&sim_req(5), None)).expect("send");
     stream.flush().expect("flush");
     // Wait until the request is admitted so drain cannot race the accept.
     while server.stats().admitted == 0 {
@@ -310,7 +336,7 @@ fn batch_responses_survive_a_drain_started_after_send() {
     let server = start(2, 8);
     let addr = server.addr().to_string();
     let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
-    let line = batch_request_line(&[sim_req(5), sim_req(5), sim_req(6)], None, Some(77));
+    let line = batch_request_line(&[sim_req(5), sim_req(5), sim_req(6)], None, Some(77), None);
     writeln!(stream, "{line}").expect("send");
     stream.flush().expect("flush");
     while server.stats().admitted == 0 {
@@ -335,8 +361,8 @@ fn batch_responses_survive_a_drain_started_after_send() {
 fn metrics_and_analyze_requests_expose_prometheus_text() {
     let server = start(2, 8);
     let addr = server.addr().to_string();
-    raw(&addr, &simulate_request_line(&sim_req(2)));
-    let resp = raw(&addr, &metrics_request_line(Some(9)));
+    raw(&addr, &simulate_request_line(&sim_req(2), None));
+    let resp = raw(&addr, &metrics_request_line(Some(9), None));
     let exposition = match parse_response(&resp).expect("valid") {
         Response::Result(v) => v.get("exposition").and_then(Value::as_str).unwrap().to_string(),
         other => panic!("expected result, got {other:?}"),
@@ -362,7 +388,7 @@ fn metrics_and_analyze_requests_expose_prometheus_text() {
         };
         export(&rec, &meta, None).lines().map(str::to_string).collect()
     };
-    let resp = raw(&addr, &analyze_request_line(&trace, None));
+    let resp = raw(&addr, &analyze_request_line(&trace, None, None));
     match parse_response(&resp).expect("valid") {
         Response::Result(v) => {
             assert_eq!(v.get("lines").and_then(Value::as_u64), Some(trace.len() as u64));
@@ -372,7 +398,7 @@ fn metrics_and_analyze_requests_expose_prometheus_text() {
         other => panic!("expected result, got {other:?}"),
     }
     // Malformed trace lines surface as typed bad-trace errors.
-    let resp = raw(&addr, &analyze_request_line(&["not json".to_string()], Some(3)));
+    let resp = raw(&addr, &analyze_request_line(&["not json".to_string()], Some(3), None));
     match parse_response(&resp).expect("valid") {
         Response::Error { code, message, id } => {
             assert_eq!(code, "bad-trace");
@@ -385,6 +411,117 @@ fn metrics_and_analyze_requests_expose_prometheus_text() {
 }
 
 #[test]
+fn trace_context_threads_through_payload_drain_trace_and_exemplar() {
+    let server = start(2, 8);
+    let addr = server.addr().to_string();
+    // An explicit client-assigned trace id is echoed in the /3 payload
+    // together with the server's stage breakdown.
+    let line = simulate_request_line(&sim_req(7), Some("00c0ffee00c0ffee"));
+    let resp = raw(&addr, &line);
+    let v = match parse_response(&resp).expect("valid") {
+        Response::Result(v) => v,
+        other => panic!("expected result, got {other:?}"),
+    };
+    assert_eq!(v.get("trace_id").and_then(Value::as_str), Some("00c0ffee00c0ffee"));
+    let stages = v.get("stages").expect("stage breakdown in the /3 payload");
+    assert!(stages.get("simulate").and_then(Value::as_f64).is_some(), "{}", v.to_json());
+    assert!(stages.get("queue_wait").and_then(Value::as_f64).is_some(), "{}", v.to_json());
+
+    let report = server.drain();
+    // The drain trace carries the request record under the same id...
+    let doc = unet_obs::trace::parse_trace(&report.trace).expect("valid drain trace");
+    let rec = doc
+        .requests_for("00c0ffee00c0ffee")
+        .next()
+        .expect("the traced request was sampled (errors+head+slow cover a 1-request run)");
+    assert!(rec.ok);
+    assert_eq!(rec.kind, "simulate");
+    assert!(rec.stage_ms("serialize").is_some(), "record includes the write span");
+    assert!(rec.e2e_ms > 0.0);
+    assert!(
+        rec.stage_total_ms() <= rec.e2e_ms * 1.05,
+        "disjoint spans cannot exceed e2e: {} vs {}",
+        rec.stage_total_ms(),
+        rec.e2e_ms
+    );
+    // ...and the exposition links its slowest-latency series to the same
+    // trace id as an exemplar.
+    assert!(
+        report.exposition.contains("# EXEMPLAR") && report.exposition.contains("00c0ffee00c0ffee"),
+        "exemplar line present:\n{}",
+        report.exposition
+    );
+}
+
+#[test]
+fn typed_client_reports_e2e_latency_and_server_stage_breakdown() {
+    let server = start(2, 8);
+    let mut client = Client::connect(&server.addr().to_string()).expect("connect");
+    let result = client.simulate(&sim_req(3)).expect("simulate");
+    let trace_id = result.trace_id.as_deref().expect("client stamps a trace id");
+    assert_eq!(trace_id.len(), 16, "16 hex digits: {trace_id:?}");
+    assert!(trace_id.bytes().all(|b| b.is_ascii_hexdigit()));
+    assert!(result.e2e_ms > 0.0, "client-measured end-to-end latency");
+    assert!(
+        result.stages.iter().any(|(s, _)| s == "simulate"),
+        "server stage breakdown rode the payload: {:?}",
+        result.stages
+    );
+    let span_sum: f64 = result.stages.iter().map(|(_, ms)| ms).sum();
+    assert!(span_sum <= result.e2e_ms * 1.05, "spans within e2e: {span_sum} vs {}", result.e2e_ms);
+    drop(client);
+    server.drain();
+}
+
+#[test]
+fn zero_head_rate_still_keeps_the_slow_tail() {
+    // head_sample_permille: 0 turns off the head coin entirely; the tail
+    // rule must still retain the slowest requests so a drain trace is
+    // never empty on a quiet server.
+    let server = Server::start(ServeConfig {
+        workers: 1,
+        queue_cap: 8,
+        head_sample_permille: 0,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = server.addr().to_string();
+    for seed in 0..3 {
+        raw(&addr, &simulate_request_line(&sim_req(seed), None));
+    }
+    let report = server.drain();
+    let doc = unet_obs::trace::parse_trace(&report.trace).expect("valid drain trace");
+    assert!(!doc.requests.is_empty(), "slow tail kept despite 0-permille head rate");
+    assert!(
+        doc.requests.iter().all(|r| r.sampled == unet_obs::trace::SampleReason::Slow),
+        "every keep is a tail keep: {:?}",
+        doc.requests.iter().map(|r| r.sampled).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn v2_golden_client_is_stamped_v2_and_sees_no_v3_fields() {
+    let server = start(1, 8);
+    let addr = server.addr().to_string();
+    // Byte-for-byte what a PR-7-era /2 client sends.
+    let golden = format!(
+        "{{\"proto\":{PROTOCOL_V2:?},\"kind\":\"simulate\",\"guest\":\"ring:24\",\
+         \"host\":\"torus:3x3\",\"steps\":3,\"seed\":7,\"id\":13}}"
+    );
+    let resp = raw(&addr, &golden);
+    let v = unet_obs::json::parse(&resp).expect("valid json");
+    assert_eq!(v.get("proto").and_then(Value::as_str), Some(PROTOCOL_V2), "stamped /2");
+    assert_eq!(v.get("kind").and_then(Value::as_str), Some("result"));
+    assert_eq!(v.get("id").and_then(Value::as_u64), Some(13));
+    assert_eq!(v.get("verified"), Some(&Value::Bool(true)));
+    // The trace additions are /3-only payload fields: an unupgraded
+    // strict reader never sees keys it does not know.
+    assert!(v.get("trace_id").is_none(), "no /3 fields in a /2 response: {}", v.to_json());
+    assert!(v.get("stages").is_none(), "no /3 fields in a /2 response: {}", v.to_json());
+    server.drain();
+}
+
+#[test]
 fn drained_exposition_parses_back_through_the_streaming_analyzer() {
     // A MetricsRegistry built from a live serve run must parse back with
     // the analyzer's line discipline — the drain trace is valid JSONL and
@@ -392,7 +529,7 @@ fn drained_exposition_parses_back_through_the_streaming_analyzer() {
     let server = start(1, 8);
     let addr = server.addr().to_string();
     for seed in 0..3 {
-        raw(&addr, &simulate_request_line(&sim_req(seed)));
+        raw(&addr, &simulate_request_line(&sim_req(seed), None));
     }
     let report = server.drain();
     assert_eq!(report.stats.completed, 3);

@@ -15,9 +15,10 @@
 //! unet metrics  <trace-file | g h T>          Prometheus-style metrics exposition
 //! unet faults   <guest> <host> <T> [opts]     degraded run under crash-stop faults
 //! unet bench    run|diff|list [opts]          experiment registry + regression gate
-//! unet serve    [opts]                        long-running simulation server (unet-serve/2)
+//! unet serve    [opts]                        long-running simulation server (unet-serve/3)
 //! unet shard    [opts]                        fingerprint-affine router over N backend servers
 //! unet request  <addr> <kind> [args]          typed client for a running server
+//! unet trace-requests <trace-file>...         per-request waterfalls, merged by trace_id
 //! ```
 //!
 //! Graph specs: `torus:8x8`, `butterfly:4`, `random:256x4:7`, … (see
@@ -69,16 +70,19 @@ const USAGE: &str = "usage:
   unet bench    diff <baseline-BENCH.json> [--full] [--filter IDS] [--threads N]
   unet bench    list
   unet serve    [--addr A] [--workers N] [--queue N] [--deadline-ms MS]
-                [--max-batch N] [--linger-ms MS]
+                [--max-batch N] [--linger-ms MS] [--sample-permille P]
+                [--trace-out FILE]
   unet shard    (--shards N | --backend ADDR ...) [--addr A] [--workers N]
                 [--queue N] [--backend-workers N] [--backend-conns N]
-                [--probe-ms MS] [--eject-after N]
+                [--probe-ms MS] [--eject-after N] [--sample-permille P]
+                [--trace-out FILE] [--backend-trace-dir DIR]
   unet request  <addr> simulate <guest-spec> <host-spec> <steps>
                 [--seed S] [--deadline-ms MS] [--retries N] [--raw]
   unet request  <addr> batch <guest,host,steps[,seed]>...
                 [--deadline-ms MS] [--retries N] [--raw]
   unet request  <addr> analyze <trace-file> [--raw]
-  unet request  <addr> metrics [--raw]";
+  unet request  <addr> metrics [--raw]
+  unet trace-requests <trace-file>... [--trace ID]... [--markdown]";
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing subcommand")?;
@@ -98,6 +102,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => serve_cmd(&args[1..]),
         "shard" => shard_cmd(&args[1..]),
         "request" => request_cmd(&args[1..]),
+        "trace-requests" => trace_requests_cmd(&args[1..]),
         other => Err(format!("unknown subcommand {other:?}")),
     }
 }
@@ -590,11 +595,13 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
-/// Run the long-running simulation server (`unet-serve/2`). Prints the
+/// Run the long-running simulation server (`unet-serve/3`). Prints the
 /// bound address on stdout and then blocks; SIGTERM or stdin reaching EOF
 /// triggers a graceful drain — stop accepting, answer everything in
 /// flight, then print the final Prometheus exposition on stdout and a
-/// one-line stats summary on stderr.
+/// one-line stats summary on stderr. `--trace-out FILE` additionally
+/// writes the tail-sampled per-request trace (`unet trace-requests`
+/// reads it back).
 fn serve_cmd(args: &[String]) -> Result<(), String> {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
@@ -615,9 +622,14 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
             .map_or(Ok(defaults.max_batch), |s| s.parse().map_err(|_| "bad --max-batch"))?,
         linger_ms: flag(args, "--linger-ms")
             .map_or(Ok(defaults.linger_ms), |s| s.parse().map_err(|_| "bad --linger-ms"))?,
+        head_sample_permille: flag(args, "--sample-permille")
+            .map_or(Ok(defaults.head_sample_permille), |s| {
+                s.parse().map_err(|_| "bad --sample-permille")
+            })?,
+        conn_workers: defaults.conn_workers,
     };
     let server = Server::start(cfg).map_err(|e| format!("bind: {e}"))?;
-    println!("unet-serve/2 listening on {}", server.addr());
+    println!("unet-serve/3 listening on {}", server.addr());
     {
         use std::io::Write;
         std::io::stdout().flush().ok();
@@ -649,6 +661,10 @@ fn serve_cmd(args: &[String]) -> Result<(), String> {
         report.stats.completed,
         report.stats.hit_ratio().map_or_else(|| "-".into(), |r| format!("{r:.3}")),
     );
+    if let Some(path) = flag(args, "--trace-out") {
+        std::fs::write(&path, &report.trace).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("request trace written to {path} ({} lines)", report.trace.lines().count());
+    }
     print!("{}", report.exposition);
     Ok(())
 }
@@ -685,8 +701,30 @@ fn shard_cmd(args: &[String]) -> Result<(), String> {
     if spawn_n > 0 {
         let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
         for i in 0..spawn_n {
+            let mut spawn_args = vec![
+                "serve".to_string(),
+                "--addr".to_string(),
+                "127.0.0.1:0".to_string(),
+                "--workers".to_string(),
+                backend_workers.to_string(),
+            ];
+            // With a trace dir, each backend writes its tail-sampled
+            // request trace there at drain — `unet trace-requests` merges
+            // them with the router's own `--trace-out` by trace_id.
+            if let Some(dir) = flag(args, "--backend-trace-dir") {
+                spawn_args.push("--trace-out".to_string());
+                spawn_args.push(format!("{dir}/backend-{i}.jsonl"));
+            }
+            // Backends must share the router's head-sampling rate: the
+            // per-trace-id coin is deterministic, so equal rates mean the
+            // tiers keep the same requests and a merged waterfall is
+            // never half-missing.
+            if let Some(p) = flag(args, "--sample-permille") {
+                spawn_args.push("--sample-permille".to_string());
+                spawn_args.push(p);
+            }
             let mut child = Command::new(&exe)
-                .args(["serve", "--addr", "127.0.0.1:0", "--workers", &backend_workers.to_string()])
+                .args(&spawn_args)
                 .stdin(Stdio::piped())
                 .stdout(Stdio::piped())
                 .stderr(Stdio::null())
@@ -734,6 +772,10 @@ fn shard_cmd(args: &[String]) -> Result<(), String> {
         eject_after: flag(args, "--eject-after")
             .map_or(Ok(defaults.eject_after), |s| s.parse().map_err(|_| "bad --eject-after"))?,
         max_backoff_ms: defaults.max_backoff_ms,
+        head_sample_permille: flag(args, "--sample-permille")
+            .map_or(Ok(defaults.head_sample_permille), |s| {
+                s.parse().map_err(|_| "bad --sample-permille")
+            })?,
     };
     let router = Router::start(cfg).map_err(|e| format!("bind: {e}"))?;
     println!("unet-shard listening on {} ({} backends)", router.addr(), router.stats().backends);
@@ -782,6 +824,10 @@ fn shard_cmd(args: &[String]) -> Result<(), String> {
             Err(e) => eprintln!("backend {i} wait failed: {e}"),
         }
     }
+    if let Some(path) = flag(args, "--trace-out") {
+        std::fs::write(&path, &report.trace).map_err(|e| format!("writing {path}: {e}"))?;
+        eprintln!("request trace written to {path} ({} lines)", report.trace.lines().count());
+    }
     print!("{}", report.exposition);
     Ok(())
 }
@@ -808,7 +854,7 @@ fn parse_batch_item(
     }
 }
 
-/// Typed client for a running `unet serve`: build a `unet-serve/2` request
+/// Typed client for a running `unet serve`: build a `unet-serve/3` request
 /// line, send it over a [`Client`](universal_networks::serve::Client)
 /// connection, render the response. `--raw` prints the raw JSON response
 /// line verbatim and always exits 0 — even for `overloaded` — so scripts
@@ -818,8 +864,8 @@ fn parse_batch_item(
 fn request_cmd(args: &[String]) -> Result<(), String> {
     use universal_networks::obs::json::Value;
     use universal_networks::serve::protocol::{
-        analyze_request_line, batch_request_line, metrics_request_line, parse_response,
-        simulate_request_line, SimulateReq,
+        analyze_request_line, batch_request_line, gen_trace_id, metrics_request_line,
+        parse_response, simulate_request_line, SimulateReq,
     };
     use universal_networks::serve::{Client, ClientError, Response};
 
@@ -833,24 +879,30 @@ fn request_cmd(args: &[String]) -> Result<(), String> {
         .transpose()?;
     let retries: u32 =
         flag(args, "--retries").map_or(Ok(0), |s| s.parse().map_err(|_| "bad --retries"))?;
+    // The CLI is this request's first ingress: stamp the trace context
+    // here so the router and backend record their spans under one id.
+    let trace_id = gen_trace_id();
     let line = match (kind, &pos[2..]) {
         ("simulate", [guest, host, steps]) => {
             let steps: u32 = steps.parse().map_err(|_| "bad steps")?;
             let seed: u64 =
                 flag(args, "--seed").map_or(Ok(0), |s| s.parse().map_err(|_| "bad seed"))?;
-            simulate_request_line(&SimulateReq {
-                guest: (*guest).clone(),
-                host: (*host).clone(),
-                steps,
-                seed,
-                deadline_ms,
-                id: None,
-            })
+            simulate_request_line(
+                &SimulateReq {
+                    guest: (*guest).clone(),
+                    host: (*host).clone(),
+                    steps,
+                    seed,
+                    deadline_ms,
+                    id: None,
+                },
+                Some(&trace_id),
+            )
         }
         ("batch", items) if !items.is_empty() => {
             let specs: Vec<SimulateReq> =
                 items.iter().map(|s| parse_batch_item(s, None)).collect::<Result<_, String>>()?;
-            batch_request_line(&specs, deadline_ms, None)
+            batch_request_line(&specs, deadline_ms, None, Some(&trace_id))
         }
         ("analyze", [path]) => {
             // Reuse the canonical `{path}: line N` formatting on read
@@ -862,9 +914,9 @@ fn request_cmd(args: &[String]) -> Result<(), String> {
             for (i, line) in BufReader::new(file).lines().enumerate() {
                 lines.push(line.map_err(|e| trace_line_err(path, i + 1, e))?);
             }
-            analyze_request_line(&lines, None)
+            analyze_request_line(&lines, None, Some(&trace_id))
         }
-        ("metrics", []) => metrics_request_line(None),
+        ("metrics", []) => metrics_request_line(None, Some(&trace_id)),
         _ => return Err(format!("bad arguments for request kind {kind:?} (see usage)")),
     };
     let mut client = match Client::connect(addr) {
@@ -910,6 +962,30 @@ fn request_cmd(args: &[String]) -> Result<(), String> {
             retry_after_ms.unwrap_or(0)
         )),
     }
+}
+
+/// `unet trace-requests` — merge the sampled per-request records of one or
+/// more trace files (a router's `--trace-out` plus its backends', say) by
+/// `trace_id` and print one waterfall per traced request: each tier's
+/// end-to-end latency, outcome, sampling reason, and stage spans with
+/// scaled bars (`--markdown` for GFM tables, `--trace ID` to filter).
+fn trace_requests_cmd(args: &[String]) -> Result<(), String> {
+    use universal_networks::obs::report::render_waterfalls;
+    use universal_networks::obs::trace::parse_trace;
+
+    let paths = positionals(args, &["--trace"]);
+    if paths.is_empty() {
+        return Err("missing trace file(s)".into());
+    }
+    let only = flag_values(args, "--trace");
+    let mut sources = Vec::new();
+    for path in paths {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let doc = parse_trace(&text).map_err(|e| format!("{path}: {e}"))?;
+        sources.push((path.clone(), doc));
+    }
+    print!("{}", render_waterfalls(&sources, &only, has_flag(args, "--markdown")));
+    Ok(())
 }
 
 fn tradeoff(args: &[String]) -> Result<(), String> {

@@ -265,7 +265,7 @@ fn serve_request_round_trip_and_graceful_drain() {
     let mut stdout = BufReader::new(server.stdout.take().unwrap());
     let mut banner = String::new();
     stdout.read_line(&mut banner).expect("banner");
-    assert!(banner.starts_with("unet-serve/2 listening on "), "{banner}");
+    assert!(banner.starts_with("unet-serve/3 listening on "), "{banner}");
     let addr = banner.trim().rsplit(' ').next().unwrap().to_string();
 
     let (ok, stdout1, stderr1) =

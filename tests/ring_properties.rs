@@ -1,0 +1,62 @@
+//! Consistent-hash ring invariants under random fingerprints and ring
+//! sizes. The router's cache-affinity story rests on two properties of
+//! [`Ring::successors`]: the order is a permutation of all shards that
+//! starts at the home shard, and ejecting any single shard remaps only the
+//! keys that shard owned (every survivor's keys stay put, so the surviving
+//! plan caches stay warm through a backend death).
+
+use proptest::prelude::*;
+use universal_networks::serve::ring::Ring;
+
+proptest! {
+    /// `successors(fp)` enumerates every shard exactly once and leads with
+    /// `shard_of(fp)` — the router's failover walk can always find a
+    /// healthy shard and always tries the cache-affine home first.
+    #[test]
+    fn successors_are_a_permutation_rooted_at_home(
+        shards in 1usize..=8,
+        fp in any::<u64>(),
+    ) {
+        let ring = Ring::new(shards);
+        let order = ring.successors(fp);
+        prop_assert_eq!(order[0], ring.shard_of(fp), "walk starts at the home shard");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..shards).collect::<Vec<_>>(), "each shard appears once");
+    }
+
+    /// Removing any one shard remaps only that shard's own keys: a key
+    /// whose home survives keeps its home, and a dead home's keys land on
+    /// the key's ring successor — the first *surviving* entry of its own
+    /// failover order, never an arbitrary shard.
+    #[test]
+    fn removing_one_shard_remaps_only_its_own_keys(
+        shards in 2usize..=8,
+        dead_pick in any::<usize>(),
+        fp in any::<u64>(),
+    ) {
+        let ring = Ring::new(shards);
+        let dead = dead_pick % shards;
+        let order = ring.successors(fp);
+        let rerouted = *order
+            .iter()
+            .find(|&&s| s != dead)
+            .expect("at least one shard survives");
+        if order[0] != dead {
+            prop_assert_eq!(rerouted, order[0], "keys of surviving shards never move");
+        } else {
+            prop_assert_eq!(rerouted, order[1], "dead home spills to the next successor");
+        }
+    }
+
+    /// The failover order itself is membership-independent: it is derived
+    /// from the static ring alone, so ejections and reinstatements never
+    /// reshuffle where anyone's keys live.
+    #[test]
+    fn successor_order_is_stable_across_rebuilds(
+        shards in 1usize..=8,
+        fp in any::<u64>(),
+    ) {
+        prop_assert_eq!(Ring::new(shards).successors(fp), Ring::new(shards).successors(fp));
+    }
+}

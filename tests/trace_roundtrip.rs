@@ -2,7 +2,7 @@
 //! into an `InMemoryRecorder`, export it as a JSONL trace, parse it back,
 //! and check that every recorded signal survives the round trip — and that
 //! a legacy `unet-trace/2` trace still reads identically through the
-//! `unet-trace/3` reader and the streaming analyzer.
+//! `unet-trace/4` reader and the streaming analyzer.
 
 use universal_networks::core::prelude::*;
 use universal_networks::obs::analysis::analyze_str;
@@ -97,8 +97,8 @@ fn recorded_run_round_trips_through_jsonl() {
 }
 
 #[test]
-fn legacy_v2_trace_reads_identically_through_the_v3_reader() {
-    // Record a real run and export it as the current unet-trace/3 schema.
+fn legacy_v2_trace_reads_identically_through_the_v4_reader() {
+    // Record a real run and export it as the current unet-trace/4 schema.
     let guest = ring(12);
     let host = torus(2, 2);
     let steps = 3u32;
@@ -125,30 +125,32 @@ fn legacy_v2_trace_reads_identically_through_the_v3_reader() {
         guest_steps: steps as u64,
     };
     let v3 = export(&rec, &meta, None);
-    assert!(v3.contains("unet-trace/3"));
+    assert!(v3.contains("unet-trace/4"));
 
     // Rewrite it as the trace a /2 writer would have produced: the /2
-    // schema tag, and no per-step sample records (introduced in /3).
+    // schema tag, and no per-step sample records (introduced in /3; the
+    // /4 request records only come from the serving tier, so a recorder
+    // export carries none either way).
     let v2: String = v3
         .lines()
         .filter(|l| !l.contains("\"type\":\"sample\""))
-        .map(|l| l.replace("\"schema\":\"unet-trace/3\"", "\"schema\":\"unet-trace/2\"") + "\n")
+        .map(|l| l.replace("\"schema\":\"unet-trace/4\"", "\"schema\":\"unet-trace/2\"") + "\n")
         .collect();
     assert!(v2.contains("unet-trace/2"));
 
-    // The /3 reader accepts the legacy document…
+    // The /4 reader accepts the legacy document…
     let doc2 = parse_trace(&v2).expect("legacy /2 trace parses");
-    let doc3 = parse_trace(&v3).expect("current /3 trace parses");
+    let doc3 = parse_trace(&v3).expect("current /4 trace parses");
     assert_eq!(doc2.counters, doc3.counters);
     assert!(doc2.samples.is_empty(), "/2 traces carry no samples");
-    assert!(!doc3.samples.is_empty(), "/3 traces carry telemetry");
+    assert!(!doc3.samples.is_empty(), "/4 traces carry telemetry");
 
     // …and the streaming analyzer aggregates both to the same counters,
     // histograms, and span totals — only the sample series differ.
     let a2 = analyze_str(&v2).expect("analyzer reads /2");
-    let a3 = analyze_str(&v3).expect("analyzer reads /3");
+    let a3 = analyze_str(&v3).expect("analyzer reads /4");
     assert_eq!(a2.schema, "unet-trace/2");
-    assert_eq!(a3.schema, "unet-trace/3");
+    assert_eq!(a3.schema, "unet-trace/4");
     assert_eq!(a2.counters, a3.counters);
     assert_eq!(a2.gauges, a3.gauges);
     assert_eq!(a2.histograms, a3.histograms);
